@@ -1,0 +1,173 @@
+// Ablations over W5 design choices (DESIGN.md §5, final row): what does
+// each platform mechanism cost on the request path, measured by turning
+// it off or swapping it?
+//
+//   A1 — JavaScript sanitizer on/off (HTML responses, §3.5)
+//   A2 — declassifier policy choice (owner-only / friends / public /
+//         rate-limited) on identical requests
+//   A3 — per-request resource containers vs uncontained
+//   A4 — session-cookie authentication vs anonymous handling
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace {
+
+using w5::net::HttpRequest;
+using w5::net::HttpResponse;
+using w5::net::Method;
+using w5::platform::AppContext;
+using w5::platform::Module;
+using w5::platform::Provider;
+using w5::platform::ProviderConfig;
+
+struct Fixture {
+  w5::util::WallClock clock;
+  Provider provider;
+  std::string bob;
+  std::string alice;
+
+  explicit Fixture(ProviderConfig config = {})
+      : provider(std::move(config), clock) {
+    w5::apps::register_standard_apps(provider);
+    (void)provider.signup("bob", "password");
+    (void)provider.signup("alice", "password");
+    bob = provider.login("bob", "password").value();
+    alice = provider.login("alice", "password").value();
+    (void)provider.http(Method::kPost, "/data/photos/p1",
+                        R"({"title":"t","caption":"c","rating":3})", bob);
+    (void)provider.http(Method::kPost, "/data/friends/bob",
+                        R"({"friends":["alice"]})", bob);
+  }
+
+  HttpRequest request(const std::string& target, const std::string& session) {
+    HttpRequest r;
+    r.method = Method::kGet;
+    r.target = target;
+    r.parsed = *w5::net::parse_request_target(target);
+    if (!session.empty()) r.headers.set("Cookie", "w5session=" + session);
+    return r;
+  }
+};
+
+// ---- A1: sanitizer -----------------------------------------------------------
+
+void bench_html_request(benchmark::State& state, bool strip) {
+  ProviderConfig config;
+  config.strip_javascript = strip;
+  Fixture fx(config);
+  Module html_app;
+  html_app.developer = "dev";
+  html_app.name = "page";
+  html_app.version = "1.0";
+  const std::string page =
+      "<html><body>" + std::string(4096, 'x') +
+      "<script>var a=1;</script><img src=x onerror=steal()></body></html>";
+  html_app.handler = [page](AppContext&) {
+    return HttpResponse::html(200, page);
+  };
+  (void)fx.provider.modules().add(html_app);
+  const auto request = fx.request("/dev/dev/page", fx.bob);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).body.size());
+  }
+}
+
+void BM_A1_SanitizerOn(benchmark::State& state) {
+  bench_html_request(state, true);
+}
+BENCHMARK(BM_A1_SanitizerOn);
+
+void BM_A1_SanitizerOff(benchmark::State& state) {
+  bench_html_request(state, false);
+}
+BENCHMARK(BM_A1_SanitizerOff);
+
+// ---- A2: declassifier policy --------------------------------------------------
+
+void bench_policy(benchmark::State& state, const std::string& declassifier,
+                  bool viewer_is_owner) {
+  Fixture fx;
+  (void)fx.provider.http(
+      Method::kPost, "/policy",
+      R"({"declassifier":")" + declassifier + R"("})", fx.bob);
+  const auto request =
+      fx.request("/dev/photoco/photos/view?id=p1",
+                 viewer_is_owner ? fx.bob : fx.alice);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).status);
+  }
+}
+
+void BM_A2_OwnerOnlyForOwner(benchmark::State& state) {
+  bench_policy(state, "std/owner-only", true);
+}
+BENCHMARK(BM_A2_OwnerOnlyForOwner);
+
+void BM_A2_FriendsForFriend(benchmark::State& state) {
+  bench_policy(state, "std/friends", false);  // alice is bob's friend
+}
+BENCHMARK(BM_A2_FriendsForFriend);
+
+void BM_A2_PublicForAnyone(benchmark::State& state) {
+  bench_policy(state, "std/public", false);
+}
+BENCHMARK(BM_A2_PublicForAnyone);
+
+void BM_A2_RateLimitedFriends(benchmark::State& state) {
+  bench_policy(state, "std/friends-rate-limited", true);
+}
+BENCHMARK(BM_A2_RateLimitedFriends);
+
+// ---- A3: resource containers ---------------------------------------------------
+
+void bench_containers(benchmark::State& state, bool limited) {
+  ProviderConfig config;
+  if (!limited) {
+    const w5::os::ResourceVector unlimited{
+        w5::os::kUnlimited, w5::os::kUnlimited, w5::os::kUnlimited,
+        w5::os::kUnlimited};
+    config.app_limits = unlimited;
+    config.request_limits = unlimited;
+  }
+  Fixture fx(config);
+  const auto request =
+      fx.request("/dev/photoco/photos/view?id=p1", fx.bob);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).status);
+  }
+}
+
+void BM_A3_ContainersEnforced(benchmark::State& state) {
+  bench_containers(state, true);
+}
+BENCHMARK(BM_A3_ContainersEnforced);
+
+void BM_A3_ContainersUnlimited(benchmark::State& state) {
+  bench_containers(state, false);
+}
+BENCHMARK(BM_A3_ContainersUnlimited);
+
+// ---- A4: session auth -----------------------------------------------------------
+
+void BM_A4_AuthenticatedRequest(benchmark::State& state) {
+  Fixture fx;
+  const auto request = fx.request("/whoami", fx.bob);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).body.size());
+  }
+}
+BENCHMARK(BM_A4_AuthenticatedRequest);
+
+void BM_A4_AnonymousRequest(benchmark::State& state) {
+  Fixture fx;
+  const auto request = fx.request("/whoami", "");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).body.size());
+  }
+}
+BENCHMARK(BM_A4_AnonymousRequest);
+
+}  // namespace

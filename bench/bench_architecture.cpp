@@ -1,0 +1,108 @@
+// E1 — Figure 1 vs Figure 2: what does it cost for a NEW application to
+// serve a user's existing data?
+//
+// Silo web (Fig. 1): the user's N records live inside the old site; the
+// new site must re-acquire them — N uploads of the full payload, per new
+// application.
+// W5 (Fig. 2): data stays put; adopting a new app is one policy update
+// (checkbox / "accepting an invitation", §1), then the app computes over
+// the data in place.
+//
+// Shape expectation: silo onboarding cost grows linearly with the user's
+// data (bytes moved ∝ N × size); W5 onboarding is O(1) and tiny. The
+// bytes_moved counters make the asymmetry explicit.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace {
+
+using w5::net::Method;
+
+constexpr std::size_t kPhotoBytes = 2048;
+
+// Fig. 1: onboarding = copying every record into the new silo.
+void BM_SiloNewAppOnboarding(benchmark::State& state) {
+  const auto n_records = static_cast<std::size_t>(state.range(0));
+  const std::string payload(kPhotoBytes, 'x');
+  std::int64_t bytes_moved = 0;
+  for (auto _ : state) {
+    std::map<std::string, std::string> new_site_db;  // the new provider
+    for (std::size_t i = 0; i < n_records; ++i) {
+      // Download from old silo + upload to new silo: payload crosses the
+      // network twice; we charge it once (the upload) to be generous.
+      new_site_db["p" + std::to_string(i)] = payload;
+      bytes_moved += static_cast<std::int64_t>(payload.size());
+    }
+    benchmark::DoNotOptimize(new_site_db.size());
+  }
+  state.counters["bytes_moved_per_onboard"] = static_cast<double>(
+      bytes_moved / static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("records=" + std::to_string(n_records));
+}
+BENCHMARK(BM_SiloNewAppOnboarding)->Arg(10)->Arg(100)->Arg(1000);
+
+// Fig. 2: onboarding = one policy POST; data never moves.
+void BM_W5NewAppOnboarding(benchmark::State& state) {
+  const auto n_records = static_cast<std::size_t>(state.range(0));
+  w5::util::WallClock clock;
+  w5::platform::Provider provider(w5::platform::ProviderConfig{}, clock);
+  w5::apps::register_standard_apps(provider);
+  (void)provider.signup("bob", "password");
+  const std::string session = provider.login("bob", "password").value();
+  const std::string payload(kPhotoBytes, 'x');
+  for (std::size_t i = 0; i < n_records; ++i) {
+    w5::util::Json data;
+    data["title"] = "p" + std::to_string(i);
+    data["caption"] = payload;
+    data["rating"] = 1;
+    (void)provider.http(Method::kPost, "/data/photos/p" + std::to_string(i),
+                        data.dump(), session);
+  }
+  // The "new application" appears; adopting it is one policy update.
+  const std::string grant =
+      R"({"write_grants":["photoco/photos"],"declassifier":"std/owner-only"})";
+  std::int64_t bytes_moved = 0;
+  for (auto _ : state) {
+    auto response =
+        provider.http(Method::kPost, "/policy", grant, session);
+    if (response.status != 200) state.SkipWithError("policy update failed");
+    bytes_moved += static_cast<std::int64_t>(grant.size());
+    benchmark::DoNotOptimize(response.status);
+  }
+  state.counters["bytes_moved_per_onboard"] = static_cast<double>(
+      bytes_moved / static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("records=" + std::to_string(n_records) +
+                 " (cost independent of it)");
+}
+BENCHMARK(BM_W5NewAppOnboarding)->Arg(10)->Arg(100)->Arg(1000);
+
+// After onboarding, first useful render on the user's existing data.
+void BM_W5FirstRenderAfterAdoption(benchmark::State& state) {
+  w5::util::WallClock clock;
+  w5::platform::Provider provider(w5::platform::ProviderConfig{}, clock);
+  w5::apps::register_standard_apps(provider);
+  (void)provider.signup("bob", "password");
+  const std::string session = provider.login("bob", "password").value();
+  for (int i = 0; i < 50; ++i) {
+    w5::util::Json data;
+    data["title"] = "p" + std::to_string(i);
+    data["caption"] = "c";
+    data["rating"] = i % 5;
+    (void)provider.http(Method::kPost, "/data/photos/p" + std::to_string(i),
+                        data.dump(), session);
+  }
+  for (auto _ : state) {
+    auto response = provider.http(Method::kGet, "/dev/photoco/photos/list",
+                                  "", session);
+    if (response.status != 200) state.SkipWithError("render failed");
+    benchmark::DoNotOptimize(response.body.size());
+  }
+}
+BENCHMARK(BM_W5FirstRenderAfterAdoption);
+
+}  // namespace

@@ -1,0 +1,102 @@
+// E6 — per-export declassifier decision cost (§3.1).
+//
+// Declassifiers run on every outbound response carrying a secrecy tag, so
+// their decision latency is pure overhead on the request path. Series:
+// each standard declassifier, friend-list by list size.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "core/declassifier.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace w5::platform;
+
+ExportRequest request_for(const std::string& viewer) {
+  ExportRequest request;
+  request.viewer = viewer;
+  request.data_owner = "bob";
+  request.tag = w5::difc::Tag(1);
+  request.module_id = "devA/app@1.0";
+  request.destination = "browser";
+  request.byte_count = 4096;
+  request.distinct_owner_count = 1;
+  return request;
+}
+
+void BM_OwnerOnlyAllow(benchmark::State& state) {
+  auto declassifier = make_owner_only();
+  const auto request = request_for("bob");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(declassifier->decide(request).ok());
+  }
+}
+BENCHMARK(BM_OwnerOnlyAllow);
+
+void BM_OwnerOnlyDeny(benchmark::State& state) {
+  auto declassifier = make_owner_only();
+  const auto request = request_for("eve");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(declassifier->decide(request).ok());
+  }
+}
+BENCHMARK(BM_OwnerOnlyDeny);
+
+void BM_PublicAllow(benchmark::State& state) {
+  auto declassifier = make_public();
+  const auto request = request_for("anyone");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(declassifier->decide(request).ok());
+  }
+}
+BENCHMARK(BM_PublicAllow);
+
+// Friend-list decision vs friend-list size (set lookup through the
+// injected callback, as the provider wires it).
+void BM_FriendListDecision(benchmark::State& state) {
+  const auto n_friends = static_cast<std::size_t>(state.range(0));
+  std::set<std::string> friends;
+  for (std::size_t i = 0; i < n_friends; ++i)
+    friends.insert("friend" + std::to_string(i));
+  auto declassifier = make_friend_list(
+      [&friends](const std::string&, const std::string& viewer) {
+        return friends.contains(viewer);
+      });
+  // Worst case: the *last* friend (or a miss).
+  const auto hit = request_for("friend" + std::to_string(n_friends - 1));
+  const auto miss = request_for("stranger");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(declassifier->decide(hit).ok());
+    benchmark::DoNotOptimize(declassifier->decide(miss).ok());
+  }
+  state.SetLabel("friends=" + std::to_string(n_friends));
+}
+BENCHMARK(BM_FriendListDecision)->RangeMultiplier(10)->Range(10, 100000);
+
+void BM_KAggregateDecision(benchmark::State& state) {
+  auto declassifier = make_k_aggregate(3);
+  auto request = request_for("analyst");
+  request.distinct_owner_count = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(declassifier->decide(request).ok());
+  }
+}
+BENCHMARK(BM_KAggregateDecision);
+
+// Rate limiter bookkeeping under a steady allowed stream.
+void BM_RateLimitedDecision(benchmark::State& state) {
+  w5::util::SimClock clock;
+  auto declassifier = make_rate_limited(make_public(), clock,
+                                        /*max_exports=*/1u << 30,
+                                        /*window=*/1000000);
+  const auto request = request_for("viewer");
+  for (auto _ : state) {
+    clock.advance(10);  // keeps the window sliding
+    benchmark::DoNotOptimize(declassifier->decide(request).ok());
+  }
+}
+BENCHMARK(BM_RateLimitedDecision);
+
+}  // namespace

@@ -1,0 +1,119 @@
+// E9 — mirror sync between two providers (§3.3): records/s by batch
+// size, incremental-sync cost, and conflict-resolution overhead.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "fed/node.h"
+
+namespace {
+
+using w5::fed::Node;
+using w5::platform::Provider;
+using w5::platform::ProviderConfig;
+
+struct FedFixture {
+  w5::util::SimClock clock;
+  w5::net::InMemoryNetwork network;
+  Provider provider_a{ProviderConfig{.name = "providerA"}, clock};
+  Provider provider_b{ProviderConfig{.name = "providerB"}, clock};
+  Node node_a{"providerA", provider_a, network};
+  Node node_b{"providerB", provider_b, network};
+
+  FedFixture() {
+    (void)provider_a.signup("bob", "password");
+    (void)provider_b.signup("bob", "password");
+    node_a.mirrors().authorize("bob", "providerB");
+    node_b.mirrors().authorize("bob", "providerA");
+  }
+
+  void seed(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      w5::util::Json data;
+      data["title"] = "photo " + std::to_string(i);
+      (void)node_a.put_user_record("bob", "photos", "p" + std::to_string(i),
+                                   data);
+    }
+  }
+};
+
+// Full first sync of n records.
+void BM_InitialSync(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fx = std::make_unique<FedFixture>();
+    fx->seed(n);
+    state.ResumeTiming();
+    auto stats = fx->node_b.sync_from("providerA");
+    if (!stats.ok() || stats.value().applied != n)
+      state.SkipWithError("sync failed");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel("records=" + std::to_string(n));
+}
+BENCHMARK(BM_InitialSync)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state no-op sync (everything already replicated).
+void BM_IdempotentResync(benchmark::State& state) {
+  FedFixture fx;
+  fx.seed(500);
+  (void)fx.node_b.sync_from("providerA");
+  for (auto _ : state) {
+    auto stats = fx.node_b.sync_from("providerA");
+    if (!stats.ok() || stats.value().applied != 0)
+      state.SkipWithError("unexpected application");
+  }
+  state.SetLabel("records=500, all current");
+}
+BENCHMARK(BM_IdempotentResync)->Unit(benchmark::kMillisecond);
+
+// Incremental: one fresh edit among 500 replicated records.
+void BM_IncrementalSync(benchmark::State& state) {
+  FedFixture fx;
+  fx.seed(500);
+  (void)fx.node_b.sync_from("providerA");
+  std::size_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    w5::util::Json data;
+    data["title"] = "edit " + std::to_string(round++);
+    (void)fx.node_a.put_user_record("bob", "photos", "p0", data);
+    state.ResumeTiming();
+    auto stats = fx.node_b.sync_from("providerA");
+    if (!stats.ok() || stats.value().applied != 1)
+      state.SkipWithError("incremental sync failed");
+  }
+}
+BENCHMARK(BM_IncrementalSync)->Unit(benchmark::kMillisecond);
+
+// Conflict resolution: both sides edit the same record every round.
+void BM_ConflictResolution(benchmark::State& state) {
+  FedFixture fx;
+  fx.seed(10);
+  (void)fx.node_b.sync_from("providerA");
+  std::size_t conflicts = 0;
+  std::size_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fx.clock.advance(10);
+    w5::util::Json edit_a;
+    edit_a["title"] = "A" + std::to_string(round);
+    (void)fx.node_a.put_user_record("bob", "photos", "p0", edit_a);
+    fx.clock.advance(10);
+    w5::util::Json edit_b;
+    edit_b["title"] = "B" + std::to_string(round++);
+    (void)fx.node_b.put_user_record("bob", "photos", "p0", edit_b);
+    state.ResumeTiming();
+    auto stats_b = fx.node_b.sync_from("providerA");
+    auto stats_a = fx.node_a.sync_from("providerB");
+    if (stats_b.ok()) conflicts += stats_b.value().conflicts;
+    if (stats_a.ok()) conflicts += stats_a.value().conflicts;
+  }
+  state.counters["conflicts_resolved"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_ConflictResolution)->Unit(benchmark::kMillisecond);
+
+}  // namespace

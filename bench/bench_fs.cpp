@@ -1,0 +1,115 @@
+// Supplemental — labeled filesystem and the Unix-facade syscall layer:
+// per-op costs with labels on the path vs the raw std::string baseline.
+#include <benchmark/benchmark.h>
+
+#include "os/syscalls.h"
+
+namespace {
+
+using w5::difc::Label;
+using w5::difc::LabelState;
+using w5::difc::ObjectLabels;
+using w5::difc::plus;
+using w5::difc::Tag;
+using w5::os::FileSystem;
+using w5::os::IpcBus;
+using w5::os::Kernel;
+using w5::os::kKernelPid;
+using w5::os::OpenMode;
+using w5::os::Syscalls;
+
+struct FsFixture {
+  Kernel kernel;
+  FileSystem fs{kernel};
+  IpcBus ipc{kernel};
+  Syscalls sys{kernel, fs, ipc};
+  Tag secret;
+  w5::os::Pid app;
+
+  explicit FsFixture(std::size_t file_bytes) {
+    secret = kernel.create_tag(kKernelPid, "sec(u)",
+                               w5::difc::TagPurpose::kSecrecy).value();
+    kernel.add_global_capability(plus(secret));
+    (void)fs.mkdir(kKernelPid, "/users", {});
+    (void)fs.create(kKernelPid, "/users/data.txt",
+                    ObjectLabels{Label{secret}, {}},
+                    std::string(file_bytes, 'x'));
+    app = kernel.spawn_trusted("app", LabelState({}, {}, {}));
+  }
+};
+
+void BM_FsReadTrusted(benchmark::State& state) {
+  FsFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.fs.read(kKernelPid, "/users/data.txt"));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FsReadTrusted)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FsReadWithAutoRaise(benchmark::State& state) {
+  FsFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.fs.read(fx.app, "/users/data.txt", w5::os::AutoRaise::kYes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FsReadWithAutoRaise)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FsWrite(benchmark::State& state) {
+  FsFixture fx(4096);
+  const std::string payload(4096, 'y');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.fs.write(kKernelPid, "/users/data.txt", payload).ok());
+  }
+}
+BENCHMARK(BM_FsWrite);
+
+void BM_FsStatAndList(benchmark::State& state) {
+  FsFixture fx(64);
+  for (int i = 0; i < 100; ++i) {
+    (void)fx.fs.create(kKernelPid, "/users/f" + std::to_string(i), {}, "x");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.fs.stat(fx.app, "/users/data.txt"));
+    benchmark::DoNotOptimize(fx.fs.list(fx.app, "/users"));
+  }
+}
+BENCHMARK(BM_FsStatAndList);
+
+void BM_SyscallReadLoop(benchmark::State& state) {
+  FsFixture fx(65536);
+  for (auto _ : state) {
+    auto fd = fx.sys.open(fx.app, "/users/data.txt", OpenMode::kRead);
+    std::size_t total = 0;
+    while (true) {
+      auto chunk = fx.sys.read(fx.app, fd.value(), 4096);
+      if (!chunk.ok() || chunk.value().empty()) break;
+      total += chunk.value().size();
+    }
+    (void)fx.sys.close(fx.app, fd.value());
+    if (total != 65536) state.SkipWithError("short read");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_SyscallReadLoop);
+
+void BM_SyscallPipePingPong(benchmark::State& state) {
+  FsFixture fx(64);
+  const auto other =
+      fx.kernel.spawn_trusted("other", LabelState({}, {}, {}));
+  auto fds = fx.sys.pipe(fx.app, other).value();
+  const std::string payload(256, 'p');
+  for (auto _ : state) {
+    (void)fx.sys.write(fx.app, fds.first, payload);
+    benchmark::DoNotOptimize(fx.sys.read(other, fds.second, 1024));
+  }
+}
+BENCHMARK(BM_SyscallPipePingPong);
+
+}  // namespace

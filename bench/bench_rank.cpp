@@ -1,0 +1,102 @@
+// E8 — code-search PageRank (§3.2): convergence cost vs module-graph
+// size, plus a ranking-quality check with planted reputable developers.
+#include <benchmark/benchmark.h>
+
+#include "rank/search.h"
+#include "util/rng.h"
+
+namespace {
+
+using w5::rank::DependencyGraph;
+using w5::rank::DependencyKind;
+using w5::rank::PageRankOptions;
+
+// Synthetic module ecosystem: `n` modules, preferential attachment (new
+// modules import popular ones), plus a few "core libraries" everyone
+// imports — the planted ground truth.
+DependencyGraph make_ecosystem(std::size_t n, std::uint64_t seed) {
+  DependencyGraph graph;
+  w5::util::Rng rng(seed);
+  const std::size_t n_core = std::max<std::size_t>(1, n / 100);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string id = "m" + std::to_string(i);
+    graph.add_node(id);
+    if (i == 0) continue;
+    // Every module imports 1-4 others, biased toward low indices
+    // (preferential attachment via Zipf).
+    const std::size_t imports = 1 + rng.next_below(4);
+    for (std::size_t k = 0; k < imports; ++k) {
+      const std::size_t target =
+          rng.next_bool(0.3) ? rng.next_below(n_core)  // core library
+                             : rng.next_below(i);
+      graph.add_edge(id, "m" + std::to_string(target),
+                     rng.next_bool(0.8) ? DependencyKind::kImport
+                                        : DependencyKind::kHtmlEmbed);
+    }
+  }
+  return graph;
+}
+
+void BM_PageRankConvergence(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DependencyGraph graph = make_ecosystem(n, 42);
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    auto result = w5::rank::pagerank(graph);
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(result.scores.data());
+  }
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.counters["edges"] = static_cast<double>(graph.edge_count());
+  state.SetLabel("modules=" + std::to_string(n));
+}
+BENCHMARK(BM_PageRankConvergence)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// Quality: do the planted core libraries land in the top ranks?
+void BM_PageRankQuality(benchmark::State& state) {
+  const std::size_t n = 2000;
+  const DependencyGraph graph = make_ecosystem(n, 7);
+  double hits = 0;
+  for (auto _ : state) {
+    const auto ranked = w5::rank::pagerank(graph).ranked(graph);
+    // Planted core libraries are m0..m19 (n/100).
+    hits = 0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const auto& id = ranked[i].first;
+      const auto idx = std::stoul(id.substr(1));
+      if (idx < n / 100) ++hits;
+    }
+    benchmark::DoNotOptimize(ranked.size());
+  }
+  state.counters["core_libs_in_top20"] = hits;
+}
+BENCHMARK(BM_PageRankQuality)->Unit(benchmark::kMillisecond);
+
+void BM_CodeSearchQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DependencyGraph graph = make_ecosystem(n, 11);
+  w5::rank::EditorBoard editors;
+  w5::rank::PopularityTracker popularity;
+  w5::util::Rng rng(3);
+  for (std::size_t i = 0; i < n / 10; ++i) {
+    popularity.record_use("m" + std::to_string(rng.next_below(n)),
+                          1 + rng.next_below(100));
+  }
+  w5::rank::CodeSearch search(graph, editors, popularity);
+  for (std::size_t i = 0; i < n; ++i) {
+    search.add_entry({"m" + std::to_string(i),
+                      i % 7 == 0 ? "photo tool" : "misc module"});
+  }
+  search.refresh();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.search("photo", 10).size());
+  }
+  state.SetLabel("modules=" + std::to_string(n));
+}
+BENCHMARK(BM_CodeSearchQuery)->Arg(1000)->Arg(10000);
+
+}  // namespace

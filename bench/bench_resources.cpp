@@ -1,0 +1,121 @@
+// E10 — resource containers (§3.5): accounting overhead and rogue-app
+// containment (the victim keeps its throughput while the hog dies).
+#include <benchmark/benchmark.h>
+
+#include "os/scheduler.h"
+
+namespace {
+
+using w5::difc::LabelState;
+using w5::os::Kernel;
+using w5::os::Resource;
+using w5::os::ResourceContainer;
+using w5::os::ResourceVector;
+using w5::os::Scheduler;
+using w5::os::TaskState;
+
+// Pure accounting cost: charge through a chain of containers.
+void BM_ChargeFlat(benchmark::State& state) {
+  ResourceContainer container("app", {.cpu_ticks = w5::os::kUnlimited,
+                                      .memory_bytes = w5::os::kUnlimited,
+                                      .disk_bytes = w5::os::kUnlimited,
+                                      .network_bytes = w5::os::kUnlimited});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(container.charge(Resource::kCpu, 1).ok());
+  }
+}
+BENCHMARK(BM_ChargeFlat);
+
+void BM_ChargeHierarchical(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<ResourceContainer>> chain;
+  const ResourceVector unlimited{w5::os::kUnlimited, w5::os::kUnlimited,
+                                 w5::os::kUnlimited, w5::os::kUnlimited};
+  chain.push_back(std::make_unique<ResourceContainer>("root", unlimited));
+  for (std::size_t i = 1; i < depth; ++i) {
+    chain.push_back(std::make_unique<ResourceContainer>(
+        "c" + std::to_string(i), unlimited, chain.back().get()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.back()->charge(Resource::kCpu, 1).ok());
+  }
+  state.SetLabel("depth=" + std::to_string(depth));
+}
+BENCHMARK(BM_ChargeHierarchical)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Denied charge (the quota boundary): refusal cost.
+void BM_ChargeDenied(benchmark::State& state) {
+  ResourceContainer container("app", {.cpu_ticks = 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(container.charge(Resource::kCpu, 1).ok());
+  }
+}
+BENCHMARK(BM_ChargeDenied);
+
+// Kernel-mediated charge (process lookup + container chain).
+void BM_KernelCharge(benchmark::State& state) {
+  Kernel kernel;
+  ResourceContainer container("app", {.cpu_ticks = w5::os::kUnlimited,
+                                      .memory_bytes = w5::os::kUnlimited,
+                                      .disk_bytes = w5::os::kUnlimited,
+                                      .network_bytes = w5::os::kUnlimited});
+  const auto pid =
+      kernel.spawn_trusted("app", LabelState({}, {}, {}), &container);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.charge(pid, Resource::kCpu, 1).ok());
+  }
+}
+BENCHMARK(BM_KernelCharge);
+
+// Containment: one hog with a small budget + N victims; run the round-
+// robin scheduler and report victim completion vs hog containment.
+void BM_HogContainment(benchmark::State& state) {
+  const auto n_victims = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Kernel kernel;
+    Scheduler scheduler(kernel);
+    ResourceContainer hog_box("hog", {.cpu_ticks = 100});
+    const auto hog_pid =
+        kernel.spawn_trusted("hog", LabelState({}, {}, {}), &hog_box);
+    int hog_steps = 0;
+    const auto hog_task = scheduler.submit("hog", hog_pid, [&] {
+      ++hog_steps;
+      return false;  // never finishes voluntarily
+    });
+    std::vector<int> victim_steps(n_victims, 0);
+    std::vector<std::uint64_t> victim_tasks;
+    for (std::size_t v = 0; v < n_victims; ++v) {
+      victim_tasks.push_back(scheduler.submit(
+          "victim" + std::to_string(v), w5::os::kKernelPid,
+          [&victim_steps, v] { return ++victim_steps[v] == 200; }));
+    }
+    scheduler.run(1000000);
+    // Invariants: hog killed at its budget; every victim finished.
+    if (hog_steps != 100) state.SkipWithError("hog not contained");
+    for (std::size_t v = 0; v < n_victims; ++v) {
+      if (victim_steps[v] != 200) state.SkipWithError("victim starved");
+    }
+    benchmark::DoNotOptimize(scheduler.info(hog_task));
+    benchmark::DoNotOptimize(victim_tasks.size());
+  }
+  state.SetLabel("victims=" + std::to_string(n_victims));
+}
+BENCHMARK(BM_HogContainment)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// Scheduler throughput without quotas (the floor).
+void BM_SchedulerThroughput(benchmark::State& state) {
+  Kernel kernel;
+  Scheduler scheduler(kernel);
+  int steps = 0;
+  scheduler.submit("spin", w5::os::kKernelPid, [&] {
+    ++steps;
+    return false;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.round());
+  }
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+}  // namespace

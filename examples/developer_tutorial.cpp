@@ -1,0 +1,107 @@
+// Developer tutorial: everything a third-party developer does on W5.
+//
+//   1. write a module against the AppContext API (the only handle you get),
+//   2. register it (open-source, so users can audit the fingerprint),
+//   3. acquire a user: the user just checks a box (one policy POST —
+//      no data migration, the paper's low barrier-to-entry),
+//   4. someone forks your module and improves it; your users can switch
+//      (or pin your version) without moving a byte of data,
+//   5. watch your module's standing in /search grow with adoption,
+//   6. debug failures through the scrubbed /dev-stats channel.
+#include <iostream>
+
+#include "core/app_context.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+using w5::net::HttpResponse;
+using w5::net::Method;
+using w5::platform::AppContext;
+using w5::platform::Module;
+
+namespace {
+
+// Step 1: the module. A tiny "word count" over the user's blog posts.
+HttpResponse wordcount_handler(AppContext& ctx) {
+  auto posts = ctx.query("posts",
+                         w5::store::QueryOptions{.owner = ctx.viewer()});
+  if (!posts.ok()) return HttpResponse::text(500, posts.error().code);
+  std::size_t words = 0;
+  for (const auto& record : posts.value()) {
+    const std::string& text = record.data.at("text").as_string();
+    bool in_word = false;
+    for (char c : text) {
+      const bool is_space = c == ' ' || c == '\n' || c == '\t';
+      if (!is_space && !in_word) ++words;
+      in_word = !is_space;
+    }
+  }
+  w5::util::Json body;
+  body["user"] = ctx.viewer();
+  body["posts"] = posts.value().size();
+  body["words"] = words;
+  return HttpResponse::json(200, body.dump());
+}
+
+}  // namespace
+
+int main() {
+  w5::util::WallClock clock;
+  w5::platform::Provider provider(w5::platform::ProviderConfig{}, clock);
+
+  // Step 2: register. Open source => auditable fingerprint + forkable.
+  Module wordcount;
+  wordcount.developer = "you";
+  wordcount.name = "wordcount";
+  wordcount.version = "1.0";
+  wordcount.manifest.description = "counts words across your blog posts";
+  wordcount.manifest.open_source = true;
+  wordcount.manifest.source = "wordcount_handler source v1.0";
+  wordcount.handler = wordcount_handler;
+  (void)provider.modules().add(wordcount);
+  std::cout << "registered you/wordcount@1.0, fingerprint "
+            << provider.modules().resolve("you", "wordcount")->fingerprint
+                   .substr(0, 16)
+            << "...\n";
+
+  // Step 3: a user adopts it — zero data migration.
+  (void)provider.signup("bob", "password");
+  const std::string bob = provider.login("bob", "password").value();
+  provider.http(Method::kPost, "/data/posts/1",
+                R"({"title":"one","text":"hello labeled world"})", bob);
+  provider.http(Method::kPost, "/data/posts/2",
+                R"({"title":"two","text":"information flows downhill only"})",
+                bob);
+  const auto count =
+      provider.http(Method::kGet, "/dev/you/wordcount", "", bob);
+  std::cout << "bob's wordcount: " << count.body << "\n";
+
+  // Step 4: a rival forks you and ships a "better" version; bob pins
+  // yours (§2: 'I want to use version X.Y').
+  auto fork = provider.modules().fork("you/wordcount@1.0", "rival",
+                                      "wordcount2");
+  std::cout << "rival forked you: " << fork.value()->id() << " (imports "
+            << fork.value()->manifest.imports.back() << ")\n";
+  provider.http(Method::kPost, "/policy",
+                R"({"version_pins":{"you/wordcount":"1.0"}})", bob);
+
+  // Step 5: standing in code search.
+  for (int i = 0; i < 10; ++i)
+    (void)provider.http(Method::kGet, "/dev/you/wordcount", "", bob);
+  const auto search = provider.http(Method::kGet, "/search?q=wordcount");
+  std::cout << "search results: " << search.body << "\n";
+
+  // Step 6: debugging without core dumps (§3.5).
+  Module broken = wordcount;
+  broken.version = "1.1";
+  broken.handler = [](AppContext&) -> HttpResponse {
+    throw std::runtime_error("null deref while holding bob's secrets");
+  };
+  (void)provider.modules().add(broken);
+  (void)provider.http(Method::kGet, "/dev/you/wordcount?version=1.1", "",
+                      bob);
+  const auto stats =
+      provider.http(Method::kGet, "/dev-stats?app=you/wordcount@1.1");
+  std::cout << "your crash dashboard (scrubbed): " << stats.body << "\n";
+  return 0;
+}

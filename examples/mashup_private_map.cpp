@@ -1,0 +1,60 @@
+// The §4 mashup argument, executable.
+//
+// Today (MyYahoo + Google Maps): the mashup must send address data to the
+// map provider's servers. On W5 the same feature is computed server-side;
+// the map developer's service sees only a generic tile request, and an
+// app that tries the leaking order is refused by the perimeter.
+#include <iostream>
+#include <vector>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+using w5::net::Method;
+
+int main() {
+  w5::util::WallClock clock;
+  w5::platform::Provider provider(w5::platform::ProviderConfig{}, clock);
+  w5::apps::register_standard_apps(provider);
+
+  (void)provider.signup("bob", "password");
+  const std::string session = provider.login("bob", "password").value();
+
+  // Bob's private address book.
+  provider.http(Method::kPost, "/data/addressbook/bob",
+                R"({"mom":"12 elm st","dentist":"9 oak ave"})", session);
+
+  // Observe exactly what reaches the simulated map service.
+  std::vector<std::string> outbound;
+  provider.set_external_fetcher(
+      [&](const std::string& url) -> w5::util::Result<std::string> {
+        outbound.push_back(url);
+        return std::string("[map tiles]");
+      });
+
+  std::cout << "== the honest mashup (tiles first, addresses second) ==\n";
+  const auto map =
+      provider.http(Method::kGet, "/dev/mashupco/addressmap", "", session);
+  std::cout << "  status " << map.status << "\n  body " << map.body << "\n";
+
+  std::cout << "== the leaking order (addresses first) ==\n";
+  const auto leak = provider.http(Method::kGet,
+                                  "/dev/mashupco/addressmap?leak=1", "",
+                                  session);
+  std::cout << "  status " << leak.status << "\n  body " << leak.body << "\n";
+
+  std::cout << "== what the map developer's servers actually saw ==\n";
+  bool leaked = false;
+  for (const auto& url : outbound) {
+    std::cout << "  GET " << url << "\n";
+    if (url.find("elm") != std::string::npos ||
+        url.find("oak") != std::string::npos) {
+      leaked = true;
+    }
+  }
+  std::cout << (leaked ? "ADDRESSES LEAKED (bug!)"
+                       : "no address ever left the perimeter")
+            << "\n";
+  return leaked ? 1 : 0;
+}

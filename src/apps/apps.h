@@ -1,0 +1,59 @@
+// Developer-contributed applications for the W5 platform.
+//
+// These are the paper's running examples, built as real modules against
+// the AppContext API: photo sharing and blogging (Fig. 1/2), a social
+// network profile (§3.1's Alice/Bob/Charlie), the recommendation digest,
+// custom compatibility metric, and "chameleon" profile (§2 Examples), and
+// the private address-book + map mashup (§4). None of this code is
+// trusted; every security property comes from the platform.
+#pragma once
+
+#include "core/module_registry.h"
+#include "core/provider.h"
+
+namespace w5::apps {
+
+// Photo sharing: upload (needs write grant), list, view, caption.
+platform::Module make_photo_app(const std::string& developer = "photoco",
+                                const std::string& version = "1.0");
+
+// A *separately developed* crop module (paper §1: pick "developer A's
+// photo cropping module"); operates on photos in place.
+platform::Module make_crop_app(const std::string& developer = "devA",
+                               const std::string& version = "1.0");
+
+// Blogging: write posts, render a blog page as HTML.
+platform::Module make_blog_app(const std::string& developer = "blogco",
+                               const std::string& version = "1.0");
+
+// Social network: profile + friend list management.
+platform::Module make_social_app(const std::string& developer = "socialco",
+                                 const std::string& version = "1.0");
+
+// Recommendation digest (§2): "the 5 most relevant photos and blog
+// entries posted by his friends", computed over commingled private data.
+platform::Module make_recommender_app(
+    const std::string& developer = "recsys", const std::string& version = "1.0");
+
+// Chameleon profile (§2): output adapts to the viewer — hides interests
+// tagged "hide-from" a group the viewer belongs to.
+platform::Module make_chameleon_app(
+    const std::string& developer = "chameleonco",
+    const std::string& version = "1.0");
+
+// Address-book + map mashup (§4): fetches map tiles from the external
+// map service FIRST (while clean), then reads the private address book
+// and renders annotations server-side. The addresses can never reach the
+// map developer's servers.
+platform::Module make_mashup_app(const std::string& developer = "mashupco",
+                                 const std::string& version = "1.0");
+
+// Online-dating compatibility metric (§2): Bob uploads a custom metric;
+// here the metric is a JSON weight vector stored as user data.
+platform::Module make_dating_app(const std::string& developer = "datingco",
+                                 const std::string& version = "1.0");
+
+// Registers every app above on the provider (used by examples/benches).
+void register_standard_apps(platform::Provider& provider);
+
+}  // namespace w5::apps

@@ -1,0 +1,95 @@
+// Blogging application: posts are labeled user records; the blog page is
+// rendered server-side as HTML (and passes through the gateway's
+// JavaScript filter like everything else).
+#include "core/app_context.h"
+#include "apps/apps.h"
+
+namespace w5::apps {
+
+using platform::AppContext;
+using platform::Module;
+using net::HttpResponse;
+
+namespace {
+
+std::string escape_html(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+HttpResponse blog_handler(AppContext& ctx) {
+  const std::string action = ctx.param("rest", "page");
+  const std::string subject = ctx.query_param("user", ctx.viewer());
+
+  if (action == "post" && ctx.request().method == net::Method::kPost) {
+    if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+    auto body = util::Json::parse(ctx.request().body);
+    if (!body.ok()) return HttpResponse::text(400, "body must be JSON\n");
+    auto record = ctx.make_user_record(ctx.viewer(), "posts",
+                                       ctx.query_param("id"),
+                                       std::move(body).value());
+    if (!record.ok()) return HttpResponse::text(400, record.error().code);
+    auto written = ctx.put_record(std::move(record).value());
+    if (!written.ok()) return HttpResponse::text(403, written.error().code);
+    return HttpResponse::text(201, "posted\n");
+  }
+
+  if (action == "page" || action.empty()) {
+    auto posts = ctx.query("posts", store::QueryOptions{.owner = subject});
+    if (!posts.ok()) return HttpResponse::text(500, posts.error().code);
+    std::string html = "<html><body><h1>" + escape_html(subject) +
+                       "'s blog</h1>\n";
+    for (const auto& record : posts.value()) {
+      html += "<article><h2>" +
+              escape_html(record.data.at("title").as_string()) + "</h2><p>" +
+              escape_html(record.data.at("text").as_string()) +
+              "</p></article>\n";
+    }
+    html += "</body></html>";
+    return HttpResponse::html(200, html);
+  }
+
+  if (action == "delete" && ctx.request().method == net::Method::kPost) {
+    auto removed = ctx.remove_record("posts", ctx.query_param("id"));
+    if (!removed.ok()) return HttpResponse::text(403, removed.error().code);
+    return HttpResponse::text(200, "deleted\n");
+  }
+
+  return HttpResponse::text(404, "unknown blog action\n");
+}
+
+}  // namespace
+
+platform::Module make_blog_app(const std::string& developer,
+                               const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "blog";
+  module.version = version;
+  module.manifest.description = "blogging with server-rendered HTML pages";
+  module.manifest.open_source = true;
+  module.manifest.source = "blog source v" + version;
+  module.handler = blog_handler;
+  return module;
+}
+
+}  // namespace w5::apps

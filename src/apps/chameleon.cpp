@@ -1,0 +1,66 @@
+// Chameleon profile (paper §2): "Bob can also create a 'chameleon'
+// profile display that adjusts its output based on the viewer (for
+// instance, to hide his penchant for Sci-Fi novels from love interests)."
+//
+// Profile data: {"interests": [...], "hide": {"<interest>": ["viewer"...]}}.
+// The app tailors the rendering per viewer; the perimeter still applies
+// on top (non-friends see nothing at all under a friend-list policy).
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "core/app_context.h"
+
+namespace w5::apps {
+
+using platform::AppContext;
+using platform::Module;
+using net::HttpResponse;
+
+namespace {
+
+HttpResponse chameleon_handler(AppContext& ctx) {
+  const std::string subject = ctx.query_param("user", ctx.viewer());
+  auto profile = ctx.get_record("profiles", subject);
+  if (!profile.ok()) return HttpResponse::text(404, "no profile\n");
+
+  const util::Json& data = profile.value().data;
+  const util::Json& hide = data.at("hide");
+
+  util::Json visible_interests = util::Json::array();
+  for (const auto& interest : data.at("interests").as_array()) {
+    bool hidden = false;
+    const util::Json& hide_list = hide.at(interest.as_string());
+    for (const auto& banned : hide_list.as_array()) {
+      if (banned.as_string() == ctx.viewer()) hidden = true;
+    }
+    // The owner always sees their full profile.
+    if (ctx.viewer() == subject) hidden = false;
+    if (!hidden) visible_interests.push_back(interest);
+  }
+
+  util::Json body;
+  body["user"] = subject;
+  body["name"] = data.at("name");
+  body["interests"] = std::move(visible_interests);
+  body["tailored_for"] = ctx.viewer();
+  return HttpResponse::json(200, body.dump());
+}
+
+}  // namespace
+
+platform::Module make_chameleon_app(const std::string& developer,
+                                    const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "chameleon";
+  module.version = version;
+  module.manifest.description =
+      "viewer-adaptive profile display (hides chosen interests per viewer)";
+  module.manifest.open_source = true;
+  module.manifest.source = "chameleon source v" + version;
+  module.manifest.imports = {"socialco/social@1.0"};
+  module.handler = chameleon_handler;
+  return module;
+}
+
+}  // namespace w5::apps

@@ -1,0 +1,131 @@
+// Online dating with user-supplied compatibility metrics (paper §2: "For
+// an online-dating application, Bob can upload a custom compatibility
+// metric.") The metric is data, not code: a JSON weight vector the app
+// evaluates against candidate profiles — users customize server-side
+// behavior without the platform running arbitrary uploads.
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "core/app_context.h"
+
+namespace w5::apps {
+
+using platform::AppContext;
+using platform::Module;
+using net::HttpResponse;
+
+namespace {
+
+double compatibility(const util::Json& metric, const util::Json& mine,
+                     const util::Json& theirs) {
+  double score = 0.0;
+  // metric: {"shared_interest": w1, "same_city": w2, "age_gap_penalty": w3}
+  const double shared_w = metric.at("shared_interest").as_number(1.0);
+  const double city_w = metric.at("same_city").as_number(1.0);
+  const double age_w = metric.at("age_gap_penalty").as_number(0.1);
+
+  for (const auto& a : mine.at("interests").as_array()) {
+    for (const auto& b : theirs.at("interests").as_array()) {
+      if (a.as_string() == b.as_string()) score += shared_w;
+    }
+  }
+  if (!mine.at("city").as_string().empty() &&
+      mine.at("city").as_string() == theirs.at("city").as_string()) {
+    score += city_w;
+  }
+  const double gap =
+      std::abs(mine.at("age").as_number() - theirs.at("age").as_number());
+  score -= age_w * gap;
+  return score;
+}
+
+HttpResponse dating_handler(AppContext& ctx) {
+  const std::string action = ctx.param("rest", "matches");
+  if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+
+  if (action == "metric" && ctx.request().method == net::Method::kPost) {
+    auto metric = util::Json::parse(ctx.request().body);
+    if (!metric.ok()) return HttpResponse::text(400, "metric must be JSON\n");
+    auto record = ctx.make_user_record(ctx.viewer(), "dating-metrics",
+                                       ctx.viewer(),
+                                       std::move(metric).value());
+    if (!record.ok()) return HttpResponse::text(400, record.error().code);
+    auto written = ctx.put_record(std::move(record).value());
+    if (!written.ok()) return HttpResponse::text(403, written.error().code);
+    return HttpResponse::text(200, "metric saved\n");
+  }
+
+  if (action == "matches" || action.empty()) {
+    auto mine = ctx.get_record("profiles", ctx.viewer());
+    if (!mine.ok()) return HttpResponse::text(404, "create a profile first\n");
+
+    // Custom metric if uploaded, built-in default otherwise.
+    util::Json metric;
+    metric["shared_interest"] = 1.0;
+    metric["same_city"] = 1.0;
+    metric["age_gap_penalty"] = 0.1;
+    if (auto custom = ctx.get_record("dating-metrics", ctx.viewer());
+        custom.ok()) {
+      metric = custom.value().data;
+    }
+
+    auto candidates = ctx.query("profiles", {});
+    if (!candidates.ok())
+      return HttpResponse::text(500, candidates.error().code);
+    struct Match {
+      double score;
+      std::string user;
+    };
+    std::vector<Match> matches;
+    for (const auto& candidate : candidates.value()) {
+      if (candidate.owner == ctx.viewer()) continue;
+      matches.push_back(Match{
+          compatibility(metric, mine.value().data, candidate.data),
+          candidate.owner});
+    }
+    std::stable_sort(matches.begin(), matches.end(),
+                     [](const Match& a, const Match& b) {
+                       return a.score > b.score;
+                     });
+    util::Json out = util::Json::array();
+    for (const auto& match : matches) {
+      util::Json item;
+      item["user"] = match.user;
+      item["score"] = match.score;
+      out.push_back(std::move(item));
+    }
+    util::Json body;
+    body["matches"] = std::move(out);
+    return HttpResponse::json(200, body.dump());
+  }
+
+  return HttpResponse::text(404, "unknown dating action\n");
+}
+
+}  // namespace
+
+platform::Module make_dating_app(const std::string& developer,
+                                 const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "dating";
+  module.version = version;
+  module.manifest.description =
+      "matchmaking with user-uploaded compatibility metrics";
+  module.manifest.open_source = false;  // the one closed-source example
+  module.handler = dating_handler;
+  return module;
+}
+
+void register_standard_apps(platform::Provider& provider) {
+  (void)provider.modules().add(make_photo_app());
+  (void)provider.modules().add(make_crop_app());
+  (void)provider.modules().add(make_blog_app());
+  (void)provider.modules().add(make_social_app());
+  (void)provider.modules().add(make_recommender_app());
+  (void)provider.modules().add(make_chameleon_app());
+  (void)provider.modules().add(make_mashup_app());
+  (void)provider.modules().add(make_dating_app());
+}
+
+}  // namespace w5::apps

@@ -1,0 +1,81 @@
+// Server-side mashup (paper §4): private address book + external map.
+//
+// "The same application on W5 could generate the annotated map on the
+// server side, disallowing export of the address data to the map
+// developers." The handler fetches map tiles from the (simulated) map
+// service while its label is still clean, then reads the private address
+// book — after which the DIFC label makes any further external call
+// impossible. A ?leak=1 mode deliberately tries the unsafe order and
+// reports the denial, which bench_perimeter and the example script use.
+#include "apps/apps.h"
+#include "core/app_context.h"
+
+namespace w5::apps {
+
+using platform::AppContext;
+using platform::Module;
+using net::HttpResponse;
+
+namespace {
+
+HttpResponse mashup_handler(AppContext& ctx) {
+  if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+  const bool naughty = ctx.query_param("leak") == "1";
+
+  std::string tiles;
+  if (!naughty) {
+    // Correct order: external fetch first, while the label is clean.
+    auto fetched = ctx.fetch_external("map.example/tiles?area=home");
+    if (!fetched.ok()) return HttpResponse::text(502, fetched.error().code);
+    tiles = std::move(fetched).value();
+  }
+
+  auto book = ctx.get_record("addressbook", ctx.viewer());
+  if (!book.ok()) return HttpResponse::text(404, "no address book\n");
+
+  if (naughty) {
+    // Wrong order: contaminated now, so this MUST fail. Report what the
+    // platform said (the error code is public; the addresses are not).
+    auto leak = ctx.fetch_external("map.example/tiles?addresses=" +
+                                   book.value().data.dump());
+    util::Json body;
+    body["leak_attempted"] = true;
+    body["leak_allowed"] = leak.ok();
+    body["error"] = leak.ok() ? util::Json(nullptr)
+                              : util::Json(leak.error().code);
+    return HttpResponse::json(200, body.dump());
+  }
+
+  // Server-side annotation: join tiles + addresses locally.
+  util::Json annotations = util::Json::array();
+  for (const auto& [name, address] : book.value().data.as_object()) {
+    util::Json pin;
+    pin["name"] = name;
+    pin["address"] = address;
+    pin["tile"] = "tile-for-" + address.as_string();
+    annotations.push_back(std::move(pin));
+  }
+  util::Json body;
+  body["map"] = tiles;
+  body["pins"] = std::move(annotations);
+  return HttpResponse::json(200, body.dump());
+}
+
+}  // namespace
+
+platform::Module make_mashup_app(const std::string& developer,
+                                 const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "addressmap";
+  module.version = version;
+  module.manifest.description =
+      "address-book + map mashup rendered server-side; addresses never "
+      "leave the perimeter";
+  module.manifest.open_source = true;
+  module.manifest.source = "mashup source v" + version;
+  module.handler = mashup_handler;
+  return module;
+}
+
+}  // namespace w5::apps

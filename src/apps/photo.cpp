@@ -1,0 +1,129 @@
+// Photo sharing + the independently developed crop module.
+#include "apps/apps.h"
+#include "core/app_context.h"
+#include "util/strings.h"
+
+namespace w5::apps {
+
+using platform::AppContext;
+using platform::Module;
+using net::HttpResponse;
+
+namespace {
+
+// Sub-route inside the app: the wildcard "rest" route param.
+std::string action_of(const AppContext& ctx) {
+  return ctx.param("rest", "list");
+}
+
+HttpResponse photo_handler(AppContext& ctx) {
+  const std::string action = action_of(ctx);
+  const std::string subject = ctx.query_param("user", ctx.viewer());
+
+  if (action == "list" || action.empty()) {
+    auto photos =
+        ctx.query("photos", store::QueryOptions{.owner = subject});
+    if (!photos.ok()) return HttpResponse::text(500, photos.error().code);
+    util::Json out = util::Json::array();
+    for (const auto& record : photos.value()) {
+      util::Json item;
+      item["id"] = record.id;
+      item["title"] = record.data.at("title");
+      item["caption"] = record.data.at("caption");
+      out.push_back(std::move(item));
+    }
+    util::Json body;
+    body["user"] = subject;
+    body["photos"] = std::move(out);
+    return HttpResponse::json(200, body.dump());
+  }
+
+  if (action == "view") {
+    auto record = ctx.get_record("photos", ctx.query_param("id"));
+    if (!record.ok()) return HttpResponse::text(404, "no such photo\n");
+    return HttpResponse::json(200, record.value().data.dump());
+  }
+
+  if (action == "upload" && ctx.request().method == net::Method::kPost) {
+    if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+    auto data = util::Json::parse(ctx.request().body);
+    if (!data.ok()) return HttpResponse::text(400, "body must be JSON\n");
+    auto record = ctx.make_user_record(ctx.viewer(), "photos",
+                                       ctx.query_param("id"),
+                                       std::move(data).value());
+    if (!record.ok()) return HttpResponse::text(400, record.error().code);
+    auto written = ctx.put_record(std::move(record).value());
+    if (!written.ok()) return HttpResponse::text(403, written.error().code);
+    return HttpResponse::text(201, "uploaded\n");
+  }
+
+  if (action == "caption" && ctx.request().method == net::Method::kPost) {
+    auto record = ctx.get_record("photos", ctx.query_param("id"));
+    if (!record.ok()) return HttpResponse::text(404, "no such photo\n");
+    record.value().data["caption"] = ctx.request().body;
+    auto written = ctx.put_record(record.value());
+    if (!written.ok()) return HttpResponse::text(403, written.error().code);
+    return HttpResponse::text(200, "captioned\n");
+  }
+
+  return HttpResponse::text(404, "unknown photo action\n");
+}
+
+// "Cropping" a JSON photo: trims the pixels array to the given rectangle.
+// The interesting part is not the arithmetic — it is that a *different
+// developer's* module edits the same record, gated by the same wp tag.
+HttpResponse crop_handler(AppContext& ctx) {
+  auto record = ctx.get_record("photos", ctx.query_param("id"));
+  if (!record.ok()) return HttpResponse::text(404, "no such photo\n");
+
+  const auto w = util::parse_i64(ctx.query_param("w", "0")).value_or(0);
+  const auto h = util::parse_i64(ctx.query_param("h", "0")).value_or(0);
+  if (w <= 0 || h <= 0) return HttpResponse::text(400, "w and h required\n");
+
+  const util::Json& pixels = record.value().data.at("pixels");
+  util::Json cropped = util::Json::array();
+  std::int64_t row = 0;
+  for (const auto& line : pixels.as_array()) {
+    if (row++ >= h) break;
+    cropped.push_back(line.as_string().substr(
+        0, static_cast<std::size_t>(w)));
+  }
+  record.value().data["pixels"] = std::move(cropped);
+  record.value().data["cropped"] = true;
+
+  auto written = ctx.put_record(record.value());
+  if (!written.ok()) return HttpResponse::text(403, written.error().code);
+  return HttpResponse::json(200, record.value().data.dump());
+}
+
+}  // namespace
+
+platform::Module make_photo_app(const std::string& developer,
+                                const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "photos";
+  module.version = version;
+  module.manifest.description =
+      "photo sharing: list/view/upload/caption over labeled records";
+  module.manifest.open_source = true;
+  module.manifest.source = "photo_app source v" + version;
+  module.handler = photo_handler;
+  return module;
+}
+
+platform::Module make_crop_app(const std::string& developer,
+                               const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "crop";
+  module.version = version;
+  module.manifest.description = "photo cropping module";
+  module.manifest.open_source = true;
+  module.manifest.source = "crop source v" + version;
+  module.manifest.imports = {"photoco/photos@1.0"};
+  module.handler = crop_handler;
+  return module;
+}
+
+}  // namespace w5::apps

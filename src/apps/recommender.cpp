@@ -1,0 +1,119 @@
+// Recommendation digest (paper §2): "Bob can deploy an application that
+// sends him daily e-mail with the 5 most 'relevant' photos and blog
+// entries posted by his friends."
+//
+// The app commingles many users' private data (exactly what W5 exists to
+// make safe): it scans friends' photos and posts, scores them, and
+// returns a digest. The response label carries every scanned friend's
+// secrecy tag, so it exports only to viewers every friend's declassifier
+// approves — for the usual friend-list policy, that means bob himself.
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "core/app_context.h"
+#include "util/strings.h"
+
+namespace w5::apps {
+
+using platform::AppContext;
+using platform::Module;
+using net::HttpResponse;
+
+namespace {
+
+// Relevance: keyword overlap between the item and the viewer's interests,
+// with a recency bonus — simple but honest scoring over real fields.
+double score_item(const util::Json& item,
+                  const std::vector<std::string>& interests) {
+  double score = 0.0;
+  const std::string text = item.at("title").as_string() + " " +
+                           item.at("caption").as_string() + " " +
+                           item.at("text").as_string();
+  const std::string lower = util::to_lower(text);
+  for (const auto& interest : interests) {
+    if (lower.find(util::to_lower(interest)) != std::string::npos)
+      score += 1.0;
+  }
+  score += item.at("rating").as_number(0) * 0.1;
+  return score;
+}
+
+HttpResponse recommender_handler(AppContext& ctx) {
+  if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+  const auto limit = static_cast<std::size_t>(
+      util::parse_i64(ctx.query_param("n", "5")).value_or(5));
+
+  // The viewer's interest profile (their own data).
+  std::vector<std::string> interests;
+  if (auto profile = ctx.get_record("profiles", ctx.viewer()); profile.ok()) {
+    for (const auto& entry : profile.value().data.at("interests").as_array())
+      interests.push_back(entry.as_string());
+  }
+
+  // Friends list.
+  auto friends_record = ctx.get_record("friends", ctx.viewer());
+  if (!friends_record.ok())
+    return HttpResponse::text(404, "no friend list\n");
+
+  struct Scored {
+    double score;
+    std::string owner;
+    std::string kind;
+    util::Json item;
+  };
+  std::vector<Scored> scored;
+
+  for (const auto& entry : friends_record.value().data.at("friends")
+                               .as_array()) {
+    const std::string friend_id = entry.as_string();
+    for (const char* collection : {"photos", "posts"}) {
+      auto items =
+          ctx.query(collection, store::QueryOptions{.owner = friend_id});
+      if (!items.ok()) continue;
+      for (const auto& record : items.value()) {
+        scored.push_back(Scored{score_item(record.data, interests),
+                                friend_id, collection, record.data});
+      }
+    }
+  }
+
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  if (scored.size() > limit) scored.resize(limit);
+
+  util::Json digest = util::Json::array();
+  for (const auto& item : scored) {
+    util::Json out;
+    out["score"] = item.score;
+    out["from"] = item.owner;
+    out["kind"] = item.kind;
+    out["item"] = item.item;
+    digest.push_back(std::move(out));
+  }
+  util::Json body;
+  body["digest"] = std::move(digest);
+  body["label"] = ctx.current_secrecy().to_string();  // show contamination
+  return HttpResponse::json(200, body.dump());
+}
+
+}  // namespace
+
+platform::Module make_recommender_app(const std::string& developer,
+                                      const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "digest";
+  module.version = version;
+  module.manifest.description =
+      "recommendation digest over friends' private photos and posts";
+  module.manifest.open_source = true;
+  module.manifest.source = "recommender source v" + version;
+  module.manifest.imports = {"photoco/photos@1.0", "blogco/blog@1.0",
+                             "socialco/social@1.0"};
+  module.handler = recommender_handler;
+  return module;
+}
+
+}  // namespace w5::apps

@@ -1,0 +1,90 @@
+// Social network: profiles and friend lists — the paper's §3.1 scenario
+// ("a social networking application should be able to show Bob's profile
+// to Alice but not to Charlie"). The app itself contains zero
+// access-control code: the friend-list *declassifier* decides who sees
+// what.
+#include "apps/apps.h"
+#include "core/app_context.h"
+
+namespace w5::apps {
+
+using platform::AppContext;
+using platform::Module;
+using net::HttpResponse;
+
+namespace {
+
+HttpResponse social_handler(AppContext& ctx) {
+  const std::string action = ctx.param("rest", "profile");
+
+  if (action == "profile" || action.empty()) {
+    const std::string subject = ctx.query_param("user", ctx.viewer());
+    auto profile = ctx.get_record("profiles", subject);
+    if (!profile.ok()) return HttpResponse::text(404, "no profile\n");
+    return HttpResponse::json(200, profile.value().data.dump());
+  }
+
+  if (action == "update" && ctx.request().method == net::Method::kPost) {
+    if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+    auto body = util::Json::parse(ctx.request().body);
+    if (!body.ok()) return HttpResponse::text(400, "body must be JSON\n");
+    auto record = ctx.make_user_record(ctx.viewer(), "profiles",
+                                       ctx.viewer(), std::move(body).value());
+    if (!record.ok()) return HttpResponse::text(400, record.error().code);
+    auto written = ctx.put_record(std::move(record).value());
+    if (!written.ok()) return HttpResponse::text(403, written.error().code);
+    return HttpResponse::text(200, "profile saved\n");
+  }
+
+  if (action == "befriend" && ctx.request().method == net::Method::kPost) {
+    if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+    const std::string friend_id = ctx.query_param("friend");
+    if (friend_id.empty()) return HttpResponse::text(400, "friend required\n");
+    // Friend list lives at friends/<user>, data {"friends": [...]}.
+    util::Json list;
+    auto existing = ctx.get_record("friends", ctx.viewer());
+    if (existing.ok()) {
+      list = existing.value().data;
+    } else {
+      list["friends"] = util::Json::array();
+    }
+    for (const auto& entry : list.at("friends").as_array()) {
+      if (entry.as_string() == friend_id)
+        return HttpResponse::text(200, "already friends\n");
+    }
+    list["friends"].push_back(friend_id);
+    auto record = ctx.make_user_record(ctx.viewer(), "friends", ctx.viewer(),
+                                       std::move(list));
+    if (!record.ok()) return HttpResponse::text(400, record.error().code);
+    auto written = ctx.put_record(std::move(record).value());
+    if (!written.ok()) return HttpResponse::text(403, written.error().code);
+    return HttpResponse::text(200, "friend added\n");
+  }
+
+  if (action == "friends") {
+    const std::string subject = ctx.query_param("user", ctx.viewer());
+    auto record = ctx.get_record("friends", subject);
+    if (!record.ok()) return HttpResponse::text(404, "no friend list\n");
+    return HttpResponse::json(200, record.value().data.dump());
+  }
+
+  return HttpResponse::text(404, "unknown social action\n");
+}
+
+}  // namespace
+
+platform::Module make_social_app(const std::string& developer,
+                                 const std::string& version) {
+  Module module;
+  module.developer = developer;
+  module.name = "social";
+  module.version = version;
+  module.manifest.description =
+      "profiles and friend lists; sharing governed by declassifiers";
+  module.manifest.open_source = true;
+  module.manifest.source = "social source v" + version;
+  module.handler = social_handler;
+  return module;
+}
+
+}  // namespace w5::apps

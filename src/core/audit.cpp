@@ -1,0 +1,53 @@
+#include "core/audit.h"
+
+namespace w5::platform {
+
+std::string to_string(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kExportAllowed:
+      return "export.allowed";
+    case AuditKind::kExportBlocked:
+      return "export.blocked";
+    case AuditKind::kDeclassifierDecision:
+      return "declassifier.decision";
+    case AuditKind::kFlowDenied:
+      return "flow.denied";
+    case AuditKind::kQuotaKill:
+      return "quota.kill";
+    case AuditKind::kAuthEvent:
+      return "auth.event";
+    case AuditKind::kAppError:
+      return "app.error";
+    case AuditKind::kAdmin:
+      return "admin";
+  }
+  return "unknown";
+}
+
+void AuditLog::record(AuditKind kind, std::string actor, std::string subject,
+                      std::string detail) {
+  if (events_.size() >= max_events_) {
+    const std::size_t drop = events_.size() / 2;
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(drop));
+    dropped_ += drop;
+  }
+  events_.push_back(AuditEvent{clock_.now(), kind, std::move(actor),
+                               std::move(subject), std::move(detail)});
+}
+
+std::size_t AuditLog::count(AuditKind kind) const {
+  std::size_t n = 0;
+  for (const auto& event : events_)
+    if (event.kind == kind) ++n;
+  return n;
+}
+
+std::vector<AuditEvent> AuditLog::for_actor(const std::string& actor) const {
+  std::vector<AuditEvent> out;
+  for (const auto& event : events_)
+    if (event.actor == actor) out.push_back(event);
+  return out;
+}
+
+}  // namespace w5::platform

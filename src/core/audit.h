@@ -1,0 +1,67 @@
+// Audit log: the provider's tamper-evident record of security decisions.
+//
+// Every export attempt, declassifier verdict, blocked flow, and
+// over-quota kill is recorded here. Entries never contain user data
+// bytes — only codes, principals, and label names — so the log itself
+// cannot become the leak (§3.5 "Debugging").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace w5::platform {
+
+enum class AuditKind : std::uint8_t {
+  kExportAllowed,
+  kExportBlocked,
+  kDeclassifierDecision,
+  kFlowDenied,
+  kQuotaKill,
+  kAuthEvent,
+  kAppError,
+  kAdmin,
+};
+
+std::string to_string(AuditKind kind);
+
+struct AuditEvent {
+  util::Micros at = 0;
+  AuditKind kind = AuditKind::kAdmin;
+  std::string actor;   // user or module id
+  std::string subject; // tag name, path, or module
+  std::string detail;  // machine-ish explanation (error code etc.)
+};
+
+class AuditLog {
+ public:
+  // Bounded: beyond max_events the oldest half is dropped (a provider
+  // would rotate to cold storage; the in-memory log must not grow without
+  // bound under attack traffic).
+  explicit AuditLog(const util::Clock& clock,
+                    std::size_t max_events = 1 << 17)
+      : clock_(clock), max_events_(max_events) {}
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  void record(AuditKind kind, std::string actor, std::string subject,
+              std::string detail);
+
+  const std::vector<AuditEvent>& events() const noexcept { return events_; }
+  std::size_t count(AuditKind kind) const;
+  std::vector<AuditEvent> for_actor(const std::string& actor) const;
+
+  void clear() { events_.clear(); }
+  std::size_t dropped() const noexcept { return dropped_; }
+
+ private:
+  const util::Clock& clock_;
+  std::size_t max_events_;
+  std::size_t dropped_ = 0;
+  std::vector<AuditEvent> events_;
+};
+
+}  // namespace w5::platform

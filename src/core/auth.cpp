@@ -1,0 +1,46 @@
+#include "core/auth.h"
+
+#include "util/bytes.h"
+#include "util/sha256.h"
+
+namespace w5::platform {
+
+std::string SessionManager::create(const std::string& user_id) {
+  // Housekeeping: drop tokens that expired without ever being revisited,
+  // so abandoned sessions cannot accumulate.
+  const util::Micros now = clock_.now();
+  std::erase_if(sessions_,
+                [now](const auto& entry) { return entry.second.expires <= now; });
+  // 32 random bytes, hashed so the RNG stream is not directly exposed,
+  // base64url for cookie safety.
+  const std::string raw = rng_.next_bytes(32);
+  const std::string token =
+      util::base64url_encode(util::sha256_raw(raw + user_id));
+  sessions_[token] = Session{user_id, clock_.now() + ttl_micros_};
+  return token;
+}
+
+std::optional<std::string> SessionManager::validate(const std::string& token) {
+  const auto it = sessions_.find(token);
+  if (it == sessions_.end()) return std::nullopt;
+  if (clock_.now() >= it->second.expires) {
+    sessions_.erase(it);
+    return std::nullopt;
+  }
+  it->second.expires = clock_.now() + ttl_micros_;  // sliding expiry
+  return it->second.user_id;
+}
+
+void SessionManager::revoke(const std::string& token) {
+  sessions_.erase(token);
+}
+
+void SessionManager::revoke_all(const std::string& user_id) {
+  std::erase_if(sessions_, [&](const auto& entry) {
+    return entry.second.user_id == user_id;
+  });
+}
+
+std::size_t SessionManager::live_sessions() const { return sessions_.size(); }
+
+}  // namespace w5::platform

@@ -1,0 +1,49 @@
+// Session management: cookie-token authentication at the front door
+// (paper §2: "the provider would read incoming cookies or HTTP data
+// fields to authenticate the user").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace w5::platform {
+
+inline constexpr const char* kSessionCookie = "w5session";
+
+class SessionManager {
+ public:
+  SessionManager(const util::Clock& clock, util::Micros ttl_micros,
+                 std::uint64_t token_seed = 0x77355735u)
+      : clock_(clock), ttl_micros_(ttl_micros), rng_(token_seed) {}
+
+  // Issues a fresh opaque token bound to the user.
+  std::string create(const std::string& user_id);
+
+  // Returns the user id when the token is live; refreshes the expiry.
+  std::optional<std::string> validate(const std::string& token);
+
+  void revoke(const std::string& token);
+  void revoke_all(const std::string& user_id);
+  // Drops every session (used after a state restore).
+  void revoke_all_everything() { sessions_.clear(); }
+
+  std::size_t live_sessions() const;
+
+ private:
+  struct Session {
+    std::string user_id;
+    util::Micros expires;
+  };
+
+  const util::Clock& clock_;
+  util::Micros ttl_micros_;
+  util::Rng rng_;
+  std::map<std::string, Session> sessions_;
+};
+
+}  // namespace w5::platform

@@ -1,0 +1,100 @@
+// Declassifiers: the user-chosen agents that poke holes in the security
+// perimeter (paper §3.1).
+//
+// Two defining characteristics, straight from the paper:
+//   1. Data-agnostic — a declassifier decides based on (viewer, owner,
+//      request context), not on the bytes being exported, so one
+//      declassifier serves photos, blogs, and friend lists alike.
+//   2. Pluggable and small — factored out of applications, individually
+//      auditable, granted exactly one privilege: the owner's sec(u)-.
+//
+// The gateway consults the owner's authorized declassifier for every
+// secrecy tag on an outbound response; only an Allow verdict contributes
+// sec(u)- to the export check. No verdict, no capability, no export.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "difc/tag.h"
+#include "net/http.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace w5::platform {
+
+struct ExportRequest {
+  std::string viewer;       // authenticated requesting user; "" = anonymous
+  std::string data_owner;   // user whose tag guards the data
+  difc::Tag tag;            // the tag being declassified
+  std::string module_id;    // app that produced the response
+  std::string destination;  // "browser", "peer:providerB", ...
+  std::size_t byte_count = 0;  // size of the export (not its content)
+  // Number of distinct owners whose tags ride on this response; the
+  // gateway computes it from the label, never from the bytes.
+  std::size_t distinct_owner_count = 1;
+};
+
+class Declassifier {
+ public:
+  virtual ~Declassifier() = default;
+
+  virtual std::string name() const = 0;
+
+  // Allow or deny; the Error explains a denial for the audit log.
+  virtual util::Status decide(const ExportRequest& request) = 0;
+};
+
+// ---- Standard library of declassifiers -------------------------------------
+
+// The boilerplate policy (§3.1): "Bob's data can only leave the security
+// perimeter if destined for Bob's browser."
+std::unique_ptr<Declassifier> make_owner_only();
+
+// Social policy: export to the owner and to users on the owner's friend
+// list. The friend lookup is injected so the declassifier stays
+// data-agnostic (it never sees the exported bytes).
+using FriendLookup =
+    std::function<bool(const std::string& owner, const std::string& viewer)>;
+std::unique_ptr<Declassifier> make_friend_list(FriendLookup is_friend);
+
+// Membership policy: export to members of a named group.
+using GroupLookup =
+    std::function<bool(const std::string& group, const std::string& viewer)>;
+std::unique_ptr<Declassifier> make_group(std::string group,
+                                         GroupLookup is_member);
+
+// Public: the owner explicitly opted this tag's data into the open web.
+std::unique_ptr<Declassifier> make_public();
+
+// Rate-limited wrapper: at most N exports per viewer per window — blunts
+// bulk scraping even through an otherwise-permissive policy (§3.5 covert
+// channels: bounds the leak rate).
+std::unique_ptr<Declassifier> make_rate_limited(
+    std::unique_ptr<Declassifier> inner, const util::Clock& clock,
+    std::size_t max_exports, util::Micros window_micros);
+
+// Threshold/aggregate policy: allows export only when the response is
+// declared to aggregate at least k distinct owners' data (the gateway
+// passes the count via the request); used by recommendation digests.
+std::unique_ptr<Declassifier> make_k_aggregate(std::size_t k);
+
+// ---- Registry ---------------------------------------------------------------
+
+class DeclassifierRegistry {
+ public:
+  // Registers under a stable id (e.g. "std/owner-only"); returns the id.
+  std::string add(std::string id, std::unique_ptr<Declassifier> declassifier);
+
+  Declassifier* find(const std::string& id) const;
+  std::vector<std::string> ids() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Declassifier>> declassifiers_;
+};
+
+}  // namespace w5::platform

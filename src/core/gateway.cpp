@@ -1,0 +1,770 @@
+#include "core/gateway.h"
+
+#include <algorithm>
+#include <exception>
+#include <set>
+
+#include "core/sanitizer.h"
+#include "util/strings.h"
+#include "net/cookies.h"
+
+namespace w5::platform {
+
+namespace {
+
+net::HttpResponse json_error(int status, const std::string& code) {
+  util::Json body;
+  body["error"] = code;
+  return net::HttpResponse::json(status, body.dump());
+}
+
+// Generic denial: deliberately free of application-controlled bytes so a
+// blocked response cannot itself smuggle data.
+net::HttpResponse perimeter_denial() {
+  return json_error(403, "export blocked by security perimeter");
+}
+
+}  // namespace
+
+Gateway::Gateway(Provider& provider) : provider_(provider) {
+  using net::Method;
+  const auto bind0 = [this](net::HttpResponse (Gateway::*fn)(
+                                const net::HttpRequest&)) {
+    return [this, fn](const net::HttpRequest& request,
+                      const net::RouteParams&) { return (this->*fn)(request); };
+  };
+  const auto bind1 = [this](net::HttpResponse (Gateway::*fn)(
+                                const net::HttpRequest&,
+                                const net::RouteParams&)) {
+    return [this, fn](const net::HttpRequest& request,
+                      const net::RouteParams& params) {
+      return (this->*fn)(request, params);
+    };
+  };
+
+  router_.add(Method::kPost, "/signup", bind0(&Gateway::route_signup));
+  router_.add(Method::kPost, "/login", bind0(&Gateway::route_login));
+  router_.add(Method::kPost, "/logout", bind0(&Gateway::route_logout));
+  router_.add(Method::kGet, "/whoami", bind0(&Gateway::route_whoami));
+  router_.add(Method::kGet, "/policy", bind0(&Gateway::route_get_policy));
+  router_.add(Method::kPost, "/policy", bind0(&Gateway::route_set_policy));
+  router_.add(Method::kGet, "/apps", bind0(&Gateway::route_list_apps));
+  router_.add(Method::kGet, "/stats", bind0(&Gateway::route_stats));
+  router_.add(Method::kGet, "/search", bind0(&Gateway::route_search));
+  router_.add(Method::kGet, "/developers",
+              bind0(&Gateway::route_developers));
+  router_.add(Method::kGet, "/dev-stats", bind0(&Gateway::route_dev_stats));
+  router_.add(Method::kGet, "/audit", bind0(&Gateway::route_audit));
+  router_.add(Method::kPost, "/invite", bind0(&Gateway::route_invite));
+  router_.add(Method::kGet, "/invitations",
+              bind0(&Gateway::route_invitations));
+  router_.add(Method::kPost, "/accept", bind0(&Gateway::route_accept));
+  router_.add(Method::kPost, "/endorse", bind0(&Gateway::route_endorse));
+  router_.add(Method::kGet, "/export", bind0(&Gateway::route_export));
+  router_.add(Method::kDelete, "/account",
+              bind0(&Gateway::route_delete_account));
+  router_.add(Method::kPost, "/data/:collection/:id",
+              bind1(&Gateway::route_put_data));
+  router_.add(Method::kGet, "/data/:collection/:id",
+              bind1(&Gateway::route_get_data));
+  router_.add(Method::kDelete, "/data/:collection/:id",
+              bind1(&Gateway::route_delete_data));
+  for (const auto method : {Method::kGet, Method::kPost, Method::kPut,
+                            Method::kDelete}) {
+    router_.add(method, "/dev/:developer/:app", bind1(&Gateway::route_app));
+    router_.add(method, "/dev/:developer/:app/*rest",
+                bind1(&Gateway::route_app));
+  }
+}
+
+net::HttpResponse Gateway::handle(const net::HttpRequest& request) {
+  return router_.dispatch(request);
+}
+
+std::string Gateway::viewer_of(const net::HttpRequest& request) {
+  const auto cookie_header = request.headers.get("Cookie");
+  if (!cookie_header) return "";
+  const auto cookies = net::parse_cookie_header(*cookie_header);
+  const auto token = net::cookie_get(cookies, kSessionCookie);
+  if (!token) return "";
+  return provider_.sessions().validate(*token).value_or("");
+}
+
+// ---- Platform endpoints -----------------------------------------------------
+
+net::HttpResponse Gateway::route_signup(const net::HttpRequest& request) {
+  auto params = net::parse_query(request.body);
+  if (!params) return json_error(400, "malformed form body");
+  const auto user = net::query_get(*params, "user");
+  const auto password = net::query_get(*params, "password");
+  if (!user || !password) return json_error(400, "user and password required");
+  const auto name = net::query_get(*params, "name").value_or(*user);
+  if (auto created = provider_.signup(*user, *password, name);
+      !created.ok()) {
+    provider_.audit().record(AuditKind::kAuthEvent, *user, "signup",
+                             created.error().code);
+    return json_error(400, created.error().code);
+  }
+  provider_.audit().record(AuditKind::kAuthEvent, *user, "signup", "ok");
+  util::Json body;
+  body["user"] = *user;
+  return net::HttpResponse::json(201, body.dump());
+}
+
+net::HttpResponse Gateway::route_login(const net::HttpRequest& request) {
+  auto params = net::parse_query(request.body);
+  if (!params) return json_error(400, "malformed form body");
+  const auto user = net::query_get(*params, "user");
+  const auto password = net::query_get(*params, "password");
+  if (!user || !password) return json_error(400, "user and password required");
+  auto token = provider_.login(*user, *password);
+  if (!token.ok()) {
+    provider_.audit().record(AuditKind::kAuthEvent, *user, "login",
+                             token.error().code);
+    return json_error(401, token.error().code);
+  }
+  provider_.audit().record(AuditKind::kAuthEvent, *user, "login", "ok");
+  net::HttpResponse response = net::HttpResponse::json(200, R"({"ok":true})");
+  const net::SetCookie cookie{.name = kSessionCookie,
+                              .value = token.value(),
+                              .path = "/",
+                              .max_age_seconds = -1,
+                              .http_only = true};
+  response.headers.add("Set-Cookie", cookie.to_header().value_or(""));
+  return response;
+}
+
+net::HttpResponse Gateway::route_logout(const net::HttpRequest& request) {
+  const auto cookie_header = request.headers.get("Cookie");
+  if (cookie_header) {
+    const auto cookies = net::parse_cookie_header(*cookie_header);
+    if (const auto token = net::cookie_get(cookies, kSessionCookie))
+      provider_.sessions().revoke(*token);
+  }
+  return net::HttpResponse::json(200, R"({"ok":true})");
+}
+
+net::HttpResponse Gateway::route_whoami(const net::HttpRequest& request) {
+  util::Json body;
+  const std::string viewer = viewer_of(request);
+  body["user"] = viewer.empty() ? util::Json(nullptr) : util::Json(viewer);
+  return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_get_policy(const net::HttpRequest& request) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  return net::HttpResponse::json(
+      200, provider_.policies().get(viewer).to_json().dump());
+}
+
+net::HttpResponse Gateway::route_set_policy(const net::HttpRequest& request) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  auto parsed = util::Json::parse(request.body);
+  if (!parsed.ok()) return json_error(400, "policy must be JSON");
+  auto policy = UserPolicy::from_json(parsed.value());
+  if (!policy.ok()) return json_error(400, policy.error().code);
+  // The named declassifier must exist — a typo must not silently leave
+  // data guarded by nothing.
+  if (provider_.declassifiers().find(policy.value().secrecy_declassifier) ==
+      nullptr) {
+    return json_error(400, "unknown declassifier");
+  }
+  provider_.policies().set(viewer, std::move(policy).value());
+  provider_.audit().record(AuditKind::kAdmin, viewer, "policy", "updated");
+  return net::HttpResponse::json(200, R"({"ok":true})");
+}
+
+net::HttpResponse Gateway::route_list_apps(const net::HttpRequest&) {
+  util::Json apps = util::Json::array();
+  for (const Module* module : provider_.modules().all()) {
+    util::Json entry;
+    entry["id"] = module->id();
+    entry["developer"] = module->developer;
+    entry["name"] = module->name;
+    entry["version"] = module->version;
+    entry["open_source"] = module->manifest.open_source;
+    entry["description"] = module->manifest.description;
+    entry["fingerprint"] = module->fingerprint;
+    if (!module->forked_from.empty())
+      entry["forked_from"] = module->forked_from;
+    apps.push_back(std::move(entry));
+  }
+  util::Json body;
+  body["apps"] = std::move(apps);
+  return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_stats(const net::HttpRequest&) {
+  util::Json body;
+  body["users"] = provider_.users().size();
+  body["records"] = provider_.store().total_records();
+  body["exports_allowed"] =
+      provider_.audit().count(AuditKind::kExportAllowed);
+  body["exports_blocked"] =
+      provider_.audit().count(AuditKind::kExportBlocked);
+  body["quota_kills"] = provider_.audit().count(AuditKind::kQuotaKill);
+  return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_search(const net::HttpRequest& request) {
+  // Reindex on demand: module registration is rare, searches rarer.
+  provider_.search_service().reindex(provider_.modules());
+  const std::string query =
+      net::query_get(request.parsed.query, "q").value_or("");
+  const auto limit = static_cast<std::size_t>(
+      util::parse_i64(
+          net::query_get(request.parsed.query, "n").value_or("10"))
+          .value_or(10));
+  return net::HttpResponse::json(
+      200, provider_.search_service().search(query, limit).dump());
+}
+
+net::HttpResponse Gateway::route_developers(const net::HttpRequest&) {
+  provider_.search_service().reindex(provider_.modules());
+  util::Json body;
+  body["reputation"] = provider_.search_service().developer_reputations();
+  return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_audit(const net::HttpRequest& request) {
+  // Recent security decisions, scrubbed by construction: the audit log
+  // holds codes, principals, and label *names* only.
+  const auto limit = static_cast<std::size_t>(
+      util::parse_i64(
+          net::query_get(request.parsed.query, "n").value_or("20"))
+          .value_or(20));
+  const auto& events = provider_.audit().events();
+  util::Json items = util::Json::array();
+  const std::size_t start =
+      events.size() > limit ? events.size() - limit : 0;
+  for (std::size_t i = start; i < events.size(); ++i) {
+    util::Json entry;
+    entry["at"] = events[i].at;
+    entry["kind"] = to_string(events[i].kind);
+    entry["actor"] = events[i].actor;
+    entry["subject"] = events[i].subject;
+    entry["detail"] = events[i].detail;
+    items.push_back(std::move(entry));
+  }
+  util::Json body;
+  body["events"] = std::move(items);
+  body["total"] = events.size();
+  return net::HttpResponse::json(200, body.dump());
+}
+
+// ---- Invitations (§1: "a prospective user can sign up simply by
+// checking a box or 'accepting an invitation'"; §2: forking developers
+// get "a pool of users (who need only check a box on a form to begin
+// using the modified application)"). An invitation is a pending grant;
+// accepting it applies the module's write grant to the user's policy in
+// one POST — the entire adoption cost of a new application.
+
+net::HttpResponse Gateway::route_invite(const net::HttpRequest& request) {
+  const std::string from = viewer_of(request);
+  if (from.empty()) return json_error(401, "login required");
+  auto params = net::parse_query(request.body);
+  if (!params) return json_error(400, "malformed form body");
+  const auto to = net::query_get(*params, "to");
+  const auto app = net::query_get(*params, "app");
+  if (!to || !app) return json_error(400, "to and app required");
+  if (provider_.users().find(*to) == nullptr)
+    return json_error(404, "no such user");
+  // Validate the module path exists (any version).
+  const auto slash = app->find('/');
+  if (slash == std::string::npos ||
+      provider_.modules().resolve(app->substr(0, slash),
+                                  app->substr(slash + 1)) == nullptr) {
+    return json_error(404, "no such application");
+  }
+  // The invitation is the invitee's data: labeled for them, written by
+  // the trusted front-end.
+  const UserAccount* invitee = provider_.users().find(*to);
+  store::Record record;
+  record.collection = "invitations";
+  record.id = *to + ":" + *app;
+  record.owner = *to;
+  record.labels =
+      difc::ObjectLabels{difc::Label{invitee->secrecy_tag},
+                         difc::Label{invitee->write_tag}};
+  record.data["app"] = *app;
+  record.data["from"] = from;
+  record.data["accepted"] = false;
+  const os::Pid pid = provider_.kernel().spawn_trusted(
+      "frontend:invite",
+      difc::LabelState({invitee->secrecy_tag}, {invitee->write_tag}, {}));
+  auto status = provider_.store().put(pid, std::move(record));
+  (void)provider_.kernel().exit(pid);
+  provider_.kernel().reap(pid);
+  if (!status.ok()) return json_error(403, status.error().code);
+  provider_.audit().record(AuditKind::kAdmin, from, "invite",
+                           *to + " -> " + *app);
+  return net::HttpResponse::json(201, R"({"ok":true})");
+}
+
+net::HttpResponse Gateway::route_invitations(
+    const net::HttpRequest& request) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  auto records = provider_.store().query(
+      os::kKernelPid, "invitations",
+      store::QueryOptions{.owner = viewer});
+  util::Json items = util::Json::array();
+  if (records.ok()) {
+    for (const auto& record : records.value()) {
+      util::Json entry;
+      entry["app"] = record.data.at("app");
+      entry["from"] = record.data.at("from");
+      entry["accepted"] = record.data.at("accepted");
+      items.push_back(std::move(entry));
+    }
+  }
+  util::Json body;
+  body["invitations"] = std::move(items);
+  return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_accept(const net::HttpRequest& request) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  auto params = net::parse_query(request.body);
+  if (!params) return json_error(400, "malformed form body");
+  const auto app = net::query_get(*params, "app");
+  if (!app) return json_error(400, "app required");
+  auto record = provider_.store().get(os::kKernelPid, "invitations",
+                                      viewer + ":" + *app);
+  if (!record.ok()) return json_error(404, "no such invitation");
+
+  // "Checking the box": one policy update, no data moves.
+  UserPolicy policy = provider_.policies().get(viewer);
+  if (!policy.grants_write(*app)) policy.write_grants.push_back(*app);
+  provider_.policies().set(viewer, std::move(policy));
+
+  record.value().data["accepted"] = true;
+  const UserAccount* account = provider_.users().find(viewer);
+  const os::Pid pid = provider_.kernel().spawn_trusted(
+      "frontend:accept",
+      difc::LabelState({account->secrecy_tag}, {account->write_tag}, {}));
+  (void)provider_.store().put(pid, record.value());
+  (void)provider_.kernel().exit(pid);
+  provider_.kernel().reap(pid);
+  provider_.audit().record(AuditKind::kAdmin, viewer, "accept", *app);
+  return net::HttpResponse::json(200, R"({"ok":true})");
+}
+
+net::HttpResponse Gateway::route_endorse(const net::HttpRequest& request) {
+  // §3.2 editors: any logged-in user may vet software; their weight in
+  // search accrues only as users actually adopt what they endorse.
+  const std::string editor = viewer_of(request);
+  if (editor.empty()) return json_error(401, "login required");
+  auto params = net::parse_query(request.body);
+  if (!params) return json_error(400, "malformed form body");
+  const auto app = net::query_get(*params, "app");
+  if (!app) return json_error(400, "app required");
+  if (provider_.modules().resolve_id(*app) == nullptr)
+    return json_error(404, "no such module");
+  double confidence = 1.0;
+  if (const auto raw = net::query_get(*params, "confidence")) {
+    char* end = nullptr;
+    confidence = std::strtod(raw->c_str(), &end);
+    if (end != raw->c_str() + raw->size() || confidence <= 0 ||
+        confidence > 1) {
+      return json_error(400, "confidence must be in (0,1]");
+    }
+  }
+  provider_.search_service().editors().endorse(editor, *app, confidence);
+  provider_.audit().record(AuditKind::kAdmin, editor, "endorse", *app);
+  return net::HttpResponse::json(200, R"({"ok":true})");
+}
+
+// ---- Data portability (§1: today "a new photo sharing application would
+// require a user to retrieve her collection from an existing provider and
+// upload it to the new one" — and providers make even that hard). On W5
+// the user's data is theirs: one request exports all of it (to its owner,
+// through the ordinary perimeter rules), and one request deletes the
+// account and every record it owns.
+
+net::HttpResponse Gateway::route_export(const net::HttpRequest& request) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+
+  // Gather everything the viewer owns, across all collections; each
+  // record still passes the export check (owner → owner always passes
+  // the boilerplate policy; an idiosyncratic declassifier could refuse).
+  util::Json records = util::Json::array();
+  difc::Label combined;
+  // Collections are not enumerable via the app API by design; the
+  // trusted front-end may scan (it is inside the TCB).
+  for (const auto& record :
+       provider_.store().export_owned_by(viewer)) {
+    util::Json entry;
+    entry["collection"] = record.collection;
+    entry["id"] = record.id;
+    entry["data"] = record.data;
+    entry["version"] = record.version;
+    records.push_back(std::move(entry));
+    combined = combined.union_with(record.labels.secrecy);
+  }
+  util::Json body;
+  body["user"] = viewer;
+  body["records"] = std::move(records);
+  auto response = net::HttpResponse::json(200, body.dump());
+  return export_response(std::move(response), combined, viewer,
+                         "platform/export");
+}
+
+net::HttpResponse Gateway::route_delete_account(
+    const net::HttpRequest& request) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  const UserAccount* account = provider_.users().find(viewer);
+  if (account == nullptr) return json_error(404, "no such account");
+
+  // Delete every record the user owns (trusted path endorsed as them).
+  std::size_t removed = 0;
+  for (const auto& record : provider_.store().export_owned_by(viewer)) {
+    const os::Pid pid = provider_.kernel().spawn_trusted(
+        "frontend:delete-account:" + viewer,
+        difc::LabelState({account->secrecy_tag}, {account->write_tag},
+                         difc::CapabilitySet{
+                             difc::plus(account->read_tag)}));
+    if (provider_.store().remove(pid, record.collection, record.id).ok())
+      ++removed;
+    (void)provider_.kernel().exit(pid);
+    provider_.kernel().reap(pid);
+  }
+  provider_.sessions().revoke_all(viewer);
+  provider_.users().remove(viewer);
+  provider_.audit().record(AuditKind::kAdmin, viewer, "account-deleted",
+                           std::to_string(removed) + " records removed");
+  util::Json body;
+  body["deleted_records"] = removed;
+  return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_dev_stats(const net::HttpRequest& request) {
+  // §3.5 Debugging: "developers need to get some information when their
+  // applications malfunction" — without core dumps that would expose
+  // users' data. The audit log records failures as scrubbed events
+  // (exception type / error code only); this endpoint aggregates them
+  // per module for the developer.
+  const std::string module_id =
+      net::query_get(request.parsed.query, "app").value_or("");
+  if (module_id.empty()) return json_error(400, "app parameter required");
+  std::size_t errors = 0;
+  std::size_t quota_kills = 0;
+  std::size_t exports_blocked = 0;
+  std::string last_error;
+  for (const auto& event : provider_.audit().events()) {
+    if (event.actor != module_id) continue;
+    switch (event.kind) {
+      case AuditKind::kAppError:
+        ++errors;
+        last_error = event.detail;  // exception type name only
+        break;
+      case AuditKind::kQuotaKill:
+        ++quota_kills;
+        break;
+      case AuditKind::kExportBlocked:
+        ++exports_blocked;
+        break;
+      default:
+        break;
+    }
+  }
+  util::Json body;
+  body["app"] = module_id;
+  body["errors"] = errors;
+  body["quota_kills"] = quota_kills;
+  body["exports_blocked"] = exports_blocked;
+  body["last_error_type"] = last_error;
+  return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_put_data(const net::HttpRequest& request,
+                                          const net::RouteParams& params) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  const UserAccount* account = provider_.users().find(viewer);
+  auto data = util::Json::parse(request.body);
+  if (!data.ok()) return json_error(400, "body must be JSON");
+
+  const std::string& collection = params.at("collection");
+  store::Record record;
+  record.collection = collection;
+  record.id = params.at("id");
+  record.owner = viewer;
+  record.data = std::move(data).value();
+  difc::Label secrecy{account->secrecy_tag};
+  if (provider_.policies().get(viewer).is_private_collection(collection))
+    secrecy = secrecy.with(account->read_tag);
+  record.labels =
+      difc::ObjectLabels{secrecy, difc::Label{account->write_tag}};
+
+  // Uploading your own data is provider-written trusted code (§2), but
+  // overwriting an existing record still honors its labels: spawn a
+  // process endorsed as the user rather than using raw kernel authority.
+  const os::Pid pid = provider_.kernel().spawn_trusted(
+      "frontend:put-data:" + viewer,
+      difc::LabelState({account->secrecy_tag}, {account->write_tag}, {}));
+  auto status = provider_.store().put(pid, std::move(record));
+  (void)provider_.kernel().exit(pid);
+  provider_.kernel().reap(pid);
+  if (!status.ok()) {
+    provider_.audit().record(AuditKind::kFlowDenied, viewer,
+                             collection + "/" + params.at("id"),
+                             status.error().code);
+    return json_error(403, status.error().code);
+  }
+  return net::HttpResponse::json(201, R"({"ok":true})");
+}
+
+net::HttpResponse Gateway::route_get_data(const net::HttpRequest& request,
+                                          const net::RouteParams& params) {
+  const std::string viewer = viewer_of(request);
+  // Trusted read, then the data must still pass the perimeter to reach
+  // the viewer's browser — same rule as any app response.
+  auto record = provider_.store().get(os::kKernelPid, params.at("collection"),
+                                      params.at("id"));
+  if (!record.ok()) return json_error(404, record.error().code);
+  auto response =
+      net::HttpResponse::json(200, record.value().data.dump());
+  return export_response(std::move(response),
+                         record.value().labels.secrecy, viewer,
+                         "platform/data-read");
+}
+
+net::HttpResponse Gateway::route_delete_data(const net::HttpRequest& request,
+                                             const net::RouteParams& params) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  const UserAccount* account = provider_.users().find(viewer);
+  const os::Pid pid = provider_.kernel().spawn_trusted(
+      "frontend:delete-data:" + viewer,
+      difc::LabelState({account->secrecy_tag}, {account->write_tag},
+                       difc::CapabilitySet{difc::plus(account->read_tag)}));
+  auto status = provider_.store().remove(pid, params.at("collection"),
+                                         params.at("id"));
+  (void)provider_.kernel().exit(pid);
+  provider_.kernel().reap(pid);
+  if (!status.ok()) return json_error(403, status.error().code);
+  return net::HttpResponse::json(200, R"({"ok":true})");
+}
+
+// ---- Application invocation --------------------------------------------------
+
+bool Gateway::module_components_trusted(const Module& module,
+                                        const UserPolicy& policy) const {
+  if (policy.trusted_fingerprints.empty()) return true;  // feature off
+  const auto trusted = [&](const std::string& fingerprint) {
+    return std::find(policy.trusted_fingerprints.begin(),
+                     policy.trusted_fingerprints.end(),
+                     fingerprint) != policy.trusted_fingerprints.end();
+  };
+  if (!trusted(module.fingerprint)) return false;
+  for (const auto& import_id : module.manifest.imports) {
+    const Module* component = provider_.modules().resolve_id(import_id);
+    // A missing or unaudited component fails closed.
+    if (component == nullptr || !trusted(component->fingerprint))
+      return false;
+  }
+  return true;
+}
+
+net::HttpResponse Gateway::route_app(const net::HttpRequest& request,
+                                     const net::RouteParams& params) {
+  const std::string viewer = viewer_of(request);
+  const std::string& developer = params.at("developer");
+  const std::string& app = params.at("app");
+
+  // Version selection: explicit ?version= beats the user's pin beats
+  // latest (§2: users choose particular versions).
+  std::string version =
+      net::query_get(request.parsed.query, "version").value_or("");
+  if (version.empty() && !viewer.empty()) {
+    const auto& pins = provider_.policies().get(viewer).version_pins;
+    const auto pin = pins.find(developer + "/" + app);
+    if (pin != pins.end()) version = pin->second;
+  }
+  const Module* module = provider_.modules().resolve(developer, app, version);
+  if (module == nullptr) return json_error(404, "no such application");
+
+  // Resource containers: per-app parent, per-request child (§3.5).
+  os::ResourceContainer* app_container = provider_.modules().container_for(
+      module->path(), provider_.config().app_limits);
+  os::ResourceContainer request_container(
+      "request:" + module->path(), provider_.config().request_limits,
+      app_container);
+
+  // Initial label state (DESIGN.md §3.3): clean secrecy and integrity.
+  // A write grant arrives as the wp(viewer)+ *capability*, exercised at
+  // each write (endorsed endpoint), never as a standing integrity label —
+  // a process labeled I={wp(u)} could no longer read anyone else's
+  // unendorsed data (Flume's read rule), which would break every
+  // multi-user app the moment its user granted it write access.
+  // rp(viewer)+ similarly when the viewer granted read-protected access.
+  difc::CapabilitySet owned;
+  if (!viewer.empty()) {
+    const UserAccount* account = provider_.users().find(viewer);
+    const UserPolicy& policy = provider_.policies().get(viewer);
+    // §3.1 integrity protection: with a trusted-fingerprint list set,
+    // a module only *acts on the user's behalf* (receives grants) when
+    // it and every imported component are on the list. The module still
+    // runs — just without the user's privileges.
+    const bool meritorious = module_components_trusted(*module, policy);
+    if (!meritorious) {
+      provider_.audit().record(AuditKind::kAdmin, module->id(),
+                               "integrity-protection",
+                               "grants withheld: unaudited component");
+    }
+    if (account != nullptr && meritorious &&
+        policy.grants_write(module->path()))
+      owned.add(difc::plus(account->write_tag));
+    if (account != nullptr && meritorious &&
+        policy.grants_read(module->path()))
+      owned.add(difc::plus(account->read_tag));
+  }
+  const os::Pid pid = provider_.kernel().spawn_trusted(
+      "app:" + module->id(), difc::LabelState({}, {}, owned),
+      &request_container);
+
+  AppContext context(provider_, pid, *module, viewer, request, params);
+  net::HttpResponse response;
+  try {
+    response = module->handler(context);
+  } catch (const std::exception& e) {
+    // §3.5 Debugging: developers get a signal that their app failed, but
+    // the diagnostic channel carries no user data — exception *type* only.
+    provider_.audit().record(AuditKind::kAppError, module->id(),
+                             request.parsed.path, typeid(e).name());
+    (void)provider_.kernel().kill(pid, "app exception");
+    provider_.kernel().reap(pid);
+    return json_error(500, "application error");
+  }
+
+  const os::Process* process = provider_.kernel().find(pid);
+  if (process == nullptr || process->status == os::ProcessStatus::kKilled) {
+    // Killed mid-request (quota): the partial response must not escape.
+    provider_.audit().record(AuditKind::kQuotaKill, module->id(),
+                             request.parsed.path,
+                             process != nullptr ? process->exit_reason : "");
+    return json_error(503, "application over quota");
+  }
+  const difc::Label label = process->labels.secrecy();
+  (void)provider_.kernel().exit(pid);
+  provider_.kernel().reap(pid);
+
+  // Popularity mining for code search (§3.2): every completed invocation
+  // counts as a use.
+  provider_.search_service().record_use(module->id());
+
+  return export_response(std::move(response), label, viewer, module->id());
+}
+
+util::Result<difc::CapabilitySet> Gateway::authorize_export(
+    const difc::Label& label, const std::string& viewer,
+    const std::string& module_id, const std::string& destination,
+    std::size_t byte_count) {
+  // Distinct owners on the label (for aggregate declassifiers).
+  std::set<std::string> owners;
+  for (const difc::Tag tag : label.tags()) {
+    if (const UserAccount* account = provider_.users().owner_of_tag(tag))
+      owners.insert(account->id);
+  }
+
+  difc::CapabilitySet authority;
+  for (const difc::Tag tag : label.tags()) {
+    const UserAccount* owner = provider_.users().owner_of_tag(tag);
+    if (owner == nullptr) {
+      return util::make_error(
+          "perimeter.denied",
+          "no owner for tag " + provider_.kernel().tags().describe(tag));
+    }
+    // Read-protect tags are never exported through user-picked policy:
+    // owner-only, always.
+    const difc::TagInfo* info = provider_.kernel().tags().find(tag);
+    const bool read_protect =
+        info != nullptr && info->purpose == difc::TagPurpose::kReadProtect;
+
+    const std::string declassifier_id =
+        read_protect ? std::string("std/owner-only")
+                     : provider_.policies().get(owner->id)
+                           .secrecy_declassifier;
+    Declassifier* declassifier =
+        provider_.declassifiers().find(declassifier_id);
+    if (declassifier == nullptr) {
+      return util::make_error("perimeter.denied",
+                              "declassifier '" + declassifier_id +
+                                  "' not installed");
+    }
+    ExportRequest export_request{viewer,       owner->id,
+                                 tag,          module_id,
+                                 destination,  byte_count,
+                                 owners.size()};
+    auto verdict = declassifier->decide(export_request);
+    provider_.audit().record(
+        AuditKind::kDeclassifierDecision, declassifier_id,
+        provider_.kernel().tags().describe(tag),
+        verdict.ok() ? "allow viewer=" + viewer
+                     : verdict.error().code + " viewer=" + viewer);
+    if (!verdict.ok()) return verdict.error();
+    authority.add(difc::minus(tag));
+  }
+  return authority;
+}
+
+net::HttpResponse Gateway::export_response(net::HttpResponse response,
+                                           const difc::Label& label,
+                                           const std::string& viewer,
+                                           const std::string& module_id) {
+  auto authority = authorize_export(label, viewer, module_id, "browser",
+                                    response.body.size());
+  if (!authority.ok()) {
+    provider_.audit().record(AuditKind::kExportBlocked, module_id,
+                             label.to_string(), authority.error().detail);
+    return perimeter_denial();
+  }
+  // The real DIFC check, with exactly the authority the declassifiers
+  // granted — belt and suspenders over the per-tag loop above.
+  if (auto allowed = difc::check_export(label, authority.value());
+      !allowed.ok()) {
+    provider_.audit().record(AuditKind::kExportBlocked, module_id,
+                             label.to_string(), allowed.error().detail);
+    return perimeter_denial();
+  }
+
+  if (provider_.config().strip_javascript) {
+    const auto content_type = response.headers.get("Content-Type");
+    if (content_type &&
+        content_type->find("text/html") != std::string::npos) {
+      bool modified = false;
+      response.body = strip_javascript(response.body, &modified);
+      if (modified) {
+        provider_.audit().record(AuditKind::kAdmin, module_id,
+                                 "sanitizer", "stripped scripts");
+      }
+    }
+  }
+
+  // Label transparency: tell the client which tags were declassified to
+  // produce this response (names only — labels are not secret), and pin
+  // scripts off via CSP when the provider filters JavaScript (the
+  // MashupOS-flavored client-side extension the paper floats in §3.5).
+  if (!label.empty()) {
+    std::string names;
+    for (const difc::Tag tag : label.tags()) {
+      if (!names.empty()) names += ",";
+      names += provider_.kernel().tags().describe(tag);
+    }
+    response.headers.set("X-W5-Label", names);
+  }
+  if (provider_.config().strip_javascript)
+    response.headers.set("Content-Security-Policy", "script-src 'none'");
+
+  provider_.audit().record(AuditKind::kExportAllowed, module_id,
+                           label.to_string(), "viewer=" + viewer);
+  return response;
+}
+
+}  // namespace w5::platform

@@ -1,0 +1,86 @@
+// Gateway: the provider's HTTP front door and the security perimeter.
+//
+// This is the component the paper's §3.1 describes: it authenticates the
+// viewer from cookies, launches a fresh labeled process per application
+// request, and — critically — applies the export check on the way out:
+// every secrecy tag on the response must be approved by the tag-owner's
+// chosen declassifier, or the response is replaced by a generic 403
+// carrying no application-controlled bytes.
+#pragma once
+
+#include <string>
+
+#include "core/app_context.h"
+#include "core/provider.h"
+#include "net/router.h"
+
+namespace w5::platform {
+
+class Gateway {
+ public:
+  explicit Gateway(Provider& provider);
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  // Export check, factored out so the federation layer can reuse it for
+  // peer syncs: may `label` leave the perimeter toward `viewer` at
+  // `destination`? On success returns the assembled declassification
+  // authority (the minus-capabilities the approving declassifiers
+  // exercised).
+  util::Result<difc::CapabilitySet> authorize_export(
+      const difc::Label& label, const std::string& viewer,
+      const std::string& module_id, const std::string& destination,
+      std::size_t byte_count);
+
+ private:
+  // Authenticated user for this request, "" when anonymous.
+  std::string viewer_of(const net::HttpRequest& request);
+
+  // ---- Platform endpoints (provider-written trusted code, §2) -------------
+  net::HttpResponse route_signup(const net::HttpRequest& request);
+  net::HttpResponse route_login(const net::HttpRequest& request);
+  net::HttpResponse route_logout(const net::HttpRequest& request);
+  net::HttpResponse route_whoami(const net::HttpRequest& request);
+  net::HttpResponse route_get_policy(const net::HttpRequest& request);
+  net::HttpResponse route_set_policy(const net::HttpRequest& request);
+  net::HttpResponse route_list_apps(const net::HttpRequest& request);
+  net::HttpResponse route_put_data(const net::HttpRequest& request,
+                                   const net::RouteParams& params);
+  net::HttpResponse route_get_data(const net::HttpRequest& request,
+                                   const net::RouteParams& params);
+  net::HttpResponse route_delete_data(const net::HttpRequest& request,
+                                      const net::RouteParams& params);
+  net::HttpResponse route_stats(const net::HttpRequest& request);
+  net::HttpResponse route_search(const net::HttpRequest& request);
+  net::HttpResponse route_developers(const net::HttpRequest& request);
+  net::HttpResponse route_dev_stats(const net::HttpRequest& request);
+  net::HttpResponse route_audit(const net::HttpRequest& request);
+  net::HttpResponse route_invite(const net::HttpRequest& request);
+  net::HttpResponse route_invitations(const net::HttpRequest& request);
+  net::HttpResponse route_accept(const net::HttpRequest& request);
+  net::HttpResponse route_endorse(const net::HttpRequest& request);
+  net::HttpResponse route_export(const net::HttpRequest& request);
+  net::HttpResponse route_delete_account(const net::HttpRequest& request);
+
+  // ---- Application invocation (developer code, untrusted) ------------------
+  net::HttpResponse route_app(const net::HttpRequest& request,
+                              const net::RouteParams& params);
+
+  // §3.1 integrity protection: module + all imports audited by the user.
+  bool module_components_trusted(const Module& module,
+                                 const UserPolicy& policy) const;
+
+  // Final perimeter step shared by app responses and /data reads.
+  net::HttpResponse export_response(net::HttpResponse response,
+                                    const difc::Label& label,
+                                    const std::string& viewer,
+                                    const std::string& module_id);
+
+  Provider& provider_;
+  net::Router router_;
+};
+
+}  // namespace w5::platform

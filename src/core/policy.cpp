@@ -1,0 +1,121 @@
+#include "core/policy.h"
+
+#include <algorithm>
+
+namespace w5::platform {
+
+bool UserPolicy::grants_write(const std::string& module_path) const {
+  return std::find(write_grants.begin(), write_grants.end(), module_path) !=
+         write_grants.end();
+}
+
+bool UserPolicy::grants_read(const std::string& module_path) const {
+  return std::find(read_grants.begin(), read_grants.end(), module_path) !=
+         read_grants.end();
+}
+
+bool UserPolicy::is_private_collection(const std::string& collection) const {
+  return std::find(private_collections.begin(), private_collections.end(),
+                   collection) != private_collections.end();
+}
+
+util::Json UserPolicy::to_json() const {
+  util::Json out;
+  out["declassifier"] = secrecy_declassifier;
+  util::Json writes = util::Json::array();
+  for (const auto& grant : write_grants) writes.push_back(grant);
+  out["write_grants"] = std::move(writes);
+  util::Json reads = util::Json::array();
+  for (const auto& grant : read_grants) reads.push_back(grant);
+  out["read_grants"] = std::move(reads);
+  util::Json privates = util::Json::array();
+  for (const auto& collection : private_collections)
+    privates.push_back(collection);
+  out["private_collections"] = std::move(privates);
+  util::Json trusted = util::Json::array();
+  for (const auto& fingerprint : trusted_fingerprints)
+    trusted.push_back(fingerprint);
+  out["trusted_fingerprints"] = std::move(trusted);
+  util::Json pins;
+  pins.mutable_object();
+  for (const auto& [path, version] : version_pins) pins[path] = version;
+  out["version_pins"] = std::move(pins);
+  return out;
+}
+
+util::Result<UserPolicy> UserPolicy::from_json(const util::Json& j) {
+  if (!j.is_object())
+    return util::make_error("policy.parse", "policy must be an object");
+  UserPolicy policy;
+  if (j.contains("declassifier")) {
+    if (!j.at("declassifier").is_string())
+      return util::make_error("policy.parse", "declassifier must be string");
+    policy.secrecy_declassifier = j.at("declassifier").as_string();
+  }
+  const auto read_list = [&](const char* key,
+                             std::vector<std::string>& out) -> util::Status {
+    if (!j.contains(key)) return util::ok_status();
+    if (!j.at(key).is_array())
+      return util::make_error("policy.parse", std::string(key) + " not array");
+    for (const auto& item : j.at(key).as_array()) {
+      if (!item.is_string())
+        return util::make_error("policy.parse", "non-string entry");
+      out.push_back(item.as_string());
+    }
+    return util::ok_status();
+  };
+  if (auto status = read_list("write_grants", policy.write_grants);
+      !status.ok())
+    return status.error();
+  if (auto status = read_list("read_grants", policy.read_grants); !status.ok())
+    return status.error();
+  if (auto status =
+          read_list("private_collections", policy.private_collections);
+      !status.ok())
+    return status.error();
+  if (auto status =
+          read_list("trusted_fingerprints", policy.trusted_fingerprints);
+      !status.ok())
+    return status.error();
+  if (j.contains("version_pins")) {
+    if (!j.at("version_pins").is_object())
+      return util::make_error("policy.parse", "version_pins not object");
+    for (const auto& [path, version] : j.at("version_pins").as_object()) {
+      if (!version.is_string())
+        return util::make_error("policy.parse", "pin version not string");
+      policy.version_pins[path] = version.as_string();
+    }
+  }
+  return policy;
+}
+
+const UserPolicy& PolicyStore::get(const std::string& user_id) const {
+  const auto it = policies_.find(user_id);
+  return it == policies_.end() ? default_policy_ : it->second;
+}
+
+void PolicyStore::set(const std::string& user_id, UserPolicy policy) {
+  policies_[user_id] = std::move(policy);
+}
+
+util::Json PolicyStore::to_json() const {
+  util::Json out;
+  out.mutable_object();
+  for (const auto& [user, policy] : policies_) out[user] = policy.to_json();
+  return out;
+}
+
+util::Status PolicyStore::load_json(const util::Json& snapshot) {
+  if (!snapshot.is_object())
+    return util::make_error("policy.parse", "snapshot must be object");
+  std::map<std::string, UserPolicy> policies;
+  for (const auto& [user, policy_json] : snapshot.as_object()) {
+    auto policy = UserPolicy::from_json(policy_json);
+    if (!policy.ok()) return policy.error();
+    policies[user] = std::move(policy).value();
+  }
+  policies_ = std::move(policies);
+  return util::ok_status();
+}
+
+}  // namespace w5::platform

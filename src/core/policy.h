@@ -1,0 +1,69 @@
+// User policies: the control surface the paper promises users (§1 "users
+// would be able to express idiosyncratic policies and ... attach these
+// policies to their data so that the policies applied across
+// applications").
+//
+// A policy names *which declassifier* guards the user's secrecy tag and
+// *which modules* the user has delegated write / read-protected-read
+// privilege to. Policies are plain data configured "via front-ends like
+// Web forms" (§2) — the gateway exposes GET/POST /policy as JSON.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace w5::platform {
+
+struct UserPolicy {
+  // Declassifier id (in the DeclassifierRegistry) guarding sec(u).
+  // The provider default is the paper's boilerplate policy.
+  std::string secrecy_declassifier = "std/owner-only";
+
+  // Module *paths* ("devA/crop") the user lets write their data: requests
+  // those modules serve for this user run endorsed with wp(u).
+  std::vector<std::string> write_grants;
+
+  // Module paths allowed to read rp(u)-protected data.
+  std::vector<std::string> read_grants;
+
+  // Collections whose records additionally carry rp(u) on create.
+  std::vector<std::string> private_collections;
+
+  // Pinned module versions: path -> version ("I want version X.Y", §2).
+  std::map<std::string, std::string> version_pins;
+
+  // Integrity protection (§3.1): when non-empty, a module acts on this
+  // user's behalf (receives write/read grants) only if its own
+  // fingerprint AND every imported component's fingerprint appear here —
+  // "only if all of its components (such as its libraries and
+  // configuration files) are meritorious". Fingerprints come from code
+  // audits (GET /apps lists them).
+  std::vector<std::string> trusted_fingerprints;
+
+  bool grants_write(const std::string& module_path) const;
+  bool grants_read(const std::string& module_path) const;
+  bool is_private_collection(const std::string& collection) const;
+
+  util::Json to_json() const;
+  static util::Result<UserPolicy> from_json(const util::Json& j);
+};
+
+class PolicyStore {
+ public:
+  // Returns the stored policy or the default.
+  const UserPolicy& get(const std::string& user_id) const;
+  void set(const std::string& user_id, UserPolicy policy);
+
+  util::Json to_json() const;
+  util::Status load_json(const util::Json& snapshot);
+
+ private:
+  UserPolicy default_policy_;
+  std::map<std::string, UserPolicy> policies_;
+};
+
+}  // namespace w5::platform

@@ -1,0 +1,187 @@
+#include "core/provider.h"
+
+#include "core/gateway.h"
+#include "difc/codec.h"
+#include "net/cookies.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace w5::platform {
+
+Provider::Provider(ProviderConfig config, const util::Clock& clock)
+    : config_(std::move(config)),
+      clock_(clock),
+      fs_(kernel_),
+      store_(kernel_, clock),
+      users_(kernel_),
+      sessions_(clock, config_.session_ttl_micros),
+      audit_(clock) {
+  // The standard declassifier library every provider ships (§3.1: "casual
+  // W5 users will authorize only a small handful of reputable
+  // declassifiers").
+  declassifiers_.add("std/owner-only", make_owner_only());
+  declassifiers_.add("std/public", make_public());
+  declassifiers_.add(
+      "std/friends",
+      make_friend_list([this](const std::string& owner,
+                              const std::string& viewer) {
+        // Friend lists are themselves user data in the store; the
+        // declassifier reads with provider authority — it is inside the
+        // TCB and holds the owner's privilege by construction.
+        auto record =
+            store_.get(os::kKernelPid, "friends", owner, store::Raise::kNo);
+        if (!record.ok()) return false;
+        const util::Json& friends = record.value().data.at("friends");
+        for (const auto& entry : friends.as_array())
+          if (entry.is_string() && entry.as_string() == viewer) return true;
+        return false;
+      }));
+  declassifiers_.add("std/k-aggregate-3", make_k_aggregate(3));
+  declassifiers_.add(
+      "std/friends-rate-limited",
+      make_rate_limited(
+          make_friend_list([this](const std::string& owner,
+                                  const std::string& viewer) {
+            auto record = store_.get(os::kKernelPid, "friends", owner,
+                                     store::Raise::kNo);
+            if (!record.ok()) return false;
+            const util::Json& friends = record.value().data.at("friends");
+            for (const auto& entry : friends.as_array())
+              if (entry.is_string() && entry.as_string() == viewer)
+                return true;
+            return false;
+          }),
+          clock_, /*max_exports=*/100,
+          /*window_micros=*/60ll * 1000 * 1000));
+
+  // Default simulated internet: echoes a canned payload. Examples and
+  // tests replace this to observe traffic.
+  external_fetcher_ = [](const std::string& url) -> util::Result<std::string> {
+    return std::string("external-response:") + url;
+  };
+
+  gateway_ = std::make_unique<Gateway>(*this);
+
+  // Filesystem skeleton.
+  (void)fs_.mkdir(os::kKernelPid, "/users", {});
+  (void)fs_.mkdir(os::kKernelPid, "/apps", {});
+}
+
+Provider::~Provider() = default;
+
+void Provider::set_external_fetcher(ExternalFetcher fetcher) {
+  external_fetcher_ = std::move(fetcher);
+}
+
+util::Status Provider::signup(const std::string& user,
+                              const std::string& password,
+                              const std::string& display_name) {
+  auto created = users_.create(user, display_name, password);
+  if (!created.ok()) return created.error();
+  // Per-user home directory, write-protected for the user.
+  const UserAccount* account = created.value();
+  (void)fs_.mkdir(os::kKernelPid, "/users/" + user,
+                  difc::ObjectLabels{{}, difc::Label{account->write_tag}});
+  return util::ok_status();
+}
+
+util::Result<std::string> Provider::login(const std::string& user,
+                                          const std::string& password) {
+  if (!users_.verify_password(user, password))
+    return util::make_error("auth.bad_credentials", "wrong user or password");
+  return sessions_.create(user);
+}
+
+util::Json Provider::snapshot() const {
+  util::Json out;
+  out["format"] = 1;
+  out["tags"] = kernel_.tags().to_json();
+  out["global_caps"] = difc::capability_set_to_json(kernel_.global_caps());
+  out["users"] = users_.to_json();
+  out["policies"] = policies_.to_json();
+  out["fs"] = fs_.to_json();
+  out["store"] = store_.to_json();
+  return out;
+}
+
+util::Status Provider::restore(const util::Json& snapshot) {
+  if (snapshot.at("format").as_int() != 1)
+    return util::make_error("provider.parse", "unknown snapshot format");
+  auto tags = difc::TagRegistry::from_json(snapshot.at("tags"));
+  if (!tags.ok()) return tags.error();
+  auto caps = difc::capability_set_from_json(snapshot.at("global_caps"));
+  if (!caps.ok()) return caps.error();
+  // Validate everything into temporaries before mutating live state.
+  kernel_.tags() = std::move(tags).value();
+  for (const auto& cap : caps.value().capabilities())
+    kernel_.add_global_capability(cap);
+  if (auto status = users_.load_json(snapshot.at("users")); !status.ok())
+    return status;
+  if (auto status = policies_.load_json(snapshot.at("policies")); !status.ok())
+    return status;
+  if (auto status = fs_.load_json(snapshot.at("fs")); !status.ok())
+    return status;
+  if (auto status = store_.load_json(snapshot.at("store")); !status.ok())
+    return status;
+  sessions_.revoke_all_everything();
+  return util::ok_status();
+}
+
+util::Status Provider::save_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return util::make_error("io.open", "cannot write '" + path + "'");
+  out << snapshot().dump();
+  out.flush();
+  if (!out) return util::make_error("io.write", "short write to '" + path + "'");
+  return util::ok_status();
+}
+
+util::Status Provider::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::make_error("io.open", "cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = util::Json::parse(buffer.str());
+  if (!parsed.ok()) return parsed.error();
+  return restore(parsed.value());
+}
+
+void Provider::add_group_declassifier(const std::string& group) {
+  declassifiers_.add(
+      "std/group/" + group,
+      make_group(group, [this](const std::string& group_name,
+                               const std::string& viewer) {
+        auto record = store_.get(os::kKernelPid, "groups", group_name,
+                                 store::Raise::kNo);
+        if (!record.ok()) return false;
+        for (const auto& entry : record.value().data.at("members").as_array())
+          if (entry.is_string() && entry.as_string() == viewer) return true;
+        return false;
+      }));
+}
+
+net::HttpResponse Provider::handle(const net::HttpRequest& request) {
+  return gateway_->handle(request);
+}
+
+net::HttpResponse Provider::http(net::Method method, const std::string& target,
+                                 const std::string& body,
+                                 const std::string& session) {
+  net::HttpRequest request;
+  request.method = method;
+  request.target = target;
+  auto parsed = net::parse_request_target(target);
+  if (!parsed) {
+    return net::HttpResponse::text(400, "bad target");
+  }
+  request.parsed = std::move(*parsed);
+  request.body = body;
+  if (!session.empty()) {
+    request.headers.set("Cookie",
+                        std::string(kSessionCookie) + "=" + session);
+  }
+  return handle(request);
+}
+
+}  // namespace w5::platform

@@ -1,0 +1,130 @@
+// Provider: one W5 meta-application (paper Fig. 2).
+//
+// Owns the whole trusted stack — kernel, labeled filesystem and store,
+// user directory, sessions, policies, declassifiers, module registry,
+// audit log — and the Gateway that fronts it over HTTP. Everything a test,
+// bench, example, or federation peer does goes through this type.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/audit.h"
+#include "core/auth.h"
+#include "core/declassifier.h"
+#include "core/module_registry.h"
+#include "core/policy.h"
+#include "core/search_service.h"
+#include "core/user.h"
+#include "net/http.h"
+#include "net/http_parser.h"
+#include "os/filesystem.h"
+#include "os/kernel.h"
+#include "store/labeled_store.h"
+#include "util/clock.h"
+
+namespace w5::platform {
+
+class Gateway;
+using ExternalFetcher =
+    std::function<util::Result<std::string>(const std::string& url)>;
+
+struct ProviderConfig {
+  std::string name = "w5.org";
+  util::Micros session_ttl_micros = 30ll * 60 * 1000 * 1000;  // 30 min
+  // Per-application resource limits (paper §3.5). Defaults generous but
+  // finite so a rogue app is always eventually contained.
+  os::ResourceVector app_limits{
+      .cpu_ticks = 1'000'000,
+      .memory_bytes = 64ll << 20,
+      .disk_bytes = 256ll << 20,
+      .network_bytes = 64ll << 20,
+  };
+  // Per-request child limits.
+  os::ResourceVector request_limits{
+      .cpu_ticks = 10'000,
+      .memory_bytes = 8ll << 20,
+      .disk_bytes = 16ll << 20,
+      .network_bytes = 4ll << 20,
+  };
+  bool strip_javascript = true;  // §3.5 client-side support
+  net::ParserLimits http_limits;
+};
+
+class Provider {
+ public:
+  explicit Provider(ProviderConfig config, const util::Clock& clock);
+  ~Provider();
+
+  Provider(const Provider&) = delete;
+  Provider& operator=(const Provider&) = delete;
+
+  const ProviderConfig& config() const noexcept { return config_; }
+  const util::Clock& clock() const noexcept { return clock_; }
+
+  os::Kernel& kernel() noexcept { return kernel_; }
+  os::FileSystem& fs() noexcept { return fs_; }
+  store::LabeledStore& store() noexcept { return store_; }
+  UserDirectory& users() noexcept { return users_; }
+  SessionManager& sessions() noexcept { return sessions_; }
+  PolicyStore& policies() noexcept { return policies_; }
+  DeclassifierRegistry& declassifiers() noexcept { return declassifiers_; }
+  ModuleRegistry& modules() noexcept { return modules_; }
+  AuditLog& audit() noexcept { return audit_; }
+  SearchService& search_service() noexcept { return search_; }
+  Gateway& gateway() noexcept { return *gateway_; }
+
+  // The simulated outside world; tests replace it to observe exfiltration
+  // attempts.
+  void set_external_fetcher(ExternalFetcher fetcher);
+  const ExternalFetcher& external_fetcher() const noexcept {
+    return external_fetcher_;
+  }
+
+  // ---- Conveniences used by tests, benches, and examples --------------------
+  util::Status signup(const std::string& user, const std::string& password,
+                      const std::string& display_name = {});
+  util::Result<std::string> login(const std::string& user,
+                                  const std::string& password);
+
+  // Full HTTP round trip through the gateway.
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  // Builds + dispatches a request in one call; `session` becomes the
+  // session cookie when non-empty.
+  net::HttpResponse http(net::Method method, const std::string& target,
+                         const std::string& body = {},
+                         const std::string& session = {});
+
+  // ---- Persistence ------------------------------------------------------------
+  // Full provider state: tag registry, accounts, policies, filesystem,
+  // and record store. Sessions and the audit log are deliberately
+  // ephemeral. Labels round-trip exactly (policies travel with data, §1).
+  util::Json snapshot() const;
+  util::Status restore(const util::Json& snapshot);
+  util::Status save_to_file(const std::string& path) const;
+  util::Status load_from_file(const std::string& path);
+
+  // Registers a group declassifier "std/group/<name>"; membership is the
+  // user-editable store record groups/<name> {"members": [...]} — the
+  // same pattern as the friend-list declassifier (§3.1 pluggability).
+  void add_group_declassifier(const std::string& group);
+
+ private:
+  ProviderConfig config_;
+  const util::Clock& clock_;
+  os::Kernel kernel_;
+  os::FileSystem fs_;
+  store::LabeledStore store_;
+  UserDirectory users_;
+  SessionManager sessions_;
+  PolicyStore policies_;
+  DeclassifierRegistry declassifiers_;
+  ModuleRegistry modules_;
+  AuditLog audit_;
+  SearchService search_;
+  ExternalFetcher external_fetcher_;
+  std::unique_ptr<Gateway> gateway_;
+};
+
+}  // namespace w5::platform

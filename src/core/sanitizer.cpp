@@ -1,0 +1,123 @@
+#include "core/sanitizer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace w5::platform {
+
+namespace {
+
+bool iequal_at(std::string_view haystack, std::size_t pos,
+               std::string_view needle) {
+  if (pos + needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i < needle.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(haystack[pos + i])) !=
+        std::tolower(static_cast<unsigned char>(needle[i])))
+      return false;
+  }
+  return true;
+}
+
+std::size_t ifind(std::string_view haystack, std::string_view needle,
+                  std::size_t from) {
+  if (needle.empty() || haystack.size() < needle.size())
+    return std::string_view::npos;
+  for (std::size_t i = from; i + needle.size() <= haystack.size(); ++i)
+    if (iequal_at(haystack, i, needle)) return i;
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::string strip_javascript(std::string_view html, bool* modified) {
+  bool changed = false;
+  std::string out;
+  out.reserve(html.size());
+
+  // Pass 1: drop <script ...>...</script> blocks (and a dangling open tag).
+  std::size_t pos = 0;
+  while (pos < html.size()) {
+    const std::size_t open = ifind(html, "<script", pos);
+    if (open == std::string_view::npos) {
+      out.append(html.substr(pos));
+      break;
+    }
+    out.append(html.substr(pos, open - pos));
+    changed = true;
+    const std::size_t close = ifind(html, "</script>", open);
+    if (close == std::string_view::npos) {
+      pos = html.size();  // unterminated script: drop the rest
+    } else {
+      pos = close + 9;  // strlen("</script>")
+    }
+  }
+
+  // Pass 2: neutralize javascript: URLs and inline on*= handlers inside
+  // tags. Operates on the pass-1 output.
+  std::string result;
+  result.reserve(out.size());
+  std::string_view s(out);
+  pos = 0;
+  while (pos < s.size()) {
+    const char c = s[pos];
+    if (c != '<') {
+      result.push_back(c);
+      ++pos;
+      continue;
+    }
+    const std::size_t end = s.find('>', pos);
+    if (end == std::string_view::npos) {
+      result.append(s.substr(pos));
+      break;
+    }
+    std::string tag(s.substr(pos, end - pos + 1));
+    // Remove on*="..."/on*='...' attributes.
+    std::string cleaned;
+    cleaned.reserve(tag.size());
+    for (std::size_t i = 0; i < tag.size();) {
+      const bool at_attr_start =
+          i > 0 && (tag[i - 1] == ' ' || tag[i - 1] == '\t');
+      if (at_attr_start && i + 2 < tag.size() &&
+          std::tolower(static_cast<unsigned char>(tag[i])) == 'o' &&
+          std::tolower(static_cast<unsigned char>(tag[i + 1])) == 'n') {
+        // Scan to the end of the attribute (name[=value]).
+        std::size_t j = i;
+        while (j < tag.size() && tag[j] != '=' && tag[j] != ' ' &&
+               tag[j] != '>')
+          ++j;
+        if (j < tag.size() && tag[j] == '=') {
+          ++j;
+          if (j < tag.size() && (tag[j] == '"' || tag[j] == '\'')) {
+            const char quote = tag[j];
+            ++j;
+            while (j < tag.size() && tag[j] != quote) ++j;
+            if (j < tag.size()) ++j;  // closing quote
+          } else {
+            while (j < tag.size() && tag[j] != ' ' && tag[j] != '>') ++j;
+          }
+        }
+        changed = true;
+        i = j;
+        continue;
+      }
+      cleaned.push_back(tag[i]);
+      ++i;
+    }
+    // Neutralize javascript: URLs.
+    const std::size_t js = ifind(cleaned, "javascript:", 0);
+    if (js != std::string_view::npos) {
+      cleaned = util::replace_all(cleaned, "javascript:", "blocked:");
+      cleaned = util::replace_all(cleaned, "Javascript:", "blocked:");
+      cleaned = util::replace_all(cleaned, "JAVASCRIPT:", "blocked:");
+      changed = true;
+    }
+    result.append(cleaned);
+    pos = end + 1;
+  }
+
+  if (modified != nullptr) *modified = changed;
+  return result;
+}
+
+}  // namespace w5::platform

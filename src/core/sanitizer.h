@@ -1,0 +1,20 @@
+// Client-side defense (paper §3.5): "W5 could disable JavaScript entirely
+// by filtering it out at the security perimeter."
+//
+// The gateway runs every outbound HTML body through this filter when the
+// provider enables strip_javascript: <script> blocks, javascript: URLs,
+// and inline on*= event handlers are removed. (The paper's richer
+// alternative — MashupOS-style client policies — is future work there and
+// here.)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace w5::platform {
+
+// Returns the sanitized copy; `modified` (optional) reports whether
+// anything was stripped.
+std::string strip_javascript(std::string_view html, bool* modified = nullptr);
+
+}  // namespace w5::platform

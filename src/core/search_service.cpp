@@ -1,0 +1,67 @@
+#include "core/search_service.h"
+
+namespace w5::platform {
+
+SearchService::SearchService() = default;
+
+void SearchService::reindex(const ModuleRegistry& modules) {
+  graph_ = rank::DependencyGraph();
+  search_ = std::make_unique<rank::CodeSearch>(graph_, editors_, popularity_);
+  for (const Module* module : modules.all()) {
+    graph_.add_node(module->id());
+    for (const auto& import : module->manifest.imports)
+      graph_.add_edge(module->id(), import, rank::DependencyKind::kImport);
+    if (!module->forked_from.empty()) {
+      graph_.add_edge(module->id(), module->forked_from,
+                      rank::DependencyKind::kImport);
+    }
+    // Anti-social applications (§3.2): "writing out user data in
+    // proprietary format ... W5 editorial controls can discourage it."
+    // The catalog marks them so the search layer can downrank.
+    search_->add_entry({module->id(), module->manifest.description,
+                        module->manifest.data_format != "json"});
+  }
+  search_->refresh();
+}
+
+void SearchService::record_use(const std::string& module_id) {
+  popularity_.record_use(module_id);
+  // Adoption credits the editors who vouched for the module: their
+  // endorsements weigh more as their picks prove out (§3.2).
+  for (const auto& editor : editors_.endorsers_of(module_id))
+    editors_.credit(editor, 0.01);
+}
+
+util::Json SearchService::search(const std::string& query,
+                                 std::size_t limit) const {
+  util::Json hits = util::Json::array();
+  if (search_ != nullptr) {
+    for (const auto& hit : search_->search(query, limit)) {
+      util::Json entry;
+      entry["module"] = hit.module_id;
+      entry["score"] = hit.score;
+      entry["pagerank"] = hit.pagerank_score;
+      entry["editors"] = hit.editor_score;
+      entry["popularity"] = hit.popularity_score;
+      hits.push_back(std::move(entry));
+    }
+  }
+  util::Json out;
+  out["query"] = query;
+  out["results"] = std::move(hits);
+  return out;
+}
+
+util::Json SearchService::developer_reputations() const {
+  util::Json out;
+  out.mutable_object();
+  if (search_ == nullptr) return out;
+  std::vector<std::pair<std::string, double>> scores;
+  for (const auto& hit : search_->search("", SIZE_MAX))
+    scores.emplace_back(hit.module_id, hit.score);
+  for (const auto& [developer, score] : rank::developer_reputation(scores))
+    out[developer] = score;
+  return out;
+}
+
+}  // namespace w5::platform

@@ -1,0 +1,43 @@
+// The provider-side face of §3.2: keeps the module dependency graph in
+// sync with the registry, mines popularity from real app invocations, and
+// answers user searches (exposed by the gateway at GET /search).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/module_registry.h"
+#include "rank/search.h"
+#include "util/json.h"
+
+namespace w5::platform {
+
+class SearchService {
+ public:
+  SearchService();
+
+  // Rebuilds the dependency graph + entries from the registry and reruns
+  // PageRank. Cheap enough to call after module (de)registration.
+  void reindex(const ModuleRegistry& modules);
+
+  // Called by the gateway on every successful app invocation.
+  void record_use(const std::string& module_id);
+
+  rank::EditorBoard& editors() noexcept { return editors_; }
+
+  // JSON results ready for the HTTP surface.
+  util::Json search(const std::string& query, std::size_t limit = 10) const;
+
+  // Developer reputations from current module scores (§3.2).
+  util::Json developer_reputations() const;
+
+ private:
+  rank::DependencyGraph graph_;
+  rank::EditorBoard editors_;
+  rank::PopularityTracker popularity_;
+  // CodeSearch holds references to the three structures above; rebuilt
+  // whenever the graph is re-derived from the registry.
+  std::unique_ptr<rank::CodeSearch> search_;
+};
+
+}  // namespace w5::platform

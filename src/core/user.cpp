@@ -1,0 +1,171 @@
+#include "core/user.h"
+
+#include "util/bytes.h"
+#include "util/sha256.h"
+
+namespace w5::platform {
+
+std::string hash_password(const std::string& salt,
+                          const std::string& password) {
+  std::string digest = util::sha256_raw(salt + "\x00" + password);
+  // Iterated to make brute force costlier; fixed small count keeps tests
+  // fast while preserving the structure.
+  for (int i = 0; i < 1000; ++i) digest = util::sha256_raw(digest);
+  return util::hex_encode(digest);
+}
+
+namespace {
+
+bool valid_user_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<const UserAccount*> UserDirectory::create(
+    const std::string& id, const std::string& display_name,
+    const std::string& password) {
+  if (!valid_user_id(id)) {
+    return util::make_error("user.invalid",
+                            "user id must be [a-z0-9_-]{1,64}: '" + id + "'");
+  }
+  if (password.size() < 3)
+    return util::make_error("user.invalid", "password too short");
+  if (users_.contains(id))
+    return util::make_error("user.exists", "user '" + id + "' already exists");
+
+  UserAccount account;
+  account.id = id;
+  account.display_name = display_name.empty() ? id : display_name;
+  account.secrecy_tag =
+      kernel_.create_tag(os::kKernelPid, "sec(" + id + ")",
+                         difc::TagPurpose::kSecrecy).value();
+  account.write_tag =
+      kernel_.create_tag(os::kKernelPid, "wp(" + id + ")",
+                         difc::TagPurpose::kIntegrity).value();
+  account.read_tag =
+      kernel_.create_tag(os::kKernelPid, "rp(" + id + ")",
+                         difc::TagPurpose::kReadProtect).value();
+
+  // Boilerplate policy plumbing: anyone may raise to sec(u) (and thus
+  // read-and-be-contaminated); nobody may lower without a declassifier.
+  // rp(u)+ is deliberately NOT global.
+  kernel_.add_global_capability(difc::plus(account.secrecy_tag));
+
+  // Deterministic salt derivation keeps tests reproducible while still
+  // yielding a distinct salt per user.
+  account.password_salt = util::sha256_hex("salt:" + id).substr(0, 16);
+  account.password_hash = hash_password(account.password_salt, password);
+
+  tag_owner_[account.secrecy_tag] = id;
+  tag_owner_[account.write_tag] = id;
+  tag_owner_[account.read_tag] = id;
+  const auto [it, inserted] = users_.emplace(id, std::move(account));
+  (void)inserted;
+  return &it->second;
+}
+
+const UserAccount* UserDirectory::find(const std::string& id) const {
+  const auto it = users_.find(id);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+bool UserDirectory::remove(const std::string& id) {
+  const auto it = users_.find(id);
+  if (it == users_.end()) return false;
+  tag_owner_.erase(it->second.secrecy_tag);
+  tag_owner_.erase(it->second.write_tag);
+  tag_owner_.erase(it->second.read_tag);
+  users_.erase(it);
+  return true;
+}
+
+bool UserDirectory::verify_password(const std::string& id,
+                                    const std::string& password) const {
+  const UserAccount* account = find(id);
+  // Hash regardless, so absent users cost the same as wrong passwords.
+  const std::string computed = hash_password(
+      account != nullptr ? account->password_salt : "missing", password);
+  if (account == nullptr) return false;
+  // Constant-time comparison.
+  if (computed.size() != account->password_hash.size()) return false;
+  unsigned char diff = 0;
+  for (std::size_t i = 0; i < computed.size(); ++i)
+    diff |= static_cast<unsigned char>(computed[i] ^
+                                       account->password_hash[i]);
+  return diff == 0;
+}
+
+const UserAccount* UserDirectory::owner_of_tag(difc::Tag tag) const {
+  const auto it = tag_owner_.find(tag);
+  return it == tag_owner_.end() ? nullptr : find(it->second);
+}
+
+util::Json UserDirectory::to_json() const {
+  util::Json accounts = util::Json::array();
+  for (const auto& [id, account] : users_) {
+    util::Json entry;
+    entry["id"] = account.id;
+    entry["display_name"] = account.display_name;
+    entry["sec"] = account.secrecy_tag.id();
+    entry["wp"] = account.write_tag.id();
+    entry["rp"] = account.read_tag.id();
+    entry["salt"] = account.password_salt;
+    entry["hash"] = account.password_hash;
+    accounts.push_back(std::move(entry));
+  }
+  util::Json out;
+  out["accounts"] = std::move(accounts);
+  return out;
+}
+
+util::Status UserDirectory::load_json(const util::Json& snapshot) {
+  if (!snapshot.at("accounts").is_array())
+    return util::make_error("user.parse", "missing accounts array");
+  std::map<std::string, UserAccount> users;
+  std::map<difc::Tag, std::string> tag_owner;
+  for (const auto& entry : snapshot.at("accounts").as_array()) {
+    UserAccount account;
+    account.id = entry.at("id").as_string();
+    account.display_name = entry.at("display_name").as_string();
+    account.secrecy_tag =
+        difc::Tag(static_cast<std::uint64_t>(entry.at("sec").as_int()));
+    account.write_tag =
+        difc::Tag(static_cast<std::uint64_t>(entry.at("wp").as_int()));
+    account.read_tag =
+        difc::Tag(static_cast<std::uint64_t>(entry.at("rp").as_int()));
+    account.password_salt = entry.at("salt").as_string();
+    account.password_hash = entry.at("hash").as_string();
+    if (account.id.empty() || !account.secrecy_tag.valid() ||
+        !account.write_tag.valid() || !account.read_tag.valid() ||
+        account.password_hash.empty()) {
+      return util::make_error("user.parse", "malformed account entry");
+    }
+    if (users.contains(account.id))
+      return util::make_error("user.parse", "duplicate account id");
+    tag_owner[account.secrecy_tag] = account.id;
+    tag_owner[account.write_tag] = account.id;
+    tag_owner[account.read_tag] = account.id;
+    // Re-publish the global raise capability for each restored user.
+    kernel_.add_global_capability(difc::plus(account.secrecy_tag));
+    users.emplace(account.id, std::move(account));
+  }
+  users_ = std::move(users);
+  tag_owner_ = std::move(tag_owner);
+  return util::ok_status();
+}
+
+std::vector<std::string> UserDirectory::user_ids() const {
+  std::vector<std::string> out;
+  out.reserve(users_.size());
+  for (const auto& [id, account] : users_) out.push_back(id);
+  return out;
+}
+
+}  // namespace w5::platform

@@ -1,0 +1,64 @@
+#include "difc/codec.h"
+
+namespace w5::difc {
+
+util::Json label_to_json(const Label& label) {
+  util::Json out = util::Json::array();
+  for (Tag tag : label.tags()) out.push_back(tag.id());
+  return out;
+}
+
+util::Result<Label> label_from_json(const util::Json& j) {
+  if (!j.is_array()) return util::make_error("difc.parse", "label not array");
+  std::vector<Tag> tags;
+  tags.reserve(j.as_array().size());
+  for (const auto& item : j.as_array()) {
+    const auto id = item.as_int(0);
+    if (id <= 0) return util::make_error("difc.parse", "bad tag id");
+    tags.emplace_back(static_cast<std::uint64_t>(id));
+  }
+  return Label(std::move(tags));
+}
+
+util::Json object_labels_to_json(const ObjectLabels& labels) {
+  util::Json out;
+  out["secrecy"] = label_to_json(labels.secrecy);
+  out["integrity"] = label_to_json(labels.integrity);
+  return out;
+}
+
+util::Result<ObjectLabels> object_labels_from_json(const util::Json& j) {
+  auto secrecy = label_from_json(j.at("secrecy"));
+  if (!secrecy.ok()) return secrecy.error();
+  auto integrity = label_from_json(j.at("integrity"));
+  if (!integrity.ok()) return integrity.error();
+  return ObjectLabels{std::move(secrecy).value(),
+                      std::move(integrity).value()};
+}
+
+util::Json capability_set_to_json(const CapabilitySet& caps) {
+  util::Json out = util::Json::array();
+  for (const auto& cap : caps.capabilities()) {
+    util::Json entry;
+    entry["tag"] = cap.tag.id();
+    entry["sign"] = cap.sign == CapSign::kPlus ? "+" : "-";
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+util::Result<CapabilitySet> capability_set_from_json(const util::Json& j) {
+  if (!j.is_array()) return util::make_error("difc.parse", "caps not array");
+  std::vector<Capability> caps;
+  for (const auto& entry : j.as_array()) {
+    const auto id = entry.at("tag").as_int(0);
+    const auto& sign = entry.at("sign").as_string();
+    if (id <= 0 || (sign != "+" && sign != "-"))
+      return util::make_error("difc.parse", "bad capability");
+    caps.push_back({Tag(static_cast<std::uint64_t>(id)),
+                    sign == "+" ? CapSign::kPlus : CapSign::kMinus});
+  }
+  return CapabilitySet(std::move(caps));
+}
+
+}  // namespace w5::difc

@@ -1,0 +1,23 @@
+// JSON codecs for DIFC values — labels travel in snapshots (store
+// persistence) and over the federation wire protocol, so the encoding must
+// be deterministic and round-trip exactly.
+#pragma once
+
+#include "difc/capability.h"
+#include "difc/flow.h"
+#include "difc/label.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace w5::difc {
+
+util::Json label_to_json(const Label& label);
+util::Result<Label> label_from_json(const util::Json& j);
+
+util::Json object_labels_to_json(const ObjectLabels& labels);
+util::Result<ObjectLabels> object_labels_from_json(const util::Json& j);
+
+util::Json capability_set_to_json(const CapabilitySet& caps);
+util::Result<CapabilitySet> capability_set_from_json(const util::Json& j);
+
+}  // namespace w5::difc

@@ -1,0 +1,56 @@
+// Information-flow checks between labeled entities (Flume §3.2).
+//
+// The invariant the whole W5 security story rests on (paper §3.1): data
+// tagged with secrecy t reaches only processes whose S contains t, and an
+// entity writes to another only when the writer's integrity dominates the
+// target's requirement. Everything else — the perimeter, declassifiers,
+// write protection — is policy layered over these two subset checks.
+#pragma once
+
+#include <string>
+
+#include "difc/label.h"
+#include "difc/label_state.h"
+#include "util/result.h"
+
+namespace w5::difc {
+
+// Labels on a passive entity (file, store record, message, HTTP response).
+struct ObjectLabels {
+  Label secrecy;
+  Label integrity;
+
+  std::string to_string() const {
+    return "S=" + secrecy.to_string() + " I=" + integrity.to_string();
+  }
+
+  friend bool operator==(const ObjectLabels&, const ObjectLabels&) = default;
+};
+
+// Message flow source → sink: S_src ⊆ S_dst and I_dst ⊆ I_src.
+bool can_flow(const Label& src_secrecy, const Label& src_integrity,
+              const Label& dst_secrecy, const Label& dst_integrity);
+
+util::Status check_flow(const LabelState& source, const LabelState& sink);
+
+// Process p reads object o: o's secrets must fit in S_p, and p's integrity
+// requirement (I_p) must be met by o (I_p ⊆ I_o).
+util::Status check_read(const LabelState& process, const ObjectLabels& object);
+
+// Process p writes object o: additionally p must not leak (S_p ⊆ S_o) and
+// must carry o's required endorsements (I_o ⊆ I_p).
+util::Status check_write(const LabelState& process,
+                         const ObjectLabels& object);
+
+// Export across the security perimeter: the destination (a browser, a
+// peer provider) is unlabeled, so the writer's secrecy must be empty —
+// unless privilege held by `authority` can declassify the residue. This is
+// exactly the check the W5 gateway applies to every outbound byte.
+util::Status check_export(const Label& data_secrecy,
+                          const CapabilitySet& authority);
+
+// Convenience used throughout the platform: the label a derived object
+// must carry after computing over inputs — the join (union) of inputs.
+ObjectLabels join(const ObjectLabels& a, const ObjectLabels& b);
+
+}  // namespace w5::difc

@@ -1,0 +1,51 @@
+#include "difc/label_state.h"
+
+namespace w5::difc {
+
+bool LabelState::change_is_safe(const Label& from, const Label& to) const {
+  const Label added = to.subtract(from);
+  const Label dropped = from.subtract(to);
+  return owned_.covers(added, CapSign::kPlus) &&
+         owned_.covers(dropped, CapSign::kMinus);
+}
+
+util::Status LabelState::set_secrecy(const Label& to) {
+  if (!change_is_safe(secrecy_, to)) {
+    return util::make_error(
+        "flow.denied", "unsafe secrecy change " + secrecy_.to_string() +
+                           " -> " + to.to_string() + " with owned " +
+                           owned_.to_string());
+  }
+  secrecy_ = to;
+  return util::ok_status();
+}
+
+util::Status LabelState::set_integrity(const Label& to) {
+  if (!change_is_safe(integrity_, to)) {
+    return util::make_error(
+        "flow.denied", "unsafe integrity change " + integrity_.to_string() +
+                           " -> " + to.to_string() + " with owned " +
+                           owned_.to_string());
+  }
+  integrity_ = to;
+  return util::ok_status();
+}
+
+util::Status LabelState::raise_secrecy(const Label& tags) {
+  return set_secrecy(secrecy_.union_with(tags));
+}
+
+Label LabelState::secrecy_clearance() const {
+  return secrecy_.union_with(owned_.addable());
+}
+
+Label LabelState::integrity_floor() const {
+  return integrity_.subtract(owned_.removable());
+}
+
+std::string LabelState::to_string() const {
+  return "S=" + secrecy_.to_string() + " I=" + integrity_.to_string() +
+         " O=" + owned_.to_string();
+}
+
+}  // namespace w5::difc

@@ -1,0 +1,9 @@
+#include "difc/tag.h"
+
+namespace w5::difc {
+
+std::string to_string(Tag tag) {
+  return "t" + std::to_string(tag.id());
+}
+
+}  // namespace w5::difc

@@ -1,0 +1,42 @@
+// Tags: the atoms of the DIFC label lattice (Flume §3 / paper §3.1).
+//
+// A tag is an opaque 64-bit identifier. Tags carry no meaning by
+// themselves; meaning comes from which labels contain them and which
+// processes own capabilities for them. The provider allocates one secrecy
+// tag and one write-protect integrity tag per user (DESIGN.md §3.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace w5::difc {
+
+class Tag {
+ public:
+  constexpr Tag() = default;
+  constexpr explicit Tag(std::uint64_t id) : id_(id) {}
+
+  constexpr std::uint64_t id() const noexcept { return id_; }
+  constexpr bool valid() const noexcept { return id_ != 0; }
+
+  friend constexpr auto operator<=>(Tag, Tag) = default;
+
+ private:
+  std::uint64_t id_ = 0;  // 0 is the reserved invalid tag
+};
+
+std::string to_string(Tag tag);
+
+}  // namespace w5::difc
+
+template <>
+struct std::hash<w5::difc::Tag> {
+  std::size_t operator()(w5::difc::Tag tag) const noexcept {
+    // splitmix-style mix so consecutive ids spread across buckets
+    std::uint64_t z = tag.id() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,91 @@
+#include "difc/tag_registry.h"
+
+namespace w5::difc {
+
+std::string to_string(TagPurpose purpose) {
+  switch (purpose) {
+    case TagPurpose::kSecrecy:
+      return "secrecy";
+    case TagPurpose::kIntegrity:
+      return "integrity";
+    case TagPurpose::kReadProtect:
+      return "read-protect";
+    case TagPurpose::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+std::optional<TagPurpose> tag_purpose_from_string(std::string_view s) {
+  if (s == "secrecy") return TagPurpose::kSecrecy;
+  if (s == "integrity") return TagPurpose::kIntegrity;
+  if (s == "read-protect") return TagPurpose::kReadProtect;
+  if (s == "other") return TagPurpose::kOther;
+  return std::nullopt;
+}
+
+Tag TagRegistry::create(std::string name, TagPurpose purpose,
+                        std::string owner) {
+  const Tag tag(next_id_++);
+  info_[tag] = TagInfo{std::move(name), purpose, std::move(owner)};
+  return tag;
+}
+
+std::vector<Tag> TagRegistry::all() const {
+  std::vector<Tag> out;
+  out.reserve(info_.size());
+  for (const auto& [tag, info] : info_) out.push_back(tag);
+  return out;
+}
+
+const TagInfo* TagRegistry::find(Tag tag) const {
+  const auto it = info_.find(tag);
+  return it == info_.end() ? nullptr : &it->second;
+}
+
+std::string TagRegistry::describe(Tag tag) const {
+  if (const TagInfo* info = find(tag); info && !info->name.empty())
+    return info->name;
+  return to_string(tag);
+}
+
+util::Json TagRegistry::to_json() const {
+  util::Json tags = util::Json::array();
+  for (const auto& [tag, info] : info_) {
+    util::Json entry;
+    entry["id"] = tag.id();
+    entry["name"] = info.name;
+    entry["purpose"] = to_string(info.purpose);
+    entry["owner"] = info.owner;
+    tags.push_back(std::move(entry));
+  }
+  util::Json out;
+  out["next_id"] = next_id_;
+  out["tags"] = std::move(tags);
+  return out;
+}
+
+util::Result<TagRegistry> TagRegistry::from_json(const util::Json& j) {
+  TagRegistry registry;
+  const auto next_id = j.at("next_id").as_int(-1);
+  if (next_id < 1) return util::make_error("tag_registry.parse", "bad next_id");
+  registry.next_id_ = static_cast<std::uint64_t>(next_id);
+  for (const auto& entry : j.at("tags").as_array()) {
+    const auto id = entry.at("id").as_int(0);
+    if (id <= 0 || static_cast<std::uint64_t>(id) >= registry.next_id_) {
+      return util::make_error("tag_registry.parse",
+                              "tag id out of range: " + std::to_string(id));
+    }
+    const auto purpose =
+        tag_purpose_from_string(entry.at("purpose").as_string());
+    if (!purpose) {
+      return util::make_error("tag_registry.parse", "unknown purpose");
+    }
+    registry.info_[Tag(static_cast<std::uint64_t>(id))] =
+        TagInfo{entry.at("name").as_string(), *purpose,
+                entry.at("owner").as_string()};
+  }
+  return registry;
+}
+
+}  // namespace w5::difc

@@ -1,0 +1,62 @@
+// Tag allocation and metadata.
+//
+// The registry is part of the provider's trusted base: it mints fresh
+// tags, remembers what each is for (debugging/audit only — the DIFC rules
+// never consult metadata), and serializes to JSON so the provider can
+// persist label meaning across restarts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "difc/tag.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace w5::difc {
+
+// Why a tag exists; purely descriptive.
+enum class TagPurpose : std::uint8_t {
+  kSecrecy,       // export protection (sec(u), per-object secrets)
+  kIntegrity,     // write protection / endorsement (wp(u))
+  kReadProtect,   // read protection (rp(u))
+  kOther,
+};
+
+std::string to_string(TagPurpose purpose);
+std::optional<TagPurpose> tag_purpose_from_string(std::string_view s);
+
+struct TagInfo {
+  std::string name;     // e.g. "sec(bob)"
+  TagPurpose purpose = TagPurpose::kOther;
+  std::string owner;    // principal that requested the tag (user/app id)
+};
+
+class TagRegistry {
+ public:
+  TagRegistry() = default;
+
+  Tag create(std::string name, TagPurpose purpose, std::string owner = {});
+
+  const TagInfo* find(Tag tag) const;
+
+  // Human-readable name with fallback to "t<id>"; for audit records.
+  std::string describe(Tag tag) const;
+
+  std::size_t size() const noexcept { return info_.size(); }
+
+  // All registered tags (unspecified order).
+  std::vector<Tag> all() const;
+
+  util::Json to_json() const;
+  static util::Result<TagRegistry> from_json(const util::Json& j);
+
+ private:
+  std::uint64_t next_id_ = 1;  // 0 reserved as invalid
+  std::unordered_map<Tag, TagInfo> info_;
+};
+
+}  // namespace w5::difc

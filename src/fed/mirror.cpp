@@ -1,0 +1,41 @@
+#include "fed/mirror.h"
+
+namespace w5::fed {
+
+void MirrorAuthorizer::authorize(const std::string& user,
+                                 const std::string& peer) {
+  peers_by_user_[user].insert(peer);
+}
+
+void MirrorAuthorizer::revoke(const std::string& user,
+                              const std::string& peer) {
+  const auto it = peers_by_user_.find(user);
+  if (it == peers_by_user_.end()) return;
+  it->second.erase(peer);
+  if (it->second.empty()) peers_by_user_.erase(it);
+}
+
+bool MirrorAuthorizer::authorized(const std::string& user,
+                                  const std::string& peer) const {
+  const auto it = peers_by_user_.find(user);
+  return it != peers_by_user_.end() && it->second.contains(peer);
+}
+
+util::Status MirrorAuthorizer::check(const std::string& user,
+                                     const std::string& peer) const {
+  if (authorized(user, peer)) return util::ok_status();
+  return util::make_error("fed.unauthorized",
+                          "user '" + user +
+                              "' has not authorized mirroring to '" + peer +
+                              "'");
+}
+
+std::vector<std::string> MirrorAuthorizer::users_for(
+    const std::string& peer) const {
+  std::vector<std::string> out;
+  for (const auto& [user, peers] : peers_by_user_)
+    if (peers.contains(peer)) out.push_back(user);
+  return out;
+}
+
+}  // namespace w5::fed

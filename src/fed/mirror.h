@@ -1,0 +1,38 @@
+// Import/export declassifiers for provider peering (paper §3.3).
+//
+// "One approach is to create import/export declassifiers that synchronize
+// user data between two W5 providers. If an end-user deemed such
+// applications trustworthy, it would give its privileges to data transfer
+// applications on both platforms." MirrorAuthorizer is the user-consent
+// table those declassifiers consult: absent an explicit (user, peer)
+// authorization, no byte of that user's data crosses providers.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace w5::fed {
+
+class MirrorAuthorizer {
+ public:
+  // The user hands the mirror declassifier their export privilege toward
+  // this peer (and implicitly their write privilege for imports from it).
+  void authorize(const std::string& user, const std::string& peer);
+  void revoke(const std::string& user, const std::string& peer);
+
+  bool authorized(const std::string& user, const std::string& peer) const;
+
+  util::Status check(const std::string& user, const std::string& peer) const;
+
+  // All users who authorized the given peer.
+  std::vector<std::string> users_for(const std::string& peer) const;
+
+ private:
+  std::map<std::string, std::set<std::string>> peers_by_user_;
+};
+
+}  // namespace w5::fed

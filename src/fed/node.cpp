@@ -1,0 +1,309 @@
+#include "fed/node.h"
+
+#include "core/gateway.h"
+
+namespace w5::fed {
+
+Node::Node(std::string name, platform::Provider& provider,
+           net::InMemoryNetwork& network)
+    : name_(std::move(name)),
+      provider_(provider),
+      network_(network),
+      server_([this](const net::HttpRequest& request) {
+        return handle_pull(request);
+      }) {
+  // Accepted connections are parked until the dialer pumps us — the
+  // single-threaded in-memory transport means request bytes arrive only
+  // after dial() returns.
+  network_.listen(
+      address(),
+      [this](std::unique_ptr<net::Connection> conn) {
+        pending_.push_back(std::move(conn));
+      },
+      [this] {
+        for (auto& conn : pending_)
+          if (conn && !conn->closed()) server_.serve(*conn);
+        std::erase_if(pending_, [](const auto& conn) {
+          return conn == nullptr || conn->closed();
+        });
+      });
+}
+
+Node::~Node() { network_.unlisten(address()); }
+
+util::Status Node::write_local(const std::string& user,
+                               const std::string& collection,
+                               const std::string& id, util::Json data) {
+  const platform::UserAccount* account = provider_.users().find(user);
+  if (account == nullptr)
+    return util::make_error("user.not_found", "no user '" + user + "'");
+  store::Record record;
+  record.collection = collection;
+  record.id = id;
+  record.owner = user;
+  record.data = std::move(data);
+  record.labels =
+      difc::ObjectLabels{difc::Label{account->secrecy_tag},
+                         difc::Label{account->write_tag}};
+  // Trusted front-end path endorsed as the user (same as /data upload).
+  const os::Pid pid = provider_.kernel().spawn_trusted(
+      "fed:put:" + user,
+      difc::LabelState({account->secrecy_tag}, {account->write_tag}, {}));
+  auto status = provider_.store().put(pid, std::move(record));
+  (void)provider_.kernel().exit(pid);
+  provider_.kernel().reap(pid);
+  return status;
+}
+
+util::Status Node::put_user_record(const std::string& user,
+                                   const std::string& collection,
+                                   const std::string& id, util::Json data) {
+  if (auto status = write_local(user, collection, id, std::move(data));
+      !status.ok()) {
+    return status;
+  }
+  // Only *original* local writes advance this node's axis; imports merge
+  // the remote clock instead (no tick), or replicas would ping-pong
+  // forever, each sync looking like a fresh concurrent edit.
+  clocks_[{collection, id}].tick(name_);
+  tombstones_.erase({collection, id});  // resurrection clears the grave
+  return util::ok_status();
+}
+
+util::Status Node::delete_user_record(const std::string& user,
+                                      const std::string& collection,
+                                      const std::string& id) {
+  const platform::UserAccount* account = provider_.users().find(user);
+  if (account == nullptr)
+    return util::make_error("user.not_found", "no user '" + user + "'");
+  const os::Pid pid = provider_.kernel().spawn_trusted(
+      "fed:delete:" + user,
+      difc::LabelState({account->secrecy_tag}, {account->write_tag}, {}));
+  auto status = provider_.store().remove(pid, collection, id);
+  (void)provider_.kernel().exit(pid);
+  provider_.kernel().reap(pid);
+  if (!status.ok()) return status;
+  clocks_[{collection, id}].tick(name_);
+  tombstones_[{collection, id}] = provider_.clock().now();
+  return util::ok_status();
+}
+
+bool Node::has_tombstone(const std::string& collection,
+                         const std::string& id) const {
+  return tombstones_.contains({collection, id});
+}
+
+net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
+  const auto fail = [](int status, const std::string& code) {
+    util::Json body;
+    body["error"] = code;
+    return net::HttpResponse::json(status, body.dump());
+  };
+  if (request.parsed.path != "/fed/pull" ||
+      request.method != net::Method::kPost) {
+    return fail(404, "unknown federation endpoint");
+  }
+  auto body = util::Json::parse(request.body);
+  if (!body.ok()) return fail(400, "body must be JSON");
+  const std::string peer = body.value().at("peer").as_string();
+  const std::string user = body.value().at("user").as_string();
+  if (peer.empty() || user.empty()) return fail(400, "peer and user required");
+
+  // The §3.3 consent check: this user must have handed the mirror
+  // declassifier their export privilege toward this peer.
+  if (auto allowed = mirrors_.check(user, peer); !allowed.ok()) {
+    provider_.audit().record(platform::AuditKind::kExportBlocked,
+                             "fed/mirror", user,
+                             allowed.error().code + " peer=" + peer);
+    return fail(403, allowed.error().code);
+  }
+
+  // Export every record the user owns whose clock the peer is missing;
+  // the clock table is the authoritative index across collections.
+  util::Json since = body.value().at("since");
+  util::Json records = util::Json::array();
+  for (const auto& [key, clock] : clocks_) {
+    const auto& [collection, id] = key;
+    const auto tombstone = tombstones_.find(key);
+    const bool deleted = tombstone != tombstones_.end();
+    auto record = provider_.store().get(os::kKernelPid, collection, id);
+    if (!deleted && (!record.ok() || record.value().owner != user)) continue;
+
+    auto peer_clock = VectorClock{};
+    const util::Json& since_entry = since.at(collection + "/" + id);
+    if (since_entry.is_object()) {
+      auto parsed = VectorClock::from_json(since_entry);
+      if (parsed.ok()) peer_clock = std::move(parsed).value();
+    }
+    const ClockOrder order = clock.compare(peer_clock);
+    if (order == ClockOrder::kBefore || order == ClockOrder::kEqual)
+      continue;  // peer already has everything we know
+
+    util::Json item;
+    item["collection"] = collection;
+    item["id"] = id;
+    item["clock"] = clock.to_json();
+    if (deleted) {
+      item["deleted"] = true;
+      item["owner"] = user;
+      item["updated"] = tombstone->second;
+    } else {
+      item["owner"] = record.value().owner;
+      item["data"] = record.value().data;
+      item["updated"] = record.value().updated_micros;
+    }
+    records.push_back(std::move(item));
+    provider_.audit().record(platform::AuditKind::kExportAllowed,
+                             "fed/mirror", collection + "/" + id,
+                             "peer=" + peer + " user=" + user);
+  }
+  util::Json response;
+  response["records"] = std::move(records);
+  return net::HttpResponse::json(200, response.dump());
+}
+
+util::Result<SyncStats> Node::sync_from(const std::string& peer_name) {
+  SyncStats total;
+  // Every user who authorized mirroring *to this node* on our side; the
+  // peer independently verifies its own authorization table.
+  for (const std::string& user : mirrors_.users_for(peer_name)) {
+    auto connection = network_.dial("fed://" + peer_name);
+    if (!connection.ok()) return connection.error();
+
+    // Only this user's record keys/clocks cross the wire: other users
+    // never consented, and even record *names* are their data.
+    util::Json since;
+    since.mutable_object();
+    for (const auto& [key, clock] : clocks_) {
+      auto record =
+          provider_.store().get(os::kKernelPid, key.first, key.second);
+      if (record.ok() && record.value().owner == user)
+        since[key.first + "/" + key.second] = clock.to_json();
+    }
+
+    util::Json body;
+    body["peer"] = name_;
+    body["user"] = user;
+    body["since"] = std::move(since);
+
+    net::HttpRequest request;
+    request.method = net::Method::kPost;
+    request.target = "/fed/pull";
+    request.parsed = *net::parse_request_target("/fed/pull");
+    request.headers.set("Connection", "close");
+    request.body = body.dump();
+
+    if (auto written = connection.value()->write(request.to_wire());
+        !written.ok()) {
+      return written.error();
+    }
+    if (auto pumped = network_.pump("fed://" + peer_name); !pumped.ok())
+      return pumped.error();
+    net::ResponseParser parser;
+    while (!parser.complete() && !parser.failed()) {
+      auto bytes = connection.value()->read_available();
+      if (!bytes.ok()) return bytes.error();
+      if (bytes.value().empty())
+        return util::make_error("fed.protocol", "peer sent no response");
+      parser.feed(bytes.value());
+    }
+    if (parser.failed()) return parser.error();
+    auto response = util::Result<net::HttpResponse>(parser.take());
+    if (response.value().status != 200) {
+      return util::make_error("fed.pull_failed",
+                              "peer returned " +
+                                  std::to_string(response.value().status) +
+                                  ": " + response.value().body);
+    }
+    auto parsed = util::Json::parse(response.value().body);
+    if (!parsed.ok()) return parsed.error();
+    auto stats = apply_records(peer_name, parsed.value().at("records"));
+    if (!stats.ok()) return stats.error();
+    total.offered += stats.value().offered;
+    total.applied += stats.value().applied;
+    total.skipped += stats.value().skipped;
+    total.conflicts += stats.value().conflicts;
+  }
+  return total;
+}
+
+util::Result<SyncStats> Node::apply_records(const std::string& peer,
+                                            const util::Json& records) {
+  SyncStats stats;
+  if (!records.is_array())
+    return util::make_error("fed.parse", "records must be an array");
+  for (const auto& item : records.as_array()) {
+    ++stats.offered;
+    const std::string collection = item.at("collection").as_string();
+    const std::string id = item.at("id").as_string();
+    const std::string owner = item.at("owner").as_string();
+    if (collection.empty() || id.empty() || owner.empty())
+      return util::make_error("fed.parse", "record missing keys");
+    auto remote_clock = VectorClock::from_json(item.at("clock"));
+    if (!remote_clock.ok()) return remote_clock.error();
+
+    auto& local_clock = clocks_[{collection, id}];
+    const ClockOrder order = remote_clock.value().compare(local_clock);
+    if (order == ClockOrder::kBefore || order == ClockOrder::kEqual) {
+      ++stats.skipped;
+      continue;
+    }
+
+    bool take_remote = true;
+    if (order == ClockOrder::kConcurrent) {
+      ++stats.conflicts;
+      // Deterministic resolution: newer wall-clock wins; ties broken by
+      // peer name ordering so both sides converge to the same value.
+      auto local = provider_.store().get(os::kKernelPid, collection, id);
+      const std::int64_t local_updated =
+          local.ok() ? local.value().updated_micros : -1;
+      const std::int64_t remote_updated = item.at("updated").as_int(0);
+      if (remote_updated < local_updated) {
+        take_remote = false;
+      } else if (remote_updated == local_updated) {
+        take_remote = peer < name_;
+      }
+    }
+
+    if (take_remote) {
+      if (item.at("deleted").as_bool()) {
+        // Replicated deletion: drop the local copy (if any), remember
+        // the tombstone.
+        const platform::UserAccount* account =
+            provider_.users().find(owner);
+        if (account == nullptr)
+          return util::make_error("user.not_found", "no user '" + owner + "'");
+        const os::Pid pid = provider_.kernel().spawn_trusted(
+            "fed:delete:" + owner,
+            difc::LabelState({account->secrecy_tag}, {account->write_tag},
+                             {}));
+        (void)provider_.store().remove(pid, collection, id);
+        (void)provider_.kernel().exit(pid);
+        provider_.kernel().reap(pid);
+        tombstones_[{collection, id}] = item.at("updated").as_int(0);
+      } else {
+        // Re-classify under OUR tags for the owner (the import half of
+        // the import/export declassifier). No clock tick: this is
+        // replication, not an edit.
+        if (auto status =
+                write_local(owner, collection, id, item.at("data"));
+            !status.ok()) {
+          return status.error();
+        }
+        tombstones_.erase({collection, id});
+      }
+      ++stats.applied;
+    }
+    // Either way the clocks merge: we have now *seen* the remote state.
+    local_clock.merge(remote_clock.value());
+  }
+  return stats;
+}
+
+VectorClock Node::clock_of(const std::string& collection,
+                           const std::string& id) const {
+  const auto it = clocks_.find({collection, id});
+  return it == clocks_.end() ? VectorClock{} : it->second;
+}
+
+}  // namespace w5::fed

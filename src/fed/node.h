@@ -1,0 +1,102 @@
+// A federated W5 node: one provider plus the peering machinery of §3.3.
+//
+// Nodes talk over the in-memory network (or any Connection) using a small
+// HTTP+JSON protocol:
+//
+//   POST /fed/pull   {"peer": <requesting node>, "user": <id>,
+//                     "since": {<collection/id>: <vector clock>}}
+//   → {"records": [{collection, id, owner, data, clock, updated}]}
+//
+// The serving node releases a user's records only through the mirror
+// declassifier (user consent for that specific peer); the pulling node
+// re-classifies imports under its *own* tags for the user — labels never
+// cross the wire, policy travels by re-stamping, exactly the
+// import/export-declassifier design the paper sketches.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+#include <string>
+
+#include "core/provider.h"
+#include "fed/mirror.h"
+#include "fed/vector_clock.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/transport.h"
+
+namespace w5::fed {
+
+struct SyncStats {
+  std::size_t offered = 0;    // records the peer sent
+  std::size_t applied = 0;    // records written locally
+  std::size_t skipped = 0;    // already up to date (peer ≤ local)
+  std::size_t conflicts = 0;  // concurrent edits resolved
+};
+
+class Node {
+ public:
+  // `name` is the node's federation identity and its address on the
+  // in-memory network ("fed://<name>").
+  Node(std::string name, platform::Provider& provider,
+       net::InMemoryNetwork& network);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  MirrorAuthorizer& mirrors() noexcept { return mirrors_; }
+  platform::Provider& provider() noexcept { return provider_; }
+
+  // Local user write that participates in replication: stores the record
+  // with the user's standard labels and ticks this node's clock axis.
+  util::Status put_user_record(const std::string& user,
+                               const std::string& collection,
+                               const std::string& id, util::Json data);
+
+  // Local delete that replicates as a tombstone: peers that pull see the
+  // deletion and drop their copy (last-writer-wins against edits).
+  util::Status delete_user_record(const std::string& user,
+                                  const std::string& collection,
+                                  const std::string& id);
+
+  bool has_tombstone(const std::string& collection,
+                     const std::string& id) const;
+
+  // Pulls every mirroring-authorized user's records from the peer and
+  // merges them (one direction; run both ways for convergence).
+  util::Result<SyncStats> sync_from(const std::string& peer_name);
+
+  // Replication metadata for one record (empty clock when unknown).
+  VectorClock clock_of(const std::string& collection,
+                       const std::string& id) const;
+
+ private:
+  net::HttpResponse handle_pull(const net::HttpRequest& request);
+
+  // Stores under the owner's standard labels without touching clocks
+  // (shared by local writes and imports).
+  util::Status write_local(const std::string& user,
+                           const std::string& collection,
+                           const std::string& id, util::Json data);
+
+  util::Result<SyncStats> apply_records(const std::string& peer,
+                                        const util::Json& records);
+
+  std::string address() const { return "fed://" + name_; }
+
+  std::string name_;
+  platform::Provider& provider_;
+  net::InMemoryNetwork& network_;
+  MirrorAuthorizer mirrors_;
+  net::HttpServer server_;
+  std::vector<std::unique_ptr<net::Connection>> pending_;
+  // (collection, id) -> clock
+  std::map<std::pair<std::string, std::string>, VectorClock> clocks_;
+  // (collection, id) -> deletion time; present only while deleted.
+  std::map<std::pair<std::string, std::string>, util::Micros> tombstones_;
+};
+
+}  // namespace w5::fed

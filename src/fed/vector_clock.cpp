@@ -1,0 +1,68 @@
+#include "fed/vector_clock.h"
+
+#include <algorithm>
+
+namespace w5::fed {
+
+std::uint64_t VectorClock::at(const std::string& axis) const {
+  const auto it = counters_.find(axis);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void VectorClock::tick(const std::string& axis) { ++counters_[axis]; }
+
+void VectorClock::merge(const VectorClock& other) {
+  for (const auto& [axis, count] : other.counters_)
+    counters_[axis] = std::max(counters_[axis], count);
+  // Drop zero entries that max() may have created.
+  std::erase_if(counters_, [](const auto& entry) { return entry.second == 0; });
+}
+
+ClockOrder VectorClock::compare(const VectorClock& other) const {
+  bool less_somewhere = false;   // this < other on some axis
+  bool greater_somewhere = false;
+  const auto check = [&](const std::string& axis) {
+    const std::uint64_t mine = at(axis);
+    const std::uint64_t theirs = other.at(axis);
+    if (mine < theirs) less_somewhere = true;
+    if (mine > theirs) greater_somewhere = true;
+  };
+  for (const auto& [axis, count] : counters_) check(axis);
+  for (const auto& [axis, count] : other.counters_) check(axis);
+  if (!less_somewhere && !greater_somewhere) return ClockOrder::kEqual;
+  if (less_somewhere && greater_somewhere) return ClockOrder::kConcurrent;
+  return less_somewhere ? ClockOrder::kBefore : ClockOrder::kAfter;
+}
+
+std::string VectorClock::to_string() const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [axis, count] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += axis + ":" + std::to_string(count);
+  }
+  return out + "]";
+}
+
+util::Json VectorClock::to_json() const {
+  util::Json out;
+  out.mutable_object();
+  for (const auto& [axis, count] : counters_) out[axis] = count;
+  return out;
+}
+
+util::Result<VectorClock> VectorClock::from_json(const util::Json& j) {
+  if (!j.is_object())
+    return util::make_error("fed.parse", "vector clock must be object");
+  VectorClock clock;
+  for (const auto& [axis, count] : j.as_object()) {
+    if (!count.is_number() || count.as_int(-1) < 0)
+      return util::make_error("fed.parse", "bad clock counter");
+    if (count.as_int() > 0)
+      clock.counters_[axis] = static_cast<std::uint64_t>(count.as_int());
+  }
+  return clock;
+}
+
+}  // namespace w5::fed

@@ -1,0 +1,54 @@
+// Vector clocks for cross-provider replication (paper §3.3: "whenever the
+// user updated his data on one platform, the changes would propagate to
+// the other").
+//
+// Each provider is a clock axis. Clocks order replica versions causally;
+// concurrent updates are detected and resolved deterministically by the
+// sync layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace w5::fed {
+
+enum class ClockOrder : std::uint8_t {
+  kEqual,
+  kBefore,      // this happened-before other
+  kAfter,       // other happened-before this
+  kConcurrent,  // divergent replicas
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  std::uint64_t at(const std::string& axis) const;
+  void tick(const std::string& axis);
+
+  // Pointwise maximum.
+  void merge(const VectorClock& other);
+
+  ClockOrder compare(const VectorClock& other) const;
+
+  bool empty() const noexcept { return counters_.empty(); }
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+
+  std::string to_string() const;
+
+  util::Json to_json() const;
+  static util::Result<VectorClock> from_json(const util::Json& j);
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace w5::fed

@@ -1,0 +1,75 @@
+#include "net/cookies.h"
+
+#include "util/strings.h"
+
+namespace w5::net {
+
+namespace {
+
+bool valid_token_char(char c) {
+  // RFC 2616 token characters (cookie-name).
+  static constexpr std::string_view kSeparators = "()<>@,;:\\\"/[]?={} \t";
+  const auto b = static_cast<unsigned char>(c);
+  return b > 0x20 && b < 0x7f && kSeparators.find(c) == std::string_view::npos;
+}
+
+bool valid_cookie_value_char(char c) {
+  const auto b = static_cast<unsigned char>(c);
+  return b == 0x21 || (b >= 0x23 && b <= 0x2b) || (b >= 0x2d && b <= 0x3a) ||
+         (b >= 0x3c && b <= 0x5b) || (b >= 0x5d && b <= 0x7e);
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name)
+    if (!valid_token_char(c)) return false;
+  return true;
+}
+
+bool valid_value(std::string_view value) {
+  for (char c : value)
+    if (!valid_cookie_value_char(c)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> parse_cookie_header(
+    std::string_view header) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& piece : util::split(header, ';')) {
+    const std::string_view pair = util::trim(piece);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    std::string_view name = pair.substr(0, eq);
+    std::string_view value = pair.substr(eq + 1);
+    // Strip optional double quotes around the value.
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"')
+      value = value.substr(1, value.size() - 2);
+    if (!valid_name(name) || !valid_value(value)) continue;
+    out.emplace_back(std::string(name), std::string(value));
+  }
+  return out;
+}
+
+std::optional<std::string> cookie_get(
+    const std::vector<std::pair<std::string, std::string>>& cookies,
+    std::string_view name) {
+  for (const auto& [key, value] : cookies)
+    if (key == name) return value;
+  return std::nullopt;
+}
+
+std::optional<std::string> SetCookie::to_header() const {
+  if (!valid_name(name) || !valid_value(value)) return std::nullopt;
+  std::string out = name + "=" + value;
+  if (!path.empty()) out += "; Path=" + path;
+  if (max_age_seconds >= 0)
+    out += "; Max-Age=" + std::to_string(max_age_seconds);
+  if (http_only) out += "; HttpOnly";
+  if (secure) out += "; Secure";
+  return out;
+}
+
+}  // namespace w5::net

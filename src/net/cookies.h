@@ -1,0 +1,40 @@
+// Cookie handling (RFC 6265 subset).
+//
+// The W5 front-end authenticates users by session cookie (paper §2: "the
+// provider would read incoming cookies ... to authenticate the user"), so
+// the parser is strict about names/values and the serializer always
+// offers HttpOnly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace w5::net {
+
+// Parses a Cookie request header ("a=1; b=2") into ordered pairs.
+// Malformed pairs are skipped (per robustness guidance), never fatal.
+std::vector<std::pair<std::string, std::string>> parse_cookie_header(
+    std::string_view header);
+
+std::optional<std::string> cookie_get(
+    const std::vector<std::pair<std::string, std::string>>& cookies,
+    std::string_view name);
+
+struct SetCookie {
+  std::string name;
+  std::string value;
+  std::string path = "/";
+  std::int64_t max_age_seconds = -1;  // <0: session cookie
+  bool http_only = true;
+  bool secure = false;
+
+  // Renders the Set-Cookie header value. Returns nullopt when the
+  // name/value contain characters that RFC 6265 forbids.
+  std::optional<std::string> to_header() const;
+};
+
+}  // namespace w5::net

@@ -1,0 +1,180 @@
+#include "net/http.h"
+
+#include "util/strings.h"
+
+namespace w5::net {
+
+std::string_view to_string(Method method) {
+  switch (method) {
+    case Method::kGet:
+      return "GET";
+    case Method::kHead:
+      return "HEAD";
+    case Method::kPost:
+      return "POST";
+    case Method::kPut:
+      return "PUT";
+    case Method::kDelete:
+      return "DELETE";
+    case Method::kOptions:
+      return "OPTIONS";
+    case Method::kPatch:
+      return "PATCH";
+  }
+  return "GET";
+}
+
+std::optional<Method> method_from_string(std::string_view s) {
+  if (s == "GET") return Method::kGet;
+  if (s == "HEAD") return Method::kHead;
+  if (s == "POST") return Method::kPost;
+  if (s == "PUT") return Method::kPut;
+  if (s == "DELETE") return Method::kDelete;
+  if (s == "OPTIONS") return Method::kOptions;
+  if (s == "PATCH") return Method::kPatch;
+  return std::nullopt;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 204:
+      return "No Content";
+    case 302:
+      return "Found";
+    case 304:
+      return "Not Modified";
+    case 400:
+      return "Bad Request";
+    case 401:
+      return "Unauthorized";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Content Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void Headers::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::set(std::string name, std::string value) {
+  remove(name);
+  add(std::move(name), std::move(value));
+}
+
+void Headers::remove(std::string_view name) {
+  std::erase_if(entries_, [&](const auto& entry) {
+    return util::iequals(entry.first, name);
+  });
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  for (const auto& [key, value] : entries_)
+    if (util::iequals(key, name)) return value;
+  return std::nullopt;
+}
+
+std::vector<std::string> Headers::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : entries_)
+    if (util::iequals(key, name)) out.push_back(value);
+  return out;
+}
+
+bool Headers::contains(std::string_view name) const {
+  return get(name).has_value();
+}
+
+namespace {
+
+void append_headers(const Headers& headers, std::string& out) {
+  for (const auto& [name, value] : headers.entries()) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::to_wire() const {
+  std::string out;
+  out += to_string(method);
+  out.push_back(' ');
+  out += target;
+  out += " HTTP/1.1\r\n";
+  Headers copy = headers;
+  if (!copy.contains("Host")) copy.set("Host", "w5.org");
+  if (!body.empty() || method == Method::kPost || method == Method::kPut ||
+      method == Method::kPatch) {
+    copy.set("Content-Length", std::to_string(body.size()));
+  }
+  append_headers(copy, out);
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::to_wire() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(status_reason(status)) + "\r\n";
+  Headers copy = headers;
+  copy.set("Content-Length", std::to_string(body.size()));
+  append_headers(copy, out);
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.headers.set("Content-Type", "text/plain; charset=utf-8");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::html(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.headers.set("Content-Type", "text/html; charset=utf-8");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.headers.set("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::redirect(std::string location) {
+  HttpResponse response;
+  response.status = 302;
+  response.headers.set("Location", std::move(location));
+  return response;
+}
+
+}  // namespace w5::net

@@ -1,0 +1,80 @@
+// HTTP/1.1 message model: methods, status codes, headers, request and
+// response values. Wire parsing lives in http_parser.h; serialization in
+// the to_wire() methods here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/uri.h"
+
+namespace w5::net {
+
+enum class Method : std::uint8_t {
+  kGet,
+  kHead,
+  kPost,
+  kPut,
+  kDelete,
+  kOptions,
+  kPatch,
+};
+
+std::string_view to_string(Method method);
+std::optional<Method> method_from_string(std::string_view s);
+
+// Canonical reason phrases for the codes the platform emits.
+std::string_view status_reason(int status);
+
+// Ordered multimap with case-insensitive names (RFC 9110 §5.1).
+class Headers {
+ public:
+  void add(std::string name, std::string value);
+  void set(std::string name, std::string value);  // replaces all
+  void remove(std::string_view name);
+
+  std::optional<std::string> get(std::string_view name) const;
+  std::vector<std::string> get_all(std::string_view name) const;
+  bool contains(std::string_view name) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct HttpRequest {
+  Method method = Method::kGet;
+  std::string target = "/";  // raw request target as received/sent
+  Headers headers;
+  std::string body;
+
+  // Filled by the parser (or parse_request_target) from `target`.
+  RequestTarget parsed;
+
+  // Serializes to wire form, adding Content-Length and Host (if absent).
+  std::string to_wire() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  Headers headers;
+  std::string body;
+
+  std::string to_wire() const;  // adds Content-Length
+
+  // Convenience constructors used across the platform and apps.
+  static HttpResponse text(int status, std::string body);
+  static HttpResponse html(int status, std::string body);
+  static HttpResponse json(int status, std::string body);
+  static HttpResponse redirect(std::string location);
+};
+
+}  // namespace w5::net

@@ -1,0 +1,23 @@
+#include "net/http_client.h"
+
+namespace w5::net {
+
+util::Result<HttpResponse> HttpClient::roundtrip(Connection& connection,
+                                                 const HttpRequest& request) {
+  if (auto written = connection.write(request.to_wire()); !written.ok())
+    return written.error();
+
+  ResponseParser parser(limits_);
+  char buf[8192];
+  while (!parser.complete() && !parser.failed()) {
+    auto n = connection.read(buf, sizeof(buf));
+    if (!n.ok()) return n.error();
+    if (n.value() == 0)
+      return util::make_error("http.incomplete", "EOF before full response");
+    parser.feed(std::string_view(buf, n.value()));
+  }
+  if (parser.failed()) return parser.error();
+  return parser.take();
+}
+
+}  // namespace w5::net

@@ -1,0 +1,26 @@
+// Minimal HTTP/1.1 client: one round trip over an existing Connection.
+// Used by tests, the federation sync protocol, and the examples.
+#pragma once
+
+#include "net/http.h"
+#include "net/http_parser.h"
+#include "net/transport.h"
+#include "util/result.h"
+
+namespace w5::net {
+
+class HttpClient {
+ public:
+  explicit HttpClient(ParserLimits limits = {}) : limits_(limits) {}
+
+  // Writes the request and reads one response. With the in-memory
+  // transport the server must have already produced the response bytes
+  // (InMemoryNetwork accept handlers serve synchronously).
+  util::Result<HttpResponse> roundtrip(Connection& connection,
+                                       const HttpRequest& request);
+
+ private:
+  ParserLimits limits_;
+};
+
+}  // namespace w5::net

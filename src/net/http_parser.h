@@ -1,0 +1,117 @@
+// Incremental HTTP/1.1 parsers.
+//
+// The parser is the perimeter's first line of defense: it consumes
+// attacker-controlled bytes, so it is strict (CRLF line endings, bounded
+// line/header/body sizes, no header folding) and incremental (feed() any
+// byte-chunking; state survives partial input). Chunked transfer encoding
+// is deliberately unsupported — the W5 gateway buffers whole messages to
+// label them, and rejecting T-E: chunked removes request-smuggling
+// ambiguity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "util/result.h"
+
+namespace w5::net {
+
+struct ParserLimits {
+  std::size_t max_line_bytes = 8 * 1024;
+  std::size_t max_header_count = 100;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+enum class ParseState : std::uint8_t {
+  kStartLine,
+  kHeaders,
+  kBody,
+  kComplete,
+  kError,
+};
+
+namespace detail {
+
+// Common header/body machinery shared by both parsers.
+class MessageParser {
+ public:
+  explicit MessageParser(ParserLimits limits) : limits_(limits) {}
+
+  ParseState state() const noexcept { return state_; }
+  const util::Error& error() const noexcept { return error_; }
+
+  // Feeds bytes; returns the number consumed (always all, unless the
+  // message completed or failed mid-buffer).
+  std::size_t feed(std::string_view data);
+
+ protected:
+  // Subclass parses its start line; returns false to enter kError (after
+  // calling fail()).
+  virtual bool on_start_line(std::string_view line) = 0;
+  virtual ~MessageParser() = default;
+
+  void fail(std::string code, std::string detail);
+  Headers& headers() noexcept { return headers_storage_; }
+  std::string take_body() { return std::move(body_); }
+  Headers take_headers() { return std::move(headers_storage_); }
+  virtual void on_complete() = 0;
+
+ private:
+  bool consume_line(std::string_view& data, std::string& line_out);
+  void finish_headers();
+
+  ParserLimits limits_;
+  ParseState state_ = ParseState::kStartLine;
+  util::Error error_;
+  std::string partial_line_;
+  Headers headers_storage_;
+  std::size_t header_count_ = 0;
+  std::string body_;
+  std::size_t body_expected_ = 0;
+};
+
+}  // namespace detail
+
+class RequestParser final : public detail::MessageParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {});
+
+  // True once a complete, valid request is available via take().
+  bool complete() const noexcept { return state() == ParseState::kComplete; }
+  bool failed() const noexcept { return state() == ParseState::kError; }
+
+  HttpRequest take();
+
+  // Resets for the next request on a keep-alive connection.
+  void reset();
+
+ private:
+  bool on_start_line(std::string_view line) override;
+  void on_complete() override;
+
+  ParserLimits limits_;
+  HttpRequest request_;
+};
+
+class ResponseParser final : public detail::MessageParser {
+ public:
+  explicit ResponseParser(ParserLimits limits = {});
+
+  bool complete() const noexcept { return state() == ParseState::kComplete; }
+  bool failed() const noexcept { return state() == ParseState::kError; }
+
+  HttpResponse take();
+  void reset();
+
+ private:
+  bool on_start_line(std::string_view line) override;
+  void on_complete() override;
+
+  ParserLimits limits_;
+  HttpResponse response_;
+};
+
+}  // namespace w5::net

@@ -1,0 +1,69 @@
+#include "net/http_server.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace w5::net {
+
+util::Status HttpServer::respond(Connection& connection,
+                                 const HttpResponse& response) {
+  return connection.write(response.to_wire());
+}
+
+util::Result<bool> HttpServer::handle_one(Connection& connection) {
+  RequestParser parser(limits_);
+  char buf[8192];
+  bool got_bytes = false;
+  while (!parser.complete() && !parser.failed()) {
+    auto n = connection.read(buf, sizeof(buf));
+    if (!n.ok()) {
+      if (n.error().code == "net.would_block") {
+        if (!got_bytes) return false;  // idle connection, nothing to do
+        // Partial request with no more bytes available: with a
+        // single-threaded in-memory transport this cannot resolve.
+        (void)respond(connection, HttpResponse::text(400, "incomplete request\n"));
+        connection.close();
+        return util::make_error("http.incomplete", "request truncated");
+      }
+      return n.error();
+    }
+    if (n.value() == 0) {
+      if (!got_bytes) return false;  // clean EOF between requests
+      (void)respond(connection, HttpResponse::text(400, "truncated request\n"));
+      connection.close();
+      return util::make_error("http.incomplete", "EOF mid-request");
+    }
+    got_bytes = true;
+    parser.feed(std::string_view(buf, n.value()));
+  }
+
+  if (parser.failed()) {
+    const int status = parser.error().code == "http.too_large" ? 413 : 400;
+    (void)respond(connection,
+                  HttpResponse::text(status, parser.error().code + "\n"));
+    connection.close();
+    return parser.error();
+  }
+
+  HttpRequest request = parser.take();
+  const bool keep_alive =
+      !util::iequals(request.headers.get("Connection").value_or(""), "close");
+  HttpResponse response = handler_(request);
+  if (!keep_alive) response.headers.set("Connection", "close");
+  if (auto written = respond(connection, response); !written.ok())
+    return written.error();
+  if (!keep_alive) connection.close();
+  return true;
+}
+
+std::size_t HttpServer::serve(Connection& connection) {
+  std::size_t handled = 0;
+  while (!connection.closed()) {
+    auto result = handle_one(connection);
+    if (!result.ok() || !result.value()) break;
+    ++handled;
+  }
+  return handled;
+}
+
+}  // namespace w5::net

@@ -1,0 +1,39 @@
+// HTTP server loop over a Connection.
+//
+// The server is transport-agnostic: feed it any Connection (in-memory
+// pipe, TCP socket) and it parses requests, invokes the handler, and
+// writes responses, honoring HTTP/1.1 keep-alive and emitting 400s for
+// parse failures.
+#pragma once
+
+#include <functional>
+
+#include "net/http.h"
+#include "net/http_parser.h"
+#include "net/transport.h"
+
+namespace w5::net {
+
+using ServerHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  explicit HttpServer(ServerHandler handler, ParserLimits limits = {})
+      : handler_(std::move(handler)), limits_(limits) {}
+
+  // Serves requests until EOF, close, or a fatal transport/parse error.
+  // Returns the number of requests successfully handled.
+  std::size_t serve(Connection& connection);
+
+  // Handles at most one request already buffered in the connection.
+  // Returns true if a request was handled; false on EOF/no-data.
+  util::Result<bool> handle_one(Connection& connection);
+
+ private:
+  util::Status respond(Connection& connection, const HttpResponse& response);
+
+  ServerHandler handler_;
+  ParserLimits limits_;
+};
+
+}  // namespace w5::net

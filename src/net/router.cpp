@@ -1,0 +1,94 @@
+#include "net/router.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace w5::net {
+
+std::vector<Router::Segment> Router::compile(const std::string& pattern) {
+  if (pattern.empty() || pattern[0] != '/')
+    throw std::invalid_argument("route pattern must start with '/'");
+  std::vector<Segment> out;
+  const auto parts = util::split_nonempty(pattern, '/');
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    if (part[0] == ':') {
+      if (part.size() == 1)
+        throw std::invalid_argument("':' capture needs a name");
+      out.push_back({Segment::Kind::kParam, part.substr(1)});
+    } else if (part[0] == '*') {
+      if (part.size() == 1)
+        throw std::invalid_argument("'*' capture needs a name");
+      if (i + 1 != parts.size())
+        throw std::invalid_argument("'*' capture must be last");
+      out.push_back({Segment::Kind::kWildcard, part.substr(1)});
+    } else {
+      out.push_back({Segment::Kind::kLiteral, part});
+    }
+  }
+  return out;
+}
+
+void Router::add(Method method, const std::string& pattern,
+                 RouteHandler handler) {
+  routes_.push_back(Route{method, compile(pattern), std::move(handler)});
+}
+
+bool Router::try_match(const Route& route,
+                       const std::vector<std::string>& segments,
+                       RouteParams& params) {
+  std::size_t i = 0;
+  for (const Segment& seg : route.pattern) {
+    switch (seg.kind) {
+      case Segment::Kind::kLiteral:
+        if (i >= segments.size() || segments[i] != seg.text) return false;
+        ++i;
+        break;
+      case Segment::Kind::kParam:
+        if (i >= segments.size()) return false;
+        params[seg.text] = segments[i];
+        ++i;
+        break;
+      case Segment::Kind::kWildcard: {
+        // Captures the rest (possibly empty), joined with '/'.
+        std::vector<std::string> rest(segments.begin() +
+                                          static_cast<std::ptrdiff_t>(i),
+                                      segments.end());
+        params[seg.text] = util::join(rest, "/");
+        i = segments.size();
+        return true;
+      }
+    }
+  }
+  return i == segments.size();
+}
+
+std::optional<Router::Match> Router::match(
+    Method method, const std::vector<std::string>& segments) const {
+  for (const Route& route : routes_) {
+    if (route.method != method) continue;
+    RouteParams params;
+    if (try_match(route, segments, params))
+      return Match{&route.handler, std::move(params)};
+  }
+  return std::nullopt;
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  if (auto found = match(request.method, request.parsed.segments)) {
+    return (*found->handler)(request, found->params);
+  }
+  // Distinguish 405 from 404: does any route match the path under a
+  // different method?
+  for (const Route& route : routes_) {
+    RouteParams ignored;
+    if (route.method != request.method &&
+        try_match(route, request.parsed.segments, ignored)) {
+      return HttpResponse::text(405, "method not allowed\n");
+    }
+  }
+  return HttpResponse::text(404, "not found\n");
+}
+
+}  // namespace w5::net

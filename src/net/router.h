@@ -1,0 +1,64 @@
+// Path router with parameter captures.
+//
+// Routes use the W5 URL scheme from the paper (§2): fixed segments,
+// ":name" captures one segment, "*rest" captures the remainder. E.g.
+//   GET /dev/:developer/:app        — module invocation
+//   GET /dev/:developer/:app/*path — module sub-resources
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace w5::net {
+
+using RouteParams = std::map<std::string, std::string>;
+
+using RouteHandler =
+    std::function<HttpResponse(const HttpRequest&, const RouteParams&)>;
+
+class Router {
+ public:
+  // Patterns are validated eagerly; a malformed pattern is a programming
+  // error and throws std::invalid_argument.
+  void add(Method method, const std::string& pattern, RouteHandler handler);
+
+  struct Match {
+    const RouteHandler* handler = nullptr;
+    RouteParams params;
+  };
+
+  // Returns the first route whose pattern matches; registration order is
+  // priority order.
+  std::optional<Match> match(Method method,
+                             const std::vector<std::string>& segments) const;
+
+  // Full dispatch with 404/405 defaults.
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  std::size_t route_count() const noexcept { return routes_.size(); }
+
+ private:
+  struct Segment {
+    enum class Kind { kLiteral, kParam, kWildcard } kind = Kind::kLiteral;
+    std::string text;  // literal value or capture name
+  };
+  struct Route {
+    Method method;
+    std::vector<Segment> pattern;
+    RouteHandler handler;
+  };
+
+  static std::vector<Segment> compile(const std::string& pattern);
+  static bool try_match(const Route& route,
+                        const std::vector<std::string>& segments,
+                        RouteParams& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace w5::net

@@ -1,0 +1,121 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace w5::net {
+
+namespace {
+
+util::Error errno_error(const char* what) {
+  return util::make_error("net.io",
+                          std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { TcpConnection::close(); }
+
+util::Result<std::size_t> TcpConnection::read(char* buf, std::size_t max) {
+  if (fd_ < 0) return util::make_error("net.closed", "read on closed socket");
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, max, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return util::make_error("net.would_block", "no data");
+    return errno_error("recv");
+  }
+}
+
+util::Status TcpConnection::write(std::string_view data) {
+  if (fd_ < 0) return util::make_error("net.closed", "write on closed socket");
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return util::ok_status();
+}
+
+void TcpConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { close(); }
+
+util::Status TcpListener::listen(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return errno_error("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close();
+    return errno_error("bind");
+  }
+  if (::listen(fd_, backlog) != 0) {
+    close();
+    return errno_error("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  return util::ok_status();
+}
+
+util::Result<std::unique_ptr<Connection>> TcpListener::accept() {
+  if (fd_ < 0) return util::make_error("net.closed", "listener closed");
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::unique_ptr<Connection>(std::make_unique<TcpConnection>(client));
+    }
+    if (errno == EINTR) continue;
+    return errno_error("accept");
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<std::unique_ptr<Connection>> tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return errno_error("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Connection>(std::make_unique<TcpConnection>(fd));
+}
+
+}  // namespace w5::net

@@ -1,0 +1,59 @@
+// Real TCP transport (POSIX sockets) behind the Connection interface.
+//
+// Used by the runnable examples so a W5 provider can actually be poked
+// with curl; tests and benches prefer the deterministic in-memory pipe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "util/result.h"
+
+namespace w5::net {
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  util::Result<std::size_t> read(char* buf, std::size_t max) override;
+  util::Status write(std::string_view data) override;
+  void close() override;
+  bool closed() const override { return fd_ < 0; }
+
+ private:
+  int fd_;
+};
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 picks a free port; see port()).
+  util::Status listen(std::uint16_t port, int backlog = 16);
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Blocks until a client connects.
+  util::Result<std::unique_ptr<Connection>> accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:port.
+util::Result<std::unique_ptr<Connection>> tcp_connect(std::uint16_t port);
+
+}  // namespace w5::net

@@ -1,0 +1,117 @@
+#include "net/transport.h"
+
+namespace w5::net {
+
+util::Result<std::string> Connection::read_available(std::size_t max) {
+  std::string out;
+  char buf[4096];
+  while (out.size() < max) {
+    const std::size_t want = std::min(sizeof(buf), max - out.size());
+    auto n = read(buf, want);
+    if (!n.ok()) {
+      if (n.error().code == "net.would_block" && !out.empty()) return out;
+      if (n.error().code == "net.would_block")
+        return n.error();  // nothing at all
+      return n.error();
+    }
+    if (n.value() == 0) return out;  // EOF; possibly empty
+    out.append(buf, n.value());
+    if (n.value() < want) return out;  // drained for now
+  }
+  return out;
+}
+
+namespace {
+
+// Shared state of one direction of the pipe.
+struct PipeBuffer {
+  std::deque<char> bytes;
+  bool writer_closed = false;
+};
+
+class PipeConnection final : public Connection {
+ public:
+  PipeConnection(std::shared_ptr<PipeBuffer> incoming,
+                 std::shared_ptr<PipeBuffer> outgoing)
+      : incoming_(std::move(incoming)), outgoing_(std::move(outgoing)) {}
+
+  ~PipeConnection() override { PipeConnection::close(); }
+
+  util::Result<std::size_t> read(char* buf, std::size_t max) override {
+    if (max == 0) return std::size_t{0};
+    if (incoming_->bytes.empty()) {
+      if (incoming_->writer_closed) return std::size_t{0};  // EOF
+      return util::make_error("net.would_block", "pipe empty");
+    }
+    const std::size_t take = std::min(max, incoming_->bytes.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      buf[i] = incoming_->bytes.front();
+      incoming_->bytes.pop_front();
+    }
+    return take;
+  }
+
+  util::Status write(std::string_view data) override {
+    if (closed_) return util::make_error("net.closed", "write on closed end");
+    if (outgoing_->writer_closed)
+      return util::make_error("net.closed", "peer direction closed");
+    outgoing_->bytes.insert(outgoing_->bytes.end(), data.begin(), data.end());
+    return util::ok_status();
+  }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    outgoing_->writer_closed = true;
+  }
+
+  bool closed() const override { return closed_; }
+
+ private:
+  std::shared_ptr<PipeBuffer> incoming_;
+  std::shared_ptr<PipeBuffer> outgoing_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_pipe() {
+  auto a_to_b = std::make_shared<PipeBuffer>();
+  auto b_to_a = std::make_shared<PipeBuffer>();
+  return {std::make_unique<PipeConnection>(b_to_a, a_to_b),
+          std::make_unique<PipeConnection>(a_to_b, b_to_a)};
+}
+
+void InMemoryNetwork::listen(const std::string& address, AcceptFn on_accept,
+                             PumpFn on_pump) {
+  listeners_[address] = Listener{std::move(on_accept), std::move(on_pump)};
+}
+
+void InMemoryNetwork::unlisten(const std::string& address) {
+  listeners_.erase(address);
+}
+
+util::Status InMemoryNetwork::pump(const std::string& address) {
+  const auto it = listeners_.find(address);
+  if (it == listeners_.end()) {
+    return util::make_error("net.unreachable",
+                            "no listener at '" + address + "'");
+  }
+  if (it->second.on_pump) it->second.on_pump();
+  return util::ok_status();
+}
+
+util::Result<std::unique_ptr<Connection>> InMemoryNetwork::dial(
+    const std::string& address) {
+  const auto it = listeners_.find(address);
+  if (it == listeners_.end()) {
+    return util::make_error("net.unreachable",
+                            "no listener at '" + address + "'");
+  }
+  auto [client_end, server_end] = make_pipe();
+  it->second.on_accept(std::move(server_end));
+  return std::move(client_end);
+}
+
+}  // namespace w5::net

@@ -1,0 +1,133 @@
+#include "net/uri.h"
+
+#include "util/strings.h"
+
+namespace w5::net {
+
+namespace {
+
+bool is_unreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string percent_encode(std::string_view raw) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      const auto b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[b >> 4]);
+      out.push_back(kHex[b & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> percent_decode(std::string_view encoded,
+                                          bool plus_as_space) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (c == '%') {
+      if (i + 2 >= encoded.size()) return std::nullopt;
+      const int hi = hex_value(encoded[i + 1]);
+      const int lo = hex_value(encoded[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (c == '+' && plus_as_space) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::optional<QueryParams> parse_query(std::string_view query) {
+  QueryParams params;
+  if (query.empty()) return params;
+  for (const auto& pair : util::split(query, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    const std::string_view name =
+        eq == std::string::npos ? std::string_view(pair)
+                                : std::string_view(pair).substr(0, eq);
+    const std::string_view value =
+        eq == std::string::npos ? std::string_view()
+                                : std::string_view(pair).substr(eq + 1);
+    auto decoded_name = percent_decode(name, /*plus_as_space=*/true);
+    auto decoded_value = percent_decode(value, /*plus_as_space=*/true);
+    if (!decoded_name || !decoded_value) return std::nullopt;
+    params.emplace_back(std::move(*decoded_name), std::move(*decoded_value));
+  }
+  return params;
+}
+
+std::optional<std::string> query_get(const QueryParams& params,
+                                     std::string_view name) {
+  for (const auto& [key, value] : params)
+    if (key == name) return value;
+  return std::nullopt;
+}
+
+std::string encode_query(const QueryParams& params) {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (!out.empty()) out.push_back('&');
+    out += percent_encode(key);
+    out.push_back('=');
+    out += percent_encode(value);
+  }
+  return out;
+}
+
+std::optional<RequestTarget> parse_request_target(std::string_view target) {
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  RequestTarget out;
+
+  const std::size_t qmark = target.find('?');
+  const std::string_view raw_path =
+      qmark == std::string_view::npos ? target : target.substr(0, qmark);
+  out.raw_query =
+      qmark == std::string_view::npos ? "" : std::string(target.substr(qmark + 1));
+
+  auto decoded = percent_decode(raw_path);
+  if (!decoded || decoded->find('\0') != std::string::npos)
+    return std::nullopt;
+
+  // Resolve dot segments; refuse attempts to climb above root.
+  for (const auto& segment : util::split(*decoded, '/')) {
+    if (segment.empty() || segment == ".") continue;
+    if (segment == "..") {
+      if (out.segments.empty()) return std::nullopt;
+      out.segments.pop_back();
+      continue;
+    }
+    out.segments.push_back(segment);
+  }
+  out.path = "/" + util::join(out.segments, "/");
+
+  auto query = parse_query(out.raw_query);
+  if (!query) return std::nullopt;
+  out.query = std::move(*query);
+  return out;
+}
+
+}  // namespace w5::net

@@ -1,0 +1,50 @@
+// URI handling: percent-encoding and request-target parsing.
+//
+// W5 routes requests by path (paper §2: "developer A's cropper at
+// http://w5.org/devA/crop"), so correct, strict URI parsing sits on the
+// security path — a sloppy decoder is how path-confusion bugs become
+// data-disclosure bugs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace w5::net {
+
+// Percent-encodes everything outside RFC 3986 "unreserved".
+std::string percent_encode(std::string_view raw);
+
+// Strict decode: rejects malformed escapes. `plus_as_space` applies the
+// application/x-www-form-urlencoded rule used for query strings.
+std::optional<std::string> percent_decode(std::string_view encoded,
+                                          bool plus_as_space = false);
+
+// Ordered (name, value) pairs — duplicates are meaningful in forms.
+using QueryParams = std::vector<std::pair<std::string, std::string>>;
+
+// Parses "a=1&b=two"; malformed escapes drop the whole parse.
+std::optional<QueryParams> parse_query(std::string_view query);
+
+// First value for a name, if any.
+std::optional<std::string> query_get(const QueryParams& params,
+                                     std::string_view name);
+
+std::string encode_query(const QueryParams& params);
+
+struct RequestTarget {
+  std::string path;         // decoded, always starts with '/'
+  std::string raw_query;    // undecoded query string ("" if none)
+  QueryParams query;        // decoded pairs
+
+  // Path split into segments with dot-segments resolved; empty for "/".
+  std::vector<std::string> segments;
+};
+
+// Parses an origin-form request target ("/a/b?x=1"). Rejects targets that
+// escape the root via "..", contain NUL, or carry malformed escapes.
+std::optional<RequestTarget> parse_request_target(std::string_view target);
+
+}  // namespace w5::net

@@ -1,0 +1,366 @@
+#include "os/filesystem.h"
+
+#include "difc/codec.h"
+#include "util/strings.h"
+
+namespace w5::os {
+
+FileSystem::FileSystem(Kernel& kernel)
+    : kernel_(kernel), root_(std::make_unique<Node>()) {
+  root_->is_directory = true;  // public, unendorsed root
+}
+
+util::Result<difc::LabelState> FileSystem::caller(Pid pid) const {
+  return kernel_.effective_state(pid);
+}
+
+util::Result<FileSystem::Node*> FileSystem::resolve(const std::string& path) {
+  Node* node = root_.get();
+  for (const auto& part : util::split_nonempty(path, '/')) {
+    if (!node->is_directory)
+      return util::make_error("fs.not_found", path + ": not a directory");
+    const auto it = node->children.find(part);
+    if (it == node->children.end())
+      return util::make_error("fs.not_found", path + ": no such entry");
+    node = it->second.get();
+  }
+  return node;
+}
+
+util::Result<FileSystem::Node*> FileSystem::resolve_parent(
+    const std::string& path, std::string* leaf) {
+  auto parts = util::split_nonempty(path, '/');
+  if (parts.empty())
+    return util::make_error("fs.invalid", "cannot operate on root");
+  *leaf = parts.back();
+  parts.pop_back();
+  Node* node = root_.get();
+  for (const auto& part : parts) {
+    if (!node->is_directory)
+      return util::make_error("fs.not_found", path + ": not a directory");
+    const auto it = node->children.find(part);
+    if (it == node->children.end())
+      return util::make_error("fs.not_found", path + ": missing parent");
+    node = it->second.get();
+  }
+  if (!node->is_directory)
+    return util::make_error("fs.not_found", path + ": parent not a directory");
+  return node;
+}
+
+namespace {
+
+// A caller holding dual privilege over a tag (t+ and t-) may access
+// t-labeled objects transparently: it could always raise, act, and
+// declassify, so refusing would add ritual without security. Likewise a
+// caller holding t+ for an integrity tag could endorse itself before
+// writing. This widens the state used for checks; the process's real
+// labels are untouched.
+difc::LabelState widen_for(const difc::LabelState& state,
+                           const difc::ObjectLabels& object) {
+  const difc::Label dual =
+      state.owned().addable().intersect_with(state.owned().removable());
+  const difc::Label secrecy =
+      state.secrecy().union_with(object.secrecy.intersect_with(dual));
+  const difc::Label integrity = state.integrity().union_with(
+      object.integrity.intersect_with(state.owned().addable()));
+  return difc::LabelState(secrecy, integrity, state.owned());
+}
+
+// Creating an object with given labels: the creator's current secrecy must
+// flow into it and the requested integrity must be one the creator can
+// vouch for (I_f ⊆ I_p).
+util::Status check_create(const difc::LabelState& state,
+                          const difc::ObjectLabels& labels) {
+  if (!state.secrecy().subset_of(labels.secrecy)) {
+    return util::make_error("flow.denied",
+                            "create: process secrecy " +
+                                state.secrecy().to_string() +
+                                " would leak into object labeled " +
+                                labels.secrecy.to_string());
+  }
+  // Integrity may be stamped up to what the creator holds or could
+  // legally endorse (owns t+ for).
+  const difc::Label endorsable =
+      state.integrity().union_with(state.owned().addable());
+  if (!labels.integrity.subset_of(endorsable)) {
+    return util::make_error(
+        "flow.denied", "create: cannot forge integrity " +
+                           labels.integrity.to_string() +
+                           " with endorsable set " + endorsable.to_string());
+  }
+  return util::ok_status();
+}
+
+}  // namespace
+
+util::Status FileSystem::mkdir(Pid pid, const std::string& path,
+                               const difc::ObjectLabels& labels) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  std::string leaf;
+  auto parent = resolve_parent(path, &leaf);
+  if (!parent.ok()) return parent.error();
+  if (parent.value()->children.contains(leaf))
+    return util::make_error("fs.exists", path + ": already exists");
+  if (auto status = difc::check_write(
+          widen_for(state.value(), parent.value()->labels),
+          parent.value()->labels);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = check_create(state.value(), labels); !status.ok())
+    return status;
+  auto node = std::make_unique<Node>();
+  node->is_directory = true;
+  node->labels = labels;
+  parent.value()->children.emplace(leaf, std::move(node));
+  return util::ok_status();
+}
+
+util::Status FileSystem::create(Pid pid, const std::string& path,
+                                const difc::ObjectLabels& labels,
+                                std::string content) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  std::string leaf;
+  auto parent = resolve_parent(path, &leaf);
+  if (!parent.ok()) return parent.error();
+  if (parent.value()->children.contains(leaf))
+    return util::make_error("fs.exists", path + ": already exists");
+  if (auto status = difc::check_write(
+          widen_for(state.value(), parent.value()->labels),
+          parent.value()->labels);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = check_create(state.value(), labels); !status.ok())
+    return status;
+  if (auto charged = kernel_.charge(pid, Resource::kDisk,
+                                    static_cast<std::int64_t>(content.size()));
+      !charged.ok()) {
+    return charged;
+  }
+  auto node = std::make_unique<Node>();
+  node->is_directory = false;
+  node->labels = labels;
+  node->content = std::move(content);
+  parent.value()->children.emplace(leaf, std::move(node));
+  return util::ok_status();
+}
+
+util::Result<std::string> FileSystem::read(Pid pid, const std::string& path,
+                                           AutoRaise raise) {
+  auto node = resolve(path);
+  if (!node.ok()) return node.error();
+  if (node.value()->is_directory)
+    return util::make_error("fs.invalid", path + ": is a directory");
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+
+  if (raise == AutoRaise::kYes &&
+      !node.value()->labels.secrecy.subset_of(state.value().secrecy())) {
+    if (auto raised =
+            kernel_.raise_secrecy(pid, node.value()->labels.secrecy);
+        !raised.ok()) {
+      return raised.error();
+    }
+    state = caller(pid);
+    if (!state.ok()) return state.error();
+  }
+  if (auto status = difc::check_read(
+          widen_for(state.value(), node.value()->labels),
+          node.value()->labels);
+      !status.ok()) {
+    return status.error();
+  }
+  return node.value()->content;
+}
+
+util::Status FileSystem::write(Pid pid, const std::string& path,
+                               std::string content) {
+  auto node = resolve(path);
+  if (!node.ok()) return node.error();
+  if (node.value()->is_directory)
+    return util::make_error("fs.invalid", path + ": is a directory");
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  if (auto status = difc::check_write(
+          widen_for(state.value(), node.value()->labels),
+          node.value()->labels);
+      !status.ok()) {
+    return status;
+  }
+  const auto delta = static_cast<std::int64_t>(content.size()) -
+                     static_cast<std::int64_t>(node.value()->content.size());
+  if (delta > 0) {
+    if (auto charged = kernel_.charge(pid, Resource::kDisk, delta);
+        !charged.ok()) {
+      return charged;
+    }
+  }
+  node.value()->content = std::move(content);
+  return util::ok_status();
+}
+
+util::Status FileSystem::append(Pid pid, const std::string& path,
+                                const std::string& content) {
+  auto node = resolve(path);
+  if (!node.ok()) return node.error();
+  if (node.value()->is_directory)
+    return util::make_error("fs.invalid", path + ": is a directory");
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  if (auto status = difc::check_write(
+          widen_for(state.value(), node.value()->labels),
+          node.value()->labels);
+      !status.ok()) {
+    return status;
+  }
+  if (auto charged = kernel_.charge(pid, Resource::kDisk,
+                                    static_cast<std::int64_t>(content.size()));
+      !charged.ok()) {
+    return charged;
+  }
+  node.value()->content += content;
+  return util::ok_status();
+}
+
+util::Status FileSystem::unlink(Pid pid, const std::string& path) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  std::string leaf;
+  auto parent = resolve_parent(path, &leaf);
+  if (!parent.ok()) return parent.error();
+  const auto it = parent.value()->children.find(leaf);
+  if (it == parent.value()->children.end())
+    return util::make_error("fs.not_found", path + ": no such entry");
+  // Deleting is a write to both the entry and its parent directory.
+  if (auto status = difc::check_write(
+          widen_for(state.value(), parent.value()->labels),
+          parent.value()->labels);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = difc::check_write(
+          widen_for(state.value(), it->second->labels), it->second->labels);
+      !status.ok()) {
+    return status;
+  }
+  if (it->second->is_directory && !it->second->children.empty())
+    return util::make_error("fs.not_empty", path + ": directory not empty");
+  parent.value()->children.erase(it);
+  return util::ok_status();
+}
+
+util::Result<std::vector<std::string>> FileSystem::list(
+    Pid pid, const std::string& path) {
+  auto node = resolve(path);
+  if (!node.ok()) return node.error();
+  if (!node.value()->is_directory)
+    return util::make_error("fs.invalid", path + ": not a directory");
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  if (auto status = difc::check_read(state.value(), node.value()->labels);
+      !status.ok()) {
+    return status.error();
+  }
+  const difc::Label clearance = state.value().secrecy_clearance();
+  std::vector<std::string> names;
+  for (const auto& [name, child] : node.value()->children) {
+    // Invisible rather than denied: existence must not leak (§3.5).
+    if (child->labels.secrecy.subset_of(clearance)) names.push_back(name);
+  }
+  return names;
+}
+
+util::Result<FileStat> FileSystem::stat(Pid pid, const std::string& path) {
+  auto node = resolve(path);
+  if (!node.ok()) return node.error();
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  // Stat reveals existence + size: same visibility rule as list().
+  if (!node.value()->labels.secrecy.subset_of(
+          state.value().secrecy_clearance())) {
+    return util::make_error("fs.not_found", path + ": no such entry");
+  }
+  return FileStat{node.value()->is_directory, node.value()->content.size(),
+                  node.value()->labels};
+}
+
+util::Status FileSystem::relabel(Pid pid, const std::string& path,
+                                 const difc::ObjectLabels& labels) {
+  auto node = resolve(path);
+  if (!node.ok()) return node.error();
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  if (auto status = difc::check_write(
+          widen_for(state.value(), node.value()->labels),
+          node.value()->labels);
+      !status.ok()) {
+    return status;
+  }
+  // Relabeling is a declassification/endorsement: the caller must be able
+  // to make both deltas as if they were label changes of its own.
+  if (!state.value().change_is_safe(node.value()->labels.secrecy,
+                                    labels.secrecy) ||
+      !state.value().change_is_safe(node.value()->labels.integrity,
+                                    labels.integrity)) {
+    return util::make_error("flow.denied",
+                            "relabel: insufficient authority over delta");
+  }
+  node.value()->labels = labels;
+  return util::ok_status();
+}
+
+util::Json FileSystem::node_to_json(const Node& node) {
+  util::Json out;
+  out["dir"] = node.is_directory;
+  out["labels"] = difc::object_labels_to_json(node.labels);
+  if (node.is_directory) {
+    util::Json children;
+    children.mutable_object();  // force object type even when empty
+    for (const auto& [name, child] : node.children)
+      children[name] = node_to_json(*child);
+    out["children"] = std::move(children);
+  } else {
+    out["content"] = node.content;
+  }
+  return out;
+}
+
+util::Result<std::unique_ptr<FileSystem::Node>> FileSystem::node_from_json(
+    const util::Json& j) {
+  auto node = std::make_unique<Node>();
+  node->is_directory = j.at("dir").as_bool();
+  auto labels = difc::object_labels_from_json(j.at("labels"));
+  if (!labels.ok()) return labels.error();
+  node->labels = std::move(labels).value();
+  if (node->is_directory) {
+    if (!j.at("children").is_object())
+      return util::make_error("fs.parse", "directory missing children");
+    for (const auto& [name, child_json] : j.at("children").as_object()) {
+      if (name.empty() || name.find('/') != std::string::npos)
+        return util::make_error("fs.parse", "illegal entry name");
+      auto child = node_from_json(child_json);
+      if (!child.ok()) return child.error();
+      node->children.emplace(name, std::move(child).value());
+    }
+  } else {
+    node->content = j.at("content").as_string();
+  }
+  return node;
+}
+
+util::Json FileSystem::to_json() const { return node_to_json(*root_); }
+
+util::Status FileSystem::load_json(const util::Json& snapshot) {
+  auto root = node_from_json(snapshot);
+  if (!root.ok()) return root.error();
+  if (!root.value()->is_directory)
+    return util::make_error("fs.parse", "root must be a directory");
+  root_ = std::move(root).value();
+  return util::ok_status();
+}
+
+}  // namespace w5::os

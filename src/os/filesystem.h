@@ -1,0 +1,104 @@
+// Labeled filesystem (paper §2: the platform tracks data "to and from
+// persistent storage"; §3.1: "all user data on a W5 cluster is by default
+// write-protected").
+//
+// A hierarchical tree of directories and files, each carrying
+// ObjectLabels. Reads and writes are checked against the calling
+// process's effective label state; directory listings are filtered to the
+// caller's clearance so file *names* cannot become a covert channel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "difc/flow.h"
+#include "os/kernel.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace w5::os {
+
+enum class AutoRaise : std::uint8_t { kNo, kYes };
+
+struct FileStat {
+  bool is_directory = false;
+  std::size_t size = 0;
+  difc::ObjectLabels labels;
+};
+
+class FileSystem {
+ public:
+  explicit FileSystem(Kernel& kernel);
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // Creates a directory (parents must exist). Requires write permission
+  // on the parent and a label the creator could legally stamp.
+  util::Status mkdir(Pid pid, const std::string& path,
+                     const difc::ObjectLabels& labels);
+
+  // Creates a file with explicit labels. The creator's secrecy must fit
+  // inside the file's label (no leaking into content) and the requested
+  // integrity must be endorsable by the creator.
+  util::Status create(Pid pid, const std::string& path,
+                      const difc::ObjectLabels& labels,
+                      std::string content = {});
+
+  // Reads; with AutoRaise::kYes the kernel raises the caller's secrecy to
+  // admit the file when it can (the common W5 app pattern: touch user
+  // data, get contaminated).
+  util::Result<std::string> read(Pid pid, const std::string& path,
+                                 AutoRaise raise = AutoRaise::kNo);
+
+  // Overwrites; write-protection (integrity) and no-leak (secrecy) rules.
+  util::Status write(Pid pid, const std::string& path, std::string content);
+
+  util::Status append(Pid pid, const std::string& path,
+                      const std::string& content);
+
+  // Deletion obeys the same write rule — vandalism is a write (§3.1).
+  util::Status unlink(Pid pid, const std::string& path);
+
+  // Entries whose secrecy exceeds the caller's *clearance* are invisible,
+  // not errors: their existence must not leak.
+  util::Result<std::vector<std::string>> list(Pid pid,
+                                              const std::string& path);
+
+  util::Result<FileStat> stat(Pid pid, const std::string& path);
+
+  // Re-labels a file; caller needs dual authority over the delta plus
+  // write permission (used by the provider's own tools).
+  util::Status relabel(Pid pid, const std::string& path,
+                       const difc::ObjectLabels& labels);
+
+  // Snapshot persistence: labels travel with data (paper §1 "policies ...
+  // attached to their data").
+  util::Json to_json() const;
+  util::Status load_json(const util::Json& snapshot);
+
+ private:
+  struct Node {
+    bool is_directory = false;
+    difc::ObjectLabels labels;
+    std::string content;                           // files only
+    std::map<std::string, std::unique_ptr<Node>> children;  // dirs only
+  };
+
+  util::Result<Node*> resolve(const std::string& path);
+  util::Result<Node*> resolve_parent(const std::string& path,
+                                     std::string* leaf);
+  util::Result<difc::LabelState> caller(Pid pid) const;
+
+  static util::Json node_to_json(const Node& node);
+  static util::Result<std::unique_ptr<Node>> node_from_json(
+      const util::Json& j);
+
+  Kernel& kernel_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace w5::os

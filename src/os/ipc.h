@@ -1,0 +1,78 @@
+// Flow-checked IPC (paper §2: the provider "must track data as it moves
+// inside of a machine [and] between machines").
+//
+// Channels connect two process endpoints. Every send is checked against
+// the Flume endpoint rule; every queued message remembers the secrecy it
+// carried so receive can enforce (or auto-raise to) it. A process that
+// lacks privilege simply cannot move bytes downhill — this is the
+// in-machine half of the security perimeter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "difc/endpoint.h"
+#include "os/kernel.h"
+#include "util/result.h"
+
+namespace w5::os {
+
+using ChannelId = std::uint64_t;
+
+struct Message {
+  std::string payload;
+  difc::Label secrecy;    // label the data carried through the channel
+  difc::Label integrity;  // endorsements it retained
+};
+
+class IpcBus {
+ public:
+  explicit IpcBus(Kernel& kernel) : kernel_(kernel) {}
+
+  IpcBus(const IpcBus&) = delete;
+  IpcBus& operator=(const IpcBus&) = delete;
+
+  // Creates a bidirectional channel between two live processes. Each side
+  // gets an endpoint; modes control auto-raise on receive.
+  util::Result<ChannelId> connect(
+      Pid a, difc::Endpoint endpoint_a, Pid b, difc::Endpoint endpoint_b);
+
+  // Convenience: both endpoints start at each process's current labels,
+  // receiver side auto-raising.
+  util::Result<ChannelId> connect_default(Pid a, Pid b);
+
+  util::Status send(Pid sender, ChannelId channel, std::string payload);
+
+  // Receives the oldest deliverable message. If the process's endpoint is
+  // kAutoRaise, the kernel raises the process secrecy to admit the
+  // message when that is safe; otherwise undeliverable messages block the
+  // queue (flow.denied).
+  util::Result<Message> receive(Pid receiver, ChannelId channel);
+
+  std::size_t pending(Pid receiver, ChannelId channel) const;
+
+  util::Status close(ChannelId channel);
+
+ private:
+  struct Side {
+    Pid pid = 0;
+    difc::Endpoint endpoint;
+    std::deque<Message> inbox;
+  };
+  struct Channel {
+    Side a;
+    Side b;
+    bool open = true;
+  };
+
+  util::Result<Channel*> find_channel(ChannelId id);
+  static Side& side_for(Channel& ch, Pid pid, bool peer);
+
+  Kernel& kernel_;
+  std::unordered_map<ChannelId, Channel> channels_;
+  ChannelId next_id_ = 1;
+};
+
+}  // namespace w5::os

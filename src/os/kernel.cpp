@@ -1,0 +1,229 @@
+#include "os/kernel.h"
+
+namespace w5::os {
+
+namespace {
+
+util::Error no_such_process(Pid pid) {
+  return util::make_error("kernel.no_process",
+                          "pid " + std::to_string(pid) + " not running");
+}
+
+}  // namespace
+
+util::Result<Process*> Kernel::live_process(Pid pid) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || it->second.status != ProcessStatus::kRunning)
+    return no_such_process(pid);
+  return &it->second;
+}
+
+util::Result<const Process*> Kernel::live_process(Pid pid) const {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || it->second.status != ProcessStatus::kRunning)
+    return no_such_process(pid);
+  return &it->second;
+}
+
+Pid Kernel::spawn_trusted(std::string name, difc::LabelState initial,
+                          ResourceContainer* container) {
+  const Pid pid = next_pid_++;
+  processes_[pid] = Process{pid,
+                            kKernelPid,
+                            std::move(name),
+                            std::move(initial),
+                            ProcessStatus::kRunning,
+                            {},
+                            container};
+  return pid;
+}
+
+util::Result<Pid> Kernel::spawn(Pid parent, std::string name,
+                                const difc::LabelState& initial,
+                                ResourceContainer* container) {
+  auto parent_proc = live_process(parent);
+  if (!parent_proc.ok()) return parent_proc.error();
+  auto parent_state = effective_state(parent);
+  if (!parent_state.ok()) return parent_state.error();
+
+  // The child's labels must be reachable from the parent's under the
+  // parent's authority (otherwise spawn launders labels).
+  if (!parent_state.value().change_is_safe(parent_state.value().secrecy(),
+                                           initial.secrecy())) {
+    return util::make_error("flow.denied",
+                            "spawn: child secrecy " +
+                                initial.secrecy().to_string() +
+                                " unreachable from parent " +
+                                parent_state.value().secrecy().to_string());
+  }
+  if (!parent_state.value().change_is_safe(parent_state.value().integrity(),
+                                           initial.integrity())) {
+    return util::make_error("flow.denied",
+                            "spawn: child integrity unreachable from parent");
+  }
+  // Capabilities: the child may hold only what the parent holds
+  // (non-global caps must come from the parent's own set).
+  for (const auto& cap : initial.owned().capabilities()) {
+    if (!parent_state.value().owned().has(cap)) {
+      return util::make_error(
+          "cap.denied", "spawn: parent lacks " + difc::to_string(cap));
+    }
+  }
+
+  const Pid pid = next_pid_++;
+  processes_[pid] =
+      Process{pid,    parent, std::move(name),
+              initial, ProcessStatus::kRunning,
+              {},      container != nullptr ? container
+                                            : parent_proc.value()->container};
+  return pid;
+}
+
+Process* Kernel::find(Pid pid) {
+  const auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+const Process* Kernel::find(Pid pid) const {
+  const auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+util::Status Kernel::kill(Pid pid, std::string reason) {
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  proc.value()->status = ProcessStatus::kKilled;
+  proc.value()->exit_reason = std::move(reason);
+  return util::ok_status();
+}
+
+util::Status Kernel::exit(Pid pid) {
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  proc.value()->status = ProcessStatus::kExited;
+  return util::ok_status();
+}
+
+void Kernel::reap(Pid pid) {
+  const auto it = processes_.find(pid);
+  if (it != processes_.end() && it->second.status != ProcessStatus::kRunning)
+    processes_.erase(it);
+}
+
+std::size_t Kernel::live_process_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, proc] : processes_)
+    if (proc.status == ProcessStatus::kRunning) ++n;
+  return n;
+}
+
+util::Result<difc::LabelState> Kernel::effective_state(Pid pid) const {
+  if (pid == kKernelPid) {
+    // The kernel itself is omnipotent over all existing tags: model as a
+    // state owning dual privilege for every registered tag.
+    difc::CapabilitySet all;
+    for (const difc::Tag tag : tags_.all()) all.add_dual(tag);
+    return difc::LabelState({}, {}, std::move(all));
+  }
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  difc::CapabilitySet merged = proc.value()->labels.owned();
+  merged.merge(global_caps_);
+  return difc::LabelState(proc.value()->labels.secrecy(),
+                          proc.value()->labels.integrity(),
+                          std::move(merged));
+}
+
+util::Status Kernel::set_secrecy(Pid pid, const difc::Label& to) {
+  // The kernel holds dual privilege over every tag; its label is pinned
+  // at {} and label changes are vacuous.
+  if (pid == kKernelPid) return util::ok_status();
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  auto state = effective_state(pid);
+  if (!state.ok()) return state.error();
+  if (auto status = state.value().set_secrecy(to); !status.ok())
+    return status;
+  // The effective-state check (own caps ∪ Ô) is the authority; apply.
+  proc.value()->labels = difc::LabelState(to, proc.value()->labels.integrity(),
+                                          proc.value()->labels.owned());
+  return util::ok_status();
+}
+
+util::Status Kernel::raise_secrecy(Pid pid, const difc::Label& tags) {
+  if (pid == kKernelPid) return util::ok_status();
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  return set_secrecy(pid, proc.value()->labels.secrecy().union_with(tags));
+}
+
+util::Status Kernel::set_integrity(Pid pid, const difc::Label& to) {
+  if (pid == kKernelPid) return util::ok_status();
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  auto state = effective_state(pid);
+  if (!state.ok()) return state.error();
+  if (auto status = state.value().set_integrity(to); !status.ok())
+    return status;
+  proc.value()->labels = difc::LabelState(proc.value()->labels.secrecy(), to,
+                                          proc.value()->labels.owned());
+  return util::ok_status();
+}
+
+util::Result<difc::Tag> Kernel::create_tag(Pid creator, std::string name,
+                                           difc::TagPurpose purpose) {
+  const std::string owner =
+      creator == kKernelPid
+          ? "kernel"
+          : (find(creator) != nullptr ? find(creator)->name : "?");
+  auto proc_ok = creator == kKernelPid;
+  Process* proc = nullptr;
+  if (!proc_ok) {
+    auto live = live_process(creator);
+    if (!live.ok()) return live.error();
+    proc = live.value();
+  }
+  const difc::Tag tag = tags_.create(std::move(name), purpose, owner);
+  if (proc != nullptr) proc->labels.owned().add_dual(tag);
+  return tag;
+}
+
+util::Status Kernel::grant(Pid from, Pid to, difc::Capability cap) {
+  auto target = live_process(to);
+  if (!target.ok()) return target.error();
+  if (from != kKernelPid) {
+    auto source = live_process(from);
+    if (!source.ok()) return source.error();
+    if (!source.value()->labels.owned().has(cap)) {
+      return util::make_error(
+          "cap.denied", "grant: pid " + std::to_string(from) +
+                            " does not own " + difc::to_string(cap));
+    }
+  }
+  target.value()->labels.owned().add(cap);
+  return util::ok_status();
+}
+
+util::Status Kernel::drop_capability(Pid pid, difc::Capability cap) {
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  proc.value()->labels.owned().remove(cap);
+  return util::ok_status();
+}
+
+util::Status Kernel::charge(Pid pid, Resource r, std::int64_t amount) {
+  if (pid == kKernelPid) return util::ok_status();  // provider code is unmetered
+  auto proc = live_process(pid);
+  if (!proc.ok()) return proc.error();
+  if (proc.value()->container == nullptr) return util::ok_status();
+  auto status = proc.value()->container->charge(r, amount);
+  if (!status.ok()) {
+    // Over-quota processes are killed, matching §3.5's requirement that
+    // rogue applications cannot degrade the cluster.
+    proc.value()->status = ProcessStatus::kKilled;
+    proc.value()->exit_reason = status.error().detail;
+  }
+  return status;
+}
+
+}  // namespace w5::os

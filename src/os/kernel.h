@@ -1,0 +1,101 @@
+// The W5 kernel: trusted reference monitor for tags, processes, and
+// capability movement (DESIGN.md §3.1, after Flume's reference monitor).
+//
+// Everything developer code can do flows through a Kernel method taking
+// the caller's Pid; the kernel consults the process's label state merged
+// with the global capability set Ô (capabilities every process holds —
+// e.g. t+ for user secrecy tags, so any app may *contaminate itself* to
+// read user data, while t- stays with declassifiers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "difc/capability.h"
+#include "difc/label_state.h"
+#include "difc/tag_registry.h"
+#include "os/process.h"
+#include "util/result.h"
+
+namespace w5::os {
+
+class Kernel {
+ public:
+  Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  difc::TagRegistry& tags() noexcept { return tags_; }
+  const difc::TagRegistry& tags() const noexcept { return tags_; }
+
+  // --- Global capability set Ô -------------------------------------------
+  const difc::CapabilitySet& global_caps() const noexcept {
+    return global_caps_;
+  }
+  void add_global_capability(difc::Capability cap) { global_caps_.add(cap); }
+
+  // --- Process lifecycle ---------------------------------------------------
+  // Trusted spawn: only callable with parent == kKernelPid semantics (the
+  // provider's own code); no capability checks on the initial state.
+  Pid spawn_trusted(std::string name, difc::LabelState initial,
+                    ResourceContainer* container = nullptr);
+
+  // App-initiated spawn (paper: apps may invoke other modules). The child
+  // may receive only capabilities the parent owns, and its initial labels
+  // must be reachable from the parent's labels under the parent's
+  // authority — otherwise spawn would be a label-laundering primitive.
+  util::Result<Pid> spawn(Pid parent, std::string name,
+                          const difc::LabelState& initial,
+                          ResourceContainer* container = nullptr);
+
+  Process* find(Pid pid);
+  const Process* find(Pid pid) const;
+  util::Status kill(Pid pid, std::string reason);
+  util::Status exit(Pid pid);
+  // Removes a process-table entry once the process is no longer running
+  // (per-request processes would otherwise accumulate without bound).
+  void reap(Pid pid);
+  std::size_t live_process_count() const;
+  std::size_t process_table_size() const noexcept {
+    return processes_.size();
+  }
+
+  // --- Labels and capabilities --------------------------------------------
+  // Effective state = process state with Ô merged into O. This is what
+  // every check uses.
+  util::Result<difc::LabelState> effective_state(Pid pid) const;
+
+  util::Status set_secrecy(Pid pid, const difc::Label& to);
+  util::Status raise_secrecy(Pid pid, const difc::Label& tags);
+  util::Status set_integrity(Pid pid, const difc::Label& to);
+
+  // Mints a fresh tag; the creating process receives dual privilege
+  // (Flume: create_tag grants t+ and t- to the creator).
+  util::Result<difc::Tag> create_tag(Pid creator, std::string name,
+                                     difc::TagPurpose purpose);
+
+  // Capability transfer from → to; `from` must hold the capability
+  // (globals cannot be re-granted — they are already universal).
+  util::Status grant(Pid from, Pid to, difc::Capability cap);
+
+  // Irrevocably drop a capability (a declassifier shedding privilege).
+  util::Status drop_capability(Pid pid, difc::Capability cap);
+
+  // Charge the process's resource container (no-op without a container).
+  util::Status charge(Pid pid, Resource r, std::int64_t amount);
+
+ private:
+  util::Result<Process*> live_process(Pid pid);
+  util::Result<const Process*> live_process(Pid pid) const;
+
+  difc::TagRegistry tags_;
+  difc::CapabilitySet global_caps_;
+  std::unordered_map<Pid, Process> processes_;
+  Pid next_pid_ = 1;
+};
+
+}  // namespace w5::os

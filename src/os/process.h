@@ -1,0 +1,35 @@
+// Process: the kernel's unit of labeled execution.
+//
+// W5 runs developer code in per-request processes (paper §2: the provider
+// "launches the application" on each HTTP request). A process is a label
+// state plus bookkeeping; actual code runs wherever the host platform
+// likes, but every effect must pass through kernel calls keyed by Pid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "difc/label_state.h"
+#include "os/resources.h"
+
+namespace w5::os {
+
+using Pid = std::uint64_t;
+
+// Pid 0 is the kernel itself (fully trusted, used by the provider's own
+// front-end code).
+inline constexpr Pid kKernelPid = 0;
+
+enum class ProcessStatus : std::uint8_t { kRunning, kExited, kKilled };
+
+struct Process {
+  Pid pid = 0;
+  Pid parent = kKernelPid;
+  std::string name;              // e.g. "app:devA/crop req#42"
+  difc::LabelState labels;       // S, I, O (O excludes the global set)
+  ProcessStatus status = ProcessStatus::kRunning;
+  std::string exit_reason;
+  ResourceContainer* container = nullptr;  // not owned; optional
+};
+
+}  // namespace w5::os

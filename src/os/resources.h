@@ -1,0 +1,71 @@
+// Resource containers (paper §3.5, after Banga/Druschel/Mogul [2]).
+//
+// Every application on a W5 cluster runs inside a container that caps its
+// CPU, memory, disk, and network consumption so a rogue application
+// cannot degrade the cluster for everyone else. Containers form a tree:
+// charging a request-scoped child also charges the application-scoped
+// parent, so per-request *and* aggregate limits both bind.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace w5::os {
+
+enum class Resource : std::uint8_t { kCpu, kMemory, kDisk, kNetwork };
+
+std::string to_string(Resource r);
+
+struct ResourceVector {
+  std::int64_t cpu_ticks = 0;
+  std::int64_t memory_bytes = 0;
+  std::int64_t disk_bytes = 0;
+  std::int64_t network_bytes = 0;
+
+  std::int64_t& operator[](Resource r);
+  std::int64_t operator[](Resource r) const;
+
+  friend bool operator==(const ResourceVector&,
+                         const ResourceVector&) = default;
+};
+
+// kUnlimited disables a dimension's cap.
+inline constexpr std::int64_t kUnlimited = -1;
+
+class ResourceContainer {
+ public:
+  ResourceContainer(std::string name, ResourceVector limits,
+                    ResourceContainer* parent = nullptr);
+
+  const std::string& name() const noexcept { return name_; }
+  const ResourceVector& usage() const noexcept { return usage_; }
+  const ResourceVector& limits() const noexcept { return limits_; }
+
+  // Charges this container and every ancestor; fails atomically (no
+  // partial charge) with quota.exceeded naming the container that binds.
+  util::Status charge(Resource r, std::int64_t amount);
+
+  // Memory is the one dimension that releases (free after a request).
+  void release(Resource r, std::int64_t amount);
+
+  bool exhausted(Resource r) const;
+
+  // Headroom before the tightest limit on this container's ancestor
+  // chain; kUnlimited when nothing binds.
+  std::int64_t remaining(Resource r) const;
+
+  void reset_usage();
+
+ private:
+  bool would_exceed(Resource r, std::int64_t amount) const;
+
+  std::string name_;
+  ResourceVector limits_;
+  ResourceVector usage_;
+  ResourceContainer* parent_;  // not owned; parent outlives children
+};
+
+}  // namespace w5::os

@@ -1,0 +1,65 @@
+#include "os/scheduler.h"
+
+namespace w5::os {
+
+std::uint64_t Scheduler::submit(std::string name, Pid pid, TaskStep step) {
+  Task task;
+  task.info.id = next_id_++;
+  task.info.name = std::move(name);
+  task.pid = pid;
+  task.step = std::move(step);
+  tasks_.push_back(std::move(task));
+  return tasks_.back().info.id;
+}
+
+std::size_t Scheduler::round() {
+  std::size_t steps = 0;
+  for (auto& task : tasks_) {
+    if (task.info.state != TaskState::kReady) continue;
+    if (task.pid != kKernelPid) {
+      // Charge before running: a task with no budget left gets no slice.
+      if (auto charged = kernel_.charge(task.pid, Resource::kCpu, 1);
+          !charged.ok()) {
+        task.info.state = TaskState::kKilled;
+        task.info.kill_reason = charged.error().detail;
+        continue;
+      }
+    }
+    ++task.info.ticks_used;
+    ++steps;
+    if (task.step()) task.info.state = TaskState::kDone;
+  }
+  return steps;
+}
+
+std::int64_t Scheduler::run(std::int64_t max_ticks) {
+  std::int64_t used = 0;
+  while (used < max_ticks) {
+    const std::size_t steps = round();
+    if (steps == 0) break;
+    used += static_cast<std::int64_t>(steps);
+  }
+  return used;
+}
+
+const TaskInfo* Scheduler::info(std::uint64_t id) const {
+  for (const auto& task : tasks_)
+    if (task.info.id == id) return &task.info;
+  return nullptr;
+}
+
+std::size_t Scheduler::ready_count() const {
+  std::size_t n = 0;
+  for (const auto& task : tasks_)
+    if (task.info.state == TaskState::kReady) ++n;
+  return n;
+}
+
+std::vector<TaskInfo> Scheduler::snapshot() const {
+  std::vector<TaskInfo> out;
+  out.reserve(tasks_.size());
+  for (const auto& task : tasks_) out.push_back(task.info);
+  return out;
+}
+
+}  // namespace w5::os

@@ -1,0 +1,69 @@
+// Cooperative scheduler with resource-container enforcement (§3.5).
+//
+// Simulated tasks advance in round-robin "ticks"; every tick charges the
+// task's resource container for CPU. Over-quota tasks are killed, so a
+// rogue application burning CPU cannot starve other applications — the
+// property bench_resources (E10) measures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/resources.h"
+
+namespace w5::os {
+
+// A task step does one slice of work; it returns true when finished.
+using TaskStep = std::function<bool()>;
+
+enum class TaskState : std::uint8_t { kReady, kDone, kKilled };
+
+struct TaskInfo {
+  std::uint64_t id = 0;
+  std::string name;
+  TaskState state = TaskState::kReady;
+  std::int64_t ticks_used = 0;
+  std::string kill_reason;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(Kernel& kernel) : kernel_(kernel) {}
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers a task. `pid` links it to a kernel process whose container
+  // is charged one CPU tick per step (pid may be kKernelPid for trusted
+  // chores, which are never throttled).
+  std::uint64_t submit(std::string name, Pid pid, TaskStep step);
+
+  // Runs round-robin until all tasks finish/die or max_ticks elapse.
+  // Returns ticks actually consumed.
+  std::int64_t run(std::int64_t max_ticks);
+
+  // Runs a single scheduling round (each ready task gets one step).
+  // Returns the number of steps executed.
+  std::size_t round();
+
+  const TaskInfo* info(std::uint64_t id) const;
+  std::size_t ready_count() const;
+  std::vector<TaskInfo> snapshot() const;
+
+ private:
+  struct Task {
+    TaskInfo info;
+    Pid pid = kKernelPid;
+    TaskStep step;
+  };
+
+  Kernel& kernel_;
+  std::vector<Task> tasks_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace w5::os

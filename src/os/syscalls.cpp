@@ -1,0 +1,143 @@
+#include "os/syscalls.h"
+
+namespace w5::os {
+
+util::Result<Syscalls::Entry*> Syscalls::lookup(Pid pid, Fd fd) {
+  const auto table = tables_.find(pid);
+  if (table == tables_.end())
+    return util::make_error("sys.badf", "no open fds for process");
+  const auto it = table->second.find(fd);
+  if (it == table->second.end())
+    return util::make_error("sys.badf", "fd " + std::to_string(fd) +
+                                            " not open");
+  return &it->second;
+}
+
+Fd Syscalls::allocate(Pid pid, Entry entry) {
+  Fd& next = next_fd_[pid];
+  if (next < 3) next = 3;  // leave room for the traditional trio
+  const Fd fd = next++;
+  tables_[pid].emplace(fd, std::move(entry));
+  return fd;
+}
+
+util::Result<Fd> Syscalls::open(Pid pid, const std::string& path,
+                                OpenMode mode,
+                                const difc::ObjectLabels& create_labels) {
+  if (mode == OpenMode::kCreate) {
+    if (auto created = fs_.create(pid, path, create_labels); !created.ok())
+      return created.error();
+  } else {
+    // Probe existence + basic permission now so open() fails eagerly,
+    // like POSIX. Reads use auto-raise at read() time instead, so a
+    // clean process may open-for-read before deciding to contaminate.
+    auto st = fs_.stat(pid, path);
+    if (!st.ok()) return st.error();
+    if (st.value().is_directory)
+      return util::make_error("sys.isdir", path + " is a directory");
+  }
+  FileEntry entry{path, mode, 0};
+  if (mode == OpenMode::kAppend) {
+    auto st = fs_.stat(pid, path);
+    if (st.ok()) entry.offset = st.value().size;
+  }
+  return allocate(pid, Entry{std::move(entry)});
+}
+
+util::Result<std::string> Syscalls::read(Pid pid, Fd fd, std::size_t max) {
+  auto entry = lookup(pid, fd);
+  if (!entry.ok()) return entry.error();
+  if (auto* pipe_entry = std::get_if<PipeEntry>(entry.value())) {
+    auto message = ipc_.receive(pid, pipe_entry->channel);
+    if (!message.ok()) {
+      if (message.error().code == "ipc.empty") return std::string{};
+      return message.error();
+    }
+    return std::move(message.value().payload);
+  }
+  auto& file = std::get<FileEntry>(*entry.value());
+  auto content = fs_.read(pid, file.path, AutoRaise::kYes);
+  if (!content.ok()) return content.error();
+  if (file.offset >= content.value().size()) return std::string{};
+  std::string out = content.value().substr(file.offset, max);
+  file.offset += out.size();
+  return out;
+}
+
+util::Status Syscalls::write(Pid pid, Fd fd, std::string_view data) {
+  auto entry = lookup(pid, fd);
+  if (!entry.ok()) return entry.error();
+  if (auto* pipe_entry = std::get_if<PipeEntry>(entry.value()))
+    return ipc_.send(pid, pipe_entry->channel, std::string(data));
+
+  auto& file = std::get<FileEntry>(*entry.value());
+  if (file.mode == OpenMode::kRead)
+    return util::make_error("sys.perm", "fd opened read-only");
+  auto content = fs_.read(pid, file.path, AutoRaise::kYes);
+  if (!content.ok()) return content.error();
+  std::string updated = std::move(content).value();
+  const std::size_t at =
+      file.mode == OpenMode::kAppend ? updated.size() : file.offset;
+  if (at > updated.size()) updated.resize(at, '\0');  // sparse gap
+  updated.replace(at, data.size(), data);
+  if (auto written = fs_.write(pid, file.path, std::move(updated));
+      !written.ok()) {
+    return written;
+  }
+  file.offset = at + data.size();
+  return util::ok_status();
+}
+
+util::Result<std::size_t> Syscalls::lseek(Pid pid, Fd fd,
+                                          std::int64_t offset) {
+  auto entry = lookup(pid, fd);
+  if (!entry.ok()) return entry.error();
+  auto* file = std::get_if<FileEntry>(entry.value());
+  if (file == nullptr)
+    return util::make_error("sys.espipe", "cannot seek a pipe");
+  if (offset < 0) return util::make_error("sys.inval", "negative offset");
+  file->offset = static_cast<std::size_t>(offset);
+  return file->offset;
+}
+
+util::Result<FileStat> Syscalls::fstat(Pid pid, Fd fd) {
+  auto entry = lookup(pid, fd);
+  if (!entry.ok()) return entry.error();
+  auto* file = std::get_if<FileEntry>(entry.value());
+  if (file == nullptr)
+    return util::make_error("sys.inval", "fstat on a pipe");
+  return fs_.stat(pid, file->path);
+}
+
+util::Result<Fd> Syscalls::dup(Pid pid, Fd fd) {
+  auto entry = lookup(pid, fd);
+  if (!entry.ok()) return entry.error();
+  return allocate(pid, *entry.value());  // copies entry (independent offset)
+}
+
+util::Status Syscalls::close(Pid pid, Fd fd) {
+  const auto table = tables_.find(pid);
+  if (table == tables_.end() || table->second.erase(fd) == 0)
+    return util::make_error("sys.badf", "fd not open");
+  return util::ok_status();
+}
+
+void Syscalls::close_all(Pid pid) {
+  tables_.erase(pid);
+  next_fd_.erase(pid);
+}
+
+util::Result<std::pair<Fd, Fd>> Syscalls::pipe(Pid a, Pid b) {
+  auto channel = ipc_.connect_default(a, b);
+  if (!channel.ok()) return channel.error();
+  const Fd fd_a = allocate(a, Entry{PipeEntry{channel.value()}});
+  const Fd fd_b = allocate(b, Entry{PipeEntry{channel.value()}});
+  return std::pair<Fd, Fd>{fd_a, fd_b};
+}
+
+std::size_t Syscalls::open_fd_count(Pid pid) const {
+  const auto table = tables_.find(pid);
+  return table == tables_.end() ? 0 : table->second.size();
+}
+
+}  // namespace w5::os

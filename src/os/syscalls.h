@@ -1,0 +1,92 @@
+// POSIX-flavored system-call facade (paper §2: "while they must code to
+// the API exposed by the W5 platform, we expect that API to enable a wide
+// range of functions, including file I/O, communication with other
+// modules, etc. The Unix system call API, for instance, fits the bill and
+// would allow existing software to run on W5").
+//
+// This layer gives ported software the familiar fd-based shape —
+// open/read/write/lseek/dup/close plus pipe() — while every byte still
+// moves through the labeled filesystem and flow-checked IPC underneath.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "os/filesystem.h"
+#include "os/ipc.h"
+#include "os/kernel.h"
+
+namespace w5::os {
+
+using Fd = std::int32_t;
+
+enum class OpenMode : std::uint8_t {
+  kRead,    // existing file, read-only (auto-raise semantics)
+  kWrite,   // existing file, write (truncates on first write-at-0? no: in place)
+  kAppend,  // existing file, writes go to the end
+  kCreate,  // create new file (labels supplied), then read/write
+};
+
+class Syscalls {
+ public:
+  Syscalls(Kernel& kernel, FileSystem& fs, IpcBus& ipc)
+      : kernel_(kernel), fs_(fs), ipc_(ipc) {}
+
+  Syscalls(const Syscalls&) = delete;
+  Syscalls& operator=(const Syscalls&) = delete;
+
+  // ---- Files -----------------------------------------------------------------
+  util::Result<Fd> open(Pid pid, const std::string& path, OpenMode mode,
+                        const difc::ObjectLabels& create_labels = {});
+
+  // Reads up to max bytes from the current offset (advances it).
+  util::Result<std::string> read(Pid pid, Fd fd, std::size_t max);
+
+  // Writes at the current offset, overwriting in place and extending at
+  // the end (append mode always writes at EOF).
+  util::Status write(Pid pid, Fd fd, std::string_view data);
+
+  // Absolute seek; returns the new offset. Seeking past EOF is allowed
+  // (reads there return ""); negative offsets are rejected.
+  util::Result<std::size_t> lseek(Pid pid, Fd fd, std::int64_t offset);
+
+  util::Result<FileStat> fstat(Pid pid, Fd fd);
+
+  util::Result<Fd> dup(Pid pid, Fd fd);
+
+  util::Status close(Pid pid, Fd fd);
+
+  // Closes everything a process had open (called on exit).
+  void close_all(Pid pid);
+
+  // ---- Pipes (fd-wrapped flow-checked IPC) -------------------------------------
+  // Creates a channel between two processes and returns (fd_in_a, fd_in_b),
+  // each readable+writable by its own process only.
+  util::Result<std::pair<Fd, Fd>> pipe(Pid a, Pid b);
+
+  std::size_t open_fd_count(Pid pid) const;
+
+ private:
+  struct FileEntry {
+    std::string path;
+    OpenMode mode = OpenMode::kRead;
+    std::size_t offset = 0;
+  };
+  struct PipeEntry {
+    ChannelId channel = 0;
+  };
+  using Entry = std::variant<FileEntry, PipeEntry>;
+
+  util::Result<Entry*> lookup(Pid pid, Fd fd);
+  Fd allocate(Pid pid, Entry entry);
+
+  Kernel& kernel_;
+  FileSystem& fs_;
+  IpcBus& ipc_;
+  std::map<Pid, std::map<Fd, Entry>> tables_;
+  std::map<Pid, Fd> next_fd_;
+};
+
+}  // namespace w5::os

@@ -1,0 +1,69 @@
+#include "rank/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace w5::rank {
+
+PageRankResult pagerank(const DependencyGraph& graph,
+                        const PageRankOptions& options) {
+  const std::size_t n = graph.node_count();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  // Per-node total outgoing weight.
+  std::vector<double> out_weight(n, 0.0);
+  const auto weight_of = [&](const Edge& edge) {
+    return edge.kind == DependencyKind::kImport ? options.import_weight
+                                                : options.embed_weight;
+  };
+  for (const Edge& edge : graph.edges())
+    out_weight[edge.from] += weight_of(edge);
+
+  std::vector<double> scores(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(),
+              (1.0 - options.damping) / static_cast<double>(n));
+
+    // Dangling mass (nodes with no outgoing edges) spreads uniformly.
+    double dangling = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (out_weight[i] == 0.0) dangling += scores[i];
+    const double dangling_share =
+        options.damping * dangling / static_cast<double>(n);
+    for (double& score : next) score += dangling_share;
+
+    for (const Edge& edge : graph.edges()) {
+      next[edge.to] += options.damping * scores[edge.from] *
+                       (weight_of(edge) / out_weight[edge.from]);
+    }
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      delta += std::abs(next[i] - scores[i]);
+    scores.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(scores);
+  return result;
+}
+
+std::vector<std::pair<std::string, double>> PageRankResult::ranked(
+    const DependencyGraph& graph) const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    out.emplace_back(graph.name_of(static_cast<std::uint32_t>(i)), scores[i]);
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+}  // namespace w5::rank

@@ -1,0 +1,40 @@
+// PageRank over the module dependency graph (paper §3.2: "where PageRank
+// uses the structure of the Web's hyperlink graph to infer a page's
+// suitability, a W5 'code search' could use the structure of the
+// dependency graph among modules to infer a module's suitability").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rank/depgraph.h"
+
+namespace w5::rank {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double epsilon = 1e-9;       // L1 convergence threshold
+  std::size_t max_iterations = 200;
+  // Optional per-kind edge weights (html embeds count less than imports
+  // by default: linking to an app is weaker vouching than linking its
+  // code into your own).
+  double import_weight = 1.0;
+  double embed_weight = 0.5;
+};
+
+struct PageRankResult {
+  std::vector<double> scores;   // indexed by node; sums to ~1
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  // Convenience: scores keyed by module id, descending.
+  std::vector<std::pair<std::string, double>> ranked(
+      const DependencyGraph& graph) const;
+};
+
+PageRankResult pagerank(const DependencyGraph& graph,
+                        const PageRankOptions& options = {});
+
+}  // namespace w5::rank

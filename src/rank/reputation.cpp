@@ -1,0 +1,95 @@
+#include "rank/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace w5::rank {
+
+void EditorBoard::endorse(const std::string& editor,
+                          const std::string& module_id, double confidence) {
+  confidence = std::clamp(confidence, 0.0, 1.0);
+  if (confidence == 0.0) return;
+  endorsements_[editor][module_id] = confidence;
+  credit_.try_emplace(editor, 1.0);  // baseline weight
+}
+
+void EditorBoard::revoke(const std::string& editor,
+                         const std::string& module_id) {
+  const auto it = endorsements_.find(editor);
+  if (it != endorsements_.end()) it->second.erase(module_id);
+}
+
+void EditorBoard::credit(const std::string& editor, double amount) {
+  credit_[editor] += amount;
+}
+
+double EditorBoard::editor_weight(const std::string& editor) const {
+  const auto it = credit_.find(editor);
+  if (it == credit_.end()) return 0.0;
+  double max_credit = 0.0;
+  for (const auto& [name, value] : credit_)
+    max_credit = std::max(max_credit, value);
+  return max_credit == 0.0 ? 0.0 : it->second / max_credit;
+}
+
+double EditorBoard::endorsement_score(const std::string& module_id) const {
+  double score = 0.0;
+  for (const auto& [editor, modules] : endorsements_) {
+    const auto it = modules.find(module_id);
+    if (it != modules.end()) score += it->second * editor_weight(editor);
+  }
+  return score;
+}
+
+std::vector<std::string> EditorBoard::endorsers_of(
+    const std::string& module_id) const {
+  std::vector<std::string> out;
+  for (const auto& [editor, modules] : endorsements_)
+    if (modules.contains(module_id)) out.push_back(editor);
+  return out;
+}
+
+std::vector<std::string> EditorBoard::editors() const {
+  std::vector<std::string> out;
+  for (const auto& [editor, modules] : endorsements_) out.push_back(editor);
+  return out;
+}
+
+void PopularityTracker::record_use(const std::string& module_id,
+                                   std::uint64_t count) {
+  uses_[module_id] += count;
+}
+
+std::uint64_t PopularityTracker::uses(const std::string& module_id) const {
+  const auto it = uses_.find(module_id);
+  return it == uses_.end() ? 0 : it->second;
+}
+
+double PopularityTracker::popularity_score(
+    const std::string& module_id) const {
+  const std::uint64_t count = uses(module_id);
+  if (count == 0) return 0.0;
+  std::uint64_t max_count = 0;
+  for (const auto& [id, uses] : uses_) max_count = std::max(max_count, uses);
+  return std::log1p(static_cast<double>(count)) /
+         std::log1p(static_cast<double>(max_count));
+}
+
+std::map<std::string, double> developer_reputation(
+    const std::vector<std::pair<std::string, double>>& module_scores) {
+  std::map<std::string, std::pair<double, std::size_t>> sums;
+  for (const auto& [module_id, score] : module_scores) {
+    const std::size_t slash = module_id.find('/');
+    const std::string developer =
+        slash == std::string::npos ? module_id : module_id.substr(0, slash);
+    auto& [sum, count] = sums[developer];
+    sum += score;
+    ++count;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [developer, aggregate] : sums)
+    out[developer] = aggregate.first / static_cast<double>(aggregate.second);
+  return out;
+}
+
+}  // namespace w5::rank

@@ -1,0 +1,66 @@
+// Editors, popularity, and developer reputation (paper §3.2).
+//
+// "One can also imagine the emergence of W5 editors, who collect, audit
+// and vet software collections ... These editors can establish
+// reputations based on various popularity metrics mined from users'
+// preferences." This module aggregates the three §3.2 trust signals that
+// are not graph-structural: editor endorsements, usage popularity, and
+// per-developer reputation rolled up from module scores.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace w5::rank {
+
+class EditorBoard {
+ public:
+  // An editor vouches for a module with a confidence in (0, 1].
+  void endorse(const std::string& editor, const std::string& module_id,
+               double confidence = 1.0);
+  void revoke(const std::string& editor, const std::string& module_id);
+
+  // Editors gain weight as users adopt what they endorse: credit(editor)
+  // is called by the platform when an endorsed module is actually used.
+  void credit(const std::string& editor, double amount = 1.0);
+
+  // Combined endorsement score for a module: sum over endorsing editors
+  // of confidence * editor_weight (weights normalized to max 1).
+  double endorsement_score(const std::string& module_id) const;
+
+  double editor_weight(const std::string& editor) const;
+  std::vector<std::string> editors() const;
+
+  // Editors who endorsed this module (for adoption crediting: §3.2
+  // "editors can establish reputations based on various popularity
+  // metrics mined from users' preferences").
+  std::vector<std::string> endorsers_of(const std::string& module_id) const;
+
+ private:
+  // editor -> (module -> confidence)
+  std::map<std::string, std::map<std::string, double>> endorsements_;
+  std::map<std::string, double> credit_;
+};
+
+class PopularityTracker {
+ public:
+  void record_use(const std::string& module_id, std::uint64_t count = 1);
+
+  std::uint64_t uses(const std::string& module_id) const;
+
+  // Normalized popularity in [0, 1] (log-scaled against the maximum).
+  double popularity_score(const std::string& module_id) const;
+
+ private:
+  std::map<std::string, std::uint64_t> uses_;
+};
+
+// Developer reputation: mean of their modules' combined scores; the §3.2
+// promise that "applications written by top-ranked developers would
+// receive top placement".
+std::map<std::string, double> developer_reputation(
+    const std::vector<std::pair<std::string, double>>& module_scores);
+
+}  // namespace w5::rank

@@ -1,0 +1,70 @@
+#include "rank/search.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace w5::rank {
+
+CodeSearch::CodeSearch(const DependencyGraph& graph,
+                       const EditorBoard& editors,
+                       const PopularityTracker& popularity,
+                       SearchWeights weights)
+    : graph_(graph),
+      editors_(editors),
+      popularity_(popularity),
+      weights_(weights) {}
+
+void CodeSearch::add_entry(SearchEntry entry) {
+  entries_.push_back(std::move(entry));
+}
+
+void CodeSearch::refresh(const PageRankOptions& options) {
+  const PageRankResult result = pagerank(graph_, options);
+  pagerank_ = result.ranked(graph_);
+  // Normalize to [0, 1] by the max score so weights are comparable
+  // across graph sizes.
+  double max_score = 0.0;
+  for (const auto& [id, score] : pagerank_)
+    max_score = std::max(max_score, score);
+  if (max_score > 0) {
+    for (auto& [id, score] : pagerank_) score /= max_score;
+  }
+}
+
+std::optional<double> CodeSearch::pagerank_of(
+    const std::string& module_id) const {
+  for (const auto& [id, score] : pagerank_)
+    if (id == module_id) return score;
+  return std::nullopt;
+}
+
+std::vector<SearchHit> CodeSearch::search(const std::string& query,
+                                          std::size_t limit) const {
+  const std::string needle = util::to_lower(query);
+  std::vector<SearchHit> hits;
+  for (const auto& entry : entries_) {
+    if (!needle.empty()) {
+      const std::string haystack =
+          util::to_lower(entry.module_id + " " + entry.description);
+      if (haystack.find(needle) == std::string::npos) continue;
+    }
+    SearchHit hit;
+    hit.module_id = entry.module_id;
+    hit.pagerank_score = pagerank_of(entry.module_id).value_or(0.0);
+    hit.editor_score = editors_.endorsement_score(entry.module_id);
+    hit.popularity_score = popularity_.popularity_score(entry.module_id);
+    hit.score = weights_.pagerank * hit.pagerank_score +
+                weights_.editors * hit.editor_score +
+                weights_.popularity * hit.popularity_score;
+    if (entry.antisocial) hit.score *= 0.5;  // editorial downranking
+    hits.push_back(std::move(hit));
+  }
+  std::stable_sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.score > b.score;
+  });
+  if (hits.size() > limit) hits.resize(limit);
+  return hits;
+}
+
+}  // namespace w5::rank

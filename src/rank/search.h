@@ -1,0 +1,70 @@
+// Code search: the user-facing module finder combining every §3.2 signal.
+//
+// score = w_rank   * pagerank(module)     (graph-structural trust)
+//       + w_editor * endorsement(module)  (editors / audits)
+//       + w_pop    * popularity(module)   (mined user preferences)
+// with a text-match gate over name/description. The weights are exposed
+// so experiments can ablate each signal (bench_rank).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rank/depgraph.h"
+#include "rank/pagerank.h"
+#include "rank/reputation.h"
+
+namespace w5::rank {
+
+struct SearchWeights {
+  double pagerank = 0.6;
+  double editors = 0.25;
+  double popularity = 0.15;
+};
+
+struct SearchEntry {
+  std::string module_id;
+  std::string description;
+  // Anti-social flag (§3.2): proprietary data formats etc. Editorial
+  // downranking, not a ban — the paper is explicit that "nothing in W5
+  // prevents such behavior".
+  bool antisocial = false;
+};
+
+struct SearchHit {
+  std::string module_id;
+  double score = 0.0;
+  double pagerank_score = 0.0;
+  double editor_score = 0.0;
+  double popularity_score = 0.0;
+};
+
+class CodeSearch {
+ public:
+  CodeSearch(const DependencyGraph& graph, const EditorBoard& editors,
+             const PopularityTracker& popularity,
+             SearchWeights weights = {});
+
+  void add_entry(SearchEntry entry);
+
+  // Recomputes PageRank (call after the graph changes).
+  void refresh(const PageRankOptions& options = {});
+
+  // Empty query matches everything; otherwise case-insensitive substring
+  // over module id and description.
+  std::vector<SearchHit> search(const std::string& query,
+                                std::size_t limit = 10) const;
+
+  std::optional<double> pagerank_of(const std::string& module_id) const;
+
+ private:
+  const DependencyGraph& graph_;
+  const EditorBoard& editors_;
+  const PopularityTracker& popularity_;
+  SearchWeights weights_;
+  std::vector<SearchEntry> entries_;
+  std::vector<std::pair<std::string, double>> pagerank_;  // normalized 0..1
+};
+
+}  // namespace w5::rank

@@ -1,0 +1,283 @@
+#include "store/labeled_store.h"
+
+#include <algorithm>
+
+namespace w5::store {
+
+namespace {
+
+// Same widening rule as the filesystem: dual privilege reads/writes
+// transparently; t+ endorses implicitly (see os/filesystem.cpp).
+difc::LabelState widen_for(const difc::LabelState& state,
+                           const difc::ObjectLabels& object) {
+  const difc::Label dual =
+      state.owned().addable().intersect_with(state.owned().removable());
+  const difc::Label secrecy =
+      state.secrecy().union_with(object.secrecy.intersect_with(dual));
+  const difc::Label integrity = state.integrity().union_with(
+      object.integrity.intersect_with(state.owned().addable()));
+  return difc::LabelState(secrecy, integrity, state.owned());
+}
+
+util::Error not_found(const std::string& collection, const std::string& id) {
+  return util::make_error("store.not_found", collection + "/" + id);
+}
+
+}  // namespace
+
+util::Result<difc::LabelState> LabeledStore::caller(os::Pid pid) const {
+  return kernel_.effective_state(pid);
+}
+
+bool LabeledStore::visible(const Record& record,
+                           const difc::Label& clearance) {
+  return record.labels.secrecy.subset_of(clearance);
+}
+
+util::Status LabeledStore::put(os::Pid pid, Record record) {
+  if (record.collection.empty() || record.id.empty())
+    return util::make_error("store.invalid", "collection and id required");
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+
+  const Key key{record.collection, record.id};
+  const auto it = records_.find(key);
+  if (it == records_.end()) {
+    // Create: no leak into the record, no forged endorsement.
+    if (!state.value().secrecy().subset_of(record.labels.secrecy)) {
+      return util::make_error(
+          "flow.denied", "put: process secrecy " +
+                             state.value().secrecy().to_string() +
+                             " would leak into record labeled " +
+                             record.labels.secrecy.to_string());
+    }
+    const difc::Label endorsable = state.value().integrity().union_with(
+        state.value().owned().addable());
+    if (!record.labels.integrity.subset_of(endorsable)) {
+      return util::make_error("flow.denied",
+                              "put: cannot forge integrity " +
+                                  record.labels.integrity.to_string());
+    }
+    if (auto charged = kernel_.charge(
+            pid, os::Resource::kDisk,
+            static_cast<std::int64_t>(record.data.dump().size()));
+        !charged.ok()) {
+      return charged;
+    }
+    record.version = 1;
+    record.updated_micros = clock_.now();
+    by_owner_[record.owner].push_back(key);
+    records_.emplace(key, std::move(record));
+    return util::ok_status();
+  }
+
+  // Overwrite: the record's existing labels govern; stored labels and
+  // owner are immutable through this path (relabel is a provider op).
+  Record& existing = it->second;
+  if (auto status = difc::check_write(
+          widen_for(state.value(), existing.labels), existing.labels);
+      !status.ok()) {
+    return status;
+  }
+  const auto new_size = static_cast<std::int64_t>(record.data.dump().size());
+  const auto old_size =
+      static_cast<std::int64_t>(existing.data.dump().size());
+  if (new_size > old_size) {
+    if (auto charged =
+            kernel_.charge(pid, os::Resource::kDisk, new_size - old_size);
+        !charged.ok()) {
+      return charged;
+    }
+  }
+  existing.data = std::move(record.data);
+  existing.version += 1;
+  existing.updated_micros = clock_.now();
+  return util::ok_status();
+}
+
+util::Result<Record> LabeledStore::get(os::Pid pid,
+                                       const std::string& collection,
+                                       const std::string& id, Raise raise) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  const auto it = records_.find(Key{collection, id});
+  if (it == records_.end()) return not_found(collection, id);
+  const Record& record = it->second;
+
+  // Outside clearance the record does not exist — indistinguishable from
+  // a missing id (no existence leak).
+  if (!visible(record, state.value().secrecy_clearance()))
+    return not_found(collection, id);
+
+  if (raise == Raise::kYes &&
+      !record.labels.secrecy.subset_of(state.value().secrecy())) {
+    if (auto raised = kernel_.raise_secrecy(pid, record.labels.secrecy);
+        !raised.ok()) {
+      return raised.error();
+    }
+    state = caller(pid);
+    if (!state.ok()) return state.error();
+  }
+  if (auto status = difc::check_read(widen_for(state.value(), record.labels),
+                                     record.labels);
+      !status.ok()) {
+    return status.error();
+  }
+  return record;
+}
+
+util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
+                                  const std::string& id) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  const Key key{collection, id};
+  const auto it = records_.find(key);
+  if (it == records_.end()) return util::Status(not_found(collection, id));
+  if (!visible(it->second, state.value().secrecy_clearance()))
+    return util::Status(not_found(collection, id));
+  // Vandalism is a write (§3.1): deletion needs write authority.
+  if (auto status = difc::check_write(
+          widen_for(state.value(), it->second.labels), it->second.labels);
+      !status.ok()) {
+    return status;
+  }
+  auto& keys = by_owner_[it->second.owner];
+  std::erase(keys, key);
+  if (keys.empty()) by_owner_.erase(it->second.owner);
+  records_.erase(it);
+  return util::ok_status();
+}
+
+util::Result<std::vector<Record>> LabeledStore::query(
+    os::Pid pid, const std::string& collection, const QueryOptions& options,
+    Raise raise) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  const difc::Label bound = raise == Raise::kYes
+                                ? state.value().secrecy_clearance()
+                                : state.value().secrecy();
+
+  std::vector<Record> out;
+  difc::Label result_label;
+  std::size_t to_skip = options.offset;
+
+  const auto consider = [&](const Record& record) -> bool {
+    if (out.size() >= options.limit) return false;
+    if (!visible(record, bound)) return true;  // invisible, keep scanning
+    if (options.predicate && !options.predicate(record)) return true;
+    if (to_skip > 0) {  // pagination counts only rows the caller may see
+      --to_skip;
+      return true;
+    }
+    result_label = result_label.union_with(record.labels.secrecy);
+    out.push_back(record);
+    return true;
+  };
+
+  if (!options.owner.empty()) {
+    // Secondary index path.
+    const auto idx = by_owner_.find(options.owner);
+    if (idx != by_owner_.end()) {
+      for (const Key& key : idx->second) {
+        if (key.first != collection) continue;
+        if (!consider(records_.at(key))) break;
+      }
+    }
+  } else {
+    const auto begin = records_.lower_bound(Key{collection, ""});
+    for (auto it = begin; it != records_.end() && it->first.first == collection;
+         ++it) {
+      if (!consider(it->second)) break;
+    }
+  }
+
+  // The caller is contaminated by the join of everything returned.
+  if (raise == Raise::kYes &&
+      !result_label.subset_of(state.value().secrecy())) {
+    if (auto raised = kernel_.raise_secrecy(pid, result_label); !raised.ok())
+      return raised.error();
+  }
+  // Charge per *visible* result only — charging for skipped records would
+  // leak their existence through the quota meter.
+  if (auto charged = kernel_.charge(pid, os::Resource::kMemory,
+                                    static_cast<std::int64_t>(out.size()));
+      !charged.ok()) {
+    return charged.error();
+  }
+  return out;
+}
+
+util::Result<std::size_t> LabeledStore::count(os::Pid pid,
+                                              const std::string& collection,
+                                              const QueryOptions& options) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  const difc::Label clearance = state.value().secrecy_clearance();
+  std::size_t n = 0;
+  const auto begin = records_.lower_bound(Key{collection, ""});
+  for (auto it = begin; it != records_.end() && it->first.first == collection;
+       ++it) {
+    const Record& record = it->second;
+    if (!visible(record, clearance)) continue;
+    if (!options.owner.empty() && record.owner != options.owner) continue;
+    if (options.predicate && !options.predicate(record)) continue;
+    ++n;
+    if (n >= options.limit) break;
+  }
+  return n;
+}
+
+util::Result<std::vector<std::string>> LabeledStore::list_ids(
+    os::Pid pid, const std::string& collection) {
+  auto state = caller(pid);
+  if (!state.ok()) return state.error();
+  const difc::Label clearance = state.value().secrecy_clearance();
+  std::vector<std::string> out;
+  const auto begin = records_.lower_bound(Key{collection, ""});
+  for (auto it = begin; it != records_.end() && it->first.first == collection;
+       ++it) {
+    if (visible(it->second, clearance)) out.push_back(it->first.second);
+  }
+  return out;
+}
+
+std::size_t LabeledStore::total_records() const { return records_.size(); }
+
+std::vector<Record> LabeledStore::export_owned_by(
+    const std::string& owner) const {
+  std::vector<Record> out;
+  const auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) return out;
+  out.reserve(it->second.size());
+  for (const Key& key : it->second) out.push_back(records_.at(key));
+  return out;
+}
+
+util::Json LabeledStore::to_json() const {
+  util::Json array = util::Json::array();
+  for (const auto& [key, record] : records_) array.push_back(record.to_json());
+  util::Json out;
+  out["records"] = std::move(array);
+  return out;
+}
+
+util::Status LabeledStore::load_json(const util::Json& snapshot) {
+  if (!snapshot.at("records").is_array())
+    return util::make_error("store.parse", "missing records array");
+  std::map<Key, Record> records;
+  std::map<std::string, std::vector<Key>> by_owner;
+  for (const auto& item : snapshot.at("records").as_array()) {
+    auto record = Record::from_json(item);
+    if (!record.ok()) return record.error();
+    Key key{record.value().collection, record.value().id};
+    if (records.contains(key))
+      return util::make_error("store.parse", "duplicate record key");
+    by_owner[record.value().owner].push_back(key);
+    records.emplace(std::move(key), std::move(record).value());
+  }
+  records_ = std::move(records);
+  by_owner_ = std::move(by_owner);
+  return util::ok_status();
+}
+
+}  // namespace w5::store

@@ -1,0 +1,100 @@
+// The labeled record store — W5's replacement for the SQL backend.
+//
+// The paper (§3.5) observes that "the SQL interface to databases can leak
+// information implicitly and thus needs to be replaced under W5". This
+// store is that replacement. The central covert-channel rule: a query
+// runs against exactly the subset of records the calling process is
+// *cleared* to see (S_r ⊆ clearance(p)); records above clearance do not
+// exist from the caller's perspective — they affect no result, no count,
+// no error, and no resource charge.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "store/record.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace w5::store {
+
+enum class Raise : std::uint8_t { kNo, kYes };
+
+// A predicate over record data; see query.h for composable builders.
+using RecordPredicate = std::function<bool(const Record&)>;
+
+struct QueryOptions {
+  std::size_t limit = SIZE_MAX;
+  std::size_t offset = 0;     // skip the first N *visible+matching* rows
+  std::string owner;          // filter by owner when non-empty
+  RecordPredicate predicate;  // optional data filter
+};
+
+class LabeledStore {
+ public:
+  LabeledStore(os::Kernel& kernel, const util::Clock& clock)
+      : kernel_(kernel), clock_(clock) {}
+
+  LabeledStore(const LabeledStore&) = delete;
+  LabeledStore& operator=(const LabeledStore&) = delete;
+
+  // Creates or overwrites. Create stamps the given labels (creator must
+  // satisfy the no-leak and endorsement rules); overwrite keeps the
+  // existing labels and enforces the write rule against them.
+  util::Status put(os::Pid pid, Record record);
+
+  // Point lookup. Raise::kYes contaminates the caller to admit the
+  // record; otherwise an unreadable record reports store.not_found — the
+  // same error as a genuinely absent id, so existence cannot leak.
+  util::Result<Record> get(os::Pid pid, const std::string& collection,
+                           const std::string& id, Raise raise = Raise::kNo);
+
+  util::Status remove(os::Pid pid, const std::string& collection,
+                      const std::string& id);
+
+  // Clearance-bounded scan; results are readable *after* the implied
+  // raise (with kYes the caller's label is raised to the join of the
+  // results; with kNo only records below the caller's current S return).
+  util::Result<std::vector<Record>> query(os::Pid pid,
+                                          const std::string& collection,
+                                          const QueryOptions& options = {},
+                                          Raise raise = Raise::kYes);
+
+  // Covert-channel-safe count: counts only records within clearance.
+  util::Result<std::size_t> count(os::Pid pid, const std::string& collection,
+                                  const QueryOptions& options = {});
+
+  // Ids visible at the caller's clearance.
+  util::Result<std::vector<std::string>> list_ids(
+      os::Pid pid, const std::string& collection);
+
+  std::size_t total_records() const;  // provider metric (trusted callers)
+
+  // TRUSTED front-end only: every record a user owns, across all
+  // collections (used by GET /export and account deletion). Not exposed
+  // through AppContext — apps cannot enumerate collections.
+  std::vector<Record> export_owned_by(const std::string& owner) const;
+
+  util::Json to_json() const;
+  util::Status load_json(const util::Json& snapshot);
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (collection, id)
+
+  util::Result<difc::LabelState> caller(os::Pid pid) const;
+  static bool visible(const Record& record, const difc::Label& clearance);
+
+  // map keeps iteration deterministic for snapshots and queries.
+  std::map<Key, Record> records_;
+  // Secondary index: owner -> keys, maintained on put/remove.
+  std::map<std::string, std::vector<Key>> by_owner_;
+
+  os::Kernel& kernel_;
+  const util::Clock& clock_;
+};
+
+}  // namespace w5::store

@@ -1,0 +1,55 @@
+#include "store/query.h"
+
+namespace w5::store {
+
+RecordPredicate field_equals(std::string field, std::string value) {
+  return [field = std::move(field), value = std::move(value)](
+             const Record& record) {
+    const util::Json& v = record.data.at(field);
+    return v.is_string() && v.as_string() == value;
+  };
+}
+
+RecordPredicate field_between(std::string field, double lo, double hi) {
+  return [field = std::move(field), lo, hi](const Record& record) {
+    const util::Json& v = record.data.at(field);
+    return v.is_number() && v.as_number() >= lo && v.as_number() <= hi;
+  };
+}
+
+RecordPredicate array_contains(std::string field, std::string value) {
+  return [field = std::move(field), value = std::move(value)](
+             const Record& record) {
+    const util::Json& v = record.data.at(field);
+    if (!v.is_array()) return false;
+    for (const auto& item : v.as_array())
+      if (item.is_string() && item.as_string() == value) return true;
+    return false;
+  };
+}
+
+RecordPredicate field_contains(std::string field, std::string needle) {
+  return [field = std::move(field), needle = std::move(needle)](
+             const Record& record) {
+    const util::Json& v = record.data.at(field);
+    return v.is_string() && v.as_string().find(needle) != std::string::npos;
+  };
+}
+
+RecordPredicate and_also(RecordPredicate a, RecordPredicate b) {
+  return [a = std::move(a), b = std::move(b)](const Record& record) {
+    return a(record) && b(record);
+  };
+}
+
+RecordPredicate or_else(RecordPredicate a, RecordPredicate b) {
+  return [a = std::move(a), b = std::move(b)](const Record& record) {
+    return a(record) || b(record);
+  };
+}
+
+RecordPredicate negate(RecordPredicate p) {
+  return [p = std::move(p)](const Record& record) { return !p(record); };
+}
+
+}  // namespace w5::store

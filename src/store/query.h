@@ -1,0 +1,30 @@
+// Composable record predicates — the safe query surface developers get
+// instead of SQL (§3.5). Predicates are pure functions over one record,
+// so a query can never observe anything outside the caller's clearance,
+// and there is no shared mutable state for one app's query to lock
+// against another's.
+#pragma once
+
+#include <string>
+
+#include "store/labeled_store.h"
+
+namespace w5::store {
+
+// data[field] == value (string compare).
+RecordPredicate field_equals(std::string field, std::string value);
+
+// data[field] is a number within [lo, hi].
+RecordPredicate field_between(std::string field, double lo, double hi);
+
+// data[field] is an array containing the string value.
+RecordPredicate array_contains(std::string field, std::string value);
+
+// data[field] (string) contains the substring.
+RecordPredicate field_contains(std::string field, std::string needle);
+
+RecordPredicate and_also(RecordPredicate a, RecordPredicate b);
+RecordPredicate or_else(RecordPredicate a, RecordPredicate b);
+RecordPredicate negate(RecordPredicate p);
+
+}  // namespace w5::store

@@ -1,0 +1,37 @@
+#include "store/record.h"
+
+#include "difc/codec.h"
+
+namespace w5::store {
+
+util::Json Record::to_json() const {
+  util::Json out;
+  out["collection"] = collection;
+  out["id"] = id;
+  out["owner"] = owner;
+  out["labels"] = difc::object_labels_to_json(labels);
+  out["data"] = data;
+  out["version"] = version;
+  out["updated"] = updated_micros;
+  return out;
+}
+
+util::Result<Record> Record::from_json(const util::Json& j) {
+  Record record;
+  record.collection = j.at("collection").as_string();
+  record.id = j.at("id").as_string();
+  if (record.collection.empty() || record.id.empty())
+    return util::make_error("store.parse", "record missing collection/id");
+  record.owner = j.at("owner").as_string();
+  auto labels = difc::object_labels_from_json(j.at("labels"));
+  if (!labels.ok()) return labels.error();
+  record.labels = std::move(labels).value();
+  record.data = j.at("data");
+  const auto version = j.at("version").as_int(0);
+  if (version <= 0) return util::make_error("store.parse", "bad version");
+  record.version = static_cast<std::uint64_t>(version);
+  record.updated_micros = j.at("updated").as_int(0);
+  return record;
+}
+
+}  // namespace w5::store

@@ -1,0 +1,32 @@
+// Records: the unit of labeled structured storage.
+//
+// W5 commingles many users' data in one store (paper Fig. 2); every
+// record carries its own ObjectLabels, so policy travels with the data
+// ("users ... attach these policies to their data so that the policies
+// applied across applications", §1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "difc/flow.h"
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace w5::store {
+
+struct Record {
+  std::string collection;  // e.g. "photos", "posts", "friends"
+  std::string id;          // unique within the collection
+  std::string owner;       // owning user id (metadata, not enforcement)
+  difc::ObjectLabels labels;
+  util::Json data;
+
+  std::uint64_t version = 1;         // bumped on every put
+  util::Micros updated_micros = 0;
+
+  util::Json to_json() const;
+  static util::Result<Record> from_json(const util::Json& j);
+};
+
+}  // namespace w5::store

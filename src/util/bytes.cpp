@@ -1,0 +1,126 @@
+#include "util/bytes.h"
+
+#include <array>
+
+namespace w5::util {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kB64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr char kB64Url[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::string b64_encode_impl(std::string_view bytes, const char* alphabet,
+                            bool pad) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    const std::uint32_t n = (static_cast<std::uint8_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint8_t>(bytes[i + 1]) << 8) |
+                            static_cast<std::uint8_t>(bytes[i + 2]);
+    out.push_back(alphabet[(n >> 18) & 63]);
+    out.push_back(alphabet[(n >> 12) & 63]);
+    out.push_back(alphabet[(n >> 6) & 63]);
+    out.push_back(alphabet[n & 63]);
+    i += 3;
+  }
+  const std::size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint8_t>(bytes[i]) << 16;
+    out.push_back(alphabet[(n >> 18) & 63]);
+    out.push_back(alphabet[(n >> 12) & 63]);
+    if (pad) out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint8_t>(bytes[i]) << 16) |
+                            (static_cast<std::uint8_t>(bytes[i + 1]) << 8);
+    out.push_back(alphabet[(n >> 18) & 63]);
+    out.push_back(alphabet[(n >> 12) & 63]);
+    out.push_back(alphabet[(n >> 6) & 63]);
+    if (pad) out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::string> b64_decode_impl(std::string_view text,
+                                           const char* alphabet) {
+  std::array<int, 256> lut;
+  lut.fill(-1);
+  for (int i = 0; i < 64; ++i)
+    lut[static_cast<std::uint8_t>(alphabet[i])] = i;
+
+  // Strip trailing padding.
+  while (!text.empty() && text.back() == '=') text.remove_suffix(1);
+
+  std::string out;
+  out.reserve(text.size() * 3 / 4);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const int v = lut[static_cast<std::uint8_t>(c)];
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((acc >> bits) & 0xff));
+    }
+  }
+  // A single leftover symbol (6 bits) cannot encode a byte.
+  if (bits >= 6) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::string hex_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (char c : bytes) {
+    const auto b = static_cast<std::uint8_t>(c);
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::optional<std::string> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view bytes) {
+  return b64_encode_impl(bytes, kB64, /*pad=*/true);
+}
+
+std::optional<std::string> base64_decode(std::string_view text) {
+  return b64_decode_impl(text, kB64);
+}
+
+std::string base64url_encode(std::string_view bytes) {
+  return b64_encode_impl(bytes, kB64Url, /*pad=*/false);
+}
+
+std::optional<std::string> base64url_decode(std::string_view text) {
+  return b64_decode_impl(text, kB64Url);
+}
+
+}  // namespace w5::util

@@ -1,0 +1,22 @@
+// Byte-string codecs: hex and base64 (RFC 4648).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace w5::util {
+
+std::string hex_encode(std::string_view bytes);
+std::optional<std::string> hex_decode(std::string_view hex);
+
+std::string base64_encode(std::string_view bytes);
+std::optional<std::string> base64_decode(std::string_view text);
+
+// URL-safe variant (RFC 4648 §5), unpadded; used for session tokens.
+std::string base64url_encode(std::string_view bytes);
+std::optional<std::string> base64url_decode(std::string_view text);
+
+}  // namespace w5::util

@@ -1,0 +1,39 @@
+// Time sources. Platform code takes a Clock& so tests and benches can run
+// against SimClock (manually advanced, deterministic) while examples and the
+// TCP server use WallClock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace w5::util {
+
+// Monotonic microseconds since an arbitrary epoch.
+using Micros = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros now() const = 0;
+};
+
+class WallClock final : public Clock {
+ public:
+  Micros now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+class SimClock final : public Clock {
+ public:
+  Micros now() const override { return now_; }
+  void advance(Micros delta) { now_ += delta; }
+  void set(Micros t) { now_ = t; }
+
+ private:
+  Micros now_ = 0;
+};
+
+}  // namespace w5::util

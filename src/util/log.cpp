@@ -1,0 +1,56 @@
+#include "util/log.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace w5::util {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_threshold = LogLevel::kWarn;
+
+void default_sink(LogLevel level, std::string_view message) {
+  std::cerr << "[" << to_string(level) << "] " << message << "\n";
+}
+
+LogSink& sink_storage() {
+  static LogSink sink = default_sink;
+  return sink;
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+LogSink set_log_sink(LogSink sink) {
+  const std::lock_guard lock(g_mutex);
+  auto previous = std::move(sink_storage());
+  sink_storage() = std::move(sink);
+  return previous;
+}
+
+void set_log_threshold(LogLevel level) {
+  const std::lock_guard lock(g_mutex);
+  g_threshold = level;
+}
+
+void log(LogLevel level, std::string_view message) {
+  const std::lock_guard lock(g_mutex);
+  if (level < g_threshold) return;
+  if (sink_storage()) sink_storage()(level, message);
+}
+
+}  // namespace w5::util

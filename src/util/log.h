@@ -1,0 +1,56 @@
+// Minimal leveled logger with a swappable sink.
+//
+// The default sink writes to stderr; tests install a capturing sink. The
+// platform's *audit log* (core/audit.h) is separate — this logger is for
+// operational diagnostics only and must never receive user data (DESIGN.md
+// §5 E7 asserts no secret bytes appear in diagnostics).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace w5::util {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+std::string_view to_string(LogLevel level);
+
+using LogSink = std::function<void(LogLevel, std::string_view message)>;
+
+// Replaces the process-wide sink; returns the previous one.
+LogSink set_log_sink(LogSink sink);
+
+// Messages below this level are dropped before reaching the sink.
+void set_log_threshold(LogLevel level);
+
+void log(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace w5::util

@@ -1,0 +1,63 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All workload generators in bench/ and tests/ draw from SplitMix64-seeded
+// xoshiro256**, so a fixed seed regenerates the identical workload on every
+// run — a requirement for the experiment harness (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace w5::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5757575757575757ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound) via Lemire's method; bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  bool next_bool(double probability_true = 0.5);
+
+  // Lowercase alphanumeric string of the given length.
+  std::string next_string(std::size_t length);
+
+  // Random raw bytes.
+  std::string next_bytes(std::size_t length);
+
+  // Shuffle in place (Fisher-Yates).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipf(s, n) sampler over {0, .., n-1}; models skewed popularity of users,
+// photos, and modules in the synthetic workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double skew, std::uint64_t seed);
+
+  std::size_t next();
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;  // cumulative, normalized
+};
+
+}  // namespace w5::util

@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4), used for password hashing (salted), session token
+// derivation, and content fingerprints in the module registry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace w5::util {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256();
+
+  void update(std::string_view data);
+
+  // Finalizes and returns the raw 32-byte digest. The object must not be
+  // reused afterwards (construct a fresh one).
+  std::array<std::uint8_t, kDigestSize> finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// One-shot helpers.
+std::string sha256_raw(std::string_view data);  // 32 raw bytes
+std::string sha256_hex(std::string_view data);  // 64 hex chars
+
+}  // namespace w5::util

@@ -1,0 +1,36 @@
+// String helpers shared across the codebase.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace w5::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Like split but drops empty pieces ("a//b" -> {"a","b"}).
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strict decimal parse of the whole string; rejects sign for uint.
+std::optional<std::int64_t> parse_i64(std::string_view s);
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+}  // namespace w5::util

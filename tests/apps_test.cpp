@@ -1,0 +1,319 @@
+// Integration tests: the paper's example applications running end-to-end
+// on the platform, across users and policies.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace w5::apps {
+namespace {
+
+using net::Method;
+using platform::Provider;
+using platform::ProviderConfig;
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() : provider_(ProviderConfig{}, clock_) {}
+
+  void SetUp() override {
+    register_standard_apps(provider_);
+    for (const char* user : {"bob", "alice", "charlie"}) {
+      ASSERT_TRUE(provider_.signup(user, std::string(user) + "pw").ok());
+      sessions_[user] =
+          provider_.login(user, std::string(user) + "pw").value();
+    }
+    // Everyone grants the core apps write access to their own data and
+    // uses the friend-list declassifier (the "casual user" setup).
+    for (const char* user : {"bob", "alice", "charlie"}) {
+      ASSERT_EQ(provider_
+                    .http(Method::kPost, "/policy",
+                          R"({"declassifier":"std/friends",
+                              "write_grants":["photoco/photos","devA/crop",
+                                              "blogco/blog","socialco/social",
+                                              "datingco/dating"]})",
+                          sessions_[user])
+                    .status,
+                200);
+    }
+  }
+
+  net::HttpResponse as(const std::string& user, Method method,
+                       const std::string& target,
+                       const std::string& body = {}) {
+    return provider_.http(method, target, body, sessions_.at(user));
+  }
+
+  util::SimClock clock_;
+  Provider provider_;
+  std::map<std::string, std::string> sessions_;
+};
+
+TEST_F(AppsTest, PhotoUploadListViewLifecycle) {
+  auto upload = as("bob", Method::kPost, "/dev/photoco/photos/upload?id=p1",
+                   R"({"title":"sunset","caption":"on the beach",
+                       "pixels":["abcdef","ghijkl","mnopqr"],"rating":5})");
+  EXPECT_EQ(upload.status, 201) << upload.body;
+
+  auto list = as("bob", Method::kGet, "/dev/photoco/photos/list");
+  EXPECT_EQ(list.status, 200) << list.body;
+  EXPECT_NE(list.body.find("sunset"), std::string::npos);
+
+  auto view = as("bob", Method::kGet, "/dev/photoco/photos/view?id=p1");
+  EXPECT_EQ(view.status, 200);
+  EXPECT_NE(view.body.find("beach"), std::string::npos);
+
+  // Unknown action and missing photo.
+  EXPECT_EQ(as("bob", Method::kGet, "/dev/photoco/photos/nonsense").status,
+            404);
+  EXPECT_EQ(as("bob", Method::kGet, "/dev/photoco/photos/view?id=zz").status,
+            404);
+}
+
+TEST_F(AppsTest, IndependentCropModuleEditsPhoto) {
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/photoco/photos/upload?id=p1",
+               R"({"title":"t","caption":"","rating":0,
+                   "pixels":["abcdef","ghijkl","mnopqr"]})")
+                .status,
+            201);
+  // devA's crop module, a different developer, edits bob's photo under
+  // bob's write grant.
+  auto crop = as("bob", Method::kGet, "/dev/devA/crop?id=p1&w=2&h=2");
+  EXPECT_EQ(crop.status, 200) << crop.body;
+  EXPECT_NE(crop.body.find(R"(["ab","gh"])"), std::string::npos);
+
+  // Charlie cannot crop bob's photo: no wp(bob) on his requests.
+  auto denied = as("charlie", Method::kGet, "/dev/devA/crop?id=p1&w=1&h=1");
+  EXPECT_NE(denied.status, 200);
+}
+
+TEST_F(AppsTest, BlogRendersEscapedHtml) {
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/blogco/blog/post?id=1",
+               R"({"title":"Hello <world>","text":"first & post"})")
+                .status,
+            201);
+  auto page = as("bob", Method::kGet, "/dev/blogco/blog/page");
+  EXPECT_EQ(page.status, 200);
+  EXPECT_NE(page.body.find("Hello &lt;world&gt;"), std::string::npos);
+  EXPECT_NE(page.body.find("first &amp; post"), std::string::npos);
+  EXPECT_EQ(page.headers.get("Content-Type").value_or("").find("text/html"),
+            0u);
+}
+
+TEST_F(AppsTest, SocialProfileVisibilityFollowsFriendList) {
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/socialco/social/update",
+               R"({"name":"Bob","interests":["sci-fi","hiking"]})")
+                .status,
+            200);
+  ASSERT_EQ(as("bob", Method::kPost,
+               "/dev/socialco/social/befriend?friend=alice")
+                .status,
+            200);
+
+  // Alice (friend) sees bob's profile; charlie does not.
+  EXPECT_EQ(as("alice", Method::kGet,
+               "/dev/socialco/social/profile?user=bob").status,
+            200);
+  EXPECT_EQ(as("charlie", Method::kGet,
+               "/dev/socialco/social/profile?user=bob").status,
+            403);
+  // Friend list itself follows the same policy.
+  EXPECT_EQ(as("alice", Method::kGet,
+               "/dev/socialco/social/friends?user=bob").status,
+            200);
+  EXPECT_EQ(as("charlie", Method::kGet,
+               "/dev/socialco/social/friends?user=bob").status,
+            403);
+  // Idempotent befriending.
+  EXPECT_NE(as("bob", Method::kPost,
+               "/dev/socialco/social/befriend?friend=alice").body
+                .find("already"),
+            std::string::npos);
+}
+
+TEST_F(AppsTest, RecommenderDigestsFriendsContentForOwnerOnly) {
+  // Alice posts content; bob befriends alice; bob asks for a digest.
+  ASSERT_EQ(as("alice", Method::kPost, "/dev/photoco/photos/upload?id=a1",
+               R"({"title":"mountain hiking","caption":"alps","rating":4,
+                   "pixels":[]})")
+                .status,
+            201);
+  ASSERT_EQ(as("alice", Method::kPost, "/dev/blogco/blog/post?id=b1",
+               R"({"title":"sci-fi reviews","text":"dune"})")
+                .status,
+            201);
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/socialco/social/update",
+               R"({"name":"Bob","interests":["hiking"]})")
+                .status,
+            200);
+  ASSERT_EQ(as("bob", Method::kPost,
+               "/dev/socialco/social/befriend?friend=alice").status,
+            200);
+  // Alice must befriend bob too: the digest carries sec(alice), and her
+  // friend-list declassifier must approve bob.
+  ASSERT_EQ(as("alice", Method::kPost,
+               "/dev/socialco/social/befriend?friend=bob").status,
+            200);
+
+  auto digest = as("bob", Method::kGet, "/dev/recsys/digest?n=2");
+  EXPECT_EQ(digest.status, 200) << digest.body;
+  EXPECT_NE(digest.body.find("mountain hiking"), std::string::npos);
+  // Hiking matches bob's interests, so the photo outranks the blog post.
+  const auto photo_pos = digest.body.find("mountain hiking");
+  const auto post_pos = digest.body.find("sci-fi reviews");
+  EXPECT_LT(photo_pos, post_pos);
+
+  // Charlie cannot fetch bob's digest even if he tries: it would carry
+  // alice's tag (and bob's friends data tag), and he is approved by
+  // neither.
+  auto denied = as("charlie", Method::kGet, "/dev/recsys/digest");
+  EXPECT_NE(denied.status, 200);
+}
+
+TEST_F(AppsTest, ChameleonHidesInterestsPerViewer) {
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/socialco/social/update",
+               R"({"name":"Bob",
+                   "interests":["sci-fi","hiking"],
+                   "hide":{"sci-fi":["alice"]}})")
+                .status,
+            200);
+  ASSERT_EQ(as("bob", Method::kPost,
+               "/dev/socialco/social/befriend?friend=alice").status,
+            200);
+  ASSERT_EQ(as("bob", Method::kPost,
+               "/dev/socialco/social/befriend?friend=charlie").status,
+            200);
+
+  // Alice (a love interest) does not see sci-fi; charlie does.
+  auto for_alice =
+      as("alice", Method::kGet, "/dev/chameleonco/chameleon?user=bob");
+  ASSERT_EQ(for_alice.status, 200) << for_alice.body;
+  EXPECT_EQ(for_alice.body.find("sci-fi"), std::string::npos);
+  EXPECT_NE(for_alice.body.find("hiking"), std::string::npos);
+
+  auto for_charlie =
+      as("charlie", Method::kGet, "/dev/chameleonco/chameleon?user=bob");
+  ASSERT_EQ(for_charlie.status, 200);
+  EXPECT_NE(for_charlie.body.find("sci-fi"), std::string::npos);
+
+  // Bob sees everything.
+  auto for_bob = as("bob", Method::kGet, "/dev/chameleonco/chameleon");
+  EXPECT_NE(for_bob.body.find("sci-fi"), std::string::npos);
+}
+
+TEST_F(AppsTest, MashupKeepsAddressesInside) {
+  ASSERT_EQ(provider_
+                .http(Method::kPost, "/data/addressbook/bob",
+                      R"({"mom":"12 elm st","dentist":"9 oak ave"})",
+                      sessions_["bob"])
+                .status,
+            201);
+
+  // Track what reaches the "external internet".
+  std::vector<std::string> external_urls;
+  provider_.set_external_fetcher(
+      [&](const std::string& url) -> util::Result<std::string> {
+        external_urls.push_back(url);
+        return std::string("tiles");
+      });
+
+  auto map = as("bob", Method::kGet, "/dev/mashupco/addressmap");
+  EXPECT_EQ(map.status, 200) << map.body;
+  EXPECT_NE(map.body.find("12 elm st"), std::string::npos);  // bob sees pins
+  ASSERT_EQ(external_urls.size(), 1u);
+  EXPECT_EQ(external_urls[0].find("elm"), std::string::npos);
+
+  // The leak variant reads the book first, then tries to call out.
+  auto leak = as("bob", Method::kGet, "/dev/mashupco/addressmap?leak=1");
+  EXPECT_EQ(leak.status, 200);
+  EXPECT_NE(leak.body.find(R"("leak_allowed":false)"), std::string::npos);
+  EXPECT_NE(leak.body.find("perimeter.denied"), std::string::npos);
+  // Still exactly one external call: the leak attempt never got out.
+  EXPECT_EQ(external_urls.size(), 1u);
+}
+
+TEST_F(AppsTest, DatingUsesCustomMetric) {
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/socialco/social/update",
+               R"({"name":"Bob","interests":["sci-fi"],
+                   "city":"boston","age":30})")
+                .status,
+            200);
+  ASSERT_EQ(as("alice", Method::kPost, "/dev/socialco/social/update",
+               R"({"name":"Alice","interests":["sci-fi"],
+                   "city":"boston","age":31})")
+                .status,
+            200);
+  ASSERT_EQ(as("charlie", Method::kPost, "/dev/socialco/social/update",
+               R"({"name":"Charlie","interests":["golf"],
+                   "city":"dallas","age":55})")
+                .status,
+            200);
+
+  // Under friends-only policies the match list carries strangers' tags
+  // and the perimeter blocks it — dating requires opting profiles in.
+  EXPECT_EQ(as("bob", Method::kGet, "/dev/datingco/dating/matches").status,
+            403);
+  for (const char* user : {"bob", "alice", "charlie"}) {
+    ASSERT_EQ(provider_
+                  .http(Method::kPost, "/policy",
+                        R"({"declassifier":"std/public",
+                            "write_grants":["socialco/social",
+                                            "datingco/dating"]})",
+                        sessions_[user])
+                  .status,
+              200);
+  }
+  auto matches = as("bob", Method::kGet, "/dev/datingco/dating/matches");
+  ASSERT_EQ(matches.status, 200) << matches.body;
+  // Alice (shared interest + same city + small age gap) ranks first.
+  EXPECT_LT(matches.body.find("alice"), matches.body.find("charlie"));
+
+  // Bob uploads a metric that *only* values small age gaps... inverted:
+  // big penalty makes charlie terrible, alice still first. Make a metric
+  // that values nothing but city to check the behavior changes:
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/datingco/dating/metric",
+               R"({"shared_interest":0,"same_city":0,
+                   "age_gap_penalty":-1.0})")
+                .status,
+            200);
+  // Negative penalty rewards age gaps: charlie now wins.
+  auto inverted = as("bob", Method::kGet, "/dev/datingco/dating/matches");
+  ASSERT_EQ(inverted.status, 200);
+  EXPECT_LT(inverted.body.find("charlie"), inverted.body.find("alice"));
+}
+
+TEST_F(AppsTest, ForkedAppServesUsersImmediately) {
+  // devB forks the photo app (paper §2) and bob uses it by URL with no
+  // re-upload of data — the decoupling of apps from data.
+  auto fork = provider_.modules().fork("photoco/photos@1.0", "devB",
+                                       "betterphotos");
+  ASSERT_TRUE(fork.ok());
+  ASSERT_EQ(as("bob", Method::kPost, "/dev/photoco/photos/upload?id=p1",
+               R"({"title":"original","caption":"","rating":0,"pixels":[]})")
+                .status,
+            201);
+  // Grant the fork write access (it is a distinct module path).
+  ASSERT_EQ(as("bob", Method::kPost, "/policy",
+               R"({"declassifier":"std/friends",
+                   "write_grants":["devB/betterphotos"]})")
+                .status,
+            200);
+  auto list = as("bob", Method::kGet, "/dev/devB/betterphotos/list");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_NE(list.body.find("original"), std::string::npos);
+}
+
+TEST_F(AppsTest, AppsListShowsRegisteredModules) {
+  auto apps = provider_.http(Method::kGet, "/apps");
+  for (const char* id :
+       {"photoco/photos@1.0", "devA/crop@1.0", "blogco/blog@1.0",
+        "socialco/social@1.0", "recsys/digest@1.0",
+        "chameleonco/chameleon@1.0", "mashupco/addressmap@1.0",
+        "datingco/dating@1.0"}) {
+    EXPECT_NE(apps.body.find(id), std::string::npos) << id;
+  }
+}
+
+}  // namespace
+}  // namespace w5::apps

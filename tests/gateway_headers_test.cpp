@@ -1,0 +1,104 @@
+// Label-transparency headers, CSP, /audit endpoint, and process reaping.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace w5::platform {
+namespace {
+
+using net::Method;
+
+class GatewayHeadersTest : public ::testing::Test {
+ protected:
+  GatewayHeadersTest() : provider_(ProviderConfig{}, clock_) {}
+
+  void SetUp() override {
+    apps::register_standard_apps(provider_);
+    ASSERT_TRUE(provider_.signup("bob", "bobpw").ok());
+    bob_ = provider_.login("bob", "bobpw").value();
+    ASSERT_EQ(provider_.http(Method::kPost, "/data/photos/p1",
+                             R"({"title":"t","caption":"","rating":1})",
+                             bob_).status,
+              201);
+  }
+
+  util::SimClock clock_;
+  Provider provider_;
+  std::string bob_;
+};
+
+TEST_F(GatewayHeadersTest, LabelHeaderNamesDeclassifiedTags) {
+  const auto response = provider_.http(
+      Method::kGet, "/dev/photoco/photos/view?id=p1", "", bob_);
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.get("X-W5-Label"), "sec(bob)");
+  EXPECT_EQ(response.headers.get("Content-Security-Policy"),
+            "script-src 'none'");
+}
+
+TEST_F(GatewayHeadersTest, CleanResponseHasNoLabelHeader) {
+  Module hello;
+  hello.developer = "dev";
+  hello.name = "hello";
+  hello.version = "1.0";
+  hello.handler = [](AppContext&) {
+    return net::HttpResponse::text(200, "hi");
+  };
+  ASSERT_TRUE(provider_.modules().add(hello).ok());
+  const auto response =
+      provider_.http(Method::kGet, "/dev/dev/hello", "", bob_);
+  EXPECT_FALSE(response.headers.contains("X-W5-Label"));
+}
+
+TEST_F(GatewayHeadersTest, NoCspWhenSanitizerDisabled) {
+  ProviderConfig config;
+  config.strip_javascript = false;
+  util::SimClock clock;
+  Provider provider(config, clock);
+  apps::register_standard_apps(provider);
+  ASSERT_TRUE(provider.signup("bob", "bobpw").ok());
+  const std::string bob = provider.login("bob", "bobpw").value();
+  ASSERT_EQ(provider.http(Method::kPost, "/data/photos/p1",
+                          R"({"title":"t"})", bob).status,
+            201);
+  const auto response = provider.http(
+      Method::kGet, "/dev/photoco/photos/view?id=p1", "", bob);
+  EXPECT_FALSE(response.headers.contains("Content-Security-Policy"));
+}
+
+TEST_F(GatewayHeadersTest, AuditEndpointReturnsScrubbedRecentEvents) {
+  // Generate a blocked export for the log.
+  ASSERT_TRUE(provider_.signup("eve", "evepw").ok());
+  const std::string eve = provider_.login("eve", "evepw").value();
+  (void)provider_.http(Method::kGet, "/dev/photoco/photos/view?id=p1", "",
+                       eve);
+
+  const auto audit = provider_.http(Method::kGet, "/audit?n=5");
+  EXPECT_EQ(audit.status, 200);
+  EXPECT_NE(audit.body.find("export.blocked"), std::string::npos);
+  // The secret title never reaches the audit surface.
+  EXPECT_EQ(audit.body.find("\"t\""), std::string::npos);
+  // Limit honored.
+  const auto one = provider_.http(Method::kGet, "/audit?n=1");
+  std::size_t count = 0;
+  for (std::size_t pos = one.body.find("\"kind\""); pos != std::string::npos;
+       pos = one.body.find("\"kind\"", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(GatewayHeadersTest, RequestProcessesAreReaped) {
+  const std::size_t before = provider_.kernel().process_table_size();
+  for (int i = 0; i < 50; ++i) {
+    (void)provider_.http(Method::kGet, "/dev/photoco/photos/view?id=p1", "",
+                         bob_);
+  }
+  // The table did not grow by 50 — per-request processes are reaped.
+  EXPECT_LE(provider_.kernel().process_table_size(), before + 2);
+  EXPECT_EQ(provider_.kernel().live_process_count(), 0u);
+}
+
+}  // namespace
+}  // namespace w5::platform

@@ -1,0 +1,165 @@
+// §3.1 integrity protection: "Bob can authorize an application to act on
+// his behalf only if all of its components (such as its libraries and
+// configuration files) are meritorious."
+#include <gtest/gtest.h>
+
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace w5::platform {
+namespace {
+
+using net::HttpResponse;
+using net::Method;
+
+class IntegrityProtectionTest : public ::testing::Test {
+ protected:
+  IntegrityProtectionTest() : provider_(ProviderConfig{}, clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(provider_.signup("bob", "bobpw").ok());
+    bob_ = provider_.login("bob", "bobpw").value();
+    ASSERT_EQ(provider_.http(Method::kPost, "/data/notes/n1",
+                             R"({"text":"original"})", bob_).status,
+              201);
+
+    // A library module and an editor app importing it.
+    Module lib;
+    lib.developer = "devL";
+    lib.name = "lib";
+    lib.version = "1.0";
+    lib.manifest.open_source = true;
+    lib.manifest.source = "library source";
+    lib.handler = [](AppContext&) { return HttpResponse::text(200, "lib"); };
+    ASSERT_TRUE(provider_.modules().add(lib).ok());
+
+    Module editor;
+    editor.developer = "devE";
+    editor.name = "edit";
+    editor.version = "1.0";
+    editor.manifest.open_source = true;
+    editor.manifest.source = "editor source";
+    editor.manifest.imports = {"devL/lib@1.0"};
+    editor.handler = [](AppContext& ctx) {
+      auto record = ctx.get_record("notes", "n1");
+      if (!record.ok()) return HttpResponse::text(404, "no note");
+      record.value().data["text"] = "edited";
+      auto written = ctx.put_record(record.value());
+      return written.ok() ? HttpResponse::text(200, "saved")
+                          : HttpResponse::text(403, written.error().code);
+    };
+    ASSERT_TRUE(provider_.modules().add(editor).ok());
+
+    editor_fingerprint_ =
+        provider_.modules().resolve("devE", "edit")->fingerprint;
+    lib_fingerprint_ =
+        provider_.modules().resolve("devL", "lib")->fingerprint;
+  }
+
+  util::Status set_policy(const std::vector<std::string>& fingerprints) {
+    util::Json policy;
+    policy["write_grants"] = util::Json::array({"devE/edit"});
+    util::Json trusted = util::Json::array();
+    for (const auto& fingerprint : fingerprints)
+      trusted.push_back(fingerprint);
+    policy["trusted_fingerprints"] = std::move(trusted);
+    const auto response =
+        provider_.http(Method::kPost, "/policy", policy.dump(), bob_);
+    if (response.status != 200)
+      return util::make_error("test", response.body);
+    return util::ok_status();
+  }
+
+  int try_edit() {
+    return provider_.http(Method::kGet, "/dev/devE/edit", "", bob_).status;
+  }
+
+  util::SimClock clock_;
+  Provider provider_;
+  std::string bob_;
+  std::string editor_fingerprint_;
+  std::string lib_fingerprint_;
+};
+
+TEST_F(IntegrityProtectionTest, EmptyListMeansFeatureOff) {
+  ASSERT_TRUE(set_policy({}).ok());
+  EXPECT_EQ(try_edit(), 200);  // ordinary write grant applies
+}
+
+TEST_F(IntegrityProtectionTest, UnauditedModuleGetsNoGrants) {
+  // Bob audits only the library, not the editor itself.
+  ASSERT_TRUE(set_policy({lib_fingerprint_}).ok());
+  EXPECT_EQ(try_edit(), 403);  // write grant withheld
+  // The platform recorded why.
+  bool noted = false;
+  for (const auto& event : provider_.audit().events()) {
+    if (event.subject == "integrity-protection") noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST_F(IntegrityProtectionTest, UnauditedImportAlsoBlocks) {
+  // Bob audits the editor but not its imported library: the component
+  // rule fails closed.
+  ASSERT_TRUE(set_policy({editor_fingerprint_}).ok());
+  EXPECT_EQ(try_edit(), 403);
+}
+
+TEST_F(IntegrityProtectionTest, FullyAuditedStackWorks) {
+  ASSERT_TRUE(set_policy({editor_fingerprint_, lib_fingerprint_}).ok());
+  EXPECT_EQ(try_edit(), 200);
+  EXPECT_EQ(provider_.store()
+                .get(os::kKernelPid, "notes", "n1").value()
+                .data.at("text").as_string(),
+            "edited");
+}
+
+TEST_F(IntegrityProtectionTest, NewVersionRequiresFreshAudit) {
+  ASSERT_TRUE(set_policy({editor_fingerprint_, lib_fingerprint_}).ok());
+  ASSERT_EQ(try_edit(), 200);
+
+  // devE ships 2.0 with different source: different fingerprint.
+  Module editor2;
+  editor2.developer = "devE";
+  editor2.name = "edit";
+  editor2.version = "2.0";
+  editor2.manifest.open_source = true;
+  editor2.manifest.source = "editor source v2 (maybe trojaned)";
+  editor2.manifest.imports = {"devL/lib@1.0"};
+  editor2.handler = [](AppContext& ctx) {
+    auto record = ctx.get_record("notes", "n1");
+    if (!record.ok()) return HttpResponse::text(404, "no note");
+    record.value().data["text"] = "v2 was here";
+    auto written = ctx.put_record(record.value());
+    return written.ok() ? HttpResponse::text(200, "saved")
+                        : HttpResponse::text(403, written.error().code);
+  };
+  ASSERT_TRUE(provider_.modules().add(editor2).ok());
+
+  // Latest resolves to 2.0, whose fingerprint bob has NOT audited.
+  EXPECT_EQ(try_edit(), 403);
+  // Pinning back to the audited 1.0 restores service (§2: version choice).
+  util::Json policy;
+  policy["write_grants"] = util::Json::array({"devE/edit"});
+  policy["trusted_fingerprints"] =
+      util::Json::array({editor_fingerprint_, lib_fingerprint_});
+  util::Json pins;
+  pins["devE/edit"] = "1.0";
+  policy["version_pins"] = std::move(pins);
+  ASSERT_EQ(provider_.http(Method::kPost, "/policy", policy.dump(), bob_)
+                .status,
+            200);
+  EXPECT_EQ(try_edit(), 200);
+}
+
+TEST_F(IntegrityProtectionTest, PolicyRoundTripsFingerprints) {
+  ASSERT_TRUE(set_policy({editor_fingerprint_}).ok());
+  const auto stored = provider_.http(Method::kGet, "/policy", "", bob_);
+  EXPECT_NE(stored.body.find(editor_fingerprint_), std::string::npos);
+  auto parsed = UserPolicy::from_json(util::Json::parse(stored.body).value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().trusted_fingerprints.size(), 1u);
+}
+
+}  // namespace
+}  // namespace w5::platform

@@ -1,0 +1,127 @@
+// §1: "a prospective user can sign up simply by checking a box or
+// 'accepting an invitation'" — the adoption flow, plus store pagination.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace w5::platform {
+namespace {
+
+using net::Method;
+
+class InvitationTest : public ::testing::Test {
+ protected:
+  InvitationTest() : provider_(ProviderConfig{}, clock_) {}
+
+  void SetUp() override {
+    apps::register_standard_apps(provider_);
+    ASSERT_TRUE(provider_.signup("dev-dana", "danapw").ok());
+    ASSERT_TRUE(provider_.signup("bob", "bobpw").ok());
+    dana_ = provider_.login("dev-dana", "danapw").value();
+    bob_ = provider_.login("bob", "bobpw").value();
+  }
+
+  util::SimClock clock_;
+  Provider provider_;
+  std::string dana_, bob_;
+};
+
+TEST_F(InvitationTest, FullInviteAcceptFlow) {
+  // Dana invites bob to her (forked) app.
+  ASSERT_TRUE(
+      provider_.modules().fork("photoco/photos@1.0", "dana", "danaphotos")
+          .ok());
+  ASSERT_EQ(provider_.http(Method::kPost, "/invite",
+                           "to=bob&app=dana/danaphotos", dana_).status,
+            201);
+
+  // Bob sees it pending.
+  const auto pending = provider_.http(Method::kGet, "/invitations", "", bob_);
+  EXPECT_EQ(pending.status, 200);
+  EXPECT_NE(pending.body.find("dana/danaphotos"), std::string::npos);
+  EXPECT_NE(pending.body.find(R"("accepted":false)"), std::string::npos);
+
+  // Before accepting: no write grant, the app cannot save bob's photos.
+  ASSERT_EQ(provider_.http(Method::kPost, "/data/photos/p1",
+                           R"({"title":"pre-existing","caption":"",
+                               "rating":1,"pixels":[]})",
+                           bob_).status,
+            201);
+  EXPECT_NE(provider_.http(Method::kPost,
+                           "/dev/dana/danaphotos/caption?id=p1", "better!",
+                           bob_).status,
+            200);
+
+  // Checking the box.
+  ASSERT_EQ(provider_.http(Method::kPost, "/accept", "app=dana/danaphotos",
+                           bob_).status,
+            200);
+  EXPECT_TRUE(provider_.policies().get("bob").grants_write("dana/danaphotos"));
+  // The app serves bob's existing data immediately, with write access.
+  EXPECT_EQ(provider_.http(Method::kPost,
+                           "/dev/dana/danaphotos/caption?id=p1", "better!",
+                           bob_).status,
+            200);
+  const auto after = provider_.http(Method::kGet, "/invitations", "", bob_);
+  EXPECT_NE(after.body.find(R"("accepted":true)"), std::string::npos);
+}
+
+TEST_F(InvitationTest, ValidationAndPrivacy) {
+  EXPECT_EQ(provider_.http(Method::kPost, "/invite",
+                           "to=bob&app=photoco/photos").status,
+            401);  // anonymous cannot invite
+  EXPECT_EQ(provider_.http(Method::kPost, "/invite",
+                           "to=ghost&app=photoco/photos", dana_).status,
+            404);
+  EXPECT_EQ(provider_.http(Method::kPost, "/invite",
+                           "to=bob&app=no/such", dana_).status,
+            404);
+  EXPECT_EQ(provider_.http(Method::kPost, "/invite", "to=bob", dana_).status,
+            400);
+  EXPECT_EQ(provider_.http(Method::kPost, "/accept", "app=no/such", bob_)
+                .status,
+            404);
+
+  // Invitations are the invitee's data: dana cannot list bob's.
+  ASSERT_EQ(provider_.http(Method::kPost, "/invite",
+                           "to=bob&app=photoco/photos", dana_).status,
+            201);
+  const auto danas = provider_.http(Method::kGet, "/invitations", "", dana_);
+  EXPECT_EQ(danas.body.find("photoco/photos"), std::string::npos);
+}
+
+TEST(StorePaginationTest, OffsetCountsOnlyVisibleRows) {
+  os::Kernel kernel;
+  util::SimClock clock;
+  store::LabeledStore store(kernel, clock);
+  const auto hidden =
+      kernel.create_tag(os::kKernelPid, "h", difc::TagPurpose::kSecrecy)
+          .value();
+  for (int i = 0; i < 10; ++i) {
+    store::Record record;
+    record.collection = "c";
+    record.id = "r" + std::to_string(i);
+    record.owner = "u";
+    if (i % 2 == 1)  // odd rows hidden from the app
+      record.labels = difc::ObjectLabels{difc::Label{hidden}, {}};
+    record.data["n"] = i;
+    ASSERT_TRUE(store.put(os::kKernelPid, std::move(record)).ok());
+  }
+  const auto app =
+      kernel.spawn_trusted("app", difc::LabelState({}, {}, {}));
+  // Visible rows are r0,r2,r4,r6,r8; page of 2 starting at offset 2.
+  auto page = store.query(app, "c",
+                          store::QueryOptions{.limit = 2, .offset = 2});
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page.value().size(), 2u);
+  EXPECT_EQ(page.value()[0].id, "r4");
+  EXPECT_EQ(page.value()[1].id, "r6");
+  // Offset past the end yields empty, not an error.
+  EXPECT_TRUE(store.query(app, "c", store::QueryOptions{.offset = 99})
+                  .value().empty());
+}
+
+}  // namespace
+}  // namespace w5::platform

@@ -1,0 +1,94 @@
+// HttpClient behavior over the in-memory transport: happy path, truncated
+// responses, malformed responses, and read_available edge cases.
+#include <gtest/gtest.h>
+
+#include "net/http_client.h"
+#include "net/transport.h"
+
+namespace w5::net {
+namespace {
+
+TEST(HttpClientTest, RoundTripAgainstPrebufferedResponse) {
+  auto [client_end, server_end] = make_pipe();
+  // The "server" wrote its response ahead of time (in-memory transports
+  // are single-threaded; see fed::Node for the pump pattern).
+  const auto canned = HttpResponse::json(200, R"({"pong":true})");
+  ASSERT_TRUE(server_end->write(canned.to_wire()).ok());
+
+  HttpClient client;
+  HttpRequest request;
+  request.target = "/ping";
+  auto response = client.roundtrip(*client_end, request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, R"({"pong":true})");
+
+  // The request bytes reached the server side intact.
+  auto seen = server_end->read_available();
+  ASSERT_TRUE(seen.ok());
+  EXPECT_NE(seen.value().find("GET /ping HTTP/1.1"), std::string::npos);
+}
+
+TEST(HttpClientTest, EofMidResponseIsAnError) {
+  auto [client_end, server_end] = make_pipe();
+  ASSERT_TRUE(
+      server_end->write("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort")
+          .ok());
+  server_end->close();
+  HttpClient client;
+  HttpRequest request;
+  auto response = client.roundtrip(*client_end, request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, "http.incomplete");
+}
+
+TEST(HttpClientTest, MalformedResponseIsAParseError) {
+  auto [client_end, server_end] = make_pipe();
+  ASSERT_TRUE(server_end->write("NOT HTTP AT ALL\r\n\r\n").ok());
+  HttpClient client;
+  HttpRequest request;
+  auto response = client.roundtrip(*client_end, request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, "http.unsupported");
+}
+
+TEST(HttpClientTest, OversizedResponseHitsClientLimits) {
+  auto [client_end, server_end] = make_pipe();
+  auto big = HttpResponse::text(200, std::string(1000, 'x'));
+  ASSERT_TRUE(server_end->write(big.to_wire()).ok());
+  HttpClient client(ParserLimits{.max_body_bytes = 100});
+  HttpRequest request;
+  auto response = client.roundtrip(*client_end, request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, "http.too_large");
+}
+
+TEST(HttpClientTest, WriteFailureSurfaces) {
+  auto [client_end, server_end] = make_pipe();
+  client_end->close();
+  HttpClient client;
+  HttpRequest request;
+  auto response = client.roundtrip(*client_end, request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, "net.closed");
+}
+
+TEST(ReadAvailableTest, RespectsMaxAndDrainSemantics) {
+  auto [a, b] = make_pipe();
+  ASSERT_TRUE(a->write(std::string(10000, 'z')).ok());
+  auto capped = b->read_available(/*max=*/100);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped.value().size(), 100u);
+  auto rest = b->read_available();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest.value().size(), 9900u);
+  // Empty + open → would_block error; empty + closed → clean "".
+  EXPECT_EQ(b->read_available().error().code, "net.would_block");
+  a->close();
+  auto after_close = b->read_available();
+  ASSERT_TRUE(after_close.ok());
+  EXPECT_TRUE(after_close.value().empty());
+}
+
+}  // namespace
+}  // namespace w5::net

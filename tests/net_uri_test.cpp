@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "net/uri.h"
+
+namespace w5::net {
+namespace {
+
+TEST(PercentCodecTest, EncodesReservedCharacters) {
+  EXPECT_EQ(percent_encode("abc-_.~XYZ09"), "abc-_.~XYZ09");
+  EXPECT_EQ(percent_encode("a b"), "a%20b");
+  EXPECT_EQ(percent_encode("a/b?c=d&e"), "a%2Fb%3Fc%3Dd%26e");
+  EXPECT_EQ(percent_encode("\xff"), "%FF");
+}
+
+TEST(PercentCodecTest, DecodesStrictly) {
+  EXPECT_EQ(percent_decode("a%20b"), "a b");
+  EXPECT_EQ(percent_decode("a%2fb"), "a/b");
+  EXPECT_EQ(percent_decode("plain"), "plain");
+  EXPECT_FALSE(percent_decode("bad%2").has_value());
+  EXPECT_FALSE(percent_decode("bad%zz").has_value());
+  EXPECT_FALSE(percent_decode("%").has_value());
+}
+
+TEST(PercentCodecTest, PlusHandling) {
+  EXPECT_EQ(percent_decode("a+b", /*plus_as_space=*/true), "a b");
+  EXPECT_EQ(percent_decode("a+b", /*plus_as_space=*/false), "a+b");
+}
+
+TEST(PercentCodecTest, RoundTripsArbitraryBytes) {
+  const std::string raw = "key=val ue/?&#%\x01\xff";
+  EXPECT_EQ(percent_decode(percent_encode(raw)), raw);
+}
+
+TEST(QueryTest, ParsesPairs) {
+  auto q = parse_query("a=1&b=two&a=3");
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->size(), 3u);
+  EXPECT_EQ(query_get(*q, "a"), "1");  // first wins
+  EXPECT_EQ(query_get(*q, "b"), "two");
+  EXPECT_FALSE(query_get(*q, "missing").has_value());
+}
+
+TEST(QueryTest, HandlesEdgeShapes) {
+  EXPECT_TRUE(parse_query("")->empty());
+  auto q = parse_query("flag&x=&=y&&");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(query_get(*q, "flag"), "");
+  EXPECT_EQ(query_get(*q, "x"), "");
+  EXPECT_EQ(query_get(*q, ""), "y");
+}
+
+TEST(QueryTest, DecodesEscapes) {
+  auto q = parse_query("name=Bob+Smith&note=a%26b");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(query_get(*q, "name"), "Bob Smith");
+  EXPECT_EQ(query_get(*q, "note"), "a&b");
+  EXPECT_FALSE(parse_query("bad=%zz").has_value());
+}
+
+TEST(QueryTest, EncodeRoundTrips) {
+  QueryParams params{{"user", "bob smith"}, {"q", "a&b=c"}};
+  auto parsed = parse_query(encode_query(params));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, params);
+}
+
+TEST(RequestTargetTest, ParsesPathAndQuery) {
+  auto t = parse_request_target("/dev/devA/crop?photo=7&size=big");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->path, "/dev/devA/crop");
+  EXPECT_EQ(t->segments,
+            (std::vector<std::string>{"dev", "devA", "crop"}));
+  EXPECT_EQ(query_get(t->query, "photo"), "7");
+  EXPECT_EQ(t->raw_query, "photo=7&size=big");
+}
+
+TEST(RequestTargetTest, RootAndTrailingSlashes) {
+  auto root = parse_request_target("/");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(root->path, "/");
+  EXPECT_TRUE(root->segments.empty());
+
+  auto trailing = parse_request_target("/a/b/");
+  ASSERT_TRUE(trailing.has_value());
+  EXPECT_EQ(trailing->path, "/a/b");
+}
+
+TEST(RequestTargetTest, ResolvesDotSegments) {
+  auto t = parse_request_target("/a/./b/../c");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->path, "/a/c");
+}
+
+TEST(RequestTargetTest, RejectsEscapesAboveRootAndGarbage) {
+  EXPECT_FALSE(parse_request_target("/../etc/passwd").has_value());
+  EXPECT_FALSE(parse_request_target("/a/../../b").has_value());
+  EXPECT_FALSE(parse_request_target("relative/path").has_value());
+  EXPECT_FALSE(parse_request_target("").has_value());
+  EXPECT_FALSE(parse_request_target("/bad%zz").has_value());
+  EXPECT_FALSE(parse_request_target("/nul%00byte").has_value());
+}
+
+TEST(RequestTargetTest, DecodedDotSegmentsAlsoResolved) {
+  // %2e%2e == ".." after decoding; must not climb above root.
+  EXPECT_FALSE(parse_request_target("/%2e%2e/secret").has_value());
+  auto t = parse_request_target("/a/%2e%2e/b");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->path, "/b");
+}
+
+}  // namespace
+}  // namespace w5::net

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "os/filesystem.h"
+
+namespace w5::os {
+namespace {
+
+using difc::CapabilitySet;
+using difc::Label;
+using difc::LabelState;
+using difc::minus;
+using difc::ObjectLabels;
+using difc::plus;
+using difc::Tag;
+using difc::TagPurpose;
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() : fs_(kernel_) {
+    sec_bob_ =
+        kernel_.create_tag(kKernelPid, "sec(bob)", TagPurpose::kSecrecy)
+            .value();
+    wp_bob_ =
+        kernel_.create_tag(kKernelPid, "wp(bob)", TagPurpose::kIntegrity)
+            .value();
+    kernel_.add_global_capability(plus(sec_bob_));
+    // The provider's trusted setup code creates per-user homes.
+    EXPECT_TRUE(fs_.mkdir(kKernelPid, "/users", {}).ok());
+    EXPECT_TRUE(fs_.mkdir(kKernelPid, "/users/bob",
+                          ObjectLabels{{}, {}})
+                    .ok());
+    EXPECT_TRUE(fs_.create(kKernelPid, "/users/bob/diary.txt",
+                           ObjectLabels{Label{sec_bob_}, Label{wp_bob_}},
+                           "dear diary")
+                    .ok());
+  }
+
+  Kernel kernel_;
+  FileSystem fs_;
+  Tag sec_bob_;
+  Tag wp_bob_;
+};
+
+TEST_F(FileSystemTest, KernelReadsEverything) {
+  auto content = fs_.read(kKernelPid, "/users/bob/diary.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "dear diary");
+}
+
+TEST_F(FileSystemTest, UnclearedProcessCannotReadWithoutRaising) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  EXPECT_FALSE(fs_.read(app, "/users/bob/diary.txt").ok());
+  EXPECT_EQ(kernel_.find(app)->labels.secrecy(), Label{});
+}
+
+TEST_F(FileSystemTest, AutoRaiseContaminatesThenReads) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  auto content = fs_.read(app, "/users/bob/diary.txt", AutoRaise::kYes);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "dear diary");
+  EXPECT_EQ(kernel_.find(app)->labels.secrecy(), Label{sec_bob_});
+}
+
+TEST_F(FileSystemTest, AutoRaiseFailsWithoutPlusCapability) {
+  Kernel kernel;  // no global plus for this one
+  FileSystem fs(kernel);
+  const Tag secret =
+      kernel.create_tag(kKernelPid, "s", TagPurpose::kSecrecy).value();
+  ASSERT_TRUE(
+      fs.create(kKernelPid, "/x", ObjectLabels{Label{secret}, {}}, "data")
+          .ok());
+  const Pid app = kernel.spawn_trusted("app", LabelState({}, {}, {}));
+  EXPECT_FALSE(fs.read(app, "/x", AutoRaise::kYes).ok());
+}
+
+TEST_F(FileSystemTest, WriteProtectionBlocksUnendorsedWriters) {
+  const Pid vandal = kernel_.spawn_trusted("vandal", LabelState({}, {}, {}));
+  // Even after contaminating itself so secrecy matches, integrity blocks.
+  ASSERT_TRUE(kernel_.raise_secrecy(vandal, Label{sec_bob_}).ok());
+  EXPECT_FALSE(fs_.write(vandal, "/users/bob/diary.txt", "defaced").ok());
+  EXPECT_FALSE(fs_.unlink(vandal, "/users/bob/diary.txt").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/users/bob/diary.txt").value(),
+            "dear diary");
+}
+
+TEST_F(FileSystemTest, DelegatedWriterSucceeds) {
+  // Bob delegates write privilege by endorsing the app with wp(bob).
+  const Pid editor = kernel_.spawn_trusted(
+      "editor", LabelState({sec_bob_}, {wp_bob_}, {}));
+  EXPECT_TRUE(fs_.write(editor, "/users/bob/diary.txt", "new entry").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/users/bob/diary.txt").value(),
+            "new entry");
+  EXPECT_TRUE(fs_.append(editor, "/users/bob/diary.txt", " p.s.").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/users/bob/diary.txt").value(),
+            "new entry p.s.");
+}
+
+TEST_F(FileSystemTest, ContaminatedProcessCannotWritePublicFiles) {
+  ASSERT_TRUE(fs_.create(kKernelPid, "/public.txt", {}, "everyone").ok());
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  ASSERT_TRUE(fs_.read(app, "/users/bob/diary.txt", AutoRaise::kYes).ok());
+  // Now contaminated; writing to a public file would leak.
+  const auto status = fs_.write(app, "/public.txt", "bob's secrets");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "flow.denied");
+}
+
+TEST_F(FileSystemTest, CreateCannotForgeIntegrity) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  const auto status = fs_.create(app, "/users/bob/fake.txt",
+                                 ObjectLabels{{}, Label{wp_bob_}}, "forged");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(FileSystemTest, CreateChargesDiskQuota) {
+  ResourceContainer container("app", {.disk_bytes = 10});
+  const Pid app =
+      kernel_.spawn_trusted("app", LabelState({}, {}, {}), &container);
+  EXPECT_TRUE(fs_.create(app, "/a", {}, "12345").ok());
+  const auto status = fs_.create(app, "/b", {}, "123456789");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "quota.exceeded");
+}
+
+TEST_F(FileSystemTest, ListingHidesEntriesAboveClearance) {
+  Kernel kernel;
+  FileSystem fs(kernel);
+  const Tag s1 = kernel.create_tag(kKernelPid, "s1", TagPurpose::kSecrecy)
+                     .value();
+  const Tag s2 = kernel.create_tag(kKernelPid, "s2", TagPurpose::kSecrecy)
+                     .value();
+  ASSERT_TRUE(fs.create(kKernelPid, "/public", {}, "p").ok());
+  ASSERT_TRUE(
+      fs.create(kKernelPid, "/one", ObjectLabels{Label{s1}, {}}, "1").ok());
+  ASSERT_TRUE(
+      fs.create(kKernelPid, "/two", ObjectLabels{Label{s2}, {}}, "2").ok());
+
+  const Pid app = kernel.spawn_trusted(
+      "app", LabelState({}, {}, CapabilitySet{plus(s1)}));
+  auto names = fs.list(app, "/");
+  ASSERT_TRUE(names.ok());
+  // Sees /public (clean) and /one (clearance via s1+), but /two is
+  // invisible — not an error, just absent.
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"one", "public"}));
+  // stat() similarly pretends /two does not exist.
+  EXPECT_EQ(fs.stat(app, "/two").error().code, "fs.not_found");
+  EXPECT_TRUE(fs.stat(app, "/one").ok());
+}
+
+TEST_F(FileSystemTest, StatReportsMetadata) {
+  auto st = fs_.stat(kKernelPid, "/users/bob/diary.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st.value().is_directory);
+  EXPECT_EQ(st.value().size, 10u);
+  EXPECT_EQ(st.value().labels.secrecy, Label{sec_bob_});
+  auto dir = fs_.stat(kKernelPid, "/users");
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir.value().is_directory);
+}
+
+TEST_F(FileSystemTest, PathResolutionErrors) {
+  EXPECT_EQ(fs_.read(kKernelPid, "/nope").error().code, "fs.not_found");
+  EXPECT_EQ(fs_.read(kKernelPid, "/users").error().code, "fs.invalid");
+  EXPECT_EQ(fs_.list(kKernelPid, "/users/bob/diary.txt").error().code,
+            "fs.invalid");
+  EXPECT_EQ(
+      fs_.create(kKernelPid, "/users/bob/diary.txt", {}, "x").error().code,
+      "fs.exists");
+  EXPECT_EQ(fs_.create(kKernelPid, "/a/b/c", {}, "x").error().code,
+            "fs.not_found");
+  EXPECT_EQ(fs_.unlink(kKernelPid, "/").error().code, "fs.invalid");
+}
+
+TEST_F(FileSystemTest, UnlinkRules) {
+  ASSERT_TRUE(fs_.mkdir(kKernelPid, "/dir", {}).ok());
+  ASSERT_TRUE(fs_.create(kKernelPid, "/dir/f", {}, "x").ok());
+  EXPECT_EQ(fs_.unlink(kKernelPid, "/dir").error().code, "fs.not_empty");
+  EXPECT_TRUE(fs_.unlink(kKernelPid, "/dir/f").ok());
+  EXPECT_TRUE(fs_.unlink(kKernelPid, "/dir").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/dir/f").error().code, "fs.not_found");
+}
+
+TEST_F(FileSystemTest, RelabelRequiresAuthorityOverDelta) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  ASSERT_TRUE(fs_.create(kKernelPid, "/doc", {}, "x").ok());
+  // App cannot add sec(bob) to a file: needs write ok (yes, public) and
+  // change authority — global plus(sec_bob_) provides it.
+  EXPECT_TRUE(
+      fs_.relabel(app, "/doc", ObjectLabels{Label{sec_bob_}, {}}).ok());
+  // But cannot remove it again (no minus capability).
+  EXPECT_FALSE(fs_.relabel(app, "/doc", ObjectLabels{{}, {}}).ok());
+  // Kernel can.
+  EXPECT_TRUE(fs_.relabel(kKernelPid, "/doc", ObjectLabels{{}, {}}).ok());
+}
+
+TEST_F(FileSystemTest, SnapshotRoundTripPreservesLabels) {
+  const auto snapshot = fs_.to_json();
+  Kernel kernel2;
+  // The provider restores the tag registry alongside the filesystem —
+  // kernel authority is derived from registered tags.
+  auto tags = difc::TagRegistry::from_json(kernel_.tags().to_json());
+  ASSERT_TRUE(tags.ok());
+  kernel2.tags() = std::move(tags).value();
+  FileSystem fs2(kernel2);
+  ASSERT_TRUE(fs2.load_json(snapshot).ok());
+  auto st = fs2.stat(kKernelPid, "/users/bob/diary.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().labels.secrecy, Label{sec_bob_});
+  EXPECT_EQ(st.value().labels.integrity, Label{wp_bob_});
+  EXPECT_EQ(fs2.read(kKernelPid, "/users/bob/diary.txt").value(),
+            "dear diary");
+  // Byte-stable: dumping again yields the identical snapshot.
+  EXPECT_EQ(fs2.to_json().dump(), snapshot.dump());
+}
+
+TEST_F(FileSystemTest, LoadJsonRejectsCorruptSnapshots) {
+  Kernel kernel;
+  FileSystem fs(kernel);
+  EXPECT_FALSE(fs.load_json(util::Json("garbage")).ok());
+  auto bad = util::Json::parse(
+      R"({"dir":true,"labels":{"secrecy":[],"integrity":[]},"children":{"a/b":{"dir":false,"labels":{"secrecy":[],"integrity":[]},"content":""}}})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(fs.load_json(bad.value()).ok());  // slash in entry name
+  auto not_dir = util::Json::parse(
+      R"({"dir":false,"labels":{"secrecy":[],"integrity":[]},"content":""})");
+  ASSERT_TRUE(not_dir.ok());
+  EXPECT_FALSE(fs.load_json(not_dir.value()).ok());
+}
+
+}  // namespace
+}  // namespace w5::os

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "os/ipc.h"
+
+namespace w5::os {
+namespace {
+
+using difc::CapabilitySet;
+using difc::Endpoint;
+using difc::Label;
+using difc::LabelState;
+using difc::minus;
+using difc::plus;
+using difc::Tag;
+using difc::TagPurpose;
+
+class IpcTest : public ::testing::Test {
+ protected:
+  IpcTest() : bus_(kernel_) {
+    secret_ = kernel_.create_tag(kKernelPid, "sec(bob)", TagPurpose::kSecrecy)
+                  .value();
+    // Standard W5 setup: anyone may raise to user secrecy (global t+).
+    kernel_.add_global_capability(plus(secret_));
+  }
+
+  Kernel kernel_;
+  IpcBus bus_;
+  Tag secret_;
+};
+
+TEST_F(IpcTest, CleanProcessesExchangeMessages) {
+  const Pid a = kernel_.spawn_trusted("a", LabelState({}, {}, {}));
+  const Pid b = kernel_.spawn_trusted("b", LabelState({}, {}, {}));
+  auto ch = bus_.connect_default(a, b);
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(bus_.send(a, ch.value(), "hello").ok());
+  EXPECT_EQ(bus_.pending(b, ch.value()), 1u);
+  auto msg = bus_.receive(b, ch.value());
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().payload, "hello");
+  EXPECT_EQ(bus_.pending(b, ch.value()), 0u);
+  // Empty queue reports ipc.empty.
+  EXPECT_EQ(bus_.receive(b, ch.value()).error().code, "ipc.empty");
+}
+
+TEST_F(IpcTest, ContaminationPropagatesThroughReceive) {
+  const Pid tainted =
+      kernel_.spawn_trusted("tainted", LabelState({secret_}, {}, {}));
+  const Pid clean = kernel_.spawn_trusted("clean", LabelState({}, {}, {}));
+  auto ch = bus_.connect_default(tainted, clean);
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(bus_.send(tainted, ch.value(), "secret bits").ok());
+  auto msg = bus_.receive(clean, ch.value());
+  ASSERT_TRUE(msg.ok());
+  // Receiving the secret contaminated the receiver (auto-raise default).
+  EXPECT_EQ(kernel_.find(clean)->labels.secrecy(), Label{secret_});
+}
+
+TEST_F(IpcTest, FixedEndpointRefusesContamination) {
+  const Pid tainted =
+      kernel_.spawn_trusted("tainted", LabelState({secret_}, {}, {}));
+  const Pid clean = kernel_.spawn_trusted("clean", LabelState({}, {}, {}));
+  auto ch = bus_.connect(
+      tainted, Endpoint(Label{secret_}, {}),
+      clean, Endpoint({}, {}, Endpoint::Mode::kFixed));
+  ASSERT_TRUE(ch.ok());
+  // Send fails: the receiver's fixed endpoint cannot admit the secrecy.
+  const auto status = bus_.send(tainted, ch.value(), "secret");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(kernel_.find(clean)->labels.secrecy(), Label{});
+}
+
+TEST_F(IpcTest, DeclassifierExportsThroughCleanEndpoint) {
+  // The declassifier holds sec(bob)-; its clean FIXED endpoint lets it
+  // send to an uncontaminated peer even while itself contaminated.
+  const Pid declassifier = kernel_.spawn_trusted(
+      "declassifier",
+      LabelState({secret_}, {}, CapabilitySet{minus(secret_)}));
+  const Pid browser = kernel_.spawn_trusted("browser", LabelState({}, {}, {}));
+  auto ch = bus_.connect(declassifier,
+                         Endpoint({}, {}, Endpoint::Mode::kFixed), browser,
+                         Endpoint({}, {}, Endpoint::Mode::kFixed));
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(bus_.send(declassifier, ch.value(), "bob's photo").ok());
+  auto msg = bus_.receive(browser, ch.value());
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().payload, "bob's photo");
+  // Browser stayed clean: the data was declassified, not smuggled.
+  EXPECT_EQ(kernel_.find(browser)->labels.secrecy(), Label{});
+}
+
+TEST_F(IpcTest, MaliciousAppCannotExportThroughCleanEndpoint) {
+  // Identical wiring, but the app lacks sec(bob)-. connect() itself
+  // refuses: a clean fixed endpoint is unsafe for a contaminated owner.
+  const Pid malicious =
+      kernel_.spawn_trusted("malicious", LabelState({secret_}, {}, {}));
+  const Pid accomplice =
+      kernel_.spawn_trusted("accomplice", LabelState({}, {}, {}));
+  auto ch = bus_.connect(malicious,
+                         Endpoint({}, {}, Endpoint::Mode::kFixed), accomplice,
+                         Endpoint({}, {}, Endpoint::Mode::kFixed));
+  EXPECT_FALSE(ch.ok());
+  EXPECT_EQ(ch.error().code, "endpoint.unsafe");
+}
+
+TEST_F(IpcTest, MaliciousAppCannotLaunderAfterConnect) {
+  // App connects while clean, then contaminates itself, then tries to
+  // relay the secret to a clean accomplice: send must fail.
+  const Pid malicious =
+      kernel_.spawn_trusted("malicious", LabelState({}, {}, {}));
+  const Pid accomplice =
+      kernel_.spawn_trusted("accomplice", LabelState({}, {}, {}));
+  auto ch = bus_.connect(malicious,
+                         Endpoint({}, {}, Endpoint::Mode::kFixed), accomplice,
+                         Endpoint({}, {}, Endpoint::Mode::kFixed));
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(kernel_.raise_secrecy(malicious, Label{secret_}).ok());
+  const auto status = bus_.send(malicious, ch.value(), "stolen");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "endpoint.unsafe");
+}
+
+TEST_F(IpcTest, IntegrityEndorsementTravels) {
+  Kernel kernel;
+  IpcBus bus(kernel);
+  const Tag wp =
+      kernel.create_tag(kKernelPid, "wp(bob)", TagPurpose::kIntegrity)
+          .value();
+  const Pid endorsed =
+      kernel.spawn_trusted("endorsed", LabelState({}, {wp}, {}));
+  const Pid sink = kernel.spawn_trusted("sink", LabelState({}, {}, {}));
+  auto ch = bus.connect(endorsed, Endpoint({}, Label{wp}), sink,
+                        Endpoint({}, {}));
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(bus.send(endorsed, ch.value(), "endorsed write").ok());
+  auto msg = bus.receive(sink, ch.value());
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().integrity, Label{wp});
+}
+
+TEST_F(IpcTest, SinkDemandingIntegrityRejectsUnendorsedSender) {
+  Kernel kernel;
+  IpcBus bus(kernel);
+  const Tag wp =
+      kernel.create_tag(kKernelPid, "wp(bob)", TagPurpose::kIntegrity)
+          .value();
+  const Pid plain = kernel.spawn_trusted("plain", LabelState({}, {}, {}));
+  const Pid demanding =
+      kernel.spawn_trusted("demanding", LabelState({}, {wp}, {}));
+  auto ch = bus.connect(plain, Endpoint({}, {}), demanding,
+                        Endpoint({}, Label{wp}));
+  ASSERT_TRUE(ch.ok());
+  const auto status = bus.send(plain, ch.value(), "unendorsed");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(IpcTest, ChannelLifecycleErrors) {
+  const Pid a = kernel_.spawn_trusted("a", LabelState({}, {}, {}));
+  const Pid b = kernel_.spawn_trusted("b", LabelState({}, {}, {}));
+  const Pid c = kernel_.spawn_trusted("c", LabelState({}, {}, {}));
+  auto ch = bus_.connect_default(a, b);
+  ASSERT_TRUE(ch.ok());
+  EXPECT_EQ(bus_.send(c, ch.value(), "x").error().code, "ipc.not_attached");
+  EXPECT_EQ(bus_.receive(c, ch.value()).error().code, "ipc.not_attached");
+  EXPECT_EQ(bus_.send(a, 999, "x").error().code, "ipc.no_channel");
+  ASSERT_TRUE(bus_.close(ch.value()).ok());
+  EXPECT_EQ(bus_.send(a, ch.value(), "x").error().code, "ipc.no_channel");
+  EXPECT_FALSE(bus_.close(ch.value()).ok());
+}
+
+TEST_F(IpcTest, DeadProcessCannotUseChannels) {
+  const Pid a = kernel_.spawn_trusted("a", LabelState({}, {}, {}));
+  const Pid b = kernel_.spawn_trusted("b", LabelState({}, {}, {}));
+  auto ch = bus_.connect_default(a, b);
+  ASSERT_TRUE(ch.ok());
+  ASSERT_TRUE(kernel_.kill(a, "dead").ok());
+  EXPECT_FALSE(bus_.send(a, ch.value(), "zombie").ok());
+}
+
+}  // namespace
+}  // namespace w5::os

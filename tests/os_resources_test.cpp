@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "os/scheduler.h"
+
+namespace w5::os {
+namespace {
+
+using difc::LabelState;
+
+TEST(ResourceContainerTest, ChargesWithinLimit) {
+  ResourceContainer c("app", {.cpu_ticks = 100, .memory_bytes = 1000});
+  EXPECT_TRUE(c.charge(Resource::kCpu, 60).ok());
+  EXPECT_TRUE(c.charge(Resource::kCpu, 40).ok());
+  EXPECT_FALSE(c.charge(Resource::kCpu, 1).ok());
+  EXPECT_TRUE(c.exhausted(Resource::kCpu));
+  EXPECT_FALSE(c.exhausted(Resource::kMemory));
+  EXPECT_EQ(c.remaining(Resource::kCpu), 0);
+  EXPECT_EQ(c.remaining(Resource::kMemory), 1000);
+}
+
+TEST(ResourceContainerTest, UnlimitedDimensionsNeverBind) {
+  ResourceContainer c("free", {});  // all zero limits? No: defaults are 0.
+  // Explicitly unlimited:
+  ResourceContainer u("unlimited",
+                      {kUnlimited, kUnlimited, kUnlimited, kUnlimited});
+  EXPECT_TRUE(u.charge(Resource::kNetwork, 1 << 30).ok());
+  EXPECT_EQ(u.remaining(Resource::kNetwork), kUnlimited);
+  EXPECT_FALSE(u.exhausted(Resource::kDisk));
+}
+
+TEST(ResourceContainerTest, ZeroLimitMeansNoBudget) {
+  ResourceContainer c("zero", {.cpu_ticks = 0});
+  EXPECT_FALSE(c.charge(Resource::kCpu, 1).ok());
+  EXPECT_TRUE(c.exhausted(Resource::kCpu));
+}
+
+TEST(ResourceContainerTest, HierarchicalChargingIsAtomic) {
+  ResourceContainer parent("app", {.network_bytes = 100});
+  ResourceContainer child("request",
+                          {kUnlimited, kUnlimited, kUnlimited, kUnlimited},
+                          &parent);
+  EXPECT_TRUE(child.charge(Resource::kNetwork, 80).ok());
+  // Child has headroom (unlimited) but parent binds; charge fails and
+  // neither usage moves.
+  const auto before_child = child.usage();
+  const auto before_parent = parent.usage();
+  const auto status = child.charge(Resource::kNetwork, 30);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "quota.exceeded");
+  EXPECT_NE(status.error().detail.find("'app'"), std::string::npos);
+  EXPECT_EQ(child.usage(), before_child);
+  EXPECT_EQ(parent.usage(), before_parent);
+  EXPECT_EQ(child.remaining(Resource::kNetwork), 20);
+}
+
+TEST(ResourceContainerTest, ReleaseReturnsMemory) {
+  ResourceContainer parent("app", {.memory_bytes = 100});
+  ResourceContainer child("req", {.memory_bytes = 60}, &parent);
+  EXPECT_TRUE(child.charge(Resource::kMemory, 60).ok());
+  EXPECT_FALSE(child.charge(Resource::kMemory, 1).ok());
+  child.release(Resource::kMemory, 60);
+  EXPECT_EQ(parent.usage().memory_bytes, 0);
+  EXPECT_TRUE(child.charge(Resource::kMemory, 60).ok());
+  // Releasing more than charged clamps to zero.
+  child.release(Resource::kMemory, 1000);
+  EXPECT_EQ(child.usage().memory_bytes, 0);
+}
+
+TEST(SchedulerTest, RoundRobinRunsTasksToCompletion) {
+  Kernel kernel;
+  Scheduler sched(kernel);
+  int a_steps = 0, b_steps = 0;
+  sched.submit("a", kKernelPid, [&] { return ++a_steps == 3; });
+  sched.submit("b", kKernelPid, [&] { return ++b_steps == 5; });
+  const auto ticks = sched.run(100);
+  EXPECT_EQ(a_steps, 3);
+  EXPECT_EQ(b_steps, 5);
+  EXPECT_EQ(ticks, 8);
+  EXPECT_EQ(sched.ready_count(), 0u);
+}
+
+TEST(SchedulerTest, OverQuotaTaskIsKilledOthersProceed) {
+  Kernel kernel;
+  ResourceContainer hog_box("hog", {.cpu_ticks = 10});
+  const Pid hog_pid =
+      kernel.spawn_trusted("hog", LabelState({}, {}, {}), &hog_box);
+  const Pid victim_pid = kernel.spawn_trusted("victim", LabelState({}, {}, {}),
+                                              nullptr);
+
+  Scheduler sched(kernel);
+  int hog_steps = 0, victim_steps = 0;
+  const auto hog_id =
+      sched.submit("hog", hog_pid, [&] { return ++hog_steps >= 1000000; });
+  const auto victim_id = sched.submit("victim", victim_pid,
+                                      [&] { return ++victim_steps == 50; });
+  sched.run(10000);
+
+  EXPECT_EQ(victim_steps, 50);  // victim unaffected
+  EXPECT_EQ(sched.info(victim_id)->state, TaskState::kDone);
+  EXPECT_EQ(sched.info(hog_id)->state, TaskState::kKilled);
+  EXPECT_EQ(hog_steps, 10);  // got exactly its budget
+  EXPECT_EQ(kernel.find(hog_pid)->status, ProcessStatus::kKilled);
+}
+
+TEST(SchedulerTest, RunStopsAtTickBudget) {
+  Kernel kernel;
+  Scheduler sched(kernel);
+  int steps = 0;
+  sched.submit("endless", kKernelPid, [&] {
+    ++steps;
+    return false;
+  });
+  const auto used = sched.run(25);
+  EXPECT_EQ(used, 25);
+  EXPECT_EQ(steps, 25);
+  EXPECT_EQ(sched.ready_count(), 1u);  // still runnable
+}
+
+TEST(SchedulerTest, SnapshotReportsAccounting) {
+  Kernel kernel;
+  Scheduler sched(kernel);
+  sched.submit("t1", kKernelPid, [] { return true; });
+  sched.submit("t2", kKernelPid, [] { return true; });
+  sched.run(10);
+  const auto tasks = sched.snapshot();
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].name, "t1");
+  EXPECT_EQ(tasks[0].ticks_used, 1);
+  EXPECT_EQ(tasks[1].state, TaskState::kDone);
+}
+
+}  // namespace
+}  // namespace w5::os

@@ -1,0 +1,161 @@
+// The Unix-flavored syscall facade (§2): fd-based file I/O and pipes over
+// the labeled substrate — existing software's shape, W5's rules.
+#include <gtest/gtest.h>
+
+#include "os/syscalls.h"
+
+namespace w5::os {
+namespace {
+
+using difc::Label;
+using difc::LabelState;
+using difc::ObjectLabels;
+using difc::plus;
+using difc::Tag;
+using difc::TagPurpose;
+
+class SyscallsTest : public ::testing::Test {
+ protected:
+  SyscallsTest() : fs_(kernel_), ipc_(kernel_), sys_(kernel_, fs_, ipc_) {}
+
+  void SetUp() override {
+    secret_ = kernel_.create_tag(kKernelPid, "sec(bob)",
+                                 TagPurpose::kSecrecy).value();
+    kernel_.add_global_capability(plus(secret_));
+    ASSERT_TRUE(fs_.create(kKernelPid, "/hello.txt", {}, "hello world").ok());
+    ASSERT_TRUE(fs_.create(kKernelPid, "/secret.txt",
+                           ObjectLabels{Label{secret_}, {}}, "classified")
+                    .ok());
+    pid_ = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  }
+
+  Kernel kernel_;
+  FileSystem fs_;
+  IpcBus ipc_;
+  Syscalls sys_;
+  Tag secret_;
+  Pid pid_ = 0;
+};
+
+TEST_F(SyscallsTest, OpenReadCloseLifecycle) {
+  auto fd = sys_.open(pid_, "/hello.txt", OpenMode::kRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_GE(fd.value(), 3);  // 0/1/2 reserved
+  EXPECT_EQ(sys_.read(pid_, fd.value(), 5).value(), "hello");
+  EXPECT_EQ(sys_.read(pid_, fd.value(), 100).value(), " world");
+  EXPECT_EQ(sys_.read(pid_, fd.value(), 10).value(), "");  // EOF
+  EXPECT_TRUE(sys_.close(pid_, fd.value()).ok());
+  EXPECT_EQ(sys_.read(pid_, fd.value(), 1).error().code, "sys.badf");
+  EXPECT_EQ(sys_.close(pid_, fd.value()).error().code, "sys.badf");
+}
+
+TEST_F(SyscallsTest, OpenErrors) {
+  EXPECT_EQ(sys_.open(pid_, "/missing", OpenMode::kRead).error().code,
+            "fs.not_found");
+  ASSERT_TRUE(fs_.mkdir(kKernelPid, "/dir", {}).ok());
+  EXPECT_EQ(sys_.open(pid_, "/dir", OpenMode::kRead).error().code,
+            "sys.isdir");
+  EXPECT_EQ(sys_.read(pid_, 99, 1).error().code, "sys.badf");
+}
+
+TEST_F(SyscallsTest, ReadingSecretsContaminates) {
+  auto fd = sys_.open(pid_, "/secret.txt", OpenMode::kRead);
+  ASSERT_TRUE(fd.ok());
+  // Open alone does not contaminate (stat is clearance-bounded)...
+  EXPECT_EQ(kernel_.find(pid_)->labels.secrecy(), Label{});
+  // ...the first read does.
+  EXPECT_EQ(sys_.read(pid_, fd.value(), 100).value(), "classified");
+  EXPECT_EQ(kernel_.find(pid_)->labels.secrecy(), Label{secret_});
+}
+
+TEST_F(SyscallsTest, WriteModesAndOffsets) {
+  auto fd = sys_.open(pid_, "/hello.txt", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(sys_.write(pid_, fd.value(), "HELLO").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/hello.txt").value(), "HELLO world");
+  // Continue writing from the advanced offset.
+  ASSERT_TRUE(sys_.write(pid_, fd.value(), "-WORLD").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/hello.txt").value(), "HELLO-WORLD");
+
+  // Read-only fd refuses writes.
+  auto ro = sys_.open(pid_, "/hello.txt", OpenMode::kRead);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(sys_.write(pid_, ro.value(), "x").error().code, "sys.perm");
+
+  // Append mode always lands at EOF.
+  auto ap = sys_.open(pid_, "/hello.txt", OpenMode::kAppend);
+  ASSERT_TRUE(ap.ok());
+  ASSERT_TRUE(sys_.write(pid_, ap.value(), "!").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/hello.txt").value(), "HELLO-WORLD!");
+}
+
+TEST_F(SyscallsTest, CreateStampsLabelsAndSeekExtends) {
+  auto fd = sys_.open(pid_, "/new.txt", OpenMode::kCreate,
+                      ObjectLabels{{}, {}});
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(sys_.write(pid_, fd.value(), "abc").ok());
+  auto pos = sys_.lseek(pid_, fd.value(), 6);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value(), 6u);
+  ASSERT_TRUE(sys_.write(pid_, fd.value(), "xyz").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/new.txt").value(),
+            std::string("abc\0\0\0xyz", 9));
+  EXPECT_EQ(sys_.lseek(pid_, fd.value(), -1).error().code, "sys.inval");
+  auto st = sys_.fstat(pid_, fd.value());
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 9u);
+}
+
+TEST_F(SyscallsTest, DupGivesIndependentOffset) {
+  auto fd = sys_.open(pid_, "/hello.txt", OpenMode::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(sys_.read(pid_, fd.value(), 6).ok());
+  auto dup_fd = sys_.dup(pid_, fd.value());
+  ASSERT_TRUE(dup_fd.ok());
+  // Dup copies the current offset but advances independently afterwards.
+  EXPECT_EQ(sys_.read(pid_, dup_fd.value(), 5).value(), "world");
+  EXPECT_EQ(sys_.read(pid_, fd.value(), 5).value(), "world");
+  EXPECT_EQ(sys_.open_fd_count(pid_), 2u);
+  sys_.close_all(pid_);
+  EXPECT_EQ(sys_.open_fd_count(pid_), 0u);
+}
+
+TEST_F(SyscallsTest, PipesCarryFlowCheckedMessages) {
+  const Pid other = kernel_.spawn_trusted("other", LabelState({}, {}, {}));
+  auto fds = sys_.pipe(pid_, other);
+  ASSERT_TRUE(fds.ok());
+  const auto [mine, theirs] = fds.value();
+  ASSERT_TRUE(sys_.write(pid_, mine, "through the pipe").ok());
+  EXPECT_EQ(sys_.read(other, theirs, 100).value(), "through the pipe");
+  EXPECT_EQ(sys_.read(other, theirs, 100).value(), "");  // drained
+  EXPECT_EQ(sys_.lseek(pid_, mine, 0).error().code, "sys.espipe");
+  EXPECT_EQ(sys_.fstat(pid_, mine).error().code, "sys.inval");
+}
+
+TEST_F(SyscallsTest, PipeContaminationMirrorsIpc) {
+  const Pid other = kernel_.spawn_trusted("other", LabelState({}, {}, {}));
+  auto fds = sys_.pipe(pid_, other);
+  ASSERT_TRUE(fds.ok());
+  // Contaminate the writer, then send: the reader gets contaminated on
+  // receive (auto-raise default), exactly like raw IPC.
+  ASSERT_TRUE(kernel_.raise_secrecy(pid_, Label{secret_}).ok());
+  ASSERT_TRUE(sys_.write(pid_, fds.value().first, "tainted").ok());
+  EXPECT_EQ(sys_.read(other, fds.value().second, 100).value(), "tainted");
+  EXPECT_EQ(kernel_.find(other)->labels.secrecy(), Label{secret_});
+}
+
+TEST_F(SyscallsTest, WriteProtectionAppliesThroughFds) {
+  const Tag wp =
+      kernel_.create_tag(kKernelPid, "wp(bob)", TagPurpose::kIntegrity)
+          .value();
+  ASSERT_TRUE(fs_.create(kKernelPid, "/protected.txt",
+                         ObjectLabels{{}, Label{wp}}, "keep me")
+                  .ok());
+  auto fd = sys_.open(pid_, "/protected.txt", OpenMode::kWrite);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_FALSE(sys_.write(pid_, fd.value(), "vandalized").ok());
+  EXPECT_EQ(fs_.read(kKernelPid, "/protected.txt").value(), "keep me");
+}
+
+}  // namespace
+}  // namespace w5::os

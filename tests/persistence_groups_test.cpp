@@ -1,0 +1,106 @@
+// Disk persistence, group declassifiers, and anti-social downranking.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace w5::platform {
+namespace {
+
+using net::Method;
+
+TEST(DiskPersistenceTest, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/w5_snapshot_test.json";
+  util::SimClock clock;
+  {
+    Provider provider(ProviderConfig{}, clock);
+    ASSERT_TRUE(provider.signup("bob", "bobpw").ok());
+    const std::string bob = provider.login("bob", "bobpw").value();
+    ASSERT_EQ(provider.http(Method::kPost, "/data/photos/p1",
+                            R"({"title":"persisted"})", bob).status,
+              201);
+    ASSERT_TRUE(provider.save_to_file(path).ok());
+  }
+  Provider restored(ProviderConfig{}, clock);
+  ASSERT_TRUE(restored.load_from_file(path).ok());
+  EXPECT_TRUE(restored.login("bob", "bobpw").ok());
+  EXPECT_EQ(restored.store()
+                .get(os::kKernelPid, "photos", "p1").value()
+                .data.at("title").as_string(),
+            "persisted");
+  std::remove(path.c_str());
+  // Missing file fails cleanly.
+  EXPECT_EQ(restored.load_from_file("/nonexistent/dir/x.json").error().code,
+            "io.open");
+}
+
+TEST(GroupDeclassifierTest, SharesWithStoredGroupMembers) {
+  util::SimClock clock;
+  Provider provider(ProviderConfig{}, clock);
+  apps::register_standard_apps(provider);
+  provider.add_group_declassifier("roommates");
+
+  std::map<std::string, std::string> session;
+  for (const char* user : {"bob", "amy", "dan", "eve"}) {
+    ASSERT_TRUE(provider.signup(user, "password").ok());
+    session[user] = provider.login(user, "password").value();
+  }
+  const std::string& bob = session["bob"];
+  // Bob's group membership record (his own data; group declassifier
+  // reads it with provider authority, like the friend list).
+  ASSERT_EQ(provider.http(Method::kPost, "/data/groups/roommates",
+                          R"({"members":["amy","dan"]})", bob).status,
+            201);
+  ASSERT_EQ(provider.http(Method::kPost, "/data/photos/p1",
+                          R"({"title":"apartment rules"})", bob).status,
+            201);
+  ASSERT_EQ(provider.http(Method::kPost, "/policy",
+                          R"({"declassifier":"std/group/roommates"})", bob)
+                .status,
+            200);
+
+  EXPECT_EQ(provider.http(Method::kGet, "/data/photos/p1", "",
+                          session["amy"]).status,
+            200);
+  EXPECT_EQ(provider.http(Method::kGet, "/data/photos/p1", "",
+                          session["dan"]).status,
+            200);
+  EXPECT_EQ(provider.http(Method::kGet, "/data/photos/p1", "",
+                          session["eve"]).status,
+            403);
+  EXPECT_EQ(provider.http(Method::kGet, "/data/photos/p1", "", bob).status,
+            200);
+}
+
+TEST(AntiSocialTest, ProprietaryFormatRanksBelowConventionalTwin) {
+  util::SimClock clock;
+  Provider provider(ProviderConfig{}, clock);
+
+  const auto handler = [](AppContext&) {
+    return net::HttpResponse::text(200, "x");
+  };
+  Module conventional;
+  conventional.developer = "goodco";
+  conventional.name = "editor";
+  conventional.version = "1.0";
+  conventional.manifest.description = "text editor";
+  conventional.manifest.data_format = "json";
+  conventional.handler = handler;
+  Module antisocial = conventional;
+  antisocial.developer = "lockinco";
+  antisocial.manifest.data_format = "proprietary-blob";
+  ASSERT_TRUE(provider.modules().add(conventional).ok());
+  ASSERT_TRUE(provider.modules().add(antisocial).ok());
+
+  const auto hits = provider.http(Method::kGet, "/search?q=editor");
+  ASSERT_EQ(hits.status, 200);
+  // Identical signals otherwise, so the proprietary one sorts second.
+  EXPECT_LT(hits.body.find("goodco/editor@1.0"),
+            hits.body.find("lockinco/editor@1.0"));
+}
+
+}  // namespace
+}  // namespace w5::platform

@@ -1,0 +1,114 @@
+// Data portability (§1): exporting your whole collection and leaving the
+// platform — plus a three-provider mirroring chain.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "core/gateway.h"
+#include "core/provider.h"
+#include "fed/node.h"
+
+namespace w5::platform {
+namespace {
+
+using net::Method;
+
+class PortabilityTest : public ::testing::Test {
+ protected:
+  PortabilityTest() : provider_(ProviderConfig{}, clock_) {}
+
+  void SetUp() override {
+    apps::register_standard_apps(provider_);
+    ASSERT_TRUE(provider_.signup("bob", "bobpw").ok());
+    ASSERT_TRUE(provider_.signup("amy", "amypw").ok());
+    bob_ = provider_.login("bob", "bobpw").value();
+    amy_ = provider_.login("amy", "amypw").value();
+    ASSERT_EQ(provider_.http(Method::kPost, "/data/photos/p1",
+                             R"({"title":"one"})", bob_).status,
+              201);
+    ASSERT_EQ(provider_.http(Method::kPost, "/data/posts/b1",
+                             R"({"title":"post","text":"hi"})", bob_).status,
+              201);
+    ASSERT_EQ(provider_.http(Method::kPost, "/data/photos/a1",
+                             R"({"title":"amy's"})", amy_).status,
+              201);
+  }
+
+  util::SimClock clock_;
+  Provider provider_;
+  std::string bob_, amy_;
+};
+
+TEST_F(PortabilityTest, ExportReturnsAllOwnedRecordsAcrossCollections) {
+  const auto dump = provider_.http(Method::kGet, "/export", "", bob_);
+  ASSERT_EQ(dump.status, 200) << dump.body;
+  EXPECT_NE(dump.body.find("\"one\""), std::string::npos);
+  EXPECT_NE(dump.body.find("\"post\""), std::string::npos);
+  // Never anyone else's data.
+  EXPECT_EQ(dump.body.find("amy's"), std::string::npos);
+  // Anonymous export: no.
+  EXPECT_EQ(provider_.http(Method::kGet, "/export").status, 401);
+}
+
+TEST_F(PortabilityTest, DeleteAccountRemovesDataAndAccess) {
+  const auto deleted =
+      provider_.http(Method::kDelete, "/account", "", bob_);
+  EXPECT_EQ(deleted.status, 200);
+  EXPECT_NE(deleted.body.find("\"deleted_records\":2"), std::string::npos)
+      << deleted.body;
+
+  // Session dead, account gone, records gone; amy untouched.
+  EXPECT_EQ(provider_.http(Method::kGet, "/whoami", "", bob_).body,
+            R"({"user":null})");
+  EXPECT_FALSE(provider_.login("bob", "bobpw").ok());
+  EXPECT_FALSE(
+      provider_.store().get(os::kKernelPid, "photos", "p1").ok());
+  EXPECT_FALSE(provider_.store().get(os::kKernelPid, "posts", "b1").ok());
+  EXPECT_TRUE(provider_.store().get(os::kKernelPid, "photos", "a1").ok());
+  // The id can be reused (fresh tags, no access to the old data).
+  EXPECT_TRUE(provider_.signup("bob", "newpw").ok());
+}
+
+TEST(FederationChainTest, ThreeProviderChainConvergesWithConsentPerHop) {
+  util::SimClock clock;
+  net::InMemoryNetwork network;
+  Provider provider_a({.name = "A"}, clock);
+  Provider provider_b({.name = "B"}, clock);
+  Provider provider_c({.name = "C"}, clock);
+  fed::Node node_a("A", provider_a, network);
+  fed::Node node_b("B", provider_b, network);
+  fed::Node node_c("C", provider_c, network);
+  for (Provider* provider : {&provider_a, &provider_b, &provider_c})
+    ASSERT_TRUE(provider->signup("bob", "pwd").ok());
+
+  // Consent along the chain A↔B and B↔C, but NOT A↔C directly.
+  node_a.mirrors().authorize("bob", "B");
+  node_b.mirrors().authorize("bob", "A");
+  node_b.mirrors().authorize("bob", "C");
+  node_c.mirrors().authorize("bob", "B");
+
+  util::Json data;
+  data["title"] = "written on A";
+  ASSERT_TRUE(node_a.put_user_record("bob", "photos", "p1", data).ok());
+
+  // C cannot pull from A (no consent pair): sync simply has no users.
+  auto direct = node_c.sync_from("A");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.value().applied, 0u);
+
+  // But the chain works: B pulls from A, C pulls from B.
+  ASSERT_TRUE(node_b.sync_from("A").ok());
+  auto hop2 = node_c.sync_from("B");
+  ASSERT_TRUE(hop2.ok());
+  EXPECT_EQ(hop2.value().applied, 1u);
+  EXPECT_EQ(provider_c.store()
+                .get(os::kKernelPid, "photos", "p1").value()
+                .data.at("title").as_string(),
+            "written on A");
+  // Clocks carried through the chain: a re-pull anywhere is a no-op.
+  EXPECT_EQ(node_b.sync_from("A").value().applied, 0u);
+  EXPECT_EQ(node_c.sync_from("B").value().applied, 0u);
+  EXPECT_EQ(node_a.sync_from("B").value().applied, 0u);
+}
+
+}  // namespace
+}  // namespace w5::platform

@@ -1,0 +1,178 @@
+// Cross-cutting property suites: randomized HTTP wire round-trips under
+// arbitrary chunking, and a store shadow-model equivalence check.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/http_parser.h"
+#include "store/labeled_store.h"
+#include "util/rng.h"
+
+namespace w5 {
+namespace {
+
+// ---- HTTP parser: any serialized request parses back identically no
+// matter how the bytes are chunked on the wire.
+class HttpChunkingProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+net::HttpRequest random_request(util::Rng& rng) {
+  net::HttpRequest request;
+  static constexpr net::Method kMethods[] = {
+      net::Method::kGet, net::Method::kPost, net::Method::kPut,
+      net::Method::kDelete};
+  request.method = kMethods[rng.next_below(4)];
+  std::string target = "/";
+  const std::size_t segments = rng.next_below(4);
+  for (std::size_t i = 0; i < segments; ++i) {
+    if (i > 0) target += "/";
+    target += rng.next_string(1 + rng.next_below(8));
+  }
+  if (rng.next_bool()) {
+    target += "?" + rng.next_string(3) + "=" + rng.next_string(5);
+  }
+  request.target = target;
+  const std::size_t headers = rng.next_below(5);
+  for (std::size_t i = 0; i < headers; ++i) {
+    request.headers.add("X-" + rng.next_string(6), rng.next_string(12));
+  }
+  if (request.method != net::Method::kGet &&
+      request.method != net::Method::kDelete) {
+    request.body = rng.next_string(rng.next_below(500));
+  }
+  return request;
+}
+
+TEST_P(HttpChunkingProperty, RoundTripsUnderArbitraryChunking) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const net::HttpRequest original = random_request(rng);
+    const std::string wire = original.to_wire();
+
+    net::RequestParser parser;
+    std::size_t pos = 0;
+    while (pos < wire.size() && !parser.complete() && !parser.failed()) {
+      const std::size_t chunk = 1 + rng.next_below(17);
+      const std::size_t take = std::min(chunk, wire.size() - pos);
+      parser.feed(std::string_view(wire).substr(pos, take));
+      pos += take;
+    }
+    ASSERT_TRUE(parser.complete())
+        << "failed at round " << round << ": " << wire;
+    const net::HttpRequest parsed = parser.take();
+    EXPECT_EQ(parsed.method, original.method);
+    EXPECT_EQ(parsed.target, original.target);
+    EXPECT_EQ(parsed.body, original.body);
+    for (const auto& [name, value] : original.headers.entries()) {
+      EXPECT_EQ(parsed.headers.get(name), value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpChunkingProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- Store shadow model: random put/get/remove sequences agree with a
+// plain map when the caller is omniscient (kernel), and agree with the
+// clearance-filtered view for a restricted process.
+class StoreShadowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreShadowProperty, KernelViewMatchesPlainMap) {
+  util::Rng rng(GetParam());
+  os::Kernel kernel;
+  util::SimClock clock;
+  store::LabeledStore labeled(kernel, clock);
+  std::map<std::string, std::string> shadow;  // id -> title
+
+  const difc::Tag tag =
+      kernel.create_tag(os::kKernelPid, "t", difc::TagPurpose::kSecrecy)
+          .value();
+
+  for (int op = 0; op < 400; ++op) {
+    const std::string id = "r" + std::to_string(rng.next_below(40));
+    const int action = static_cast<int>(rng.next_below(3));
+    if (action == 0) {  // put
+      const std::string title = rng.next_string(8);
+      store::Record record;
+      record.collection = "c";
+      record.id = id;
+      record.owner = "u";
+      if (rng.next_bool()) {
+        record.labels = difc::ObjectLabels{difc::Label{tag}, {}};
+      }
+      record.data["title"] = title;
+      // Overwrites keep original labels; content updates regardless.
+      ASSERT_TRUE(labeled.put(os::kKernelPid, std::move(record)).ok());
+      shadow[id] = title;
+    } else if (action == 1) {  // get
+      auto result = labeled.get(os::kKernelPid, "c", id);
+      const auto it = shadow.find(id);
+      ASSERT_EQ(result.ok(), it != shadow.end()) << "id " << id;
+      if (result.ok())
+        EXPECT_EQ(result.value().data.at("title").as_string(), it->second);
+    } else {  // remove
+      auto result = labeled.remove(os::kKernelPid, "c", id);
+      EXPECT_EQ(result.ok(), shadow.erase(id) > 0);
+    }
+    // Global invariant: counts agree.
+    ASSERT_EQ(labeled.count(os::kKernelPid, "c").value(), shadow.size());
+  }
+}
+
+TEST_P(StoreShadowProperty, RestrictedViewSeesExactlyClearedSubset) {
+  util::Rng rng(GetParam() * 131 + 7);
+  os::Kernel kernel;
+  util::SimClock clock;
+  store::LabeledStore labeled(kernel, clock);
+
+  const difc::Tag visible_tag =
+      kernel.create_tag(os::kKernelPid, "vis", difc::TagPurpose::kSecrecy)
+          .value();
+  const difc::Tag hidden_tag =
+      kernel.create_tag(os::kKernelPid, "hid", difc::TagPurpose::kSecrecy)
+          .value();
+
+  std::set<std::string> visible_ids, all_ids;
+  for (int i = 0; i < 120; ++i) {
+    const std::string id = "r" + std::to_string(i);
+    store::Record record;
+    record.collection = "c";
+    record.id = id;
+    record.owner = "u";
+    const int kind = static_cast<int>(rng.next_below(3));
+    if (kind == 0) {
+      // public
+      visible_ids.insert(id);
+    } else if (kind == 1) {
+      record.labels = difc::ObjectLabels{difc::Label{visible_tag}, {}};
+      visible_ids.insert(id);
+    } else {
+      record.labels = difc::ObjectLabels{difc::Label{hidden_tag}, {}};
+    }
+    all_ids.insert(id);
+    ASSERT_TRUE(labeled.put(os::kKernelPid, std::move(record)).ok());
+  }
+
+  const os::Pid app = kernel.spawn_trusted(
+      "app", difc::LabelState({}, {},
+                              difc::CapabilitySet{difc::plus(visible_tag)}));
+  auto ids = labeled.list_ids(app, "c");
+  ASSERT_TRUE(ids.ok());
+  const std::set<std::string> seen(ids.value().begin(), ids.value().end());
+  EXPECT_EQ(seen, visible_ids);
+  EXPECT_EQ(labeled.count(app, "c").value(), visible_ids.size());
+  // And the kernel still sees everything.
+  EXPECT_EQ(labeled.count(os::kKernelPid, "c").value(), all_ids.size());
+  // Every visible record is gettable; every hidden one is not_found.
+  for (const auto& id : all_ids) {
+    const bool should_see = visible_ids.contains(id);
+    EXPECT_EQ(labeled.get(app, "c", id, store::Raise::kYes).ok(), should_see)
+        << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreShadowProperty,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace w5

@@ -1,0 +1,102 @@
+// Property suite for the §3.5 JavaScript filter: on ANY input (random
+// tag soup included), the output contains no <script block, no inline
+// on*= handler in a tag, and no javascript: URL — and already-clean
+// documents pass through byte-identical.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/sanitizer.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace w5::platform {
+namespace {
+
+std::string lower(const std::string& s) { return util::to_lower(s); }
+
+// Oracle checks over sanitizer output.
+bool contains_script_open(const std::string& html) {
+  return lower(html).find("<script") != std::string::npos;
+}
+
+bool contains_js_url(const std::string& html) {
+  return lower(html).find("javascript:") != std::string::npos;
+}
+
+// Inline handler: inside a tag, whitespace followed by "on[a-z]+=".
+bool contains_inline_handler(const std::string& html) {
+  const std::string low = lower(html);
+  bool in_tag = false;
+  for (std::size_t i = 0; i < low.size(); ++i) {
+    if (low[i] == '<') in_tag = true;
+    if (low[i] == '>') in_tag = false;
+    if (!in_tag) continue;
+    if ((low[i] == ' ' || low[i] == '\t') && i + 3 < low.size() &&
+        low[i + 1] == 'o' && low[i + 2] == 'n') {
+      std::size_t j = i + 3;
+      while (j < low.size() && low[j] >= 'a' && low[j] <= 'z') ++j;
+      if (j < low.size() && low[j] == '=' && j > i + 3) return true;
+    }
+  }
+  return false;
+}
+
+std::string random_html(util::Rng& rng) {
+  static const char* kPieces[] = {
+      "<p>", "</p>", "<div class=\"x\">", "</div>", "plain text ",
+      "<script>evil()</script>", "<script src='x'>", "</script>",
+      "<a href=\"javascript:boom()\">", "<a href=\"/ok\">", "</a>",
+      "<img src=x onerror=steal()>", "<img src=\"a.png\">",
+      "<body onload=\"x()\">", "<span ONCLICK='y'>", "random > stray < ",
+      "<SCRIPT>UPPER</SCRIPT>", "entity &amp; text ", "<online>",  // not on*
+      "<p ongoing=maybe>",  // attribute starting with "on" — stripped (safe)
+  };
+  std::string out;
+  const std::size_t pieces = 1 + rng.next_below(30);
+  for (std::size_t i = 0; i < pieces; ++i) {
+    out += kPieces[rng.next_below(std::size(kPieces))];
+    if (rng.next_bool(0.2)) out += rng.next_string(rng.next_below(12));
+  }
+  return out;
+}
+
+class SanitizerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SanitizerProperty, OutputNeverContainsActiveContent) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    const std::string input = random_html(rng);
+    const std::string output = strip_javascript(input);
+    EXPECT_FALSE(contains_script_open(output)) << input << "\n->\n" << output;
+    EXPECT_FALSE(contains_js_url(output)) << input << "\n->\n" << output;
+    EXPECT_FALSE(contains_inline_handler(output))
+        << input << "\n->\n" << output;
+    // Idempotence: sanitizing twice changes nothing further.
+    EXPECT_EQ(strip_javascript(output), output);
+  }
+}
+
+TEST_P(SanitizerProperty, CleanDocumentsPassThroughExactly) {
+  util::Rng rng(GetParam() + 99);
+  static const char* kClean[] = {
+      "<p>", "</p>", "<div class=\"x\">", "</div>", "words and spaces ",
+      "<a href=\"/relative\">", "</a>", "<img src=\"a.png\">",
+      "&lt;script&gt; as text ",
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    const std::size_t pieces = 1 + rng.next_below(20);
+    for (std::size_t i = 0; i < pieces; ++i)
+      input += kClean[rng.next_below(std::size(kClean))];
+    bool modified = true;
+    EXPECT_EQ(strip_javascript(input, &modified), input);
+    EXPECT_FALSE(modified) << input;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SanitizerProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace w5::platform

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "store/labeled_store.h"
+#include "store/query.h"
+
+namespace w5::store {
+namespace {
+
+using difc::CapabilitySet;
+using difc::Label;
+using difc::LabelState;
+using difc::minus;
+using difc::ObjectLabels;
+using difc::plus;
+using difc::Tag;
+using difc::TagPurpose;
+using os::kKernelPid;
+using os::Pid;
+
+Record make_record(std::string collection, std::string id, std::string owner,
+                   ObjectLabels labels, util::Json data) {
+  Record record;
+  record.collection = std::move(collection);
+  record.id = std::move(id);
+  record.owner = std::move(owner);
+  record.labels = std::move(labels);
+  record.data = std::move(data);
+  return record;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : store_(kernel_, clock_) {}
+
+  void SetUp() override {
+    sec_bob_ = kernel_.create_tag(kKernelPid, "sec(bob)",
+                                  TagPurpose::kSecrecy).value();
+    sec_amy_ = kernel_.create_tag(kKernelPid, "sec(amy)",
+                                  TagPurpose::kSecrecy).value();
+    wp_bob_ = kernel_.create_tag(kKernelPid, "wp(bob)",
+                                 TagPurpose::kIntegrity).value();
+    kernel_.add_global_capability(plus(sec_bob_));
+    kernel_.add_global_capability(plus(sec_amy_));
+
+    util::Json photo;
+    photo["title"] = "sunset";
+    photo["tags"] = util::Json::array({"beach", "vacation"});
+    photo["rating"] = 5;
+    ASSERT_TRUE(store_
+                    .put(kKernelPid,
+                         make_record("photos", "p1", "bob",
+                                     {Label{sec_bob_}, Label{wp_bob_}},
+                                     photo))
+                    .ok());
+    util::Json amy_photo;
+    amy_photo["title"] = "mountain";
+    amy_photo["rating"] = 4;
+    ASSERT_TRUE(store_
+                    .put(kKernelPid,
+                         make_record("photos", "p2", "amy",
+                                     {Label{sec_amy_}, {}}, amy_photo))
+                    .ok());
+    util::Json pub;
+    pub["title"] = "public banner";
+    pub["rating"] = 2;
+    ASSERT_TRUE(
+        store_.put(kKernelPid, make_record("photos", "p3", "site", {}, pub))
+            .ok());
+  }
+
+  os::Kernel kernel_;
+  util::SimClock clock_;
+  LabeledStore store_;
+  Tag sec_bob_, sec_amy_, wp_bob_;
+};
+
+TEST_F(StoreTest, PointGetWithRaiseContaminates) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  auto record = store_.get(app, "photos", "p1", Raise::kYes);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().data.at("title").as_string(), "sunset");
+  EXPECT_EQ(kernel_.find(app)->labels.secrecy(), Label{sec_bob_});
+}
+
+TEST_F(StoreTest, GetWithoutRaiseHidesSecretRecords) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  const auto denied = store_.get(app, "photos", "p1", Raise::kNo);
+  ASSERT_FALSE(denied.ok());
+  // Within clearance (global sec(bob)+) the record's existence is
+  // legitimately observable, so the error names the flow problem...
+  EXPECT_EQ(denied.error().code, "flow.denied");
+  // ...and the caller's label is untouched.
+  EXPECT_EQ(kernel_.find(app)->labels.secrecy(), Label{});
+  // A genuinely absent record is not_found.
+  EXPECT_EQ(store_.get(app, "photos", "zzz", Raise::kNo).error().code,
+            "store.not_found");
+}
+
+TEST_F(StoreTest, RecordOutsideClearanceIsInvisibleEvenWithRaise) {
+  Tag hidden = kernel_.create_tag(kKernelPid, "sec(hidden)",
+                                  TagPurpose::kSecrecy).value();
+  util::Json data;
+  data["x"] = 1;
+  ASSERT_TRUE(store_
+                  .put(kKernelPid, make_record("photos", "p9", "x",
+                                               {Label{hidden}, {}}, data))
+                  .ok());
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  // No hidden+ capability anywhere: invisible.
+  EXPECT_EQ(store_.get(app, "photos", "p9", Raise::kYes).error().code,
+            "store.not_found");
+}
+
+TEST_F(StoreTest, PutCreateEnforcesNoLeak) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  ASSERT_TRUE(store_.get(app, "photos", "p1", Raise::kYes).ok());
+  // Contaminated with sec(bob): cannot create a public record.
+  util::Json data;
+  data["stolen"] = "bob's title";
+  const auto status =
+      store_.put(app, make_record("exfil", "e1", "mallory", {}, data));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "flow.denied");
+  // But may write it into a record carrying bob's label.
+  EXPECT_TRUE(store_
+                  .put(app, make_record("scratch", "s1", "mallory",
+                                        {Label{sec_bob_}, {}}, data))
+                  .ok());
+}
+
+TEST_F(StoreTest, PutCreateCannotForgeIntegrity) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  util::Json data;
+  const auto status = store_.put(
+      app, make_record("photos", "fake", "bob", {{}, Label{wp_bob_}}, data));
+  ASSERT_FALSE(status.ok());
+}
+
+TEST_F(StoreTest, OverwritePreservesLabelsAndBumpsVersion) {
+  clock_.advance(100);
+  util::Json newdata;
+  newdata["title"] = "sunset v2";
+  // Writer endorsed with wp(bob) and contaminated appropriately.
+  const Pid editor = kernel_.spawn_trusted(
+      "editor", LabelState({sec_bob_}, {wp_bob_}, {}));
+  Record update = make_record("photos", "p1", "ignored",
+                              {/*labels ignored on overwrite*/ {}, {}},
+                              newdata);
+  ASSERT_TRUE(store_.put(editor, update).ok());
+  auto record = store_.get(kKernelPid, "photos", "p1");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().version, 2u);
+  EXPECT_EQ(record.value().updated_micros, 100);
+  EXPECT_EQ(record.value().labels.secrecy, Label{sec_bob_});  // unchanged
+  EXPECT_EQ(record.value().owner, "bob");                     // unchanged
+  EXPECT_EQ(record.value().data.at("title").as_string(), "sunset v2");
+}
+
+TEST_F(StoreTest, WriteProtectionBlocksVandals) {
+  const Pid vandal =
+      kernel_.spawn_trusted("vandal", LabelState({sec_bob_}, {}, {}));
+  util::Json junk;
+  junk["title"] = "defaced";
+  EXPECT_FALSE(store_.put(vandal, make_record("photos", "p1", "bob", {}, junk))
+                   .ok());
+  EXPECT_FALSE(store_.remove(vandal, "photos", "p1").ok());
+  EXPECT_EQ(store_.get(kKernelPid, "photos", "p1").value()
+                .data.at("title").as_string(),
+            "sunset");
+}
+
+TEST_F(StoreTest, RemoveRequiresWriteAuthority) {
+  const Pid editor = kernel_.spawn_trusted(
+      "editor", LabelState({sec_bob_}, {wp_bob_}, {}));
+  EXPECT_TRUE(store_.remove(editor, "photos", "p1").ok());
+  EXPECT_EQ(store_.get(kKernelPid, "photos", "p1").error().code,
+            "store.not_found");
+}
+
+TEST_F(StoreTest, QueryReturnsOnlyClearedRecords) {
+  // App cleared for bob only (global plus exists for both, so restrict by
+  // removing amy's global... instead build a fresh kernel-free check):
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  auto all = store_.query(app, "photos");
+  ASSERT_TRUE(all.ok());
+  // Global t+ for bob and amy means clearance covers p1,p2,p3.
+  EXPECT_EQ(all.value().size(), 3u);
+  // The caller is now contaminated with the join.
+  EXPECT_EQ(kernel_.find(app)->labels.secrecy(),
+            (Label{sec_bob_, sec_amy_}));
+}
+
+TEST_F(StoreTest, QueryWithoutRaiseSeesOnlyCurrentLabel) {
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}));
+  auto visible = store_.query(app, "photos", {}, Raise::kNo);
+  ASSERT_TRUE(visible.ok());
+  ASSERT_EQ(visible.value().size(), 1u);  // only the public record
+  EXPECT_EQ(visible.value()[0].id, "p3");
+  EXPECT_EQ(kernel_.find(app)->labels.secrecy(), Label{});
+}
+
+TEST_F(StoreTest, QueryHonorsOwnerIndexLimitAndPredicate) {
+  auto bobs = store_.query(kKernelPid, "photos",
+                           QueryOptions{.owner = "bob"});
+  ASSERT_TRUE(bobs.ok());
+  ASSERT_EQ(bobs.value().size(), 1u);
+  EXPECT_EQ(bobs.value()[0].id, "p1");
+
+  auto limited = store_.query(kKernelPid, "photos", QueryOptions{.limit = 2});
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited.value().size(), 2u);
+
+  auto rated = store_.query(
+      kKernelPid, "photos",
+      QueryOptions{.predicate = field_between("rating", 4, 5)});
+  ASSERT_TRUE(rated.ok());
+  EXPECT_EQ(rated.value().size(), 2u);
+}
+
+TEST_F(StoreTest, CountIsClearanceBounded) {
+  // A process without amy's plus capability must not count her record.
+  os::Kernel kernel;
+  util::SimClock clock;
+  LabeledStore store(kernel, clock);
+  const Tag s1 =
+      kernel.create_tag(kKernelPid, "s1", TagPurpose::kSecrecy).value();
+  const Tag s2 =
+      kernel.create_tag(kKernelPid, "s2", TagPurpose::kSecrecy).value();
+  util::Json d;
+  ASSERT_TRUE(
+      store.put(kKernelPid, make_record("c", "1", "u1", {Label{s1}, {}}, d))
+          .ok());
+  ASSERT_TRUE(
+      store.put(kKernelPid, make_record("c", "2", "u2", {Label{s2}, {}}, d))
+          .ok());
+  ASSERT_TRUE(store.put(kKernelPid, make_record("c", "3", "u3", {}, d)).ok());
+
+  const Pid app = kernel.spawn_trusted(
+      "app", LabelState({}, {}, CapabilitySet{plus(s1)}));
+  EXPECT_EQ(store.count(app, "c").value(), 2u);         // s2 invisible
+  EXPECT_EQ(store.count(kKernelPid, "c").value(), 3u);  // kernel sees all
+  EXPECT_EQ(store.list_ids(app, "c").value(),
+            (std::vector<std::string>{"1", "3"}));
+}
+
+TEST_F(StoreTest, QueryChargesOnlyVisibleResults) {
+  os::Kernel kernel;
+  util::SimClock clock;
+  LabeledStore store(kernel, clock);
+  const Tag hidden =
+      kernel.create_tag(kKernelPid, "h", TagPurpose::kSecrecy).value();
+  util::Json d;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store
+                    .put(kKernelPid,
+                         make_record("c", "hid" + std::to_string(i), "x",
+                                     {Label{hidden}, {}}, d))
+                    .ok());
+  }
+  ASSERT_TRUE(store.put(kKernelPid, make_record("c", "pub", "y", {}, d)).ok());
+
+  os::ResourceContainer box("app", {.memory_bytes = 5});
+  const Pid app = kernel.spawn_trusted("app", LabelState({}, {}, {}), &box);
+  auto result = store.query(app, "c");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1u);
+  // Only 1 memory unit charged — the 10 hidden records cost nothing the
+  // app could observe.
+  EXPECT_EQ(box.usage().memory_bytes, 1);
+}
+
+TEST_F(StoreTest, PutChargesDiskQuota) {
+  os::ResourceContainer box("app", {.disk_bytes = 30});
+  const Pid app = kernel_.spawn_trusted("app", LabelState({}, {}, {}), &box);
+  util::Json small;
+  small["x"] = "y";
+  EXPECT_TRUE(store_.put(app, make_record("c", "1", "u", {}, small)).ok());
+  util::Json big;
+  big["x"] = std::string(100, 'a');
+  EXPECT_EQ(store_.put(app, make_record("c", "2", "u", {}, big)).error().code,
+            "quota.exceeded");
+}
+
+TEST_F(StoreTest, RejectsInvalidRecords) {
+  EXPECT_EQ(store_.put(kKernelPid, make_record("", "x", "u", {}, {}))
+                .error().code,
+            "store.invalid");
+  EXPECT_EQ(store_.put(kKernelPid, make_record("c", "", "u", {}, {}))
+                .error().code,
+            "store.invalid");
+}
+
+TEST_F(StoreTest, SnapshotRoundTrip) {
+  const auto snapshot = store_.to_json();
+  os::Kernel kernel2;
+  auto tags = difc::TagRegistry::from_json(kernel_.tags().to_json());
+  ASSERT_TRUE(tags.ok());
+  kernel2.tags() = std::move(tags).value();
+  util::SimClock clock2;
+  LabeledStore store2(kernel2, clock2);
+  ASSERT_TRUE(store2.load_json(snapshot).ok());
+  EXPECT_EQ(store2.total_records(), store_.total_records());
+  auto record = store2.get(kKernelPid, "photos", "p1");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().labels.secrecy, Label{sec_bob_});
+  EXPECT_EQ(record.value().data.at("title").as_string(), "sunset");
+  EXPECT_EQ(store2.to_json().dump(), snapshot.dump());
+  // Owner index was rebuilt.
+  EXPECT_EQ(store2.query(kKernelPid, "photos", QueryOptions{.owner = "amy"})
+                .value().size(),
+            1u);
+}
+
+TEST_F(StoreTest, LoadJsonRejectsCorruption) {
+  LabeledStore store(kernel_, clock_);
+  EXPECT_FALSE(store.load_json(util::Json("bad")).ok());
+  auto dup = util::Json::parse(
+      R"({"records":[
+        {"collection":"c","id":"1","owner":"u","labels":{"secrecy":[],"integrity":[]},"data":{},"version":1,"updated":0},
+        {"collection":"c","id":"1","owner":"u","labels":{"secrecy":[],"integrity":[]},"data":{},"version":1,"updated":0}]})");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(store.load_json(dup.value()).ok());
+  auto bad_version = util::Json::parse(
+      R"({"records":[{"collection":"c","id":"1","owner":"u","labels":{"secrecy":[],"integrity":[]},"data":{},"version":0,"updated":0}]})");
+  ASSERT_TRUE(bad_version.ok());
+  EXPECT_FALSE(store.load_json(bad_version.value()).ok());
+}
+
+TEST(QueryPredicateTest, FieldCombinators) {
+  Record record;
+  record.data["name"] = "bob";
+  record.data["age"] = 30;
+  record.data["tags"] = util::Json::array({"a", "b"});
+  record.data["bio"] = "likes sci-fi novels";
+
+  EXPECT_TRUE(field_equals("name", "bob")(record));
+  EXPECT_FALSE(field_equals("name", "amy")(record));
+  EXPECT_FALSE(field_equals("age", "30")(record));  // number != string
+  EXPECT_TRUE(field_between("age", 18, 65)(record));
+  EXPECT_FALSE(field_between("age", 40, 65)(record));
+  EXPECT_FALSE(field_between("name", 0, 100)(record));
+  EXPECT_TRUE(array_contains("tags", "a")(record));
+  EXPECT_FALSE(array_contains("tags", "z")(record));
+  EXPECT_FALSE(array_contains("name", "bob")(record));
+  EXPECT_TRUE(field_contains("bio", "sci-fi")(record));
+  EXPECT_FALSE(field_contains("bio", "westerns")(record));
+
+  EXPECT_TRUE(and_also(field_equals("name", "bob"),
+                       field_between("age", 18, 65))(record));
+  EXPECT_FALSE(and_also(field_equals("name", "amy"),
+                        field_between("age", 18, 65))(record));
+  EXPECT_TRUE(or_else(field_equals("name", "amy"),
+                      array_contains("tags", "b"))(record));
+  EXPECT_TRUE(negate(field_equals("name", "amy"))(record));
+}
+
+}  // namespace
+}  // namespace w5::store

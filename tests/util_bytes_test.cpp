@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace w5::util {
+namespace {
+
+TEST(HexTest, EncodesKnownVectors) {
+  EXPECT_EQ(hex_encode(""), "");
+  EXPECT_EQ(hex_encode(std::string("\x00\xff\x10", 3)), "00ff10");
+  EXPECT_EQ(hex_encode("abc"), "616263");
+}
+
+TEST(HexTest, DecodesKnownVectors) {
+  EXPECT_EQ(hex_decode("616263"), "abc");
+  EXPECT_EQ(hex_decode("00FF10"), std::string("\x00\xff\x10", 3));
+  EXPECT_EQ(hex_decode(""), "");
+}
+
+TEST(HexTest, RejectsOddLengthAndBadDigits) {
+  EXPECT_FALSE(hex_decode("a").has_value());
+  EXPECT_FALSE(hex_decode("zz").has_value());
+  EXPECT_FALSE(hex_decode("0g").has_value());
+}
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodesVectors) {
+  EXPECT_EQ(base64_decode("Zm9vYmFy"), "foobar");
+  EXPECT_EQ(base64_decode("Zg=="), "f");
+  EXPECT_EQ(base64_decode("Zg"), "f");  // tolerate missing padding
+}
+
+TEST(Base64Test, RejectsIllegalCharacters) {
+  EXPECT_FALSE(base64_decode("Zm9v!").has_value());
+  EXPECT_FALSE(base64_decode("Z").has_value());  // 6 bits cannot be a byte
+}
+
+TEST(Base64Test, UrlSafeUsesDashUnderscoreNoPadding) {
+  // 0xfb 0xff encodes to "+/8=" in standard, "-_8" in url-safe.
+  const std::string bytes("\xfb\xff", 2);
+  EXPECT_EQ(base64_encode(bytes), "+/8=");
+  EXPECT_EQ(base64url_encode(bytes), "-_8");
+  EXPECT_EQ(base64url_decode("-_8"), bytes);
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, RandomBytesSurviveBothAlphabets) {
+  Rng rng(GetParam() * 7919 + 13);
+  const std::string bytes = rng.next_bytes(GetParam());
+  EXPECT_EQ(base64_decode(base64_encode(bytes)), bytes);
+  EXPECT_EQ(base64url_decode(base64url_encode(bytes)), bytes);
+  EXPECT_EQ(hex_decode(hex_encode(bytes)), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 63,
+                                           64, 65, 255, 256, 1000, 4096));
+
+}  // namespace
+}  // namespace w5::util

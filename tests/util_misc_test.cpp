@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/clock.h"
+#include "util/log.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace w5::util {
+namespace {
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_nonempty("/a//b/", '/'),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\r\n\tx"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(to_lower("Content-TYPE"), "content-type");
+  EXPECT_TRUE(iequals("Host", "hOST"));
+  EXPECT_FALSE(iequals("Host", "Hosts"));
+  EXPECT_TRUE(starts_with("w5.org/devA/crop", "w5.org"));
+  EXPECT_TRUE(ends_with("photo.jpg", ".jpg"));
+  EXPECT_FALSE(ends_with("jpg", "photo.jpg"));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, ParseI64) {
+  EXPECT_EQ(parse_i64("123"), 123);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64("+9"), 9);
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("12x").has_value());
+  EXPECT_FALSE(parse_i64("-").has_value());
+  EXPECT_FALSE(parse_i64("99999999999999999999").has_value());  // overflow
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(ResultTest, SuccessAndError) {
+  Result<int> ok_result(5);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 5);
+  EXPECT_EQ(ok_result.value_or(9), 5);
+
+  Result<int> err_result(make_error("flow.denied", "S not subset"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.error().code, "flow.denied");
+  EXPECT_EQ(err_result.value_or(9), 9);
+}
+
+TEST(ResultTest, MapPropagatesErrors) {
+  Result<int> err_result(make_error("e"));
+  auto mapped = err_result.map([](int v) { return v * 2; });
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.error().code, "e");
+  Result<int> ok_result(21);
+  EXPECT_EQ(ok_result.map([](int v) { return v * 2; }).value(), 42);
+}
+
+TEST(ResultTest, VoidStatus) {
+  Status s = ok_status();
+  EXPECT_TRUE(s.ok());
+  Status denied = make_error("quota.exceeded");
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "quota.exceeded");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+  Rng d(1), e(1);
+  EXPECT_EQ(d.next_string(20), e.next_string(20));
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleIsInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(3);
+  int counts[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(10)];
+  for (int count : counts) {
+    EXPECT_GT(count, kDraws / 10 * 0.9);
+    EXPECT_LT(count, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfGenerator zipf(100, 1.0, 9);
+  int first_decile = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i)
+    if (zipf.next() < 10) ++first_decile;
+  // With s=1, n=100 the first 10 ranks carry ~56% of the mass.
+  EXPECT_GT(first_decile, kDraws / 2 * 0.9);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(7, 1.5, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.next(), 7u);
+}
+
+TEST(ClockTest, SimClockAdvancesManually) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(250);
+  EXPECT_EQ(clock.now(), 250);
+  clock.set(1000);
+  EXPECT_EQ(clock.now(), 1000);
+}
+
+TEST(ClockTest, WallClockIsMonotonic) {
+  WallClock clock;
+  const auto a = clock.now();
+  const auto b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(LogTest, SinkReceivesMessagesAboveThreshold) {
+  std::vector<std::string> captured;
+  auto previous = set_log_sink([&](LogLevel level, std::string_view message) {
+    captured.push_back(std::string(to_string(level)) + ":" +
+                       std::string(message));
+  });
+  set_log_threshold(LogLevel::kInfo);
+  log_debug("dropped");
+  log_info("kept ", 42);
+  log_error("bad: ", "detail");
+  set_log_sink(previous);
+  set_log_threshold(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "info:kept 42");
+  EXPECT_EQ(captured[1], "error:bad: detail");
+}
+
+}  // namespace
+}  // namespace w5::util

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/sha256.h"
+
+namespace w5::util {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto digest = h.finish();
+  std::string raw(reinterpret_cast<const char*>(digest.data()), digest.size());
+  EXPECT_EQ(hex_encode(raw),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data =
+      "The provider's only requirements are that the infrastructure be "
+      "secured and that the software platform enforce users' policies.";
+  Sha256 h;
+  for (std::size_t i = 0; i < data.size(); i += 7)
+    h.update(std::string_view(data).substr(i, 7));
+  const auto digest = h.finish();
+  std::string raw(reinterpret_cast<const char*>(digest.data()), digest.size());
+  EXPECT_EQ(raw, sha256_raw(data));
+}
+
+// Boundary lengths around the 64-byte block and 56-byte padding cutoff.
+class Sha256Boundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Boundary, SplitUpdateMatchesOneShot) {
+  const std::string data(GetParam(), 'x');
+  Sha256 h;
+  h.update(std::string_view(data).substr(0, data.size() / 2));
+  h.update(std::string_view(data).substr(data.size() / 2));
+  const auto digest = h.finish();
+  std::string raw(reinterpret_cast<const char*>(digest.data()), digest.size());
+  EXPECT_EQ(raw, sha256_raw(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256Boundary,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 127, 128, 129, 1000));
+
+}  // namespace
+}  // namespace w5::util
