@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_declassify.dir/bench_declassify.cpp.o"
+  "CMakeFiles/bench_declassify.dir/bench_declassify.cpp.o.d"
+  "bench_declassify"
+  "bench_declassify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_declassify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fs.dir/bench_fs.cpp.o"
+  "CMakeFiles/bench_fs.dir/bench_fs.cpp.o.d"
+  "bench_fs"
+  "bench_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perimeter.dir/bench_perimeter.cpp.o"
+  "CMakeFiles/bench_perimeter.dir/bench_perimeter.cpp.o.d"
+  "bench_perimeter"
+  "bench_perimeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perimeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

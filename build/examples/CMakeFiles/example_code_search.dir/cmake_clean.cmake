@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_code_search.dir/code_search.cpp.o"
+  "CMakeFiles/example_code_search.dir/code_search.cpp.o.d"
+  "example_code_search"
+  "example_code_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_code_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

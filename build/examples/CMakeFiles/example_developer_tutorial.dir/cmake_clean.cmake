@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_developer_tutorial.dir/developer_tutorial.cpp.o"
+  "CMakeFiles/example_developer_tutorial.dir/developer_tutorial.cpp.o.d"
+  "example_developer_tutorial"
+  "example_developer_tutorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_developer_tutorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

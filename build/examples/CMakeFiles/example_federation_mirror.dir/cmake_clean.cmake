@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_federation_mirror.dir/federation_mirror.cpp.o"
+  "CMakeFiles/example_federation_mirror.dir/federation_mirror.cpp.o.d"
+  "example_federation_mirror"
+  "example_federation_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_federation_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mashup_private_map.dir/mashup_private_map.cpp.o"
+  "CMakeFiles/example_mashup_private_map.dir/mashup_private_map.cpp.o.d"
+  "example_mashup_private_map"
+  "example_mashup_private_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mashup_private_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

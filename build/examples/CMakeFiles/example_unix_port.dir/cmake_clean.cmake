@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_unix_port.dir/unix_port.cpp.o"
+  "CMakeFiles/example_unix_port.dir/unix_port.cpp.o.d"
+  "example_unix_port"
+  "example_unix_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_unix_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_w5_server.dir/w5_server.cpp.o"
+  "CMakeFiles/example_w5_server.dir/w5_server.cpp.o.d"
+  "example_w5_server"
+  "example_w5_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_w5_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blog.cpp" "src/CMakeFiles/w5_apps.dir/apps/blog.cpp.o" "gcc" "src/CMakeFiles/w5_apps.dir/apps/blog.cpp.o.d"
+  "/root/repo/src/apps/chameleon.cpp" "src/CMakeFiles/w5_apps.dir/apps/chameleon.cpp.o" "gcc" "src/CMakeFiles/w5_apps.dir/apps/chameleon.cpp.o.d"
+  "/root/repo/src/apps/dating.cpp" "src/CMakeFiles/w5_apps.dir/apps/dating.cpp.o" "gcc" "src/CMakeFiles/w5_apps.dir/apps/dating.cpp.o.d"
+  "/root/repo/src/apps/mashup.cpp" "src/CMakeFiles/w5_apps.dir/apps/mashup.cpp.o" "gcc" "src/CMakeFiles/w5_apps.dir/apps/mashup.cpp.o.d"
+  "/root/repo/src/apps/photo.cpp" "src/CMakeFiles/w5_apps.dir/apps/photo.cpp.o" "gcc" "src/CMakeFiles/w5_apps.dir/apps/photo.cpp.o.d"
+  "/root/repo/src/apps/recommender.cpp" "src/CMakeFiles/w5_apps.dir/apps/recommender.cpp.o" "gcc" "src/CMakeFiles/w5_apps.dir/apps/recommender.cpp.o.d"
+  "/root/repo/src/apps/social.cpp" "src/CMakeFiles/w5_apps.dir/apps/social.cpp.o" "gcc" "src/CMakeFiles/w5_apps.dir/apps/social.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_difc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

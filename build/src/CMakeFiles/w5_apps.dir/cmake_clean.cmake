@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_apps.dir/apps/blog.cpp.o"
+  "CMakeFiles/w5_apps.dir/apps/blog.cpp.o.d"
+  "CMakeFiles/w5_apps.dir/apps/chameleon.cpp.o"
+  "CMakeFiles/w5_apps.dir/apps/chameleon.cpp.o.d"
+  "CMakeFiles/w5_apps.dir/apps/dating.cpp.o"
+  "CMakeFiles/w5_apps.dir/apps/dating.cpp.o.d"
+  "CMakeFiles/w5_apps.dir/apps/mashup.cpp.o"
+  "CMakeFiles/w5_apps.dir/apps/mashup.cpp.o.d"
+  "CMakeFiles/w5_apps.dir/apps/photo.cpp.o"
+  "CMakeFiles/w5_apps.dir/apps/photo.cpp.o.d"
+  "CMakeFiles/w5_apps.dir/apps/recommender.cpp.o"
+  "CMakeFiles/w5_apps.dir/apps/recommender.cpp.o.d"
+  "CMakeFiles/w5_apps.dir/apps/social.cpp.o"
+  "CMakeFiles/w5_apps.dir/apps/social.cpp.o.d"
+  "libw5_apps.a"
+  "libw5_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

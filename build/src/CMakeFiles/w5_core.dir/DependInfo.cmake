@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_context.cpp" "src/CMakeFiles/w5_core.dir/core/app_context.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/app_context.cpp.o.d"
+  "/root/repo/src/core/audit.cpp" "src/CMakeFiles/w5_core.dir/core/audit.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/audit.cpp.o.d"
+  "/root/repo/src/core/auth.cpp" "src/CMakeFiles/w5_core.dir/core/auth.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/auth.cpp.o.d"
+  "/root/repo/src/core/declassifier.cpp" "src/CMakeFiles/w5_core.dir/core/declassifier.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/declassifier.cpp.o.d"
+  "/root/repo/src/core/gateway.cpp" "src/CMakeFiles/w5_core.dir/core/gateway.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/gateway.cpp.o.d"
+  "/root/repo/src/core/module_registry.cpp" "src/CMakeFiles/w5_core.dir/core/module_registry.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/module_registry.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/w5_core.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/policy.cpp.o.d"
+  "/root/repo/src/core/provider.cpp" "src/CMakeFiles/w5_core.dir/core/provider.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/provider.cpp.o.d"
+  "/root/repo/src/core/sanitizer.cpp" "src/CMakeFiles/w5_core.dir/core/sanitizer.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/sanitizer.cpp.o.d"
+  "/root/repo/src/core/search_service.cpp" "src/CMakeFiles/w5_core.dir/core/search_service.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/search_service.cpp.o.d"
+  "/root/repo/src/core/user.cpp" "src/CMakeFiles/w5_core.dir/core/user.cpp.o" "gcc" "src/CMakeFiles/w5_core.dir/core/user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_difc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

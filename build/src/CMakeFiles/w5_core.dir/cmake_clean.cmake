@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_core.dir/core/app_context.cpp.o"
+  "CMakeFiles/w5_core.dir/core/app_context.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/audit.cpp.o"
+  "CMakeFiles/w5_core.dir/core/audit.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/auth.cpp.o"
+  "CMakeFiles/w5_core.dir/core/auth.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/declassifier.cpp.o"
+  "CMakeFiles/w5_core.dir/core/declassifier.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/gateway.cpp.o"
+  "CMakeFiles/w5_core.dir/core/gateway.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/module_registry.cpp.o"
+  "CMakeFiles/w5_core.dir/core/module_registry.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/policy.cpp.o"
+  "CMakeFiles/w5_core.dir/core/policy.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/provider.cpp.o"
+  "CMakeFiles/w5_core.dir/core/provider.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/sanitizer.cpp.o"
+  "CMakeFiles/w5_core.dir/core/sanitizer.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/search_service.cpp.o"
+  "CMakeFiles/w5_core.dir/core/search_service.cpp.o.d"
+  "CMakeFiles/w5_core.dir/core/user.cpp.o"
+  "CMakeFiles/w5_core.dir/core/user.cpp.o.d"
+  "libw5_core.a"
+  "libw5_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

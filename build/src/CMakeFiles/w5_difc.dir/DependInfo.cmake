@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/difc/capability.cpp" "src/CMakeFiles/w5_difc.dir/difc/capability.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/capability.cpp.o.d"
+  "/root/repo/src/difc/codec.cpp" "src/CMakeFiles/w5_difc.dir/difc/codec.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/codec.cpp.o.d"
+  "/root/repo/src/difc/endpoint.cpp" "src/CMakeFiles/w5_difc.dir/difc/endpoint.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/endpoint.cpp.o.d"
+  "/root/repo/src/difc/flow.cpp" "src/CMakeFiles/w5_difc.dir/difc/flow.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/flow.cpp.o.d"
+  "/root/repo/src/difc/label.cpp" "src/CMakeFiles/w5_difc.dir/difc/label.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/label.cpp.o.d"
+  "/root/repo/src/difc/label_state.cpp" "src/CMakeFiles/w5_difc.dir/difc/label_state.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/label_state.cpp.o.d"
+  "/root/repo/src/difc/tag.cpp" "src/CMakeFiles/w5_difc.dir/difc/tag.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/tag.cpp.o.d"
+  "/root/repo/src/difc/tag_registry.cpp" "src/CMakeFiles/w5_difc.dir/difc/tag_registry.cpp.o" "gcc" "src/CMakeFiles/w5_difc.dir/difc/tag_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_difc.dir/difc/capability.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/capability.cpp.o.d"
+  "CMakeFiles/w5_difc.dir/difc/codec.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/codec.cpp.o.d"
+  "CMakeFiles/w5_difc.dir/difc/endpoint.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/endpoint.cpp.o.d"
+  "CMakeFiles/w5_difc.dir/difc/flow.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/flow.cpp.o.d"
+  "CMakeFiles/w5_difc.dir/difc/label.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/label.cpp.o.d"
+  "CMakeFiles/w5_difc.dir/difc/label_state.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/label_state.cpp.o.d"
+  "CMakeFiles/w5_difc.dir/difc/tag.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/tag.cpp.o.d"
+  "CMakeFiles/w5_difc.dir/difc/tag_registry.cpp.o"
+  "CMakeFiles/w5_difc.dir/difc/tag_registry.cpp.o.d"
+  "libw5_difc.a"
+  "libw5_difc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_difc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

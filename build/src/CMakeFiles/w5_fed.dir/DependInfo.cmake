@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/mirror.cpp" "src/CMakeFiles/w5_fed.dir/fed/mirror.cpp.o" "gcc" "src/CMakeFiles/w5_fed.dir/fed/mirror.cpp.o.d"
+  "/root/repo/src/fed/node.cpp" "src/CMakeFiles/w5_fed.dir/fed/node.cpp.o" "gcc" "src/CMakeFiles/w5_fed.dir/fed/node.cpp.o.d"
+  "/root/repo/src/fed/vector_clock.cpp" "src/CMakeFiles/w5_fed.dir/fed/vector_clock.cpp.o" "gcc" "src/CMakeFiles/w5_fed.dir/fed/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_difc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

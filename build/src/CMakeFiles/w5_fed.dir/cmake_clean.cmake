@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_fed.dir/fed/mirror.cpp.o"
+  "CMakeFiles/w5_fed.dir/fed/mirror.cpp.o.d"
+  "CMakeFiles/w5_fed.dir/fed/node.cpp.o"
+  "CMakeFiles/w5_fed.dir/fed/node.cpp.o.d"
+  "CMakeFiles/w5_fed.dir/fed/vector_clock.cpp.o"
+  "CMakeFiles/w5_fed.dir/fed/vector_clock.cpp.o.d"
+  "libw5_fed.a"
+  "libw5_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

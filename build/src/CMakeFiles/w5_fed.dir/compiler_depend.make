@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for w5_fed.
+# This may be replaced when dependencies are built.

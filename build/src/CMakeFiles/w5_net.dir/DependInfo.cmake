@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cookies.cpp" "src/CMakeFiles/w5_net.dir/net/cookies.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/cookies.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/CMakeFiles/w5_net.dir/net/http.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/http.cpp.o.d"
+  "/root/repo/src/net/http_client.cpp" "src/CMakeFiles/w5_net.dir/net/http_client.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/http_client.cpp.o.d"
+  "/root/repo/src/net/http_parser.cpp" "src/CMakeFiles/w5_net.dir/net/http_parser.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/http_parser.cpp.o.d"
+  "/root/repo/src/net/http_server.cpp" "src/CMakeFiles/w5_net.dir/net/http_server.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/http_server.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/w5_net.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/router.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/w5_net.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/CMakeFiles/w5_net.dir/net/transport.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/transport.cpp.o.d"
+  "/root/repo/src/net/uri.cpp" "src/CMakeFiles/w5_net.dir/net/uri.cpp.o" "gcc" "src/CMakeFiles/w5_net.dir/net/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

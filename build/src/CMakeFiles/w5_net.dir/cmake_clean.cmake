@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_net.dir/net/cookies.cpp.o"
+  "CMakeFiles/w5_net.dir/net/cookies.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/http.cpp.o"
+  "CMakeFiles/w5_net.dir/net/http.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/http_client.cpp.o"
+  "CMakeFiles/w5_net.dir/net/http_client.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/http_parser.cpp.o"
+  "CMakeFiles/w5_net.dir/net/http_parser.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/http_server.cpp.o"
+  "CMakeFiles/w5_net.dir/net/http_server.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/router.cpp.o"
+  "CMakeFiles/w5_net.dir/net/router.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/tcp.cpp.o"
+  "CMakeFiles/w5_net.dir/net/tcp.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/transport.cpp.o"
+  "CMakeFiles/w5_net.dir/net/transport.cpp.o.d"
+  "CMakeFiles/w5_net.dir/net/uri.cpp.o"
+  "CMakeFiles/w5_net.dir/net/uri.cpp.o.d"
+  "libw5_net.a"
+  "libw5_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/filesystem.cpp" "src/CMakeFiles/w5_os.dir/os/filesystem.cpp.o" "gcc" "src/CMakeFiles/w5_os.dir/os/filesystem.cpp.o.d"
+  "/root/repo/src/os/ipc.cpp" "src/CMakeFiles/w5_os.dir/os/ipc.cpp.o" "gcc" "src/CMakeFiles/w5_os.dir/os/ipc.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/CMakeFiles/w5_os.dir/os/kernel.cpp.o" "gcc" "src/CMakeFiles/w5_os.dir/os/kernel.cpp.o.d"
+  "/root/repo/src/os/resources.cpp" "src/CMakeFiles/w5_os.dir/os/resources.cpp.o" "gcc" "src/CMakeFiles/w5_os.dir/os/resources.cpp.o.d"
+  "/root/repo/src/os/scheduler.cpp" "src/CMakeFiles/w5_os.dir/os/scheduler.cpp.o" "gcc" "src/CMakeFiles/w5_os.dir/os/scheduler.cpp.o.d"
+  "/root/repo/src/os/syscalls.cpp" "src/CMakeFiles/w5_os.dir/os/syscalls.cpp.o" "gcc" "src/CMakeFiles/w5_os.dir/os/syscalls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_difc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

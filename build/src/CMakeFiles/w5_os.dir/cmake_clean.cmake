@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_os.dir/os/filesystem.cpp.o"
+  "CMakeFiles/w5_os.dir/os/filesystem.cpp.o.d"
+  "CMakeFiles/w5_os.dir/os/ipc.cpp.o"
+  "CMakeFiles/w5_os.dir/os/ipc.cpp.o.d"
+  "CMakeFiles/w5_os.dir/os/kernel.cpp.o"
+  "CMakeFiles/w5_os.dir/os/kernel.cpp.o.d"
+  "CMakeFiles/w5_os.dir/os/resources.cpp.o"
+  "CMakeFiles/w5_os.dir/os/resources.cpp.o.d"
+  "CMakeFiles/w5_os.dir/os/scheduler.cpp.o"
+  "CMakeFiles/w5_os.dir/os/scheduler.cpp.o.d"
+  "CMakeFiles/w5_os.dir/os/syscalls.cpp.o"
+  "CMakeFiles/w5_os.dir/os/syscalls.cpp.o.d"
+  "libw5_os.a"
+  "libw5_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

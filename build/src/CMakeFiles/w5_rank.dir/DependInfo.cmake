@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/depgraph.cpp" "src/CMakeFiles/w5_rank.dir/rank/depgraph.cpp.o" "gcc" "src/CMakeFiles/w5_rank.dir/rank/depgraph.cpp.o.d"
+  "/root/repo/src/rank/pagerank.cpp" "src/CMakeFiles/w5_rank.dir/rank/pagerank.cpp.o" "gcc" "src/CMakeFiles/w5_rank.dir/rank/pagerank.cpp.o.d"
+  "/root/repo/src/rank/reputation.cpp" "src/CMakeFiles/w5_rank.dir/rank/reputation.cpp.o" "gcc" "src/CMakeFiles/w5_rank.dir/rank/reputation.cpp.o.d"
+  "/root/repo/src/rank/search.cpp" "src/CMakeFiles/w5_rank.dir/rank/search.cpp.o" "gcc" "src/CMakeFiles/w5_rank.dir/rank/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_rank.dir/rank/depgraph.cpp.o"
+  "CMakeFiles/w5_rank.dir/rank/depgraph.cpp.o.d"
+  "CMakeFiles/w5_rank.dir/rank/pagerank.cpp.o"
+  "CMakeFiles/w5_rank.dir/rank/pagerank.cpp.o.d"
+  "CMakeFiles/w5_rank.dir/rank/reputation.cpp.o"
+  "CMakeFiles/w5_rank.dir/rank/reputation.cpp.o.d"
+  "CMakeFiles/w5_rank.dir/rank/search.cpp.o"
+  "CMakeFiles/w5_rank.dir/rank/search.cpp.o.d"
+  "libw5_rank.a"
+  "libw5_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

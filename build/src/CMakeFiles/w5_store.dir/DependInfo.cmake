@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/labeled_store.cpp" "src/CMakeFiles/w5_store.dir/store/labeled_store.cpp.o" "gcc" "src/CMakeFiles/w5_store.dir/store/labeled_store.cpp.o.d"
+  "/root/repo/src/store/query.cpp" "src/CMakeFiles/w5_store.dir/store/query.cpp.o" "gcc" "src/CMakeFiles/w5_store.dir/store/query.cpp.o.d"
+  "/root/repo/src/store/record.cpp" "src/CMakeFiles/w5_store.dir/store/record.cpp.o" "gcc" "src/CMakeFiles/w5_store.dir/store/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_difc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

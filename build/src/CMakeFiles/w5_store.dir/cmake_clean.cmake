@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_store.dir/store/labeled_store.cpp.o"
+  "CMakeFiles/w5_store.dir/store/labeled_store.cpp.o.d"
+  "CMakeFiles/w5_store.dir/store/query.cpp.o"
+  "CMakeFiles/w5_store.dir/store/query.cpp.o.d"
+  "CMakeFiles/w5_store.dir/store/record.cpp.o"
+  "CMakeFiles/w5_store.dir/store/record.cpp.o.d"
+  "libw5_store.a"
+  "libw5_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

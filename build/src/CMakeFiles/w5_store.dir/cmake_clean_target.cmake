@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libw5_store.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w5_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/w5_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/w5_util.dir/util/json.cpp.o"
+  "CMakeFiles/w5_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/w5_util.dir/util/log.cpp.o"
+  "CMakeFiles/w5_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/w5_util.dir/util/rng.cpp.o"
+  "CMakeFiles/w5_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/w5_util.dir/util/sha256.cpp.o"
+  "CMakeFiles/w5_util.dir/util/sha256.cpp.o.d"
+  "CMakeFiles/w5_util.dir/util/strings.cpp.o"
+  "CMakeFiles/w5_util.dir/util/strings.cpp.o.d"
+  "libw5_util.a"
+  "libw5_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w5_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/w5_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/call_module_test.cpp" "tests/CMakeFiles/w5_tests.dir/call_module_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/call_module_test.cpp.o.d"
+  "/root/repo/tests/core_auth_test.cpp" "tests/CMakeFiles/w5_tests.dir/core_auth_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/core_auth_test.cpp.o.d"
+  "/root/repo/tests/core_declassifier_test.cpp" "tests/CMakeFiles/w5_tests.dir/core_declassifier_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/core_declassifier_test.cpp.o.d"
+  "/root/repo/tests/core_gateway_test.cpp" "tests/CMakeFiles/w5_tests.dir/core_gateway_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/core_gateway_test.cpp.o.d"
+  "/root/repo/tests/difc_endpoint_test.cpp" "tests/CMakeFiles/w5_tests.dir/difc_endpoint_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/difc_endpoint_test.cpp.o.d"
+  "/root/repo/tests/difc_label_test.cpp" "tests/CMakeFiles/w5_tests.dir/difc_label_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/difc_label_test.cpp.o.d"
+  "/root/repo/tests/difc_state_test.cpp" "tests/CMakeFiles/w5_tests.dir/difc_state_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/difc_state_test.cpp.o.d"
+  "/root/repo/tests/e2e_tcp_test.cpp" "tests/CMakeFiles/w5_tests.dir/e2e_tcp_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/e2e_tcp_test.cpp.o.d"
+  "/root/repo/tests/endorse_endpoint_test.cpp" "tests/CMakeFiles/w5_tests.dir/endorse_endpoint_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/endorse_endpoint_test.cpp.o.d"
+  "/root/repo/tests/fed_test.cpp" "tests/CMakeFiles/w5_tests.dir/fed_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/fed_test.cpp.o.d"
+  "/root/repo/tests/gateway_headers_test.cpp" "tests/CMakeFiles/w5_tests.dir/gateway_headers_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/gateway_headers_test.cpp.o.d"
+  "/root/repo/tests/integrity_protection_test.cpp" "tests/CMakeFiles/w5_tests.dir/integrity_protection_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/integrity_protection_test.cpp.o.d"
+  "/root/repo/tests/invitations_test.cpp" "tests/CMakeFiles/w5_tests.dir/invitations_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/invitations_test.cpp.o.d"
+  "/root/repo/tests/net_client_test.cpp" "tests/CMakeFiles/w5_tests.dir/net_client_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/net_client_test.cpp.o.d"
+  "/root/repo/tests/net_http_test.cpp" "tests/CMakeFiles/w5_tests.dir/net_http_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/net_http_test.cpp.o.d"
+  "/root/repo/tests/net_server_test.cpp" "tests/CMakeFiles/w5_tests.dir/net_server_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/net_server_test.cpp.o.d"
+  "/root/repo/tests/net_uri_test.cpp" "tests/CMakeFiles/w5_tests.dir/net_uri_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/net_uri_test.cpp.o.d"
+  "/root/repo/tests/os_filesystem_test.cpp" "tests/CMakeFiles/w5_tests.dir/os_filesystem_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/os_filesystem_test.cpp.o.d"
+  "/root/repo/tests/os_ipc_test.cpp" "tests/CMakeFiles/w5_tests.dir/os_ipc_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/os_ipc_test.cpp.o.d"
+  "/root/repo/tests/os_kernel_test.cpp" "tests/CMakeFiles/w5_tests.dir/os_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/os_kernel_test.cpp.o.d"
+  "/root/repo/tests/os_resources_test.cpp" "tests/CMakeFiles/w5_tests.dir/os_resources_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/os_resources_test.cpp.o.d"
+  "/root/repo/tests/os_syscalls_test.cpp" "tests/CMakeFiles/w5_tests.dir/os_syscalls_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/os_syscalls_test.cpp.o.d"
+  "/root/repo/tests/persistence_groups_test.cpp" "tests/CMakeFiles/w5_tests.dir/persistence_groups_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/persistence_groups_test.cpp.o.d"
+  "/root/repo/tests/platform_extras_test.cpp" "tests/CMakeFiles/w5_tests.dir/platform_extras_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/platform_extras_test.cpp.o.d"
+  "/root/repo/tests/portability_test.cpp" "tests/CMakeFiles/w5_tests.dir/portability_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/portability_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/w5_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rank_test.cpp" "tests/CMakeFiles/w5_tests.dir/rank_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/rank_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/w5_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/sanitizer_property_test.cpp" "tests/CMakeFiles/w5_tests.dir/sanitizer_property_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/sanitizer_property_test.cpp.o.d"
+  "/root/repo/tests/store_test.cpp" "tests/CMakeFiles/w5_tests.dir/store_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/store_test.cpp.o.d"
+  "/root/repo/tests/util_bytes_test.cpp" "tests/CMakeFiles/w5_tests.dir/util_bytes_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/util_bytes_test.cpp.o.d"
+  "/root/repo/tests/util_json_test.cpp" "tests/CMakeFiles/w5_tests.dir/util_json_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/util_json_test.cpp.o.d"
+  "/root/repo/tests/util_misc_test.cpp" "tests/CMakeFiles/w5_tests.dir/util_misc_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/util_misc_test.cpp.o.d"
+  "/root/repo/tests/util_sha256_test.cpp" "tests/CMakeFiles/w5_tests.dir/util_sha256_test.cpp.o" "gcc" "tests/CMakeFiles/w5_tests.dir/util_sha256_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/w5_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_difc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/w5_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
