@@ -1,0 +1,147 @@
+// E12 — concurrent request throughput (the tentpole measurement).
+//
+// One shared provider, google-benchmark's --threads fan-out: every bench
+// thread plays a distinct user pushing the full gateway pipeline
+// (session lookup → per-request process spawn → sharded store → export
+// check). ops/s at 8 threads vs 1 is the scalability headline; the
+// single-thread runs double as the lock-overhead regression guard
+// against the pre-concurrency seed.
+//
+//   ./build/bench/bench_concurrency --benchmark_min_time=1x
+//   scripts/bench_json.sh            # JSON for BENCH_concurrency.json
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/gateway.h"
+#include "core/provider.h"
+
+namespace {
+
+using w5::net::HttpResponse;
+using w5::net::Method;
+using w5::platform::AppContext;
+using w5::platform::Module;
+using w5::platform::Provider;
+using w5::platform::ProviderConfig;
+
+constexpr int kUsers = 8;
+
+// One provider shared by every thread of every run (leaky magic static:
+// benchmark processes exit without teardown, and a fresh provider per
+// run would measure construction, not serving).
+struct SharedFixture {
+  w5::util::WallClock clock;
+  Provider provider{ProviderConfig{}, clock};
+  std::vector<std::string> sessions;
+
+  SharedFixture() {
+    for (int u = 0; u < kUsers; ++u) {
+      const std::string user = "user" + std::to_string(u);
+      (void)provider.signup(user, "password");
+      sessions.push_back(provider.login(user, "password").value());
+      (void)provider.http(Method::kPost, "/data/notes/seed" + std::to_string(u),
+                          R"({"v":0})", sessions.back());
+    }
+    Module viewer;
+    viewer.developer = "devco";
+    viewer.name = "viewer";
+    viewer.version = "1.0";
+    viewer.handler = [](AppContext& ctx) {
+      auto record = ctx.get_record("notes", ctx.viewer().empty()
+                                                ? "seed0"
+                                                : "seed" + ctx.viewer().substr(4));
+      if (!record.ok()) return HttpResponse::text(404, "none");
+      return HttpResponse::text(200, record.value().data.dump());
+    };
+    (void)provider.modules().add(viewer);
+  }
+};
+
+SharedFixture& fixture() {
+  static SharedFixture* fx = new SharedFixture();  // leaky by design
+  return *fx;
+}
+
+// The mixed workload: per iteration one store write, one app read that
+// crosses the export perimeter, one direct data read, one /stats probe.
+// Each thread acts as its own user, so writes land on distinct shard
+// keys (the common case) while registries, sessions, kernel, and audit
+// stay fully shared and contended.
+void BM_MixedRequestPipeline(benchmark::State& state) {
+  SharedFixture& fx = fixture();
+  const int user = static_cast<int>(state.thread_index()) % kUsers;
+  const std::string& session = fx.sessions[static_cast<std::size_t>(user)];
+  const std::string record =
+      "/data/notes/bench-t" + std::to_string(state.thread_index());
+  const std::string app = "/dev/devco/viewer";
+
+  std::int64_t requests = 0;
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    const std::string body = "{\"v\":" + std::to_string(i) + "}";
+    benchmark::DoNotOptimize(
+        fx.provider.http(Method::kPost, record, body, session).status);
+    benchmark::DoNotOptimize(
+        fx.provider.http(Method::kGet, app, "", session).status);
+    benchmark::DoNotOptimize(
+        fx.provider.http(Method::kGet, record, "", session).status);
+    benchmark::DoNotOptimize(
+        fx.provider.http(Method::kGet, "/stats", "", session).status);
+    requests += 4;
+  }
+  state.SetItemsProcessed(requests);
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MixedRequestPipeline)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Store-only fan-out: pure sharded put/get, the path the lock striping
+// targets most directly.
+void BM_StorePointOps(benchmark::State& state) {
+  SharedFixture& fx = fixture();
+  const int user = static_cast<int>(state.thread_index()) % kUsers;
+  const std::string& session = fx.sessions[static_cast<std::size_t>(user)];
+  const std::string record =
+      "/data/points/t" + std::to_string(state.thread_index());
+
+  std::int64_t requests = 0;
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    const std::string body = "{\"v\":" + std::to_string(i) + "}";
+    benchmark::DoNotOptimize(
+        fx.provider.http(Method::kPost, record, body, session).status);
+    benchmark::DoNotOptimize(
+        fx.provider.http(Method::kGet, record, "", session).status);
+    requests += 2;
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_StorePointOps)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+// Export fast path in isolation: the same viewer-app request over and
+// over — after the first iteration every flow check is a memo hit.
+void BM_ExportFastPath(benchmark::State& state) {
+  SharedFixture& fx = fixture();
+  const int user = static_cast<int>(state.thread_index()) % kUsers;
+  const std::string& session = fx.sessions[static_cast<std::size_t>(user)];
+
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.provider.http(Method::kGet, "/dev/devco/viewer", "", session)
+            .status);
+    ++requests;
+  }
+  state.SetItemsProcessed(requests);
+}
+BENCHMARK(BM_ExportFastPath)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+}  // namespace

@@ -38,26 +38,14 @@ int main(int argc, char** argv) {
   std::cout << "W5 provider listening on 127.0.0.1:" << listener.port()
             << "\n";
 
-  w5::net::HttpServer http(
-      [&](const w5::net::HttpRequest& request) {
-        return provider.handle(request);
-      },
-      provider.config().http_limits);
-
   if (serve_forever) {
-    while (true) {
-      auto connection = listener.accept();
-      if (!connection.ok()) break;
-      http.serve(*connection.value());
-    }
+    // Concurrent serving on the provider's worker pool.
+    provider.serve(listener);
     return 0;
   }
 
-  // Self-test mode: one request over real sockets.
-  std::thread server_thread([&] {
-    auto connection = listener.accept();
-    if (connection.ok()) http.serve(*connection.value());
-  });
+  // Self-test mode: one request over real sockets, still via the pool.
+  std::thread server_thread([&] { provider.serve(listener); });
   auto client = w5::net::tcp_connect(listener.port());
   if (!client.ok()) {
     std::cerr << "connect failed\n";
@@ -71,6 +59,8 @@ int main(int argc, char** argv) {
   w5::net::HttpClient http_client;
   auto response = http_client.roundtrip(*client.value(), request);
   client.value()->close();
+  listener.close();  // unblocks the accept loop
+  (void)w5::net::tcp_connect(listener.port());  // poke a blocked accept()
   server_thread.join();
   if (!response.ok()) {
     std::cerr << "self-test failed: " << response.error().code << "\n";

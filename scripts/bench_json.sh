@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the concurrency benchmark and records machine-readable results in
+# BENCH_concurrency.json (google-benchmark's JSON format, one file the
+# roadmap's perf tracking can diff across commits).
+#
+#   scripts/bench_json.sh                 # default build dir ./build
+#   BUILD_DIR=build-opt scripts/bench_json.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${BUILD_DIR:-build}"
+out="${OUT:-BENCH_concurrency.json}"
+
+if [[ ! -x "$build_dir/bench/bench_concurrency" ]]; then
+  cmake -B "$build_dir" -S . >/dev/null
+  cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target bench_concurrency
+fi
+
+"$build_dir/bench/bench_concurrency" \
+  --benchmark_min_time=0.5 \
+  --benchmark_repetitions=1 \
+  --benchmark_format=json >"$out"
+
+echo "wrote $out"
+# Headline: ops/s at 1 vs 8 threads for the mixed pipeline.
+python3 - "$out" <<'EOF' 2>/dev/null || true
+import json, sys
+data = json.load(open(sys.argv[1]))
+for b in data.get("benchmarks", []):
+    if b.get("name", "").startswith("BM_MixedRequestPipeline"):
+        print(f'{b["name"]}: {b.get("items_per_second", 0):,.0f} req/s')
+EOF

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Sanitizer matrix for the concurrent request pipeline.
+#
+#   scripts/run_sanitizers.sh            # TSan concurrency tests + ASan/UBSan suite
+#   scripts/run_sanitizers.sh tsan       # just the ThreadSanitizer leg
+#   scripts/run_sanitizers.sh asan       # just the ASan+UBSan leg
+#
+# TSan runs the tests that actually spin threads (the provider hammer,
+# the TCP end-to-end serving path, thread-pool and IPC tests); running
+# the whole suite under TSan adds minutes for zero extra interleavings.
+# ASan+UBSan run everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+leg="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_tsan() {
+  echo "== ThreadSanitizer =="
+  cmake -B build-tsan -S . -DW5_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" --target w5_tests
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/w5_tests \
+    --gtest_filter='*Concurrency*:*FlowMemo*:*TcpEndToEnd*:*ThreadPool*:*Ipc*'
+}
+
+run_asan() {
+  echo "== AddressSanitizer + UndefinedBehaviorSanitizer =="
+  cmake -B build-asan -S . -DW5_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$jobs" --target w5_tests
+  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/w5_tests
+}
+
+case "$leg" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all)  run_tsan; run_asan ;;
+  *) echo "usage: $0 [tsan|asan|all]" >&2; exit 2 ;;
+esac
+echo "sanitizers: all clean"

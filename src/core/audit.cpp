@@ -26,6 +26,7 @@ std::string to_string(AuditKind kind) {
 
 void AuditLog::record(AuditKind kind, std::string actor, std::string subject,
                       std::string detail) {
+  std::lock_guard lock(mutex_);
   if (events_.size() >= max_events_) {
     const std::size_t drop = events_.size() / 2;
     events_.erase(events_.begin(),
@@ -34,20 +35,36 @@ void AuditLog::record(AuditKind kind, std::string actor, std::string subject,
   }
   events_.push_back(AuditEvent{clock_.now(), kind, std::move(actor),
                                std::move(subject), std::move(detail)});
+  ++counts_by_kind_[static_cast<std::size_t>(kind) % kKindCount];
+}
+
+std::vector<AuditEvent> AuditLog::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
 }
 
 std::size_t AuditLog::count(AuditKind kind) const {
-  std::size_t n = 0;
-  for (const auto& event : events_)
-    if (event.kind == kind) ++n;
-  return n;
+  std::lock_guard lock(mutex_);
+  return counts_by_kind_[static_cast<std::size_t>(kind) % kKindCount];
 }
 
 std::vector<AuditEvent> AuditLog::for_actor(const std::string& actor) const {
+  std::lock_guard lock(mutex_);
   std::vector<AuditEvent> out;
   for (const auto& event : events_)
     if (event.actor == actor) out.push_back(event);
   return out;
+}
+
+void AuditLog::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  for (auto& n : counts_by_kind_) n = 0;
+}
+
+std::size_t AuditLog::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
 }
 
 }  // namespace w5::platform

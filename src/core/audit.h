@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,21 +48,30 @@ class AuditLog {
   AuditLog(const AuditLog&) = delete;
   AuditLog& operator=(const AuditLog&) = delete;
 
+  // Thread-safe: every request worker records here; a plain mutex guards
+  // the vector. events() returns a copy — a reference would dangle the
+  // moment another worker appends past capacity.
   void record(AuditKind kind, std::string actor, std::string subject,
               std::string detail);
 
-  const std::vector<AuditEvent>& events() const noexcept { return events_; }
+  std::vector<AuditEvent> events() const;
+  // Lifetime total per kind (includes rotated-out events) — O(1), so
+  // /stats stays cheap no matter how large the log has grown.
   std::size_t count(AuditKind kind) const;
   std::vector<AuditEvent> for_actor(const std::string& actor) const;
 
-  void clear() { events_.clear(); }
-  std::size_t dropped() const noexcept { return dropped_; }
+  void clear();
+  std::size_t dropped() const;
 
  private:
+  static constexpr std::size_t kKindCount = 8;
+
   const util::Clock& clock_;
   std::size_t max_events_;
   std::size_t dropped_ = 0;
+  mutable std::mutex mutex_;
   std::vector<AuditEvent> events_;
+  std::size_t counts_by_kind_[kKindCount] = {};
 };
 
 }  // namespace w5::platform

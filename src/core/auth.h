@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -15,6 +16,9 @@ namespace w5::platform {
 
 inline constexpr const char* kSessionCookie = "w5session";
 
+// Thread-safe: one mutex guards both the token map and the RNG (even
+// validate() writes — it refreshes the sliding expiry — so there is no
+// useful read-mostly split).
 class SessionManager {
  public:
   SessionManager(const util::Clock& clock, util::Micros ttl_micros,
@@ -30,7 +34,7 @@ class SessionManager {
   void revoke(const std::string& token);
   void revoke_all(const std::string& user_id);
   // Drops every session (used after a state restore).
-  void revoke_all_everything() { sessions_.clear(); }
+  void revoke_all_everything();
 
   std::size_t live_sessions() const;
 
@@ -42,6 +46,7 @@ class SessionManager {
 
   const util::Clock& clock_;
   util::Micros ttl_micros_;
+  mutable std::mutex mutex_;
   util::Rng rng_;
   std::map<std::string, Session> sessions_;
 };

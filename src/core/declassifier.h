@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,10 @@ std::unique_ptr<Declassifier> make_k_aggregate(std::size_t k);
 
 // ---- Registry ---------------------------------------------------------------
 
+// Thread-safe registry. Declassifier* from find() stays valid for the
+// registry's lifetime unless the id is re-registered; implementations
+// with mutable state (e.g. the rate limiter's window) synchronize
+// internally.
 class DeclassifierRegistry {
  public:
   // Registers under a stable id (e.g. "std/owner-only"); returns the id.
@@ -94,6 +99,7 @@ class DeclassifierRegistry {
   std::vector<std::string> ids() const;
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<Declassifier>> declassifiers_;
 };
 

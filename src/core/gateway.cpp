@@ -373,7 +373,7 @@ net::HttpResponse Gateway::route_endorse(const net::HttpRequest& request) {
       return json_error(400, "confidence must be in (0,1]");
     }
   }
-  provider_.search_service().editors().endorse(editor, *app, confidence);
+  provider_.search_service().endorse(editor, *app, confidence);
   provider_.audit().record(AuditKind::kAdmin, editor, "endorse", *app);
   return net::HttpResponse::json(200, R"({"ok":true})");
 }

@@ -1,10 +1,12 @@
 #include "core/module_registry.h"
 
+#include <mutex>
+
 #include "util/sha256.h"
 
 namespace w5::platform {
 
-util::Status ModuleRegistry::add(Module module) {
+util::Status ModuleRegistry::add_locked(Module module) {
   if (module.developer.empty() || module.name.empty() ||
       module.version.empty() || !module.handler) {
     return util::make_error("module.invalid",
@@ -27,9 +29,14 @@ util::Status ModuleRegistry::add(Module module) {
   return util::ok_status();
 }
 
-const Module* ModuleRegistry::resolve(const std::string& developer,
-                                      const std::string& name,
-                                      const std::string& version) const {
+util::Status ModuleRegistry::add(Module module) {
+  std::unique_lock lock(mutex_);
+  return add_locked(std::move(module));
+}
+
+const Module* ModuleRegistry::resolve_locked(const std::string& developer,
+                                             const std::string& name,
+                                             const std::string& version) const {
   const auto it = modules_.find(developer + "/" + name);
   if (it == modules_.end() || it->second.empty()) return nullptr;
   if (version.empty()) return &it->second.back();  // latest
@@ -38,7 +45,15 @@ const Module* ModuleRegistry::resolve(const std::string& developer,
   return nullptr;
 }
 
-const Module* ModuleRegistry::resolve_id(const std::string& module_id) const {
+const Module* ModuleRegistry::resolve(const std::string& developer,
+                                      const std::string& name,
+                                      const std::string& version) const {
+  std::shared_lock lock(mutex_);
+  return resolve_locked(developer, name, version);
+}
+
+const Module* ModuleRegistry::resolve_id_locked(
+    const std::string& module_id) const {
   const std::size_t at = module_id.find('@');
   const std::size_t slash = module_id.find('/');
   if (slash == std::string::npos) return nullptr;
@@ -49,13 +64,19 @@ const Module* ModuleRegistry::resolve_id(const std::string& module_id) const {
           : module_id.substr(slash + 1, at - slash - 1);
   const std::string version =
       at == std::string::npos ? "" : module_id.substr(at + 1);
-  return resolve(developer, name, version);
+  return resolve_locked(developer, name, version);
+}
+
+const Module* ModuleRegistry::resolve_id(const std::string& module_id) const {
+  std::shared_lock lock(mutex_);
+  return resolve_id_locked(module_id);
 }
 
 util::Result<const Module*> ModuleRegistry::fork(
     const std::string& source_module_id, const std::string& new_developer,
     const std::string& new_name, AppHandler replacement_handler) {
-  const Module* source = resolve_id(source_module_id);
+  std::unique_lock lock(mutex_);
+  const Module* source = resolve_id_locked(source_module_id);
   if (source == nullptr) {
     return util::make_error("module.not_found", source_module_id);
   }
@@ -74,11 +95,13 @@ util::Result<const Module*> ModuleRegistry::fork(
   fork.forked_from = source->id();
   // Forks implicitly import their source (feeds the §3.2 dependency graph).
   fork.manifest.imports.push_back(source->id());
-  if (auto status = add(std::move(fork)); !status.ok()) return status.error();
-  return resolve(new_developer, new_name);
+  if (auto status = add_locked(std::move(fork)); !status.ok())
+    return status.error();
+  return resolve_locked(new_developer, new_name, {});
 }
 
 std::vector<const Module*> ModuleRegistry::all() const {
+  std::shared_lock lock(mutex_);
   std::vector<const Module*> out;
   for (const auto& [path, versions] : modules_)
     for (const auto& module : versions) out.push_back(&module);
@@ -87,6 +110,7 @@ std::vector<const Module*> ModuleRegistry::all() const {
 
 std::vector<const Module*> ModuleRegistry::versions_of(
     const std::string& developer, const std::string& name) const {
+  std::shared_lock lock(mutex_);
   std::vector<const Module*> out;
   const auto it = modules_.find(developer + "/" + name);
   if (it == modules_.end()) return out;
@@ -96,6 +120,7 @@ std::vector<const Module*> ModuleRegistry::versions_of(
 
 os::ResourceContainer* ModuleRegistry::container_for(
     const std::string& module_path, const os::ResourceVector& limits) {
+  std::unique_lock lock(mutex_);
   const auto it = containers_.find(module_path);
   if (it != containers_.end()) return it->second.get();
   auto container =

@@ -7,10 +7,12 @@
 // offer it to the fork-source's users.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,10 @@ struct Module {
   std::string path() const { return developer + "/" + name; }
 };
 
+// Thread-safe: shared_mutex over the version map (uploads/forks are
+// rare, resolution is per-request). Module* stays valid for the
+// registry's lifetime — versions live in a deque (push_back never moves
+// elements) and are never erased.
 class ModuleRegistry {
  public:
   ModuleRegistry() = default;
@@ -84,8 +90,17 @@ class ModuleRegistry {
                                        const os::ResourceVector& limits);
 
  private:
-  // Keyed by developer/name, then ordered list of versions.
-  std::map<std::string, std::vector<Module>> modules_;
+  // Callers must hold mutex_ (exclusive for add_locked).
+  util::Status add_locked(Module module);
+  const Module* resolve_locked(const std::string& developer,
+                               const std::string& name,
+                               const std::string& version) const;
+  const Module* resolve_id_locked(const std::string& module_id) const;
+
+  mutable std::shared_mutex mutex_;
+  // Keyed by developer/name, then ordered list of versions. deque: stable
+  // element addresses across push_back (resolve() hands out Module*).
+  std::map<std::string, std::deque<Module>> modules_;
   std::map<std::string, std::unique_ptr<os::ResourceContainer>> containers_;
 };
 

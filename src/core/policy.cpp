@@ -1,6 +1,7 @@
 #include "core/policy.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace w5::platform {
 
@@ -89,16 +90,19 @@ util::Result<UserPolicy> UserPolicy::from_json(const util::Json& j) {
   return policy;
 }
 
-const UserPolicy& PolicyStore::get(const std::string& user_id) const {
+UserPolicy PolicyStore::get(const std::string& user_id) const {
+  std::shared_lock lock(mutex_);
   const auto it = policies_.find(user_id);
   return it == policies_.end() ? default_policy_ : it->second;
 }
 
 void PolicyStore::set(const std::string& user_id, UserPolicy policy) {
+  std::unique_lock lock(mutex_);
   policies_[user_id] = std::move(policy);
 }
 
 util::Json PolicyStore::to_json() const {
+  std::shared_lock lock(mutex_);
   util::Json out;
   out.mutable_object();
   for (const auto& [user, policy] : policies_) out[user] = policy.to_json();
@@ -114,6 +118,7 @@ util::Status PolicyStore::load_json(const util::Json& snapshot) {
     if (!policy.ok()) return policy.error();
     policies[user] = std::move(policy).value();
   }
+  std::unique_lock lock(mutex_);
   policies_ = std::move(policies);
   return util::ok_status();
 }

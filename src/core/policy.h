@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -52,16 +53,20 @@ struct UserPolicy {
   static util::Result<UserPolicy> from_json(const util::Json& j);
 };
 
+// Thread-safe: read-mostly map under a shared_mutex. get() returns a
+// copy — a reference could dangle across a concurrent set() on the same
+// user (map nodes are stable, but the value itself is overwritten).
 class PolicyStore {
  public:
   // Returns the stored policy or the default.
-  const UserPolicy& get(const std::string& user_id) const;
+  UserPolicy get(const std::string& user_id) const;
   void set(const std::string& user_id, UserPolicy policy);
 
   util::Json to_json() const;
   util::Status load_json(const util::Json& snapshot);
 
  private:
+  mutable std::shared_mutex mutex_;
   UserPolicy default_policy_;
   std::map<std::string, UserPolicy> policies_;
 };

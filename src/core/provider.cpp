@@ -3,6 +3,7 @@
 #include "core/gateway.h"
 #include "difc/codec.h"
 #include "net/cookies.h"
+#include "net/http_server.h"
 
 #include <fstream>
 #include <sstream>
@@ -68,7 +69,29 @@ Provider::Provider(ProviderConfig config, const util::Clock& clock)
   (void)fs_.mkdir(os::kKernelPid, "/apps", {});
 }
 
-Provider::~Provider() = default;
+Provider::~Provider() {
+  // Workers may hold references into members destroyed below; stop them
+  // first.
+  if (pool_ != nullptr) pool_->shutdown();
+}
+
+os::ThreadPool& Provider::worker_pool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<os::ThreadPool>(config_.worker_threads);
+  });
+  return *pool_;
+}
+
+std::size_t Provider::serve(net::TcpListener& listener) {
+  os::ThreadPool& pool = worker_pool();
+  net::PooledHttpServer server(
+      [this](const net::HttpRequest& request) { return handle(request); },
+      [&pool](std::function<void()> job) { pool.submit(std::move(job)); },
+      config_.http_limits);
+  const std::size_t dispatched = server.serve(listener);
+  pool.drain();  // finish in-flight connections before returning
+  return dispatched;
+}
 
 void Provider::set_external_fetcher(ExternalFetcher fetcher) {
   external_fetcher_ = std::move(fetcher);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/audit.h"
@@ -18,8 +19,10 @@
 #include "core/user.h"
 #include "net/http.h"
 #include "net/http_parser.h"
+#include "net/tcp.h"
 #include "os/filesystem.h"
 #include "os/kernel.h"
+#include "os/thread_pool.h"
 #include "store/labeled_store.h"
 #include "util/clock.h"
 
@@ -49,6 +52,9 @@ struct ProviderConfig {
   };
   bool strip_javascript = true;  // §3.5 client-side support
   net::ParserLimits http_limits;
+  // Worker threads for serve(); connections queue beyond this (bounded
+  // concurrency is the §3.5 admission control, not thread-per-client).
+  std::size_t worker_threads = 8;
 };
 
 class Provider {
@@ -87,8 +93,19 @@ class Provider {
   util::Result<std::string> login(const std::string& user,
                                   const std::string& password);
 
-  // Full HTTP round trip through the gateway.
+  // Full HTTP round trip through the gateway. Thread-safe: the worker
+  // pool calls this concurrently; all provider state is internally
+  // locked (see DESIGN.md "Concurrency model").
   net::HttpResponse handle(const net::HttpRequest& request);
+
+  // Serves real TCP clients on config().worker_threads workers. Blocks
+  // until the listener is closed (call listener.close() from elsewhere).
+  // Returns the number of connections dispatched.
+  std::size_t serve(net::TcpListener& listener);
+
+  // The pool behind serve(), created lazily (tests that never serve()
+  // spawn no threads).
+  os::ThreadPool& worker_pool();
 
   // Builds + dispatches a request in one call; `session` becomes the
   // session cookie when non-empty.
@@ -125,6 +142,8 @@ class Provider {
   SearchService search_;
   ExternalFetcher external_fetcher_;
   std::unique_ptr<Gateway> gateway_;
+  std::once_flag pool_once_;
+  std::unique_ptr<os::ThreadPool> pool_;  // lazy; see worker_pool()
 };
 
 }  // namespace w5::platform

@@ -5,9 +5,13 @@ namespace w5::platform {
 SearchService::SearchService() = default;
 
 void SearchService::reindex(const ModuleRegistry& modules) {
+  // modules.all() snapshots before we lock: registry → search order,
+  // never the reverse.
+  const std::vector<const Module*> all = modules.all();
+  std::lock_guard lock(mutex_);
   graph_ = rank::DependencyGraph();
   search_ = std::make_unique<rank::CodeSearch>(graph_, editors_, popularity_);
-  for (const Module* module : modules.all()) {
+  for (const Module* module : all) {
     graph_.add_node(module->id());
     for (const auto& import : module->manifest.imports)
       graph_.add_edge(module->id(), import, rank::DependencyKind::kImport);
@@ -25,6 +29,7 @@ void SearchService::reindex(const ModuleRegistry& modules) {
 }
 
 void SearchService::record_use(const std::string& module_id) {
+  std::lock_guard lock(mutex_);
   popularity_.record_use(module_id);
   // Adoption credits the editors who vouched for the module: their
   // endorsements weigh more as their picks prove out (§3.2).
@@ -32,8 +37,15 @@ void SearchService::record_use(const std::string& module_id) {
     editors_.credit(editor, 0.01);
 }
 
+void SearchService::endorse(const std::string& editor,
+                            const std::string& module_id, double confidence) {
+  std::lock_guard lock(mutex_);
+  editors_.endorse(editor, module_id, confidence);
+}
+
 util::Json SearchService::search(const std::string& query,
                                  std::size_t limit) const {
+  std::lock_guard lock(mutex_);
   util::Json hits = util::Json::array();
   if (search_ != nullptr) {
     for (const auto& hit : search_->search(query, limit)) {
@@ -53,6 +65,7 @@ util::Json SearchService::search(const std::string& query,
 }
 
 util::Json SearchService::developer_reputations() const {
+  std::lock_guard lock(mutex_);
   util::Json out;
   out.mutable_object();
   if (search_ == nullptr) return out;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/module_registry.h"
@@ -12,6 +13,10 @@
 
 namespace w5::platform {
 
+// Thread-safe: one mutex over the ranking structures. record_use() runs
+// on every app request, so the critical sections stay short; reindex is
+// rare (module registration). The rank:: types themselves stay
+// single-threaded — this wrapper is their only concurrent entry point.
 class SearchService {
  public:
   SearchService();
@@ -23,7 +28,9 @@ class SearchService {
   // Called by the gateway on every successful app invocation.
   void record_use(const std::string& module_id);
 
-  rank::EditorBoard& editors() noexcept { return editors_; }
+  // An editor vouches for a module (gateway POST /endorse).
+  void endorse(const std::string& editor, const std::string& module_id,
+               double confidence);
 
   // JSON results ready for the HTTP surface.
   util::Json search(const std::string& query, std::size_t limit = 10) const;
@@ -32,6 +39,7 @@ class SearchService {
   util::Json developer_reputations() const;
 
  private:
+  mutable std::mutex mutex_;
   rank::DependencyGraph graph_;
   rank::EditorBoard editors_;
   rank::PopularityTracker popularity_;

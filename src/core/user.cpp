@@ -1,5 +1,7 @@
 #include "core/user.h"
 
+#include <mutex>
+
 #include "util/bytes.h"
 #include "util/sha256.h"
 
@@ -37,6 +39,7 @@ util::Result<const UserAccount*> UserDirectory::create(
   }
   if (password.size() < 3)
     return util::make_error("user.invalid", "password too short");
+  std::unique_lock lock(mutex_);
   if (users_.contains(id))
     return util::make_error("user.exists", "user '" + id + "' already exists");
 
@@ -72,11 +75,13 @@ util::Result<const UserAccount*> UserDirectory::create(
 }
 
 const UserAccount* UserDirectory::find(const std::string& id) const {
+  std::shared_lock lock(mutex_);
   const auto it = users_.find(id);
   return it == users_.end() ? nullptr : &it->second;
 }
 
 bool UserDirectory::remove(const std::string& id) {
+  std::unique_lock lock(mutex_);
   const auto it = users_.find(id);
   if (it == users_.end()) return false;
   tag_owner_.erase(it->second.secrecy_tag);
@@ -103,11 +108,15 @@ bool UserDirectory::verify_password(const std::string& id,
 }
 
 const UserAccount* UserDirectory::owner_of_tag(difc::Tag tag) const {
-  const auto it = tag_owner_.find(tag);
-  return it == tag_owner_.end() ? nullptr : find(it->second);
+  std::shared_lock lock(mutex_);
+  const auto tag_it = tag_owner_.find(tag);
+  if (tag_it == tag_owner_.end()) return nullptr;
+  const auto it = users_.find(tag_it->second);
+  return it == users_.end() ? nullptr : &it->second;
 }
 
 util::Json UserDirectory::to_json() const {
+  std::shared_lock lock(mutex_);
   util::Json accounts = util::Json::array();
   for (const auto& [id, account] : users_) {
     util::Json entry;
@@ -156,16 +165,23 @@ util::Status UserDirectory::load_json(const util::Json& snapshot) {
     kernel_.add_global_capability(difc::plus(account.secrecy_tag));
     users.emplace(account.id, std::move(account));
   }
+  std::unique_lock lock(mutex_);
   users_ = std::move(users);
   tag_owner_ = std::move(tag_owner);
   return util::ok_status();
 }
 
 std::vector<std::string> UserDirectory::user_ids() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(users_.size());
   for (const auto& [id, account] : users_) out.push_back(id);
   return out;
+}
+
+std::size_t UserDirectory::size() const {
+  std::shared_lock lock(mutex_);
+  return users_.size();
 }
 
 }  // namespace w5::platform

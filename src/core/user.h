@@ -13,6 +13,7 @@
 
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,11 @@ struct UserAccount {
   std::string password_hash;  // sha256(salt || password), iterated
 };
 
+// Thread-safe: shared_mutex over both maps (signup is rare, lookups are
+// per-request). UserAccount* from find()/create() stays valid until
+// remove(id) — the map is node-based and account fields are never
+// mutated after creation. Lock order: user-directory → kernel (create
+// mints tags while holding the directory lock).
 class UserDirectory {
  public:
   explicit UserDirectory(os::Kernel& kernel) : kernel_(kernel) {}
@@ -60,7 +66,7 @@ class UserDirectory {
   const UserAccount* owner_of_tag(difc::Tag tag) const;
 
   std::vector<std::string> user_ids() const;
-  std::size_t size() const noexcept { return users_.size(); }
+  std::size_t size() const;
 
   // Persistence: accounts reference tag ids, so restore the TagRegistry
   // (kernel) first.
@@ -69,6 +75,7 @@ class UserDirectory {
 
  private:
   os::Kernel& kernel_;
+  mutable std::shared_mutex mutex_;
   std::map<std::string, UserAccount> users_;  // ordered for determinism
   std::map<difc::Tag, std::string> tag_owner_;
 };

@@ -17,8 +17,29 @@ bool Label::contains(Tag tag) const {
 }
 
 bool Label::subset_of(const Label& other) const {
+  // ∅ ⊆ anything, and a bigger set never fits inside a smaller one —
+  // both checks are free and cover the dominant cases on the flow-check
+  // hot path (most labels are empty or a single user tag).
+  if (tags_.empty()) return true;
+  if (tags_.size() > other.tags_.size()) return false;
   return std::includes(other.tags_.begin(), other.tags_.end(), tags_.begin(),
                        tags_.end());
+}
+
+bool Label::overlaps(const Label& other) const {
+  // Linear merge walk; callers previously materialized intersect_with()
+  // just to call empty() on the result.
+  auto a = tags_.begin();
+  auto b = other.tags_.begin();
+  while (a != tags_.end() && b != other.tags_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
 }
 
 Label Label::union_with(const Label& other) const {
@@ -31,6 +52,7 @@ Label Label::union_with(const Label& other) const {
 
 Label Label::intersect_with(const Label& other) const {
   Label out;
+  out.tags_.reserve(std::min(tags_.size(), other.tags_.size()));
   std::set_intersection(tags_.begin(), tags_.end(), other.tags_.begin(),
                         other.tags_.end(), std::back_inserter(out.tags_));
   return out;
@@ -38,6 +60,7 @@ Label Label::intersect_with(const Label& other) const {
 
 Label Label::subtract(const Label& other) const {
   Label out;
+  out.tags_.reserve(tags_.size());
   std::set_difference(tags_.begin(), tags_.end(), other.tags_.begin(),
                       other.tags_.end(), std::back_inserter(out.tags_));
   return out;

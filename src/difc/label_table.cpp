@@ -1,0 +1,116 @@
+#include "difc/label_table.h"
+
+#include <algorithm>
+
+namespace w5::difc {
+
+LabelTable& LabelTable::instance() {
+  static LabelTable table;
+  return table;
+}
+
+LabelId LabelTable::intern(const Label& label) {
+  if (label.empty()) return kEmptyLabelId;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = ids_.find(label);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  if (ids_.size() >= kMaxEntries) {
+    // Reset rather than evict: ids are dense handles, not stable names.
+    // The epoch bump invalidates every memoized verdict keyed by them.
+    ids_.clear();
+    next_id_ = 1;
+    ++epoch_;
+    FlowCache::instance().clear();
+  }
+  const auto [it, inserted] = ids_.try_emplace(label, next_id_);
+  if (inserted) ++next_id_;
+  return it->second;
+}
+
+void LabelTable::invalidate() {
+  {
+    std::unique_lock lock(mutex_);
+    ids_.clear();
+    next_id_ = 1;
+    ++epoch_;
+  }
+  FlowCache::instance().clear();
+}
+
+std::uint64_t LabelTable::epoch() const {
+  std::shared_lock lock(mutex_);
+  return epoch_;
+}
+
+std::size_t LabelTable::size() const {
+  std::shared_lock lock(mutex_);
+  return ids_.size();
+}
+
+FlowCache& FlowCache::instance() {
+  static FlowCache cache;
+  return cache;
+}
+
+namespace {
+
+std::uint64_t pair_key(LabelId src, LabelId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+std::optional<bool> FlowCache::lookup(LabelId src, LabelId dst) const {
+  const std::uint64_t epoch = LabelTable::instance().epoch();
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(pair_key(src, dst));
+  if (it == entries_.end() || it->second.epoch != epoch) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.verdict;
+}
+
+void FlowCache::insert(LabelId src, LabelId dst, bool verdict) {
+  const std::uint64_t epoch = LabelTable::instance().epoch();
+  std::lock_guard lock(mutex_);
+  if (entries_.size() >= kCapacity) {
+    // Evict the oldest quarter by insertion stamp — amortized O(1) per
+    // insert, and old-epoch leftovers go first by construction.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // (stamp, key)
+    order.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_)
+      order.emplace_back(entry.order, key);
+    std::nth_element(order.begin(), order.begin() + order.size() / 4,
+                     order.end());
+    for (std::size_t i = 0; i < order.size() / 4; ++i)
+      entries_.erase(order[i].second);
+  }
+  entries_[pair_key(src, dst)] = Entry{verdict, epoch, next_order_++};
+}
+
+void FlowCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t FlowCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t FlowCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FlowCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+}  // namespace w5::difc

@@ -1,0 +1,101 @@
+// Label interning and the flow-check memo (the DIFC hot-path cache).
+//
+// Every gateway export and most kernel flow checks compare the same few
+// labels over and over: S = {sec(u)} against the declassification
+// authority {sec(u)-}. Interning sorted tag vectors into small integer
+// ids makes "have we decided this exact pair before?" a single hash
+// probe, so the perimeter check is O(1) in the common case instead of a
+// fresh set walk per request.
+//
+// Soundness: a cached verdict is pure set arithmetic over immutable tag
+// ids — it can never go stale on its own. What CAN change is the
+// *meaning* of an id across registry reloads (snapshot restore reuses tag
+// ids) and the privilege environment the caller derived its authority
+// label from. Both paths call invalidate(), which bumps a global epoch;
+// entries from older epochs are treated as misses. The memo caches only
+// (label-id, label-id) → bool subset verdicts — never declassifier
+// decisions, which are policy and may depend on viewer, time, or rate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "difc/label.h"
+
+namespace w5::difc {
+
+using LabelId = std::uint32_t;
+
+// Id 0 is reserved for the empty label so the fast path can test it
+// without a table probe.
+inline constexpr LabelId kEmptyLabelId = 0;
+
+// Process-wide intern table: equal labels share an id. Bounded — when the
+// table would exceed its cap it resets and bumps the epoch, which also
+// flushes the FlowCache (ids are only meaningful within one epoch).
+class LabelTable {
+ public:
+  static LabelTable& instance();
+
+  LabelId intern(const Label& label);
+
+  // Bumps the epoch: all previously issued ids and memoized verdicts
+  // become stale. Called on tag-registry changes and privilege changes.
+  void invalidate();
+
+  std::uint64_t epoch() const;
+  std::size_t size() const;
+
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+ private:
+  LabelTable() = default;
+
+  mutable std::shared_mutex mutex_;
+  std::map<Label, LabelId> ids_;
+  LabelId next_id_ = 1;
+  std::uint64_t epoch_ = 1;
+};
+
+// Bounded LRU memo of (src_id, dst_id) → "src ⊆ dst" verdicts. Entries
+// are stamped with the LabelTable epoch at insertion; an epoch mismatch
+// is a miss. Lookups do not touch recency (the hot set is far smaller
+// than the capacity; a read-mostly memo beats strict LRU under
+// contention) — eviction approximates LRU by insertion order.
+class FlowCache {
+ public:
+  static FlowCache& instance();
+
+  std::optional<bool> lookup(LabelId src, LabelId dst) const;
+  void insert(LabelId src, LabelId dst, bool verdict);
+
+  void clear();
+  std::size_t size() const;
+
+  static constexpr std::size_t kCapacity = 1024;
+
+  // Stats for benchmarks/tests (monotonic, approximate under races).
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  FlowCache() = default;
+
+  struct Entry {
+    bool verdict = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t order = 0;  // insertion stamp for FIFO eviction
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_order_ = 0;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace w5::difc

@@ -1,5 +1,9 @@
 #include "difc/tag_registry.h"
 
+#include <mutex>
+
+#include "difc/label_table.h"
+
 namespace w5::difc {
 
 std::string to_string(TagPurpose purpose) {
@@ -24,14 +28,42 @@ std::optional<TagPurpose> tag_purpose_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+TagRegistry::TagRegistry(TagRegistry&& other) noexcept {
+  std::unique_lock other_lock(other.mutex_);
+  next_id_ = other.next_id_;
+  info_ = std::move(other.info_);
+}
+
+TagRegistry& TagRegistry::operator=(TagRegistry&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock locks(mutex_, other.mutex_);
+    next_id_ = other.next_id_;
+    info_ = std::move(other.info_);
+  }
+  // Snapshot restores reuse tag ids with new meaning: flush the memo.
+  LabelTable::instance().invalidate();
+  return *this;
+}
+
 Tag TagRegistry::create(std::string name, TagPurpose purpose,
                         std::string owner) {
-  const Tag tag(next_id_++);
-  info_[tag] = TagInfo{std::move(name), purpose, std::move(owner)};
+  Tag tag;
+  {
+    std::unique_lock lock(mutex_);
+    tag = Tag(next_id_++);
+    info_[tag] = TagInfo{std::move(name), purpose, std::move(owner)};
+  }
+  LabelTable::instance().invalidate();
   return tag;
 }
 
+std::size_t TagRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return info_.size();
+}
+
 std::vector<Tag> TagRegistry::all() const {
+  std::shared_lock lock(mutex_);
   std::vector<Tag> out;
   out.reserve(info_.size());
   for (const auto& [tag, info] : info_) out.push_back(tag);
@@ -39,6 +71,7 @@ std::vector<Tag> TagRegistry::all() const {
 }
 
 const TagInfo* TagRegistry::find(Tag tag) const {
+  std::shared_lock lock(mutex_);
   const auto it = info_.find(tag);
   return it == info_.end() ? nullptr : &it->second;
 }
@@ -50,6 +83,7 @@ std::string TagRegistry::describe(Tag tag) const {
 }
 
 util::Json TagRegistry::to_json() const {
+  std::shared_lock lock(mutex_);
   util::Json tags = util::Json::array();
   for (const auto& [tag, info] : info_) {
     util::Json entry;

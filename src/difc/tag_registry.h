@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,18 +36,26 @@ struct TagInfo {
   std::string owner;    // principal that requested the tag (user/app id)
 };
 
+// Thread-safe: minting and lookups may race between request workers.
+// Every mutation (create, restore-assignment) invalidates the flow-check
+// memo — tag ids may be reused across snapshot restores, so cached
+// verdicts keyed by interned labels must not survive a registry change.
 class TagRegistry {
  public:
   TagRegistry() = default;
+  TagRegistry(TagRegistry&& other) noexcept;
+  TagRegistry& operator=(TagRegistry&& other) noexcept;
 
   Tag create(std::string name, TagPurpose purpose, std::string owner = {});
 
+  // Pointer stays valid for the registry's lifetime (infos are never
+  // erased); the pointed-to record is immutable after creation.
   const TagInfo* find(Tag tag) const;
 
   // Human-readable name with fallback to "t<id>"; for audit records.
   std::string describe(Tag tag) const;
 
-  std::size_t size() const noexcept { return info_.size(); }
+  std::size_t size() const;
 
   // All registered tags (unspecified order).
   std::vector<Tag> all() const;
@@ -55,6 +64,7 @@ class TagRegistry {
   static util::Result<TagRegistry> from_json(const util::Json& j);
 
  private:
+  mutable std::shared_mutex mutex_;
   std::uint64_t next_id_ = 1;  // 0 reserved as invalid
   std::unordered_map<Tag, TagInfo> info_;
 };

@@ -66,4 +66,17 @@ std::size_t HttpServer::serve(Connection& connection) {
   return handled;
 }
 
+std::size_t PooledHttpServer::serve(TcpListener& listener) {
+  std::size_t dispatched = 0;
+  while (true) {
+    auto accepted = listener.accept();
+    if (!accepted.ok()) break;  // listener closed or fatal accept error
+    // shared_ptr: std::function requires a copyable closure.
+    std::shared_ptr<Connection> connection = std::move(accepted).value();
+    executor_([this, connection] { server_.serve(*connection); });
+    ++dispatched;
+  }
+  return dispatched;
+}
+
 }  // namespace w5::net

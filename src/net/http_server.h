@@ -7,14 +7,21 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "net/http.h"
 #include "net/http_parser.h"
+#include "net/tcp.h"
 #include "net/transport.h"
 
 namespace w5::net {
 
 using ServerHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+// Runs a job somewhere — inline, or on a worker pool. Keeps the net
+// layer free of a dependency on os::ThreadPool; the provider passes its
+// pool's submit() here.
+using Executor = std::function<void(std::function<void()>)>;
 
 class HttpServer {
  public:
@@ -34,6 +41,28 @@ class HttpServer {
 
   ServerHandler handler_;
   ParserLimits limits_;
+};
+
+// Accept loop + worker-pool dispatch: the concurrent front door. The
+// calling thread blocks in accept(); each accepted connection is handed
+// to the executor, where a (shared, stateless) HttpServer speaks
+// HTTP/1.1 with that client until it disconnects. The handler therefore
+// runs on many threads at once — everything it touches must be
+// thread-safe (which is the point of this PR's locking work).
+class PooledHttpServer {
+ public:
+  PooledHttpServer(ServerHandler handler, Executor executor,
+                   ParserLimits limits = {})
+      : server_(std::move(handler), limits), executor_(std::move(executor)) {}
+
+  // Accepts until the listener is closed (listener.close() from another
+  // thread unblocks accept with an error). Returns the number of
+  // connections dispatched.
+  std::size_t serve(TcpListener& listener);
+
+ private:
+  HttpServer server_;
+  Executor executor_;
 };
 
 }  // namespace w5::net

@@ -57,34 +57,42 @@ void TcpConnection::close() {
 TcpListener::~TcpListener() { close(); }
 
 util::Status TcpListener::listen(std::uint16_t port, int backlog) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return errno_error("socket");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  fd_.store(fd, std::memory_order_release);
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     close();
     return errno_error("bind");
   }
-  if (::listen(fd_, backlog) != 0) {
+  if (::listen(fd, backlog) != 0) {
     close();
     return errno_error("listen");
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
     port_ = ntohs(addr.sin_port);
   return util::ok_status();
 }
 
 util::Result<std::unique_ptr<Connection>> TcpListener::accept() {
-  if (fd_ < 0) return util::make_error("net.closed", "listener closed");
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return util::make_error("net.closed", "listener closed");
   while (true) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) {
+      // A concurrent close() may have raced the blocking accept; drop
+      // the straggler so the serving loop observes the shutdown.
+      if (fd_.load(std::memory_order_acquire) < 0) {
+        ::close(client);
+        return util::make_error("net.closed", "listener closed");
+      }
       const int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return std::unique_ptr<Connection>(std::make_unique<TcpConnection>(client));
@@ -95,9 +103,12 @@ util::Result<std::unique_ptr<Connection>> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // Wakes a thread blocked in accept() on most kernels; callers still
+    // poke the port afterwards (tcp_connect) for the ones it doesn't.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

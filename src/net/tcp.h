@@ -4,6 +4,7 @@
 // with curl; tests and benches prefer the deterministic in-memory pipe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,10 +47,12 @@ class TcpListener {
   // Blocks until a client connects.
   util::Result<std::unique_ptr<Connection>> accept();
 
+  // Safe to call from another thread while accept() is blocked (the
+  // shutdown pattern: a serving loop exits when its listener closes).
   void close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};  // atomic: close() races with accept()
   std::uint16_t port_ = 0;
 };
 

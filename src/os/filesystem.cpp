@@ -1,5 +1,7 @@
 #include "os/filesystem.h"
 
+#include <mutex>
+
 #include "difc/codec.h"
 #include "util/strings.h"
 
@@ -96,6 +98,7 @@ util::Status check_create(const difc::LabelState& state,
 
 util::Status FileSystem::mkdir(Pid pid, const std::string& path,
                                const difc::ObjectLabels& labels) {
+  std::unique_lock lock(mutex_);
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   std::string leaf;
@@ -121,6 +124,7 @@ util::Status FileSystem::mkdir(Pid pid, const std::string& path,
 util::Status FileSystem::create(Pid pid, const std::string& path,
                                 const difc::ObjectLabels& labels,
                                 std::string content) {
+  std::unique_lock lock(mutex_);
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   std::string leaf;
@@ -151,6 +155,7 @@ util::Status FileSystem::create(Pid pid, const std::string& path,
 
 util::Result<std::string> FileSystem::read(Pid pid, const std::string& path,
                                            AutoRaise raise) {
+  std::shared_lock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (node.value()->is_directory)
@@ -179,6 +184,7 @@ util::Result<std::string> FileSystem::read(Pid pid, const std::string& path,
 
 util::Status FileSystem::write(Pid pid, const std::string& path,
                                std::string content) {
+  std::unique_lock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (node.value()->is_directory)
@@ -205,6 +211,7 @@ util::Status FileSystem::write(Pid pid, const std::string& path,
 
 util::Status FileSystem::append(Pid pid, const std::string& path,
                                 const std::string& content) {
+  std::unique_lock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (node.value()->is_directory)
@@ -227,6 +234,7 @@ util::Status FileSystem::append(Pid pid, const std::string& path,
 }
 
 util::Status FileSystem::unlink(Pid pid, const std::string& path) {
+  std::unique_lock lock(mutex_);
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   std::string leaf;
@@ -255,6 +263,7 @@ util::Status FileSystem::unlink(Pid pid, const std::string& path) {
 
 util::Result<std::vector<std::string>> FileSystem::list(
     Pid pid, const std::string& path) {
+  std::shared_lock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (!node.value()->is_directory)
@@ -275,6 +284,7 @@ util::Result<std::vector<std::string>> FileSystem::list(
 }
 
 util::Result<FileStat> FileSystem::stat(Pid pid, const std::string& path) {
+  std::shared_lock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   auto state = caller(pid);
@@ -290,6 +300,7 @@ util::Result<FileStat> FileSystem::stat(Pid pid, const std::string& path) {
 
 util::Status FileSystem::relabel(Pid pid, const std::string& path,
                                  const difc::ObjectLabels& labels) {
+  std::unique_lock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   auto state = caller(pid);
@@ -352,13 +363,18 @@ util::Result<std::unique_ptr<FileSystem::Node>> FileSystem::node_from_json(
   return node;
 }
 
-util::Json FileSystem::to_json() const { return node_to_json(*root_); }
+util::Json FileSystem::to_json() const {
+  std::shared_lock lock(mutex_);
+  return node_to_json(*root_);
+}
 
 util::Status FileSystem::load_json(const util::Json& snapshot) {
+  // Parse outside the lock; swap in atomically.
   auto root = node_from_json(snapshot);
   if (!root.ok()) return root.error();
   if (!root.value()->is_directory)
     return util::make_error("fs.parse", "root must be a directory");
+  std::unique_lock lock(mutex_);
   root_ = std::move(root).value();
   return util::ok_status();
 }

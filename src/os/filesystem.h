@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,13 @@ struct FileStat {
   difc::ObjectLabels labels;
 };
 
+// Thread-safe: one coarse shared_mutex over the tree — shared for
+// read/list/stat/to_json, exclusive for anything that changes structure,
+// content, or labels. The tree is small and traversals are cheap; request
+// parallelism comes from the sharded LabeledStore, not the filesystem.
+// Lock order: filesystem → kernel (FileSystem methods call the kernel for
+// label checks and charges while holding the tree lock; the kernel never
+// calls back into the filesystem).
 class FileSystem {
  public:
   explicit FileSystem(Kernel& kernel);
@@ -88,6 +96,7 @@ class FileSystem {
     std::map<std::string, std::unique_ptr<Node>> children;  // dirs only
   };
 
+  // Callers must hold mutex_ (shared suffices for resolve).
   util::Result<Node*> resolve(const std::string& path);
   util::Result<Node*> resolve_parent(const std::string& path,
                                      std::string* leaf);
@@ -98,6 +107,7 @@ class FileSystem {
       const util::Json& j);
 
   Kernel& kernel_;
+  mutable std::shared_mutex mutex_;
   std::unique_ptr<Node> root_;
 };
 

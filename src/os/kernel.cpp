@@ -1,5 +1,7 @@
 #include "os/kernel.h"
 
+#include <mutex>
+
 namespace w5::os {
 
 namespace {
@@ -25,8 +27,19 @@ util::Result<const Process*> Kernel::live_process(Pid pid) const {
   return &it->second;
 }
 
+difc::CapabilitySet Kernel::global_caps() const {
+  std::shared_lock lock(mutex_);
+  return global_caps_;
+}
+
+void Kernel::add_global_capability(difc::Capability cap) {
+  std::unique_lock lock(mutex_);
+  global_caps_.add(cap);
+}
+
 Pid Kernel::spawn_trusted(std::string name, difc::LabelState initial,
                           ResourceContainer* container) {
+  std::unique_lock lock(mutex_);
   const Pid pid = next_pid_++;
   processes_[pid] = Process{pid,
                             kKernelPid,
@@ -41,30 +54,34 @@ Pid Kernel::spawn_trusted(std::string name, difc::LabelState initial,
 util::Result<Pid> Kernel::spawn(Pid parent, std::string name,
                                 const difc::LabelState& initial,
                                 ResourceContainer* container) {
+  std::unique_lock lock(mutex_);
   auto parent_proc = live_process(parent);
   if (!parent_proc.ok()) return parent_proc.error();
-  auto parent_state = effective_state(parent);
-  if (!parent_state.ok()) return parent_state.error();
+  difc::CapabilitySet merged = parent_proc.value()->labels.owned();
+  merged.merge(global_caps_);
+  const difc::LabelState parent_state(parent_proc.value()->labels.secrecy(),
+                                      parent_proc.value()->labels.integrity(),
+                                      std::move(merged));
 
   // The child's labels must be reachable from the parent's under the
   // parent's authority (otherwise spawn launders labels).
-  if (!parent_state.value().change_is_safe(parent_state.value().secrecy(),
-                                           initial.secrecy())) {
+  if (!parent_state.change_is_safe(parent_state.secrecy(),
+                                   initial.secrecy())) {
     return util::make_error("flow.denied",
                             "spawn: child secrecy " +
                                 initial.secrecy().to_string() +
                                 " unreachable from parent " +
-                                parent_state.value().secrecy().to_string());
+                                parent_state.secrecy().to_string());
   }
-  if (!parent_state.value().change_is_safe(parent_state.value().integrity(),
-                                           initial.integrity())) {
+  if (!parent_state.change_is_safe(parent_state.integrity(),
+                                   initial.integrity())) {
     return util::make_error("flow.denied",
                             "spawn: child integrity unreachable from parent");
   }
   // Capabilities: the child may hold only what the parent holds
   // (non-global caps must come from the parent's own set).
   for (const auto& cap : initial.owned().capabilities()) {
-    if (!parent_state.value().owned().has(cap)) {
+    if (!parent_state.owned().has(cap)) {
       return util::make_error(
           "cap.denied", "spawn: parent lacks " + difc::to_string(cap));
     }
@@ -80,16 +97,19 @@ util::Result<Pid> Kernel::spawn(Pid parent, std::string name,
 }
 
 Process* Kernel::find(Pid pid) {
+  std::shared_lock lock(mutex_);
   const auto it = processes_.find(pid);
   return it == processes_.end() ? nullptr : &it->second;
 }
 
 const Process* Kernel::find(Pid pid) const {
+  std::shared_lock lock(mutex_);
   const auto it = processes_.find(pid);
   return it == processes_.end() ? nullptr : &it->second;
 }
 
 util::Status Kernel::kill(Pid pid, std::string reason) {
+  std::unique_lock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   proc.value()->status = ProcessStatus::kKilled;
@@ -98,6 +118,7 @@ util::Status Kernel::kill(Pid pid, std::string reason) {
 }
 
 util::Status Kernel::exit(Pid pid) {
+  std::unique_lock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   proc.value()->status = ProcessStatus::kExited;
@@ -105,16 +126,23 @@ util::Status Kernel::exit(Pid pid) {
 }
 
 void Kernel::reap(Pid pid) {
+  std::unique_lock lock(mutex_);
   const auto it = processes_.find(pid);
   if (it != processes_.end() && it->second.status != ProcessStatus::kRunning)
     processes_.erase(it);
 }
 
 std::size_t Kernel::live_process_count() const {
+  std::shared_lock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [pid, proc] : processes_)
     if (proc.status == ProcessStatus::kRunning) ++n;
   return n;
+}
+
+std::size_t Kernel::process_table_size() const {
+  std::shared_lock lock(mutex_);
+  return processes_.size();
 }
 
 util::Result<difc::LabelState> Kernel::effective_state(Pid pid) const {
@@ -125,6 +153,7 @@ util::Result<difc::LabelState> Kernel::effective_state(Pid pid) const {
     for (const difc::Tag tag : tags_.all()) all.add_dual(tag);
     return difc::LabelState({}, {}, std::move(all));
   }
+  std::shared_lock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   difc::CapabilitySet merged = proc.value()->labels.owned();
@@ -138,12 +167,14 @@ util::Status Kernel::set_secrecy(Pid pid, const difc::Label& to) {
   // The kernel holds dual privilege over every tag; its label is pinned
   // at {} and label changes are vacuous.
   if (pid == kKernelPid) return util::ok_status();
+  std::unique_lock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
-  auto state = effective_state(pid);
-  if (!state.ok()) return state.error();
-  if (auto status = state.value().set_secrecy(to); !status.ok())
-    return status;
+  difc::CapabilitySet merged = proc.value()->labels.owned();
+  merged.merge(global_caps_);
+  difc::LabelState state(proc.value()->labels.secrecy(),
+                         proc.value()->labels.integrity(), std::move(merged));
+  if (auto status = state.set_secrecy(to); !status.ok()) return status;
   // The effective-state check (own caps ∪ Ô) is the authority; apply.
   proc.value()->labels = difc::LabelState(to, proc.value()->labels.integrity(),
                                           proc.value()->labels.owned());
@@ -152,19 +183,28 @@ util::Status Kernel::set_secrecy(Pid pid, const difc::Label& to) {
 
 util::Status Kernel::raise_secrecy(Pid pid, const difc::Label& tags) {
   if (pid == kKernelPid) return util::ok_status();
-  auto proc = live_process(pid);
-  if (!proc.ok()) return proc.error();
-  return set_secrecy(pid, proc.value()->labels.secrecy().union_with(tags));
+  difc::Label current;
+  {
+    std::shared_lock lock(mutex_);
+    auto proc = live_process(pid);
+    if (!proc.ok()) return proc.error();
+    current = proc.value()->labels.secrecy();
+  }
+  // Only this request's thread changes its own labels, so the fetch +
+  // set pair cannot race with another raise on the same pid.
+  return set_secrecy(pid, current.union_with(tags));
 }
 
 util::Status Kernel::set_integrity(Pid pid, const difc::Label& to) {
   if (pid == kKernelPid) return util::ok_status();
+  std::unique_lock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
-  auto state = effective_state(pid);
-  if (!state.ok()) return state.error();
-  if (auto status = state.value().set_integrity(to); !status.ok())
-    return status;
+  difc::CapabilitySet merged = proc.value()->labels.owned();
+  merged.merge(global_caps_);
+  difc::LabelState state(proc.value()->labels.secrecy(),
+                         proc.value()->labels.integrity(), std::move(merged));
+  if (auto status = state.set_integrity(to); !status.ok()) return status;
   proc.value()->labels = difc::LabelState(proc.value()->labels.secrecy(), to,
                                           proc.value()->labels.owned());
   return util::ok_status();
@@ -172,23 +212,23 @@ util::Status Kernel::set_integrity(Pid pid, const difc::Label& to) {
 
 util::Result<difc::Tag> Kernel::create_tag(Pid creator, std::string name,
                                            difc::TagPurpose purpose) {
-  const std::string owner =
-      creator == kKernelPid
-          ? "kernel"
-          : (find(creator) != nullptr ? find(creator)->name : "?");
-  auto proc_ok = creator == kKernelPid;
+  std::unique_lock lock(mutex_);
+  std::string owner = "kernel";
   Process* proc = nullptr;
-  if (!proc_ok) {
+  if (creator != kKernelPid) {
     auto live = live_process(creator);
     if (!live.ok()) return live.error();
     proc = live.value();
+    owner = proc->name;
   }
-  const difc::Tag tag = tags_.create(std::move(name), purpose, owner);
+  const difc::Tag tag = tags_.create(std::move(name), purpose,
+                                     std::move(owner));
   if (proc != nullptr) proc->labels.owned().add_dual(tag);
   return tag;
 }
 
 util::Status Kernel::grant(Pid from, Pid to, difc::Capability cap) {
+  std::unique_lock lock(mutex_);
   auto target = live_process(to);
   if (!target.ok()) return target.error();
   if (from != kKernelPid) {
@@ -205,6 +245,7 @@ util::Status Kernel::grant(Pid from, Pid to, difc::Capability cap) {
 }
 
 util::Status Kernel::drop_capability(Pid pid, difc::Capability cap) {
+  std::unique_lock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   proc.value()->labels.owned().remove(cap);
@@ -213,15 +254,23 @@ util::Status Kernel::drop_capability(Pid pid, difc::Capability cap) {
 
 util::Status Kernel::charge(Pid pid, Resource r, std::int64_t amount) {
   if (pid == kKernelPid) return util::ok_status();  // provider code is unmetered
-  auto proc = live_process(pid);
-  if (!proc.ok()) return proc.error();
-  if (proc.value()->container == nullptr) return util::ok_status();
-  auto status = proc.value()->container->charge(r, amount);
+  ResourceContainer* container = nullptr;
+  {
+    std::shared_lock lock(mutex_);
+    auto proc = live_process(pid);
+    if (!proc.ok()) return proc.error();
+    container = proc.value()->container;  // written only at spawn
+  }
+  if (container == nullptr) return util::ok_status();
+  auto status = container->charge(r, amount);  // internally synchronized
   if (!status.ok()) {
     // Over-quota processes are killed, matching §3.5's requirement that
     // rogue applications cannot degrade the cluster.
-    proc.value()->status = ProcessStatus::kKilled;
-    proc.value()->exit_reason = status.error().detail;
+    std::unique_lock lock(mutex_);
+    if (auto proc = live_process(pid); proc.ok()) {
+      proc.value()->status = ProcessStatus::kKilled;
+      proc.value()->exit_reason = status.error().detail;
+    }
   }
   return status;
 }

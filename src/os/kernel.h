@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,14 +34,21 @@ class Kernel {
   const difc::TagRegistry& tags() const noexcept { return tags_; }
 
   // --- Global capability set Ô -------------------------------------------
-  const difc::CapabilitySet& global_caps() const noexcept {
-    return global_caps_;
-  }
-  void add_global_capability(difc::Capability cap) { global_caps_.add(cap); }
+  difc::CapabilitySet global_caps() const;
+  void add_global_capability(difc::Capability cap);
 
   // --- Process lifecycle ---------------------------------------------------
   // Trusted spawn: only callable with parent == kKernelPid semantics (the
   // provider's own code); no capability checks on the initial state.
+  // Thread-safety: the kernel is shared by every request worker. The
+  // process table and global state take a shared_mutex — exclusive for
+  // any mutation (spawn/kill/exit/reap, label changes, capability moves),
+  // shared for lookups. Process* returned by find() stays valid until
+  // reap() (the table is node-based); a process's fields are only ever
+  // written under the exclusive lock, so cross-thread readers holding the
+  // shared lock are safe. Lock order: callers may hold a store-shard or
+  // filesystem lock when entering the kernel; the kernel itself only
+  // acquires container and tag-registry locks — never a caller's.
   Pid spawn_trusted(std::string name, difc::LabelState initial,
                     ResourceContainer* container = nullptr);
 
@@ -60,9 +68,7 @@ class Kernel {
   // (per-request processes would otherwise accumulate without bound).
   void reap(Pid pid);
   std::size_t live_process_count() const;
-  std::size_t process_table_size() const noexcept {
-    return processes_.size();
-  }
+  std::size_t process_table_size() const;
 
   // --- Labels and capabilities --------------------------------------------
   // Effective state = process state with Ô merged into O. This is what
@@ -89,10 +95,12 @@ class Kernel {
   util::Status charge(Pid pid, Resource r, std::int64_t amount);
 
  private:
+  // Callers must hold mutex_ (shared suffices for lookup).
   util::Result<Process*> live_process(Pid pid);
   util::Result<const Process*> live_process(Pid pid) const;
 
-  difc::TagRegistry tags_;
+  mutable std::shared_mutex mutex_;
+  difc::TagRegistry tags_;  // internally synchronized
   difc::CapabilitySet global_caps_;
   std::unordered_map<Pid, Process> processes_;
   Pid next_pid_ = 1;

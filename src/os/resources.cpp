@@ -38,12 +38,24 @@ ResourceContainer::ResourceContainer(std::string name, ResourceVector limits,
                                      ResourceContainer* parent)
     : name_(std::move(name)), limits_(limits), parent_(parent) {}
 
+std::mutex& ResourceContainer::tree_mutex() const {
+  const ResourceContainer* root = this;
+  while (root->parent_ != nullptr) root = root->parent_;
+  return root->mutex_;
+}
+
+ResourceVector ResourceContainer::usage() const {
+  std::lock_guard lock(tree_mutex());
+  return usage_;
+}
+
 bool ResourceContainer::would_exceed(Resource r, std::int64_t amount) const {
   const std::int64_t limit = limits_[r];
   return limit != kUnlimited && usage_[r] + amount > limit;
 }
 
 util::Status ResourceContainer::charge(Resource r, std::int64_t amount) {
+  std::lock_guard lock(tree_mutex());
   // Validate the whole ancestor chain before mutating any usage counter.
   for (const ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     if (c->would_exceed(r, amount)) {
@@ -59,6 +71,7 @@ util::Status ResourceContainer::charge(Resource r, std::int64_t amount) {
 }
 
 void ResourceContainer::release(Resource r, std::int64_t amount) {
+  std::lock_guard lock(tree_mutex());
   for (ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     c->usage_[r] -= amount;
     if (c->usage_[r] < 0) c->usage_[r] = 0;
@@ -66,6 +79,7 @@ void ResourceContainer::release(Resource r, std::int64_t amount) {
 }
 
 bool ResourceContainer::exhausted(Resource r) const {
+  std::lock_guard lock(tree_mutex());
   for (const ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     if (c->limits_[r] != kUnlimited && c->usage_[r] >= c->limits_[r])
       return true;
@@ -74,6 +88,7 @@ bool ResourceContainer::exhausted(Resource r) const {
 }
 
 std::int64_t ResourceContainer::remaining(Resource r) const {
+  std::lock_guard lock(tree_mutex());
   std::int64_t best = kUnlimited;
   for (const ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     if (c->limits_[r] == kUnlimited) continue;
@@ -84,6 +99,9 @@ std::int64_t ResourceContainer::remaining(Resource r) const {
   return best;
 }
 
-void ResourceContainer::reset_usage() { usage_ = ResourceVector{}; }
+void ResourceContainer::reset_usage() {
+  std::lock_guard lock(tree_mutex());
+  usage_ = ResourceVector{};
+}
 
 }  // namespace w5::os

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "util/result.h"
@@ -35,13 +36,18 @@ struct ResourceVector {
 // kUnlimited disables a dimension's cap.
 inline constexpr std::int64_t kUnlimited = -1;
 
+// Thread-safe: a charge must validate the whole ancestor chain and then
+// mutate it atomically, so the entire tree serializes on one mutex owned
+// by the root container (contention is fine: the critical sections are a
+// handful of integer compares). Structure (name, limits, parent links) is
+// immutable after construction and needs no lock.
 class ResourceContainer {
  public:
   ResourceContainer(std::string name, ResourceVector limits,
                     ResourceContainer* parent = nullptr);
 
   const std::string& name() const noexcept { return name_; }
-  const ResourceVector& usage() const noexcept { return usage_; }
+  ResourceVector usage() const;
   const ResourceVector& limits() const noexcept { return limits_; }
 
   // Charges this container and every ancestor; fails atomically (no
@@ -61,11 +67,13 @@ class ResourceContainer {
 
  private:
   bool would_exceed(Resource r, std::int64_t amount) const;
+  std::mutex& tree_mutex() const;  // the root container's mutex
 
   std::string name_;
   ResourceVector limits_;
   ResourceVector usage_;
   ResourceContainer* parent_;  // not owned; parent outlives children
+  mutable std::mutex mutex_;   // used only on the root container
 };
 
 }  // namespace w5::os

@@ -1,0 +1,69 @@
+#include "os/thread_pool.h"
+
+namespace w5::os {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 2 ? hw : 2;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(Job job) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (active_ == 0 && queue_.empty()) all_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::drain() {
+  std::unique_lock lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  // join_mutex_ serializes concurrent shutdown() calls — joining the same
+  // std::thread from two threads is undefined behavior.
+  std::lock_guard join_lock(join_mutex_);
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace w5::os

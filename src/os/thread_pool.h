@@ -1,0 +1,60 @@
+// Fixed-size worker pool: the platform's real concurrency substrate.
+//
+// The cooperative Scheduler (scheduler.h) models CPU *accounting* —
+// resource-container ticks for untrusted app code. The ThreadPool is the
+// other half of §3.5's "heavy traffic" story: a bounded set of OS threads
+// that the gateway dispatches request handling onto, so one provider
+// serves many mutually untrusting clients in parallel. Bounded by design:
+// admission control happens at the queue, not by spawning a thread per
+// connection.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace w5::os {
+
+using Job = std::function<void()>;
+
+class ThreadPool {
+ public:
+  // threads == 0 falls back to the hardware concurrency (min 2).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();  // shutdown(): drains queued jobs, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job; runs on some worker. After shutdown() the job is
+  // silently dropped (the pool is tearing down; callers hold no future).
+  void submit(Job job);
+
+  // Blocks until the queue is empty and every worker is idle.
+  void drain();
+
+  // Stops accepting work, finishes what is queued, joins all workers.
+  // Idempotent.
+  void shutdown();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::mutex join_mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace w5::os

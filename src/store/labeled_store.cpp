@@ -1,6 +1,7 @@
 #include "store/labeled_store.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace w5::store {
 
@@ -23,7 +24,18 @@ util::Error not_found(const std::string& collection, const std::string& id) {
   return util::make_error("store.not_found", collection + "/" + id);
 }
 
+bool key_less(const Record& a, const Record& b) {
+  if (a.collection != b.collection) return a.collection < b.collection;
+  return a.id < b.id;
+}
+
 }  // namespace
+
+std::size_t LabeledStore::shard_index(const Key& key) {
+  const std::size_t h1 = std::hash<std::string>{}(key.first);
+  const std::size_t h2 = std::hash<std::string>{}(key.second);
+  return (h1 * 31 + h2) % kShardCount;
+}
 
 util::Result<difc::LabelState> LabeledStore::caller(os::Pid pid) const {
   return kernel_.effective_state(pid);
@@ -41,8 +53,10 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
   if (!state.ok()) return state.error();
 
   const Key key{record.collection, record.id};
-  const auto it = records_.find(key);
-  if (it == records_.end()) {
+  Shard& shard = shard_for(key);
+  std::unique_lock lock(shard.mutex);
+  const auto it = shard.records.find(key);
+  if (it == shard.records.end()) {
     // Create: no leak into the record, no forged endorsement.
     if (!state.value().secrecy().subset_of(record.labels.secrecy)) {
       return util::make_error(
@@ -66,8 +80,8 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
     }
     record.version = 1;
     record.updated_micros = clock_.now();
-    by_owner_[record.owner].push_back(key);
-    records_.emplace(key, std::move(record));
+    shard.by_owner[record.owner].push_back(key);
+    shard.records.emplace(key, std::move(record));
     return util::ok_status();
   }
 
@@ -100,9 +114,18 @@ util::Result<Record> LabeledStore::get(os::Pid pid,
                                        const std::string& id, Raise raise) {
   auto state = caller(pid);
   if (!state.ok()) return state.error();
-  const auto it = records_.find(Key{collection, id});
-  if (it == records_.end()) return not_found(collection, id);
-  const Record& record = it->second;
+  const Key key{collection, id};
+  Record record;
+  {
+    // Copy out under the shard lock; the read linearizes here. The raise
+    // and flow check run against the copy so we never hold the shard lock
+    // across a label change.
+    const Shard& shard = shard_for(key);
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.records.find(key);
+    if (it == shard.records.end()) return not_found(collection, id);
+    record = it->second;
+  }
 
   // Outside clearance the record does not exist — indistinguishable from
   // a missing id (no existence leak).
@@ -131,8 +154,11 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   const Key key{collection, id};
-  const auto it = records_.find(key);
-  if (it == records_.end()) return util::Status(not_found(collection, id));
+  Shard& shard = shard_for(key);
+  std::unique_lock lock(shard.mutex);
+  const auto it = shard.records.find(key);
+  if (it == shard.records.end())
+    return util::Status(not_found(collection, id));
   if (!visible(it->second, state.value().secrecy_clearance()))
     return util::Status(not_found(collection, id));
   // Vandalism is a write (§3.1): deletion needs write authority.
@@ -141,10 +167,10 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
       !status.ok()) {
     return status;
   }
-  auto& keys = by_owner_[it->second.owner];
+  auto& keys = shard.by_owner[it->second.owner];
   std::erase(keys, key);
-  if (keys.empty()) by_owner_.erase(it->second.owner);
-  records_.erase(it);
+  if (keys.empty()) shard.by_owner.erase(it->second.owner);
+  shard.records.erase(it);
   return util::ok_status();
 }
 
@@ -157,38 +183,52 @@ util::Result<std::vector<Record>> LabeledStore::query(
                                 ? state.value().secrecy_clearance()
                                 : state.value().secrecy();
 
-  std::vector<Record> out;
-  difc::Label result_label;
-  std::size_t to_skip = options.offset;
+  // Per shard a page never needs more than offset+limit visible matches.
+  const std::size_t cap = options.offset > SIZE_MAX - options.limit
+                              ? SIZE_MAX
+                              : options.offset + options.limit;
 
-  const auto consider = [&](const Record& record) -> bool {
-    if (out.size() >= options.limit) return false;
-    if (!visible(record, bound)) return true;  // invisible, keep scanning
-    if (options.predicate && !options.predicate(record)) return true;
-    if (to_skip > 0) {  // pagination counts only rows the caller may see
-      --to_skip;
+  // Phase 1: collect visible, matching candidates shard by shard (one
+  // lock at a time), then merge-sort by key so pagination order is
+  // deterministic regardless of sharding.
+  std::vector<Record> candidates;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    std::size_t from_this_shard = 0;
+    const auto consider = [&](const Record& record) -> bool {
+      if (from_this_shard >= cap) return false;
+      if (!visible(record, bound)) return true;  // invisible, keep scanning
+      if (options.predicate && !options.predicate(record)) return true;
+      candidates.push_back(record);
+      ++from_this_shard;
       return true;
-    }
-    result_label = result_label.union_with(record.labels.secrecy);
-    out.push_back(record);
-    return true;
-  };
-
-  if (!options.owner.empty()) {
-    // Secondary index path.
-    const auto idx = by_owner_.find(options.owner);
-    if (idx != by_owner_.end()) {
-      for (const Key& key : idx->second) {
-        if (key.first != collection) continue;
-        if (!consider(records_.at(key))) break;
+    };
+    if (!options.owner.empty()) {
+      // Secondary index path.
+      const auto idx = shard.by_owner.find(options.owner);
+      if (idx != shard.by_owner.end()) {
+        for (const Key& key : idx->second) {
+          if (key.first != collection) continue;
+          if (!consider(shard.records.at(key))) break;
+        }
+      }
+    } else {
+      const auto begin = shard.records.lower_bound(Key{collection, ""});
+      for (auto it = begin;
+           it != shard.records.end() && it->first.first == collection; ++it) {
+        if (!consider(it->second)) break;
       }
     }
-  } else {
-    const auto begin = records_.lower_bound(Key{collection, ""});
-    for (auto it = begin; it != records_.end() && it->first.first == collection;
-         ++it) {
-      if (!consider(it->second)) break;
-    }
+  }
+  std::sort(candidates.begin(), candidates.end(), key_less);
+
+  // Phase 2: pagination counts only rows the caller may see.
+  std::vector<Record> out;
+  difc::Label result_label;
+  for (std::size_t i = options.offset;
+       i < candidates.size() && out.size() < options.limit; ++i) {
+    result_label = result_label.union_with(candidates[i].labels.secrecy);
+    out.push_back(std::move(candidates[i]));
   }
 
   // The caller is contaminated by the join of everything returned.
@@ -214,15 +254,18 @@ util::Result<std::size_t> LabeledStore::count(os::Pid pid,
   if (!state.ok()) return state.error();
   const difc::Label clearance = state.value().secrecy_clearance();
   std::size_t n = 0;
-  const auto begin = records_.lower_bound(Key{collection, ""});
-  for (auto it = begin; it != records_.end() && it->first.first == collection;
-       ++it) {
-    const Record& record = it->second;
-    if (!visible(record, clearance)) continue;
-    if (!options.owner.empty() && record.owner != options.owner) continue;
-    if (options.predicate && !options.predicate(record)) continue;
-    ++n;
-    if (n >= options.limit) break;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    const auto begin = shard.records.lower_bound(Key{collection, ""});
+    for (auto it = begin;
+         it != shard.records.end() && it->first.first == collection; ++it) {
+      const Record& record = it->second;
+      if (!visible(record, clearance)) continue;
+      if (!options.owner.empty() && record.owner != options.owner) continue;
+      if (options.predicate && !options.predicate(record)) continue;
+      ++n;
+      if (n >= options.limit) return n;
+    }
   }
   return n;
 }
@@ -233,29 +276,50 @@ util::Result<std::vector<std::string>> LabeledStore::list_ids(
   if (!state.ok()) return state.error();
   const difc::Label clearance = state.value().secrecy_clearance();
   std::vector<std::string> out;
-  const auto begin = records_.lower_bound(Key{collection, ""});
-  for (auto it = begin; it != records_.end() && it->first.first == collection;
-       ++it) {
-    if (visible(it->second, clearance)) out.push_back(it->first.second);
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    const auto begin = shard.records.lower_bound(Key{collection, ""});
+    for (auto it = begin;
+         it != shard.records.end() && it->first.first == collection; ++it) {
+      if (visible(it->second, clearance)) out.push_back(it->first.second);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-std::size_t LabeledStore::total_records() const { return records_.size(); }
+std::size_t LabeledStore::total_records() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    n += shard.records.size();
+  }
+  return n;
+}
 
 std::vector<Record> LabeledStore::export_owned_by(
     const std::string& owner) const {
   std::vector<Record> out;
-  const auto it = by_owner_.find(owner);
-  if (it == by_owner_.end()) return out;
-  out.reserve(it->second.size());
-  for (const Key& key : it->second) out.push_back(records_.at(key));
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.by_owner.find(owner);
+    if (it == shard.by_owner.end()) continue;
+    for (const Key& key : it->second) out.push_back(shard.records.at(key));
+  }
+  std::sort(out.begin(), out.end(), key_less);
   return out;
 }
 
 util::Json LabeledStore::to_json() const {
+  // Snapshot order is key order, independent of sharding.
+  std::vector<Record> all;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    for (const auto& [key, record] : shard.records) all.push_back(record);
+  }
+  std::sort(all.begin(), all.end(), key_less);
   util::Json array = util::Json::array();
-  for (const auto& [key, record] : records_) array.push_back(record.to_json());
+  for (const Record& record : all) array.push_back(record.to_json());
   util::Json out;
   out["records"] = std::move(array);
   return out;
@@ -264,19 +328,27 @@ util::Json LabeledStore::to_json() const {
 util::Status LabeledStore::load_json(const util::Json& snapshot) {
   if (!snapshot.at("records").is_array())
     return util::make_error("store.parse", "missing records array");
-  std::map<Key, Record> records;
-  std::map<std::string, std::vector<Key>> by_owner;
+  // Build aside, then swap under all shard locks (index order, the only
+  // place more than one shard lock is ever held).
+  std::array<std::map<Key, Record>, kShardCount> records;
+  std::array<std::map<std::string, std::vector<Key>>, kShardCount> by_owner;
   for (const auto& item : snapshot.at("records").as_array()) {
     auto record = Record::from_json(item);
     if (!record.ok()) return record.error();
     Key key{record.value().collection, record.value().id};
-    if (records.contains(key))
+    const std::size_t shard = shard_index(key);
+    if (records[shard].contains(key))
       return util::make_error("store.parse", "duplicate record key");
-    by_owner[record.value().owner].push_back(key);
-    records.emplace(std::move(key), std::move(record).value());
+    by_owner[shard][record.value().owner].push_back(key);
+    records[shard].emplace(std::move(key), std::move(record).value());
   }
-  records_ = std::move(records);
-  by_owner_ = std::move(by_owner);
+  std::array<std::unique_lock<std::shared_mutex>, kShardCount> locks;
+  for (std::size_t i = 0; i < kShardCount; ++i)
+    locks[i] = std::unique_lock(shards_[i].mutex);
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    shards_[i].records = std::move(records[i]);
+    shards_[i].by_owner = std::move(by_owner[i]);
+  }
   return util::ok_status();
 }
 

@@ -9,9 +9,11 @@
 // no error, and no resource charge.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,13 @@ struct QueryOptions {
   RecordPredicate predicate;  // optional data filter
 };
 
+// Thread-safe and lock-striped: records live in kShardCount shards keyed
+// by hash(collection, id), each with its own shared_mutex, so point
+// operations on different records proceed in parallel. Scans (query,
+// count, list_ids, snapshots) visit shards one at a time — never holding
+// two shard locks — and merge-sort by key so results stay deterministic.
+// Lock order: store shard → kernel (charges and raises happen while a
+// shard lock is held; the kernel never calls into the store).
 class LabeledStore {
  public:
   LabeledStore(os::Kernel& kernel, const util::Clock& clock)
@@ -85,13 +94,28 @@ class LabeledStore {
  private:
   using Key = std::pair<std::string, std::string>;  // (collection, id)
 
+  // 16 stripes: comfortably above the worker-pool default (8) so two
+  // random keys rarely contend, small enough that full scans stay cheap.
+  static constexpr std::size_t kShardCount = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    // map keeps iteration deterministic for snapshots and queries.
+    std::map<Key, Record> records;
+    // Secondary index: owner -> keys, maintained on put/remove.
+    std::map<std::string, std::vector<Key>> by_owner;
+  };
+
+  static std::size_t shard_index(const Key& key);
+  Shard& shard_for(const Key& key) { return shards_[shard_index(key)]; }
+  const Shard& shard_for(const Key& key) const {
+    return shards_[shard_index(key)];
+  }
+
   util::Result<difc::LabelState> caller(os::Pid pid) const;
   static bool visible(const Record& record, const difc::Label& clearance);
 
-  // map keeps iteration deterministic for snapshots and queries.
-  std::map<Key, Record> records_;
-  // Secondary index: owner -> keys, maintained on put/remove.
-  std::map<std::string, std::vector<Key>> by_owner_;
+  std::array<Shard, kShardCount> shards_;
 
   os::Kernel& kernel_;
   const util::Clock& clock_;

@@ -26,17 +26,9 @@ class TcpEndToEnd : public ::testing::Test {
         platform::ProviderConfig{}, clock_);
     apps::register_standard_apps(*provider_);
     ASSERT_TRUE(listener_.listen(0).ok());
-    server_thread_ = std::thread([this] {
-      net::HttpServer http(
-          [this](const HttpRequest& request) {
-            return provider_->handle(request);
-          });
-      while (true) {
-        auto connection = listener_.accept();
-        if (!connection.ok()) break;  // listener closed: shut down
-        http.serve(*connection.value());
-      }
-    });
+    // Pooled serving: connections are handled on the provider's worker
+    // threads, so concurrent clients exercise the locked hot path.
+    server_thread_ = std::thread([this] { provider_->serve(listener_); });
   }
 
   void TearDown() override {
