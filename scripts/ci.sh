@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The one-command verification gate: tier-1 build + tests, then the
+# sanitizer matrix (scripts/run_sanitizers.sh).
+#
+#   scripts/ci.sh            # build + ctest + TSan + ASan/UBSan
+#   scripts/ci.sh fast       # build + ctest only
+#
+# Exits non-zero on the first failing stage, so it can anchor any real CI
+# job as-is.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+leg="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== Tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== Tier-1: tests =="
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [[ "$leg" != "fast" ]]; then
+  scripts/run_sanitizers.sh
+fi
+
+echo "ci: all stages passed"

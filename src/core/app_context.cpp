@@ -3,6 +3,7 @@
 #include "core/audit.h"
 #include "core/gateway.h"
 #include "core/provider.h"
+#include "core/trace.h"
 
 namespace w5::platform {
 
@@ -27,10 +28,17 @@ std::string AppContext::query_param(const std::string& name,
   return net::query_get(request_.parsed.query, name).value_or(fallback);
 }
 
+// Store spans carry no note: collection names and record ids are
+// app-controlled strings, and a malicious module must not be able to
+// smuggle record bytes into a trace through them (DESIGN.md §11 — spans
+// record *what kind* of operation ran and how long, nothing the app
+// chose).
+
 util::Result<store::Record> AppContext::get_record(
     const std::string& collection, const std::string& id) {
   if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
     return charged.error();
+  ScopedSpan span("store.get");
   return provider_.store().get(pid_, collection, id, store::Raise::kYes);
 }
 
@@ -38,6 +46,7 @@ util::Result<std::vector<store::Record>> AppContext::query(
     const std::string& collection, const store::QueryOptions& options) {
   if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
     return charged.error();
+  ScopedSpan span("store.query");
   return provider_.store().query(pid_, collection, options,
                                  store::Raise::kYes);
 }
@@ -46,12 +55,14 @@ util::Result<std::size_t> AppContext::count(
     const std::string& collection, const store::QueryOptions& options) {
   if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
     return charged.error();
+  ScopedSpan span("store.count");
   return provider_.store().count(pid_, collection, options);
 }
 
 util::Status AppContext::put_record(store::Record record) {
   if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
     return charged;
+  ScopedSpan span("store.put");
   return provider_.store().put(pid_, std::move(record));
 }
 
@@ -59,6 +70,7 @@ util::Status AppContext::remove_record(const std::string& collection,
                                        const std::string& id) {
   if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
     return charged;
+  ScopedSpan span("store.remove");
   return provider_.store().remove(pid_, collection, id);
 }
 

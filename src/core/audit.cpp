@@ -1,5 +1,9 @@
 #include "core/audit.h"
 
+#include <algorithm>
+
+#include "core/trace.h"
+
 namespace w5::platform {
 
 std::string to_string(AuditKind kind) {
@@ -26,6 +30,9 @@ std::string to_string(AuditKind kind) {
 
 void AuditLog::record(AuditKind kind, std::string actor, std::string subject,
                       std::string detail) {
+  // Resolve the trace id before taking the lock: audit entries recorded
+  // on a request worker cross-reference that request's trace.
+  std::string trace = RequestContext::current_id();
   std::lock_guard lock(mutex_);
   if (events_.size() >= max_events_) {
     const std::size_t drop = events_.size() / 2;
@@ -34,13 +41,35 @@ void AuditLog::record(AuditKind kind, std::string actor, std::string subject,
     dropped_ += drop;
   }
   events_.push_back(AuditEvent{clock_.now(), kind, std::move(actor),
-                               std::move(subject), std::move(detail)});
+                               std::move(subject), std::move(detail),
+                               std::move(trace)});
   ++counts_by_kind_[static_cast<std::size_t>(kind) % kKindCount];
 }
 
 std::vector<AuditEvent> AuditLog::events() const {
   std::lock_guard lock(mutex_);
   return events_;
+}
+
+std::vector<AuditEvent> AuditLog::events(std::size_t limit,
+                                         util::Micros since_micros) const {
+  std::lock_guard lock(mutex_);
+  // events_ is append-ordered by timestamp, so the first event at or
+  // after the cutoff is a binary search away.
+  const auto first = std::lower_bound(
+      events_.begin(), events_.end(), since_micros,
+      [](const AuditEvent& event, util::Micros at) { return event.at < at; });
+  const std::size_t available =
+      static_cast<std::size_t>(events_.end() - first);
+  const std::size_t n = std::min(limit, available);
+  // Newest n of the window, returned oldest-first.
+  return std::vector<AuditEvent>(events_.end() - static_cast<std::ptrdiff_t>(n),
+                                 events_.end());
+}
+
+std::size_t AuditLog::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
 }
 
 std::size_t AuditLog::count(AuditKind kind) const {

@@ -34,6 +34,8 @@ struct AuditEvent {
   std::string actor;   // user or module id
   std::string subject; // tag name, path, or module
   std::string detail;  // machine-ish explanation (error code etc.)
+  std::string trace;   // trace id of the request that recorded it ("" if
+                       // recorded outside a traced request)
 };
 
 class AuditLog {
@@ -55,6 +57,12 @@ class AuditLog {
               std::string detail);
 
   std::vector<AuditEvent> events() const;
+  // Tail query: the newest `limit` events recorded at or after
+  // `since_micros`, oldest-first. GET /audit uses this so a browse of a
+  // long-lived provider's log copies a page, not the whole vector.
+  std::vector<AuditEvent> events(std::size_t limit,
+                                 util::Micros since_micros) const;
+  std::size_t size() const;  // events currently retained
   // Lifetime total per kind (includes rotated-out events) — O(1), so
   // /stats stays cheap no matter how large the log has grown.
   std::size_t count(AuditKind kind) const;

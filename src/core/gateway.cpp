@@ -5,6 +5,8 @@
 #include <set>
 
 #include "core/sanitizer.h"
+#include "core/trace.h"
+#include "difc/label_table.h"
 #include "util/strings.h"
 #include "net/cookies.h"
 
@@ -41,44 +43,103 @@ Gateway::Gateway(Provider& provider) : provider_(provider) {
       return (this->*fn)(request, params);
     };
   };
+  // Registers the route and its hit counter in one step. The counter name
+  // embeds the route *pattern* — telemetry never sees captured values.
+  // route_hits_ parallels the router's registration order, so the route
+  // index dispatch reports maps straight to the counter.
+  const auto add = [this](Method method, const std::string& pattern,
+                          net::RouteHandler handler) {
+    router_.add(method, pattern, std::move(handler));
+    const std::string method_name{net::to_string(method)};
+    route_hits_.push_back(
+        &provider_.metrics().counter("w5_route_requests_total{method=\"" +
+                                     method_name + "\",route=\"" + pattern +
+                                     "\"}"));
+  };
 
-  router_.add(Method::kPost, "/signup", bind0(&Gateway::route_signup));
-  router_.add(Method::kPost, "/login", bind0(&Gateway::route_login));
-  router_.add(Method::kPost, "/logout", bind0(&Gateway::route_logout));
-  router_.add(Method::kGet, "/whoami", bind0(&Gateway::route_whoami));
-  router_.add(Method::kGet, "/policy", bind0(&Gateway::route_get_policy));
-  router_.add(Method::kPost, "/policy", bind0(&Gateway::route_set_policy));
-  router_.add(Method::kGet, "/apps", bind0(&Gateway::route_list_apps));
-  router_.add(Method::kGet, "/stats", bind0(&Gateway::route_stats));
-  router_.add(Method::kGet, "/search", bind0(&Gateway::route_search));
-  router_.add(Method::kGet, "/developers",
-              bind0(&Gateway::route_developers));
-  router_.add(Method::kGet, "/dev-stats", bind0(&Gateway::route_dev_stats));
-  router_.add(Method::kGet, "/audit", bind0(&Gateway::route_audit));
-  router_.add(Method::kPost, "/invite", bind0(&Gateway::route_invite));
-  router_.add(Method::kGet, "/invitations",
-              bind0(&Gateway::route_invitations));
-  router_.add(Method::kPost, "/accept", bind0(&Gateway::route_accept));
-  router_.add(Method::kPost, "/endorse", bind0(&Gateway::route_endorse));
-  router_.add(Method::kGet, "/export", bind0(&Gateway::route_export));
-  router_.add(Method::kDelete, "/account",
-              bind0(&Gateway::route_delete_account));
-  router_.add(Method::kPost, "/data/:collection/:id",
-              bind1(&Gateway::route_put_data));
-  router_.add(Method::kGet, "/data/:collection/:id",
-              bind1(&Gateway::route_get_data));
-  router_.add(Method::kDelete, "/data/:collection/:id",
-              bind1(&Gateway::route_delete_data));
+  add(Method::kPost, "/signup", bind0(&Gateway::route_signup));
+  add(Method::kPost, "/login", bind0(&Gateway::route_login));
+  add(Method::kPost, "/logout", bind0(&Gateway::route_logout));
+  add(Method::kGet, "/whoami", bind0(&Gateway::route_whoami));
+  add(Method::kGet, "/policy", bind0(&Gateway::route_get_policy));
+  add(Method::kPost, "/policy", bind0(&Gateway::route_set_policy));
+  add(Method::kGet, "/apps", bind0(&Gateway::route_list_apps));
+  add(Method::kGet, "/stats", bind0(&Gateway::route_stats));
+  add(Method::kGet, "/metrics", bind0(&Gateway::route_metrics));
+  add(Method::kGet, "/trace/:id", bind1(&Gateway::route_trace));
+  add(Method::kGet, "/search", bind0(&Gateway::route_search));
+  add(Method::kGet, "/developers", bind0(&Gateway::route_developers));
+  add(Method::kGet, "/dev-stats", bind0(&Gateway::route_dev_stats));
+  add(Method::kGet, "/audit", bind0(&Gateway::route_audit));
+  add(Method::kPost, "/invite", bind0(&Gateway::route_invite));
+  add(Method::kGet, "/invitations", bind0(&Gateway::route_invitations));
+  add(Method::kPost, "/accept", bind0(&Gateway::route_accept));
+  add(Method::kPost, "/endorse", bind0(&Gateway::route_endorse));
+  add(Method::kGet, "/export", bind0(&Gateway::route_export));
+  add(Method::kDelete, "/account", bind0(&Gateway::route_delete_account));
+  add(Method::kPost, "/data/:collection/:id",
+      bind1(&Gateway::route_put_data));
+  add(Method::kGet, "/data/:collection/:id",
+      bind1(&Gateway::route_get_data));
+  add(Method::kDelete, "/data/:collection/:id",
+      bind1(&Gateway::route_delete_data));
   for (const auto method : {Method::kGet, Method::kPost, Method::kPut,
                             Method::kDelete}) {
-    router_.add(method, "/dev/:developer/:app", bind1(&Gateway::route_app));
-    router_.add(method, "/dev/:developer/:app/*rest",
-                bind1(&Gateway::route_app));
+    add(method, "/dev/:developer/:app", bind1(&Gateway::route_app));
+    add(method, "/dev/:developer/:app/*rest", bind1(&Gateway::route_app));
   }
+
+  util::MetricsRegistry& metrics = provider_.metrics();
+  requests_total_ = &metrics.counter("w5_requests_total");
+  responses_2xx_ = &metrics.counter("w5_responses_total{class=\"2xx\"}");
+  responses_3xx_ = &metrics.counter("w5_responses_total{class=\"3xx\"}");
+  responses_4xx_ = &metrics.counter("w5_responses_total{class=\"4xx\"}");
+  responses_5xx_ = &metrics.counter("w5_responses_total{class=\"5xx\"}");
+  declassify_allow_ =
+      &metrics.counter("w5_declassifier_decisions_total{verdict=\"allow\"}");
+  declassify_deny_ =
+      &metrics.counter("w5_declassifier_decisions_total{verdict=\"deny\"}");
+  exports_allowed_ = &metrics.counter("w5_exports_total{verdict=\"allow\"}");
+  exports_blocked_ = &metrics.counter("w5_exports_total{verdict=\"blocked\"}");
+  request_latency_ = &metrics.histogram("w5_request_latency_micros");
 }
 
 net::HttpResponse Gateway::handle(const net::HttpRequest& request) {
-  return router_.dispatch(request);
+  // The W5_NO_TELEMETRY baseline must not pay for clock reads or header
+  // stamping either — the whole plane compiles down to a bare dispatch.
+  if constexpr (!util::kTelemetryEnabled) return router_.dispatch(request);
+  // A validated inbound X-W5-Trace continues an upstream trace (federation
+  // peers forward it); anything else mints a fresh id. The context is
+  // thread-local-current for the duration, so spans recorded anywhere
+  // below land in this request's trace.
+  // Ablation escape hatch, read once: getenv scans the whole environment
+  // block, which is too expensive to pay per request.
+  static const bool bare_dispatch = getenv("W5_ABL_BARE") != nullptr;
+  if (bare_dispatch) return router_.dispatch(request);
+  const auto inherited = request.headers.get("X-W5-Trace");
+  RequestContext context(inherited ? std::string_view(*inherited)
+                                   : std::string_view{});
+  requests_total_->inc();
+  const std::string* pattern = nullptr;
+  std::size_t route_index = net::Router::kNoRoute;
+  net::HttpResponse response =
+      router_.dispatch(request, &pattern, &route_index);
+  switch (response.status / 100) {
+    case 2: responses_2xx_->inc(); break;
+    case 3: responses_3xx_->inc(); break;
+    case 4: responses_4xx_->inc(); break;
+    case 5: responses_5xx_->inc(); break;
+    default: break;
+  }
+  if (pattern != nullptr) context.set_route(*pattern);
+  if (route_index < route_hits_.size()) route_hits_[route_index]->inc();
+  context.set_status(response.status);
+  if (!context.id().empty())
+    response.headers.set("X-W5-Trace", context.id());
+  Trace trace = context.finish();  // stamps the total duration
+  request_latency_->observe(trace.duration);
+  provider_.traces().record(std::move(trace));
+  return response;
 }
 
 std::string Gateway::viewer_of(const net::HttpRequest& request) {
@@ -230,28 +291,102 @@ net::HttpResponse Gateway::route_developers(const net::HttpRequest&) {
 
 net::HttpResponse Gateway::route_audit(const net::HttpRequest& request) {
   // Recent security decisions, scrubbed by construction: the audit log
-  // holds codes, principals, and label *names* only.
+  // holds codes, principals, and label *names* only. The tail query
+  // copies one page, not the whole log (?n= page size, ?since= micros
+  // cutoff for incremental pulls).
   const auto limit = static_cast<std::size_t>(
       util::parse_i64(
           net::query_get(request.parsed.query, "n").value_or("20"))
           .value_or(20));
-  const auto& events = provider_.audit().events();
+  const util::Micros since =
+      util::parse_i64(
+          net::query_get(request.parsed.query, "since").value_or("0"))
+          .value_or(0);
+  const auto events = provider_.audit().events(limit, since);
   util::Json items = util::Json::array();
-  const std::size_t start =
-      events.size() > limit ? events.size() - limit : 0;
-  for (std::size_t i = start; i < events.size(); ++i) {
+  for (const AuditEvent& event : events) {
     util::Json entry;
-    entry["at"] = events[i].at;
-    entry["kind"] = to_string(events[i].kind);
-    entry["actor"] = events[i].actor;
-    entry["subject"] = events[i].subject;
-    entry["detail"] = events[i].detail;
+    entry["at"] = event.at;
+    entry["kind"] = to_string(event.kind);
+    entry["actor"] = event.actor;
+    entry["subject"] = event.subject;
+    entry["detail"] = event.detail;
+    if (!event.trace.empty()) entry["trace"] = event.trace;
     items.push_back(std::move(entry));
   }
   util::Json body;
   body["events"] = std::move(items);
-  body["total"] = events.size();
+  body["total"] = provider_.audit().size();
   return net::HttpResponse::json(200, body.dump());
+}
+
+net::HttpResponse Gateway::route_metrics(const net::HttpRequest& request) {
+  refresh_runtime_gauges();
+  if (net::query_get(request.parsed.query, "format").value_or("") == "json")
+    return net::HttpResponse::json(200,
+                                   provider_.metrics().to_json().dump());
+  net::HttpResponse response =
+      net::HttpResponse::text(200, provider_.metrics().to_prometheus());
+  response.headers.set("Content-Type", "text/plain; version=0.0.4");
+  return response;
+}
+
+net::HttpResponse Gateway::route_trace(const net::HttpRequest&,
+                                       const net::RouteParams& params) {
+  const auto trace = provider_.traces().find(params.at("id"));
+  if (!trace) return json_error(404, "no such trace");
+  return net::HttpResponse::json(200, trace->to_json().dump());
+}
+
+void Gateway::refresh_runtime_gauges() {
+  const auto as_i64 = [](auto v) { return static_cast<std::int64_t>(v); };
+  util::MetricsRegistry& metrics = provider_.metrics();
+
+  const auto ops = provider_.store().op_counts();
+  metrics.gauge("w5_store_ops{op=\"get\"}").set(as_i64(ops.gets));
+  metrics.gauge("w5_store_ops{op=\"put\"}").set(as_i64(ops.puts));
+  metrics.gauge("w5_store_ops{op=\"remove\"}").set(as_i64(ops.removes));
+  metrics.gauge("w5_store_ops{op=\"scan\"}").set(as_i64(ops.scans));
+  const auto shard_ops = provider_.store().shard_op_counts();
+  for (std::size_t i = 0; i < shard_ops.size(); ++i) {
+    metrics.gauge("w5_store_shard_ops{shard=\"" + std::to_string(i) + "\"}")
+        .set(as_i64(shard_ops[i]));
+  }
+  metrics.gauge("w5_store_records").set(as_i64(
+      provider_.store().total_records()));
+
+  // pool_if_started(): a scrape must never spawn the worker pool.
+  if (os::ThreadPool* pool = provider_.pool_if_started()) {
+    metrics.gauge("w5_pool_workers").set(as_i64(pool->size()));
+    metrics.gauge("w5_pool_active").set(as_i64(pool->active()));
+    metrics.gauge("w5_pool_queue_depth").set(as_i64(pool->pending()));
+    metrics.gauge("w5_pool_max_queue_depth")
+        .set(as_i64(pool->max_queue_depth()));
+    metrics.gauge("w5_pool_jobs_submitted")
+        .set(as_i64(pool->jobs_submitted()));
+    metrics.gauge("w5_pool_jobs_completed")
+        .set(as_i64(pool->jobs_completed()));
+  }
+
+  const difc::FlowCache& cache = difc::FlowCache::instance();
+  metrics.gauge("w5_flow_cache_hits").set(as_i64(cache.hits()));
+  metrics.gauge("w5_flow_cache_misses").set(as_i64(cache.misses()));
+  metrics.gauge("w5_flow_cache_invalidations")
+      .set(as_i64(cache.invalidations()));
+  metrics.gauge("w5_flow_cache_size").set(as_i64(cache.size()));
+  metrics.gauge("w5_label_table_size")
+      .set(as_i64(difc::LabelTable::instance().size()));
+  metrics.gauge("w5_label_table_epoch")
+      .set(as_i64(difc::LabelTable::instance().epoch()));
+
+  metrics.gauge("w5_audit_events_retained")
+      .set(as_i64(provider_.audit().size()));
+  metrics.gauge("w5_audit_events_dropped")
+      .set(as_i64(provider_.audit().dropped()));
+  metrics.gauge("w5_traces_recorded").set(as_i64(
+      provider_.traces().recorded()));
+  metrics.gauge("w5_traces_retained").set(as_i64(provider_.traces().size()));
+  metrics.gauge("w5_users").set(as_i64(provider_.users().size()));
 }
 
 // ---- Invitations (§1: "a prospective user can sign up simply by
@@ -508,7 +643,10 @@ net::HttpResponse Gateway::route_put_data(const net::HttpRequest& request,
   const os::Pid pid = provider_.kernel().spawn_trusted(
       "frontend:put-data:" + viewer,
       difc::LabelState({account->secrecy_tag}, {account->write_tag}, {}));
-  auto status = provider_.store().put(pid, std::move(record));
+  // No span here: the "POST /data/:collection/:id" route pattern already
+  // names this store write, and the direct data path is the hot path.
+  // Store spans live in AppContext, where attribution is ambiguous.
+  util::Status status = provider_.store().put(pid, std::move(record));
   (void)provider_.kernel().exit(pid);
   provider_.kernel().reap(pid);
   if (!status.ok()) {
@@ -525,6 +663,7 @@ net::HttpResponse Gateway::route_get_data(const net::HttpRequest& request,
   const std::string viewer = viewer_of(request);
   // Trusted read, then the data must still pass the perimeter to reach
   // the viewer's browser — same rule as any app response.
+  // No span: the route pattern already names this read (see route_put_data).
   auto record = provider_.store().get(os::kKernelPid, params.at("collection"),
                                       params.at("id"));
   if (!record.ok()) return json_error(404, record.error().code);
@@ -625,13 +764,19 @@ net::HttpResponse Gateway::route_app(const net::HttpRequest& request,
         policy.grants_read(module->path()))
       owned.add(difc::plus(account->read_tag));
   }
-  const os::Pid pid = provider_.kernel().spawn_trusted(
-      "app:" + module->id(), difc::LabelState({}, {}, owned),
-      &request_container);
+  const std::string module_id = module->id();  // concatenates; build once
+  os::Pid pid;
+  {
+    ScopedSpan span("kernel.spawn", module_id);
+    pid = provider_.kernel().spawn_trusted(
+        "app:" + module_id, difc::LabelState({}, {}, owned),
+        &request_container);
+  }
 
   AppContext context(provider_, pid, *module, viewer, request, params);
   net::HttpResponse response;
   try {
+    ScopedSpan span("app", module_id);
     response = module->handler(context);
   } catch (const std::exception& e) {
     // §3.5 Debugging: developers get a signal that their app failed, but
@@ -702,7 +847,10 @@ util::Result<difc::CapabilitySet> Gateway::authorize_export(
                                  tag,          module_id,
                                  destination,  byte_count,
                                  owners.size()};
+    // Span note: declassifier id only — policy names, never data.
+    ScopedSpan span("declassify", declassifier_id);
     auto verdict = declassifier->decide(export_request);
+    (verdict.ok() ? declassify_allow_ : declassify_deny_)->inc();
     provider_.audit().record(
         AuditKind::kDeclassifierDecision, declassifier_id,
         provider_.kernel().tags().describe(tag),
@@ -721,18 +869,24 @@ net::HttpResponse Gateway::export_response(net::HttpResponse response,
   auto authority = authorize_export(label, viewer, module_id, "browser",
                                     response.body.size());
   if (!authority.ok()) {
+    exports_blocked_->inc();
     provider_.audit().record(AuditKind::kExportBlocked, module_id,
                              label.to_string(), authority.error().detail);
     return perimeter_denial();
   }
   // The real DIFC check, with exactly the authority the declassifiers
   // granted — belt and suspenders over the per-tag loop above.
-  if (auto allowed = difc::check_export(label, authority.value());
-      !allowed.ok()) {
-    provider_.audit().record(AuditKind::kExportBlocked, module_id,
-                             label.to_string(), allowed.error().detail);
-    return perimeter_denial();
+  {
+    ScopedSpan span("flow-check");
+    if (auto allowed = difc::check_export(label, authority.value());
+        !allowed.ok()) {
+      exports_blocked_->inc();
+      provider_.audit().record(AuditKind::kExportBlocked, module_id,
+                               label.to_string(), allowed.error().detail);
+      return perimeter_denial();
+    }
   }
+  exports_allowed_->inc();
 
   if (provider_.config().strip_javascript) {
     const auto content_type = response.headers.get("Content-Type");

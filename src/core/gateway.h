@@ -9,10 +9,12 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 
 #include "core/app_context.h"
 #include "core/provider.h"
 #include "net/router.h"
+#include "util/metrics.h"
 
 namespace w5::platform {
 
@@ -58,6 +60,9 @@ class Gateway {
   net::HttpResponse route_developers(const net::HttpRequest& request);
   net::HttpResponse route_dev_stats(const net::HttpRequest& request);
   net::HttpResponse route_audit(const net::HttpRequest& request);
+  net::HttpResponse route_metrics(const net::HttpRequest& request);
+  net::HttpResponse route_trace(const net::HttpRequest& request,
+                                const net::RouteParams& params);
   net::HttpResponse route_invite(const net::HttpRequest& request);
   net::HttpResponse route_invitations(const net::HttpRequest& request);
   net::HttpResponse route_accept(const net::HttpRequest& request);
@@ -79,8 +84,30 @@ class Gateway {
                                     const std::string& viewer,
                                     const std::string& module_id);
 
+  // Copies component-local counters (store shards, flow cache, thread
+  // pool, audit, traces) into registry gauges; called per /metrics scrape.
+  void refresh_runtime_gauges();
+
   Provider& provider_;
   net::Router router_;
+
+  // Metrics, resolved once here so the request path updates them with a
+  // single relaxed atomic each — no registry lookups while serving.
+  util::Counter* requests_total_ = nullptr;
+  util::Counter* responses_2xx_ = nullptr;
+  util::Counter* responses_3xx_ = nullptr;
+  util::Counter* responses_4xx_ = nullptr;
+  util::Counter* responses_5xx_ = nullptr;
+  util::Counter* declassify_allow_ = nullptr;
+  util::Counter* declassify_deny_ = nullptr;
+  util::Counter* exports_allowed_ = nullptr;
+  util::Counter* exports_blocked_ = nullptr;
+  util::Histogram* request_latency_ = nullptr;
+  // Per-route hit counters in registration order, indexed by the route
+  // index the router reports from dispatch. Built in the constructor and
+  // read-only afterwards: a lookup is one bounds check and one array
+  // load — no hashing, no allocation, no lock.
+  std::vector<util::Counter*> route_hits_;
 };
 
 }  // namespace w5::platform

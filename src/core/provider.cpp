@@ -78,6 +78,7 @@ Provider::~Provider() {
 os::ThreadPool& Provider::worker_pool() {
   std::call_once(pool_once_, [this] {
     pool_ = std::make_unique<os::ThreadPool>(config_.worker_threads);
+    pool_ptr_.store(pool_.get(), std::memory_order_release);
   });
   return *pool_;
 }

@@ -6,6 +6,7 @@
 // bench, example, or federation peer does goes through this type.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,6 +17,7 @@
 #include "core/module_registry.h"
 #include "core/policy.h"
 #include "core/search_service.h"
+#include "core/trace.h"
 #include "core/user.h"
 #include "net/http.h"
 #include "net/http_parser.h"
@@ -25,6 +27,7 @@
 #include "os/thread_pool.h"
 #include "store/labeled_store.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 
 namespace w5::platform {
 
@@ -79,6 +82,8 @@ class Provider {
   AuditLog& audit() noexcept { return audit_; }
   SearchService& search_service() noexcept { return search_; }
   Gateway& gateway() noexcept { return *gateway_; }
+  util::MetricsRegistry& metrics() noexcept { return metrics_; }
+  TraceBuffer& traces() noexcept { return traces_; }
 
   // The simulated outside world; tests replace it to observe exfiltration
   // attempts.
@@ -106,6 +111,11 @@ class Provider {
   // The pool behind serve(), created lazily (tests that never serve()
   // spawn no threads).
   os::ThreadPool& worker_pool();
+  // Non-spawning view for /metrics: null until worker_pool() has run, so
+  // a scrape never starts threads as a side effect.
+  os::ThreadPool* pool_if_started() noexcept {
+    return pool_ptr_.load(std::memory_order_acquire);
+  }
 
   // Builds + dispatches a request in one call; `session` becomes the
   // session cookie when non-empty.
@@ -140,10 +150,13 @@ class Provider {
   ModuleRegistry modules_;
   AuditLog audit_;
   SearchService search_;
+  util::MetricsRegistry metrics_;
+  TraceBuffer traces_;
   ExternalFetcher external_fetcher_;
-  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<Gateway> gateway_;  // after metrics_: caches Counter*s
   std::once_flag pool_once_;
   std::unique_ptr<os::ThreadPool> pool_;  // lazy; see worker_pool()
+  std::atomic<os::ThreadPool*> pool_ptr_{nullptr};
 };
 
 }  // namespace w5::platform

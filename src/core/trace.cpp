@@ -1,0 +1,261 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "util/log.h"
+
+namespace w5::platform {
+
+namespace {
+
+thread_local RequestContext* t_current = nullptr;
+
+// 12 hex chars: short enough that libstdc++/libc++ SSO holds every copy
+// of the id (context, thread-local, response header, audit stamp) without
+// touching the heap.
+std::string to_hex12(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(12, '0');
+  for (int i = 11; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+// TSC → micros calibration, measured once at first use (~1ms spin).
+// epoch_micros is on the steady-clock epoch — the same one WallClock
+// reports — so trace timestamps line up with WallClock audit times.
+struct TscCalibration {
+  std::uint64_t epoch_cycles = 0;
+  util::Micros epoch_micros = 0;
+  double micros_per_cycle = 0.0;
+};
+
+const TscCalibration& tsc_calibration() {
+  static const TscCalibration cal = [] {
+    using namespace std::chrono;
+    TscCalibration c;
+    const auto t0 = steady_clock::now();
+    c.epoch_cycles = util::cycle_count();
+    while (steady_clock::now() - t0 < microseconds(1000)) {
+    }
+    const std::uint64_t end_cycles = util::cycle_count();
+    const auto t1 = steady_clock::now();
+    c.epoch_micros =
+        duration_cast<microseconds>(t0.time_since_epoch()).count();
+    if (end_cycles > c.epoch_cycles) {
+      c.micros_per_cycle =
+          static_cast<double>(duration_cast<nanoseconds>(t1 - t0).count()) /
+          1000.0 / static_cast<double>(end_cycles - c.epoch_cycles);
+    }
+    return c;
+  }();
+  return cal;
+}
+
+util::Micros cycles_to_micros(std::uint64_t cycles,
+                              const TscCalibration& cal) {
+  return cal.epoch_micros +
+         static_cast<util::Micros>(
+             static_cast<double>(cycles - cal.epoch_cycles) *
+             cal.micros_per_cycle);
+}
+
+}  // namespace
+
+std::string next_trace_id() {
+  // Per-process salt so ids differ across restarts; the counter keeps
+  // them unique within the process, the SplitMix64 finalizer keeps them
+  // non-enumerable.
+  static const std::uint64_t salt = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t x =
+      salt + 0x9e3779b97f4a7c15ULL *
+                 (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return to_hex12(x >> 16);  // top 48 bits of the mixed value
+}
+
+bool valid_trace_id(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+util::Json Trace::to_json() const {
+  util::Json out;
+  out["id"] = id;
+  out["route"] = std::string(route);
+  out["status"] = status;
+  out["started_micros"] = started;
+  out["duration_micros"] = duration;
+  util::Json items = util::Json::array();
+  for (const TraceSpan& span : spans) {
+    util::Json entry;
+    entry["name"] = std::string(span.name);
+    entry["start_micros"] = span.start;
+    entry["duration_micros"] = span.duration;
+    if (!span.note.empty()) entry["note"] = span.note;
+    items.push_back(std::move(entry));
+  }
+  out["spans"] = std::move(items);
+  return out;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slot_mutexes_(capacity_),
+      ring_(capacity_) {}
+
+void TraceBuffer::record(Trace trace) {
+  if (trace.id.empty()) return;
+  // The fetch_add both counts the trace and claims its slot, so eviction
+  // stays strictly FIFO and concurrent writers only contend when they
+  // land on the same slot (capacity_ requests apart).
+  const std::uint64_t seq =
+      recorded_total_.fetch_add(1, std::memory_order_relaxed);
+  const auto slot = static_cast<std::size_t>(seq % capacity_);
+  {
+    const std::lock_guard lock(slot_mutexes_[slot]);
+    // Swap, don't assign: the evicted trace's strings and span vector
+    // are then freed below, after the lock is released.
+    std::swap(ring_[slot], trace);
+  }
+}
+
+std::optional<Trace> TraceBuffer::find(const std::string& id) const {
+  if (id.empty()) return std::nullopt;  // never match an unused slot
+  const std::uint64_t total =
+      recorded_total_.load(std::memory_order_relaxed);
+  const auto held =
+      static_cast<std::size_t>(std::min<std::uint64_t>(total, capacity_));
+  // Newest-first scan, one slot lock at a time.
+  for (std::size_t i = 0; i < held; ++i) {
+    const auto slot = static_cast<std::size_t>((total - 1 - i) % capacity_);
+    const std::lock_guard lock(slot_mutexes_[slot]);
+    if (ring_[slot].id == id) return ring_[slot];
+  }
+  return std::nullopt;
+}
+
+std::size_t TraceBuffer::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(recorded(), capacity_));
+}
+
+std::uint64_t TraceBuffer::recorded() const {
+  return recorded_total_.load(std::memory_order_relaxed);
+}
+
+RequestContext::RequestContext(std::string_view inherited_id) {
+#ifndef W5_NO_TELEMETRY
+  // Per-thread sampling counter: same 1-in-N rate overall, no shared
+  // cache line on the request path.
+  thread_local std::uint64_t sample_counter = 0;
+  if (valid_trace_id(inherited_id)) {
+    trace_.id = std::string(inherited_id);
+    spans_enabled_ = true;  // the caller asked for this trace by id
+  } else {
+    trace_.id = next_trace_id();
+    spans_enabled_ = sample_counter++ % kSpanSampleEvery == 0;
+  }
+  start_cycles_ = util::cycle_count();
+  if (spans_enabled_)
+    trace_.spans.reserve(8);  // one allocation up front, not one per span
+  previous_ = t_current;
+  t_current = this;
+  installed_ = true;
+  util::set_thread_trace_ref(&trace_.id);  // for the structured log sink
+#else
+  (void)inherited_id;
+#endif
+}
+
+RequestContext::~RequestContext() {
+  if (installed_ && t_current == this) {
+    t_current = previous_;
+    util::set_thread_trace_ref(previous_ != nullptr ? &previous_->trace_.id
+                                                    : nullptr);
+  }
+}
+
+void RequestContext::set_route(std::string_view stable_route) {
+  if (!installed_) return;
+  trace_.route = stable_route;
+}
+
+void RequestContext::set_status(int status) {
+  if (!installed_) return;
+  trace_.status = status;
+}
+
+void RequestContext::add_span(std::string_view name,
+                              std::uint64_t start_cycles,
+                              std::uint64_t duration_cycles,
+                              std::string note) {
+  if (!installed_ || !spans_enabled_) return;
+  // Bounded: a pathological request (deep module composition, huge
+  // query fan-out) must not grow a trace without limit.
+  if (trace_.spans.size() >= kMaxSpans) return;
+  // start/duration hold raw cycle values until finish() rescales them.
+  trace_.spans.push_back(TraceSpan{name,
+                                   static_cast<util::Micros>(start_cycles),
+                                   static_cast<util::Micros>(duration_cycles),
+                                   std::move(note)});
+}
+
+Trace RequestContext::finish() {
+  if (installed_) {
+    const std::uint64_t end_cycles = util::cycle_count();
+    const TscCalibration& cal = tsc_calibration();
+    trace_.started = cycles_to_micros(start_cycles_, cal);
+    trace_.duration =
+        static_cast<util::Micros>(
+            static_cast<double>(end_cycles - start_cycles_) *
+            cal.micros_per_cycle);
+    for (TraceSpan& span : trace_.spans) {
+      span.start = cycles_to_micros(
+          static_cast<std::uint64_t>(span.start), cal);
+      span.duration = static_cast<util::Micros>(
+          static_cast<double>(span.duration) * cal.micros_per_cycle);
+    }
+  }
+  return std::move(trace_);
+}
+
+RequestContext* RequestContext::current() noexcept { return t_current; }
+
+std::string RequestContext::current_id() {
+  return t_current != nullptr ? t_current->id() : std::string{};
+}
+
+ScopedSpan::ScopedSpan(std::string_view name)
+    : context_(RequestContext::current()), name_(name) {
+  if (context_ != nullptr && !context_->spans_enabled()) context_ = nullptr;
+  if (context_ != nullptr) start_cycles_ = util::cycle_count();
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, const std::string& note)
+    : ScopedSpan(name) {
+  if (context_ != nullptr) note_ = note;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (context_ == nullptr) return;
+  context_->add_span(name_, start_cycles_,
+                     util::cycle_count() - start_cycles_, std::move(note_));
+}
+
+}  // namespace w5::platform

@@ -1,0 +1,176 @@
+// Request tracing: per-request trace ids, named spans, and a bounded ring
+// of recent traces (DESIGN.md §11).
+//
+// The gateway opens a RequestContext per request; it installs itself as
+// the thread's current context so any code on the request path can record
+// a span without plumbing a handle through every signature (the same
+// trick lets AuditLog stamp events with the live trace id, so audit
+// entries and traces cross-reference). The id is echoed to the client in
+// an X-W5-Trace response header and resolvable at GET /trace/:id.
+//
+// §3.5 inheritance: spans carry *names* (route patterns, "flow-check",
+// "store.get"), tag/module names, and codes — never request or record
+// bytes. A client-supplied X-W5-Trace value is accepted only when it
+// looks like a trace id (short, [0-9a-zA-Z_-]), so the header cannot be
+// used to smuggle arbitrary bytes into telemetry output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace w5::platform {
+
+struct TraceSpan {
+  // Span names come from the fixed taxonomy (DESIGN.md §11) and are
+  // always string literals, so a view is safe and keeps span recording
+  // free of a string construction.
+  std::string_view name;
+  util::Micros start = 0;     // absolute steady-clock micros
+  util::Micros duration = 0;
+  std::string note;           // codes / module ids / tag names only
+};
+
+struct Trace {
+  std::string id;
+  // Matched route *pattern*, not the raw target. A view, not a copy: the
+  // gateway points it at the router's stored pattern text (stable for the
+  // provider's lifetime), so recording a trace never allocates for the
+  // route. Anything else passed to set_route must outlive the buffer.
+  std::string_view route;
+  int status = 0;
+  util::Micros started = 0;
+  util::Micros duration = 0;
+  std::vector<TraceSpan> spans;
+
+  util::Json to_json() const;
+};
+
+// Bounded ring of completed traces; the newest kDefaultCapacity requests
+// are resolvable, older ones age out. One per Provider.
+//
+// Recording is on every request's tail, so there is no global lock:
+// a writer claims its slot with one atomic fetch_add (FIFO eviction by
+// construction) and takes only that slot's mutex for the swap. Writers
+// on different slots never contend; /trace/:id lookups walk the slots
+// one lock at a time.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void record(Trace trace);
+  std::optional<Trace> find(const std::string& id) const;
+
+  std::size_t size() const;        // traces currently held
+  std::uint64_t recorded() const;  // lifetime total
+
+ private:
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> recorded_total_{0};
+  mutable std::vector<std::mutex> slot_mutexes_;  // one per ring slot
+  std::vector<Trace> ring_;                       // pre-sized; empty id = unused
+};
+
+// The per-request context. Construction installs it as the thread-local
+// current context (saving any enclosing one — nested dispatch, e.g. a
+// federation pull hitting a second provider on the same thread, traces
+// independently); destruction restores. With W5_NO_TELEMETRY the
+// constructor is a no-op: no id, no header, no spans.
+class RequestContext {
+ public:
+  static constexpr std::size_t kMaxSpans = 64;
+  // Head sampling (the Dapper recipe): every request gets an id, the
+  // header echo, the audit stamp, and a shallow ring entry (route,
+  // status, duration) — detailed spans are recorded only for 1-in-N
+  // requests, or always when the caller forwarded a valid X-W5-Trace id
+  // (explicitly asking for this request to be traced).
+  static constexpr std::uint64_t kSpanSampleEvery = 16;
+
+  // inherited_id: a validated upstream trace id continues that trace
+  // (federation peers forward X-W5-Trace); empty or invalid mints fresh.
+  //
+  // Trace timing is TSC-based (util::cycle_count + a once-calibrated
+  // frequency), not Clock-based: the whole context costs two TSC reads
+  // instead of virtual clock calls, and timestamps stay on the steady
+  // epoch WallClock uses. Under SimClock providers, traces show real
+  // elapsed time while audit shows sim time — traces are diagnostics,
+  // so wall time is the more useful of the two.
+  explicit RequestContext(std::string_view inherited_id = {});
+  ~RequestContext();
+
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  const std::string& id() const noexcept { return trace_.id; }
+  bool spans_enabled() const noexcept { return spans_enabled_; }
+
+  // `stable_route` must outlive the TraceBuffer (the gateway passes the
+  // router's stored pattern text); the trace keeps a view, not a copy.
+  void set_route(std::string_view stable_route);
+  void set_status(int status);
+  // Span timestamps are raw util::cycle_count() values; finish() rescales
+  // them to absolute micros using the request's two bracketing clock
+  // reads, so the per-span cost is two TSC reads instead of two clock
+  // syscalls.
+  void add_span(std::string_view name, std::uint64_t start_cycles,
+                std::uint64_t duration_cycles, std::string note);
+
+  // Stamps the total duration and surrenders the trace for the buffer.
+  Trace finish();
+
+  static RequestContext* current() noexcept;
+  // Trace id of the thread's active request, "" when none — safe to call
+  // from anywhere on the request path (AuditLog uses this).
+  static std::string current_id();
+
+ private:
+  Trace trace_;
+  std::uint64_t start_cycles_ = 0;
+  RequestContext* previous_ = nullptr;
+  bool installed_ = false;
+  bool spans_enabled_ = false;
+};
+
+// RAII span against the thread's current RequestContext; no-op when there
+// is none (direct component calls from tests, or telemetry compiled out).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  // The note is copied only when this request is span-sampled, so the
+  // unsampled hot path never constructs a string for it.
+  ScopedSpan(std::string_view name, const std::string& note);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_note(std::string note) { note_ = std::move(note); }
+
+ private:
+  RequestContext* context_;
+  std::string_view name_;  // always a string literal from the taxonomy
+  std::string note_;
+  std::uint64_t start_cycles_ = 0;
+};
+
+// Fresh process-unique trace id: 12 hex chars (48 mixed bits — short
+// enough for SSO so id copies never allocate, mixed rather than
+// sequential so ids are not enumerable through GET /trace/:id).
+std::string next_trace_id();
+
+// True when `id` is shaped like a trace id ([0-9a-zA-Z_-]{1,64}).
+bool valid_trace_id(std::string_view id);
+
+}  // namespace w5::platform

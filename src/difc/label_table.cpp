@@ -96,6 +96,7 @@ void FlowCache::insert(LabelId src, LabelId dst, bool verdict) {
 void FlowCache::clear() {
   std::lock_guard lock(mutex_);
   entries_.clear();
+  ++invalidations_;
 }
 
 std::size_t FlowCache::size() const {
@@ -111,6 +112,11 @@ std::uint64_t FlowCache::hits() const {
 std::uint64_t FlowCache::misses() const {
   std::lock_guard lock(mutex_);
   return misses_;
+}
+
+std::uint64_t FlowCache::invalidations() const {
+  std::lock_guard lock(mutex_);
+  return invalidations_;
 }
 
 }  // namespace w5::difc

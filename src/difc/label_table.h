@@ -81,6 +81,9 @@ class FlowCache {
   // Stats for benchmarks/tests (monotonic, approximate under races).
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  // How many times the memo was flushed by an epoch bump or table reset
+  // (DESIGN.md §11) — a spike means something is churning the tag registry.
+  std::uint64_t invalidations() const;
 
  private:
   FlowCache() = default;
@@ -96,6 +99,7 @@ class FlowCache {
   std::uint64_t next_order_ = 0;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace w5::difc

@@ -32,7 +32,8 @@ std::vector<Router::Segment> Router::compile(const std::string& pattern) {
 
 void Router::add(Method method, const std::string& pattern,
                  RouteHandler handler) {
-  routes_.push_back(Route{method, compile(pattern), std::move(handler)});
+  routes_.push_back(Route{method, pattern, compile(pattern),
+                          std::move(handler)});
 }
 
 bool Router::try_match(const Route& route,
@@ -66,17 +67,33 @@ bool Router::try_match(const Route& route,
 
 std::optional<Router::Match> Router::match(
     Method method, const std::vector<std::string>& segments) const {
-  for (const Route& route : routes_) {
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    const Route& route = routes_[i];
     if (route.method != method) continue;
     RouteParams params;
     if (try_match(route, segments, params))
-      return Match{&route.handler, std::move(params)};
+      return Match{&route.handler, std::move(params), &route.text, i};
   }
   return std::nullopt;
 }
 
-HttpResponse Router::dispatch(const HttpRequest& request) const {
+HttpResponse Router::dispatch(const HttpRequest& request,
+                              std::string* matched_pattern) const {
+  const std::string* pattern = nullptr;
+  HttpResponse response = dispatch(request, &pattern);
+  if (matched_pattern != nullptr)
+    *matched_pattern = pattern != nullptr ? *pattern : std::string{};
+  return response;
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request,
+                              const std::string** matched_pattern,
+                              std::size_t* route_index) const {
+  if (matched_pattern != nullptr) *matched_pattern = nullptr;
+  if (route_index != nullptr) *route_index = kNoRoute;
   if (auto found = match(request.method, request.parsed.segments)) {
+    if (matched_pattern != nullptr) *matched_pattern = found->pattern;
+    if (route_index != nullptr) *route_index = found->route_index;
     return (*found->handler)(request, found->params);
   }
   // Distinguish 405 from 404: does any route match the path under a

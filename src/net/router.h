@@ -30,17 +30,43 @@ class Router {
   struct Match {
     const RouteHandler* handler = nullptr;
     RouteParams params;
+    // The matched route's pattern text (e.g. "/data/:collection/:id") —
+    // what telemetry records instead of the raw target, so captured
+    // values never reach metric names or traces. Points into the router;
+    // valid while no routes are added.
+    const std::string* pattern = nullptr;
+    // Registration-order index of the matched route, so callers can key
+    // per-route state (hit counters) with one array lookup.
+    std::size_t route_index = kNoRoute;
   };
+
+  static constexpr std::size_t kNoRoute = static_cast<std::size_t>(-1);
 
   // Returns the first route whose pattern matches; registration order is
   // priority order.
   std::optional<Match> match(Method method,
                              const std::vector<std::string>& segments) const;
 
-  // Full dispatch with 404/405 defaults.
-  HttpResponse dispatch(const HttpRequest& request) const;
+  // Full dispatch with 404/405 defaults. When matched_pattern is non-null
+  // it receives the matched route's pattern text ("" on 404/405).
+  HttpResponse dispatch(const HttpRequest& request,
+                        std::string* matched_pattern = nullptr) const;
+
+  // Allocation-free variant for the telemetry hot path: *matched_pattern
+  // receives a pointer to the matched route's stored pattern (nullptr on
+  // 404/405) — stable while no routes are added — and *route_index the
+  // matched route's registration index (kNoRoute on 404/405).
+  HttpResponse dispatch(const HttpRequest& request,
+                        const std::string** matched_pattern,
+                        std::size_t* route_index = nullptr) const;
 
   std::size_t route_count() const noexcept { return routes_.size(); }
+
+  // Pattern text of the i-th registered route (registration order). The
+  // returned pointer is stable while no routes are added.
+  const std::string* route_pattern(std::size_t i) const {
+    return &routes_[i].text;
+  }
 
  private:
   struct Segment {
@@ -49,6 +75,7 @@ class Router {
   };
   struct Route {
     Method method;
+    std::string text;  // original pattern, reported through Match
     std::vector<Segment> pattern;
     RouteHandler handler;
   };

@@ -19,6 +19,8 @@ void ThreadPool::submit(Job job) {
     std::lock_guard lock(mutex_);
     if (stopping_) return;
     queue_.push_back(std::move(job));
+    ++submitted_;
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   }
   work_ready_.notify_one();
 }
@@ -38,6 +40,7 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard lock(mutex_);
       --active_;
+      ++completed_;
       if (active_ == 0 && queue_.empty()) all_idle_.notify_all();
     }
   }
@@ -64,6 +67,26 @@ void ThreadPool::shutdown() {
 std::size_t ThreadPool::pending() const {
   std::lock_guard lock(mutex_);
   return queue_.size();
+}
+
+std::size_t ThreadPool::active() const {
+  std::lock_guard lock(mutex_);
+  return active_;
+}
+
+std::uint64_t ThreadPool::jobs_submitted() const {
+  std::lock_guard lock(mutex_);
+  return submitted_;
+}
+
+std::uint64_t ThreadPool::jobs_completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+std::size_t ThreadPool::max_queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return max_queue_depth_;
 }
 
 }  // namespace w5::os

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -44,6 +45,14 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
   std::size_t pending() const;
 
+  // Observability (DESIGN.md §11): workers mid-job right now, lifetime
+  // accepted/finished job counts, and the deepest the queue has ever run
+  // — the admission-control signal /metrics exposes.
+  std::size_t active() const;
+  std::uint64_t jobs_submitted() const;
+  std::uint64_t jobs_completed() const;
+  std::size_t max_queue_depth() const;
+
  private:
   void worker_loop();
 
@@ -55,6 +64,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t max_queue_depth_ = 0;
 };
 
 }  // namespace w5::os

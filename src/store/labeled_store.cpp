@@ -54,6 +54,8 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
 
   const Key key{record.collection, record.id};
   Shard& shard = shard_for(key);
+  util::telemetry_count(puts_);
+  util::telemetry_count(shard.ops);
   std::unique_lock lock(shard.mutex);
   const auto it = shard.records.find(key);
   if (it == shard.records.end()) {
@@ -121,6 +123,8 @@ util::Result<Record> LabeledStore::get(os::Pid pid,
     // and flow check run against the copy so we never hold the shard lock
     // across a label change.
     const Shard& shard = shard_for(key);
+    util::telemetry_count(gets_);
+    util::telemetry_count(shard.ops);
     std::shared_lock lock(shard.mutex);
     const auto it = shard.records.find(key);
     if (it == shard.records.end()) return not_found(collection, id);
@@ -155,6 +159,8 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
   if (!state.ok()) return state.error();
   const Key key{collection, id};
   Shard& shard = shard_for(key);
+  util::telemetry_count(removes_);
+  util::telemetry_count(shard.ops);
   std::unique_lock lock(shard.mutex);
   const auto it = shard.records.find(key);
   if (it == shard.records.end())
@@ -191,8 +197,10 @@ util::Result<std::vector<Record>> LabeledStore::query(
   // Phase 1: collect visible, matching candidates shard by shard (one
   // lock at a time), then merge-sort by key so pagination order is
   // deterministic regardless of sharding.
+  util::telemetry_count(scans_);
   std::vector<Record> candidates;
   for (const Shard& shard : shards_) {
+    util::telemetry_count(shard.ops);
     std::shared_lock lock(shard.mutex);
     std::size_t from_this_shard = 0;
     const auto consider = [&](const Record& record) -> bool {
@@ -253,8 +261,10 @@ util::Result<std::size_t> LabeledStore::count(os::Pid pid,
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   const difc::Label clearance = state.value().secrecy_clearance();
+  util::telemetry_count(scans_);
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
+    util::telemetry_count(shard.ops);
     std::shared_lock lock(shard.mutex);
     const auto begin = shard.records.lower_bound(Key{collection, ""});
     for (auto it = begin;
@@ -275,8 +285,10 @@ util::Result<std::vector<std::string>> LabeledStore::list_ids(
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   const difc::Label clearance = state.value().secrecy_clearance();
+  util::telemetry_count(scans_);
   std::vector<std::string> out;
   for (const Shard& shard : shards_) {
+    util::telemetry_count(shard.ops);
     std::shared_lock lock(shard.mutex);
     const auto begin = shard.records.lower_bound(Key{collection, ""});
     for (auto it = begin;
@@ -285,6 +297,21 @@ util::Result<std::vector<std::string>> LabeledStore::list_ids(
     }
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+LabeledStore::OpCounts LabeledStore::op_counts() const {
+  return OpCounts{gets_.load(std::memory_order_relaxed),
+                  puts_.load(std::memory_order_relaxed),
+                  removes_.load(std::memory_order_relaxed),
+                  scans_.load(std::memory_order_relaxed)};
+}
+
+std::array<std::uint64_t, LabeledStore::kShardCount>
+LabeledStore::shard_op_counts() const {
+  std::array<std::uint64_t, kShardCount> out{};
+  for (std::size_t i = 0; i < kShardCount; ++i)
+    out[i] = shards_[i].ops.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <optional>
@@ -20,6 +21,7 @@
 #include "os/kernel.h"
 #include "store/record.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 #include "util/result.h"
 
 namespace w5::store {
@@ -45,6 +47,10 @@ struct QueryOptions {
 // shard lock is held; the kernel never calls into the store).
 class LabeledStore {
  public:
+  // 16 stripes: comfortably above the worker-pool default (8) so two
+  // random keys rarely contend, small enough that full scans stay cheap.
+  static constexpr std::size_t kShardCount = 16;
+
   LabeledStore(os::Kernel& kernel, const util::Clock& clock)
       : kernel_(kernel), clock_(clock) {}
 
@@ -83,6 +89,21 @@ class LabeledStore {
 
   std::size_t total_records() const;  // provider metric (trusted callers)
 
+  // ---- Observability (DESIGN.md §11) ---------------------------------------
+  // The store keeps its own relaxed atomics (it cannot depend on the
+  // platform's MetricsRegistry); /metrics snapshots them at scrape time.
+  // Counts say how often each shard/op was exercised — never what was in
+  // a record.
+  struct OpCounts {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t scans = 0;  // query/count/list_ids calls
+  };
+  OpCounts op_counts() const;
+  // Per-shard operation totals (point ops hit one shard; scans touch all).
+  std::array<std::uint64_t, kShardCount> shard_op_counts() const;
+
   // TRUSTED front-end only: every record a user owns, across all
   // collections (used by GET /export and account deletion). Not exposed
   // through AppContext — apps cannot enumerate collections.
@@ -94,16 +115,15 @@ class LabeledStore {
  private:
   using Key = std::pair<std::string, std::string>;  // (collection, id)
 
-  // 16 stripes: comfortably above the worker-pool default (8) so two
-  // random keys rarely contend, small enough that full scans stay cheap.
-  static constexpr std::size_t kShardCount = 16;
-
   struct Shard {
     mutable std::shared_mutex mutex;
     // map keeps iteration deterministic for snapshots and queries.
     std::map<Key, Record> records;
     // Secondary index: owner -> keys, maintained on put/remove.
     std::map<std::string, std::vector<Key>> by_owner;
+    // Telemetry: operations that touched this shard (relaxed; approximate
+    // under races is fine for a load-balance signal).
+    mutable std::atomic<std::uint64_t> ops{0};
   };
 
   static std::size_t shard_index(const Key& key);
@@ -116,6 +136,11 @@ class LabeledStore {
   static bool visible(const Record& record, const difc::Label& clearance);
 
   std::array<Shard, kShardCount> shards_;
+
+  mutable std::atomic<std::uint64_t> gets_{0};
+  mutable std::atomic<std::uint64_t> puts_{0};
+  mutable std::atomic<std::uint64_t> removes_{0};
+  mutable std::atomic<std::uint64_t> scans_{0};
 
   os::Kernel& kernel_;
   const util::Clock& clock_;

@@ -3,6 +3,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "util/json.h"
+
 namespace w5::util {
 
 namespace {
@@ -51,6 +53,33 @@ void log(LogLevel level, std::string_view message) {
   const std::lock_guard lock(g_mutex);
   if (level < g_threshold) return;
   if (sink_storage()) sink_storage()(level, message);
+}
+
+LogSink make_json_sink(std::ostream& out) {
+  return [&out](LogLevel level, std::string_view message) {
+    // Callers already hold g_mutex (log() serializes sink invocations),
+    // so lines never interleave.
+    // json_escape emits the surrounding quotes itself.
+    std::string line = "{\"level\":";
+    json_escape(to_string(level), line);
+    line += ",\"trace\":";
+    json_escape(thread_trace_id(), line);
+    line += ",\"message\":";
+    json_escape(message, line);
+    line += "}\n";
+    out << line;
+  };
+}
+
+namespace {
+thread_local const std::string* t_trace_ref = nullptr;
+}  // namespace
+
+void set_thread_trace_ref(const std::string* id) { t_trace_ref = id; }
+
+const std::string& thread_trace_id() {
+  static const std::string empty;
+  return t_trace_ref != nullptr ? *t_trace_ref : empty;
 }
 
 }  // namespace w5::util

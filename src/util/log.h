@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -21,6 +22,21 @@ using LogSink = std::function<void(LogLevel, std::string_view message)>;
 
 // Replaces the process-wide sink; returns the previous one.
 LogSink set_log_sink(LogSink sink);
+
+// A sink that emits one structured JSON object per line to `out`
+// ({"level":...,"trace":...,"message":...}), suitable for log shippers.
+// `out` must outlive the sink. The trace field is the current request's
+// trace id when the logging thread is inside a traced request, else "".
+LogSink make_json_sink(std::ostream& out);
+
+// Thread-local trace stamp for the JSON sink. core/trace maintains it
+// while a RequestContext is installed on the thread; util owns the slot
+// so the base library never depends on core. The slot holds a *pointer*
+// into the live RequestContext's id (install/restore is one store, no
+// string copy on the request path); the pointee must stay valid until
+// the ref is cleared or replaced. Pass nullptr to clear.
+void set_thread_trace_ref(const std::string* id);
+const std::string& thread_trace_id();
 
 // Messages below this level are dropped before reaching the sink.
 void set_log_threshold(LogLevel level);

@@ -1,0 +1,193 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+namespace w5::util {
+
+namespace {
+
+// Family name for TYPE lines: the metric name with any {labels} stripped.
+std::string_view family_of(const std::string& name) {
+  const auto brace = name.find('{');
+  return std::string_view(name).substr(
+      0, brace == std::string::npos ? name.size() : brace);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+std::vector<std::int64_t> Histogram::default_latency_bounds() {
+  return {25,    50,     100,    250,    500,     1000,    2500,   5000,
+          10000, 25000,  50000,  100000, 250000,  500000,  1000000};
+}
+
+void Histogram::observe(std::int64_t value) noexcept {
+#ifndef W5_NO_TELEMETRY
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+#else
+  (void)value;
+#endif
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::percentile(double p) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based; p=0 maps to the first sample.
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(total));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The +Inf bucket has no finite upper edge; report the last finite
+    // bound (the histogram cannot resolve beyond it).
+    if (i >= bounds_.size())
+      return bounds_.empty() ? 0 : static_cast<double>(bounds_.back());
+    const double lower = i == 0 ? 0 : static_cast<double>(bounds_[i - 1]);
+    const double upper = static_cast<double>(bounds_[i]);
+    const double fraction =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+    return lower + fraction * (upper - lower);
+  }
+  return bounds_.empty() ? 0 : static_cast<double>(bounds_.back());
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::int64_t> bounds) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::default_latency_bounds()
+                       : std::move(bounds));
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  const auto emit_type = [&out](std::string_view family,
+                                std::string_view type,
+                                std::string_view& last_family) {
+    if (family == last_family) return;
+    out += "# TYPE ";
+    out += family;
+    out += ' ';
+    out += type;
+    out += '\n';
+    last_family = family;
+  };
+
+  std::string_view last_family;
+  for (const auto& [name, counter] : counters_) {
+    emit_type(family_of(name), "counter", last_family);
+    out += name;
+    out += ' ';
+    out += std::to_string(counter->value());
+    out += '\n';
+  }
+  last_family = {};
+  for (const auto& [name, gauge] : gauges_) {
+    emit_type(family_of(name), "gauge", last_family);
+    out += name;
+    out += ' ';
+    out += std::to_string(gauge->value());
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += "# TYPE ";
+    out += name;
+    out += " histogram\n";
+    const auto counts = histogram->bucket_counts();
+    const auto& bounds = histogram->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out += name;
+      out += "_bucket{le=\"";
+      out += i < bounds.size() ? std::to_string(bounds[i]) : "+Inf";
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_sum ";
+    out += std::to_string(histogram->sum());
+    out += '\n';
+    out += name;
+    out += "_count ";
+    out += std::to_string(histogram->count());
+    out += '\n';
+  }
+  return out;
+}
+
+Json MetricsRegistry::to_json() const {
+  const std::lock_guard lock(mutex_);
+  Json counters{JsonObject{}};
+  for (const auto& [name, counter] : counters_)
+    counters[name] = counter->value();
+  Json gauges{JsonObject{}};
+  for (const auto& [name, gauge] : gauges_) gauges[name] = gauge->value();
+  Json histograms{JsonObject{}};
+  for (const auto& [name, histogram] : histograms_) {
+    Json entry;
+    entry["count"] = histogram->count();
+    entry["sum"] = histogram->sum();
+    entry["p50"] = histogram->percentile(50);
+    entry["p90"] = histogram->percentile(90);
+    entry["p99"] = histogram->percentile(99);
+    Json buckets = Json::array();
+    const auto counts = histogram->bucket_counts();
+    const auto& bounds = histogram->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      Json bucket;
+      bucket["le"] = i < bounds.size() ? Json(bounds[i]) : Json("+Inf");
+      bucket["count"] = counts[i];
+      buckets.push_back(std::move(bucket));
+    }
+    entry["buckets"] = std::move(buckets);
+    histograms[name] = std::move(entry);
+  }
+  Json out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+}  // namespace w5::util
