@@ -149,6 +149,59 @@ EOF
   echo "wrote $out"
   ;;
 
+robustness)
+  # E14: tail latency and liveness under deterministic fault injection.
+  # Gates: p99 at 10% per-op faults stays within a bounded multiple of
+  # the clean p99 (the robustness machinery must degrade, not collapse),
+  # the error rate stays within the injected-fault budget, and no worker
+  # is ever left hung after the pooled chaos run.
+  p99_factor="${W5_P99_FAULT_FACTOR:-50}"
+  error_budget="${W5_ERROR_BUDGET:-0.5}"
+  build_bench "$build_dir" bench_robustness
+  run_bench "$build_dir" bench_robustness "$out"
+  python3 - "$out" "$p99_factor" "$error_budget" <<'EOF'
+import json, sys
+path, p99_factor, error_budget = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+data = json.load(open(path))
+p99 = {}
+failures = []
+for b in data.get("benchmarks", []):
+    name = b.get("name", "")
+    if name.startswith("BM_FaultyPipeline/"):
+        pct = int(name.rsplit("/", 1)[1])
+        p99[pct] = b.get("p99_us", 0.0)
+        rate = b.get("error_rate", 0.0)
+        print(f"{name}: p99 {p99[pct]:.0f}us, error_rate {rate:.3f}")
+        if rate > error_budget:
+            failures.append(
+                f"{name}: error_rate {rate:.3f} > budget {error_budget}")
+    if name.startswith("BM_PooledChaos"):
+        hung = b.get("hung_workers", 0.0)
+        print(f"{name}: hung_workers {hung:.0f}, "
+              f"served {b.get('connections_served', 0):.0f}")
+        if hung != 0:
+            failures.append(f"{name}: {hung:.0f} hung workers (want 0)")
+if 0 in p99 and 10 in p99 and p99[0] > 0:
+    ratio = p99[10] / p99[0]
+    print(f"p99 inflation at 10% faults: {ratio:.1f}x (budget {p99_factor}x)")
+    if ratio > p99_factor:
+        failures.append(
+            f"p99 at 10% faults is {ratio:.1f}x clean (> {p99_factor}x)")
+data["e14_gates"] = {
+    "p99_factor_budget": p99_factor,
+    "error_budget": error_budget,
+    "failures": failures,
+}
+json.dump(data, open(path, "w"), indent=1)
+if failures:
+    print("FAIL: " + "; ".join(failures))
+    sys.exit(1)
+print("E14 robustness gates passed")
+EOF
+  annotate_snapshot "$out"
+  echo "wrote $out"
+  ;;
+
 *)
   # Any other suite: run bench_<suite> as-is and annotate.
   build_bench "$build_dir" "bench_${suite}"

@@ -20,6 +20,12 @@ cmake --build build -j "$jobs"
 echo "== Tier-1: tests =="
 (cd build && ctest --output-on-failure -j "$jobs")
 
+echo "== Chaos: fault-injection + robustness suites =="
+# Redundant with ctest above but cheap, and keeps the deterministic
+# chaos suites an explicitly named stage a CI job can report on.
+./build/tests/w5_tests --gtest_filter='*FaultInjection*:*NetRobustness*' \
+  --gtest_brief=1
+
 if [[ "$leg" != "fast" ]]; then
   scripts/run_sanitizers.sh
 fi

@@ -6,9 +6,10 @@
 #   scripts/run_sanitizers.sh asan       # just the ASan+UBSan leg
 #
 # TSan runs the tests that actually spin threads (the provider hammer,
-# the TCP end-to-end serving path, thread-pool and IPC tests); running
-# the whole suite under TSan adds minutes for zero extra interleavings.
-# ASan+UBSan run everything.
+# the TCP end-to-end serving path, thread-pool and IPC tests, and the
+# fault-injection/robustness chaos suites — injected resets and reaping
+# race real worker threads); running the whole suite under TSan adds
+# minutes for zero extra interleavings. ASan+UBSan run everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,7 +22,7 @@ run_tsan() {
   cmake --build build-tsan -j "$jobs" --target w5_tests
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/w5_tests \
-    --gtest_filter='*Concurrency*:*FlowMemo*:*TcpEndToEnd*:*ThreadPool*:*Ipc*:*Observability*'
+    --gtest_filter='*Concurrency*:*FlowMemo*:*TcpEndToEnd*:*ThreadPool*:*Ipc*:*Observability*:*FaultInjection*:*NetRobustness*'
 }
 
 run_asan() {

@@ -101,6 +101,7 @@ Gateway::Gateway(Provider& provider) : provider_(provider) {
       &metrics.counter("w5_declassifier_decisions_total{verdict=\"deny\"}");
   exports_allowed_ = &metrics.counter("w5_exports_total{verdict=\"allow\"}");
   exports_blocked_ = &metrics.counter("w5_exports_total{verdict=\"blocked\"}");
+  deadline_exceeded_ = &metrics.counter("w5_deadline_exceeded_total");
   request_latency_ = &metrics.histogram("w5_request_latency_micros");
 }
 
@@ -119,6 +120,22 @@ net::HttpResponse Gateway::handle(const net::HttpRequest& request) {
   const auto inherited = request.headers.get("X-W5-Trace");
   RequestContext context(inherited ? std::string_view(*inherited)
                                    : std::string_view{});
+  // Deadline propagation (DESIGN.md §12): stamp the request's wall-clock
+  // budget into the context at admission. A client X-W5-Deadline-Ms can
+  // only tighten the provider default, never extend it.
+  util::Micros budget = provider_.config().request_deadline_micros;
+  if (const auto header = request.headers.get("X-W5-Deadline-Ms")) {
+    if (const auto millis = util::parse_u64(*header);
+        millis && *millis > 0) {
+      const auto requested =
+          static_cast<util::Micros>(*millis) * 1000;
+      budget = budget > 0 ? std::min(budget, requested) : requested;
+    }
+  }
+  if (budget > 0) {
+    static const util::WallClock wall;
+    context.set_deadline(wall.now() + budget);
+  }
   requests_total_->inc();
   const std::string* pattern = nullptr;
   std::size_t route_index = net::Router::kNoRoute;
@@ -366,7 +383,26 @@ void Gateway::refresh_runtime_gauges() {
         .set(as_i64(pool->jobs_submitted()));
     metrics.gauge("w5_pool_jobs_completed")
         .set(as_i64(pool->jobs_completed()));
+    metrics.gauge("w5_pool_jobs_rejected")
+        .set(as_i64(pool->jobs_rejected()));
+    metrics.gauge("w5_pool_queue_limit").set(as_i64(pool->queue_limit()));
   }
+
+  // serve()'s robustness counters (DESIGN.md §12): slow-client reaping,
+  // load shedding, and oversize rejections at the front door.
+  const net::ServerStats& net_stats = provider_.server_stats();
+  metrics.gauge("w5_net_io_timeouts")
+      .set(as_i64(net_stats.timeouts_total.load()));
+  metrics.gauge("w5_net_connections_reaped")
+      .set(as_i64(net_stats.reaped_total.load()));
+  metrics.gauge("w5_net_connections_shed")
+      .set(as_i64(net_stats.shed_total.load()));
+  metrics.gauge("w5_net_requests_handled")
+      .set(as_i64(net_stats.handled_total.load()));
+  metrics.gauge("w5_net_rejected{status=\"413\"}")
+      .set(as_i64(net_stats.rejected_413_total.load()));
+  metrics.gauge("w5_net_rejected{status=\"431\"}")
+      .set(as_i64(net_stats.rejected_431_total.load()));
 
   const difc::FlowCache& cache = difc::FlowCache::instance();
   metrics.gauge("w5_flow_cache_hits").set(as_i64(cache.hits()));
@@ -713,6 +749,13 @@ bool Gateway::module_components_trusted(const Module& module,
 
 net::HttpResponse Gateway::route_app(const net::HttpRequest& request,
                                      const net::RouteParams& params) {
+  // Deadline check before spawning a labeled process: a request that
+  // queued past its budget gets 504 instead of burning a worker on an
+  // answer nobody is waiting for (DESIGN.md §12).
+  if (RequestContext::deadline_expired()) {
+    if (deadline_exceeded_ != nullptr) deadline_exceeded_->inc();
+    return json_error(504, "deadline exceeded");
+  }
   const std::string viewer = viewer_of(request);
   const std::string& developer = params.at("developer");
   const std::string& app = params.at("app");

@@ -102,6 +102,7 @@ class Gateway {
   util::Counter* declassify_deny_ = nullptr;
   util::Counter* exports_allowed_ = nullptr;
   util::Counter* exports_blocked_ = nullptr;
+  util::Counter* deadline_exceeded_ = nullptr;
   util::Histogram* request_latency_ = nullptr;
   // Per-route hit counters in registration order, indexed by the route
   // index the router reports from dispatch. Built in the constructor and

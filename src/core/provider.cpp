@@ -77,7 +77,8 @@ Provider::~Provider() {
 
 os::ThreadPool& Provider::worker_pool() {
   std::call_once(pool_once_, [this] {
-    pool_ = std::make_unique<os::ThreadPool>(config_.worker_threads);
+    pool_ = std::make_unique<os::ThreadPool>(config_.worker_threads,
+                                             config_.max_queued_connections);
     pool_ptr_.store(pool_.get(), std::memory_order_release);
   });
   return *pool_;
@@ -85,10 +86,15 @@ os::ThreadPool& Provider::worker_pool() {
 
 std::size_t Provider::serve(net::TcpListener& listener) {
   os::ThreadPool& pool = worker_pool();
+  // Admission control (DESIGN.md §12): try_submit sheds when the queue is
+  // at max_queued_connections and the accept loop answers 503 +
+  // Retry-After instead of queueing without bound.
   net::PooledHttpServer server(
       [this](const net::HttpRequest& request) { return handle(request); },
-      [&pool](std::function<void()> job) { pool.submit(std::move(job)); },
-      config_.http_limits);
+      [&pool](std::function<void()> job) {
+        return pool.try_submit(std::move(job));
+      },
+      config_.http_limits, config_.http_robustness, &server_stats_);
   const std::size_t dispatched = server.serve(listener);
   pool.drain();  // finish in-flight connections before returning
   return dispatched;

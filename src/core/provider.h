@@ -21,6 +21,7 @@
 #include "core/user.h"
 #include "net/http.h"
 #include "net/http_parser.h"
+#include "net/http_server.h"
 #include "net/tcp.h"
 #include "os/filesystem.h"
 #include "os/kernel.h"
@@ -58,6 +59,21 @@ struct ProviderConfig {
   // Worker threads for serve(); connections queue beyond this (bounded
   // concurrency is the §3.5 admission control, not thread-per-client).
   std::size_t worker_threads = 8;
+  // ---- Robustness (DESIGN.md §12) ----------------------------------------
+  // Slow-client reaping defaults: a client gets 10 s to deliver its
+  // header block, 30 s for the declared body, and 10 s per response
+  // write before the connection is reaped (0 disables a deadline).
+  net::ServerOptions http_robustness{
+      .header_deadline_micros = 10'000'000,
+      .body_deadline_micros = 30'000'000,
+      .write_timeout_micros = 10'000'000,
+  };
+  // Connections allowed to wait for a worker; beyond this the accept
+  // loop sheds with 503 + Retry-After instead of queueing unboundedly.
+  std::size_t max_queued_connections = 256;
+  // Per-request wall-clock budget stamped into RequestContext at the
+  // gateway (tightened by a client X-W5-Deadline-Ms header; 0 disables).
+  util::Micros request_deadline_micros = 30'000'000;
 };
 
 class Provider {
@@ -117,6 +133,13 @@ class Provider {
     return pool_ptr_.load(std::memory_order_acquire);
   }
 
+  // Robustness counters for serve(): timeouts, reaped/shed connections,
+  // 413/431 rejections (DESIGN.md §12). Exported via /metrics.
+  net::ServerStats& server_stats() noexcept { return server_stats_; }
+  const net::ServerStats& server_stats() const noexcept {
+    return server_stats_;
+  }
+
   // Builds + dispatches a request in one call; `session` becomes the
   // session cookie when non-empty.
   net::HttpResponse http(net::Method method, const std::string& target,
@@ -157,6 +180,7 @@ class Provider {
   std::once_flag pool_once_;
   std::unique_ptr<os::ThreadPool> pool_;  // lazy; see worker_pool()
   std::atomic<os::ThreadPool*> pool_ptr_{nullptr};
+  net::ServerStats server_stats_;
 };
 
 }  // namespace w5::platform

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 
 #include "util/log.h"
 
@@ -233,6 +234,29 @@ Trace RequestContext::finish() {
     }
   }
   return std::move(trace_);
+}
+
+void RequestContext::set_deadline(util::Micros absolute_micros) {
+  if (!installed_) return;
+  deadline_ = absolute_micros;
+}
+
+util::Micros RequestContext::current_deadline() {
+  return t_current != nullptr ? t_current->deadline_ : 0;
+}
+
+util::Micros RequestContext::remaining_micros() {
+  const util::Micros deadline = current_deadline();
+  if (deadline == 0) return std::numeric_limits<util::Micros>::max();
+  static const util::WallClock wall;
+  return deadline - wall.now();
+}
+
+bool RequestContext::deadline_expired() {
+  const util::Micros deadline = current_deadline();
+  if (deadline == 0) return false;
+  static const util::WallClock wall;
+  return wall.now() >= deadline;
 }
 
 RequestContext* RequestContext::current() noexcept { return t_current; }

@@ -120,6 +120,23 @@ class RequestContext {
   // router's stored pattern text); the trace keeps a view, not a copy.
   void set_route(std::string_view stable_route);
   void set_status(int status);
+
+  // ---- Deadline propagation (DESIGN.md §12) ------------------------------
+  // The per-request time budget rides the same thread-local plumbing as
+  // the trace id: the gateway stamps an absolute wall-clock deadline at
+  // admission (provider default, tightened by a client X-W5-Deadline-Ms),
+  // and anything downstream — app dispatch, store scans, nested
+  // federation pulls — can ask "is it still worth doing this work?"
+  // without a handle threaded through every signature. Compiled out with
+  // W5_NO_TELEMETRY, like the rest of the context.
+  void set_deadline(util::Micros absolute_micros);
+  util::Micros deadline() const noexcept { return deadline_; }  // 0 = none
+
+  // Thread's active request's deadline (0 when none / no context).
+  static util::Micros current_deadline();
+  // Remaining budget against the wall clock; INT64_MAX when no deadline.
+  static util::Micros remaining_micros();
+  static bool deadline_expired();
   // Span timestamps are raw util::cycle_count() values; finish() rescales
   // them to absolute micros using the request's two bracketing clock
   // reads, so the per-span cost is two TSC reads instead of two clock
@@ -138,6 +155,7 @@ class RequestContext {
  private:
   Trace trace_;
   std::uint64_t start_cycles_ = 0;
+  util::Micros deadline_ = 0;  // absolute wall micros; 0 = none
   RequestContext* previous_ = nullptr;
   bool installed_ = false;
   bool spans_enabled_ = false;

@@ -162,69 +162,109 @@ net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
   return net::HttpResponse::json(200, response.dump());
 }
 
+net::CircuitBreaker& Node::breaker_for(const std::string& peer_name) {
+  auto& slot = breakers_[peer_name];
+  if (slot == nullptr)
+    slot = std::make_unique<net::CircuitBreaker>(provider_.clock());
+  return *slot;
+}
+
 util::Result<SyncStats> Node::sync_from(const std::string& peer_name) {
+  net::CircuitBreaker& breaker = breaker_for(peer_name);
+  // Gauge name carries the peer *name* — an infrastructure identifier,
+  // like a route pattern; never user data (telemetry invariant, §11).
+  util::Gauge& state_gauge = provider_.metrics().gauge(
+      "w5_fed_breaker_state{peer=\"" + peer_name + "\"}");
+  const auto finish = [&](util::Result<SyncStats> result) {
+    state_gauge.set(static_cast<std::int64_t>(breaker.state()));
+    return result;
+  };
+  if (!breaker.allow()) {
+    return finish(util::make_error(
+        "fed.circuit_open",
+        "peer '" + peer_name + "' breaker open; retry after cooldown"));
+  }
   SyncStats total;
   // Every user who authorized mirroring *to this node* on our side; the
   // peer independently verifies its own authorization table.
   for (const std::string& user : mirrors_.users_for(peer_name)) {
-    auto connection = network_.dial("fed://" + peer_name);
-    if (!connection.ok()) return connection.error();
-
-    // Only this user's record keys/clocks cross the wire: other users
-    // never consented, and even record *names* are their data.
-    util::Json since;
-    since.mutable_object();
-    for (const auto& [key, clock] : clocks_) {
-      auto record =
-          provider_.store().get(os::kKernelPid, key.first, key.second);
-      if (record.ok() && record.value().owner == user)
-        since[key.first + "/" + key.second] = clock.to_json();
+    // Transient transport failures retry with exponential backoff before
+    // the breaker hears about them; protocol/consent failures (4xx-style
+    // codes) are final and fail immediately.
+    net::Backoff backoff(retry_policy_);
+    auto stats = pull_user(peer_name, user);
+    while (!stats.ok() && net::retryable_error(stats.error())) {
+      const util::Micros delay = backoff.next_delay();
+      if (backoff.exhausted()) break;
+      retry_sleep_(delay);
+      stats = pull_user(peer_name, user);
     }
-
-    util::Json body;
-    body["peer"] = name_;
-    body["user"] = user;
-    body["since"] = std::move(since);
-
-    net::HttpRequest request;
-    request.method = net::Method::kPost;
-    request.target = "/fed/pull";
-    request.parsed = *net::parse_request_target("/fed/pull");
-    request.headers.set("Connection", "close");
-    request.body = body.dump();
-
-    if (auto written = connection.value()->write(request.to_wire());
-        !written.ok()) {
-      return written.error();
+    if (!stats.ok()) {
+      breaker.record_failure();
+      return finish(stats.error());
     }
-    if (auto pumped = network_.pump("fed://" + peer_name); !pumped.ok())
-      return pumped.error();
-    net::ResponseParser parser;
-    while (!parser.complete() && !parser.failed()) {
-      auto bytes = connection.value()->read_available();
-      if (!bytes.ok()) return bytes.error();
-      if (bytes.value().empty())
-        return util::make_error("fed.protocol", "peer sent no response");
-      parser.feed(bytes.value());
-    }
-    if (parser.failed()) return parser.error();
-    auto response = util::Result<net::HttpResponse>(parser.take());
-    if (response.value().status != 200) {
-      return util::make_error("fed.pull_failed",
-                              "peer returned " +
-                                  std::to_string(response.value().status) +
-                                  ": " + response.value().body);
-    }
-    auto parsed = util::Json::parse(response.value().body);
-    if (!parsed.ok()) return parsed.error();
-    auto stats = apply_records(peer_name, parsed.value().at("records"));
-    if (!stats.ok()) return stats.error();
     total.offered += stats.value().offered;
     total.applied += stats.value().applied;
     total.skipped += stats.value().skipped;
     total.conflicts += stats.value().conflicts;
   }
-  return total;
+  breaker.record_success();
+  return finish(total);
+}
+
+util::Result<SyncStats> Node::pull_user(const std::string& peer_name,
+                                        const std::string& user) {
+  auto dialed = network_.dial("fed://" + peer_name);
+  if (!dialed.ok()) return dialed.error();
+  std::unique_ptr<net::Connection> connection = std::move(dialed).value();
+  if (decorator_) connection = decorator_(std::move(connection));
+
+  // Only this user's record keys/clocks cross the wire: other users
+  // never consented, and even record *names* are their data.
+  util::Json since;
+  since.mutable_object();
+  for (const auto& [key, clock] : clocks_) {
+    auto record =
+        provider_.store().get(os::kKernelPid, key.first, key.second);
+    if (record.ok() && record.value().owner == user)
+      since[key.first + "/" + key.second] = clock.to_json();
+  }
+
+  util::Json body;
+  body["peer"] = name_;
+  body["user"] = user;
+  body["since"] = std::move(since);
+
+  net::HttpRequest request;
+  request.method = net::Method::kPost;
+  request.target = "/fed/pull";
+  request.parsed = *net::parse_request_target("/fed/pull");
+  request.headers.set("Connection", "close");
+  request.body = body.dump();
+
+  if (auto written = connection->write(request.to_wire()); !written.ok())
+    return written.error();
+  if (auto pumped = network_.pump("fed://" + peer_name); !pumped.ok())
+    return pumped.error();
+  net::ResponseParser parser;
+  while (!parser.complete() && !parser.failed()) {
+    auto bytes = connection->read_available();
+    if (!bytes.ok()) return bytes.error();
+    if (bytes.value().empty())
+      return util::make_error("fed.protocol", "peer sent no response");
+    parser.feed(bytes.value());
+  }
+  if (parser.failed()) return parser.error();
+  auto response = util::Result<net::HttpResponse>(parser.take());
+  if (response.value().status != 200) {
+    return util::make_error("fed.pull_failed",
+                            "peer returned " +
+                                std::to_string(response.value().status) +
+                                ": " + response.value().body);
+  }
+  auto parsed = util::Json::parse(response.value().body);
+  if (!parsed.ok()) return parsed.error();
+  return apply_records(peer_name, parsed.value().at("records"));
 }
 
 util::Result<SyncStats> Node::apply_records(const std::string& peer,

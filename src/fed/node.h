@@ -22,6 +22,8 @@
 #include "core/provider.h"
 #include "fed/mirror.h"
 #include "fed/vector_clock.h"
+#include "net/backoff.h"
+#include "net/circuit_breaker.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/transport.h"
@@ -67,7 +69,33 @@ class Node {
 
   // Pulls every mirroring-authorized user's records from the peer and
   // merges them (one direction; run both ways for convergence).
+  //
+  // Robustness (DESIGN.md §12): each per-user pull is retried with
+  // exponential backoff on transient transport errors; a per-peer circuit
+  // breaker opens after consecutive sync failures, after which sync_from
+  // fails fast with "fed.circuit_open" until the cooldown elapses and a
+  // half-open probe succeeds. The breaker state is exported as the gauge
+  // w5_fed_breaker_state{peer="..."} (0=closed, 1=half-open, 2=open).
   util::Result<SyncStats> sync_from(const std::string& peer_name);
+
+  // ---- Robustness knobs --------------------------------------------------
+  // Wraps every dialed peer connection; the fault-injection harness uses
+  // this to interpose FaultyConnection between the node and the wire.
+  using ConnectionDecorator = std::function<std::unique_ptr<net::Connection>(
+      std::unique_ptr<net::Connection>)>;
+  void set_connection_decorator(ConnectionDecorator decorator) {
+    decorator_ = std::move(decorator);
+  }
+  // Retry policy for per-user pulls. The sleeper defaults to no_sleep():
+  // the in-memory wire fails deterministically, so waiting between
+  // attempts only slows tests; pass real_sleep() over real transports.
+  void set_retry_policy(net::RetryPolicy policy,
+                        net::SleepFn sleep = net::no_sleep()) {
+    retry_policy_ = policy;
+    retry_sleep_ = std::move(sleep);
+  }
+  // The peer's breaker, created on first use (never null).
+  net::CircuitBreaker& breaker_for(const std::string& peer_name);
 
   // Replication metadata for one record (empty clock when unknown).
   VectorClock clock_of(const std::string& collection,
@@ -85,6 +113,11 @@ class Node {
   util::Result<SyncStats> apply_records(const std::string& peer,
                                         const util::Json& records);
 
+  // One user's pull round trip against one peer (no retry, no breaker —
+  // sync_from layers those on top).
+  util::Result<SyncStats> pull_user(const std::string& peer_name,
+                                    const std::string& user);
+
   std::string address() const { return "fed://" + name_; }
 
   std::string name_;
@@ -97,6 +130,12 @@ class Node {
   std::map<std::pair<std::string, std::string>, VectorClock> clocks_;
   // (collection, id) -> deletion time; present only while deleted.
   std::map<std::pair<std::string, std::string>, util::Micros> tombstones_;
+  ConnectionDecorator decorator_;
+  net::RetryPolicy retry_policy_;
+  net::SleepFn retry_sleep_ = net::no_sleep();
+  // Per-peer breakers; unique_ptr because CircuitBreaker is immovable
+  // (mutex) and the map must not invalidate references on rehash.
+  std::map<std::string, std::unique_ptr<net::CircuitBreaker>> breakers_;
 };
 
 }  // namespace w5::fed

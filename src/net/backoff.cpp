@@ -1,0 +1,46 @@
+#include "net/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace w5::net {
+
+SleepFn real_sleep() {
+  return [](util::Micros micros) {
+    if (micros > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  };
+}
+
+SleepFn no_sleep() {
+  return [](util::Micros) {};
+}
+
+Backoff::Backoff(const RetryPolicy& policy)
+    : policy_(policy), rng_(policy.seed), current_(policy.initial_backoff) {}
+
+util::Micros Backoff::next_delay() {
+  ++attempts_;
+  if (exhausted()) return 0;
+  const util::Micros base = current_;
+  current_ = std::min<util::Micros>(
+      policy_.max_backoff,
+      static_cast<util::Micros>(static_cast<double>(current_) *
+                                policy_.multiplier));
+  if (policy_.jitter <= 0.0) return base;
+  // Symmetric jitter: delay * (1 ± jitter), drawn from the seeded rng so
+  // the whole timeline replays under a fixed seed.
+  const double spread = (rng_.next_double() * 2.0 - 1.0) * policy_.jitter;
+  const auto jittered =
+      static_cast<util::Micros>(static_cast<double>(base) * (1.0 + spread));
+  return std::max<util::Micros>(jittered, 0);
+}
+
+bool retryable_error(const util::Error& error) {
+  return error.code == "net.io" || error.code == "net.timeout" ||
+         error.code == "net.reset" || error.code == "net.unreachable" ||
+         error.code == "http.incomplete";
+}
+
+}  // namespace w5::net

@@ -1,0 +1,144 @@
+#include "net/fault.h"
+
+#include <algorithm>
+
+namespace w5::net {
+
+FaultSchedule FaultSchedule::scripted(std::vector<FaultAction> read_actions,
+                                      std::vector<FaultAction> write_actions) {
+  FaultSchedule schedule;
+  schedule.read_actions_ = std::move(read_actions);
+  schedule.write_actions_ = std::move(write_actions);
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::seeded(std::uint64_t seed, Profile profile) {
+  FaultSchedule schedule;
+  schedule.seeded_ = true;
+  schedule.profile_ = profile;
+  schedule.rng_ = util::Rng(seed);
+  return schedule;
+}
+
+FaultAction FaultSchedule::next_scripted(std::vector<FaultAction>& actions,
+                                         std::size_t& cursor) {
+  if (cursor >= actions.size()) return FaultAction{};
+  return actions[cursor++];
+}
+
+FaultAction FaultSchedule::draw(bool is_write) {
+  // One uniform draw per op, partitioned by cumulative probability, so
+  // the op sequence alone (not the buffer contents) determines the fault
+  // pattern — the property that makes a seed reproduce a run.
+  const double roll = rng_.next_double();
+  double edge = profile_.reset_probability;
+  if (roll < edge) return FaultAction{FaultKind::kReset};
+  edge += profile_.drop_probability;
+  if (roll < edge) return FaultAction{FaultKind::kDrop};
+  edge += is_write ? profile_.partial_write_probability
+                   : profile_.short_read_probability;
+  if (roll < edge) {
+    FaultAction action;
+    action.kind = is_write ? FaultKind::kPartialWrite : FaultKind::kShortRead;
+    action.bytes = 1 + static_cast<std::size_t>(rng_.next_below(16));
+    return action;
+  }
+  edge += profile_.delay_probability;
+  if (roll < edge) {
+    FaultAction action;
+    action.kind = FaultKind::kDelay;
+    action.delay_micros = rng_.next_range(profile_.min_delay_micros,
+                                          profile_.max_delay_micros);
+    return action;
+  }
+  return FaultAction{};
+}
+
+FaultAction FaultSchedule::next_read() {
+  if (seeded_) return draw(/*is_write=*/false);
+  return next_scripted(read_actions_, read_cursor_);
+}
+
+FaultAction FaultSchedule::next_write() {
+  if (seeded_) return draw(/*is_write=*/true);
+  return next_scripted(write_actions_, write_cursor_);
+}
+
+FaultyConnection::FaultyConnection(std::unique_ptr<Connection> inner,
+                                   FaultSchedule schedule, SleepFn sleep,
+                                   FaultStats* stats)
+    : inner_(std::move(inner)),
+      schedule_(std::move(schedule)),
+      sleep_(std::move(sleep)),
+      stats_(stats) {}
+
+util::Result<std::size_t> FaultyConnection::read(char* buf, std::size_t max) {
+  const FaultAction action = schedule_.next_read();
+  switch (action.kind) {
+    case FaultKind::kDelay:
+      if (stats_ != nullptr) stats_->delays.fetch_add(1);
+      sleep_(action.delay_micros);
+      break;
+    case FaultKind::kShortRead:
+      if (stats_ != nullptr) stats_->short_reads.fetch_add(1);
+      max = std::min(max, std::max<std::size_t>(action.bytes, 1));
+      break;
+    case FaultKind::kDrop:
+      // A lost segment: the bytes never arrive, the reader times out.
+      if (stats_ != nullptr) stats_->drops.fetch_add(1);
+      return util::make_error("net.timeout", "injected read drop");
+    case FaultKind::kReset:
+      if (stats_ != nullptr) stats_->resets.fetch_add(1);
+      inner_->close();
+      return util::make_error("net.reset", "injected connection reset");
+    case FaultKind::kNone:
+    case FaultKind::kPartialWrite:  // write-only kind; clean on reads
+      break;
+  }
+  return inner_->read(buf, max);
+}
+
+util::Status FaultyConnection::write(std::string_view data) {
+  const FaultAction action = schedule_.next_write();
+  switch (action.kind) {
+    case FaultKind::kDelay:
+      if (stats_ != nullptr) stats_->delays.fetch_add(1);
+      sleep_(action.delay_micros);
+      break;
+    case FaultKind::kPartialWrite: {
+      // Some bytes hit the wire, then the connection dies — the hard
+      // case for peers that assume writes are atomic.
+      if (stats_ != nullptr) stats_->partial_writes.fetch_add(1);
+      const std::size_t n = std::min(data.size(), action.bytes);
+      (void)inner_->write(data.substr(0, n));
+      inner_->close();
+      return util::make_error("net.reset", "injected reset mid-write");
+    }
+    case FaultKind::kDrop:
+      // Silently swallowed; the peer simply never sees these bytes.
+      if (stats_ != nullptr) stats_->drops.fetch_add(1);
+      return util::ok_status();
+    case FaultKind::kReset:
+      if (stats_ != nullptr) stats_->resets.fetch_add(1);
+      inner_->close();
+      return util::make_error("net.reset", "injected connection reset");
+    case FaultKind::kNone:
+    case FaultKind::kShortRead:  // read-only kind; clean on writes
+      break;
+  }
+  return inner_->write(data);
+}
+
+void FaultyConnection::close() { inner_->close(); }
+
+bool FaultyConnection::closed() const { return inner_->closed(); }
+
+void FaultyConnection::set_read_timeout(util::Micros timeout) {
+  inner_->set_read_timeout(timeout);
+}
+
+void FaultyConnection::set_write_timeout(util::Micros timeout) {
+  inner_->set_write_timeout(timeout);
+}
+
+}  // namespace w5::net

@@ -1,0 +1,120 @@
+// Deterministic fault injection for transports (the chaos harness).
+//
+// FaultyConnection decorates any Connection and perturbs its I/O
+// according to a FaultSchedule: injected delays, short reads, partial
+// writes, silent drops, and connection resets. Schedules are either
+// scripted (an explicit action list, consumed in op order) or seeded (a
+// per-op draw from util::Rng against a probability profile) — both
+// replay identically for a fixed script/seed, so every failure a chaos
+// test or robustness bench finds is reproducible by re-running with the
+// same seed. Delays go through an injected SleepFn, so tests record
+// virtual delays instead of actually sleeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/backoff.h"  // SleepFn
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace w5::net {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDelay,         // sleep `delay_micros`, then perform the op normally
+  kShortRead,     // read at most `bytes` this call (forces re-assembly)
+  kPartialWrite,  // write only `bytes`, then reset the connection
+  kDrop,          // write: swallow the bytes; read: report "net.timeout"
+  kReset,         // close the underlying transport, report "net.reset"
+};
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  util::Micros delay_micros = 0;  // kDelay
+  std::size_t bytes = 1;          // kShortRead / kPartialWrite budget
+};
+
+// Per-kind occurrence counts, for error-budget accounting in benches.
+struct FaultStats {
+  std::atomic<std::uint64_t> delays{0};
+  std::atomic<std::uint64_t> short_reads{0};
+  std::atomic<std::uint64_t> partial_writes{0};
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> resets{0};
+
+  std::uint64_t total() const {
+    return delays.load() + short_reads.load() + partial_writes.load() +
+           drops.load() + resets.load();
+  }
+};
+
+class FaultSchedule {
+ public:
+  // Independent probabilities per op; whatever wins the draw first (in
+  // the order reset, drop, partial/short, delay) is applied.
+  struct Profile {
+    double delay_probability = 0.0;
+    double short_read_probability = 0.0;
+    double partial_write_probability = 0.0;
+    double drop_probability = 0.0;
+    double reset_probability = 0.0;
+    util::Micros min_delay_micros = 100;
+    util::Micros max_delay_micros = 1000;
+  };
+
+  // No faults, ever (the default-constructed schedule).
+  FaultSchedule() = default;
+
+  // Scripted: actions applied to reads/writes in call order; once a list
+  // is exhausted the remaining ops run clean.
+  static FaultSchedule scripted(std::vector<FaultAction> read_actions,
+                                std::vector<FaultAction> write_actions);
+
+  // Seeded: each op draws from the profile using its own rng stream.
+  static FaultSchedule seeded(std::uint64_t seed, Profile profile);
+
+  // Consumes and returns the next action for a read or write op.
+  FaultAction next_read();
+  FaultAction next_write();
+
+ private:
+  FaultAction next_scripted(std::vector<FaultAction>& actions,
+                            std::size_t& cursor);
+  FaultAction draw(bool is_write);
+
+  bool seeded_ = false;
+  Profile profile_{};
+  util::Rng rng_{0};
+  std::vector<FaultAction> read_actions_;
+  std::vector<FaultAction> write_actions_;
+  std::size_t read_cursor_ = 0;
+  std::size_t write_cursor_ = 0;
+};
+
+// The decorator. Owns the wrapped transport; forwards timeouts so a
+// faulty TCP connection still honors its deadlines.
+class FaultyConnection final : public Connection {
+ public:
+  // `sleep` services kDelay actions (default: really sleeps); `stats`
+  // (optional, caller-owned) tallies every injected fault.
+  FaultyConnection(std::unique_ptr<Connection> inner, FaultSchedule schedule,
+                   SleepFn sleep = real_sleep(), FaultStats* stats = nullptr);
+
+  util::Result<std::size_t> read(char* buf, std::size_t max) override;
+  util::Status write(std::string_view data) override;
+  void close() override;
+  bool closed() const override;
+  void set_read_timeout(util::Micros timeout) override;
+  void set_write_timeout(util::Micros timeout) override;
+
+ private:
+  std::unique_ptr<Connection> inner_;
+  FaultSchedule schedule_;
+  SleepFn sleep_;
+  FaultStats* stats_;
+};
+
+}  // namespace w5::net

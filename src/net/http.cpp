@@ -57,16 +57,22 @@ std::string_view status_reason(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
     case 409:
       return "Conflict";
     case 413:
       return "Content Too Large";
     case 429:
       return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
     case 503:
       return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }

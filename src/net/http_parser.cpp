@@ -18,6 +18,10 @@ bool MessageParser::consume_line(std::string_view& data,
   while (!data.empty()) {
     const char c = data.front();
     data.remove_prefix(1);
+    if (++header_bytes_ > limits_.max_headers_bytes) {
+      fail("http.headers_too_large", "header block exceeds limit");
+      return false;
+    }
     if (c == '\n') {
       if (partial_line_.empty() || partial_line_.back() != '\r') {
         fail("http.parse", "bare LF in message framing");
@@ -30,7 +34,7 @@ bool MessageParser::consume_line(std::string_view& data,
     }
     partial_line_.push_back(c);
     if (partial_line_.size() > limits_.max_line_bytes) {
-      fail("http.too_large", "line exceeds limit");
+      fail("http.headers_too_large", "line exceeds limit");
       return false;
     }
   }
@@ -114,7 +118,7 @@ std::size_t MessageParser::feed(std::string_view data) {
           break;
         }
         if (++header_count_ > limits_.max_header_count) {
-          fail("http.too_large", "too many headers");
+          fail("http.headers_too_large", "too many headers");
           break;
         }
         headers_storage_.add(

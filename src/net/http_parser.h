@@ -22,6 +22,12 @@ namespace w5::net {
 struct ParserLimits {
   std::size_t max_line_bytes = 8 * 1024;
   std::size_t max_header_count = 100;
+  // Total header-block bytes (start line + all header lines, CRLFs
+  // included). One client must not grow server memory unboundedly by
+  // streaming headers; overflow fails with "http.headers_too_large",
+  // which the server maps to 431 (body overflow stays "http.too_large"
+  // → 413).
+  std::size_t max_headers_bytes = 64 * 1024;
   std::size_t max_body_bytes = 8 * 1024 * 1024;
 };
 
@@ -69,6 +75,7 @@ class MessageParser {
   std::string partial_line_;
   Headers headers_storage_;
   std::size_t header_count_ = 0;
+  std::size_t header_bytes_ = 0;  // start line + header lines, with CRLFs
   std::string body_;
   std::size_t body_expected_ = 0;
 };

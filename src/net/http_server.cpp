@@ -1,22 +1,87 @@
 #include "net/http_server.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace w5::net {
 
+namespace {
+
+// Deadlines are real time by definition (they reap real stalled
+// sockets), so the server reads the wall clock directly rather than
+// threading a Clock& through every transport.
+util::Micros wall_now() {
+  static const util::WallClock clock;
+  return clock.now();
+}
+
+void count(std::atomic<std::uint64_t>* counter) {
+  if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 util::Status HttpServer::respond(Connection& connection,
                                  const HttpResponse& response) {
+  if (options_.write_timeout_micros > 0)
+    connection.set_write_timeout(options_.write_timeout_micros);
   return connection.write(response.to_wire());
+}
+
+util::Error HttpServer::reap(Connection& connection, bool got_bytes) {
+  count(stats_ != nullptr ? &stats_->reaped_total : nullptr);
+  if (got_bytes) {
+    // A client mid-request gets told why; a fully idle keep-alive
+    // connection is just closed (nothing was asked, nothing is owed).
+    HttpResponse timeout = HttpResponse::text(408, "request timeout\n");
+    timeout.headers.set("Connection", "close");
+    (void)respond(connection, timeout);
+  }
+  connection.close();
+  return util::make_error("http.timeout", "client stalled past deadline");
 }
 
 util::Result<bool> HttpServer::handle_one(Connection& connection) {
   RequestParser parser(limits_);
   char buf[8192];
   bool got_bytes = false;
+  // Phase deadlines: headers run against header_deadline from the first
+  // read attempt; the body phase restarts the clock when headers finish.
+  const util::Micros started =
+      options_.header_deadline_micros > 0 || options_.body_deadline_micros > 0
+          ? wall_now()
+          : 0;
+  util::Micros body_started = 0;
   while (!parser.complete() && !parser.failed()) {
+    const bool in_body = parser.state() == ParseState::kBody;
+    if (in_body && body_started == 0) body_started = wall_now();
+    const util::Micros deadline = in_body ? options_.body_deadline_micros
+                                          : options_.header_deadline_micros;
+    if (deadline > 0) {
+      const util::Micros phase_start = in_body ? body_started : started;
+      const util::Micros remaining = deadline - (wall_now() - phase_start);
+      if (remaining <= 0) {
+        count(stats_ != nullptr ? &stats_->timeouts_total : nullptr);
+        return reap(connection, got_bytes);
+      }
+      // Wake at the poll quantum to re-check, but never sleep past the
+      // deadline itself — that is what "reaped within the deadline" means.
+      connection.set_read_timeout(
+          std::clamp<util::Micros>(remaining, 1, options_.io_poll_micros));
+    }
     auto n = connection.read(buf, sizeof(buf));
     if (!n.ok()) {
+      if (n.error().code == "net.timeout") {
+        // A poll slice elapsing is not a timeout event — the deadline
+        // loop above decides; only a terminal timeout counts.
+        if (deadline > 0) continue;
+        // No deadline configured but the transport timed out anyway
+        // (e.g. an injected drop): nothing further will arrive.
+        count(stats_ != nullptr ? &stats_->timeouts_total : nullptr);
+        return reap(connection, got_bytes);
+      }
       if (n.error().code == "net.would_block") {
         if (!got_bytes) return false;  // idle connection, nothing to do
         // Partial request with no more bytes available: with a
@@ -38,7 +103,16 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
   }
 
   if (parser.failed()) {
-    const int status = parser.error().code == "http.too_large" ? 413 : 400;
+    // 431: header block over budget; 413: declared body over budget;
+    // anything else is a plain parse failure.
+    int status = 400;
+    if (parser.error().code == "http.too_large") {
+      status = 413;
+      count(stats_ != nullptr ? &stats_->rejected_413_total : nullptr);
+    } else if (parser.error().code == "http.headers_too_large") {
+      status = 431;
+      count(stats_ != nullptr ? &stats_->rejected_431_total : nullptr);
+    }
     (void)respond(connection,
                   HttpResponse::text(status, parser.error().code + "\n"));
     connection.close();
@@ -50,8 +124,17 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
       !util::iequals(request.headers.get("Connection").value_or(""), "close");
   HttpResponse response = handler_(request);
   if (!keep_alive) response.headers.set("Connection", "close");
-  if (auto written = respond(connection, response); !written.ok())
+  if (auto written = respond(connection, response); !written.ok()) {
+    if (written.error().code == "net.timeout") {
+      // The receiver never drained its side; reap rather than block the
+      // worker behind a full send buffer.
+      count(stats_ != nullptr ? &stats_->timeouts_total : nullptr);
+      count(stats_ != nullptr ? &stats_->reaped_total : nullptr);
+      connection.close();
+    }
     return written.error();
+  }
+  count(stats_ != nullptr ? &stats_->handled_total : nullptr);
   if (!keep_alive) connection.close();
   return true;
 }
@@ -73,7 +156,22 @@ std::size_t PooledHttpServer::serve(TcpListener& listener) {
     if (!accepted.ok()) break;  // listener closed or fatal accept error
     // shared_ptr: std::function requires a copyable closure.
     std::shared_ptr<Connection> connection = std::move(accepted).value();
-    executor_([this, connection] { server_.serve(*connection); });
+    if (!executor_([this, connection] { server_.serve(*connection); })) {
+      // Load shed: tell the client to come back rather than queueing
+      // without bound. Sent on the accept thread — cheap by design (the
+      // whole point is that workers are busy).
+      if (stats_ != nullptr)
+        stats_->shed_total.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse shed = HttpResponse::text(503, "overloaded, retry later\n");
+      shed.headers.set("Retry-After",
+                       std::to_string(options_.retry_after_seconds));
+      shed.headers.set("Connection", "close");
+      if (options_.write_timeout_micros > 0)
+        connection->set_write_timeout(options_.write_timeout_micros);
+      (void)connection->write(shed.to_wire());
+      connection->close();
+      continue;
+    }
     ++dispatched;
   }
   return dispatched;

@@ -3,9 +3,14 @@
 // The server is transport-agnostic: feed it any Connection (in-memory
 // pipe, TCP socket) and it parses requests, invokes the handler, and
 // writes responses, honoring HTTP/1.1 keep-alive and emitting 400s for
-// parse failures.
+// parse failures. With ServerOptions deadlines configured it is also the
+// slow-client perimeter: a client that trickles headers, stalls
+// mid-body, or never drains its receive buffer is reaped within the
+// configured deadline instead of pinning a pool worker forever.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -13,6 +18,7 @@
 #include "net/http_parser.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "util/clock.h"
 
 namespace w5::net {
 
@@ -23,10 +29,48 @@ using ServerHandler = std::function<HttpResponse(const HttpRequest&)>;
 // pool's submit() here.
 using Executor = std::function<void(std::function<void()>)>;
 
+// Admission-controlled executor: returns false when the job was refused
+// (queue full, pool stopping) — the caller sheds the connection with a
+// 503 instead of queueing unboundedly.
+using BoundedExecutor = std::function<bool(std::function<void()>)>;
+
+// Robustness knobs (DESIGN.md §12). All deadlines are wall-clock micros;
+// 0 disables that deadline (the seed behavior: block forever).
+struct ServerOptions {
+  // From the start of a request (or keep-alive idle) until the header
+  // block is complete. Doubles as the idle-connection cap: a keep-alive
+  // client that sends nothing for this long is closed (without a 408).
+  util::Micros header_deadline_micros = 0;
+  // From headers-complete until the declared body has fully arrived.
+  util::Micros body_deadline_micros = 0;
+  // Per write() call: a receiver that never drains is reaped.
+  util::Micros write_timeout_micros = 0;
+  // Read poll quantum: how often a blocked read wakes to re-check its
+  // deadline. Smaller = tighter reaping, more wakeups.
+  util::Micros io_poll_micros = 50'000;
+  // Retry-After seconds advertised on shed (503) responses.
+  int retry_after_seconds = 1;
+};
+
+// Shared robustness counters, exported at /metrics. Owned by the caller
+// (the Provider) and written with relaxed atomics from every worker.
+struct ServerStats {
+  std::atomic<std::uint64_t> handled_total{0};     // requests served
+  std::atomic<std::uint64_t> timeouts_total{0};    // read/write timeouts seen
+  std::atomic<std::uint64_t> reaped_total{0};      // connections killed by deadline
+  std::atomic<std::uint64_t> shed_total{0};        // 503s sent at admission
+  std::atomic<std::uint64_t> rejected_413_total{0};
+  std::atomic<std::uint64_t> rejected_431_total{0};
+};
+
 class HttpServer {
  public:
-  explicit HttpServer(ServerHandler handler, ParserLimits limits = {})
-      : handler_(std::move(handler)), limits_(limits) {}
+  explicit HttpServer(ServerHandler handler, ParserLimits limits = {},
+                      ServerOptions options = {}, ServerStats* stats = nullptr)
+      : handler_(std::move(handler)),
+        limits_(limits),
+        options_(options),
+        stats_(stats) {}
 
   // Serves requests until EOF, close, or a fatal transport/parse error.
   // Returns the number of requests successfully handled.
@@ -38,9 +82,13 @@ class HttpServer {
 
  private:
   util::Status respond(Connection& connection, const HttpResponse& response);
+  // Reap helper: optional 408, close, count.
+  util::Error reap(Connection& connection, bool got_bytes);
 
   ServerHandler handler_;
   ParserLimits limits_;
+  ServerOptions options_;
+  ServerStats* stats_;
 };
 
 // Accept loop + worker-pool dispatch: the concurrent front door. The
@@ -49,20 +97,39 @@ class HttpServer {
 // HTTP/1.1 with that client until it disconnects. The handler therefore
 // runs on many threads at once — everything it touches must be
 // thread-safe (which is the point of this PR's locking work).
+//
+// With a BoundedExecutor the accept loop is also the admission
+// controller: a refused dispatch answers 503 + Retry-After on the
+// accepting thread and closes, so overload degrades into fast, explicit
+// rejections instead of an unbounded queue.
 class PooledHttpServer {
  public:
   PooledHttpServer(ServerHandler handler, Executor executor,
                    ParserLimits limits = {})
-      : server_(std::move(handler), limits), executor_(std::move(executor)) {}
+      : server_(std::move(handler), limits),
+        executor_([run = std::move(executor)](std::function<void()> job) {
+          run(std::move(job));
+          return true;
+        }) {}
+
+  PooledHttpServer(ServerHandler handler, BoundedExecutor executor,
+                   ParserLimits limits, ServerOptions options,
+                   ServerStats* stats = nullptr)
+      : server_(std::move(handler), limits, options, stats),
+        executor_(std::move(executor)),
+        options_(options),
+        stats_(stats) {}
 
   // Accepts until the listener is closed (listener.close() from another
   // thread unblocks accept with an error). Returns the number of
-  // connections dispatched.
+  // connections dispatched (shed connections are not counted).
   std::size_t serve(TcpListener& listener);
 
  private:
   HttpServer server_;
-  Executor executor_;
+  BoundedExecutor executor_;
+  ServerOptions options_;
+  ServerStats* stats_ = nullptr;
 };
 
 }  // namespace w5::net

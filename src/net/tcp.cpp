@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -22,8 +23,33 @@ util::Error errno_error(const char* what) {
 
 TcpConnection::~TcpConnection() { TcpConnection::close(); }
 
+util::Result<bool> TcpConnection::wait_ready(short events,
+                                             util::Micros timeout) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = events;
+  // Round up so a 1-µs deadline still polls for 1 ms rather than
+  // spinning; no deadline (0) blocks until ready.
+  const int millis =
+      timeout > 0 ? static_cast<int>((timeout + 999) / 1000) : -1;
+  while (true) {
+    const int ready = ::poll(&pfd, 1, millis);
+    if (ready > 0) return true;  // readable/writable, or HUP/ERR — let
+                                 // recv/send report the specific failure
+    if (ready == 0) return false;
+    if (errno == EINTR) continue;
+    return errno_error("poll");
+  }
+}
+
 util::Result<std::size_t> TcpConnection::read(char* buf, std::size_t max) {
   if (fd_ < 0) return util::make_error("net.closed", "read on closed socket");
+  if (read_timeout_ > 0) {
+    auto ready = wait_ready(POLLIN, read_timeout_);
+    if (!ready.ok()) return ready.error();
+    if (!ready.value())
+      return util::make_error("net.timeout", "read deadline elapsed");
+  }
   while (true) {
     const ssize_t n = ::recv(fd_, buf, max, 0);
     if (n >= 0) return static_cast<std::size_t>(n);
@@ -37,9 +63,26 @@ util::Result<std::size_t> TcpConnection::read(char* buf, std::size_t max) {
 util::Status TcpConnection::write(std::string_view data) {
   if (fd_ < 0) return util::make_error("net.closed", "write on closed socket");
   while (!data.empty()) {
+    if (write_timeout_ > 0) {
+      auto ready = wait_ready(POLLOUT, write_timeout_);
+      if (!ready.ok()) return ready.error();
+      if (!ready.value())
+        return util::make_error("net.timeout",
+                                "write deadline elapsed (receiver stalled)");
+    }
     const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel send buffer full. Not an I/O failure: wait for
+        // writability (or the deadline) and try again.
+        auto ready = wait_ready(POLLOUT, write_timeout_);
+        if (!ready.ok()) return ready.error();
+        if (!ready.value())
+          return util::make_error("net.timeout",
+                                  "write deadline elapsed (receiver stalled)");
+        continue;
+      }
       return errno_error("send");
     }
     data.remove_prefix(static_cast<std::size_t>(n));
@@ -57,6 +100,10 @@ void TcpConnection::close() {
 TcpListener::~TcpListener() { close(); }
 
 util::Status TcpListener::listen(std::uint16_t port, int backlog) {
+  // Re-listen support: drop any socket from a previous (possibly failed)
+  // listen() first, or its fd would be overwritten and leak — a provider
+  // retrying startup on a busy port must not bleed one fd per attempt.
+  close();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return errno_error("socket");
   fd_.store(fd, std::memory_order_release);
@@ -67,13 +114,17 @@ util::Status TcpListener::listen(std::uint16_t port, int backlog) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  // On failure, capture errno before close() — shutdown/close clobber it
+  // — then release the fd so a retried startup starts from zero sockets.
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const util::Error error = errno_error("bind");
     close();
-    return errno_error("bind");
+    return error;
   }
   if (::listen(fd, backlog) != 0) {
+    const util::Error error = errno_error("listen");
     close();
-    return errno_error("listen");
+    return error;
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)

@@ -27,8 +27,26 @@ class TcpConnection final : public Connection {
   void close() override;
   bool closed() const override { return fd_ < 0; }
 
+  // Poll-enforced deadlines per read()/write() call (0 = block forever).
+  // A read that sees no bytes within the window returns "net.timeout";
+  // a write whose socket stays unwritable (receiver never drains) does
+  // the same — distinct from "net.io" so callers can tell a stalled peer
+  // from a broken one.
+  void set_read_timeout(util::Micros timeout) override {
+    read_timeout_ = timeout;
+  }
+  void set_write_timeout(util::Micros timeout) override {
+    write_timeout_ = timeout;
+  }
+
  private:
+  // Waits until the fd is ready for `events` (POLLIN/POLLOUT) within
+  // `timeout` micros; ok(true) ready, ok(false) timed out.
+  util::Result<bool> wait_ready(short events, util::Micros timeout);
+
   int fd_;
+  util::Micros read_timeout_ = 0;
+  util::Micros write_timeout_ = 0;
 };
 
 class TcpListener {
@@ -39,7 +57,10 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  // Binds 127.0.0.1:port (port 0 picks a free port; see port()).
+  // Binds 127.0.0.1:port (port 0 picks a free port; see port()). A
+  // listener that is already bound is closed first, and every failure
+  // path closes the new socket — retrying startup on a busy port never
+  // leaks an fd.
   util::Status listen(std::uint16_t port, int backlog = 16);
 
   std::uint16_t port() const noexcept { return port_; }

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "util/clock.h"
 #include "util/result.h"
 
 namespace w5::net {
@@ -25,13 +26,23 @@ class Connection {
   //   ok(n > 0)  — n bytes copied into buf
   //   ok(0)      — clean EOF (peer closed and drained)
   //   error("net.would_block") — no data available right now
+  //   error("net.timeout")     — a configured read deadline elapsed
   //   error(...) — transport failure
   virtual util::Result<std::size_t> read(char* buf, std::size_t max) = 0;
 
+  // Writes everything or fails; a configured write deadline that elapses
+  // mid-send surfaces as error("net.timeout"), distinct from "net.io".
   virtual util::Status write(std::string_view data) = 0;
 
   virtual void close() = 0;
   virtual bool closed() const = 0;
+
+  // Per-operation I/O deadlines (0 = block forever, the default). The
+  // in-memory transports are non-blocking by construction and ignore
+  // these; TcpConnection enforces them with poll(2). Decorators
+  // (FaultyConnection) forward them to the wrapped transport.
+  virtual void set_read_timeout(util::Micros) {}
+  virtual void set_write_timeout(util::Micros) {}
 
   // Reads everything currently available (helper on top of read()).
   util::Result<std::string> read_available(std::size_t max = 64 * 1024);

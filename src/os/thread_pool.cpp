@@ -2,7 +2,8 @@
 
 namespace w5::os {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_limit)
+    : queue_limit_(queue_limit) {
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw > 2 ? hw : 2;
@@ -23,6 +24,21 @@ void ThreadPool::submit(Job job) {
     if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   }
   work_ready_.notify_one();
+}
+
+bool ThreadPool::try_submit(Job job) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ || (queue_limit_ > 0 && queue_.size() >= queue_limit_)) {
+      ++rejected_;
+      return false;
+    }
+    queue_.push_back(std::move(job));
+    ++submitted_;
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  }
+  work_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -82,6 +98,11 @@ std::uint64_t ThreadPool::jobs_submitted() const {
 std::uint64_t ThreadPool::jobs_completed() const {
   std::lock_guard lock(mutex_);
   return completed_;
+}
+
+std::uint64_t ThreadPool::jobs_rejected() const {
+  std::lock_guard lock(mutex_);
+  return rejected_;
 }
 
 std::size_t ThreadPool::max_queue_depth() const {

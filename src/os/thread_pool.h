@@ -25,7 +25,10 @@ using Job = std::function<void()>;
 class ThreadPool {
  public:
   // threads == 0 falls back to the hardware concurrency (min 2).
-  explicit ThreadPool(std::size_t threads);
+  // queue_limit bounds how many jobs may wait (0 = unbounded); only
+  // try_submit honors it — the limit is the admission-control line the
+  // front door sheds against, not a hidden drop inside submit().
+  explicit ThreadPool(std::size_t threads, std::size_t queue_limit = 0);
   ~ThreadPool();  // shutdown(): drains queued jobs, then joins
 
   ThreadPool(const ThreadPool&) = delete;
@@ -34,6 +37,10 @@ class ThreadPool {
   // Enqueues a job; runs on some worker. After shutdown() the job is
   // silently dropped (the pool is tearing down; callers hold no future).
   void submit(Job job);
+
+  // Admission-controlled enqueue: false when the queue is at its limit
+  // or the pool is stopping — the caller sheds instead of queueing.
+  bool try_submit(Job job);
 
   // Blocks until the queue is empty and every worker is idle.
   void drain();
@@ -51,7 +58,9 @@ class ThreadPool {
   std::size_t active() const;
   std::uint64_t jobs_submitted() const;
   std::uint64_t jobs_completed() const;
+  std::uint64_t jobs_rejected() const;  // try_submit refusals
   std::size_t max_queue_depth() const;
+  std::size_t queue_limit() const noexcept { return queue_limit_; }
 
  private:
   void worker_loop();
@@ -62,10 +71,12 @@ class ThreadPool {
   std::condition_variable all_idle_;
   std::deque<Job> queue_;
   std::vector<std::thread> workers_;
+  std::size_t queue_limit_ = 0;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
   std::size_t max_queue_depth_ = 0;
 };
 

@@ -142,11 +142,14 @@ TEST(RequestParserTest, EnforcesBodyLimit) {
   EXPECT_EQ(parser.error().code, "http.too_large");
 }
 
+// Header-side overflows carry their own code ("http.headers_too_large",
+// surfaced as 431) so they are distinguishable from oversized bodies
+// ("http.too_large" → 413).
 TEST(RequestParserTest, EnforcesLineLimit) {
   RequestParser parser(ParserLimits{.max_line_bytes = 32});
   parser.feed("GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n");
   ASSERT_TRUE(parser.failed());
-  EXPECT_EQ(parser.error().code, "http.too_large");
+  EXPECT_EQ(parser.error().code, "http.headers_too_large");
 }
 
 TEST(RequestParserTest, EnforcesHeaderCountLimit) {
@@ -156,7 +159,34 @@ TEST(RequestParserTest, EnforcesHeaderCountLimit) {
   wire += "\r\n";
   parser.feed(wire);
   ASSERT_TRUE(parser.failed());
-  EXPECT_EQ(parser.error().code, "http.too_large");
+  EXPECT_EQ(parser.error().code, "http.headers_too_large");
+}
+
+TEST(RequestParserTest, EnforcesTotalHeaderBytesLimit) {
+  // Each line fits the per-line cap, but the block as a whole exceeds
+  // max_headers_bytes — the slow-drip header attack the total cap stops.
+  RequestParser parser(
+      ParserLimits{.max_line_bytes = 128, .max_headers_bytes = 256});
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 10; ++i)
+    wire += "H" + std::to_string(i) + ": " + std::string(40, 'v') + "\r\n";
+  wire += "\r\n";
+  parser.feed(wire);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error().code, "http.headers_too_large");
+}
+
+// parse_u64 is digits-only: a Content-Length smuggling a sign, hex, an
+// inner space, or an empty value must be rejected, not silently coerced.
+// (Leading/trailing OWS around the value is trimmed before parsing —
+// that much is RFC-legal.)
+TEST(RequestParserTest, RejectsNonCanonicalContentLength) {
+  for (const std::string bad : {"+5", "-5", "0x5", "5 5", ""}) {
+    RequestParser parser;
+    parser.feed("POST / HTTP/1.1\r\nContent-Length: " + bad + "\r\n\r\n");
+    ASSERT_TRUE(parser.failed()) << "Content-Length '" << bad << "'";
+    EXPECT_EQ(parser.error().code, "http.parse") << bad;
+  }
 }
 
 TEST(ResponseParserTest, ParsesResponse) {
