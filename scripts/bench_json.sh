@@ -202,6 +202,81 @@ EOF
   echo "wrote $out"
   ;;
 
+durability)
+  # E15: the price of durability. Gates:
+  #   - group-commit put p99 (fsync mode, multi-threaded) within
+  #     W5_DURABILITY_P99_FACTOR (default 3) of the in-memory baseline
+  #     once the irreducible device cost is added — a put arriving
+  #     mid-batch waits out the in-flight fsync and then its own, so the
+  #     floor is two raw fsyncs. A fsync-per-put regression (no group
+  #     commit) lands at ~threads x fsync and fails the gate.
+  #   - 4096-entry WAL replay under W5_RECOVERY_BUDGET_MS (default 500).
+  factor="${W5_DURABILITY_P99_FACTOR:-3}"
+  recovery_budget="${W5_RECOVERY_BUDGET_MS:-500}"
+  build_bench "$build_dir" bench_durability
+  run_bench "$build_dir" bench_durability "$out"
+  python3 - "$out" "$factor" "$recovery_budget" <<'EOF'
+import json, sys
+path, factor, budget_ms = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+data = json.load(open(path))
+
+p99 = {}       # benchmark name (sans /real_time) -> p99_us
+recovery = {}  # entries -> wall ms
+for b in data.get("benchmarks", []):
+    name = b.get("name", "").removesuffix("/real_time")
+    if "p99_us" in b:
+        p99[name] = b["p99_us"]
+    if name.startswith("BM_Recovery/"):
+        t = b.get("real_time", 0.0)
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+        recovery[int(name.rsplit("/", 1)[1])] = t * scale
+
+failures = []
+base = p99.get("BM_GroupCommitPut/0/8")
+floor = p99.get("BM_RawFsync")
+if base is None or floor is None:
+    failures.append("missing baseline (BM_GroupCommitPut/0/8) or "
+                    "device floor (BM_RawFsync)")
+else:
+    limit = factor * (base + 2 * floor)
+    print(f"in-memory p99 {base:.0f}us, device fsync p99 {floor:.0f}us "
+          f"-> group-commit limit {limit:.0f}us (factor {factor})")
+    for threads in (4, 8):
+        name = f"BM_GroupCommitPut/3/{threads}"
+        got = p99.get(name)
+        if got is None:
+            failures.append(f"missing {name}")
+            continue
+        verdict = "ok" if got <= limit else "FAIL"
+        print(f"{name}: p99 {got:.0f}us ({verdict})")
+        if got > limit:
+            failures.append(f"{name}: p99 {got:.0f}us > {limit:.0f}us")
+
+if 4096 not in recovery:
+    failures.append("missing BM_Recovery/4096")
+else:
+    print(f"recovery of 4096-entry WAL: {recovery[4096]:.1f}ms "
+          f"(budget {budget_ms:.0f}ms)")
+    if recovery[4096] > budget_ms:
+        failures.append(f"recovery {recovery[4096]:.1f}ms > {budget_ms}ms")
+
+data["e15_gates"] = {
+    "p99_factor": factor,
+    "p99_gate": "fsync group-commit p99 <= factor * (inmem p99 + 2*fsync)",
+    "recovery_budget_ms": budget_ms,
+    "failures": failures,
+}
+json.dump(data, open(path, "w"), indent=1)
+if failures:
+    print("FAIL: " + "; ".join(failures))
+    sys.exit(1)
+print("E15 durability gates passed")
+EOF
+  annotate_snapshot "$out"
+  echo "wrote $out"
+  ;;
+
 *)
   # Any other suite: run bench_<suite> as-is and annotate.
   build_bench "$build_dir" "bench_${suite}"

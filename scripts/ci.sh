@@ -2,8 +2,9 @@
 # The one-command verification gate: tier-1 build + tests, then the
 # sanitizer matrix (scripts/run_sanitizers.sh).
 #
-#   scripts/ci.sh            # build + ctest + TSan + ASan/UBSan
-#   scripts/ci.sh fast       # build + ctest only
+#   scripts/ci.sh            # build + ctest + durability + TSan + ASan/UBSan
+#   scripts/ci.sh fast       # build + ctest + durability (no sanitizers)
+#   scripts/ci.sh durability # build + crash-matrix/recovery stage only
 #
 # Exits non-zero on the first failing stage, so it can anchor any real CI
 # job as-is.
@@ -17,6 +18,29 @@ echo "== Tier-1: build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 
+durability_stage() {
+  echo "== Durability: crash matrix + recovery (DESIGN.md §13) =="
+  # Every WAL frame boundary ±1 byte, plus the WAL/snapshot/provider
+  # recovery suites — the plug-pull guarantees, explicitly reported.
+  ./build/tests/w5_tests \
+    --gtest_filter='WalTest.*:SnapshotTest.*:DurabilityProviderTest.*:CrashMatrixTest.*' \
+    --gtest_brief=1
+
+  echo "== Durability: recovery smoke under ASan =="
+  cmake -B build-asan -S . -DW5_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$jobs" --target w5_tests
+  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/w5_tests \
+    --gtest_filter='CrashMatrixTest.*:DurabilityProviderTest.*' \
+    --gtest_brief=1
+}
+
+if [[ "$leg" == "durability" ]]; then
+  durability_stage
+  echo "ci: durability stage passed"
+  exit 0
+fi
+
 echo "== Tier-1: tests =="
 (cd build && ctest --output-on-failure -j "$jobs")
 
@@ -25,6 +49,8 @@ echo "== Chaos: fault-injection + robustness suites =="
 # chaos suites an explicitly named stage a CI job can report on.
 ./build/tests/w5_tests --gtest_filter='*FaultInjection*:*NetRobustness*' \
   --gtest_brief=1
+
+durability_stage
 
 if [[ "$leg" != "fast" ]]; then
   scripts/run_sanitizers.sh

@@ -99,6 +99,26 @@ UserPolicy PolicyStore::get(const std::string& user_id) const {
 void PolicyStore::set(const std::string& user_id, UserPolicy policy) {
   std::unique_lock lock(mutex_);
   policies_[user_id] = std::move(policy);
+  std::uint64_t seq = 0;
+  if (mutation_log_ != nullptr) {
+    util::Json op;
+    op["op"] = "policy.set";
+    op["user"] = user_id;
+    op["policy"] = policies_[user_id].to_json();
+    seq = mutation_log_->log(op);
+  }
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+}
+
+util::Status PolicyStore::apply_wal(const util::Json& op) {
+  if (op.at("op").as_string() != "policy.set")
+    return util::make_error("wal.replay", "unknown policy op");
+  auto policy = UserPolicy::from_json(op.at("policy"));
+  if (!policy.ok()) return policy.error();
+  std::unique_lock lock(mutex_);
+  policies_[op.at("user").as_string()] = std::move(policy).value();
+  return util::ok_status();
 }
 
 util::Json PolicyStore::to_json() const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/json.h"
+#include "util/mutation_log.h"
 #include "util/result.h"
 
 namespace w5::platform {
@@ -65,10 +66,18 @@ class PolicyStore {
   util::Json to_json() const;
   util::Status load_json(const util::Json& snapshot);
 
+  // ---- Durability (DESIGN.md §13) -------------------------------------------
+  // set() is already the trusted control plane (the gateway authenticates
+  // before calling); with a log attached it publishes policy.set with the
+  // full policy document.
+  void set_mutation_log(util::MutationLog* log) { mutation_log_ = log; }
+  util::Status apply_wal(const util::Json& op);  // TRUSTED replay apply
+
  private:
   mutable std::shared_mutex mutex_;
   UserPolicy default_policy_;
   std::map<std::string, UserPolicy> policies_;
+  util::MutationLog* mutation_log_ = nullptr;
 };
 
 }  // namespace w5::platform

@@ -4,6 +4,7 @@
 #include "difc/codec.h"
 #include "net/cookies.h"
 #include "net/http_server.h"
+#include "util/log.h"
 
 #include <fstream>
 #include <sstream>
@@ -64,15 +65,68 @@ Provider::Provider(ProviderConfig config, const util::Clock& clock)
 
   gateway_ = std::make_unique<Gateway>(*this);
 
-  // Filesystem skeleton.
+  // Filesystem skeleton — code-created bootstrap state, recreated on
+  // every boot *before* durability attaches, so it is never WAL-logged.
   (void)fs_.mkdir(os::kKernelPid, "/users", {});
   (void)fs_.mkdir(os::kKernelPid, "/apps", {});
+
+  if (config_.durability.enabled) init_durability();
 }
 
 Provider::~Provider() {
   // Workers may hold references into members destroyed below; stop them
   // first.
   if (pool_ != nullptr) pool_->shutdown();
+  // Then the durability plane: the last worker mutations are enqueued by
+  // now, and close() drains them to disk before the components that
+  // published them are torn down.
+  if (durable_ != nullptr) durable_->close();
+}
+
+void Provider::init_durability() {
+  durable_ =
+      std::make_unique<store::DurableStore>(config_.durability, &metrics_);
+  auto recovered = durable_->recover(
+      [this](const std::string& payload) -> util::Status {
+        auto parsed = util::Json::parse(payload);
+        if (!parsed.ok()) return parsed.error();
+        return restore(parsed.value());
+      },
+      [this](const util::Json& op) { return apply_wal_op(op); });
+  if (!recovered.ok()) {
+    durability_status_ = recovered.error();
+    durable_.reset();
+    util::log_error("provider: durability disabled: ",
+                    durability_status_.error().detail);
+    return;
+  }
+  recovery_stats_ = recovered.value();
+  // Attach the log only *after* recovery: replayed mutations must not be
+  // re-logged — and the trusted apply paths skip kernel charges, audit
+  // events, and telemetry, so recovery charges each op exactly once (at
+  // original execution time, never again).
+  kernel_.tags().set_mutation_log(durable_.get());
+  users_.set_mutation_log(durable_.get());
+  policies_.set_mutation_log(durable_.get());
+  fs_.set_mutation_log(durable_.get());
+  store_.set_mutation_log(durable_.get());
+  durable_->set_checkpoint_source([this] { return snapshot().dump(); });
+}
+
+util::Status Provider::apply_wal_op(const util::Json& op) {
+  const std::string& kind = op.at("op").as_string();
+  if (kind.starts_with("store.")) return store_.apply_wal(op);
+  if (kind.starts_with("fs.")) return fs_.apply_wal(op);
+  if (kind.starts_with("tag.")) return kernel_.tags().apply_wal(op);
+  if (kind.starts_with("policy.")) return policies_.apply_wal(op);
+  if (kind.starts_with("user.")) return users_.apply_wal(op);
+  return util::make_error("wal.replay", "unknown op '" + kind + "'");
+}
+
+util::Status Provider::checkpoint() {
+  if (durable_ == nullptr)
+    return util::make_error("wal.checkpoint", "durability disabled");
+  return durable_->checkpoint();
 }
 
 os::ThreadPool& Provider::worker_pool() {
@@ -144,6 +198,10 @@ util::Status Provider::restore(const util::Json& snapshot) {
   if (!caps.ok()) return caps.error();
   // Validate everything into temporaries before mutating live state.
   kernel_.tags() = std::move(tags).value();
+  // Drop pre-restore global capabilities before republishing: tag ids are
+  // reused across restores, so a stale entry could grant t+ for a
+  // different tag now wearing the same id.
+  kernel_.clear_global_capabilities();
   for (const auto& cap : caps.value().capabilities())
     kernel_.add_global_capability(cap);
   if (auto status = users_.load_json(snapshot.at("users")); !status.ok())

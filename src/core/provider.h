@@ -26,6 +26,7 @@
 #include "os/filesystem.h"
 #include "os/kernel.h"
 #include "os/thread_pool.h"
+#include "store/durable_store.h"
 #include "store/labeled_store.h"
 #include "util/clock.h"
 #include "util/metrics.h"
@@ -74,6 +75,12 @@ struct ProviderConfig {
   // Per-request wall-clock budget stamped into RequestContext at the
   // gateway (tightened by a client X-W5-Deadline-Ms header; 0 disables).
   util::Micros request_deadline_micros = 30'000'000;
+  // ---- Durability (DESIGN.md §13) -----------------------------------------
+  // Off by default: the provider stays purely in-memory, as before. When
+  // enabled, construction recovers from durability.dir (newest valid
+  // snapshot + WAL tail) and every later mutation is WAL-logged per the
+  // configured mode before its request completes.
+  store::DurabilityConfig durability;
 };
 
 class Provider {
@@ -160,7 +167,26 @@ class Provider {
   // same pattern as the friend-list declassifier (§3.1 pluggability).
   void add_group_declassifier(const std::string& group);
 
+  // ---- Durability (DESIGN.md §13) -----------------------------------------
+  // Null when config().durability.enabled is false, or when bringing the
+  // plane up failed (durability_status() then carries the error and the
+  // provider runs in-memory rather than refusing to start).
+  store::DurableStore* durable() noexcept { return durable_.get(); }
+  const store::DurableStore::RecoveryStats& recovery_stats() const noexcept {
+    return recovery_stats_;
+  }
+  const util::Status& durability_status() const noexcept {
+    return durability_status_;
+  }
+  // Rotate + snapshot + GC now (the compactor does this on its own
+  // cadence; tests and operators force it here).
+  util::Status checkpoint();
+
  private:
+  void init_durability();
+  // Dispatches a replayed WAL op to the owning component's trusted apply.
+  util::Status apply_wal_op(const util::Json& op);
+
   ProviderConfig config_;
   const util::Clock& clock_;
   os::Kernel kernel_;
@@ -181,6 +207,11 @@ class Provider {
   std::unique_ptr<os::ThreadPool> pool_;  // lazy; see worker_pool()
   std::atomic<os::ThreadPool*> pool_ptr_{nullptr};
   net::ServerStats server_stats_;
+  // Durability plane; components hold a MutationLog* into it, and the
+  // destructor closes it only after the worker pool has stopped.
+  std::unique_ptr<store::DurableStore> durable_;
+  store::DurableStore::RecoveryStats recovery_stats_;
+  util::Status durability_status_ = util::ok_status();
 };
 
 }  // namespace w5::platform

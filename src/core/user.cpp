@@ -71,6 +71,22 @@ util::Result<const UserAccount*> UserDirectory::create(
   tag_owner_[account.read_tag] = id;
   const auto [it, inserted] = users_.emplace(id, std::move(account));
   (void)inserted;
+  std::uint64_t seq = 0;
+  if (mutation_log_ != nullptr) {
+    const UserAccount& placed = it->second;
+    util::Json op;
+    op["op"] = "user.create";
+    op["id"] = placed.id;
+    op["display_name"] = placed.display_name;
+    op["sec"] = placed.secrecy_tag.id();
+    op["wp"] = placed.write_tag.id();
+    op["rp"] = placed.read_tag.id();
+    op["salt"] = placed.password_salt;
+    op["hash"] = placed.password_hash;
+    seq = mutation_log_->log(op);
+  }
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return &it->second;
 }
 
@@ -88,6 +104,15 @@ bool UserDirectory::remove(const std::string& id) {
   tag_owner_.erase(it->second.write_tag);
   tag_owner_.erase(it->second.read_tag);
   users_.erase(it);
+  std::uint64_t seq = 0;
+  if (mutation_log_ != nullptr) {
+    util::Json op;
+    op["op"] = "user.remove";
+    op["id"] = id;
+    seq = mutation_log_->log(op);
+  }
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return true;
 }
 
@@ -169,6 +194,46 @@ util::Status UserDirectory::load_json(const util::Json& snapshot) {
   users_ = std::move(users);
   tag_owner_ = std::move(tag_owner);
   return util::ok_status();
+}
+
+util::Status UserDirectory::apply_wal(const util::Json& op) {
+  const std::string& kind = op.at("op").as_string();
+  if (kind == "user.create") {
+    UserAccount account;
+    account.id = op.at("id").as_string();
+    account.display_name = op.at("display_name").as_string();
+    account.secrecy_tag =
+        difc::Tag(static_cast<std::uint64_t>(op.at("sec").as_int()));
+    account.write_tag =
+        difc::Tag(static_cast<std::uint64_t>(op.at("wp").as_int()));
+    account.read_tag =
+        difc::Tag(static_cast<std::uint64_t>(op.at("rp").as_int()));
+    account.password_salt = op.at("salt").as_string();
+    account.password_hash = op.at("hash").as_string();
+    if (account.id.empty() || !account.secrecy_tag.valid() ||
+        !account.write_tag.valid() || !account.read_tag.valid()) {
+      return util::make_error("wal.replay", "malformed user.create op");
+    }
+    // Same boilerplate the original signup published.
+    kernel_.add_global_capability(difc::plus(account.secrecy_tag));
+    std::unique_lock lock(mutex_);
+    tag_owner_[account.secrecy_tag] = account.id;
+    tag_owner_[account.write_tag] = account.id;
+    tag_owner_[account.read_tag] = account.id;
+    users_.insert_or_assign(account.id, std::move(account));
+    return util::ok_status();
+  }
+  if (kind == "user.remove") {
+    std::unique_lock lock(mutex_);
+    const auto it = users_.find(op.at("id").as_string());
+    if (it == users_.end()) return util::ok_status();  // idempotent
+    tag_owner_.erase(it->second.secrecy_tag);
+    tag_owner_.erase(it->second.write_tag);
+    tag_owner_.erase(it->second.read_tag);
+    users_.erase(it);
+    return util::ok_status();
+  }
+  return util::make_error("wal.replay", "unknown user op '" + kind + "'");
 }
 
 std::vector<std::string> UserDirectory::user_ids() const {

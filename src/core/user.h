@@ -20,6 +20,7 @@
 #include "difc/tag.h"
 #include "util/json.h"
 #include "os/kernel.h"
+#include "util/mutation_log.h"
 #include "util/result.h"
 
 namespace w5::platform {
@@ -73,11 +74,20 @@ class UserDirectory {
   util::Json to_json() const;
   util::Status load_json(const util::Json& snapshot);
 
+  // ---- Durability (DESIGN.md §13) -------------------------------------------
+  // create()/remove() publish user.create / user.remove ops. The three
+  // tag.create ops the kernel mints during create() are logged first (by
+  // the registry), so replay re-mints tags before the account references
+  // them — same order as the original execution.
+  void set_mutation_log(util::MutationLog* log) { mutation_log_ = log; }
+  util::Status apply_wal(const util::Json& op);  // TRUSTED replay apply
+
  private:
   os::Kernel& kernel_;
   mutable std::shared_mutex mutex_;
   std::map<std::string, UserAccount> users_;  // ordered for determinism
   std::map<difc::Tag, std::string> tag_owner_;
+  util::MutationLog* mutation_log_ = nullptr;
 };
 
 // Password hashing: salted, iterated SHA-256. (A production provider

@@ -1,5 +1,6 @@
 #include "difc/tag_registry.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "difc/label_table.h"
@@ -48,13 +49,43 @@ TagRegistry& TagRegistry::operator=(TagRegistry&& other) noexcept {
 Tag TagRegistry::create(std::string name, TagPurpose purpose,
                         std::string owner) {
   Tag tag;
+  std::uint64_t seq = 0;
   {
     std::unique_lock lock(mutex_);
     tag = Tag(next_id_++);
     info_[tag] = TagInfo{std::move(name), purpose, std::move(owner)};
+    if (mutation_log_ != nullptr) {
+      const TagInfo& info = info_[tag];
+      util::Json op;
+      op["op"] = "tag.create";
+      op["id"] = tag.id();
+      op["name"] = info.name;
+      op["purpose"] = to_string(info.purpose);
+      op["owner"] = info.owner;
+      seq = mutation_log_->log(op);
+    }
   }
   LabelTable::instance().invalidate();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return tag;
+}
+
+util::Status TagRegistry::apply_wal(const util::Json& op) {
+  if (op.at("op").as_string() != "tag.create")
+    return util::make_error("wal.replay", "unknown tag op");
+  const auto id = op.at("id").as_int(0);
+  if (id <= 0) return util::make_error("wal.replay", "bad tag id");
+  const auto purpose = tag_purpose_from_string(op.at("purpose").as_string());
+  if (!purpose) return util::make_error("wal.replay", "unknown tag purpose");
+  {
+    std::unique_lock lock(mutex_);
+    const Tag tag(static_cast<std::uint64_t>(id));
+    info_[tag] = TagInfo{op.at("name").as_string(), *purpose,
+                         op.at("owner").as_string()};
+    next_id_ = std::max(next_id_, static_cast<std::uint64_t>(id) + 1);
+  }
+  LabelTable::instance().invalidate();
+  return util::ok_status();
 }
 
 std::size_t TagRegistry::size() const {
@@ -84,13 +115,21 @@ std::string TagRegistry::describe(Tag tag) const {
 
 util::Json TagRegistry::to_json() const {
   std::shared_lock lock(mutex_);
+  // Sort by id: unordered_map iteration order would make snapshot bytes
+  // vary run to run, breaking checksum comparisons between snapshots of
+  // identical state.
+  std::vector<std::pair<Tag, const TagInfo*>> sorted;
+  sorted.reserve(info_.size());
+  for (const auto& [tag, info] : info_) sorted.emplace_back(tag, &info);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   util::Json tags = util::Json::array();
-  for (const auto& [tag, info] : info_) {
+  for (const auto& [tag, info] : sorted) {
     util::Json entry;
     entry["id"] = tag.id();
-    entry["name"] = info.name;
-    entry["purpose"] = to_string(info.purpose);
-    entry["owner"] = info.owner;
+    entry["name"] = info->name;
+    entry["purpose"] = to_string(info->purpose);
+    entry["owner"] = info->owner;
     tags.push_back(std::move(entry));
   }
   util::Json out;

@@ -15,6 +15,7 @@
 
 #include "difc/tag.h"
 #include "util/json.h"
+#include "util/mutation_log.h"
 #include "util/result.h"
 
 namespace w5::difc {
@@ -60,13 +61,27 @@ class TagRegistry {
   // All registered tags (unspecified order).
   std::vector<Tag> all() const;
 
+  // Serialization is sorted by tag id so snapshot bytes are deterministic
+  // (the durability plane checksums and compares them across runs).
   util::Json to_json() const;
   static util::Result<TagRegistry> from_json(const util::Json& j);
+
+  // ---- Durability (DESIGN.md §13) -------------------------------------------
+  // Minting is a mutation: with a log attached, create() publishes a
+  // tag.create op (explicit id) and waits for it per the log's mode.
+  // Move-assignment (snapshot restore) keeps the *destination's* log —
+  // restored registries are built without one.
+  void set_mutation_log(util::MutationLog* log) { mutation_log_ = log; }
+
+  // TRUSTED replay apply: re-mints the exact id, bumps next_id_ past it,
+  // and flushes the flow-check memo. Idempotent.
+  util::Status apply_wal(const util::Json& op);
 
  private:
   mutable std::shared_mutex mutex_;
   std::uint64_t next_id_ = 1;  // 0 reserved as invalid
   std::unordered_map<Tag, TagInfo> info_;
+  util::MutationLog* mutation_log_ = nullptr;
 };
 
 }  // namespace w5::difc

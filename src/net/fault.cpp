@@ -1,6 +1,12 @@
 #include "net/fault.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
 
 namespace w5::net {
 
@@ -127,6 +133,159 @@ util::Status FaultyConnection::write(std::string_view data) {
       break;
   }
   return inner_->write(data);
+}
+
+// ---- File I/O faults -------------------------------------------------------
+
+struct FileFaultPlan::State {
+  std::mutex mutex;
+  bool seeded = false;
+  FileFaultProfile profile{};
+  util::Rng rng{0};
+  std::uint64_t crash_offset = UINT64_MAX;  // cumulative attempted bytes
+  std::uint64_t attempted = 0;
+  FileFaultStats stats;
+};
+
+FileFaultPlan::FileFaultPlan() : state_(std::make_shared<State>()) {}
+
+FileFaultPlan FileFaultPlan::crash_at(std::uint64_t offset) {
+  FileFaultPlan plan;
+  plan.state_->crash_offset = offset;
+  return plan;
+}
+
+FileFaultPlan FileFaultPlan::seeded(std::uint64_t seed,
+                                    FileFaultProfile profile) {
+  FileFaultPlan plan;
+  plan.state_->seeded = true;
+  plan.state_->profile = profile;
+  plan.state_->rng = util::Rng(seed);
+  return plan;
+}
+
+FileFaultPlan FileFaultPlan::seeded_crash(std::uint64_t seed,
+                                          FileFaultProfile profile,
+                                          std::uint64_t crash_offset) {
+  FileFaultPlan plan = seeded(seed, profile);
+  plan.state_->crash_offset = crash_offset;
+  return plan;
+}
+
+std::size_t FileFaultPlan::admit_write(std::size_t requested) {
+  State& s = *state_;
+  std::lock_guard lock(s.mutex);
+  std::size_t admitted = requested;
+  if (s.seeded && requested > 1 &&
+      s.rng.next_double() < s.profile.short_write_probability) {
+    ++s.stats.short_writes;
+    admitted = 1 + static_cast<std::size_t>(s.rng.next_below(std::min(
+                       static_cast<std::uint64_t>(requested),
+                       static_cast<std::uint64_t>(std::max<std::size_t>(
+                           s.profile.max_short_write_bytes, 1)))));
+  }
+  // The crash point indexes *persisted* logical bytes: short-written
+  // remainders are retried (not lost), so they advance nothing here and a
+  // test can enumerate crash offsets straight off frame boundaries.
+  if (s.attempted + admitted > s.crash_offset) {
+    admitted = s.crash_offset > s.attempted
+                   ? static_cast<std::size_t>(s.crash_offset - s.attempted)
+                   : 0;
+    s.stats.crashed = true;
+    s.stats.dropped_bytes += requested - admitted;
+  }
+  s.attempted += admitted;
+  return admitted;
+}
+
+bool FileFaultPlan::crashed() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->stats.crashed;
+}
+
+FileFaultStats FileFaultPlan::stats() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->stats;
+}
+
+FaultyFile::~FaultyFile() { close(); }
+
+FaultyFile::FaultyFile(FaultyFile&& other) noexcept
+    : fd_(other.fd_), persisted_(other.persisted_), plan_(other.plan_) {
+  other.fd_ = -1;
+}
+
+FaultyFile& FaultyFile::operator=(FaultyFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    persisted_ = other.persisted_;
+    plan_ = other.plan_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Result<FaultyFile> FaultyFile::open_with_flags(const std::string& path,
+                                                     int flags,
+                                                     FileFaultPlan plan) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return util::make_error("io.open", "cannot open '" + path + "': " +
+                                           std::strerror(errno));
+  }
+  FaultyFile file;
+  file.fd_ = fd;
+  file.plan_ = std::move(plan);
+  return file;
+}
+
+util::Result<FaultyFile> FaultyFile::create(const std::string& path,
+                                            FileFaultPlan plan) {
+  return open_with_flags(path, O_WRONLY | O_CREAT | O_TRUNC, std::move(plan));
+}
+
+util::Result<FaultyFile> FaultyFile::open_append(const std::string& path,
+                                                 FileFaultPlan plan) {
+  return open_with_flags(path, O_WRONLY | O_CREAT | O_APPEND,
+                         std::move(plan));
+}
+
+util::Status FaultyFile::write_all(std::string_view data) {
+  if (fd_ < 0) return util::make_error("io.write", "file not open");
+  while (!data.empty()) {
+    const std::size_t admitted = plan_.admit_write(data.size());
+    if (admitted > 0) {
+      std::string_view chunk = data.substr(0, admitted);
+      while (!chunk.empty()) {
+        const ssize_t n = ::write(fd_, chunk.data(), chunk.size());
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return util::make_error("io.write", std::strerror(errno));
+        }
+        persisted_ += static_cast<std::uint64_t>(n);
+        chunk.remove_prefix(static_cast<std::size_t>(n));
+      }
+    }
+    if (plan_.crashed()) return util::ok_status();  // rest is "lost"
+    data.remove_prefix(admitted);
+  }
+  return util::ok_status();
+}
+
+util::Status FaultyFile::sync() {
+  if (fd_ < 0) return util::make_error("io.sync", "file not open");
+  if (plan_.crashed()) return util::ok_status();  // never reached in reality
+  if (::fsync(fd_) != 0)
+    return util::make_error("io.sync", std::strerror(errno));
+  return util::ok_status();
+}
+
+void FaultyFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 void FaultyConnection::close() { inner_->close(); }

@@ -14,10 +14,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/backoff.h"  // SleepFn
 #include "net/transport.h"
+#include "util/result.h"
 #include "util/rng.h"
 
 namespace w5::net {
@@ -92,6 +94,102 @@ class FaultSchedule {
   std::vector<FaultAction> write_actions_;
   std::size_t read_cursor_ = 0;
   std::size_t write_cursor_ = 0;
+};
+
+// ---- File I/O faults (DESIGN.md §13) ---------------------------------------
+// The durability plane writes its WAL segments and snapshot files through
+// FaultyFile so crash-recovery tests can pull the plug deterministically.
+// Two fault kinds, mirroring what real storage does:
+//
+//   - short writes: write(2) persists fewer bytes than asked (seeded, so a
+//     fixed seed replays the identical split pattern); the writer's retry
+//     loop must reassemble without corrupting the stream.
+//   - crash-at-offset: every byte past a global offset N silently
+//     vanishes — as a power cut loses the page cache — while calls keep
+//     reporting success (the process that "crashed" never learns). fsync
+//     becomes a no-op from that point on.
+//
+// The offset is cumulative across every file sharing the plan (copies
+// share state), so one number models "power failed at byte N of the
+// durability byte stream" across WAL rotations and snapshot writes.
+
+struct FileFaultProfile {
+  double short_write_probability = 0.0;
+  std::size_t max_short_write_bytes = 16;  // short writes persist 1..max
+};
+
+// Per-plan occurrence counts (shared by copies, like the plan itself).
+struct FileFaultStats {
+  std::uint64_t short_writes = 0;
+  std::uint64_t dropped_bytes = 0;  // bytes swallowed past the crash point
+  bool crashed = false;
+};
+
+class FileFaultPlan {
+ public:
+  FileFaultPlan();  // no faults, ever
+
+  static FileFaultPlan crash_at(std::uint64_t offset);
+  static FileFaultPlan seeded(std::uint64_t seed, FileFaultProfile profile);
+  // Seeded short writes AND a crash point, for torn-frame matrices.
+  static FileFaultPlan seeded_crash(std::uint64_t seed,
+                                    FileFaultProfile profile,
+                                    std::uint64_t crash_offset);
+
+  // Consumes one write op: how many of `requested` bytes reach the disk.
+  // Advances the cumulative offset by the *requested* size so the crash
+  // point is a property of the attempted byte stream, not of the fault
+  // pattern (this is what makes offsets enumerable by tests).
+  std::size_t admit_write(std::size_t requested);
+
+  bool crashed() const;
+  FileFaultStats stats() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;  // copies share; default state is benign
+};
+
+// POSIX file handle that honors a FileFaultPlan. Only the write side is
+// perturbed — recovery reads what "survived the crash" verbatim.
+class FaultyFile {
+ public:
+  FaultyFile() = default;
+  ~FaultyFile();
+
+  FaultyFile(const FaultyFile&) = delete;
+  FaultyFile& operator=(const FaultyFile&) = delete;
+  FaultyFile(FaultyFile&& other) noexcept;
+  FaultyFile& operator=(FaultyFile&& other) noexcept;
+
+  // Creates (truncating) or opens for append.
+  static util::Result<FaultyFile> create(const std::string& path,
+                                         FileFaultPlan plan);
+  static util::Result<FaultyFile> open_append(const std::string& path,
+                                              FileFaultPlan plan);
+
+  // Writes all of `data`, looping over injected short writes. Bytes past
+  // the plan's crash point are dropped but reported as written.
+  util::Status write_all(std::string_view data);
+
+  // fsync(2); a no-op success after the injected crash (the real fsync
+  // would never have been reached).
+  util::Status sync();
+
+  bool valid() const { return fd_ >= 0; }
+  // Bytes actually persisted to this file (excludes crash-dropped bytes).
+  std::uint64_t persisted_bytes() const { return persisted_; }
+
+  void close();
+
+ private:
+  static util::Result<FaultyFile> open_with_flags(const std::string& path,
+                                                  int flags,
+                                                  FileFaultPlan plan);
+
+  int fd_ = -1;
+  std::uint64_t persisted_ = 0;
+  FileFaultPlan plan_;
 };
 
 // The decorator. Owns the wrapped transport; forwards timeouts so a

@@ -117,7 +117,11 @@ util::Status FileSystem::mkdir(Pid pid, const std::string& path,
   auto node = std::make_unique<Node>();
   node->is_directory = true;
   node->labels = labels;
+  const Node* placed = node.get();
   parent.value()->children.emplace(leaf, std::move(node));
+  const std::uint64_t seq = log_put_locked(path, *placed);
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -149,7 +153,11 @@ util::Status FileSystem::create(Pid pid, const std::string& path,
   node->is_directory = false;
   node->labels = labels;
   node->content = std::move(content);
+  const Node* placed = node.get();
   parent.value()->children.emplace(leaf, std::move(node));
+  const std::uint64_t seq = log_put_locked(path, *placed);
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -206,6 +214,9 @@ util::Status FileSystem::write(Pid pid, const std::string& path,
     }
   }
   node.value()->content = std::move(content);
+  const std::uint64_t seq = log_put_locked(path, *node.value());
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -230,6 +241,9 @@ util::Status FileSystem::append(Pid pid, const std::string& path,
     return charged;
   }
   node.value()->content += content;
+  const std::uint64_t seq = log_put_locked(path, *node.value());
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -258,6 +272,9 @@ util::Status FileSystem::unlink(Pid pid, const std::string& path) {
   if (it->second->is_directory && !it->second->children.empty())
     return util::make_error("fs.not_empty", path + ": directory not empty");
   parent.value()->children.erase(it);
+  const std::uint64_t seq = log_remove_locked(path);
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -321,6 +338,9 @@ util::Status FileSystem::relabel(Pid pid, const std::string& path,
                             "relabel: insufficient authority over delta");
   }
   node.value()->labels = labels;
+  const std::uint64_t seq = log_put_locked(path, *node.value());
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -361,6 +381,69 @@ util::Result<std::unique_ptr<FileSystem::Node>> FileSystem::node_from_json(
     node->content = j.at("content").as_string();
   }
   return node;
+}
+
+std::uint64_t FileSystem::log_put_locked(const std::string& path,
+                                         const Node& node) {
+  if (mutation_log_ == nullptr) return 0;
+  util::Json op;
+  op["op"] = "fs.put";
+  op["path"] = path;
+  op["dir"] = node.is_directory;
+  op["labels"] = difc::object_labels_to_json(node.labels);
+  if (!node.is_directory) op["content"] = node.content;
+  return mutation_log_->log(op);
+}
+
+std::uint64_t FileSystem::log_remove_locked(const std::string& path) {
+  if (mutation_log_ == nullptr) return 0;
+  util::Json op;
+  op["op"] = "fs.remove";
+  op["path"] = path;
+  return mutation_log_->log(op);
+}
+
+util::Status FileSystem::apply_wal(const util::Json& op) {
+  const std::string& kind = op.at("op").as_string();
+  std::unique_lock lock(mutex_);
+  if (kind == "fs.put") {
+    const auto parts = util::split_nonempty(op.at("path").as_string(), '/');
+    if (parts.empty())
+      return util::make_error("wal.replay", "fs.put on root");
+    auto labels = difc::object_labels_from_json(op.at("labels"));
+    if (!labels.ok()) return labels.error();
+    // Replay order normally creates parents before children; missing
+    // parents (a snapshot/WAL overlap edge) are conjured as plain
+    // directories and fixed up when their own fs.put replays.
+    Node* node = root_.get();
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+      auto& child = node->children[parts[i]];
+      if (child == nullptr) {
+        child = std::make_unique<Node>();
+        child->is_directory = true;
+      }
+      if (!child->is_directory)
+        return util::make_error("wal.replay",
+                                "fs.put through non-directory parent");
+      node = child.get();
+    }
+    auto& leaf = node->children[parts.back()];
+    if (leaf == nullptr) leaf = std::make_unique<Node>();
+    leaf->is_directory = op.at("dir").as_bool();
+    leaf->labels = std::move(labels).value();
+    // Directory replays carry no children: mkdir/relabel never touch
+    // them, so whatever the tree already holds stays.
+    if (!leaf->is_directory) leaf->content = op.at("content").as_string();
+    return util::ok_status();
+  }
+  if (kind == "fs.remove") {
+    std::string leaf;
+    auto parent = resolve_parent(op.at("path").as_string(), &leaf);
+    if (!parent.ok()) return util::ok_status();  // idempotent
+    parent.value()->children.erase(leaf);
+    return util::ok_status();
+  }
+  return util::make_error("wal.replay", "unknown fs op '" + kind + "'");
 }
 
 util::Json FileSystem::to_json() const {

@@ -18,6 +18,7 @@
 #include "difc/flow.h"
 #include "os/kernel.h"
 #include "util/json.h"
+#include "util/mutation_log.h"
 #include "util/result.h"
 
 namespace w5::os {
@@ -88,6 +89,16 @@ class FileSystem {
   util::Json to_json() const;
   util::Status load_json(const util::Json& snapshot);
 
+  // ---- Durability (DESIGN.md §13) -------------------------------------------
+  // With a log attached, every successful mutation publishes an fs.put
+  // (full node post-state: path, kind, labels, content) or fs.remove op
+  // before returning. Full state per op keeps replay idempotent.
+  void set_mutation_log(util::MutationLog* log) { mutation_log_ = log; }
+
+  // TRUSTED replay apply: reinstates the logged post-state without flow
+  // checks or charges (the original mutation already paid them).
+  util::Status apply_wal(const util::Json& op);
+
  private:
   struct Node {
     bool is_directory = false;
@@ -106,9 +117,16 @@ class FileSystem {
   static util::Result<std::unique_ptr<Node>> node_from_json(
       const util::Json& j);
 
+  // Enqueue an op while holding mutex_ exclusively (sequence order must
+  // match lock order); return 0 when no log is attached. The caller
+  // releases the lock and then waits on the returned sequence.
+  std::uint64_t log_put_locked(const std::string& path, const Node& node);
+  std::uint64_t log_remove_locked(const std::string& path);
+
   Kernel& kernel_;
   mutable std::shared_mutex mutex_;
   std::unique_ptr<Node> root_;
+  util::MutationLog* mutation_log_ = nullptr;
 };
 
 }  // namespace w5::os

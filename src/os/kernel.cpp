@@ -37,6 +37,11 @@ void Kernel::add_global_capability(difc::Capability cap) {
   global_caps_.add(cap);
 }
 
+void Kernel::clear_global_capabilities() {
+  std::unique_lock lock(mutex_);
+  global_caps_ = difc::CapabilitySet();
+}
+
 Pid Kernel::spawn_trusted(std::string name, difc::LabelState initial,
                           ResourceContainer* container) {
   std::unique_lock lock(mutex_);

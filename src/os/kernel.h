@@ -36,6 +36,11 @@ class Kernel {
   // --- Global capability set Ô -------------------------------------------
   difc::CapabilitySet global_caps() const;
   void add_global_capability(difc::Capability cap);
+  // Snapshot restore only: tag ids are reused across restores, so stale
+  // global capabilities from the pre-restore world could silently grant
+  // t+ for a *different* tag that now wears the same id. Restore clears
+  // the set, then re-publishes from the restored accounts.
+  void clear_global_capabilities();
 
   // --- Process lifecycle ---------------------------------------------------
   // Trusted spawn: only callable with parent == kKernelPid semantics (the

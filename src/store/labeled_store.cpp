@@ -83,7 +83,18 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
     record.version = 1;
     record.updated_micros = clock_.now();
     shard.by_owner[record.owner].push_back(key);
-    shard.records.emplace(key, std::move(record));
+    const auto inserted = shard.records.emplace(key, std::move(record)).first;
+    // log() under the shard lock so commit order matches lock order; the
+    // durability wait happens after release (never fsync under a lock).
+    std::uint64_t seq = 0;
+    if (mutation_log_ != nullptr) {
+      util::Json op;
+      op["op"] = "store.put";
+      op["record"] = inserted->second.to_json();
+      seq = mutation_log_->log(op);
+    }
+    lock.unlock();
+    if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
     return util::ok_status();
   }
 
@@ -108,6 +119,15 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
   existing.data = std::move(record.data);
   existing.version += 1;
   existing.updated_micros = clock_.now();
+  std::uint64_t seq = 0;
+  if (mutation_log_ != nullptr) {
+    util::Json op;
+    op["op"] = "store.put";
+    op["record"] = existing.to_json();
+    seq = mutation_log_->log(op);
+  }
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -177,6 +197,16 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
   std::erase(keys, key);
   if (keys.empty()) shard.by_owner.erase(it->second.owner);
   shard.records.erase(it);
+  std::uint64_t seq = 0;
+  if (mutation_log_ != nullptr) {
+    util::Json op;
+    op["op"] = "store.remove";
+    op["collection"] = collection;
+    op["id"] = id;
+    seq = mutation_log_->log(op);
+  }
+  lock.unlock();
+  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -350,6 +380,41 @@ util::Json LabeledStore::to_json() const {
   util::Json out;
   out["records"] = std::move(array);
   return out;
+}
+
+util::Status LabeledStore::apply_wal(const util::Json& op) {
+  const std::string& kind = op.at("op").as_string();
+  if (kind == "store.put") {
+    auto parsed = Record::from_json(op.at("record"));
+    if (!parsed.ok()) return parsed.error();
+    Record record = std::move(parsed).value();
+    const Key key{record.collection, record.id};
+    Shard& shard = shard_for(key);
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.records.find(key);
+    if (it == shard.records.end()) {
+      shard.by_owner[record.owner].push_back(key);
+      shard.records.emplace(key, std::move(record));
+    } else {
+      // Owner and labels are immutable through put(), so the index entry
+      // is already right; just install the logged post-state.
+      it->second = std::move(record);
+    }
+    return util::ok_status();
+  }
+  if (kind == "store.remove") {
+    const Key key{op.at("collection").as_string(), op.at("id").as_string()};
+    Shard& shard = shard_for(key);
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.records.find(key);
+    if (it == shard.records.end()) return util::ok_status();  // idempotent
+    auto& keys = shard.by_owner[it->second.owner];
+    std::erase(keys, key);
+    if (keys.empty()) shard.by_owner.erase(it->second.owner);
+    shard.records.erase(it);
+    return util::ok_status();
+  }
+  return util::make_error("wal.replay", "unknown store op '" + kind + "'");
 }
 
 util::Status LabeledStore::load_json(const util::Json& snapshot) {

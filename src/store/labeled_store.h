@@ -22,6 +22,7 @@
 #include "store/record.h"
 #include "util/clock.h"
 #include "util/metrics.h"
+#include "util/mutation_log.h"
 #include "util/result.h"
 
 namespace w5::store {
@@ -112,6 +113,18 @@ class LabeledStore {
   util::Json to_json() const;
   util::Status load_json(const util::Json& snapshot);
 
+  // ---- Durability (DESIGN.md §13) -------------------------------------------
+  // When a log is attached every successful put/remove publishes a
+  // store.put / store.remove op (full post-state, labels included) before
+  // the call returns, honoring the log's durability mode.
+  void set_mutation_log(util::MutationLog* log) { mutation_log_ = log; }
+
+  // TRUSTED replay apply: reinstates the op's exact post-state — no flow
+  // checks, no kernel charges, no telemetry (the original mutation was
+  // checked and charged when it first ran). Idempotent: replaying an op
+  // the snapshot already covers is a no-op-shaped overwrite.
+  util::Status apply_wal(const util::Json& op);
+
  private:
   using Key = std::pair<std::string, std::string>;  // (collection, id)
 
@@ -144,6 +157,7 @@ class LabeledStore {
 
   os::Kernel& kernel_;
   const util::Clock& clock_;
+  util::MutationLog* mutation_log_ = nullptr;
 };
 
 }  // namespace w5::store

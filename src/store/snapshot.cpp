@@ -1,0 +1,183 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "util/sha256.h"
+
+namespace w5::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".w5s";
+constexpr char kMagic[] = "w5snap1";
+
+struct SnapshotFile {
+  std::uint64_t boundary = 0;
+  fs::path path;
+  bool operator<(const SnapshotFile& other) const {
+    return boundary < other.boundary;
+  }
+};
+
+std::vector<SnapshotFile> list_snapshots(const std::string& dir) {
+  std::vector<SnapshotFile> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(kSnapshotPrefix) || !name.ends_with(kSnapshotSuffix))
+      continue;
+    const std::string digits = name.substr(
+        sizeof(kSnapshotPrefix) - 1,
+        name.size() - sizeof(kSnapshotPrefix) - sizeof(kSnapshotSuffix) + 2);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    out.push_back({std::strtoull(digits.c_str(), nullptr, 10), entry.path()});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+util::Status fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0)
+    return util::make_error("io.sync", "cannot open dir '" + dir + "'");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return util::make_error("io.sync", std::strerror(errno));
+  return util::ok_status();
+}
+
+}  // namespace
+
+std::string snapshot_file_name(std::uint64_t boundary) {
+  std::string digits = std::to_string(boundary);
+  return std::string(kSnapshotPrefix) +
+         std::string(20 - std::min<std::size_t>(digits.size(), 20), '0') +
+         digits + kSnapshotSuffix;
+}
+
+util::Status write_snapshot(const std::string& dir, std::uint64_t boundary,
+                            std::string_view payload,
+                            net::FileFaultPlan fault) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    return util::make_error("snapshot.write",
+                            "cannot create dir '" + dir + "'");
+
+  // Checksum streamed chunk-by-chunk — snapshots can be large and this is
+  // the same path load uses, so both sides exercise the incremental API.
+  util::Sha256 hasher;
+  constexpr std::size_t kChunk = 64 * 1024;
+  for (std::size_t off = 0; off < payload.size(); off += kChunk)
+    hasher.update(payload.substr(off, kChunk));
+  const std::string digest = hasher.finish_hex();
+
+  const fs::path final_path = fs::path(dir) / snapshot_file_name(boundary);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+
+  auto file = net::FaultyFile::create(tmp_path.string(), fault);
+  if (!file.ok()) return file.error();
+  std::string header = std::string(kMagic) + " " + std::to_string(boundary) +
+                       " " + digest + "\n";
+  if (auto status = file.value().write_all(header); !status.ok())
+    return status;
+  for (std::size_t off = 0; off < payload.size(); off += kChunk) {
+    if (auto status = file.value().write_all(payload.substr(off, kChunk));
+        !status.ok())
+      return status;
+  }
+  if (auto status = file.value().sync(); !status.ok()) return status;
+  file.value().close();
+
+  // A crashed plan means the simulated machine died before this point:
+  // the rename must not happen, or the test would "publish" a snapshot
+  // whose tail was lost.
+  if (fault.crashed()) return util::ok_status();
+
+  fs::rename(tmp_path, final_path, ec);
+  if (ec)
+    return util::make_error("snapshot.write",
+                            "rename failed: " + tmp_path.string());
+  return fsync_dir(dir);
+}
+
+util::Result<LoadedSnapshot> load_latest_snapshot(const std::string& dir) {
+  std::vector<SnapshotFile> snapshots = list_snapshots(dir);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    std::ifstream in(it->path, std::ios::binary);
+    if (!in) continue;
+    std::string header;
+    if (!std::getline(in, header)) continue;
+    // "w5snap1 <boundary> <sha256hex>"
+    const std::size_t sp1 = header.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : header.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos || header.substr(0, sp1) != kMagic) continue;
+    const std::string boundary_text = header.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string want_digest = header.substr(sp2 + 1);
+    if (std::strtoull(boundary_text.c_str(), nullptr, 10) != it->boundary)
+      continue;  // name/header disagree: not trustworthy
+
+    util::Sha256 hasher;
+    std::string payload;
+    std::string chunk(64 * 1024, '\0');
+    while (in.read(chunk.data(), static_cast<std::streamsize>(chunk.size())) ||
+           in.gcount() > 0) {
+      const std::string_view got(chunk.data(),
+                                 static_cast<std::size_t>(in.gcount()));
+      hasher.update(got);
+      payload += got;
+    }
+    if (hasher.finish_hex() != want_digest) continue;  // torn or rotted
+
+    LoadedSnapshot loaded;
+    loaded.found = true;
+    loaded.boundary = it->boundary;
+    loaded.payload = std::move(payload);
+    return loaded;
+  }
+  return LoadedSnapshot{};
+}
+
+util::Status remove_stale_snapshots(const std::string& dir,
+                                    std::uint64_t keep_boundary) {
+  std::vector<SnapshotFile> snapshots = list_snapshots(dir);
+  // Keep the newest snapshot at or below the boundary (it is the one
+  // recovery would load) and everything newer; delete strictly older ones.
+  std::uint64_t keep = 0;
+  for (const SnapshotFile& s : snapshots)
+    if (s.boundary <= keep_boundary) keep = std::max(keep, s.boundary);
+  for (const SnapshotFile& s : snapshots) {
+    if (s.boundary >= keep) continue;
+    std::error_code ec;
+    fs::remove(s.path, ec);
+    if (ec)
+      return util::make_error("snapshot.gc",
+                              "cannot remove " + s.path.string());
+  }
+  // Leftover .tmp files from interrupted writes are dead weight; sweep.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm;
+      fs::remove(entry.path(), rm);
+    }
+  }
+  return util::ok_status();
+}
+
+}  // namespace w5::store

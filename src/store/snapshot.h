@@ -1,0 +1,53 @@
+// Labeled snapshots for the durability plane (DESIGN.md §13).
+//
+// A snapshot is the full provider state — records, filesystem nodes, tag
+// registry, policies, and accounts, every one with its serialized
+// ObjectLabels — captured at a WAL rotation boundary R and written as
+// snapshot-<R>.w5s. The name is the contract: the snapshot covers every
+// sequence number < R, so recovery loads the newest valid snapshot and
+// replays only WAL segments at or after its boundary.
+//
+// Crash safety is the classic dance: write to a .tmp file, fsync it,
+// atomically rename into place, fsync the directory. A crash at any point
+// leaves either the old snapshot set intact or the new file complete —
+// never a half-visible snapshot, because the header embeds a streaming
+// SHA-256 of the payload and loaders skip any file that fails it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/fault.h"  // FileFaultPlan — crash injection for snapshot writes
+#include "util/result.h"
+
+namespace w5::store {
+
+// snapshot-<boundary, 20 decimal digits>.w5s
+std::string snapshot_file_name(std::uint64_t boundary);
+
+// Writes `payload` as the snapshot covering all seqs < `boundary`.
+// Faults from `fault` apply to the temp-file writes; if the plan crashes
+// mid-write the rename never happens (the "process" died first), leaving
+// prior snapshots untouched.
+util::Status write_snapshot(const std::string& dir, std::uint64_t boundary,
+                            std::string_view payload,
+                            net::FileFaultPlan fault = {});
+
+struct LoadedSnapshot {
+  bool found = false;
+  std::uint64_t boundary = 1;  // replay starts here (1 when no snapshot)
+  std::string payload;
+};
+
+// Scans `dir` for the newest snapshot whose checksum verifies, skipping
+// (not deleting) corrupt or torn ones — an older valid snapshot plus a
+// longer WAL replay is still a correct recovery.
+util::Result<LoadedSnapshot> load_latest_snapshot(const std::string& dir);
+
+// Compaction GC: removes snapshots older than the newest one at or below
+// `keep_boundary` (recovery only ever reads the newest valid file).
+util::Status remove_stale_snapshots(const std::string& dir,
+                                    std::uint64_t keep_boundary);
+
+}  // namespace w5::store

@@ -123,4 +123,36 @@ std::optional<std::string> base64url_decode(std::string_view text) {
   return b64_decode_impl(text, kB64Url);
 }
 
+namespace {
+
+// Table for the reflected polynomial 0xEDB88320, built once at startup.
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& crc_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view bytes) {
+  const auto& table = crc_table().entries;
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const char ch : bytes)
+    c = table[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view bytes) { return crc32_update(0, bytes); }
+
 }  // namespace w5::util

@@ -19,4 +19,12 @@ std::optional<std::string> base64_decode(std::string_view text);
 std::string base64url_encode(std::string_view bytes);
 std::optional<std::string> base64url_decode(std::string_view text);
 
+// CRC-32 (IEEE 802.3, reflected): frames every write-ahead-log record so
+// recovery can detect torn or bit-rotted tails (DESIGN.md §13). Resumable:
+// feed the previous return value back as `crc` to checksum a byte stream
+// in pieces; crc32(data) == crc32_update(crc32_update(0, a), b) for any
+// split of data into a || b.
+std::uint32_t crc32(std::string_view bytes);
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view bytes);
+
 }  // namespace w5::util

@@ -1,0 +1,32 @@
+// The hook durable components publish mutations through (DESIGN.md §13).
+//
+// Lives in util (the dependency root) so every labeled container — the
+// store, the filesystem, the tag registry, policies, user accounts — can
+// log without depending on the durability plane that implements it. The
+// two-call shape is deliberate: log() is called *inside* the component's
+// lock (it only assigns a sequence number and enqueues, so commit order
+// matches lock order), while wait_durable() is called *after* the lock is
+// released, so no component lock is ever held across an fsync.
+#pragma once
+
+#include <cstdint>
+
+namespace w5::util {
+
+class Json;
+
+class MutationLog {
+ public:
+  virtual ~MutationLog() = default;
+
+  // Enqueues one mutation (a self-describing JSON op) and returns its
+  // monotone sequence number. Returns 0 if the log is closed.
+  virtual std::uint64_t log(const Json& op) = 0;
+
+  // Blocks until `seq` is durable per the configured durability mode
+  // (returns immediately for interval/none modes). Never call while
+  // holding the lock under which `seq` was assigned.
+  virtual void wait_durable(std::uint64_t seq) = 0;
+};
+
+}  // namespace w5::util

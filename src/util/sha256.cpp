@@ -124,6 +124,14 @@ std::array<std::uint8_t, Sha256::kDigestSize> Sha256::finish() {
   return digest;
 }
 
+std::string Sha256::finish_hex() {
+  const auto digest = finish();
+  return hex_encode(std::string_view(
+      reinterpret_cast<const char*>(digest.data()), digest.size()));
+}
+
+void Sha256::reset() { *this = Sha256(); }
+
 std::string sha256_raw(std::string_view data) {
   Sha256 h;
   h.update(data);

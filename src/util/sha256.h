@@ -1,5 +1,8 @@
 // SHA-256 (FIPS 180-4), used for password hashing (salted), session token
-// derivation, and content fingerprints in the module registry.
+// derivation, content fingerprints in the module registry, and snapshot
+// checksums in the durability plane. The class is incremental
+// (init/update/final): snapshot files are hashed chunk-by-chunk as they
+// stream to and from disk, never buffering the whole file for the digest.
 #pragma once
 
 #include <array>
@@ -18,8 +21,16 @@ class Sha256 {
   void update(std::string_view data);
 
   // Finalizes and returns the raw 32-byte digest. The object must not be
-  // reused afterwards (construct a fresh one).
+  // reused afterwards without reset().
   std::array<std::uint8_t, kDigestSize> finish();
+
+  // Finalizes and returns the 64-char lowercase hex digest.
+  std::string finish_hex();
+
+  // Returns the object to its freshly-constructed state so one instance
+  // can hash a sequence of streams (the snapshot verifier reuses one
+  // hasher across candidate files).
+  void reset();
 
  private:
   void process_block(const std::uint8_t* block);

@@ -1,0 +1,210 @@
+// Crash matrix (DESIGN.md §13): pull the plug at every WAL frame
+// boundary — and one byte either side of it — and prove recovery always
+// lands on exactly the longest committed prefix, with every label intact
+// and a second recovery finding nothing more to repair.
+//
+// Method: one fault-free run of a fixed workload yields the canonical
+// frame stream (the workload is deterministic: simulated clock,
+// single-threaded requests, deterministic salts, sorted serializers).
+// Each matrix cell reruns the identical workload with a FileFaultPlan
+// that silently drops every byte past offset N — the power-cut model —
+// then recovers and compares against a reference provider rebuilt from
+// the first K committed frames alone.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/provider.h"
+#include "store/durable_store.h"
+#include "store/wal.h"
+#include "util/clock.h"
+
+namespace w5::store {
+namespace {
+
+namespace fs = std::filesystem;
+using net::Method;
+using platform::Provider;
+using platform::ProviderConfig;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    static int counter = 0;
+    path_ = (fs::temp_directory_path() /
+             ("w5_crash_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++)))
+                .string();
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ProviderConfig durable_config(const std::string& dir,
+                              net::FileFaultPlan fault = {}) {
+  ProviderConfig config;
+  config.durability.enabled = true;
+  config.durability.dir = dir;
+  config.durability.mode = DurabilityMode::kFsync;
+  config.durability.snapshot_every_entries = 0;  // no background compaction
+  config.durability.fault = fault;
+  return config;
+}
+
+// The fixed workload: two signups (tags, accounts, home dirs) and two
+// labeled records. Every op succeeds even under a crash plan — the
+// process doesn't know its disk is gone.
+void run_workload(const ProviderConfig& config, const util::Clock& clock) {
+  Provider provider(config, clock);
+  ASSERT_TRUE(provider.durability_status().ok());
+  ASSERT_TRUE(provider.signup("bob", "bobpw").ok());
+  ASSERT_TRUE(provider.signup("amy", "amypw").ok());
+  const std::string bob = provider.login("bob", "bobpw").value();
+  const std::string amy = provider.login("amy", "amypw").value();
+  ASSERT_EQ(provider.http(Method::kPost, "/data/photos/p1",
+                          R"({"title":"bob's"})", bob).status,
+            201);
+  ASSERT_EQ(provider.http(Method::kPost, "/data/photos/p2",
+                          R"({"title":"amy's"})", amy).status,
+            201);
+}
+
+// Frames of the canonical (fault-free) run, in sequence order.
+std::vector<std::string> canonical_frames(const std::string& dir) {
+  std::vector<std::string> payloads;
+  auto replayed = WriteAheadLog::replay(
+      dir, 1,
+      [&](std::uint64_t, const std::string& payload) {
+        payloads.push_back(payload);
+        return util::ok_status();
+      },
+      /*repair=*/false);
+  EXPECT_TRUE(replayed.ok());
+  EXPECT_FALSE(replayed.value().tail_torn);
+  return payloads;
+}
+
+// Builds a WAL directory holding exactly the first `k` canonical frames
+// and recovers a provider from it: the ground truth for "state after the
+// longest committed prefix of length k".
+std::string reference_state(const std::vector<std::string>& frames,
+                            std::size_t k, const util::Clock& clock) {
+  ScratchDir dir("ref");
+  fs::create_directories(dir.path());
+  std::string bytes;
+  for (std::size_t i = 0; i < k; ++i)
+    wal_encode_frame(i + 1, frames[i], bytes);
+  std::ofstream((fs::path(dir.path()) / wal_segment_name(1)).string(),
+                std::ios::binary)
+      << bytes;
+  Provider provider(durable_config(dir.path()), clock);
+  EXPECT_TRUE(provider.durability_status().ok());
+  EXPECT_EQ(provider.recovery_stats().last_seq, k);
+  return provider.snapshot().dump();
+}
+
+TEST(CrashMatrixTest, EveryFrameBoundaryPlusMinusOneByte) {
+  util::SimClock clock;
+
+  // Canonical run: no faults; capture the frame stream.
+  ScratchDir canonical("canonical");
+  run_workload(durable_config(canonical.path()), clock);
+  const std::vector<std::string> frames = canonical_frames(canonical.path());
+  ASSERT_GE(frames.size(), 10u);  // 2 signups × 5 ops + 2 puts
+
+  // Frame-boundary byte offsets within the single segment.
+  std::vector<std::uint64_t> boundaries{0};
+  for (const std::string& payload : frames)
+    boundaries.push_back(boundaries.back() + kWalHeaderBytes +
+                         payload.size());
+
+  // Ground truth per prefix length, built once.
+  std::vector<std::string> reference;
+  reference.reserve(frames.size() + 1);
+  for (std::size_t k = 0; k <= frames.size(); ++k)
+    reference.push_back(reference_state(frames, k, clock));
+
+  // Committed prefix at crash offset N: frames whose bytes all fit in N.
+  const auto prefix_at = [&](std::uint64_t offset) {
+    std::size_t k = 0;
+    while (k < frames.size() && boundaries[k + 1] <= offset) ++k;
+    return k;
+  };
+
+  std::set<std::uint64_t> offsets;
+  for (const std::uint64_t b : boundaries) {
+    if (b > 0) offsets.insert(b - 1);
+    offsets.insert(b);
+    offsets.insert(b + 1);
+  }
+
+  for (const std::uint64_t offset : offsets) {
+    SCOPED_TRACE("crash at byte " + std::to_string(offset));
+    const std::size_t k = prefix_at(offset);
+
+    // The same workload, with the plug pulled at `offset`.
+    ScratchDir dir("cell");
+    auto fault = net::FileFaultPlan::crash_at(offset);
+    run_workload(durable_config(dir.path(), fault), clock);
+    if (offset < boundaries.back()) EXPECT_TRUE(fault.crashed());
+
+    // First recovery: exactly the longest committed prefix survives, and
+    // a torn tail is reported iff the crash split a frame.
+    std::optional<Provider> recovered;
+    recovered.emplace(durable_config(dir.path()), clock);
+    ASSERT_TRUE(recovered->durability_status().ok());
+    const auto stats = recovered->recovery_stats();
+    EXPECT_EQ(stats.last_seq, k);
+    EXPECT_EQ(stats.replayed_entries, k);
+    const std::uint64_t persisted = std::min(offset, boundaries.back());
+    EXPECT_EQ(stats.tail_torn, persisted != boundaries[k]);
+    EXPECT_EQ(stats.truncated_bytes, persisted - boundaries[k]);
+    EXPECT_EQ(recovered->snapshot().dump(), reference[k]);
+
+    // Labels never detach: any record that survived still wears its
+    // owner's secrecy tag.
+    for (const char* user : {"bob", "amy"}) {
+      const auto* account = recovered->users().find(user);
+      if (account == nullptr) continue;
+      const std::string id = user == std::string("bob") ? "p1" : "p2";
+      auto record = recovered->store().get(os::kKernelPid, "photos", id);
+      if (!record.ok()) continue;
+      EXPECT_TRUE(record.value().labels.secrecy.contains(
+          account->secrecy_tag));
+    }
+
+    // The recovered provider keeps appending: a mutation made after the
+    // crash survives its own restart.
+    const bool bob_exists = recovered->users().find("bob") != nullptr;
+    if (bob_exists) {
+      platform::UserPolicy policy;
+      policy.secrecy_declassifier = "std/public";
+      recovered->policies().set("bob", std::move(policy));
+    }
+    const std::string after = recovered->snapshot().dump();
+    recovered.reset();  // clean shutdown drains the WAL
+
+    // Second recovery: idempotent — the repaired log replays to the same
+    // state with nothing further to truncate.
+    recovered.emplace(durable_config(dir.path()), clock);
+    EXPECT_EQ(recovered->recovery_stats().truncated_bytes, 0u);
+    EXPECT_FALSE(recovered->recovery_stats().tail_torn);
+    EXPECT_EQ(recovered->recovery_stats().last_seq,
+              stats.last_seq + (bob_exists ? 1 : 0));
+    EXPECT_EQ(recovered->snapshot().dump(), after);
+  }
+}
+
+}  // namespace
+}  // namespace w5::store

@@ -44,6 +44,25 @@ TEST(Sha256Test, IncrementalMatchesOneShot) {
   EXPECT_EQ(raw, sha256_raw(data));
 }
 
+TEST(Sha256Test, FinishHexMatchesOneShotHex) {
+  Sha256 h;
+  h.update("abc");
+  EXPECT_EQ(h.finish_hex(), sha256_hex("abc"));
+}
+
+TEST(Sha256Test, ResetAllowsReuseAcrossStreams) {
+  // The snapshot verifier hashes candidate files with one reused hasher;
+  // reset() must erase all carry-over, including mid-block buffered bytes.
+  Sha256 h;
+  h.update("some unrelated stream that is not a full block");
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finish_hex(), sha256_hex("abc"));
+  h.reset();
+  h.update("");
+  EXPECT_EQ(h.finish_hex(), sha256_hex(""));
+}
+
 // Boundary lengths around the 64-byte block and 56-byte padding cutoff.
 class Sha256Boundary : public ::testing::TestWithParam<std::size_t> {};
 
