@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "util/log.h"
+
 namespace w5::platform {
 
 bool UserPolicy::grants_write(const std::string& module_path) const {
@@ -108,7 +110,11 @@ void PolicyStore::set(const std::string& user_id, UserPolicy policy) {
     seq = mutation_log_->log(op);
   }
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) {
+    if (auto durable = mutation_log_->wait_durable(seq); !durable.ok())
+      util::log_warn("policy store: set not durable: ",
+                     durable.error().detail);
+  }
 }
 
 util::Status PolicyStore::apply_wal(const util::Json& op) {

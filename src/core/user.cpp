@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "util/bytes.h"
+#include "util/log.h"
 #include "util/sha256.h"
 
 namespace w5::platform {
@@ -86,7 +87,11 @@ util::Result<const UserAccount*> UserDirectory::create(
     seq = mutation_log_->log(op);
   }
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) {
+    if (auto durable = mutation_log_->wait_durable(seq); !durable.ok())
+      util::log_warn("user directory: create not durable: ",
+                     durable.error().detail);
+  }
   return &it->second;
 }
 
@@ -112,7 +117,11 @@ bool UserDirectory::remove(const std::string& id) {
     seq = mutation_log_->log(op);
   }
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) {
+    if (auto durable = mutation_log_->wait_durable(seq); !durable.ok())
+      util::log_warn("user directory: remove not durable: ",
+                     durable.error().detail);
+  }
   return true;
 }
 

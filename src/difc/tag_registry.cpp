@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "difc/label_table.h"
+#include "util/log.h"
 
 namespace w5::difc {
 
@@ -66,7 +67,13 @@ Tag TagRegistry::create(std::string name, TagPurpose purpose,
     }
   }
   LabelTable::instance().invalidate();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) {
+    // create() cannot surface a Status; a failed WAL is already erroring
+    // every store/fs write, so record the non-durable mint and move on.
+    if (auto durable = mutation_log_->wait_durable(seq); !durable.ok())
+      util::log_warn("tag registry: mint not durable: ",
+                     durable.error().detail);
+  }
   return tag;
 }
 

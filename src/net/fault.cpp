@@ -143,6 +143,7 @@ struct FileFaultPlan::State {
   FileFaultProfile profile{};
   util::Rng rng{0};
   std::uint64_t crash_offset = UINT64_MAX;  // cumulative attempted bytes
+  std::uint64_t error_offset = UINT64_MAX;  // cumulative attempted bytes
   std::uint64_t attempted = 0;
   FileFaultStats stats;
 };
@@ -152,6 +153,12 @@ FileFaultPlan::FileFaultPlan() : state_(std::make_shared<State>()) {}
 FileFaultPlan FileFaultPlan::crash_at(std::uint64_t offset) {
   FileFaultPlan plan;
   plan.state_->crash_offset = offset;
+  return plan;
+}
+
+FileFaultPlan FileFaultPlan::error_at(std::uint64_t offset) {
+  FileFaultPlan plan;
+  plan.state_->error_offset = offset;
   return plan;
 }
 
@@ -194,6 +201,14 @@ std::size_t FileFaultPlan::admit_write(std::size_t requested) {
     s.stats.crashed = true;
     s.stats.dropped_bytes += requested - admitted;
   }
+  // The error point truncates like the crash point, but is *reported*:
+  // write_all persists the prefix, then surfaces the failure.
+  if (s.attempted + admitted > s.error_offset) {
+    admitted = s.error_offset > s.attempted
+                   ? static_cast<std::size_t>(s.error_offset - s.attempted)
+                   : 0;
+    s.stats.write_errored = true;
+  }
   s.attempted += admitted;
   return admitted;
 }
@@ -201,6 +216,11 @@ std::size_t FileFaultPlan::admit_write(std::size_t requested) {
 bool FileFaultPlan::crashed() const {
   std::lock_guard lock(state_->mutex);
   return state_->stats.crashed;
+}
+
+bool FileFaultPlan::write_errored() const {
+  std::lock_guard lock(state_->mutex);
+  return state_->stats.write_errored;
 }
 
 FileFaultStats FileFaultPlan::stats() const {
@@ -267,6 +287,8 @@ util::Status FaultyFile::write_all(std::string_view data) {
         chunk.remove_prefix(static_cast<std::size_t>(n));
       }
     }
+    if (plan_.write_errored())
+      return util::make_error("io.write", "injected write error");
     if (plan_.crashed()) return util::ok_status();  // rest is "lost"
     data.remove_prefix(admitted);
   }

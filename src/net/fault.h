@@ -123,6 +123,7 @@ struct FileFaultStats {
   std::uint64_t short_writes = 0;
   std::uint64_t dropped_bytes = 0;  // bytes swallowed past the crash point
   bool crashed = false;
+  bool write_errored = false;  // hit the injected error point
 };
 
 class FileFaultPlan {
@@ -130,6 +131,12 @@ class FileFaultPlan {
   FileFaultPlan();  // no faults, ever
 
   static FileFaultPlan crash_at(std::uint64_t offset);
+  // Unlike a crash (which silently succeeds — the process never learns),
+  // an injected error is *reported*: every write at or past the
+  // cumulative offset persists up to the offset and then fails, as
+  // ENOSPC or a dying disk would. Later writes fail too — a dead disk
+  // stays dead.
+  static FileFaultPlan error_at(std::uint64_t offset);
   static FileFaultPlan seeded(std::uint64_t seed, FileFaultProfile profile);
   // Seeded short writes AND a crash point, for torn-frame matrices.
   static FileFaultPlan seeded_crash(std::uint64_t seed,
@@ -143,6 +150,7 @@ class FileFaultPlan {
   std::size_t admit_write(std::size_t requested);
 
   bool crashed() const;
+  bool write_errored() const;
   FileFaultStats stats() const;
 
  private:

@@ -121,7 +121,7 @@ util::Status FileSystem::mkdir(Pid pid, const std::string& path,
   parent.value()->children.emplace(leaf, std::move(node));
   const std::uint64_t seq = log_put_locked(path, *placed);
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -157,7 +157,7 @@ util::Status FileSystem::create(Pid pid, const std::string& path,
   parent.value()->children.emplace(leaf, std::move(node));
   const std::uint64_t seq = log_put_locked(path, *placed);
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -216,7 +216,7 @@ util::Status FileSystem::write(Pid pid, const std::string& path,
   node.value()->content = std::move(content);
   const std::uint64_t seq = log_put_locked(path, *node.value());
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -243,7 +243,7 @@ util::Status FileSystem::append(Pid pid, const std::string& path,
   node.value()->content += content;
   const std::uint64_t seq = log_put_locked(path, *node.value());
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -274,7 +274,7 @@ util::Status FileSystem::unlink(Pid pid, const std::string& path) {
   parent.value()->children.erase(it);
   const std::uint64_t seq = log_remove_locked(path);
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -340,7 +340,7 @@ util::Status FileSystem::relabel(Pid pid, const std::string& path,
   node.value()->labels = labels;
   const std::uint64_t seq = log_put_locked(path, *node.value());
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 

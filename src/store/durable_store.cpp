@@ -96,9 +96,12 @@ std::uint64_t DurableStore::log(const util::Json& op) {
   return wal_->append(op.dump());
 }
 
-void DurableStore::wait_durable(std::uint64_t seq) {
-  if (wal_ == nullptr || seq == 0) return;
-  wal_->wait_durable(seq);
+util::Status DurableStore::wait_durable(std::uint64_t seq) {
+  // Before recover() the components are replaying history, not accepting
+  // mutations; nothing to wait for. With a live WAL, seq 0 means the op
+  // was refused — the WAL turns it into the right error.
+  if (wal_ == nullptr) return util::ok_status();
+  return wal_->wait_durable(seq);
 }
 
 util::Status DurableStore::checkpoint() {
@@ -113,6 +116,10 @@ util::Status DurableStore::checkpoint() {
   // The snapshot is captured *after*, so its state covers at least those
   // sequences (possibly more — replay is idempotent, overlap is safe).
   const std::uint64_t boundary = wal_->rotate();
+  if (boundary == 0) {
+    return util::make_error("wal.checkpoint",
+                            "rotation failed; WAL is failed or closed");
+  }
   const std::string payload = checkpoint_source_();
   if (auto status = write_snapshot(config_.dir, boundary, payload,
                                    config_.fault);
@@ -133,8 +140,9 @@ util::Status DurableStore::checkpoint() {
   return util::ok_status();
 }
 
-void DurableStore::flush() {
-  if (wal_ != nullptr) wal_->flush();
+util::Status DurableStore::flush() {
+  if (wal_ == nullptr) return util::ok_status();
+  return wal_->flush();
 }
 
 void DurableStore::close() {

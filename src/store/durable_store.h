@@ -75,14 +75,19 @@ class DurableStore final : public util::MutationLog {
   // compactor can run (Provider::snapshot().dump() in practice).
   void set_checkpoint_source(std::function<std::string()> fn);
 
-  // util::MutationLog. log() returns 0 before recover() or after close().
+  // util::MutationLog. log() returns 0 before recover(), after close(),
+  // or when the WAL refused the op; wait_durable then reports the error.
   std::uint64_t log(const util::Json& op) override;
-  void wait_durable(std::uint64_t seq) override;
+  util::Status wait_durable(std::uint64_t seq) override;
 
   // Rotate, snapshot, GC — now, synchronously. Serialized internally.
+  // Errors (without snapshotting) if the WAL has failed: a boundary the
+  // rotation could not prove must not license segment GC.
   util::Status checkpoint();
 
-  void flush();  // drain pending appends to disk (test/shutdown hook)
+  // Drains pending appends to disk (test/shutdown hook); errors if the
+  // WAL has failed.
+  util::Status flush();
   void close();  // stop compactor, drain + close the WAL
 
   std::uint64_t last_seq() const;

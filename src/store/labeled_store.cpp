@@ -94,7 +94,7 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
       seq = mutation_log_->log(op);
     }
     lock.unlock();
-    if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+    if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
     return util::ok_status();
   }
 
@@ -127,7 +127,7 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
     seq = mutation_log_->log(op);
   }
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -206,7 +206,7 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
     seq = mutation_log_->log(op);
   }
   lock.unlock();
-  if (mutation_log_ != nullptr) mutation_log_->wait_durable(seq);
+  if (mutation_log_ != nullptr) return mutation_log_->wait_durable(seq);
   return util::ok_status();
 }
 
@@ -396,8 +396,16 @@ util::Status LabeledStore::apply_wal(const util::Json& op) {
       shard.by_owner[record.owner].push_back(key);
       shard.records.emplace(key, std::move(record));
     } else {
-      // Owner and labels are immutable through put(), so the index entry
-      // is already right; just install the logged post-state.
+      // Owner is immutable through put(), but snapshot/WAL overlap can
+      // replay a put over a snapshot record from an earlier life of the
+      // key (remove + recreate by another owner straddling the
+      // boundary) — re-home the index entry when the owner moved.
+      if (it->second.owner != record.owner) {
+        auto& old_keys = shard.by_owner[it->second.owner];
+        std::erase(old_keys, key);
+        if (old_keys.empty()) shard.by_owner.erase(it->second.owner);
+        shard.by_owner[record.owner].push_back(key);
+      }
       it->second = std::move(record);
     }
     return util::ok_status();

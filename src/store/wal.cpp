@@ -132,6 +132,20 @@ util::Result<WriteAheadLog::ReplayResult> WriteAheadLog::replay(
   segments.erase(segments.begin(),
                  segments.begin() + static_cast<std::ptrdiff_t>(first_needed));
 
+  // A hole *below* the log is not a torn tail: if the oldest surviving
+  // segment starts after from_seq (e.g. the covering snapshot rotted and
+  // recovery fell back to an older one whose segments were GC'd), frames
+  // the caller needs are gone and "success" would silently drop committed
+  // mutations. Sequences start at 1, so from_seq 0 means "everything".
+  if (!segments.empty() &&
+      segments.front().first_seq > std::max<std::uint64_t>(from_seq, 1)) {
+    return util::make_error(
+        "wal.replay",
+        "missing segments: replay must resume at seq " +
+            std::to_string(from_seq) + " but the oldest segment starts at " +
+            std::to_string(segments.front().first_seq));
+  }
+
   std::uint64_t expected = 0;
   // Where the valid prefix ends: the segment being read and the offset of
   // the first invalid byte in it (everything after is discarded by repair).
@@ -270,10 +284,19 @@ util::Status WriteAheadLog::open_segment_locked(std::uint64_t first_seq) {
 }
 
 std::uint64_t WriteAheadLog::append(std::string payload) {
+  if (payload.size() > kWalMaxPayloadBytes) {
+    // An oversized frame would be written and acked, but replay treats
+    // len > kWalMaxPayloadBytes as corruption and truncates there — losing
+    // this frame and every committed frame after it. Refuse it up front
+    // (this also guards the u32 length cast); the log stays healthy.
+    util::log_error("wal: rejecting ", payload.size(),
+                    "-byte append; frame limit is ", kWalMaxPayloadBytes);
+    return 0;
+  }
   std::uint64_t seq;
   {
     std::lock_guard lock(mutex_);
-    if (closing_) return 0;
+    if (closing_ || failed_.load(std::memory_order_relaxed)) return 0;
     seq = next_seq_++;
     pending_.push_back({seq, std::move(payload)});
   }
@@ -282,29 +305,62 @@ std::uint64_t WriteAheadLog::append(std::string payload) {
   return seq;
 }
 
-void WriteAheadLog::wait_durable(std::uint64_t seq) {
-  if (options_.mode != DurabilityMode::kFsync || seq == 0) return;
+util::Status WriteAheadLog::wait_durable(std::uint64_t seq) {
+  if (seq == 0) {
+    std::lock_guard lock(mutex_);
+    if (failed_.load(std::memory_order_relaxed)) return fail_status_locked();
+    return util::make_error(
+        "wal.append", closing_ ? "log is closed" : "mutation was not logged");
+  }
+  if (options_.mode != DurabilityMode::kFsync) {
+    // Weak modes ack immediately — unless the log is already known dead,
+    // in which case nothing new will ever reach disk.
+    if (!failed_.load(std::memory_order_acquire)) return util::ok_status();
+    std::lock_guard lock(mutex_);
+    return fail_status_locked();
+  }
   std::unique_lock lock(mutex_);
-  durable_cv_.wait(lock, [&] { return durable_seq_ >= seq || closing_; });
+  durable_cv_.wait(lock, [&] {
+    return durable_seq_ >= seq || closing_ ||
+           failed_.load(std::memory_order_relaxed);
+  });
+  if (durable_seq_ >= seq) return util::ok_status();
+  if (failed_.load(std::memory_order_relaxed)) return fail_status_locked();
+  return util::make_error("wal.closed",
+                          "log closed before seq " + std::to_string(seq) +
+                              " became durable");
 }
 
-void WriteAheadLog::flush() {
+util::Status WriteAheadLog::flush() {
   std::unique_lock lock(mutex_);
-  if (!file_.valid() || closing_) return;
+  if (failed_.load(std::memory_order_relaxed)) return fail_status_locked();
+  if (!file_.valid() || closing_) return util::ok_status();
   const std::uint64_t target = next_seq_ - 1;
   ++flush_requests_;
   pending_cv_.notify_one();
-  durable_cv_.wait(lock, [&] { return flushed_seq_ >= target || closing_; });
+  durable_cv_.wait(lock, [&] {
+    return flushed_seq_ >= target || closing_ ||
+           failed_.load(std::memory_order_relaxed);
+  });
+  if (flushed_seq_ >= target) return util::ok_status();
+  if (failed_.load(std::memory_order_relaxed)) return fail_status_locked();
+  return util::ok_status();  // closing: close() drains the tail itself
 }
 
 std::uint64_t WriteAheadLog::rotate() {
   std::unique_lock lock(mutex_);
+  if (failed_.load(std::memory_order_relaxed)) return 0;
   const std::uint64_t boundary = next_seq_;
   if (closing_ || !file_.valid()) return boundary;
   rotate_at_ = boundary;
   pending_cv_.notify_one();
-  durable_cv_.wait(lock,
-                   [&] { return segment_start_ >= boundary || closing_; });
+  durable_cv_.wait(lock, [&] {
+    return segment_start_ >= boundary || closing_ ||
+           failed_.load(std::memory_order_relaxed);
+  });
+  // The new segment never opened (failed log, or closed mid-rotation):
+  // the boundary is unproven, so the caller must not checkpoint on it.
+  if (segment_start_ < boundary) return 0;
   return boundary;
 }
 
@@ -358,6 +414,22 @@ void WriteAheadLog::close() {
   file_.close();
 }
 
+void WriteAheadLog::fail_locked(std::string reason) {
+  if (!failed_.load(std::memory_order_relaxed)) {
+    fail_reason_ = std::move(reason);
+    failed_.store(true, std::memory_order_release);
+    util::log_error("wal: failed, refusing further appends: ", fail_reason_);
+  }
+  pending_cv_.notify_all();
+  durable_cv_.notify_all();
+}
+
+util::Status WriteAheadLog::fail_status_locked() const {
+  return util::make_error(
+      "wal.failed",
+      fail_reason_.empty() ? "write-ahead log failed" : fail_reason_);
+}
+
 void WriteAheadLog::flusher_main() {
   const auto interval =
       std::chrono::microseconds(std::max<util::Micros>(
@@ -372,6 +444,18 @@ void WriteAheadLog::flusher_main() {
       pending_cv_.wait_for(lock, interval, ready);
     } else {
       pending_cv_.wait(lock, ready);
+    }
+    if (failed_.load(std::memory_order_relaxed)) {
+      // Poisoned: a torn frame may sit mid-segment, so writing anything
+      // more would bury committed-looking frames behind it. Drop pending
+      // work (its waiters were already woken with the failure) and keep
+      // the flush/rotate handshakes from hanging.
+      pending_.clear();
+      flush_serviced_ = std::max(flush_serviced_, flush_requests_);
+      rotate_at_ = 0;
+      durable_cv_.notify_all();
+      if (closing_) break;
+      continue;
     }
     const bool draining = closing_;
     std::vector<Pending> batch = std::move(pending_);
@@ -393,20 +477,33 @@ void WriteAheadLog::flusher_main() {
                   std::make_move_iterator(batch.end()));
       batch.erase(split, batch.end());
       write_batch(std::move(batch), /*force_fsync=*/true);
-      file_.close();
-      lock.lock();
-      const util::Status opened = open_segment_locked(rotate_boundary);
-      rotate_at_ = 0;
-      lock.unlock();
-      if (!opened.ok()) {
-        util::log_error("wal: rotate failed: ", opened.error().detail);
+      if (!failed_.load(std::memory_order_relaxed)) {
+        file_.close();
+        lock.lock();
+        const util::Status opened = open_segment_locked(rotate_boundary);
+        if (!opened.ok()) {
+          // rotate() is blocked on segment_start_ reaching the boundary,
+          // which now never happens — fail so it (and every append since
+          // the old segment closed) unblocks with an error instead of
+          // hanging the checkpoint path forever.
+          fail_locked("rotate: cannot open new segment: " +
+                      opened.error().detail);
+        } else if (rotations_ != nullptr) {
+          rotations_->inc();
+        }
+        rotate_at_ = 0;
+        lock.unlock();
+      } else {
+        lock.lock();
+        rotate_at_ = 0;
+        lock.unlock();
       }
-      if (rotations_ != nullptr) rotations_->inc();
       durable_cv_.notify_all();
       batch = std::move(tail);
       tail.clear();
     }
-    if (!batch.empty() || force) {
+    if (!failed_.load(std::memory_order_relaxed) &&
+        (!batch.empty() || force)) {
       write_batch(std::move(batch), force);
     }
 
@@ -423,13 +520,14 @@ void WriteAheadLog::write_batch(std::vector<Pending> batch, bool force_fsync) {
     wal_encode_frame(entry.seq, entry.payload, buf);
     last_seq = entry.seq;
   }
+  util::Status io = util::ok_status();
   if (!buf.empty()) {
-    if (auto status = file_.write_all(buf); !status.ok()) {
-      util::log_error("wal: append write failed: ", status.error().detail);
+    io = file_.write_all(buf);
+    if (io.ok()) {
+      if (append_bytes_ != nullptr) append_bytes_->inc(buf.size());
+      if (batch_entries_ != nullptr)
+        batch_entries_->observe(static_cast<std::int64_t>(batch.size()));
     }
-    if (append_bytes_ != nullptr) append_bytes_->inc(buf.size());
-    if (batch_entries_ != nullptr)
-      batch_entries_->observe(static_cast<std::int64_t>(batch.size()));
   }
 
   const bool sync_now =
@@ -437,25 +535,38 @@ void WriteAheadLog::write_batch(std::vector<Pending> batch, bool force_fsync) {
       (options_.mode == DurabilityMode::kInterval &&
        (force_fsync || steady_micros() - last_fsync_micros_ >=
                            options_.flush_interval_micros));
-  if (sync_now && (force_fsync || !buf.empty())) {
+  bool synced = false;
+  if (io.ok() && sync_now && (force_fsync || !buf.empty())) {
     const util::Micros start = steady_micros();
-    (void)file_.sync();
+    io = file_.sync();
     last_fsync_micros_ = steady_micros();
-    if (fsyncs_ != nullptr) fsyncs_->inc();
-    if (fsync_micros_ != nullptr)
-      fsync_micros_->observe(last_fsync_micros_ - start);
+    if (io.ok()) {
+      synced = true;
+      if (fsyncs_ != nullptr) fsyncs_->inc();
+      if (fsync_micros_ != nullptr)
+        fsync_micros_->observe(last_fsync_micros_ - start);
+    }
   }
 
   std::lock_guard lock(mutex_);
+  if (!io.ok()) {
+    // A failed write may have torn a frame mid-segment (ENOSPC cuts the
+    // batch anywhere); a failed fsync means the kernel promises nothing
+    // about this batch. Either way no sequence in or after this batch may
+    // be acked: poison the log — never advance durable/flushed over a
+    // hole the next replay will truncate at.
+    fail_locked(io.error().code + ": " + io.error().detail);
+    return;
+  }
   segment_bytes_ += buf.size();
   if (last_seq != 0) written_seq_ = std::max(written_seq_, last_seq);
   // kFsync promises "durable" only after the fsync lands; the weaker
   // modes promise only write ordering, so written == durable for them.
-  if (options_.mode != DurabilityMode::kFsync || sync_now)
+  if (options_.mode != DurabilityMode::kFsync || synced)
     durable_seq_ = std::max(durable_seq_, written_seq_);
   // flush() completion: everything appended before the flush call has
   // been written (and fsynced in the modes that fsync).
-  if (options_.mode == DurabilityMode::kNone || sync_now)
+  if (options_.mode == DurabilityMode::kNone || synced)
     flushed_seq_ = std::max(flushed_seq_, written_seq_);
   durable_cv_.notify_all();
 }

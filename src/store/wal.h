@@ -20,6 +20,7 @@
 // that arrived while the previous one was in flight.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -69,7 +70,10 @@ class WriteAheadLog {
   // order. `apply` sees each payload exactly once; replay stops (without
   // error) at the first torn/corrupt frame and `repair` truncates the
   // segment there and removes any later segments, so the surviving prefix
-  // is exactly what the next open() extends.
+  // is exactly what the next open() extends. It is an error (not a torn
+  // tail) when the oldest surviving segment starts after `from_seq`:
+  // frames the caller needs are missing entirely, and replaying over the
+  // hole would report success with mutations silently dropped.
   struct ReplayResult {
     std::uint64_t entries = 0;        // frames delivered to apply
     std::uint64_t last_seq = 0;       // highest sequence applied
@@ -93,21 +97,28 @@ class WriteAheadLog {
 
   // Assigns and returns the next sequence number; the payload is owned by
   // the flusher from here. Cheap: one leaf mutex, no I/O. Returns 0 after
-  // close().
+  // close(), after the log has failed, or when the payload exceeds
+  // kWalMaxPayloadBytes (an oversized frame would be unreplayable, so it
+  // must never be written); wait_durable(0) reports the rejection.
   std::uint64_t append(std::string payload);
 
   // Blocks until `seq` is durable — only in kFsync mode; the weaker modes
-  // return immediately (that is their contract).
-  void wait_durable(std::uint64_t seq);
+  // return promptly (that is their contract). An error means `seq` never
+  // became durable: the log failed (a write or fsync error poisons it —
+  // every unacked and future mutation fails from then on) or `seq` is 0
+  // because append() refused the op.
+  util::Status wait_durable(std::uint64_t seq);
 
   // Drains pending appends to disk (fsyncs except in kNone); the test and
-  // shutdown hook.
-  void flush();
+  // shutdown hook. Errors if the log has failed.
+  util::Status flush();
 
   // Closes the current segment at a batch boundary and starts a new one.
   // Returns the new segment's first sequence number: every frame < that
   // boundary is in closed segments, fsynced. Compaction calls this before
   // snapshotting so the snapshot provably covers the old segments.
+  // Returns 0 if the rotation could not complete (failed log) — the
+  // caller must not snapshot against an unproven boundary.
   std::uint64_t rotate();
 
   // Deletes closed segments whose frames all precede `seq` (compaction,
@@ -116,6 +127,11 @@ class WriteAheadLog {
 
   std::uint64_t last_appended_seq() const;
   std::uint64_t durable_seq() const;
+  // True once a write, fsync, or rotation has failed. Sticky: a failed
+  // log refuses appends and fails every wait — a torn frame may sit
+  // mid-segment, and anything written after it would be unreachable to
+  // replay, so acking anything further would be a durability lie.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
   // Attempted bytes of the current segment (header + payload per frame) —
   // crash-matrix tests enumerate offsets against this.
   std::uint64_t segment_bytes() const;
@@ -133,6 +149,10 @@ class WriteAheadLog {
   };
 
   util::Status open_segment_locked(std::uint64_t first_seq);
+  // Poisons the log (idempotent) and wakes every waiter. Caller holds
+  // mutex_.
+  void fail_locked(std::string reason);
+  util::Status fail_status_locked() const;
   void flusher_main();
   // Writes one batch (split across a rotation boundary if one is
   // requested) and fsyncs per mode. Called from the flusher only.
@@ -155,6 +175,8 @@ class WriteAheadLog {
   std::uint64_t segment_start_ = 0;
   std::uint64_t segment_bytes_ = 0;
   bool closing_ = false;
+  std::atomic<bool> failed_{false};  // set under mutex_; read lock-free
+  std::string fail_reason_;          // guarded by mutex_
   net::FaultyFile file_;
   util::Micros last_fsync_micros_ = 0;
 

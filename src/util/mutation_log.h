@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "util/result.h"
+
 namespace w5::util {
 
 class Json;
@@ -20,13 +22,16 @@ class MutationLog {
   virtual ~MutationLog() = default;
 
   // Enqueues one mutation (a self-describing JSON op) and returns its
-  // monotone sequence number. Returns 0 if the log is closed.
+  // monotone sequence number. Returns 0 if the log is closed, has failed,
+  // or rejected the op (e.g. oversized); wait_durable(0) reports why.
   virtual std::uint64_t log(const Json& op) = 0;
 
   // Blocks until `seq` is durable per the configured durability mode
-  // (returns immediately for interval/none modes). Never call while
-  // holding the lock under which `seq` was assigned.
-  virtual void wait_durable(std::uint64_t seq) = 0;
+  // (returns promptly for interval/none modes). Never call while holding
+  // the lock under which `seq` was assigned. An error means the mutation
+  // is NOT durable — the log failed, closed, or refused the op — and the
+  // caller must fail the request rather than acknowledge it.
+  virtual util::Status wait_durable(std::uint64_t seq) = 0;
 };
 
 }  // namespace w5::util

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/provider.h"
+#include "net/fault.h"
 #include "store/durable_store.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
@@ -87,7 +88,7 @@ TEST(WalTest, AppendFlushReplayRoundTrip) {
   for (int i = 0; i < 5; ++i) {
     const std::uint64_t seq = wal->append("payload-" + std::to_string(i));
     EXPECT_EQ(seq, static_cast<std::uint64_t>(i + 1));
-    wal->wait_durable(seq);
+    ASSERT_TRUE(wal->wait_durable(seq).ok());
   }
   wal->close();
 
@@ -113,7 +114,7 @@ TEST(WalTest, ReplayFromSeqSkipsEarlierFrames) {
   ScratchDir dir("wal_from_seq");
   auto wal = WriteAheadLog::open(dir.path(), 1, {}).value();
   for (int i = 0; i < 6; ++i) wal->append("p" + std::to_string(i));
-  wal->flush();
+  ASSERT_TRUE(wal->flush().ok());
   wal->close();
   std::uint64_t first_seen = 0, entries = 0;
   auto result = WriteAheadLog::replay(
@@ -200,7 +201,7 @@ TEST(WalTest, RotationAndSegmentGC) {
   EXPECT_EQ(boundary, 4u);
   EXPECT_EQ(wal->segment_start(), 4u);
   wal->append("new-0");
-  wal->flush();
+  ASSERT_TRUE(wal->flush().ok());
 
   auto count_segments = [&] {
     std::size_t n = 0;
@@ -234,7 +235,7 @@ TEST(WalTest, WeakModesDoNotBlockAndStillPersistOnClose) {
     options.mode = mode;
     auto wal = WriteAheadLog::open(dir.path(), 1, options).value();
     for (int i = 0; i < 10; ++i)
-      wal->wait_durable(wal->append("m" + std::to_string(i)));
+      ASSERT_TRUE(wal->wait_durable(wal->append("m" + std::to_string(i))).ok());
     wal->close();  // drains whatever was pending
     EXPECT_EQ(replay_payloads(dir.path()).size(), 10u) << to_string(mode);
   }
@@ -245,7 +246,105 @@ TEST(WalTest, AppendAfterCloseReturnsZero) {
   auto wal = WriteAheadLog::open(dir.path(), 1, {}).value();
   wal->close();
   EXPECT_EQ(wal->append("too late"), 0u);
-  wal->wait_durable(0);  // must not hang
+  // Must not hang — and must not claim durability either.
+  EXPECT_FALSE(wal->wait_durable(0).ok());
+}
+
+TEST(WalTest, WriteErrorPoisonsLogAndStopsAcking) {
+  ScratchDir dir("wal_io_error");
+  WalOptions options;
+  options.fault = net::FileFaultPlan::error_at(40);  // tears the third frame
+  auto wal = WriteAheadLog::open(dir.path(), 1, options).value();
+  // 18-byte frames (16-byte header + 2-byte payload): frames 1 and 2 land
+  // whole; frame 3 persists 4 bytes and the write reports the failure.
+  ASSERT_TRUE(wal->wait_durable(wal->append("p0")).ok());
+  ASSERT_TRUE(wal->wait_durable(wal->append("p1")).ok());
+  const std::uint64_t seq = wal->append("p2");
+  ASSERT_EQ(seq, 3u);
+  EXPECT_FALSE(wal->wait_durable(seq).ok());
+  EXPECT_TRUE(wal->failed());
+  // Poisoned: nothing further is accepted or acked, and nothing hangs —
+  // a torn frame sits mid-segment, so any later write would be beyond
+  // the prefix replay can reach.
+  EXPECT_EQ(wal->append("p3"), 0u);
+  EXPECT_FALSE(wal->flush().ok());
+  EXPECT_EQ(wal->rotate(), 0u);
+  EXPECT_EQ(wal->durable_seq(), 2u);
+  wal->close();
+
+  // Recovery sees exactly the acked prefix; the torn frame is truncated.
+  std::vector<std::string> seen;
+  auto result = WriteAheadLog::replay(
+      dir.path(), 1,
+      [&](std::uint64_t, const std::string& payload) {
+        seen.push_back(payload);
+        return util::ok_status();
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().last_seq, 2u);
+  EXPECT_TRUE(result.value().tail_torn);
+  EXPECT_EQ(seen, (std::vector<std::string>{"p0", "p1"}));
+}
+
+TEST(WalTest, OversizedAppendIsRejectedUpFront) {
+  ScratchDir dir("wal_oversized");
+  auto wal = WriteAheadLog::open(dir.path(), 1, {}).value();
+  // Written, this frame would be acked durable yet truncated as corrupt
+  // by the next replay (len > kWalMaxPayloadBytes) — along with every
+  // committed frame after it. It must never reach the log.
+  const std::uint64_t seq =
+      wal->append(std::string(kWalMaxPayloadBytes + 1, 'x'));
+  EXPECT_EQ(seq, 0u);
+  EXPECT_FALSE(wal->wait_durable(seq).ok());
+  // The log itself stays healthy: later appends commit and replay.
+  EXPECT_FALSE(wal->failed());
+  ASSERT_TRUE(wal->wait_durable(wal->append("fits")).ok());
+  wal->close();
+  const auto payloads = replay_payloads(dir.path());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "fits");
+}
+
+TEST(WalTest, ReplayErrorsOnMissingLeadingSegments) {
+  ScratchDir dir("wal_gap");
+  auto wal = WriteAheadLog::open(dir.path(), 1, {}).value();
+  for (int i = 0; i < 3; ++i) wal->append("old-" + std::to_string(i));
+  const std::uint64_t boundary = wal->rotate();
+  ASSERT_EQ(boundary, 4u);
+  wal->append("new-0");
+  ASSERT_TRUE(wal->flush().ok());
+  wal->close();
+  // The snapshot that licensed GC of the first segment rotted: recovery
+  // falls back to replaying from seq 1, but frames 1..3 are gone. The
+  // hole must be an error, not a silent success over missing mutations.
+  fs::remove(fs::path(dir.path()) / wal_segment_name(1));
+  auto gap = WriteAheadLog::replay(
+      dir.path(), 1,
+      [](std::uint64_t, const std::string&) { return util::ok_status(); });
+  EXPECT_FALSE(gap.ok());
+  // From the boundary itself the log is whole again.
+  auto tail = WriteAheadLog::replay(
+      dir.path(), boundary,
+      [](std::uint64_t, const std::string&) { return util::ok_status(); });
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().entries, 1u);
+  EXPECT_EQ(tail.value().last_seq, 4u);
+}
+
+TEST(WalTest, FailedRotationUnblocksInsteadOfHanging) {
+  ScratchDir dir("wal_rotate_fail");
+  auto wal = WriteAheadLog::open(dir.path(), 1, {}).value();
+  ASSERT_TRUE(wal->wait_durable(wal->append("one")).ok());
+  // Kill the directory out from under the log: the next segment cannot
+  // be created, so rotation must fail fast — unblocking checkpoint with
+  // an unusable (zero) boundary — rather than stall forever while
+  // appends keep acking against a closed file.
+  fs::remove_all(dir.path());
+  EXPECT_EQ(wal->rotate(), 0u);
+  EXPECT_TRUE(wal->failed());
+  EXPECT_EQ(wal->append("two"), 0u);
+  EXPECT_FALSE(wal->flush().ok());
+  wal->close();
 }
 
 // ---- Snapshot tests --------------------------------------------------------

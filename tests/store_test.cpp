@@ -217,6 +217,24 @@ TEST_F(StoreTest, QueryHonorsOwnerIndexLimitAndPredicate) {
   EXPECT_EQ(rated.value().size(), 2u);
 }
 
+TEST_F(StoreTest, ApplyWalRehomesOwnerIndexOnOwnerChange) {
+  // Snapshot/WAL overlap can replay a put whose key existed in the
+  // snapshot under a different owner (remove + recreate straddling the
+  // checkpoint boundary). The by_owner index must follow the new owner
+  // instead of keeping the stale snapshot entry.
+  util::Json d;
+  util::Json op;
+  op["op"] = "store.put";
+  op["record"] = make_record("photos", "p1", "amy", {}, d).to_json();
+  ASSERT_TRUE(store_.apply_wal(op).ok());  // p1 was bob's before replay
+
+  const auto amy = store_.export_owned_by("amy");
+  ASSERT_EQ(amy.size(), 2u);  // re-homed p1 plus her own p2
+  EXPECT_EQ(amy[0].id, "p1");
+  EXPECT_EQ(amy[1].id, "p2");
+  EXPECT_TRUE(store_.export_owned_by("bob").empty());
+}
+
 TEST_F(StoreTest, CountIsClearanceBounded) {
   // A process without amy's plus capability must not count her record.
   os::Kernel kernel;
