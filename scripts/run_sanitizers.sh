@@ -9,7 +9,13 @@
 # the TCP end-to-end serving path, thread-pool and IPC tests, and the
 # fault-injection/robustness chaos suites — injected resets and reaping
 # race real worker threads); running the whole suite under TSan adds
-# minutes for zero extra interleavings. ASan+UBSan run everything.
+# minutes for zero extra interleavings. ASan+UBSan run everything, with
+# LeakSanitizer ON (suppressions: scripts/lsan.supp).
+#
+# Static legs live in scripts/ci.sh lint: w5lint (layering / perimeter /
+# telemetry / banned functions) and, when clang++ is on PATH, a
+# -Werror=thread-safety build over the annotated tree
+# (src/util/thread_annotations.h).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,7 +35,9 @@ run_asan() {
   echo "== AddressSanitizer + UndefinedBehaviorSanitizer =="
   cmake -B build-asan -S . -DW5_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$jobs" --target w5_tests
-  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+    LSAN_OPTIONS="suppressions=scripts/lsan.supp:print_suppressions=0" \
+    UBSAN_OPTIONS="halt_on_error=1" \
     ./build-asan/tests/w5_tests
 }
 

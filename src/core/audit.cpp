@@ -33,7 +33,7 @@ void AuditLog::record(AuditKind kind, std::string actor, std::string subject,
   // Resolve the trace id before taking the lock: audit entries recorded
   // on a request worker cross-reference that request's trace.
   std::string trace = RequestContext::current_id();
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (events_.size() >= max_events_) {
     const std::size_t drop = events_.size() / 2;
     events_.erase(events_.begin(),
@@ -47,13 +47,13 @@ void AuditLog::record(AuditKind kind, std::string actor, std::string subject,
 }
 
 std::vector<AuditEvent> AuditLog::events() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_;
 }
 
 std::vector<AuditEvent> AuditLog::events(std::size_t limit,
                                          util::Micros since_micros) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // events_ is append-ordered by timestamp, so the first event at or
   // after the cutoff is a binary search away.
   const auto first = std::lower_bound(
@@ -68,17 +68,17 @@ std::vector<AuditEvent> AuditLog::events(std::size_t limit,
 }
 
 std::size_t AuditLog::size() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::size_t AuditLog::count(AuditKind kind) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return counts_by_kind_[static_cast<std::size_t>(kind) % kKindCount];
 }
 
 std::vector<AuditEvent> AuditLog::for_actor(const std::string& actor) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<AuditEvent> out;
   for (const auto& event : events_)
     if (event.actor == actor) out.push_back(event);
@@ -86,13 +86,13 @@ std::vector<AuditEvent> AuditLog::for_actor(const std::string& actor) const {
 }
 
 void AuditLog::clear() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   events_.clear();
   for (auto& n : counts_by_kind_) n = 0;
 }
 
 std::size_t AuditLog::dropped() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return dropped_;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace w5::platform {
 
@@ -76,10 +77,10 @@ class AuditLog {
 
   const util::Clock& clock_;
   std::size_t max_events_;
-  std::size_t dropped_ = 0;
-  mutable std::mutex mutex_;
-  std::vector<AuditEvent> events_;
-  std::size_t counts_by_kind_[kKindCount] = {};
+  std::size_t dropped_ W5_GUARDED_BY(mutex_) = 0;
+  mutable util::Mutex mutex_;
+  std::vector<AuditEvent> events_ W5_GUARDED_BY(mutex_);
+  std::size_t counts_by_kind_[kKindCount] W5_GUARDED_BY(mutex_) = {};
 };
 
 }  // namespace w5::platform

@@ -6,7 +6,7 @@
 namespace w5::platform {
 
 std::string SessionManager::create(const std::string& user_id) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // Housekeeping: drop tokens that expired without ever being revisited,
   // so abandoned sessions cannot accumulate.
   const util::Micros now = clock_.now();
@@ -22,7 +22,7 @@ std::string SessionManager::create(const std::string& user_id) {
 }
 
 std::optional<std::string> SessionManager::validate(const std::string& token) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = sessions_.find(token);
   if (it == sessions_.end()) return std::nullopt;
   if (clock_.now() >= it->second.expires) {
@@ -34,24 +34,24 @@ std::optional<std::string> SessionManager::validate(const std::string& token) {
 }
 
 void SessionManager::revoke(const std::string& token) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   sessions_.erase(token);
 }
 
 void SessionManager::revoke_all(const std::string& user_id) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::erase_if(sessions_, [&](const auto& entry) {
     return entry.second.user_id == user_id;
   });
 }
 
 void SessionManager::revoke_all_everything() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   sessions_.clear();
 }
 
 std::size_t SessionManager::live_sessions() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return sessions_.size();
 }
 

@@ -11,6 +11,7 @@
 #include "util/clock.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace w5::platform {
 
@@ -46,9 +47,9 @@ class SessionManager {
 
   const util::Clock& clock_;
   util::Micros ttl_micros_;
-  mutable std::mutex mutex_;
-  util::Rng rng_;
-  std::map<std::string, Session> sessions_;
+  mutable util::Mutex mutex_;
+  util::Rng rng_ W5_GUARDED_BY(mutex_);
+  std::map<std::string, Session> sessions_ W5_GUARDED_BY(mutex_);
 };
 
 }  // namespace w5::platform

@@ -91,7 +91,7 @@ class RateLimited final : public Declassifier {
   util::Status decide(const ExportRequest& request) override {
     if (auto verdict = inner_->decide(request); !verdict.ok()) return verdict;
     // The sliding window is shared mutable state across request workers.
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto& history = history_[request.viewer];
     const util::Micros now = clock_.now();
     while (!history.empty() && history.front() + window_ <= now)
@@ -111,8 +111,9 @@ class RateLimited final : public Declassifier {
   const util::Clock& clock_;
   std::size_t max_exports_;
   util::Micros window_;
-  std::mutex mutex_;
-  std::map<std::string, std::deque<util::Micros>> history_;
+  util::Mutex mutex_;
+  std::map<std::string, std::deque<util::Micros>> history_
+      W5_GUARDED_BY(mutex_);
 };
 
 class KAggregate final : public Declassifier {
@@ -169,19 +170,19 @@ std::unique_ptr<Declassifier> make_k_aggregate(std::size_t k) {
 
 std::string DeclassifierRegistry::add(
     std::string id, std::unique_ptr<Declassifier> declassifier) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   declassifiers_[id] = std::move(declassifier);
   return id;
 }
 
 Declassifier* DeclassifierRegistry::find(const std::string& id) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   const auto it = declassifiers_.find(id);
   return it == declassifiers_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> DeclassifierRegistry::ids() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [id, declassifier] : declassifiers_) out.push_back(id);
   return out;

@@ -25,6 +25,7 @@
 #include "net/http.h"
 #include "util/clock.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::platform {
 
@@ -99,8 +100,9 @@ class DeclassifierRegistry {
   std::vector<std::string> ids() const;
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, std::unique_ptr<Declassifier>> declassifiers_;
+  mutable util::SharedMutex mutex_;
+  std::map<std::string, std::unique_ptr<Declassifier>> declassifiers_
+      W5_GUARDED_BY(mutex_);
 };
 
 }  // namespace w5::platform

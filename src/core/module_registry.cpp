@@ -30,7 +30,7 @@ util::Status ModuleRegistry::add_locked(Module module) {
 }
 
 util::Status ModuleRegistry::add(Module module) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   return add_locked(std::move(module));
 }
 
@@ -48,7 +48,7 @@ const Module* ModuleRegistry::resolve_locked(const std::string& developer,
 const Module* ModuleRegistry::resolve(const std::string& developer,
                                       const std::string& name,
                                       const std::string& version) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return resolve_locked(developer, name, version);
 }
 
@@ -68,14 +68,14 @@ const Module* ModuleRegistry::resolve_id_locked(
 }
 
 const Module* ModuleRegistry::resolve_id(const std::string& module_id) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return resolve_id_locked(module_id);
 }
 
 util::Result<const Module*> ModuleRegistry::fork(
     const std::string& source_module_id, const std::string& new_developer,
     const std::string& new_name, AppHandler replacement_handler) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   const Module* source = resolve_id_locked(source_module_id);
   if (source == nullptr) {
     return util::make_error("module.not_found", source_module_id);
@@ -101,7 +101,7 @@ util::Result<const Module*> ModuleRegistry::fork(
 }
 
 std::vector<const Module*> ModuleRegistry::all() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   std::vector<const Module*> out;
   for (const auto& [path, versions] : modules_)
     for (const auto& module : versions) out.push_back(&module);
@@ -110,7 +110,7 @@ std::vector<const Module*> ModuleRegistry::all() const {
 
 std::vector<const Module*> ModuleRegistry::versions_of(
     const std::string& developer, const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   std::vector<const Module*> out;
   const auto it = modules_.find(developer + "/" + name);
   if (it == modules_.end()) return out;
@@ -120,7 +120,7 @@ std::vector<const Module*> ModuleRegistry::versions_of(
 
 os::ResourceContainer* ModuleRegistry::container_for(
     const std::string& module_path, const os::ResourceVector& limits) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   const auto it = containers_.find(module_path);
   if (it != containers_.end()) return it->second.get();
   auto container =

@@ -19,6 +19,7 @@
 #include "net/http.h"
 #include "os/resources.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::platform {
 
@@ -91,17 +92,20 @@ class ModuleRegistry {
 
  private:
   // Callers must hold mutex_ (exclusive for add_locked).
-  util::Status add_locked(Module module);
+  util::Status add_locked(Module module) W5_REQUIRES(mutex_);
   const Module* resolve_locked(const std::string& developer,
                                const std::string& name,
-                               const std::string& version) const;
-  const Module* resolve_id_locked(const std::string& module_id) const;
+                               const std::string& version) const
+      W5_REQUIRES_SHARED(mutex_);
+  const Module* resolve_id_locked(const std::string& module_id) const
+      W5_REQUIRES_SHARED(mutex_);
 
-  mutable std::shared_mutex mutex_;
+  mutable util::SharedMutex mutex_;
   // Keyed by developer/name, then ordered list of versions. deque: stable
   // element addresses across push_back (resolve() hands out Module*).
-  std::map<std::string, std::deque<Module>> modules_;
-  std::map<std::string, std::unique_ptr<os::ResourceContainer>> containers_;
+  std::map<std::string, std::deque<Module>> modules_ W5_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<os::ResourceContainer>> containers_
+      W5_GUARDED_BY(mutex_);
 };
 
 }  // namespace w5::platform

@@ -93,13 +93,13 @@ util::Result<UserPolicy> UserPolicy::from_json(const util::Json& j) {
 }
 
 UserPolicy PolicyStore::get(const std::string& user_id) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   const auto it = policies_.find(user_id);
   return it == policies_.end() ? default_policy_ : it->second;
 }
 
 void PolicyStore::set(const std::string& user_id, UserPolicy policy) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   policies_[user_id] = std::move(policy);
   std::uint64_t seq = 0;
   if (mutation_log_ != nullptr) {
@@ -122,13 +122,13 @@ util::Status PolicyStore::apply_wal(const util::Json& op) {
     return util::make_error("wal.replay", "unknown policy op");
   auto policy = UserPolicy::from_json(op.at("policy"));
   if (!policy.ok()) return policy.error();
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   policies_[op.at("user").as_string()] = std::move(policy).value();
   return util::ok_status();
 }
 
 util::Json PolicyStore::to_json() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   util::Json out;
   out.mutable_object();
   for (const auto& [user, policy] : policies_) out[user] = policy.to_json();
@@ -144,7 +144,7 @@ util::Status PolicyStore::load_json(const util::Json& snapshot) {
     if (!policy.ok()) return policy.error();
     policies[user] = std::move(policy).value();
   }
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   policies_ = std::move(policies);
   return util::ok_status();
 }

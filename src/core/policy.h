@@ -17,6 +17,7 @@
 #include "util/json.h"
 #include "util/mutation_log.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::platform {
 
@@ -74,10 +75,10 @@ class PolicyStore {
   util::Status apply_wal(const util::Json& op);  // TRUSTED replay apply
 
  private:
-  mutable std::shared_mutex mutex_;
-  UserPolicy default_policy_;
-  std::map<std::string, UserPolicy> policies_;
-  util::MutationLog* mutation_log_ = nullptr;
+  mutable util::SharedMutex mutex_;
+  UserPolicy default_policy_ W5_GUARDED_BY(mutex_);
+  std::map<std::string, UserPolicy> policies_ W5_GUARDED_BY(mutex_);
+  util::MutationLog* mutation_log_ = nullptr;  // set once at wiring time
 };
 
 }  // namespace w5::platform

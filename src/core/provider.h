@@ -203,6 +203,10 @@ class Provider {
   TraceBuffer traces_;
   ExternalFetcher external_fetcher_;
   std::unique_ptr<Gateway> gateway_;  // after metrics_: caches Counter*s
+  // §14 static-enforcement note: the provider itself holds no mutex —
+  // its one lazy-init race (the worker pool) goes through std::call_once
+  // plus an acquire/release atomic, and every mutable subsystem above
+  // synchronizes internally with annotated util::Mutex/SharedMutex locks.
   std::once_flag pool_once_;
   std::unique_ptr<os::ThreadPool> pool_;  // lazy; see worker_pool()
   std::atomic<os::ThreadPool*> pool_ptr_{nullptr};

@@ -8,7 +8,7 @@ void SearchService::reindex(const ModuleRegistry& modules) {
   // modules.all() snapshots before we lock: registry → search order,
   // never the reverse.
   const std::vector<const Module*> all = modules.all();
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   graph_ = rank::DependencyGraph();
   search_ = std::make_unique<rank::CodeSearch>(graph_, editors_, popularity_);
   for (const Module* module : all) {
@@ -29,7 +29,7 @@ void SearchService::reindex(const ModuleRegistry& modules) {
 }
 
 void SearchService::record_use(const std::string& module_id) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   popularity_.record_use(module_id);
   // Adoption credits the editors who vouched for the module: their
   // endorsements weigh more as their picks prove out (§3.2).
@@ -39,13 +39,13 @@ void SearchService::record_use(const std::string& module_id) {
 
 void SearchService::endorse(const std::string& editor,
                             const std::string& module_id, double confidence) {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   editors_.endorse(editor, module_id, confidence);
 }
 
 util::Json SearchService::search(const std::string& query,
                                  std::size_t limit) const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   util::Json hits = util::Json::array();
   if (search_ != nullptr) {
     for (const auto& hit : search_->search(query, limit)) {
@@ -65,7 +65,7 @@ util::Json SearchService::search(const std::string& query,
 }
 
 util::Json SearchService::developer_reputations() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   util::Json out;
   out.mutable_object();
   if (search_ == nullptr) return out;

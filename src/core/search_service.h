@@ -10,6 +10,7 @@
 #include "core/module_registry.h"
 #include "rank/search.h"
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace w5::platform {
 
@@ -39,13 +40,13 @@ class SearchService {
   util::Json developer_reputations() const;
 
  private:
-  mutable std::mutex mutex_;
-  rank::DependencyGraph graph_;
-  rank::EditorBoard editors_;
-  rank::PopularityTracker popularity_;
+  mutable util::Mutex mutex_;
+  rank::DependencyGraph graph_ W5_GUARDED_BY(mutex_);
+  rank::EditorBoard editors_ W5_GUARDED_BY(mutex_);
+  rank::PopularityTracker popularity_ W5_GUARDED_BY(mutex_);
   // CodeSearch holds references to the three structures above; rebuilt
   // whenever the graph is re-derived from the registry.
-  std::unique_ptr<rank::CodeSearch> search_;
+  std::unique_ptr<rank::CodeSearch> search_ W5_GUARDED_BY(mutex_);
 };
 
 }  // namespace w5::platform

@@ -129,7 +129,7 @@ void TraceBuffer::record(Trace trace) {
       recorded_total_.fetch_add(1, std::memory_order_relaxed);
   const auto slot = static_cast<std::size_t>(seq % capacity_);
   {
-    const std::lock_guard lock(slot_mutexes_[slot]);
+    const util::MutexLock lock(slot_mutexes_[slot]);
     // Swap, don't assign: the evicted trace's strings and span vector
     // are then freed below, after the lock is released.
     std::swap(ring_[slot], trace);
@@ -145,7 +145,7 @@ std::optional<Trace> TraceBuffer::find(const std::string& id) const {
   // Newest-first scan, one slot lock at a time.
   for (std::size_t i = 0; i < held; ++i) {
     const auto slot = static_cast<std::size_t>((total - 1 - i) % capacity_);
-    const std::lock_guard lock(slot_mutexes_[slot]);
+    const util::MutexLock lock(slot_mutexes_[slot]);
     if (ring_[slot].id == id) return ring_[slot];
   }
   return std::nullopt;

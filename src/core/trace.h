@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 #include "util/json.h"
 
 namespace w5::platform {
@@ -79,7 +80,10 @@ class TraceBuffer {
  private:
   std::size_t capacity_;
   std::atomic<std::uint64_t> recorded_total_{0};
-  mutable std::vector<std::mutex> slot_mutexes_;  // one per ring slot
+  // Dynamic per-slot locks: the analysis cannot name a runtime-indexed
+  // capability, so ring_ has no W5_GUARDED_BY; record()/find() still take
+  // the slot lock through util::MutexLock so clang sees the acquisition.
+  mutable std::vector<util::Mutex> slot_mutexes_;  // one per ring slot
   std::vector<Trace> ring_;                       // pre-sized; empty id = unused
 };
 

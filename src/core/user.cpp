@@ -40,7 +40,7 @@ util::Result<const UserAccount*> UserDirectory::create(
   }
   if (password.size() < 3)
     return util::make_error("user.invalid", "password too short");
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   if (users_.contains(id))
     return util::make_error("user.exists", "user '" + id + "' already exists");
 
@@ -96,13 +96,13 @@ util::Result<const UserAccount*> UserDirectory::create(
 }
 
 const UserAccount* UserDirectory::find(const std::string& id) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   const auto it = users_.find(id);
   return it == users_.end() ? nullptr : &it->second;
 }
 
 bool UserDirectory::remove(const std::string& id) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   const auto it = users_.find(id);
   if (it == users_.end()) return false;
   tag_owner_.erase(it->second.secrecy_tag);
@@ -142,7 +142,7 @@ bool UserDirectory::verify_password(const std::string& id,
 }
 
 const UserAccount* UserDirectory::owner_of_tag(difc::Tag tag) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   const auto tag_it = tag_owner_.find(tag);
   if (tag_it == tag_owner_.end()) return nullptr;
   const auto it = users_.find(tag_it->second);
@@ -150,7 +150,7 @@ const UserAccount* UserDirectory::owner_of_tag(difc::Tag tag) const {
 }
 
 util::Json UserDirectory::to_json() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   util::Json accounts = util::Json::array();
   for (const auto& [id, account] : users_) {
     util::Json entry;
@@ -199,7 +199,7 @@ util::Status UserDirectory::load_json(const util::Json& snapshot) {
     kernel_.add_global_capability(difc::plus(account.secrecy_tag));
     users.emplace(account.id, std::move(account));
   }
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   users_ = std::move(users);
   tag_owner_ = std::move(tag_owner);
   return util::ok_status();
@@ -225,7 +225,7 @@ util::Status UserDirectory::apply_wal(const util::Json& op) {
     }
     // Same boilerplate the original signup published.
     kernel_.add_global_capability(difc::plus(account.secrecy_tag));
-    std::unique_lock lock(mutex_);
+    util::WriteLock lock(mutex_);
     tag_owner_[account.secrecy_tag] = account.id;
     tag_owner_[account.write_tag] = account.id;
     tag_owner_[account.read_tag] = account.id;
@@ -233,7 +233,7 @@ util::Status UserDirectory::apply_wal(const util::Json& op) {
     return util::ok_status();
   }
   if (kind == "user.remove") {
-    std::unique_lock lock(mutex_);
+    util::WriteLock lock(mutex_);
     const auto it = users_.find(op.at("id").as_string());
     if (it == users_.end()) return util::ok_status();  // idempotent
     tag_owner_.erase(it->second.secrecy_tag);
@@ -246,7 +246,7 @@ util::Status UserDirectory::apply_wal(const util::Json& op) {
 }
 
 std::vector<std::string> UserDirectory::user_ids() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(users_.size());
   for (const auto& [id, account] : users_) out.push_back(id);
@@ -254,7 +254,7 @@ std::vector<std::string> UserDirectory::user_ids() const {
 }
 
 std::size_t UserDirectory::size() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return users_.size();
 }
 

@@ -22,6 +22,7 @@
 #include "os/kernel.h"
 #include "util/mutation_log.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::platform {
 
@@ -84,10 +85,11 @@ class UserDirectory {
 
  private:
   os::Kernel& kernel_;
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, UserAccount> users_;  // ordered for determinism
-  std::map<difc::Tag, std::string> tag_owner_;
-  util::MutationLog* mutation_log_ = nullptr;
+  mutable util::SharedMutex mutex_;
+  // Ordered for determinism.
+  std::map<std::string, UserAccount> users_ W5_GUARDED_BY(mutex_);
+  std::map<difc::Tag, std::string> tag_owner_ W5_GUARDED_BY(mutex_);
+  util::MutationLog* mutation_log_ = nullptr;  // set once at wiring time
 };
 
 // Password hashing: salted, iterated SHA-256. (A production provider

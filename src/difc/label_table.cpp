@@ -12,11 +12,11 @@ LabelTable& LabelTable::instance() {
 LabelId LabelTable::intern(const Label& label) {
   if (label.empty()) return kEmptyLabelId;
   {
-    std::shared_lock lock(mutex_);
+    const util::ReadLock lock(mutex_);
     const auto it = ids_.find(label);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   if (ids_.size() >= kMaxEntries) {
     // Reset rather than evict: ids are dense handles, not stable names.
     // The epoch bump invalidates every memoized verdict keyed by them.
@@ -32,7 +32,7 @@ LabelId LabelTable::intern(const Label& label) {
 
 void LabelTable::invalidate() {
   {
-    std::unique_lock lock(mutex_);
+    const util::WriteLock lock(mutex_);
     ids_.clear();
     next_id_ = 1;
     ++epoch_;
@@ -41,12 +41,12 @@ void LabelTable::invalidate() {
 }
 
 std::uint64_t LabelTable::epoch() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return epoch_;
 }
 
 std::size_t LabelTable::size() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return ids_.size();
 }
 
@@ -65,7 +65,7 @@ std::uint64_t pair_key(LabelId src, LabelId dst) {
 
 std::optional<bool> FlowCache::lookup(LabelId src, LabelId dst) const {
   const std::uint64_t epoch = LabelTable::instance().epoch();
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = entries_.find(pair_key(src, dst));
   if (it == entries_.end() || it->second.epoch != epoch) {
     ++misses_;
@@ -77,7 +77,7 @@ std::optional<bool> FlowCache::lookup(LabelId src, LabelId dst) const {
 
 void FlowCache::insert(LabelId src, LabelId dst, bool verdict) {
   const std::uint64_t epoch = LabelTable::instance().epoch();
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (entries_.size() >= kCapacity) {
     // Evict the oldest quarter by insertion stamp — amortized O(1) per
     // insert, and old-epoch leftovers go first by construction.
@@ -94,28 +94,28 @@ void FlowCache::insert(LabelId src, LabelId dst, bool verdict) {
 }
 
 void FlowCache::clear() {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   entries_.clear();
   ++invalidations_;
 }
 
 std::size_t FlowCache::size() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::uint64_t FlowCache::hits() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t FlowCache::misses() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return misses_;
 }
 
 std::uint64_t FlowCache::invalidations() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return invalidations_;
 }
 

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "difc/label.h"
+#include "util/thread_annotations.h"
 
 namespace w5::difc {
 
@@ -55,10 +56,10 @@ class LabelTable {
  private:
   LabelTable() = default;
 
-  mutable std::shared_mutex mutex_;
-  std::map<Label, LabelId> ids_;
-  LabelId next_id_ = 1;
-  std::uint64_t epoch_ = 1;
+  mutable util::SharedMutex mutex_;
+  std::map<Label, LabelId> ids_ W5_GUARDED_BY(mutex_);
+  LabelId next_id_ W5_GUARDED_BY(mutex_) = 1;
+  std::uint64_t epoch_ W5_GUARDED_BY(mutex_) = 1;
 };
 
 // Bounded LRU memo of (src_id, dst_id) → "src ⊆ dst" verdicts. Entries
@@ -94,12 +95,12 @@ class FlowCache {
     std::uint64_t order = 0;  // insertion stamp for FIFO eviction
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::uint64_t next_order_ = 0;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
-  std::uint64_t invalidations_ = 0;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_ W5_GUARDED_BY(mutex_);
+  std::uint64_t next_order_ W5_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t hits_ W5_GUARDED_BY(mutex_) = 0;
+  mutable std::uint64_t misses_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t invalidations_ W5_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace w5::difc

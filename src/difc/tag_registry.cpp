@@ -30,15 +30,19 @@ std::optional<TagPurpose> tag_purpose_from_string(std::string_view s) {
   return std::nullopt;
 }
 
-TagRegistry::TagRegistry(TagRegistry&& other) noexcept {
-  std::unique_lock other_lock(other.mutex_);
+// Move operations lock *two* registries (or a foreign one during
+// construction) — aliases the analysis cannot track, hence the opt-outs.
+TagRegistry::TagRegistry(TagRegistry&& other) noexcept
+    W5_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock other_lock(other.mutex_.native());
   next_id_ = other.next_id_;
   info_ = std::move(other.info_);
 }
 
-TagRegistry& TagRegistry::operator=(TagRegistry&& other) noexcept {
+TagRegistry& TagRegistry::operator=(TagRegistry&& other) noexcept
+    W5_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
-    std::scoped_lock locks(mutex_, other.mutex_);
+    std::scoped_lock locks(mutex_.native(), other.mutex_.native());
     next_id_ = other.next_id_;
     info_ = std::move(other.info_);
   }
@@ -52,7 +56,7 @@ Tag TagRegistry::create(std::string name, TagPurpose purpose,
   Tag tag;
   std::uint64_t seq = 0;
   {
-    std::unique_lock lock(mutex_);
+    util::WriteLock lock(mutex_);
     tag = Tag(next_id_++);
     info_[tag] = TagInfo{std::move(name), purpose, std::move(owner)};
     if (mutation_log_ != nullptr) {
@@ -85,7 +89,7 @@ util::Status TagRegistry::apply_wal(const util::Json& op) {
   const auto purpose = tag_purpose_from_string(op.at("purpose").as_string());
   if (!purpose) return util::make_error("wal.replay", "unknown tag purpose");
   {
-    std::unique_lock lock(mutex_);
+    util::WriteLock lock(mutex_);
     const Tag tag(static_cast<std::uint64_t>(id));
     info_[tag] = TagInfo{op.at("name").as_string(), *purpose,
                          op.at("owner").as_string()};
@@ -96,12 +100,12 @@ util::Status TagRegistry::apply_wal(const util::Json& op) {
 }
 
 std::size_t TagRegistry::size() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return info_.size();
 }
 
 std::vector<Tag> TagRegistry::all() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   std::vector<Tag> out;
   out.reserve(info_.size());
   for (const auto& [tag, info] : info_) out.push_back(tag);
@@ -109,7 +113,7 @@ std::vector<Tag> TagRegistry::all() const {
 }
 
 const TagInfo* TagRegistry::find(Tag tag) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   const auto it = info_.find(tag);
   return it == info_.end() ? nullptr : &it->second;
 }
@@ -121,7 +125,7 @@ std::string TagRegistry::describe(Tag tag) const {
 }
 
 util::Json TagRegistry::to_json() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   // Sort by id: unordered_map iteration order would make snapshot bytes
   // vary run to run, breaking checksum comparisons between snapshots of
   // identical state.

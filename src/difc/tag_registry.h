@@ -17,6 +17,7 @@
 #include "util/json.h"
 #include "util/mutation_log.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::difc {
 
@@ -78,10 +79,10 @@ class TagRegistry {
   util::Status apply_wal(const util::Json& op);
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::uint64_t next_id_ = 1;  // 0 reserved as invalid
-  std::unordered_map<Tag, TagInfo> info_;
-  util::MutationLog* mutation_log_ = nullptr;
+  mutable util::SharedMutex mutex_;
+  std::uint64_t next_id_ W5_GUARDED_BY(mutex_) = 1;  // 0 reserved as invalid
+  std::unordered_map<Tag, TagInfo> info_ W5_GUARDED_BY(mutex_);
+  util::MutationLog* mutation_log_ = nullptr;  // set once at wiring time
 };
 
 }  // namespace w5::difc

@@ -163,6 +163,7 @@ net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
 }
 
 net::CircuitBreaker& Node::breaker_for(const std::string& peer_name) {
+  const util::MutexLock lock(breakers_mutex_);
   auto& slot = breakers_[peer_name];
   if (slot == nullptr)
     slot = std::make_unique<net::CircuitBreaker>(provider_.clock());

@@ -27,6 +27,7 @@
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/transport.h"
+#include "util/thread_annotations.h"
 
 namespace w5::fed {
 
@@ -134,8 +135,14 @@ class Node {
   net::RetryPolicy retry_policy_;
   net::SleepFn retry_sleep_ = net::no_sleep();
   // Per-peer breakers; unique_ptr because CircuitBreaker is immovable
-  // (mutex) and the map must not invalidate references on rehash.
-  std::map<std::string, std::unique_ptr<net::CircuitBreaker>> breakers_;
+  // (mutex) and the map must not invalidate references on rehash. The
+  // map itself is the only Node state touched from concurrent sync
+  // drivers (clocks_/tombstones_ are externally serialized per node), so
+  // it gets its own leaf mutex; the returned breaker synchronizes
+  // internally.
+  mutable util::Mutex breakers_mutex_;
+  std::map<std::string, std::unique_ptr<net::CircuitBreaker>> breakers_
+      W5_GUARDED_BY(breakers_mutex_);
 };
 
 }  // namespace w5::fed

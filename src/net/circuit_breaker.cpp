@@ -10,7 +10,7 @@ void CircuitBreaker::refresh_locked(util::Micros now) {
 }
 
 bool CircuitBreaker::allow() {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   refresh_locked(clock_.now());
   switch (state_) {
     case State::kClosed:
@@ -30,14 +30,14 @@ bool CircuitBreaker::allow() {
 }
 
 void CircuitBreaker::record_success() {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   state_ = State::kClosed;
   failures_ = 0;
   probes_in_flight_ = 0;
 }
 
 void CircuitBreaker::record_failure() {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (state_ == State::kHalfOpen) {
     // The probe failed: straight back to open, cooldown restarts.
     state_ = State::kOpen;
@@ -53,7 +53,7 @@ void CircuitBreaker::record_failure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // const_cast-free: recompute the cooldown transition without mutating.
   if (state_ == State::kOpen &&
       clock_.now() - opened_at_ >= config_.open_cooldown)
@@ -62,12 +62,12 @@ CircuitBreaker::State CircuitBreaker::state() const {
 }
 
 int CircuitBreaker::consecutive_failures() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return failures_;
 }
 
 std::uint64_t CircuitBreaker::rejected_total() const {
-  const std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return rejected_;
 }
 

@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace w5::net {
 
@@ -49,17 +50,19 @@ class CircuitBreaker {
   std::uint64_t rejected_total() const;  // calls refused while open
 
  private:
-  // Requires mutex_ held: open → half-open once the cooldown elapsed.
-  void refresh_locked(util::Micros now);
+  // Open → half-open once the cooldown elapsed.
+  void refresh_locked(util::Micros now) W5_REQUIRES(mutex_);
 
   const util::Clock& clock_;
   Config config_;
-  mutable std::mutex mutex_;
-  State state_ = State::kClosed;
-  int failures_ = 0;          // consecutive failures while closed
-  int probes_in_flight_ = 0;  // allow()ed but not yet resolved (half-open)
-  util::Micros opened_at_ = 0;
-  std::uint64_t rejected_ = 0;
+  mutable util::Mutex mutex_;
+  State state_ W5_GUARDED_BY(mutex_) = State::kClosed;
+  // Consecutive failures while closed.
+  int failures_ W5_GUARDED_BY(mutex_) = 0;
+  // allow()ed but not yet resolved (half-open).
+  int probes_in_flight_ W5_GUARDED_BY(mutex_) = 0;
+  util::Micros opened_at_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ W5_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace w5::net

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/thread_annotations.h"
+
 namespace w5::net {
 
 FaultSchedule FaultSchedule::scripted(std::vector<FaultAction> read_actions,
@@ -138,26 +140,29 @@ util::Status FaultyConnection::write(std::string_view data) {
 // ---- File I/O faults -------------------------------------------------------
 
 struct FileFaultPlan::State {
-  std::mutex mutex;
-  bool seeded = false;
-  FileFaultProfile profile{};
-  util::Rng rng{0};
-  std::uint64_t crash_offset = UINT64_MAX;  // cumulative attempted bytes
-  std::uint64_t error_offset = UINT64_MAX;  // cumulative attempted bytes
-  std::uint64_t attempted = 0;
-  FileFaultStats stats;
+  util::Mutex mutex;
+  bool seeded W5_GUARDED_BY(mutex) = false;
+  FileFaultProfile profile W5_GUARDED_BY(mutex) {};
+  util::Rng rng W5_GUARDED_BY(mutex) {0};
+  // Crash/error points index cumulative attempted bytes.
+  std::uint64_t crash_offset W5_GUARDED_BY(mutex) = UINT64_MAX;
+  std::uint64_t error_offset W5_GUARDED_BY(mutex) = UINT64_MAX;
+  std::uint64_t attempted W5_GUARDED_BY(mutex) = 0;
+  FileFaultStats stats W5_GUARDED_BY(mutex);
 };
 
 FileFaultPlan::FileFaultPlan() : state_(std::make_shared<State>()) {}
 
 FileFaultPlan FileFaultPlan::crash_at(std::uint64_t offset) {
   FileFaultPlan plan;
+  const util::MutexLock lock(plan.state_->mutex);
   plan.state_->crash_offset = offset;
   return plan;
 }
 
 FileFaultPlan FileFaultPlan::error_at(std::uint64_t offset) {
   FileFaultPlan plan;
+  const util::MutexLock lock(plan.state_->mutex);
   plan.state_->error_offset = offset;
   return plan;
 }
@@ -165,6 +170,7 @@ FileFaultPlan FileFaultPlan::error_at(std::uint64_t offset) {
 FileFaultPlan FileFaultPlan::seeded(std::uint64_t seed,
                                     FileFaultProfile profile) {
   FileFaultPlan plan;
+  const util::MutexLock lock(plan.state_->mutex);
   plan.state_->seeded = true;
   plan.state_->profile = profile;
   plan.state_->rng = util::Rng(seed);
@@ -175,13 +181,14 @@ FileFaultPlan FileFaultPlan::seeded_crash(std::uint64_t seed,
                                           FileFaultProfile profile,
                                           std::uint64_t crash_offset) {
   FileFaultPlan plan = seeded(seed, profile);
+  const util::MutexLock lock(plan.state_->mutex);
   plan.state_->crash_offset = crash_offset;
   return plan;
 }
 
 std::size_t FileFaultPlan::admit_write(std::size_t requested) {
   State& s = *state_;
-  std::lock_guard lock(s.mutex);
+  const util::MutexLock lock(s.mutex);
   std::size_t admitted = requested;
   if (s.seeded && requested > 1 &&
       s.rng.next_double() < s.profile.short_write_probability) {
@@ -214,17 +221,17 @@ std::size_t FileFaultPlan::admit_write(std::size_t requested) {
 }
 
 bool FileFaultPlan::crashed() const {
-  std::lock_guard lock(state_->mutex);
+  const util::MutexLock lock(state_->mutex);
   return state_->stats.crashed;
 }
 
 bool FileFaultPlan::write_errored() const {
-  std::lock_guard lock(state_->mutex);
+  const util::MutexLock lock(state_->mutex);
   return state_->stats.write_errored;
 }
 
 FileFaultStats FileFaultPlan::stats() const {
-  std::lock_guard lock(state_->mutex);
+  const util::MutexLock lock(state_->mutex);
   return state_->stats;
 }
 

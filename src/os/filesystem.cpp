@@ -98,7 +98,7 @@ util::Status check_create(const difc::LabelState& state,
 
 util::Status FileSystem::mkdir(Pid pid, const std::string& path,
                                const difc::ObjectLabels& labels) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   std::string leaf;
@@ -128,7 +128,7 @@ util::Status FileSystem::mkdir(Pid pid, const std::string& path,
 util::Status FileSystem::create(Pid pid, const std::string& path,
                                 const difc::ObjectLabels& labels,
                                 std::string content) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   std::string leaf;
@@ -163,7 +163,7 @@ util::Status FileSystem::create(Pid pid, const std::string& path,
 
 util::Result<std::string> FileSystem::read(Pid pid, const std::string& path,
                                            AutoRaise raise) {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (node.value()->is_directory)
@@ -192,7 +192,7 @@ util::Result<std::string> FileSystem::read(Pid pid, const std::string& path,
 
 util::Status FileSystem::write(Pid pid, const std::string& path,
                                std::string content) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (node.value()->is_directory)
@@ -222,7 +222,7 @@ util::Status FileSystem::write(Pid pid, const std::string& path,
 
 util::Status FileSystem::append(Pid pid, const std::string& path,
                                 const std::string& content) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (node.value()->is_directory)
@@ -248,7 +248,7 @@ util::Status FileSystem::append(Pid pid, const std::string& path,
 }
 
 util::Status FileSystem::unlink(Pid pid, const std::string& path) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   auto state = caller(pid);
   if (!state.ok()) return state.error();
   std::string leaf;
@@ -280,7 +280,7 @@ util::Status FileSystem::unlink(Pid pid, const std::string& path) {
 
 util::Result<std::vector<std::string>> FileSystem::list(
     Pid pid, const std::string& path) {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   if (!node.value()->is_directory)
@@ -301,7 +301,7 @@ util::Result<std::vector<std::string>> FileSystem::list(
 }
 
 util::Result<FileStat> FileSystem::stat(Pid pid, const std::string& path) {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   auto state = caller(pid);
@@ -317,7 +317,7 @@ util::Result<FileStat> FileSystem::stat(Pid pid, const std::string& path) {
 
 util::Status FileSystem::relabel(Pid pid, const std::string& path,
                                  const difc::ObjectLabels& labels) {
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   auto node = resolve(path);
   if (!node.ok()) return node.error();
   auto state = caller(pid);
@@ -405,7 +405,7 @@ std::uint64_t FileSystem::log_remove_locked(const std::string& path) {
 
 util::Status FileSystem::apply_wal(const util::Json& op) {
   const std::string& kind = op.at("op").as_string();
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   if (kind == "fs.put") {
     const auto parts = util::split_nonempty(op.at("path").as_string(), '/');
     if (parts.empty())
@@ -447,7 +447,7 @@ util::Status FileSystem::apply_wal(const util::Json& op) {
 }
 
 util::Json FileSystem::to_json() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return node_to_json(*root_);
 }
 
@@ -457,7 +457,7 @@ util::Status FileSystem::load_json(const util::Json& snapshot) {
   if (!root.ok()) return root.error();
   if (!root.value()->is_directory)
     return util::make_error("fs.parse", "root must be a directory");
-  std::unique_lock lock(mutex_);
+  util::WriteLock lock(mutex_);
   root_ = std::move(root).value();
   return util::ok_status();
 }

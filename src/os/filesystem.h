@@ -20,6 +20,7 @@
 #include "util/json.h"
 #include "util/mutation_log.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::os {
 
@@ -108,9 +109,11 @@ class FileSystem {
   };
 
   // Callers must hold mutex_ (shared suffices for resolve).
-  util::Result<Node*> resolve(const std::string& path);
+  util::Result<Node*> resolve(const std::string& path)
+      W5_REQUIRES_SHARED(mutex_);
   util::Result<Node*> resolve_parent(const std::string& path,
-                                     std::string* leaf);
+                                     std::string* leaf)
+      W5_REQUIRES_SHARED(mutex_);
   util::Result<difc::LabelState> caller(Pid pid) const;
 
   static util::Json node_to_json(const Node& node);
@@ -120,13 +123,15 @@ class FileSystem {
   // Enqueue an op while holding mutex_ exclusively (sequence order must
   // match lock order); return 0 when no log is attached. The caller
   // releases the lock and then waits on the returned sequence.
-  std::uint64_t log_put_locked(const std::string& path, const Node& node);
-  std::uint64_t log_remove_locked(const std::string& path);
+  std::uint64_t log_put_locked(const std::string& path, const Node& node)
+      W5_REQUIRES(mutex_);
+  std::uint64_t log_remove_locked(const std::string& path)
+      W5_REQUIRES(mutex_);
 
   Kernel& kernel_;
-  mutable std::shared_mutex mutex_;
-  std::unique_ptr<Node> root_;
-  util::MutationLog* mutation_log_ = nullptr;
+  mutable util::SharedMutex mutex_;
+  std::unique_ptr<Node> root_ W5_GUARDED_BY(mutex_);
+  util::MutationLog* mutation_log_ = nullptr;  // set once at wiring time
 };
 
 }  // namespace w5::os

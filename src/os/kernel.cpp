@@ -28,23 +28,23 @@ util::Result<const Process*> Kernel::live_process(Pid pid) const {
 }
 
 difc::CapabilitySet Kernel::global_caps() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return global_caps_;
 }
 
 void Kernel::add_global_capability(difc::Capability cap) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   global_caps_.add(cap);
 }
 
 void Kernel::clear_global_capabilities() {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   global_caps_ = difc::CapabilitySet();
 }
 
 Pid Kernel::spawn_trusted(std::string name, difc::LabelState initial,
                           ResourceContainer* container) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   const Pid pid = next_pid_++;
   processes_[pid] = Process{pid,
                             kKernelPid,
@@ -59,7 +59,7 @@ Pid Kernel::spawn_trusted(std::string name, difc::LabelState initial,
 util::Result<Pid> Kernel::spawn(Pid parent, std::string name,
                                 const difc::LabelState& initial,
                                 ResourceContainer* container) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   auto parent_proc = live_process(parent);
   if (!parent_proc.ok()) return parent_proc.error();
   difc::CapabilitySet merged = parent_proc.value()->labels.owned();
@@ -102,19 +102,19 @@ util::Result<Pid> Kernel::spawn(Pid parent, std::string name,
 }
 
 Process* Kernel::find(Pid pid) {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   const auto it = processes_.find(pid);
   return it == processes_.end() ? nullptr : &it->second;
 }
 
 const Process* Kernel::find(Pid pid) const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   const auto it = processes_.find(pid);
   return it == processes_.end() ? nullptr : &it->second;
 }
 
 util::Status Kernel::kill(Pid pid, std::string reason) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   proc.value()->status = ProcessStatus::kKilled;
@@ -123,7 +123,7 @@ util::Status Kernel::kill(Pid pid, std::string reason) {
 }
 
 util::Status Kernel::exit(Pid pid) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   proc.value()->status = ProcessStatus::kExited;
@@ -131,14 +131,14 @@ util::Status Kernel::exit(Pid pid) {
 }
 
 void Kernel::reap(Pid pid) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   const auto it = processes_.find(pid);
   if (it != processes_.end() && it->second.status != ProcessStatus::kRunning)
     processes_.erase(it);
 }
 
 std::size_t Kernel::live_process_count() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [pid, proc] : processes_)
     if (proc.status == ProcessStatus::kRunning) ++n;
@@ -146,7 +146,7 @@ std::size_t Kernel::live_process_count() const {
 }
 
 std::size_t Kernel::process_table_size() const {
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   return processes_.size();
 }
 
@@ -158,7 +158,7 @@ util::Result<difc::LabelState> Kernel::effective_state(Pid pid) const {
     for (const difc::Tag tag : tags_.all()) all.add_dual(tag);
     return difc::LabelState({}, {}, std::move(all));
   }
-  std::shared_lock lock(mutex_);
+  const util::ReadLock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   difc::CapabilitySet merged = proc.value()->labels.owned();
@@ -172,7 +172,7 @@ util::Status Kernel::set_secrecy(Pid pid, const difc::Label& to) {
   // The kernel holds dual privilege over every tag; its label is pinned
   // at {} and label changes are vacuous.
   if (pid == kKernelPid) return util::ok_status();
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   difc::CapabilitySet merged = proc.value()->labels.owned();
@@ -190,7 +190,7 @@ util::Status Kernel::raise_secrecy(Pid pid, const difc::Label& tags) {
   if (pid == kKernelPid) return util::ok_status();
   difc::Label current;
   {
-    std::shared_lock lock(mutex_);
+    const util::ReadLock lock(mutex_);
     auto proc = live_process(pid);
     if (!proc.ok()) return proc.error();
     current = proc.value()->labels.secrecy();
@@ -202,7 +202,7 @@ util::Status Kernel::raise_secrecy(Pid pid, const difc::Label& tags) {
 
 util::Status Kernel::set_integrity(Pid pid, const difc::Label& to) {
   if (pid == kKernelPid) return util::ok_status();
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   difc::CapabilitySet merged = proc.value()->labels.owned();
@@ -217,7 +217,7 @@ util::Status Kernel::set_integrity(Pid pid, const difc::Label& to) {
 
 util::Result<difc::Tag> Kernel::create_tag(Pid creator, std::string name,
                                            difc::TagPurpose purpose) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   std::string owner = "kernel";
   Process* proc = nullptr;
   if (creator != kKernelPid) {
@@ -233,7 +233,7 @@ util::Result<difc::Tag> Kernel::create_tag(Pid creator, std::string name,
 }
 
 util::Status Kernel::grant(Pid from, Pid to, difc::Capability cap) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   auto target = live_process(to);
   if (!target.ok()) return target.error();
   if (from != kKernelPid) {
@@ -250,7 +250,7 @@ util::Status Kernel::grant(Pid from, Pid to, difc::Capability cap) {
 }
 
 util::Status Kernel::drop_capability(Pid pid, difc::Capability cap) {
-  std::unique_lock lock(mutex_);
+  const util::WriteLock lock(mutex_);
   auto proc = live_process(pid);
   if (!proc.ok()) return proc.error();
   proc.value()->labels.owned().remove(cap);
@@ -261,7 +261,7 @@ util::Status Kernel::charge(Pid pid, Resource r, std::int64_t amount) {
   if (pid == kKernelPid) return util::ok_status();  // provider code is unmetered
   ResourceContainer* container = nullptr;
   {
-    std::shared_lock lock(mutex_);
+    const util::ReadLock lock(mutex_);
     auto proc = live_process(pid);
     if (!proc.ok()) return proc.error();
     container = proc.value()->container;  // written only at spawn
@@ -271,7 +271,7 @@ util::Status Kernel::charge(Pid pid, Resource r, std::int64_t amount) {
   if (!status.ok()) {
     // Over-quota processes are killed, matching §3.5's requirement that
     // rogue applications cannot degrade the cluster.
-    std::unique_lock lock(mutex_);
+    const util::WriteLock lock(mutex_);
     if (auto proc = live_process(pid); proc.ok()) {
       proc.value()->status = ProcessStatus::kKilled;
       proc.value()->exit_reason = status.error().detail;

@@ -20,6 +20,7 @@
 #include "difc/tag_registry.h"
 #include "os/process.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::os {
 
@@ -101,14 +102,15 @@ class Kernel {
 
  private:
   // Callers must hold mutex_ (shared suffices for lookup).
-  util::Result<Process*> live_process(Pid pid);
-  util::Result<const Process*> live_process(Pid pid) const;
+  util::Result<Process*> live_process(Pid pid) W5_REQUIRES_SHARED(mutex_);
+  util::Result<const Process*> live_process(Pid pid) const
+      W5_REQUIRES_SHARED(mutex_);
 
-  mutable std::shared_mutex mutex_;
+  mutable util::SharedMutex mutex_;
   difc::TagRegistry tags_;  // internally synchronized
-  difc::CapabilitySet global_caps_;
-  std::unordered_map<Pid, Process> processes_;
-  Pid next_pid_ = 1;
+  difc::CapabilitySet global_caps_ W5_GUARDED_BY(mutex_);
+  std::unordered_map<Pid, Process> processes_ W5_GUARDED_BY(mutex_);
+  Pid next_pid_ W5_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace w5::os

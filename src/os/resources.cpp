@@ -38,14 +38,14 @@ ResourceContainer::ResourceContainer(std::string name, ResourceVector limits,
                                      ResourceContainer* parent)
     : name_(std::move(name)), limits_(limits), parent_(parent) {}
 
-std::mutex& ResourceContainer::tree_mutex() const {
+util::Mutex& ResourceContainer::tree_mutex() const {
   const ResourceContainer* root = this;
   while (root->parent_ != nullptr) root = root->parent_;
   return root->mutex_;
 }
 
 ResourceVector ResourceContainer::usage() const {
-  std::lock_guard lock(tree_mutex());
+  const util::MutexLock lock(tree_mutex());
   return usage_;
 }
 
@@ -55,7 +55,7 @@ bool ResourceContainer::would_exceed(Resource r, std::int64_t amount) const {
 }
 
 util::Status ResourceContainer::charge(Resource r, std::int64_t amount) {
-  std::lock_guard lock(tree_mutex());
+  const util::MutexLock lock(tree_mutex());
   // Validate the whole ancestor chain before mutating any usage counter.
   for (const ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     if (c->would_exceed(r, amount)) {
@@ -71,7 +71,7 @@ util::Status ResourceContainer::charge(Resource r, std::int64_t amount) {
 }
 
 void ResourceContainer::release(Resource r, std::int64_t amount) {
-  std::lock_guard lock(tree_mutex());
+  const util::MutexLock lock(tree_mutex());
   for (ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     c->usage_[r] -= amount;
     if (c->usage_[r] < 0) c->usage_[r] = 0;
@@ -79,7 +79,7 @@ void ResourceContainer::release(Resource r, std::int64_t amount) {
 }
 
 bool ResourceContainer::exhausted(Resource r) const {
-  std::lock_guard lock(tree_mutex());
+  const util::MutexLock lock(tree_mutex());
   for (const ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     if (c->limits_[r] != kUnlimited && c->usage_[r] >= c->limits_[r])
       return true;
@@ -88,7 +88,7 @@ bool ResourceContainer::exhausted(Resource r) const {
 }
 
 std::int64_t ResourceContainer::remaining(Resource r) const {
-  std::lock_guard lock(tree_mutex());
+  const util::MutexLock lock(tree_mutex());
   std::int64_t best = kUnlimited;
   for (const ResourceContainer* c = this; c != nullptr; c = c->parent_) {
     if (c->limits_[r] == kUnlimited) continue;
@@ -100,7 +100,7 @@ std::int64_t ResourceContainer::remaining(Resource r) const {
 }
 
 void ResourceContainer::reset_usage() {
-  std::lock_guard lock(tree_mutex());
+  const util::MutexLock lock(tree_mutex());
   usage_ = ResourceVector{};
 }
 

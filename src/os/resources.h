@@ -13,6 +13,7 @@
 #include <string>
 
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::os {
 
@@ -67,13 +68,17 @@ class ResourceContainer {
 
  private:
   bool would_exceed(Resource r, std::int64_t amount) const;
-  std::mutex& tree_mutex() const;  // the root container's mutex
+  // The root container's mutex. The capability is dynamic (whichever
+  // container is the root), so usage_ cannot carry W5_GUARDED_BY — the
+  // analysis needs a lexically fixed lock expression. The util::MutexLock
+  // guards in resources.cpp still give clang the acquire/release pairing.
+  util::Mutex& tree_mutex() const;
 
   std::string name_;
   ResourceVector limits_;
-  ResourceVector usage_;
+  ResourceVector usage_;             // guarded by tree_mutex(), dynamically
   ResourceContainer* parent_;  // not owned; parent outlives children
-  mutable std::mutex mutex_;   // used only on the root container
+  mutable util::Mutex mutex_;  // used only on the root container
 };
 
 }  // namespace w5::os

@@ -17,7 +17,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::submit(Job job) {
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (stopping_) return;
     queue_.push_back(std::move(job));
     ++submitted_;
@@ -28,7 +28,7 @@ void ThreadPool::submit(Job job) {
 
 bool ThreadPool::try_submit(Job job) {
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (stopping_ || (queue_limit_ > 0 && queue_.size() >= queue_limit_)) {
       ++rejected_;
       return false;
@@ -45,8 +45,10 @@ void ThreadPool::worker_loop() {
   while (true) {
     Job job;
     {
-      std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::UniqueLock lock(mutex_);
+      work_ready_.wait(lock.native(), [this]() W5_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -54,7 +56,7 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard lock(mutex_);
+      const util::MutexLock lock(mutex_);
       --active_;
       ++completed_;
       if (active_ == 0 && queue_.empty()) all_idle_.notify_all();
@@ -63,50 +65,52 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::drain() {
-  std::unique_lock lock(mutex_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  util::UniqueLock lock(mutex_);
+  all_idle_.wait(lock.native(), [this]() W5_REQUIRES(mutex_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
   // join_mutex_ serializes concurrent shutdown() calls — joining the same
   // std::thread from two threads is undefined behavior.
-  std::lock_guard join_lock(join_mutex_);
+  const util::MutexLock join_lock(join_mutex_);
   for (auto& worker : workers_)
     if (worker.joinable()) worker.join();
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t ThreadPool::active() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return active_;
 }
 
 std::uint64_t ThreadPool::jobs_submitted() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return submitted_;
 }
 
 std::uint64_t ThreadPool::jobs_completed() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return completed_;
 }
 
 std::uint64_t ThreadPool::jobs_rejected() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return rejected_;
 }
 
 std::size_t ThreadPool::max_queue_depth() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return max_queue_depth_;
 }
 

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace w5::os {
 
 using Job = std::function<void()>;
@@ -65,19 +67,20 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mutex_;
-  std::mutex join_mutex_;
+  mutable util::Mutex mutex_;
+  // Serializes shutdown() joins only; never held with mutex_.
+  util::Mutex join_mutex_;
   std::condition_variable work_ready_;
   std::condition_variable all_idle_;
-  std::deque<Job> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t queue_limit_ = 0;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::size_t max_queue_depth_ = 0;
+  std::deque<Job> queue_ W5_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_;  // written in ctor, joined in shutdown()
+  std::size_t queue_limit_ = 0;       // const after ctor
+  std::size_t active_ W5_GUARDED_BY(mutex_) = 0;
+  bool stopping_ W5_GUARDED_BY(mutex_) = false;
+  std::uint64_t submitted_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ W5_GUARDED_BY(mutex_) = 0;
+  std::size_t max_queue_depth_ W5_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace w5::os

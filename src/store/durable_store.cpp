@@ -87,7 +87,7 @@ util::Result<DurableStore::RecoveryStats> DurableStore::recover(
 }
 
 void DurableStore::set_checkpoint_source(std::function<std::string()> fn) {
-  std::lock_guard lock(checkpoint_mutex_);
+  const util::MutexLock lock(checkpoint_mutex_);
   checkpoint_source_ = std::move(fn);
 }
 
@@ -105,7 +105,7 @@ util::Status DurableStore::wait_durable(std::uint64_t seq) {
 }
 
 util::Status DurableStore::checkpoint() {
-  std::lock_guard lock(checkpoint_mutex_);
+  const util::MutexLock lock(checkpoint_mutex_);
   if (wal_ == nullptr)
     return util::make_error("wal.checkpoint", "durable store not recovered");
   if (!checkpoint_source_)
@@ -147,7 +147,7 @@ util::Status DurableStore::flush() {
 
 void DurableStore::close() {
   {
-    std::lock_guard lock(compactor_mutex_);
+    const util::MutexLock lock(compactor_mutex_);
     if (closing_) return;
     closing_ = true;
   }
@@ -163,9 +163,10 @@ std::uint64_t DurableStore::last_seq() const {
 void DurableStore::compactor_main() {
   const auto poll = std::chrono::microseconds(
       std::max<util::Micros>(config_.compactor_poll_micros, 1'000));
-  std::unique_lock lock(compactor_mutex_);
+  util::UniqueLock lock(compactor_mutex_);
   while (!closing_) {
-    compactor_cv_.wait_for(lock, poll, [&] { return closing_; });
+    compactor_cv_.wait_for(lock.native(), poll,
+                           [&]() W5_REQUIRES(compactor_mutex_) { return closing_; });
     if (closing_ || config_.snapshot_every_entries == 0) continue;
     const std::uint64_t appended =
         wal_ != nullptr ? wal_->last_appended_seq() : 0;

@@ -27,6 +27,7 @@
 #include "store/wal.h"
 #include "util/json.h"
 #include "util/mutation_log.h"
+#include "util/thread_annotations.h"
 
 namespace w5::store {
 
@@ -102,12 +103,12 @@ class DurableStore final : public util::MutationLog {
   std::unique_ptr<WriteAheadLog> wal_;
   std::function<std::string()> checkpoint_source_;
 
-  std::mutex checkpoint_mutex_;  // serializes checkpoint() bodies
+  util::Mutex checkpoint_mutex_;  // serializes checkpoint() bodies
   std::atomic<std::uint64_t> last_checkpoint_boundary_{1};
 
-  std::mutex compactor_mutex_;
+  util::Mutex compactor_mutex_;
   std::condition_variable compactor_cv_;
-  bool closing_ = false;
+  bool closing_ W5_GUARDED_BY(compactor_mutex_) = false;
   std::thread compactor_;
 
   util::Counter* checkpoints_ = nullptr;

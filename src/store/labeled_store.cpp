@@ -56,7 +56,7 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
   Shard& shard = shard_for(key);
   util::telemetry_count(puts_);
   util::telemetry_count(shard.ops);
-  std::unique_lock lock(shard.mutex);
+  util::WriteLock lock(shard.mutex);
   const auto it = shard.records.find(key);
   if (it == shard.records.end()) {
     // Create: no leak into the record, no forged endorsement.
@@ -145,7 +145,7 @@ util::Result<Record> LabeledStore::get(os::Pid pid,
     const Shard& shard = shard_for(key);
     util::telemetry_count(gets_);
     util::telemetry_count(shard.ops);
-    std::shared_lock lock(shard.mutex);
+    const util::ReadLock lock(shard.mutex);
     const auto it = shard.records.find(key);
     if (it == shard.records.end()) return not_found(collection, id);
     record = it->second;
@@ -181,7 +181,7 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
   Shard& shard = shard_for(key);
   util::telemetry_count(removes_);
   util::telemetry_count(shard.ops);
-  std::unique_lock lock(shard.mutex);
+  util::WriteLock lock(shard.mutex);
   const auto it = shard.records.find(key);
   if (it == shard.records.end())
     return util::Status(not_found(collection, id));
@@ -231,7 +231,7 @@ util::Result<std::vector<Record>> LabeledStore::query(
   std::vector<Record> candidates;
   for (const Shard& shard : shards_) {
     util::telemetry_count(shard.ops);
-    std::shared_lock lock(shard.mutex);
+    const util::ReadLock lock(shard.mutex);
     std::size_t from_this_shard = 0;
     const auto consider = [&](const Record& record) -> bool {
       if (from_this_shard >= cap) return false;
@@ -295,7 +295,7 @@ util::Result<std::size_t> LabeledStore::count(os::Pid pid,
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
     util::telemetry_count(shard.ops);
-    std::shared_lock lock(shard.mutex);
+    const util::ReadLock lock(shard.mutex);
     const auto begin = shard.records.lower_bound(Key{collection, ""});
     for (auto it = begin;
          it != shard.records.end() && it->first.first == collection; ++it) {
@@ -319,7 +319,7 @@ util::Result<std::vector<std::string>> LabeledStore::list_ids(
   std::vector<std::string> out;
   for (const Shard& shard : shards_) {
     util::telemetry_count(shard.ops);
-    std::shared_lock lock(shard.mutex);
+    const util::ReadLock lock(shard.mutex);
     const auto begin = shard.records.lower_bound(Key{collection, ""});
     for (auto it = begin;
          it != shard.records.end() && it->first.first == collection; ++it) {
@@ -348,7 +348,7 @@ LabeledStore::shard_op_counts() const {
 std::size_t LabeledStore::total_records() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock lock(shard.mutex);
+    const util::ReadLock lock(shard.mutex);
     n += shard.records.size();
   }
   return n;
@@ -358,7 +358,7 @@ std::vector<Record> LabeledStore::export_owned_by(
     const std::string& owner) const {
   std::vector<Record> out;
   for (const Shard& shard : shards_) {
-    std::shared_lock lock(shard.mutex);
+    const util::ReadLock lock(shard.mutex);
     const auto it = shard.by_owner.find(owner);
     if (it == shard.by_owner.end()) continue;
     for (const Key& key : it->second) out.push_back(shard.records.at(key));
@@ -371,7 +371,7 @@ util::Json LabeledStore::to_json() const {
   // Snapshot order is key order, independent of sharding.
   std::vector<Record> all;
   for (const Shard& shard : shards_) {
-    std::shared_lock lock(shard.mutex);
+    const util::ReadLock lock(shard.mutex);
     for (const auto& [key, record] : shard.records) all.push_back(record);
   }
   std::sort(all.begin(), all.end(), key_less);
@@ -390,7 +390,7 @@ util::Status LabeledStore::apply_wal(const util::Json& op) {
     Record record = std::move(parsed).value();
     const Key key{record.collection, record.id};
     Shard& shard = shard_for(key);
-    std::unique_lock lock(shard.mutex);
+    util::WriteLock lock(shard.mutex);
     const auto it = shard.records.find(key);
     if (it == shard.records.end()) {
       shard.by_owner[record.owner].push_back(key);
@@ -413,7 +413,7 @@ util::Status LabeledStore::apply_wal(const util::Json& op) {
   if (kind == "store.remove") {
     const Key key{op.at("collection").as_string(), op.at("id").as_string()};
     Shard& shard = shard_for(key);
-    std::unique_lock lock(shard.mutex);
+    util::WriteLock lock(shard.mutex);
     const auto it = shard.records.find(key);
     if (it == shard.records.end()) return util::ok_status();  // idempotent
     auto& keys = shard.by_owner[it->second.owner];
@@ -425,7 +425,10 @@ util::Status LabeledStore::apply_wal(const util::Json& op) {
   return util::make_error("wal.replay", "unknown store op '" + kind + "'");
 }
 
-util::Status LabeledStore::load_json(const util::Json& snapshot) {
+// Takes all 16 shard locks through a runtime-indexed array — a dynamic
+// capability set TSA cannot model, hence the opt-out.
+util::Status LabeledStore::load_json(const util::Json& snapshot)
+    W5_NO_THREAD_SAFETY_ANALYSIS {
   if (!snapshot.at("records").is_array())
     return util::make_error("store.parse", "missing records array");
   // Build aside, then swap under all shard locks (index order, the only
@@ -444,7 +447,7 @@ util::Status LabeledStore::load_json(const util::Json& snapshot) {
   }
   std::array<std::unique_lock<std::shared_mutex>, kShardCount> locks;
   for (std::size_t i = 0; i < kShardCount; ++i)
-    locks[i] = std::unique_lock(shards_[i].mutex);
+    locks[i] = std::unique_lock(shards_[i].mutex.native());
   for (std::size_t i = 0; i < kShardCount; ++i) {
     shards_[i].records = std::move(records[i]);
     shards_[i].by_owner = std::move(by_owner[i]);

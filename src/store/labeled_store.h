@@ -24,6 +24,7 @@
 #include "util/metrics.h"
 #include "util/mutation_log.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::store {
 
@@ -111,6 +112,9 @@ class LabeledStore {
   std::vector<Record> export_owned_by(const std::string& owner) const;
 
   util::Json to_json() const;
+  // Swaps in a full snapshot under every shard lock at once — the locks
+  // are taken through an index-ordered array the analysis cannot name, so
+  // the implementation opts out with W5_NO_THREAD_SAFETY_ANALYSIS.
   util::Status load_json(const util::Json& snapshot);
 
   // ---- Durability (DESIGN.md §13) -------------------------------------------
@@ -129,11 +133,11 @@ class LabeledStore {
   using Key = std::pair<std::string, std::string>;  // (collection, id)
 
   struct Shard {
-    mutable std::shared_mutex mutex;
+    mutable util::SharedMutex mutex;
     // map keeps iteration deterministic for snapshots and queries.
-    std::map<Key, Record> records;
+    std::map<Key, Record> records W5_GUARDED_BY(mutex);
     // Secondary index: owner -> keys, maintained on put/remove.
-    std::map<std::string, std::vector<Key>> by_owner;
+    std::map<std::string, std::vector<Key>> by_owner W5_GUARDED_BY(mutex);
     // Telemetry: operations that touched this shard (relaxed; approximate
     // under races is fine for a load-balance signal).
     mutable std::atomic<std::uint64_t> ops{0};

@@ -263,7 +263,7 @@ util::Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::open(
   auto log = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(dir, next_seq, std::move(options)));
   {
-    std::lock_guard lock(log->mutex_);
+    const util::MutexLock lock(log->mutex_);
     if (auto status = log->open_segment_locked(next_seq); !status.ok())
       return status.error();
   }
@@ -295,7 +295,7 @@ std::uint64_t WriteAheadLog::append(std::string payload) {
   }
   std::uint64_t seq;
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (closing_ || failed_.load(std::memory_order_relaxed)) return 0;
     seq = next_seq_++;
     pending_.push_back({seq, std::move(payload)});
@@ -307,7 +307,7 @@ std::uint64_t WriteAheadLog::append(std::string payload) {
 
 util::Status WriteAheadLog::wait_durable(std::uint64_t seq) {
   if (seq == 0) {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (failed_.load(std::memory_order_relaxed)) return fail_status_locked();
     return util::make_error(
         "wal.append", closing_ ? "log is closed" : "mutation was not logged");
@@ -316,11 +316,11 @@ util::Status WriteAheadLog::wait_durable(std::uint64_t seq) {
     // Weak modes ack immediately — unless the log is already known dead,
     // in which case nothing new will ever reach disk.
     if (!failed_.load(std::memory_order_acquire)) return util::ok_status();
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return fail_status_locked();
   }
-  std::unique_lock lock(mutex_);
-  durable_cv_.wait(lock, [&] {
+  util::UniqueLock lock(mutex_);
+  durable_cv_.wait(lock.native(), [&]() W5_REQUIRES(mutex_) {
     return durable_seq_ >= seq || closing_ ||
            failed_.load(std::memory_order_relaxed);
   });
@@ -332,13 +332,13 @@ util::Status WriteAheadLog::wait_durable(std::uint64_t seq) {
 }
 
 util::Status WriteAheadLog::flush() {
-  std::unique_lock lock(mutex_);
+  util::UniqueLock lock(mutex_);
   if (failed_.load(std::memory_order_relaxed)) return fail_status_locked();
   if (!file_.valid() || closing_) return util::ok_status();
   const std::uint64_t target = next_seq_ - 1;
   ++flush_requests_;
   pending_cv_.notify_one();
-  durable_cv_.wait(lock, [&] {
+  durable_cv_.wait(lock.native(), [&]() W5_REQUIRES(mutex_) {
     return flushed_seq_ >= target || closing_ ||
            failed_.load(std::memory_order_relaxed);
   });
@@ -348,13 +348,13 @@ util::Status WriteAheadLog::flush() {
 }
 
 std::uint64_t WriteAheadLog::rotate() {
-  std::unique_lock lock(mutex_);
+  util::UniqueLock lock(mutex_);
   if (failed_.load(std::memory_order_relaxed)) return 0;
   const std::uint64_t boundary = next_seq_;
   if (closing_ || !file_.valid()) return boundary;
   rotate_at_ = boundary;
   pending_cv_.notify_one();
-  durable_cv_.wait(lock, [&] {
+  durable_cv_.wait(lock.native(), [&]() W5_REQUIRES(mutex_) {
     return segment_start_ >= boundary || closing_ ||
            failed_.load(std::memory_order_relaxed);
   });
@@ -368,7 +368,7 @@ util::Status WriteAheadLog::remove_segments_below(std::uint64_t seq) {
   for (const SegmentFile& segment : list_segments(dir_)) {
     bool current;
     {
-      std::lock_guard lock(mutex_);
+      const util::MutexLock lock(mutex_);
       current = segment.first_seq >= segment_start_;
     }
     if (current || segment.first_seq >= seq) continue;
@@ -383,28 +383,28 @@ util::Status WriteAheadLog::remove_segments_below(std::uint64_t seq) {
 }
 
 std::uint64_t WriteAheadLog::last_appended_seq() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return next_seq_ - 1;
 }
 
 std::uint64_t WriteAheadLog::durable_seq() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return durable_seq_;
 }
 
 std::uint64_t WriteAheadLog::segment_bytes() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return segment_bytes_;
 }
 
 std::uint64_t WriteAheadLog::segment_start() const {
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return segment_start_;
 }
 
 void WriteAheadLog::close() {
   {
-    std::lock_guard lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (closing_) return;
     closing_ = true;
   }
@@ -434,16 +434,16 @@ void WriteAheadLog::flusher_main() {
   const auto interval =
       std::chrono::microseconds(std::max<util::Micros>(
           options_.flush_interval_micros, 1));
-  std::unique_lock lock(mutex_);
+  util::UniqueLock lock(mutex_);
   for (;;) {
-    const auto ready = [&] {
+    const auto ready = [&]() W5_REQUIRES(mutex_) {
       return !pending_.empty() || closing_ || rotate_at_ != 0 ||
              flush_requests_ > flush_serviced_;
     };
     if (options_.mode == DurabilityMode::kInterval) {
-      pending_cv_.wait_for(lock, interval, ready);
+      pending_cv_.wait_for(lock.native(), interval, ready);
     } else {
-      pending_cv_.wait(lock, ready);
+      pending_cv_.wait(lock.native(), ready);
     }
     if (failed_.load(std::memory_order_relaxed)) {
       // Poisoned: a torn frame may sit mid-segment, so writing anything
@@ -548,7 +548,7 @@ void WriteAheadLog::write_batch(std::vector<Pending> batch, bool force_fsync) {
     }
   }
 
-  std::lock_guard lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!io.ok()) {
     // A failed write may have torn a frame mid-segment (ENOSPC cuts the
     // batch anywhere); a failed fsync means the kernel promises nothing

@@ -34,6 +34,7 @@
 #include "util/clock.h"
 #include "util/metrics.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::store {
 
@@ -148,11 +149,11 @@ class WriteAheadLog {
     std::string payload;
   };
 
-  util::Status open_segment_locked(std::uint64_t first_seq);
-  // Poisons the log (idempotent) and wakes every waiter. Caller holds
-  // mutex_.
-  void fail_locked(std::string reason);
-  util::Status fail_status_locked() const;
+  util::Status open_segment_locked(std::uint64_t first_seq)
+      W5_REQUIRES(mutex_);
+  // Poisons the log (idempotent) and wakes every waiter.
+  void fail_locked(std::string reason) W5_REQUIRES(mutex_);
+  util::Status fail_status_locked() const W5_REQUIRES(mutex_);
   void flusher_main();
   // Writes one batch (split across a rotation boundary if one is
   // requested) and fsyncs per mode. Called from the flusher only.
@@ -161,24 +162,31 @@ class WriteAheadLog {
   const std::string dir_;
   const WalOptions options_;
 
-  mutable std::mutex mutex_;  // leaf: guards everything below
+  mutable util::Mutex mutex_;  // leaf: guards everything below
   std::condition_variable pending_cv_;   // flusher wakeup
   std::condition_variable durable_cv_;   // wait_durable / flush wakeup
-  std::vector<Pending> pending_;
-  std::uint64_t next_seq_;
-  std::uint64_t durable_seq_ = 0;   // highest seq written (+fsynced in kFsync)
-  std::uint64_t written_seq_ = 0;   // highest seq handed to write(2)
-  std::uint64_t flushed_seq_ = 0;   // highest seq a serviced flush() covers
-  std::uint64_t flush_requests_ = 0;  // flush() handshake: requests issued…
-  std::uint64_t flush_serviced_ = 0;  // …vs. force-batches the flusher ran
-  std::uint64_t rotate_at_ = 0;     // nonzero: rotate before this seq
-  std::uint64_t segment_start_ = 0;
-  std::uint64_t segment_bytes_ = 0;
-  bool closing_ = false;
+  std::vector<Pending> pending_ W5_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ W5_GUARDED_BY(mutex_);
+  // Highest seq written (+fsynced in kFsync).
+  std::uint64_t durable_seq_ W5_GUARDED_BY(mutex_) = 0;
+  // Highest seq handed to write(2).
+  std::uint64_t written_seq_ W5_GUARDED_BY(mutex_) = 0;
+  // Highest seq a serviced flush() covers.
+  std::uint64_t flushed_seq_ W5_GUARDED_BY(mutex_) = 0;
+  // flush() handshake: requests issued vs. force-batches the flusher ran.
+  std::uint64_t flush_requests_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t flush_serviced_ W5_GUARDED_BY(mutex_) = 0;
+  // Nonzero: rotate before this seq.
+  std::uint64_t rotate_at_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t segment_start_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t segment_bytes_ W5_GUARDED_BY(mutex_) = 0;
+  bool closing_ W5_GUARDED_BY(mutex_) = false;
   std::atomic<bool> failed_{false};  // set under mutex_; read lock-free
-  std::string fail_reason_;          // guarded by mutex_
+  std::string fail_reason_ W5_GUARDED_BY(mutex_);
+  // Flusher-thread-only between open() and close(); open_segment_locked
+  // swaps it under mutex_ while the flusher itself holds the lock.
   net::FaultyFile file_;
-  util::Micros last_fsync_micros_ = 0;
+  util::Micros last_fsync_micros_ = 0;  // flusher-thread-only
 
   // Telemetry (null when no registry was supplied).
   util::Counter* appends_ = nullptr;

@@ -3,14 +3,15 @@
 #include <iostream>
 #include <mutex>
 
+#include "util/thread_annotations.h"
 #include "util/json.h"
 
 namespace w5::util {
 
 namespace {
 
-std::mutex g_mutex;
-LogLevel g_threshold = LogLevel::kWarn;
+Mutex g_mutex;
+LogLevel g_threshold W5_GUARDED_BY(g_mutex) = LogLevel::kWarn;
 
 void default_sink(LogLevel level, std::string_view message) {
   std::cerr << "[" << to_string(level) << "] " << message << "\n";
@@ -38,19 +39,19 @@ std::string_view to_string(LogLevel level) {
 }
 
 LogSink set_log_sink(LogSink sink) {
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   auto previous = std::move(sink_storage());
   sink_storage() = std::move(sink);
   return previous;
 }
 
 void set_log_threshold(LogLevel level) {
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   g_threshold = level;
 }
 
 void log(LogLevel level, std::string_view message) {
-  const std::lock_guard lock(g_mutex);
+  const MutexLock lock(g_mutex);
   if (level < g_threshold) return;
   if (sink_storage()) sink_storage()(level, message);
 }

@@ -71,14 +71,14 @@ double Histogram::percentile(double p) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -86,7 +86,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<std::int64_t> bounds) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(
@@ -97,7 +97,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   std::string out;
   out.reserve(4096);
   const auto emit_type = [&out](std::string_view family,
@@ -157,7 +157,7 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 Json MetricsRegistry::to_json() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   Json counters{JsonObject{}};
   for (const auto& [name, counter] : counters_)
     counters[name] = counter->value();

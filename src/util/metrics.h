@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace w5::util {
 
@@ -152,10 +153,11 @@ class MetricsRegistry {
   Json to_json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ W5_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ W5_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      W5_GUARDED_BY(mutex_);
 };
 
 }  // namespace w5::util

@@ -1,0 +1,184 @@
+// Clang Thread Safety Analysis support (DESIGN.md §14).
+//
+// Two halves:
+//
+//  1. W5_* macros wrapping Clang's thread-safety attributes. Under any
+//     compiler without the analysis (GCC, MSVC) they expand to nothing,
+//     so the annotated tree builds everywhere; under clang with
+//     -Werror=thread-safety every GUARDED_BY / REQUIRES contract is
+//     checked at compile time (scripts/ci.sh `lint` stage).
+//
+//  2. Annotated lock types. The analysis only understands mutexes whose
+//     type carries the `capability` attribute and guards whose type is a
+//     `scoped_lockable`; libstdc++'s std::mutex / std::lock_guard carry
+//     neither, so the platform holds locks through these thin wrappers
+//     instead. They add no state and no indirection — each is exactly the
+//     std type plus attributes.
+//
+// Conventions (see DESIGN.md §14 for the full rules):
+//   - every mutex-protected member is W5_GUARDED_BY(mutex_);
+//   - private helpers that assume the lock use W5_REQUIRES(mutex_) and
+//     carry a `_locked` name suffix;
+//   - condition-variable waits go through util::UniqueLock and
+//     cv.wait(lk.native(), ...) — the capability is held before and
+//     after the wait, which is all the (lexical) analysis can see;
+//   - functions that take many locks dynamically (e.g. all 16 store
+//     shards) are opted out with W5_NO_THREAD_SAFETY_ANALYSIS and must
+//     say why in a comment.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define W5_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define W5_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC have no TSA
+#endif
+
+// Type attributes.
+#define W5_CAPABILITY(x) W5_THREAD_ANNOTATION(capability(x))
+#define W5_SCOPED_CAPABILITY W5_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member attributes.
+#define W5_GUARDED_BY(x) W5_THREAD_ANNOTATION(guarded_by(x))
+#define W5_PT_GUARDED_BY(x) W5_THREAD_ANNOTATION(pt_guarded_by(x))
+#define W5_ACQUIRED_BEFORE(...) W5_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define W5_ACQUIRED_AFTER(...) W5_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function attributes: what the function acquires/releases/assumes.
+#define W5_ACQUIRE(...) W5_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define W5_ACQUIRE_SHARED(...) \
+  W5_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define W5_RELEASE(...) W5_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define W5_RELEASE_SHARED(...) \
+  W5_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define W5_RELEASE_GENERIC(...) \
+  W5_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define W5_TRY_ACQUIRE(...) \
+  W5_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define W5_TRY_ACQUIRE_SHARED(...) \
+  W5_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define W5_REQUIRES(...) W5_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define W5_REQUIRES_SHARED(...) \
+  W5_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define W5_EXCLUDES(...) W5_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define W5_ASSERT_CAPABILITY(x) W5_THREAD_ANNOTATION(assert_capability(x))
+#define W5_RETURN_CAPABILITY(x) W5_THREAD_ANNOTATION(lock_returned(x))
+#define W5_NO_THREAD_SAFETY_ANALYSIS \
+  W5_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace w5::util {
+
+// std::mutex with the `capability` attribute. `native()` exposes the
+// underlying std::mutex for std::condition_variable (which is typed on
+// std::unique_lock<std::mutex>); only UniqueLock should need it.
+class W5_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() W5_ACQUIRE() { m_.lock(); }
+  void unlock() W5_RELEASE() { m_.unlock(); }
+  bool try_lock() W5_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+// std::shared_mutex with the `capability` attribute: exclusive for
+// writers, shared for readers. `native()` is for the rare code that must
+// manage std locks directly (e.g. locking all store shards at once);
+// such code opts out with W5_NO_THREAD_SAFETY_ANALYSIS.
+class W5_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() W5_ACQUIRE() { m_.lock(); }
+  void unlock() W5_RELEASE() { m_.unlock(); }
+  bool try_lock() W5_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock_shared() W5_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() W5_RELEASE_SHARED() { m_.unlock_shared(); }
+  bool try_lock_shared() W5_TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+
+  std::shared_mutex& native() { return m_; }
+
+ private:
+  std::shared_mutex m_;
+};
+
+// std::lock_guard<Mutex> equivalent.
+class W5_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) W5_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() W5_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// std::unique_lock<Mutex> equivalent for condition-variable waits:
+// cv.wait(lk.native(), pred). The analysis treats the capability as held
+// across the wait (it is, at every point the caller can observe).
+class W5_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) W5_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~UniqueLock() W5_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() W5_ACQUIRE() { lk_.lock(); }
+  void unlock() W5_RELEASE() { lk_.unlock(); }
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+// Exclusive (writer) scope on a SharedMutex. Early unlock() is allowed
+// (several call sites drop the lock before a charge or an audit write);
+// the std::unique_lock inside keeps the destructor idempotent.
+class W5_SCOPED_CAPABILITY WriteLock {
+ public:
+  explicit WriteLock(SharedMutex& mu) W5_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~WriteLock() W5_RELEASE() {}
+
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+  void lock() W5_ACQUIRE() { lk_.lock(); }
+  void unlock() W5_RELEASE() { lk_.unlock(); }
+
+ private:
+  std::unique_lock<std::shared_mutex> lk_;
+};
+
+// Shared (reader) scope on a SharedMutex; early unlock() allowed.
+class W5_SCOPED_CAPABILITY ReadLock {
+ public:
+  explicit ReadLock(SharedMutex& mu) W5_ACQUIRE_SHARED(mu) : lk_(mu.native()) {}
+  ~ReadLock() W5_RELEASE() {}
+
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+  void lock() W5_ACQUIRE_SHARED() { lk_.lock(); }
+  void unlock() W5_RELEASE_SHARED() { lk_.unlock(); }
+
+ private:
+  std::shared_lock<std::shared_mutex> lk_;
+};
+
+}  // namespace w5::util

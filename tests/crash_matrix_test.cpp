@@ -157,7 +157,9 @@ TEST(CrashMatrixTest, EveryFrameBoundaryPlusMinusOneByte) {
     ScratchDir dir("cell");
     auto fault = net::FileFaultPlan::crash_at(offset);
     run_workload(durable_config(dir.path(), fault), clock);
-    if (offset < boundaries.back()) EXPECT_TRUE(fault.crashed());
+    if (offset < boundaries.back()) {
+      EXPECT_TRUE(fault.crashed());
+    }
 
     // First recovery: exactly the longest committed prefix survives, and
     // a torn tail is reported iff the crash split a frame.

@@ -1,0 +1,9 @@
+// Same breach as perimeter_send/, but the fixture allowlist suppresses
+// it — tests that suppression is (check, path-prefix)-scoped.
+#include <sys/socket.h>
+
+namespace w5::apps {
+void grandfathered(int fd, const char* buf, unsigned long len) {
+  ::send(fd, buf, len, 0);
+}
+}  // namespace w5::apps

@@ -1,0 +1,11 @@
+// Seeded violations: strcpy (unbounded copy) and rand (global PRNG,
+// breaks deterministic runs — util::Rng instead).
+#include <cstdlib>
+#include <cstring>
+
+namespace w5::util {
+void unsafe(char* dst, const char* src) {
+  strcpy(dst, src);
+  (void)rand();
+}
+}  // namespace w5::util

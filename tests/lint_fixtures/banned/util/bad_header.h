@@ -1,0 +1,6 @@
+// Seeded violation: `using namespace` in a header.
+#pragma once
+
+#include <string>
+
+using namespace std;

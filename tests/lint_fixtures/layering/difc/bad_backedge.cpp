@@ -1,0 +1,8 @@
+// Seeded violation: difc/ is below core/ in the frozen DAG, so this
+// include is a layering back-edge w5lint must reject.
+#include "core/policy.h"
+#include "util/json.h"
+
+namespace w5::difc {
+void uses_policy_from_below() {}
+}  // namespace w5::difc

@@ -1,0 +1,7 @@
+// Seeded violation: apps/ pulling in the HTTP server means an app could
+// construct externally-bound responses without the declassifier.
+#include "net/http_server.h"
+
+namespace w5::apps {
+void bypass() {}
+}  // namespace w5::apps

@@ -1,0 +1,9 @@
+// Seeded violation: a raw socket write outside net/ and os/. Apps must
+// hand bytes to the gateway; they never own a socket.
+#include <sys/socket.h>
+
+namespace w5::apps {
+void leak_bytes(int fd, const char* buf, unsigned long len) {
+  ::send(fd, buf, len, 0);
+}
+}  // namespace w5::apps

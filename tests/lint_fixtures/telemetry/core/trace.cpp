@@ -1,0 +1,7 @@
+// Seeded violation: the trace plane including store/record.h would let
+// user data bytes into telemetry (§3.5).
+#include "store/record.h"
+
+namespace w5::core {
+void trace_sees_records() {}
+}  // namespace w5::core

@@ -108,8 +108,9 @@ TEST_P(StoreShadowProperty, KernelViewMatchesPlainMap) {
       auto result = labeled.get(os::kKernelPid, "c", id);
       const auto it = shadow.find(id);
       ASSERT_EQ(result.ok(), it != shadow.end()) << "id " << id;
-      if (result.ok())
+      if (result.ok()) {
         EXPECT_EQ(result.value().data.at("title").as_string(), it->second);
+      }
     } else {  // remove
       auto result = labeled.remove(os::kKernelPid, "c", id);
       EXPECT_EQ(result.ok(), shadow.erase(id) > 0);
