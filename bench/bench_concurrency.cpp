@@ -11,11 +11,24 @@
 //   scripts/bench_json.sh            # JSON for BENCH_concurrency.json
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gateway.h"
 #include "core/provider.h"
+#include "net/event_loop_server.h"
+#include "net/http_client.h"
+#include "net/tcp.h"
 
 namespace {
 
@@ -143,5 +156,235 @@ void BM_ExportFastPath(benchmark::State& state) {
   state.SetItemsProcessed(requests);
 }
 BENCHMARK(BM_ExportFastPath)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+// ---- E12b: the serving layer itself, over real TCP ----------------------
+//
+// Everything above measures the pipeline in-process. These benches put
+// the wire back in: a provider served over loopback TCP in each serving
+// mode (DESIGN.md §15), keep-alive clients doing the same mixed request
+// pattern. Reactor vs pooled at the same thread counts is the tentpole
+// comparison; the idle sweep is the reactor's reason to exist.
+
+struct TcpServeFixture {
+  w5::util::WallClock clock;
+  std::unique_ptr<Provider> provider;
+  w5::net::TcpListener listener;
+  std::thread serve_thread;  // leaky: runs until process exit
+  std::vector<std::string> cookies;
+
+  explicit TcpServeFixture(w5::platform::ServeMode mode) {
+    ProviderConfig config;
+    config.serve_mode = mode;
+    provider = std::make_unique<Provider>(std::move(config), clock);
+    for (int u = 0; u < kUsers; ++u) {
+      const std::string user = "tcp" + std::to_string(u);
+      (void)provider->signup(user, "password");
+      cookies.push_back("w5session=" +
+                        provider->login(user, "password").value());
+    }
+    Module viewer;
+    viewer.developer = "devco";
+    viewer.name = "viewer";
+    viewer.version = "1.0";
+    viewer.handler = [](AppContext& ctx) {
+      auto record = ctx.get_record("notes", "tcpseed");
+      return HttpResponse::text(record.ok() ? 200 : 404, "r");
+    };
+    (void)provider->modules().add(viewer);
+    // Deep backlog: connect bursts must not hit SYN-queue retransmits.
+    if (!listener.listen(0, 1024).ok()) std::abort();
+    serve_thread = std::thread([this] { provider->serve(listener); });
+  }
+};
+
+TcpServeFixture& tcp_fixture(w5::platform::ServeMode mode) {
+  static TcpServeFixture* reactor =
+      new TcpServeFixture(w5::platform::ServeMode::kEventLoop);
+  static TcpServeFixture* pooled =
+      new TcpServeFixture(w5::platform::ServeMode::kPooled);
+  return mode == w5::platform::ServeMode::kEventLoop ? *reactor : *pooled;
+}
+
+// Stamps the connection-plane counters (the same w5_net_* family the
+// gateway exports at /metrics) into the benchmark's user counters so
+// BENCH_concurrency.json carries them next to the timing numbers.
+void stamp_conn_counters(benchmark::State& state,
+                         const w5::net::ConnStats& conn) {
+  state.counters["conn_open"] =
+      static_cast<double>(conn.open.load(std::memory_order_relaxed));
+  state.counters["conn_idle"] =
+      static_cast<double>(conn.idle.load(std::memory_order_relaxed));
+  state.counters["conn_accepted"] =
+      static_cast<double>(conn.accepted_total.load(std::memory_order_relaxed));
+  state.counters["conn_timeout_closes"] = static_cast<double>(
+      conn.timeout_closes_total.load(std::memory_order_relaxed));
+  state.counters["conn_resets"] =
+      static_cast<double>(conn.reset_total.load(std::memory_order_relaxed));
+}
+
+void run_tcp_mixed(benchmark::State& state, w5::platform::ServeMode mode) {
+  TcpServeFixture& fx = tcp_fixture(mode);
+  const std::string& cookie =
+      fx.cookies[static_cast<std::size_t>(state.thread_index()) % kUsers];
+  const std::string record =
+      "/data/notes/tcp-t" + std::to_string(state.thread_index());
+
+  // One keep-alive connection per client thread for the whole run —
+  // in pooled mode it pins a worker, in reactor mode it is one epoll
+  // entry; that asymmetry is exactly what the comparison measures.
+  auto dial = w5::net::tcp_connect(fx.listener.port());
+  if (!dial.ok()) std::abort();
+  std::unique_ptr<w5::net::Connection> conn = std::move(dial.value());
+  w5::net::HttpClient client;
+
+  auto roundtrip = [&](Method method, const std::string& target,
+                       std::string body) {
+    w5::net::HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.body = std::move(body);
+    request.headers.set("Cookie", cookie);
+    auto response = client.roundtrip(*conn, request);
+    if (!response.ok()) {  // reaped mid-run: re-dial and carry on
+      conn = std::move(w5::net::tcp_connect(fx.listener.port()).value());
+      response = client.roundtrip(*conn, request);
+    }
+    benchmark::DoNotOptimize(response.ok() ? response.value().status : 0);
+  };
+
+  std::int64_t requests = 0;
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    roundtrip(Method::kPost, record, "{\"v\":" + std::to_string(i) + "}");
+    roundtrip(Method::kGet, "/dev/devco/viewer", "");
+    roundtrip(Method::kGet, record, "");
+    roundtrip(Method::kGet, "/stats", "");
+    requests += 4;
+  }
+  state.SetItemsProcessed(requests);
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+  if (state.thread_index() == 0)
+    stamp_conn_counters(state, fx.provider->conn_stats());
+}
+
+void BM_TcpMixedPipeline_EventLoop(benchmark::State& state) {
+  run_tcp_mixed(state, w5::platform::ServeMode::kEventLoop);
+}
+BENCHMARK(BM_TcpMixedPipeline_EventLoop)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_TcpMixedPipeline_Pooled(benchmark::State& state) {
+  run_tcp_mixed(state, w5::platform::ServeMode::kPooled);
+}
+BENCHMARK(BM_TcpMixedPipeline_Pooled)->Threads(1)->Threads(8)->UseRealTime();
+
+// ---- E12c: idle keep-alive sweep ----------------------------------------
+//
+// N established keep-alive connections sit idle while we watch the
+// server process's CPU clock. The container caps the fd table at 20k,
+// so the client ends live in a forked child (its own fd table); the
+// child is pure raw syscalls — the parent is multithreaded at fork
+// time, so nothing in the child may touch the heap or stdio.
+
+void idle_client_child(std::uint16_t port, int want, int ready_fd,
+                       int hold_fd) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int opened = 0;
+  for (; opened < want; ++opened) {
+    // The sockets are deliberately never stored or closed: they idle
+    // until _exit() releases the whole fd table in one stroke.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      break;
+  }
+  char byte = static_cast<char>(opened == want);
+  (void)!::write(ready_fd, &byte, 1);
+  (void)!::read(hold_fd, &byte, 1);  // parked until the parent is done
+  ::_exit(0);                        // kernel closes all 10k ends at once
+}
+
+double cpu_micros_now() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const auto micros = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) * 1e6 +
+           static_cast<double>(tv.tv_usec);
+  };
+  return micros(usage.ru_utime) + micros(usage.ru_stime);
+}
+
+void BM_IdleConnectionCpu(benchmark::State& state) {
+  const int want = static_cast<int>(state.range(0));
+  w5::net::ServerStats stats;
+  w5::net::ConnStats conn_stats;
+  // Deadlines all disabled: nothing may reap the herd mid-measurement.
+  w5::net::EventLoopHttpServer server(
+      [](const w5::net::HttpRequest&) {
+        return HttpResponse::text(200, "ok");
+      },
+      [](std::function<void()> job) {
+        job();
+        return true;
+      },
+      {}, {}, {}, &stats, &conn_stats);
+  w5::net::TcpListener listener;
+  if (!listener.listen(0, 1024).ok()) std::abort();
+  std::thread serve_thread([&] { server.serve(listener); });
+
+  int ready_pipe[2], hold_pipe[2];
+  if (pipe(ready_pipe) != 0 || pipe(hold_pipe) != 0) std::abort();
+  const pid_t child = fork();
+  if (child == 0)
+    idle_client_child(listener.port(), want, ready_pipe[1], hold_pipe[0]);
+  char byte = 0;
+  if (::read(ready_pipe[0], &byte, 1) != 1 || byte != 1) {
+    state.SkipWithError("idle client child failed to connect the full herd");
+  }
+  // The child's connects outrun the accept loop at the tail; wait for
+  // the gauge to agree before starting the CPU clock.
+  for (int i = 0; i < 10'000 && conn_stats.open.load() < want; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  const double cpu_before = cpu_micros_now();
+  const auto wall_before = std::chrono::steady_clock::now();
+  for (auto _ : state)
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const double cpu_spent = cpu_micros_now() - cpu_before;
+  const double wall_spent =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - wall_before)
+                              .count());
+
+  state.counters["open_conns"] =
+      static_cast<double>(conn_stats.open.load(std::memory_order_relaxed));
+  state.counters["idle_conns"] =
+      static_cast<double>(conn_stats.idle.load(std::memory_order_relaxed));
+  // Server-process CPU per wall second while N connections idle — the
+  // pooled design's 50ms poll quantum made this scale with N; the
+  // reactor's epoll set should hold it near zero at any N.
+  state.counters["cpu_core_pct"] = cpu_spent * 100.0 / wall_spent;
+
+  (void)!::write(hold_pipe[1], &byte, 1);
+  int status = 0;
+  waitpid(child, &status, 0);
+  listener.close();
+  serve_thread.join();
+  for (int fd : {ready_pipe[0], ready_pipe[1], hold_pipe[0], hold_pipe[1]})
+    ::close(fd);
+}
+BENCHMARK(BM_IdleConnectionCpu)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace

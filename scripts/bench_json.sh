@@ -37,7 +37,8 @@ run_bench() {  # run_bench <dir> <target> <out.json> [filter] [repetitions]
 }
 
 # Pulls per-benchmark user counters (req_per_s, the BM_MetricsSnapshot_*
-# primitive costs, telemetry_enabled) up into a "metrics_snapshot" key so
+# primitive costs, telemetry_enabled, the conn_* connection-plane gauges
+# and the idle-sweep cpu numbers) up into a "metrics_snapshot" key so
 # the telemetry numbers sit next to the timing numbers they explain.
 annotate_snapshot() {  # annotate_snapshot <json>
   python3 - "$1" <<'EOF'
@@ -48,8 +49,9 @@ snapshot = {}
 for b in data.get("benchmarks", []):
     name = b.get("name", "")
     for key, value in b.items():
-        if key in ("req_per_s", "telemetry_enabled", "final") or \
-           key.startswith("snap_"):
+        if key in ("req_per_s", "telemetry_enabled", "final",
+                   "cpu_core_pct", "open_conns", "idle_conns") or \
+           key.startswith(("snap_", "conn_")):
             snapshot[f"{name}.{key}"] = value
 data["metrics_snapshot"] = snapshot
 json.dump(data, open(path, "w"), indent=1)
@@ -62,13 +64,25 @@ concurrency)
   run_bench "$build_dir" bench_concurrency "$out"
   annotate_snapshot "$out"
   echo "wrote $out"
-  # Headline: ops/s at 1 vs 8 threads for the mixed pipeline.
+  # Headlines: in-process mixed pipeline, the two TCP serving modes
+  # head-to-head (E12b), and the idle keep-alive CPU sweep (E12c).
   python3 - "$out" <<'EOF' 2>/dev/null || true
 import json, sys
 data = json.load(open(sys.argv[1]))
+tcp = {}
 for b in data.get("benchmarks", []):
-    if b.get("name", "").startswith("BM_MixedRequestPipeline"):
-        print(f'{b["name"]}: {b.get("items_per_second", 0):,.0f} req/s')
+    name = b.get("name", "")
+    if name.startswith(("BM_MixedRequestPipeline", "BM_TcpMixedPipeline")):
+        print(f'{name}: {b.get("items_per_second", 0):,.0f} req/s')
+        if name.startswith("BM_TcpMixedPipeline"):
+            tcp[name] = b.get("items_per_second", 0)
+    if name.startswith("BM_IdleConnectionCpu"):
+        print(f'{name}: {b.get("open_conns", 0):,.0f} idle conns at '
+              f'{b.get("cpu_core_pct", 0):.2f}% of a core')
+reactor = tcp.get("BM_TcpMixedPipeline_EventLoop/real_time/threads:8", 0)
+pooled = tcp.get("BM_TcpMixedPipeline_Pooled/real_time/threads:8", 0)
+if reactor and pooled:
+    print(f"reactor vs pooled at 8 clients: {reactor / pooled:.2f}x")
 EOF
   ;;
 

@@ -2,10 +2,11 @@
 # The one-command verification gate: tier-1 build + tests, then the
 # sanitizer matrix (scripts/run_sanitizers.sh).
 #
-#   scripts/ci.sh            # build + lint + ctest + durability + TSan + ASan/UBSan
-#   scripts/ci.sh fast       # build + lint + ctest + durability (no sanitizers)
+#   scripts/ci.sh            # build + lint + ctest + durability + bench + sanitizers
+#   scripts/ci.sh fast       # build + lint + ctest + durability (no bench/sanitizers)
 #   scripts/ci.sh durability # build + crash-matrix/recovery stage only
 #   scripts/ci.sh lint       # build w5lint + static checks only
+#   scripts/ci.sh bench      # build + concurrency bench smoke only
 #
 # clang-tidy is configured (.clang-tidy: bugprone-*, concurrency-*,
 # performance-unnecessary-value-param) but advisory — run it by hand via
@@ -67,9 +68,24 @@ durability_stage() {
     --gtest_brief=1
 }
 
+bench_stage() {
+  echo "== Bench smoke: concurrency suite -> BENCH_concurrency.json =="
+  # E12/E12b/E12c: in-process scalability, TCP reactor-vs-pooled
+  # head-to-head, and the idle keep-alive CPU sweep. Emits
+  # BENCH_concurrency.json at the repo root (timings + the conn_* and
+  # cpu_core_pct counters in metrics_snapshot) for cross-commit diffing.
+  scripts/bench_json.sh concurrency
+}
+
 if [[ "$leg" == "durability" ]]; then
   durability_stage
   echo "ci: durability stage passed"
+  exit 0
+fi
+
+if [[ "$leg" == "bench" ]]; then
+  bench_stage
+  echo "ci: bench stage passed"
   exit 0
 fi
 
@@ -91,6 +107,7 @@ echo "== Chaos: fault-injection + robustness suites =="
 durability_stage
 
 if [[ "$leg" != "fast" ]]; then
+  bench_stage
   scripts/run_sanitizers.sh
 fi
 

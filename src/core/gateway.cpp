@@ -404,6 +404,18 @@ void Gateway::refresh_runtime_gauges() {
   metrics.gauge("w5_net_rejected{status=\"431\"}")
       .set(as_i64(net_stats.rejected_431_total.load()));
 
+  // Connection-plane telemetry (DESIGN.md §15): live open/idle levels
+  // plus lifetime accept/timeout/reset totals, from either serving mode.
+  const net::ConnStats& conn_stats = provider_.conn_stats();
+  metrics.gauge("w5_net_open_connections").set(conn_stats.open.load());
+  metrics.gauge("w5_net_idle_connections").set(conn_stats.idle.load());
+  metrics.gauge("w5_net_connections_accepted")
+      .set(as_i64(conn_stats.accepted_total.load()));
+  metrics.gauge("w5_net_timeout_closes")
+      .set(as_i64(conn_stats.timeout_closes_total.load()));
+  metrics.gauge("w5_net_connection_resets")
+      .set(as_i64(conn_stats.reset_total.load()));
+
   const difc::FlowCache& cache = difc::FlowCache::instance();
   metrics.gauge("w5_flow_cache_hits").set(as_i64(cache.hits()));
   metrics.gauge("w5_flow_cache_misses").set(as_i64(cache.misses()));

@@ -19,6 +19,7 @@
 #include "core/search_service.h"
 #include "core/trace.h"
 #include "core/user.h"
+#include "net/event_loop_server.h"
 #include "net/http.h"
 #include "net/http_parser.h"
 #include "net/http_server.h"
@@ -36,6 +37,30 @@ namespace w5::platform {
 class Gateway;
 using ExternalFetcher =
     std::function<util::Result<std::string>(const std::string& url)>;
+
+// How serve() multiplexes TCP clients (DESIGN.md §15). Same handler,
+// same robustness semantics; only the I/O model differs.
+enum class ServeMode : std::uint8_t {
+  // Epoll edge-triggered reactor (net::EventLoopHttpServer): a few I/O
+  // loops multiplex all connections; workers run only application code.
+  kEventLoop,
+  // Worker-per-connection (net::PooledHttpServer): each accepted socket
+  // pins one pool worker for its whole life. The pre-§15 behavior.
+  kPooled,
+};
+
+// Where the reactor runs application handlers (kEventLoop only).
+enum class AppDispatch : std::uint8_t {
+  // On the owning I/O loop, synchronously. No cross-thread handoff — the
+  // right default for the fast in-memory gateway path; overload shows up
+  // as TCP backpressure (the loop stops reading) rather than 503s.
+  kInline,
+  // On the worker pool, completing through the loop's mailbox. Pays two
+  // context switches per request but keeps blocking handlers (fsync-mode
+  // durability, slow module calls) off the I/O loops, and sheds
+  // 503 + Retry-After when the pool queue hits max_queued_connections.
+  kPooled,
+};
 
 struct ProviderConfig {
   std::string name = "w5.org";
@@ -72,6 +97,15 @@ struct ProviderConfig {
   // Connections allowed to wait for a worker; beyond this the accept
   // loop sheds with 503 + Retry-After instead of queueing unboundedly.
   std::size_t max_queued_connections = 256;
+  // ---- Serving mode (DESIGN.md §15) ---------------------------------------
+  ServeMode serve_mode = ServeMode::kEventLoop;
+  // Reactor I/O loop threads (kEventLoop only). One loop multiplexes
+  // tens of thousands of connections; raise only when a single core
+  // cannot keep up with parsing + framing.
+  std::size_t io_threads = 1;
+  // Reactor handler placement (kEventLoop only): inline on the loop by
+  // default; kPooled offloads to the worker pool for blocking handlers.
+  AppDispatch app_dispatch = AppDispatch::kInline;
   // Per-request wall-clock budget stamped into RequestContext at the
   // gateway (tightened by a client X-W5-Deadline-Ms header; 0 disables).
   util::Micros request_deadline_micros = 30'000'000;
@@ -147,6 +181,12 @@ class Provider {
     return server_stats_;
   }
 
+  // Connection-plane gauges/counters for serve() (DESIGN.md §15):
+  // open/idle levels, accepts, timeout closes, resets. Exported via
+  // /metrics in both serving modes.
+  net::ConnStats& conn_stats() noexcept { return conn_stats_; }
+  const net::ConnStats& conn_stats() const noexcept { return conn_stats_; }
+
   // Builds + dispatches a request in one call; `session` becomes the
   // session cookie when non-empty.
   net::HttpResponse http(net::Method method, const std::string& target,
@@ -211,6 +251,7 @@ class Provider {
   std::unique_ptr<os::ThreadPool> pool_;  // lazy; see worker_pool()
   std::atomic<os::ThreadPool*> pool_ptr_{nullptr};
   net::ServerStats server_stats_;
+  net::ConnStats conn_stats_;
   // Durability plane; components hold a MutationLog* into it, and the
   // destructor closes it only after the worker pool has stopped.
   std::unique_ptr<store::DurableStore> durable_;

@@ -1,0 +1,130 @@
+// Epoll edge-triggered reactor: event-driven HTTP serving (DESIGN.md §15).
+//
+// The worker-per-connection PooledHttpServer pins one pool worker per
+// open socket for the connection's whole life — an idle keep-alive
+// client costs a thread. This server inverts the model: a small set of
+// I/O loop threads multiplex every connection with epoll(7) in
+// edge-triggered mode, each connection a state machine
+//
+//   idle → reading (headers → body) → dispatched → writing → idle
+//
+// driving the incremental net/http_parser. Application work (the
+// ServerHandler) still runs on the caller's executor (the provider's
+// thread pool); the finished response is handed back to the connection's
+// owning loop through a mailbox + eventfd wakeup, so connection state is
+// only ever touched by its owning loop thread — the thread-ownership
+// rule that keeps the reactor lock-free on the hot path.
+//
+// Deadlines (the same ServerOptions the pooled server honors — header/
+// idle, body, and write budgets, 408/413/431/503 semantics preserved
+// behavior-for-behavior) come from a hashed timer wheel per loop instead
+// of poll-quantum wakeups: tens of thousands of idle keep-alive
+// connections sleep in the epoll set at ~0 CPU until bytes arrive or
+// their deadline slot comes up.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.h"
+#include "net/http_parser.h"
+#include "net/http_server.h"
+#include "net/tcp.h"
+#include "net/timer_wheel.h"
+#include "util/clock.h"
+#include "util/thread_annotations.h"
+
+namespace w5::net {
+
+// Wraps each accepted connection before the reactor performs any I/O on
+// it — the chaos hook: tests wrap accepted sockets in FaultyConnection
+// so injected short reads / drops / resets fire identically on the
+// event path. The reactor keeps the raw fd for epoll registration; all
+// reads and writes go through the (possibly decorated) Connection.
+using ConnectionDecorator =
+    std::function<std::unique_ptr<Connection>(std::unique_ptr<Connection>)>;
+
+struct EventLoopOptions {
+  // Reactor loop threads. Loop 0 runs on the serve() caller's thread and
+  // owns the listener; accepted connections are dealt round-robin.
+  std::size_t io_threads = 1;
+  // Timer wheel slot width: deadlines fire at most one slot late.
+  util::Micros timer_granularity_micros = 20'000;
+  std::size_t timer_slots = 1024;
+  // Bytes per read(2) into the parser.
+  std::size_t read_chunk_bytes = 16 * 1024;
+  ConnectionDecorator decorate;  // optional (fault injection)
+};
+
+class EventLoopHttpServer {
+ public:
+  EventLoopHttpServer(ServerHandler handler, BoundedExecutor executor,
+                      ParserLimits limits = {}, ServerOptions options = {},
+                      EventLoopOptions loop_options = {},
+                      ServerStats* stats = nullptr,
+                      ConnStats* conn_stats = nullptr);
+  ~EventLoopHttpServer();
+
+  EventLoopHttpServer(const EventLoopHttpServer&) = delete;
+  EventLoopHttpServer& operator=(const EventLoopHttpServer&) = delete;
+
+  // Runs the reactor until the listener is closed (listener.close() from
+  // another thread, the same shutdown contract as PooledHttpServer).
+  // Returns the number of connections accepted. The caller is
+  // responsible for draining its executor afterwards — completions for
+  // connections that no longer exist are dropped harmlessly.
+  std::size_t serve(TcpListener& listener);
+
+ private:
+  struct Conn;
+  struct Loop;
+  struct Mailbox;
+
+  void run_loop(Loop& loop);
+  void accept_ready(Loop& loop);
+  void add_conn(Loop& loop, std::unique_ptr<Connection> io, int fd,
+                std::uint64_t id);
+  void drain_mailbox(Loop& loop);
+  // Applies a finished handler response to the connection (if it still
+  // exists and still awaits one). Loop-thread only.
+  void complete(Loop& loop, std::uint64_t id, HttpResponse response);
+  void handle_event(Loop& loop, std::uint64_t id, std::uint32_t events);
+  void pump_read(Loop& loop, Conn& conn);
+  // Feeds data to the connection's parser, driving state transitions.
+  // Returns bytes consumed (short on request completion — pipelining).
+  std::size_t feed(Loop& loop, Conn& conn, std::string_view data);
+  void dispatch(Loop& loop, Conn& conn);
+  void start_write(Loop& loop, Conn& conn, HttpResponse response,
+                   bool close_after, bool count_handled);
+  void pump_write(Loop& loop, Conn& conn);
+  void on_timer(Loop& loop, std::uint64_t id, util::Micros deadline);
+  void arm_timer(Loop& loop, Conn& conn, util::Micros delay);
+  void disarm_timer(Conn& conn);
+  void enter_idle(Loop& loop, Conn& conn);
+  void leave_idle(Conn& conn);
+  // 408 (only when the client owed us a request), then close.
+  void reap(Loop& loop, Conn& conn, bool send_408);
+  void destroy(Loop& loop, Conn& conn);
+  void request_stop();
+
+  ServerHandler handler_;
+  BoundedExecutor executor_;
+  ParserLimits limits_;
+  ServerOptions options_;
+  EventLoopOptions loop_options_;
+  ServerStats* stats_;
+  ConnStats* conn_stats_;
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  TcpListener* listener_ = nullptr;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::uint64_t next_conn_id_;  // loop-0 thread only (the accepting loop)
+  std::size_t next_loop_ = 0;   // round-robin dealing, loop-0 thread only
+};
+
+}  // namespace w5::net

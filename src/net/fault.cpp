@@ -137,6 +137,34 @@ util::Status FaultyConnection::write(std::string_view data) {
   return inner_->write(data);
 }
 
+util::Result<std::size_t> FaultyConnection::write_some(std::string_view data) {
+  const FaultAction action = schedule_.next_write();
+  switch (action.kind) {
+    case FaultKind::kDelay:
+      if (stats_ != nullptr) stats_->delays.fetch_add(1);
+      sleep_(action.delay_micros);
+      break;
+    case FaultKind::kPartialWrite: {
+      if (stats_ != nullptr) stats_->partial_writes.fetch_add(1);
+      const std::size_t n = std::min(data.size(), action.bytes);
+      (void)inner_->write_some(data.substr(0, n));
+      inner_->close();
+      return util::make_error("net.reset", "injected reset mid-write");
+    }
+    case FaultKind::kDrop:
+      if (stats_ != nullptr) stats_->drops.fetch_add(1);
+      return data.size();  // swallowed, reported as written
+    case FaultKind::kReset:
+      if (stats_ != nullptr) stats_->resets.fetch_add(1);
+      inner_->close();
+      return util::make_error("net.reset", "injected connection reset");
+    case FaultKind::kNone:
+    case FaultKind::kShortRead:  // read-only kind; clean on writes
+      break;
+  }
+  return inner_->write_some(data);
+}
+
 // ---- File I/O faults -------------------------------------------------------
 
 struct FileFaultPlan::State {

@@ -211,6 +211,12 @@ class FaultyConnection final : public Connection {
 
   util::Result<std::size_t> read(char* buf, std::size_t max) override;
   util::Status write(std::string_view data) override;
+  // Event-path writes (DESIGN.md §15): the reactor never calls blocking
+  // write(), so the same fault kinds are applied per write_some op —
+  // partial-write truncates then resets, drop swallows and reports
+  // success, reset closes. writev_some inherits the Connection default
+  // (loops write_some), so scatter/gather writes draw faults per chunk.
+  util::Result<std::size_t> write_some(std::string_view data) override;
   void close() override;
   bool closed() const override;
   void set_read_timeout(util::Micros timeout) override;

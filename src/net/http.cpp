@@ -145,13 +145,18 @@ std::string HttpRequest::to_wire() const {
   return out;
 }
 
-std::string HttpResponse::to_wire() const {
+std::string HttpResponse::to_wire_head() const {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     std::string(status_reason(status)) + "\r\n";
   Headers copy = headers;
   copy.set("Content-Length", std::to_string(body.size()));
   append_headers(copy, out);
   out += "\r\n";
+  return out;
+}
+
+std::string HttpResponse::to_wire() const {
+  std::string out = to_wire_head();
   out += body;
   return out;
 }

@@ -70,6 +70,11 @@ struct HttpResponse {
 
   std::string to_wire() const;  // adds Content-Length
 
+  // Status line + headers + blank line only (Content-Length included):
+  // the reactor writes head and body as one writev(2) scatter/gather
+  // call instead of materializing a concatenated response buffer.
+  std::string to_wire_head() const;
+
   // Convenience constructors used across the platform and apps.
   static HttpResponse text(int status, std::string body);
   static HttpResponse html(int status, std::string body);

@@ -32,6 +32,7 @@ util::Status HttpServer::respond(Connection& connection,
 
 util::Error HttpServer::reap(Connection& connection, bool got_bytes) {
   count(stats_ != nullptr ? &stats_->reaped_total : nullptr);
+  count(conn_stats_ != nullptr ? &conn_stats_->timeout_closes_total : nullptr);
   if (got_bytes) {
     // A client mid-request gets told why; a fully idle keep-alive
     // connection is just closed (nothing was asked, nothing is owed).
@@ -47,6 +48,26 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
   RequestParser parser(limits_);
   char buf[8192];
   bool got_bytes = false;
+  // Connection-plane idle gauge: the connection sits idle until the
+  // first byte of a request arrives. The guard unwinds on every exit.
+  struct IdleGuard {
+    ConnStats* stats;
+    bool marked = false;
+    void mark() {
+      if (stats != nullptr && !marked) {
+        stats->idle.fetch_add(1, std::memory_order_relaxed);
+        marked = true;
+      }
+    }
+    void unmark() {
+      if (stats != nullptr && marked) {
+        stats->idle.fetch_sub(1, std::memory_order_relaxed);
+        marked = false;
+      }
+    }
+    ~IdleGuard() { unmark(); }
+  } idle{conn_stats_};
+  idle.mark();
   // Phase deadlines: headers run against header_deadline from the first
   // read attempt; the body phase restarts the clock when headers finish.
   const util::Micros started =
@@ -66,10 +87,12 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
         count(stats_ != nullptr ? &stats_->timeouts_total : nullptr);
         return reap(connection, got_bytes);
       }
-      // Wake at the poll quantum to re-check, but never sleep past the
-      // deadline itself — that is what "reaped within the deadline" means.
-      connection.set_read_timeout(
-          std::clamp<util::Micros>(remaining, 1, options_.io_poll_micros));
+      // One poll(2) until the phase deadline itself: the transport wakes
+      // when bytes arrive or the remaining budget elapses, so an idle
+      // keep-alive connection costs zero wakeups between requests
+      // (previously this clamped to io_poll_micros and busy-woke every
+      // 50 ms to re-check a deadline that could not have moved).
+      connection.set_read_timeout(std::max<util::Micros>(remaining, 1));
     }
     auto n = connection.read(buf, sizeof(buf));
     if (!n.ok()) {
@@ -99,6 +122,7 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
       return util::make_error("http.incomplete", "EOF mid-request");
     }
     got_bytes = true;
+    idle.unmark();
     parser.feed(std::string_view(buf, n.value()));
   }
 
@@ -156,7 +180,15 @@ std::size_t PooledHttpServer::serve(TcpListener& listener) {
     if (!accepted.ok()) break;  // listener closed or fatal accept error
     // shared_ptr: std::function requires a copyable closure.
     std::shared_ptr<Connection> connection = std::move(accepted).value();
-    if (!executor_([this, connection] { server_.serve(*connection); })) {
+    if (conn_stats_ != nullptr) {
+      conn_stats_->accepted_total.fetch_add(1, std::memory_order_relaxed);
+      conn_stats_->open.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!executor_([this, connection] {
+          server_.serve(*connection);
+          if (conn_stats_ != nullptr)
+            conn_stats_->open.fetch_sub(1, std::memory_order_relaxed);
+        })) {
       // Load shed: tell the client to come back rather than queueing
       // without bound. Sent on the accept thread — cheap by design (the
       // whole point is that workers are busy).
@@ -170,6 +202,8 @@ std::size_t PooledHttpServer::serve(TcpListener& listener) {
         connection->set_write_timeout(options_.write_timeout_micros);
       (void)connection->write(shed.to_wire());
       connection->close();
+      if (conn_stats_ != nullptr)
+        conn_stats_->open.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
     ++dispatched;

@@ -45,8 +45,10 @@ struct ServerOptions {
   util::Micros body_deadline_micros = 0;
   // Per write() call: a receiver that never drains is reaped.
   util::Micros write_timeout_micros = 0;
-  // Read poll quantum: how often a blocked read wakes to re-check its
-  // deadline. Smaller = tighter reaping, more wakeups.
+  // Vestigial (kept for config compatibility): blocked reads now poll(2)
+  // until the computed phase deadline in one sleep instead of waking
+  // every quantum to re-check, so an idle keep-alive connection costs no
+  // CPU between requests. The deadline math never depended on this knob.
   util::Micros io_poll_micros = 50'000;
   // Retry-After seconds advertised on shed (503) responses.
   int retry_after_seconds = 1;
@@ -63,14 +65,27 @@ struct ServerStats {
   std::atomic<std::uint64_t> rejected_431_total{0};
 };
 
+// Connection-plane telemetry (DESIGN.md §15), shared by both serving
+// modes and exported as the w5_net_* connection family at /metrics.
+// Gauges are live levels; counters are lifetime totals.
+struct ConnStats {
+  std::atomic<std::int64_t> open{0};   // accepted and not yet closed
+  std::atomic<std::int64_t> idle{0};   // open, keep-alive, no request bytes
+  std::atomic<std::uint64_t> accepted_total{0};
+  std::atomic<std::uint64_t> timeout_closes_total{0};  // closed by deadline
+  std::atomic<std::uint64_t> reset_total{0};  // peer reset / abrupt close
+};
+
 class HttpServer {
  public:
   explicit HttpServer(ServerHandler handler, ParserLimits limits = {},
-                      ServerOptions options = {}, ServerStats* stats = nullptr)
+                      ServerOptions options = {}, ServerStats* stats = nullptr,
+                      ConnStats* conn_stats = nullptr)
       : handler_(std::move(handler)),
         limits_(limits),
         options_(options),
-        stats_(stats) {}
+        stats_(stats),
+        conn_stats_(conn_stats) {}
 
   // Serves requests until EOF, close, or a fatal transport/parse error.
   // Returns the number of requests successfully handled.
@@ -89,6 +104,7 @@ class HttpServer {
   ParserLimits limits_;
   ServerOptions options_;
   ServerStats* stats_;
+  ConnStats* conn_stats_ = nullptr;
 };
 
 // Accept loop + worker-pool dispatch: the concurrent front door. The
@@ -114,11 +130,13 @@ class PooledHttpServer {
 
   PooledHttpServer(ServerHandler handler, BoundedExecutor executor,
                    ParserLimits limits, ServerOptions options,
-                   ServerStats* stats = nullptr)
-      : server_(std::move(handler), limits, options, stats),
+                   ServerStats* stats = nullptr,
+                   ConnStats* conn_stats = nullptr)
+      : server_(std::move(handler), limits, options, stats, conn_stats),
         executor_(std::move(executor)),
         options_(options),
-        stats_(stats) {}
+        stats_(stats),
+        conn_stats_(conn_stats) {}
 
   // Accepts until the listener is closed (listener.close() from another
   // thread unblocks accept with an error). Returns the number of
@@ -130,6 +148,7 @@ class PooledHttpServer {
   BoundedExecutor executor_;
   ServerOptions options_;
   ServerStats* stats_ = nullptr;
+  ConnStats* conn_stats_ = nullptr;
 };
 
 }  // namespace w5::net

@@ -1,10 +1,12 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -17,6 +19,14 @@ namespace {
 util::Error errno_error(const char* what) {
   return util::make_error("net.io",
                           std::string(what) + ": " + std::strerror(errno));
+}
+
+util::Status fd_set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_error("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    return errno_error("fcntl(F_SETFL)");
+  return util::ok_status();
 }
 
 }  // namespace
@@ -90,6 +100,49 @@ util::Status TcpConnection::write(std::string_view data) {
   return util::ok_status();
 }
 
+util::Result<std::size_t> TcpConnection::write_some(std::string_view data) {
+  if (fd_ < 0) return util::make_error("net.closed", "write on closed socket");
+  if (data.empty()) return std::size_t{0};
+  while (true) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::size_t{0};
+    if (errno == ECONNRESET || errno == EPIPE)
+      return util::make_error("net.reset", "peer reset connection");
+    return errno_error("send");
+  }
+}
+
+util::Result<std::size_t> TcpConnection::writev_some(
+    const std::string_view* iov, std::size_t iov_count) {
+  if (fd_ < 0) return util::make_error("net.closed", "write on closed socket");
+  constexpr std::size_t kMaxIov = 8;
+  struct iovec vecs[kMaxIov];
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < iov_count && used < kMaxIov; ++i) {
+    if (iov[i].empty()) continue;
+    vecs[used].iov_base = const_cast<char*>(iov[i].data());
+    vecs[used].iov_len = iov[i].size();
+    ++used;
+  }
+  if (used == 0) return std::size_t{0};
+  while (true) {
+    const ssize_t n = ::writev(fd_, vecs, static_cast<int>(used));
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::size_t{0};
+    if (errno == ECONNRESET || errno == EPIPE)
+      return util::make_error("net.reset", "peer reset connection");
+    return errno_error("writev");
+  }
+}
+
+util::Status TcpConnection::set_nonblocking() {
+  if (fd_ < 0) return util::make_error("net.closed", "socket closed");
+  return fd_set_nonblocking(fd_);
+}
+
 void TcpConnection::close() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -149,11 +202,20 @@ util::Result<std::unique_ptr<Connection>> TcpListener::accept() {
       return std::unique_ptr<Connection>(std::make_unique<TcpConnection>(client));
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return util::make_error("net.would_block", "no pending connection");
     return errno_error("accept");
   }
 }
 
+util::Status TcpListener::set_nonblocking() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return util::make_error("net.closed", "listener closed");
+  return fd_set_nonblocking(fd);
+}
+
 void TcpListener::close() {
+  const util::MutexLock lock(close_mutex_);
   const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
   if (fd >= 0) {
     // Wakes a thread blocked in accept() on most kernels; callers still
@@ -161,6 +223,13 @@ void TcpListener::close() {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
   }
+}
+
+util::Status TcpListener::with_fd(const std::function<util::Status(int)>& op) {
+  const util::MutexLock lock(close_mutex_);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return util::make_error("net.closed", "listener closed");
+  return op(fd);
 }
 
 util::Result<std::unique_ptr<Connection>> tcp_connect(std::uint16_t port) {

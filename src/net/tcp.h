@@ -6,11 +6,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "net/transport.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace w5::net {
 
@@ -24,8 +26,23 @@ class TcpConnection final : public Connection {
 
   util::Result<std::size_t> read(char* buf, std::size_t max) override;
   util::Status write(std::string_view data) override;
+  // One EAGAIN-aware send(2): ok(n) bytes accepted, ok(0) would block.
+  util::Result<std::size_t> write_some(std::string_view data) override;
+  // One writev(2) over up to kMaxIov buffers (response head + body with
+  // no concatenation); same contract as write_some.
+  util::Result<std::size_t> writev_some(const std::string_view* iov,
+                                        std::size_t iov_count) override;
   void close() override;
   bool closed() const override { return fd_ < 0; }
+
+  // The raw descriptor, for the reactor's epoll registration. -1 when
+  // closed. Ownership stays with the connection.
+  int fd() const noexcept { return fd_; }
+
+  // Switches the socket to O_NONBLOCK: read() reports "net.would_block"
+  // instead of blocking, write_some() reports ok(0). Required before
+  // handing the connection to an event loop.
+  util::Status set_nonblocking();
 
   // Poll-enforced deadlines per read()/write() call (0 = block forever).
   // A read that sees no bytes within the window returns "net.timeout";
@@ -65,14 +82,32 @@ class TcpListener {
 
   std::uint16_t port() const noexcept { return port_; }
 
-  // Blocks until a client connects.
+  // The raw listening descriptor (-1 when closed): the reactor registers
+  // it with epoll and calls accept() only when it is readable.
+  int fd() const noexcept { return fd_.load(std::memory_order_acquire); }
+
+  // Switches the listening socket to O_NONBLOCK so accept() reports
+  // "net.would_block" instead of parking the caller.
+  util::Status set_nonblocking();
+
+  // Blocks until a client connects (or, on a non-blocking listener,
+  // returns error("net.would_block") when no client is pending).
   util::Result<std::unique_ptr<Connection>> accept();
 
   // Safe to call from another thread while accept() is blocked (the
   // shutdown pattern: a serving loop exits when its listener closes).
   void close();
 
+  // Runs `op` on the live fd under the same lock close() takes, or
+  // returns net.closed without running it. The fd cannot be closed (and
+  // its number reused) while `op` runs, and the lock sequences a later
+  // close() after everything `op` did — the reactor's epoll registration
+  // needs exactly that edge against a concurrent shutdown. `op` must not
+  // block (close() waits on the lock) and must not call close()/listen().
+  util::Status with_fd(const std::function<util::Status(int)>& op);
+
  private:
+  util::Mutex close_mutex_;  // serializes close() against with_fd()
   std::atomic<int> fd_{-1};  // atomic: close() races with accept()
   std::uint16_t port_ = 0;
 };

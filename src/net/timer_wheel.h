@@ -1,0 +1,93 @@
+// Hashed timer wheel: O(1) schedule/cancel for connection deadlines.
+//
+// The reactor (event_loop_server.h) arms one deadline per connection —
+// header/idle, body, or write — and cancels or re-arms it on every phase
+// transition. A heap would pay O(log n) per operation with n in the tens
+// of thousands; the wheel pays O(1) by hashing each deadline into a ring
+// slot of `granularity` width and sweeping slots as time passes. Each
+// loop owns one wheel and touches it only from its own thread — no locks.
+//
+// Cancellation is the caller's problem by design: schedule() takes an
+// opaque key, and expire() hands keys back; a caller that re-armed or
+// released a key simply ignores the stale firing (the reactor stamps a
+// generation into the key). This keeps cancel truly O(1) — bump the
+// generation — with stale entries swept for free when their slot comes up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace w5::net {
+
+class TimerWheel {
+ public:
+  // `granularity` is the slot width (deadline quantization: a timer can
+  // fire up to one slot late, never early); `slots` × granularity is the
+  // horizon one ring revolution covers. Deadlines beyond the horizon
+  // still work — they stay in their slot across revolutions until their
+  // absolute time passes — they just cost one spurious wakeup per lap.
+  explicit TimerWheel(util::Micros granularity = 20'000,
+                      std::size_t slots = 1024);
+
+  // Registers `key` to fire once `deadline` (absolute micros) passes.
+  // `now` anchors the sweep cursor on first use; a deadline at or before
+  // the cursor fires on the next sweep rather than a revolution later.
+  void schedule(util::Micros now, util::Micros deadline, std::uint64_t key);
+
+  // Sweeps every slot boundary up to `now`, invoking fn(key, deadline)
+  // for each entry whose deadline has passed (the deadline lets callers
+  // detect stale entries without a cancel map). Entries scheduled for a
+  // later ring revolution stay put. fn may schedule() new entries; they
+  // are never fired within the same sweep (their deadlines are future).
+  template <typename Fn>
+  void expire(util::Micros now, Fn&& fn) {
+    if (!anchored_) anchor(now);
+    while (cursor_time_ + granularity_ <= now) {
+      cursor_time_ += granularity_;
+      cursor_ = (cursor_ + 1) % slots_.size();
+      auto& slot = slots_[cursor_];
+      for (std::size_t i = 0; i < slot.size();) {
+        if (slot[i].deadline <= now) {
+          const Entry fired = slot[i];
+          slot[i] = slot.back();
+          slot.pop_back();
+          --size_;
+          fn(fired.key, fired.deadline);
+        } else {
+          ++i;  // a later revolution
+        }
+      }
+    }
+  }
+
+  // Earliest slot boundary holding any entry, as seen from `now` — the
+  // epoll timeout hint. Returns -1 when the wheel is empty (sleep until
+  // an event). May be earlier than the true next deadline (multi-lap
+  // entries cause one spurious wakeup per revolution), never later than
+  // the earliest deadline plus one slot.
+  util::Micros next_deadline(util::Micros now) const;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  util::Micros granularity() const noexcept { return granularity_; }
+
+ private:
+  struct Entry {
+    util::Micros deadline;
+    std::uint64_t key;
+  };
+
+  // Aligns the sweep cursor to the slot boundary at or before `t`.
+  void anchor(util::Micros t);
+
+  util::Micros granularity_;
+  std::vector<std::vector<Entry>> slots_;
+  std::size_t cursor_ = 0;          // slot the sweep has reached
+  util::Micros cursor_time_ = 0;    // absolute time of that slot boundary
+  bool anchored_ = false;           // lazily snapped to the first caller time
+  std::size_t size_ = 0;
+};
+
+}  // namespace w5::net

@@ -2,6 +2,26 @@
 
 namespace w5::net {
 
+util::Result<std::size_t> Connection::write_some(std::string_view data) {
+  auto written = write(data);
+  if (!written.ok()) return written.error();
+  return data.size();
+}
+
+util::Result<std::size_t> Connection::writev_some(const std::string_view* iov,
+                                                  std::size_t iov_count) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < iov_count; ++i) {
+    if (iov[i].empty()) continue;
+    auto n = write_some(iov[i]);
+    if (!n.ok()) return total > 0 ? util::Result<std::size_t>(total)
+                                  : util::Result<std::size_t>(n.error());
+    total += n.value();
+    if (n.value() < iov[i].size()) break;  // transport is full for now
+  }
+  return total;
+}
+
 util::Result<std::string> Connection::read_available(std::size_t max) {
   std::string out;
   char buf[4096];

@@ -34,6 +34,23 @@ class Connection {
   // mid-send surfaces as error("net.timeout"), distinct from "net.io".
   virtual util::Status write(std::string_view data) = 0;
 
+  // Non-blocking-friendly write for event-driven callers: writes what the
+  // transport will take *right now* and returns the count. Returns:
+  //   ok(n > 0) — n bytes accepted (possibly fewer than asked)
+  //   ok(0)     — transport would block; wait for writability and retry
+  //   error(...) — transport failure
+  // The default forwards to write() (all-or-error), which suits the
+  // blocking and in-memory transports; TcpConnection overrides with a
+  // single EAGAIN-aware send(2).
+  virtual util::Result<std::size_t> write_some(std::string_view data);
+
+  // Scatter/gather variant of write_some: the buffers are one logical
+  // stream (e.g. response head + body) written without concatenating.
+  // Same return contract; a short count may end mid-buffer. The default
+  // loops write_some; TcpConnection overrides with writev(2).
+  virtual util::Result<std::size_t> writev_some(const std::string_view* iov,
+                                                std::size_t iov_count);
+
   virtual void close() = 0;
   virtual bool closed() const = 0;
 

@@ -1,6 +1,8 @@
 // Full-stack integration over real TCP sockets: browser-equivalent client
 // speaks HTTP/1.1 to a provider served by the TCP listener, exercising
-// parse → auth → app → perimeter → serialize end to end.
+// parse → auth → app → perimeter → serialize end to end. Parameterized
+// over both serving modes (DESIGN.md §15): the epoll reactor and the
+// worker-per-connection pool must be observably identical here.
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -19,21 +21,24 @@ using net::HttpRequest;
 using net::HttpResponse;
 using net::Method;
 
-class TcpEndToEnd : public ::testing::Test {
+class TcpEndToEnd : public ::testing::TestWithParam<platform::ServeMode> {
  protected:
   void SetUp() override {
-    provider_ = std::make_unique<platform::Provider>(
-        platform::ProviderConfig{}, clock_);
+    platform::ProviderConfig config;
+    config.serve_mode = GetParam();
+    provider_ =
+        std::make_unique<platform::Provider>(std::move(config), clock_);
     apps::register_standard_apps(*provider_);
     ASSERT_TRUE(listener_.listen(0).ok());
-    // Pooled serving: connections are handled on the provider's worker
-    // threads, so concurrent clients exercise the locked hot path.
+    // Either mode: requests are handled on the provider's worker threads,
+    // so concurrent clients exercise the locked hot path.
     server_thread_ = std::thread([this] { provider_->serve(listener_); });
   }
 
   void TearDown() override {
     listener_.close();
-    // Unblock accept() by poking the port if needed.
+    // Unblock a blocking accept() by poking the port if needed (the
+    // reactor notices the closed listener on its own).
     (void)net::tcp_connect(port());
     server_thread_.join();
   }
@@ -64,7 +69,16 @@ class TcpEndToEnd : public ::testing::Test {
   std::thread server_thread_;
 };
 
-TEST_F(TcpEndToEnd, BrowserSessionOverRealSockets) {
+INSTANTIATE_TEST_SUITE_P(
+    ServeModes, TcpEndToEnd,
+    ::testing::Values(platform::ServeMode::kEventLoop,
+                      platform::ServeMode::kPooled),
+    [](const ::testing::TestParamInfo<platform::ServeMode>& param) {
+      return param.param == platform::ServeMode::kEventLoop ? "EventLoop"
+                                                            : "Pooled";
+    });
+
+TEST_P(TcpEndToEnd, BrowserSessionOverRealSockets) {
   // Sign up + log in; lift the cookie from Set-Cookie like a browser.
   EXPECT_EQ(roundtrip(Method::kPost, "/signup",
                       "user=bob&password=hunter2").status,
@@ -95,7 +109,7 @@ TEST_F(TcpEndToEnd, BrowserSessionOverRealSockets) {
   EXPECT_EQ(blocked.body.find("over tcp"), std::string::npos);
 }
 
-TEST_F(TcpEndToEnd, MalformedWireBytesGet400) {
+TEST_P(TcpEndToEnd, MalformedWireBytesGet400) {
   auto connection = net::tcp_connect(port());
   ASSERT_TRUE(connection.ok());
   ASSERT_TRUE(connection.value()->write("GARBAGE\r\n\r\n").ok());
@@ -108,6 +122,50 @@ TEST_F(TcpEndToEnd, MalformedWireBytesGet400) {
   }
   ASSERT_TRUE(parser.complete());
   EXPECT_EQ(parser.take().status, 400);
+}
+
+TEST(TcpEndToEndDispatch, PooledAppDispatchServesThroughWorkerPool) {
+  // The reactor's non-default dispatch policy: handlers on the worker
+  // pool, responses returning through the completion mailbox.
+  util::WallClock clock;
+  platform::ProviderConfig config;
+  config.serve_mode = platform::ServeMode::kEventLoop;
+  config.app_dispatch = platform::AppDispatch::kPooled;
+  platform::Provider provider(std::move(config), clock);
+  apps::register_standard_apps(provider);
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).ok());
+  std::thread server_thread([&] { provider.serve(listener); });
+
+  auto connection = net::tcp_connect(listener.port());
+  ASSERT_TRUE(connection.ok());
+  net::HttpClient client;
+  HttpRequest request;
+  request.method = Method::kGet;
+  request.target = "/stats";
+  request.headers.set("Connection", "close");
+  auto response = client.roundtrip(*connection.value(), request);
+  ASSERT_TRUE(response.ok()) << response.error().code;
+  EXPECT_EQ(response.value().status, 200);
+
+  listener.close();
+  server_thread.join();
+}
+
+TEST_P(TcpEndToEnd, KeepAliveSessionReusesOneConnection) {
+  // Several requests over one connection: framing, keep-alive, and the
+  // gateway's session handling all hold on a reused socket.
+  auto connection = net::tcp_connect(port());
+  ASSERT_TRUE(connection.ok());
+  net::HttpClient client;
+  for (int i = 0; i < 3; ++i) {
+    HttpRequest request;
+    request.method = Method::kGet;
+    request.target = "/stats";
+    auto response = client.roundtrip(*connection.value(), request);
+    ASSERT_TRUE(response.ok()) << response.error().code;
+    EXPECT_EQ(response.value().status, 200);
+  }
 }
 
 }  // namespace

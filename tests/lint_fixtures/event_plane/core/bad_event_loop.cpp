@@ -1,0 +1,14 @@
+// Seeded violation: a private event loop outside net/ and os/. Readiness
+// multiplexing and accept loops belong to the reactor (DESIGN.md §15);
+// a second epoll/accept site bypasses its timers, limits, and metrics.
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+namespace w5::platform {
+int shadow_reactor(int listen_fd) {
+  int ep = ::epoll_create1(0);
+  epoll_event ev[8];
+  (void)::epoll_wait(ep, ev, 8, -1);
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+}  // namespace w5::platform

@@ -60,6 +60,15 @@ TEST(LintTest, FlagsRawSendOutsidePerimeter) {
   EXPECT_NE(r.output.find("::send"), std::string::npos) << r.output;
 }
 
+TEST(LintTest, FlagsRawEventCallsOutsidePerimeter) {
+  const LintResult r = run_lint(fixture("event_plane"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[event]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("::epoll_wait"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("::accept"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("3 violation(s)"), std::string::npos) << r.output;
+}
+
 TEST(LintTest, FlagsGatewayBypassInclude) {
   const LintResult r = run_lint(fixture("perimeter_gateway"));
   EXPECT_EQ(r.exit_code, 1) << r.output;

@@ -65,6 +65,15 @@ const std::set<std::string> kRawWriteDirs = {"net", "os"};
 const std::vector<std::string> kRawWriteCalls = {"send", "sendto", "sendmsg",
                                                  "write", "writev", "pwrite"};
 
+// Event-plane primitives (DESIGN.md §15): readiness multiplexing and
+// accept loops live in the reactor/transport layers only. Anything above
+// net/ and os/ that wants to wait on a socket goes through a Connection
+// or the serve() surface — a raw poll/epoll/accept elsewhere is a
+// second, unaudited event loop.
+const std::vector<std::string> kRawEventCalls = {
+    "poll", "ppoll", "epoll_wait", "epoll_create1", "epoll_ctl", "accept",
+    "accept4", "eventfd"};
+
 // Telemetry planes (§3.5) and the include that would let record bytes in.
 const std::vector<std::string> kTelemetryPrefixes = {"util/metrics",
                                                      "core/trace"};
@@ -288,6 +297,24 @@ class Linter {
                      "raw ::" + call +
                          "() outside net/ and os/ — external bytes move "
                          "only through the perimeter layers (§3.1)");
+            }
+          }
+        }
+        for (const std::string& call : kRawEventCalls) {
+          const std::string needle = "::" + call;
+          for (auto pos = line.find(needle); pos != std::string::npos;
+               pos = line.find(needle, pos + 1)) {
+            if (pos > 0 && (ident_char(line[pos - 1]) || line[pos - 1] == ':'))
+              continue;
+            std::size_t after = pos + needle.size();
+            while (after < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[after])) != 0)
+              ++after;
+            if (after < line.size() && line[after] == '(') {
+              report("event", rel, lineno,
+                     "raw ::" + call +
+                         "() outside net/ and os/ — readiness multiplexing "
+                         "and accept loops belong to the reactor (§15)");
             }
           }
         }
