@@ -3,20 +3,25 @@
 // The same gateway pipeline as E12, measured twice: this binary built
 // normally (metrics + tracing on) and built with -DW5_NO_TELEMETRY=ON
 // (every update compiled out). scripts/bench_json.sh observability runs
-// both trees and asserts the overhead on BM_ObservedPipeline stays under
-// the budget (default <5%).
+// both trees and asserts the overhead on every BM_ObservedPipeline*
+// bench — the in-process gateway pipeline and the event-loop TCP path
+// with stage spans + exemplars — stays under the budget (default <5%).
 //
 //   ./build/bench/bench_observability --benchmark_min_time=1x
 //   scripts/bench_json.sh observability   # two-build overhead comparison
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/gateway.h"
 #include "core/provider.h"
 #include "core/trace.h"
 #include "difc/label_table.h"
+#include "net/http_client.h"
+#include "net/tcp.h"
 #include "util/metrics.h"
 
 namespace {
@@ -110,6 +115,86 @@ void BM_ObservedPipeline(benchmark::State& state) {
       w5::util::kTelemetryEnabled ? 1 : 0;
 }
 BENCHMARK(BM_ObservedPipeline)->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+// The same overhead question asked of the reactor serving path (§16):
+// requests over real loopback TCP through Provider::serve() in
+// kEventLoop mode, where telemetry additionally means stage spans
+// (parse/dispatch/handler/write), the event-loop lag / epoll batch /
+// timer drift histograms with exemplars, and the per-loop counters.
+// Named BM_ObservedPipeline* so the two-build gate in
+// scripts/bench_json.sh covers the event-loop path too.
+struct ReactorFixture {
+  w5::util::WallClock clock;
+  std::unique_ptr<Provider> provider;
+  w5::net::TcpListener listener;
+  std::thread serve_thread;  // leaky: runs until process exit
+  std::vector<std::string> cookies;
+
+  ReactorFixture() {
+    ProviderConfig config;
+    config.serve_mode = w5::platform::ServeMode::kEventLoop;
+    provider = std::make_unique<Provider>(std::move(config), clock);
+    for (int u = 0; u < kUsers; ++u) {
+      const std::string user = "rx" + std::to_string(u);
+      (void)provider->signup(user, "password");
+      cookies.push_back("w5session=" +
+                        provider->login(user, "password").value());
+    }
+    if (!listener.listen(0, 1024).ok()) std::abort();
+    serve_thread = std::thread([this] { provider->serve(listener); });
+  }
+};
+
+ReactorFixture& reactor_fixture() {
+  static ReactorFixture* fx = new ReactorFixture();  // leaky by design
+  return *fx;
+}
+
+void BM_ObservedPipelineEventLoop(benchmark::State& state) {
+  ReactorFixture& fx = reactor_fixture();
+  const std::string& cookie =
+      fx.cookies[static_cast<std::size_t>(state.thread_index()) % kUsers];
+  const std::string record =
+      "/data/notes/rx-t" + std::to_string(state.thread_index());
+
+  auto dial = w5::net::tcp_connect(fx.listener.port());
+  if (!dial.ok()) std::abort();
+  std::unique_ptr<w5::net::Connection> conn = std::move(dial.value());
+  w5::net::HttpClient client;
+
+  auto roundtrip = [&](Method method, const std::string& target,
+                       std::string body) {
+    w5::net::HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.body = std::move(body);
+    request.headers.set("Cookie", cookie);
+    auto response = client.roundtrip(*conn, request);
+    if (!response.ok()) {  // reaped mid-run: re-dial and carry on
+      conn = std::move(w5::net::tcp_connect(fx.listener.port()).value());
+      response = client.roundtrip(*conn, request);
+    }
+    benchmark::DoNotOptimize(response.ok() ? response.value().status : 0);
+  };
+
+  std::int64_t requests = 0;
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    const std::string body = "{\"v\":" + std::to_string(i) +
+                             ",\"payload\":\"" + payload_field() + "\"}";
+    roundtrip(Method::kPost, record, body);
+    roundtrip(Method::kGet, record, "");
+    requests += 2;
+  }
+  state.SetItemsProcessed(requests);
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+  state.counters["telemetry_enabled"] =
+      w5::util::kTelemetryEnabled ? 1 : 0;
+}
+BENCHMARK(BM_ObservedPipelineEventLoop)->Threads(1)->Threads(4)
     ->UseRealTime();
 
 // A /metrics scrape under load: how much does reading the plane cost

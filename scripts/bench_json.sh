@@ -9,9 +9,11 @@
 #   BUILD_DIR=build-opt scripts/bench_json.sh
 #
 # The observability suite builds the tree twice — once as-is and once
-# with -DW5_NO_TELEMETRY=ON — runs BM_ObservedPipeline in both, and
-# fails if the telemetry plane costs more than W5_OVERHEAD_BUDGET
-# percent (default 5) of baseline throughput.
+# with -DW5_NO_TELEMETRY=ON — runs every BM_ObservedPipeline* bench in
+# both (the in-process gateway pipeline AND the reactor TCP path, whose
+# telemetry includes stage spans and histogram exemplars), and fails if
+# the telemetry plane costs more than W5_OVERHEAD_BUDGET percent
+# (default 5) of baseline throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,54 @@
+#include "core/flight_recorder.h"
+
+#include <utility>
+
+namespace w5::platform {
+
+void FlightRecorder::record(Trace trace) {
+  if (trace.id.empty()) return;
+  const util::MutexLock lock(mutex_);
+  for (Trace& held : ring_) {
+    if (held.id == trace.id) {
+      held = std::move(trace);
+      return;
+    }
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_total_;
+}
+
+util::Json FlightRecorder::to_json() const {
+  const util::MutexLock lock(mutex_);
+  // Newest-first: entries [next_..end) are older than [0..next_) once the
+  // ring has wrapped; before wrapping, push order is oldest-first.
+  util::Json entries = util::Json::array();
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Walk backwards from the slot most recently written.
+    const std::size_t slot =
+        n < capacity_ ? n - 1 - i : (next_ + capacity_ - 1 - i) % capacity_;
+    entries.push_back(ring_[slot].to_json());
+  }
+  util::Json out = util::Json::object();
+  out["capacity"] = util::Json(static_cast<std::int64_t>(capacity_));
+  out["recorded_total"] = util::Json(recorded_total_);
+  out["entries"] = std::move(entries);
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const util::MutexLock lock(mutex_);
+  return recorded_total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  const util::MutexLock lock(mutex_);
+  return ring_.size();
+}
+
+}  // namespace w5::platform

@@ -1,0 +1,47 @@
+// Flight recorder: the slow-request ring (DESIGN.md §16).
+//
+// A fixed ring of the most recent traces whose end-to-end duration
+// crossed the provider's slow_request threshold, captured with their
+// full span dump at the moment they finished — so "why was that request
+// slow at 3 AM" is answerable from /debug/slowlog after the fact, even
+// though the TraceBuffer has long since recycled the slot. Entries are
+// whole Trace values (ids, span names, timings); the DIFC telemetry
+// invariant (§3.5) holds because spans never carry user data bytes in
+// the first place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "util/json.h"
+#include "util/thread_annotations.h"
+
+namespace w5::platform {
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Records a finished slow trace. Re-recording an id (late remote spans
+  // arrived, the trace got slower) replaces the earlier entry in place.
+  void record(Trace trace);
+
+  // Newest-first JSON dump for /debug/slowlog:
+  //   {"threshold_note": ..., "entries": [trace, ...]}
+  util::Json to_json() const;
+
+  std::uint64_t recorded() const;  // lifetime total (not ring occupancy)
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable util::Mutex mutex_;
+  std::vector<Trace> ring_ W5_GUARDED_BY(mutex_);
+  std::size_t next_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recorded_total_ W5_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace w5::platform

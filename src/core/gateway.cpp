@@ -5,6 +5,7 @@
 #include <set>
 
 #include "core/sanitizer.h"
+#include "core/statusz.h"
 #include "core/trace.h"
 #include "difc/label_table.h"
 #include "util/strings.h"
@@ -67,6 +68,8 @@ Gateway::Gateway(Provider& provider) : provider_(provider) {
   add(Method::kGet, "/stats", bind0(&Gateway::route_stats));
   add(Method::kGet, "/metrics", bind0(&Gateway::route_metrics));
   add(Method::kGet, "/trace/:id", bind1(&Gateway::route_trace));
+  add(Method::kGet, "/debug/statusz", bind0(&Gateway::route_statusz));
+  add(Method::kGet, "/debug/slowlog", bind0(&Gateway::route_slowlog));
   add(Method::kGet, "/search", bind0(&Gateway::route_search));
   add(Method::kGet, "/developers", bind0(&Gateway::route_developers));
   add(Method::kGet, "/dev-stats", bind0(&Gateway::route_dev_stats));
@@ -118,8 +121,21 @@ net::HttpResponse Gateway::handle(const net::HttpRequest& request) {
   static const bool bare_dispatch = getenv("W5_ABL_BARE") != nullptr;
   if (bare_dispatch) return router_.dispatch(request);
   const auto inherited = request.headers.get("X-W5-Trace");
+  // X-W5-Sampled propagates the upstream sampling decision: "0" keeps an
+  // inherited id from forcing spans on, "1" forces them on.
+  RequestContext::Sampling sampling = RequestContext::Sampling::kInherit;
+  if (const auto sampled = request.headers.get("X-W5-Sampled")) {
+    if (*sampled == "0") sampling = RequestContext::Sampling::kOff;
+    if (*sampled == "1") sampling = RequestContext::Sampling::kOn;
+  }
   RequestContext context(inherited ? std::string_view(*inherited)
-                                   : std::string_view{});
+                                   : std::string_view{},
+                         sampling);
+  // The caller's span id (digits only) — recorded so the stitched tree
+  // shows which upstream span this whole request hangs under.
+  if (const auto parent = request.headers.get("X-W5-Parent")) {
+    if (util::parse_u64(*parent)) context.set_parent_span(*parent);
+  }
   // Deadline propagation (DESIGN.md §12): stamp the request's wall-clock
   // budget into the context at admission. A client X-W5-Deadline-Ms can
   // only tighten the provider default, never extend it.
@@ -154,7 +170,18 @@ net::HttpResponse Gateway::handle(const net::HttpRequest& request) {
   if (!context.id().empty())
     response.headers.set("X-W5-Trace", context.id());
   Trace trace = context.finish();  // stamps the total duration
-  request_latency_->observe(trace.duration);
+  // Cross-hop stitching: a caller that forwarded its trace id gets this
+  // request's span dump back in the response, offsets relative to our
+  // request start (the caller rebases onto its own clock). Only for
+  // inherited ids — a trace root has nobody to stitch into.
+  if (context.inherited() && trace.sampled) {
+    std::string wire = encode_spans_for_wire(trace);
+    if (!wire.empty()) response.headers.set("X-W5-Spans", std::move(wire));
+  }
+  request_latency_->observe_with_exemplar(trace.duration, trace.id);
+  if (const util::Micros slow_after = provider_.config().slow_request_micros;
+      slow_after > 0 && trace.duration >= slow_after)
+    provider_.flight_recorder().record(trace);
   provider_.traces().record(std::move(trace));
   return response;
 }
@@ -350,9 +377,30 @@ net::HttpResponse Gateway::route_metrics(const net::HttpRequest& request) {
 
 net::HttpResponse Gateway::route_trace(const net::HttpRequest&,
                                        const net::RouteParams& params) {
-  const auto trace = provider_.traces().find(params.at("id"));
-  if (!trace) return json_error(404, "no such trace");
-  return net::HttpResponse::json(200, trace->to_json().dump());
+  Trace trace;
+  switch (provider_.traces().lookup(params.at("id"), &trace)) {
+    case TraceBuffer::Lookup::kFound:
+      return net::HttpResponse::json(200, trace.to_json().dump());
+    case TraceBuffer::Lookup::kEvicted:
+      // The id was real but the ring has recycled its slot: "gone", not
+      // "never existed" — callers chasing an exemplar can tell a stale
+      // pointer from a bogus one.
+      return net::HttpResponse::text(204, "");
+    case TraceBuffer::Lookup::kUnknown:
+      break;
+  }
+  return json_error(404, "no such trace");
+}
+
+net::HttpResponse Gateway::route_statusz(const net::HttpRequest&) {
+  refresh_runtime_gauges();  // breaker/pool gauges feed the page
+  return net::HttpResponse::json(200, build_statusz(provider_).dump());
+}
+
+net::HttpResponse Gateway::route_slowlog(const net::HttpRequest&) {
+  util::Json body = provider_.flight_recorder().to_json();
+  body["threshold_micros"] = provider_.config().slow_request_micros;
+  return net::HttpResponse::json(200, body.dump());
 }
 
 void Gateway::refresh_runtime_gauges() {
@@ -434,6 +482,12 @@ void Gateway::refresh_runtime_gauges() {
   metrics.gauge("w5_traces_recorded").set(as_i64(
       provider_.traces().recorded()));
   metrics.gauge("w5_traces_retained").set(as_i64(provider_.traces().size()));
+  // Monotonic total, exported as a gauge the same way the other lifetime
+  // counts above are: the source atomic is the truth, the gauge a mirror.
+  metrics.gauge("w5_trace_dropped_total")
+      .set(as_i64(provider_.traces().dropped()));
+  metrics.gauge("w5_slowlog_recorded")
+      .set(as_i64(provider_.flight_recorder().recorded()));
   metrics.gauge("w5_users").set(as_i64(provider_.users().size()));
 }
 

@@ -61,6 +61,8 @@ class Gateway {
   net::HttpResponse route_dev_stats(const net::HttpRequest& request);
   net::HttpResponse route_audit(const net::HttpRequest& request);
   net::HttpResponse route_metrics(const net::HttpRequest& request);
+  net::HttpResponse route_statusz(const net::HttpRequest& request);
+  net::HttpResponse route_slowlog(const net::HttpRequest& request);
   net::HttpResponse route_trace(const net::HttpRequest& request,
                                 const net::RouteParams& params);
   net::HttpResponse route_invite(const net::HttpRequest& request);

@@ -1,9 +1,11 @@
 #include "core/provider.h"
 
 #include "core/gateway.h"
+#include "core/statusz.h"
 #include "difc/codec.h"
 #include "net/cookies.h"
 #include "net/http_server.h"
+#include "net/tracing.h"
 #include "util/log.h"
 
 #include <fstream>
@@ -18,7 +20,22 @@ Provider::Provider(ProviderConfig config, const util::Clock& clock)
       store_(kernel_, clock),
       users_(kernel_),
       sessions_(clock, config_.session_ttl_micros),
-      audit_(clock) {
+      audit_(clock),
+      loop_stats_(config_.io_threads == 0 ? 1 : config_.io_threads) {
+  // Outbound hops (HttpClient, federation pulls) stamp the active
+  // request's trace headers; the hook is process-global and reads the
+  // thread-local context, so re-installation by later providers is
+  // idempotent in effect.
+  net::set_outbound_trace_provider([](net::TraceHeaders* out) {
+    RequestContext* context = RequestContext::current();
+    if (context == nullptr || context->id().empty()) return false;
+    out->trace_id = context->id();
+    out->parent_span = context->current_parent() != 0
+                           ? std::to_string(context->current_parent())
+                           : std::string();
+    out->sampled = context->spans_enabled();
+    return true;
+  });
   // The standard declassifier library every provider ships (§3.1: "casual
   // W5 users will authorize only a small handful of reputable
   // declassifiers").
@@ -160,6 +177,88 @@ std::size_t Provider::serve(net::TcpListener& listener) {
   }
   net::EventLoopOptions loop_options;
   loop_options.io_threads = config_.io_threads;
+  // ---- Reactor telemetry (DESIGN.md §16) ---------------------------------
+  // Histogram pointers resolve once here; loop threads update them
+  // lock-free. The on_stage callback runs on the owning loop thread after
+  // the response's last byte — off the request's latency path.
+  loop_options.telemetry.loop_lag_micros = &metrics_.histogram(
+      "w5_reactor_loop_lag_micros",
+      {50, 100, 250, 500, 1'000, 2'500, 5'000, 10'000, 50'000});
+  loop_options.telemetry.epoll_batch =
+      &metrics_.histogram("w5_reactor_epoll_batch", {1, 2, 4, 8, 16, 32, 64});
+  loop_options.telemetry.timer_drift_micros = &metrics_.histogram(
+      "w5_reactor_timer_drift_micros",
+      {100, 500, 1'000, 5'000, 10'000, 20'000, 50'000, 100'000});
+  loop_options.telemetry.loop_stats = &loop_stats_;
+  struct StageHistograms {
+    util::Histogram* parse;
+    util::Histogram* dispatch;
+    util::Histogram* handler;
+    util::Histogram* write;
+    util::Histogram* total;
+  };
+  const std::vector<std::int64_t> stage_bounds{
+      10, 50, 100, 500, 1'000, 5'000, 10'000, 50'000, 100'000, 500'000};
+  const StageHistograms stage_histograms{
+      &metrics_.histogram("w5_reactor_stage_micros{stage=\"parse\"}",
+                          stage_bounds),
+      &metrics_.histogram("w5_reactor_stage_micros{stage=\"dispatch\"}",
+                          stage_bounds),
+      &metrics_.histogram("w5_reactor_stage_micros{stage=\"handler\"}",
+                          stage_bounds),
+      &metrics_.histogram("w5_reactor_stage_micros{stage=\"write\"}",
+                          stage_bounds),
+      &metrics_.histogram("w5_reactor_request_micros", stage_bounds),
+  };
+  loop_options.telemetry.on_stage = [this, stage_histograms](
+                                        const net::StageSample& sample) {
+    const auto clamped = [](util::Micros later, util::Micros earlier) {
+      return later > earlier ? later - earlier : 0;
+    };
+    const util::Micros parse = clamped(sample.parse_done, sample.request_start);
+    const util::Micros dispatch =
+        clamped(sample.handler_start, sample.parse_done);
+    const util::Micros handler =
+        clamped(sample.handler_done, sample.handler_start);
+    const util::Micros write = clamped(sample.write_done, sample.handler_done);
+    const util::Micros total = clamped(sample.write_done, sample.request_start);
+    stage_histograms.parse->observe(parse);
+    stage_histograms.dispatch->observe(dispatch);
+    stage_histograms.handler->observe(handler);
+    stage_histograms.write->observe(write);
+    // The exemplar ties the p99 bucket to a findable trace: "what was a
+    // recent slow request" is one /trace/:id away from the histogram.
+    stage_histograms.total->observe_with_exemplar(total, sample.trace_id);
+    if (sample.trace_id.empty()) return;
+    // Stage spans attach to the already-recorded trace (the gateway
+    // records before the response bytes leave); append_spans drops them
+    // when the trace was unsampled or already evicted.
+    std::vector<TraceSpan> spans;
+    spans.reserve(4);
+    const auto stage_span = [&](const char* name, util::Micros start,
+                                util::Micros duration) {
+      TraceSpan span;
+      span.name = name;
+      span.start = start;
+      span.duration = duration;
+      spans.push_back(std::move(span));
+    };
+    stage_span("stage.parse", sample.request_start, parse);
+    stage_span("stage.dispatch", sample.parse_done, dispatch);
+    stage_span("stage.handler", sample.handler_start, handler);
+    stage_span("stage.write", sample.handler_done, write);
+    (void)traces_.append_spans(sample.trace_id, std::move(spans));
+    // Slow-request capture happens at the gateway (it has the finished
+    // trace in hand); the reactor path re-records here so the flight
+    // recorder entry includes the stage spans just attached.
+    if (config_.slow_request_micros > 0 &&
+        total >= config_.slow_request_micros) {
+      Trace slow;
+      if (traces_.lookup(sample.trace_id, &slow) ==
+          TraceBuffer::Lookup::kFound)
+        flight_recorder_.record(std::move(slow));
+    }
+  };
   // Inline dispatch runs handlers on the owning loop (no handoff, no
   // 503 shed — overload becomes TCP backpressure); pooled dispatch keeps
   // blocking handlers off the loops and sheds via try_submit above.

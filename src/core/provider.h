@@ -14,6 +14,7 @@
 #include "core/audit.h"
 #include "core/auth.h"
 #include "core/declassifier.h"
+#include "core/flight_recorder.h"
 #include "core/module_registry.h"
 #include "core/policy.h"
 #include "core/search_service.h"
@@ -109,6 +110,10 @@ struct ProviderConfig {
   // Per-request wall-clock budget stamped into RequestContext at the
   // gateway (tightened by a client X-W5-Deadline-Ms header; 0 disables).
   util::Micros request_deadline_micros = 30'000'000;
+  // ---- Observability (DESIGN.md §16) --------------------------------------
+  // Requests slower than this land in the flight recorder with their full
+  // span dump, queryable at /debug/slowlog (0 disables the recorder).
+  util::Micros slow_request_micros = 250'000;
   // ---- Durability (DESIGN.md §13) -----------------------------------------
   // Off by default: the provider stays purely in-memory, as before. When
   // enabled, construction recovers from durability.dir (newest valid
@@ -141,6 +146,12 @@ class Provider {
   Gateway& gateway() noexcept { return *gateway_; }
   util::MetricsRegistry& metrics() noexcept { return metrics_; }
   TraceBuffer& traces() noexcept { return traces_; }
+  FlightRecorder& flight_recorder() noexcept { return flight_recorder_; }
+  // Per-reactor-loop counters (entry i = I/O loop i), sized at
+  // construction so /debug/statusz can read them while serve() runs.
+  const std::vector<net::LoopStats>& reactor_loop_stats() const noexcept {
+    return loop_stats_;
+  }
 
   // The simulated outside world; tests replace it to observe exfiltration
   // attempts.
@@ -241,6 +252,11 @@ class Provider {
   SearchService search_;
   util::MetricsRegistry metrics_;
   TraceBuffer traces_;
+  FlightRecorder flight_recorder_;
+  // Sized once in the constructor (io_threads never changes after):
+  // statusz readers iterate concurrently with loop-thread writers, so the
+  // vector must never reallocate.
+  std::vector<net::LoopStats> loop_stats_;
   ExternalFetcher external_fetcher_;
   std::unique_ptr<Gateway> gateway_;  // after metrics_: caches Counter*s
   // §14 static-enforcement note: the provider itself holds no mutex —

@@ -1,0 +1,147 @@
+#include "core/statusz.h"
+
+#include <atomic>
+#include <string>
+
+#include "core/provider.h"
+#include "os/thread_pool.h"
+#include "store/durable_store.h"
+
+namespace w5::platform {
+
+namespace {
+
+util::Json from_u64(std::uint64_t v) {
+  return util::Json(static_cast<std::int64_t>(v));
+}
+
+util::Json build_section() {
+  util::Json build = util::Json::object();
+  build["compiled"] = std::string(__DATE__) + " " + __TIME__;
+#ifdef NDEBUG
+  build["optimized"] = true;
+#else
+  build["optimized"] = false;
+#endif
+#ifdef W5_NO_TELEMETRY
+  build["telemetry"] = false;
+#else
+  build["telemetry"] = true;
+#endif
+  return build;
+}
+
+util::Json serving_section(Provider& provider) {
+  const ProviderConfig& config = provider.config();
+  util::Json serving = util::Json::object();
+  serving["mode"] =
+      config.serve_mode == ServeMode::kEventLoop ? "event_loop" : "pooled";
+  serving["app_dispatch"] =
+      config.app_dispatch == AppDispatch::kInline ? "inline" : "pooled";
+  serving["io_threads"] = from_u64(config.io_threads);
+  serving["worker_threads"] = from_u64(config.worker_threads);
+  serving["max_queued_connections"] = from_u64(config.max_queued_connections);
+  serving["slow_request_micros"] = config.slow_request_micros;
+  const net::ServerStats& stats = provider.server_stats();
+  util::Json requests = util::Json::object();
+  requests["handled"] = from_u64(stats.handled_total.load());
+  requests["timeouts"] = from_u64(stats.timeouts_total.load());
+  requests["reaped"] = from_u64(stats.reaped_total.load());
+  requests["shed_503"] = from_u64(stats.shed_total.load());
+  requests["rejected_413"] = from_u64(stats.rejected_413_total.load());
+  requests["rejected_431"] = from_u64(stats.rejected_431_total.load());
+  serving["requests"] = std::move(requests);
+  const net::ConnStats& conns = provider.conn_stats();
+  util::Json connections = util::Json::object();
+  connections["open"] = conns.open.load();
+  connections["idle"] = conns.idle.load();
+  connections["accepted"] = from_u64(conns.accepted_total.load());
+  connections["timeout_closes"] = from_u64(conns.timeout_closes_total.load());
+  connections["resets"] = from_u64(conns.reset_total.load());
+  serving["connections"] = std::move(connections);
+  return serving;
+}
+
+util::Json reactor_section(Provider& provider) {
+  util::Json loops = util::Json::array();
+  for (const net::LoopStats& stats : provider.reactor_loop_stats()) {
+    util::Json loop = util::Json::object();
+    loop["connections"] = stats.connections.load(std::memory_order_relaxed);
+    loop["epoll_wakeups"] =
+        from_u64(stats.epoll_wakeups.load(std::memory_order_relaxed));
+    loop["epoll_events"] =
+        from_u64(stats.epoll_events.load(std::memory_order_relaxed));
+    loop["mailbox_items"] =
+        from_u64(stats.mailbox_items.load(std::memory_order_relaxed));
+    loop["timer_fires"] =
+        from_u64(stats.timer_fires.load(std::memory_order_relaxed));
+    loop["requests"] = from_u64(stats.requests.load(std::memory_order_relaxed));
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+util::Json durability_section(Provider& provider) {
+  util::Json durability = util::Json::object();
+  durability["enabled"] = provider.config().durability.enabled;
+  durability["active"] = provider.durable() != nullptr;
+  if (!provider.durability_status().ok())
+    durability["error"] = provider.durability_status().error().code;
+  const auto& recovery = provider.recovery_stats();
+  util::Json recovered = util::Json::object();
+  recovered["snapshot_loaded"] = recovery.snapshot_loaded;
+  recovered["replayed_entries"] = from_u64(recovery.replayed_entries);
+  recovered["last_seq"] = from_u64(recovery.last_seq);
+  recovered["tail_torn"] = recovery.tail_torn;
+  recovered["truncated_bytes"] = from_u64(recovery.truncated_bytes);
+  recovered["recovery_micros"] = recovery.recovery_micros;
+  durability["recovery"] = std::move(recovered);
+  return durability;
+}
+
+// Per-peer circuit breaker states, scraped from the gauges fed::Node
+// maintains (w5_fed_breaker_state{peer="..."}: 0 closed, 1 open,
+// 2 half-open). Scanning the registry keeps statusz decoupled from the
+// federation layer — a provider that never federates just shows {}.
+util::Json breakers_section(Provider& provider) {
+  util::Json breakers = util::Json::object();
+  static constexpr std::string_view kPrefix = "w5_fed_breaker_state{peer=\"";
+  const util::Json metrics = provider.metrics().to_json();
+  for (const auto& [name, value] : metrics.at("gauges").as_object()) {
+    if (!std::string_view(name).starts_with(kPrefix)) continue;
+    std::string peer = name.substr(kPrefix.size());
+    const std::size_t quote = peer.find('"');
+    if (quote != std::string::npos) peer.resize(quote);
+    const std::int64_t state = value.as_int();
+    breakers[peer] = state == 0   ? "closed"
+                     : state == 1 ? "open"
+                                  : "half_open";
+  }
+  return breakers;
+}
+
+util::Json tracing_section(Provider& provider) {
+  util::Json tracing = util::Json::object();
+  tracing["traces_recorded"] = from_u64(provider.traces().recorded());
+  tracing["traces_held"] = from_u64(provider.traces().size());
+  tracing["spans_dropped"] = from_u64(provider.traces().dropped());
+  tracing["slowlog_recorded"] = from_u64(provider.flight_recorder().recorded());
+  tracing["slowlog_held"] = from_u64(provider.flight_recorder().size());
+  return tracing;
+}
+
+}  // namespace
+
+util::Json build_statusz(Provider& provider) {
+  util::Json out = util::Json::object();
+  out["provider"] = provider.config().name;
+  out["build"] = build_section();
+  out["serving"] = serving_section(provider);
+  out["reactor_loops"] = reactor_section(provider);
+  out["durability"] = durability_section(provider);
+  out["fed_breakers"] = breakers_section(provider);
+  out["tracing"] = tracing_section(provider);
+  return out;
+}
+
+}  // namespace w5::platform

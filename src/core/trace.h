@@ -30,13 +30,21 @@
 namespace w5::platform {
 
 struct TraceSpan {
-  // Span names come from the fixed taxonomy (DESIGN.md §11) and are
-  // always string literals, so a view is safe and keeps span recording
-  // free of a string construction.
-  std::string_view name;
+  // Span names come from the fixed taxonomy (DESIGN.md §16) — short
+  // enough for SSO. A std::string (not a view) because remote spans
+  // stitched from an X-W5-Spans header are parsed off the wire and own
+  // their bytes; only span-sampled requests pay the copy.
+  std::string name;
   util::Micros start = 0;     // absolute steady-clock micros
   util::Micros duration = 0;
   std::string note;           // codes / module ids / tag names only
+  // Tree structure: ids are per-request ordinals assigned at span open;
+  // parent 0 = direct child of the request root.
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;
+  // Peer name for spans stitched from another provider ("" = local).
+  // Names only, never request bytes (§3.5) — sanitized at decode.
+  std::string remote;
 };
 
 struct Trace {
@@ -49,6 +57,13 @@ struct Trace {
   int status = 0;
   util::Micros started = 0;
   util::Micros duration = 0;
+  // True when detailed spans were recorded for this request (head-sampled
+  // or explicitly requested by id) — the gate for X-W5-Spans export and
+  // post-hoc reactor stage-span attachment.
+  bool sampled = false;
+  // Upstream span id from an inbound X-W5-Parent header, "" when this
+  // request is a trace root. Digits only (validated at the perimeter).
+  std::string parent_span;
   std::vector<TraceSpan> spans;
 
   util::Json to_json() const;
@@ -74,17 +89,39 @@ class TraceBuffer {
   void record(Trace trace);
   std::optional<Trace> find(const std::string& id) const;
 
+  // /trace/:id needs to tell "never saw this id" (404) from "saw it, the
+  // ring has since evicted it" (204); evicted ids are remembered in a
+  // bounded secondary ring (ids only — 12 bytes each, no spans).
+  enum class Lookup : std::uint8_t { kFound, kEvicted, kUnknown };
+  Lookup lookup(const std::string& id, Trace* out) const;
+
+  // Appends spans to an already-recorded trace in place (the reactor
+  // attaches stage spans after the gateway has recorded the trace).
+  // False when the id is no longer resident; overflow beyond the
+  // per-trace span cap counts into dropped().
+  bool append_spans(const std::string& id, std::vector<TraceSpan> spans);
+
   std::size_t size() const;        // traces currently held
   std::uint64_t recorded() const;  // lifetime total
+  // Spans lost to ring slot exhaustion (sampled traces evicted with their
+  // spans) or to the per-trace span cap — w5_trace_dropped_total.
+  std::uint64_t dropped() const;
 
  private:
+  static constexpr std::size_t kEvictedIds = 1024;
+  static constexpr std::size_t kMaxSpansPerTrace = 128;
+
   std::size_t capacity_;
   std::atomic<std::uint64_t> recorded_total_{0};
+  std::atomic<std::uint64_t> dropped_spans_{0};
   // Dynamic per-slot locks: the analysis cannot name a runtime-indexed
   // capability, so ring_ has no W5_GUARDED_BY; record()/find() still take
   // the slot lock through util::MutexLock so clang sees the acquisition.
   mutable std::vector<util::Mutex> slot_mutexes_;  // one per ring slot
   std::vector<Trace> ring_;                       // pre-sized; empty id = unused
+  mutable util::Mutex evicted_mutex_;
+  std::vector<std::string> evicted_ids_ W5_GUARDED_BY(evicted_mutex_);
+  std::size_t evicted_next_ W5_GUARDED_BY(evicted_mutex_) = 0;
 };
 
 // The per-request context. Construction installs it as the thread-local
@@ -102,6 +139,13 @@ class RequestContext {
   // (explicitly asking for this request to be traced).
   static constexpr std::uint64_t kSpanSampleEvery = 16;
 
+  // Sampling override carried by the X-W5-Sampled request header:
+  // kInherit keeps the default policy (valid inherited id → spans on,
+  // else 1-in-N); kOff suppresses spans even for an inherited id (an
+  // upstream that decided not to sample propagates that decision); kOn
+  // forces spans on.
+  enum class Sampling : std::uint8_t { kInherit, kOn, kOff };
+
   // inherited_id: a validated upstream trace id continues that trace
   // (federation peers forward X-W5-Trace); empty or invalid mints fresh.
   //
@@ -111,7 +155,8 @@ class RequestContext {
   // epoch WallClock uses. Under SimClock providers, traces show real
   // elapsed time while audit shows sim time — traces are diagnostics,
   // so wall time is the more useful of the two.
-  explicit RequestContext(std::string_view inherited_id = {});
+  explicit RequestContext(std::string_view inherited_id = {},
+                          Sampling sampling = Sampling::kInherit);
   ~RequestContext();
 
   RequestContext(const RequestContext&) = delete;
@@ -119,6 +164,23 @@ class RequestContext {
 
   const std::string& id() const noexcept { return trace_.id; }
   bool spans_enabled() const noexcept { return spans_enabled_; }
+  // True when the id was inherited from a validated inbound X-W5-Trace —
+  // the caller is part of a larger trace, so the response should carry
+  // the span dump (X-W5-Spans) back for stitching.
+  bool inherited() const noexcept { return inherited_; }
+
+  // ---- Span tree bookkeeping (DESIGN.md §16) -----------------------------
+  // Span ids are per-request ordinals handed out at span *open* so a
+  // parent's id exists before its children record (children destruct
+  // first). 0 is the request root.
+  std::uint32_t open_span() noexcept { return ++next_span_id_; }
+  std::uint32_t current_parent() const noexcept { return current_parent_; }
+  void set_current_parent(std::uint32_t id) noexcept {
+    current_parent_ = id;
+  }
+
+  // Upstream span id from an inbound X-W5-Parent header (digits only).
+  void set_parent_span(std::string parent);
 
   // `stable_route` must outlive the TraceBuffer (the gateway passes the
   // router's stored pattern text); the trace keeps a view, not a copy.
@@ -146,7 +208,16 @@ class RequestContext {
   // reads, so the per-span cost is two TSC reads instead of two clock
   // syscalls.
   void add_span(std::string_view name, std::uint64_t start_cycles,
-                std::uint64_t duration_cycles, std::string note);
+                std::uint64_t duration_cycles, std::string note,
+                std::uint32_t span_id = 0, std::uint32_t parent = 0);
+
+  // Grafts spans decoded from a peer's X-W5-Spans header under the
+  // current parent span. `spans` carry start as *offset micros from the
+  // remote request start*; finish() rebases them onto the absolute time
+  // of `hop_start_cycles` (captured just before the outbound call).
+  // Remote span ids are remapped into this request's ordinal space.
+  void add_remote_spans(std::vector<TraceSpan> spans,
+                        std::uint64_t hop_start_cycles);
 
   // Stamps the total duration and surrenders the trace for the buffer.
   Trace finish();
@@ -157,12 +228,24 @@ class RequestContext {
   static std::string current_id();
 
  private:
+  // A remote batch holds already-rescaled micros (offsets from the remote
+  // request start) plus the local TSC read bracketing the hop; finish()
+  // rebases offsets onto the hop's absolute start.
+  struct RemoteSpan {
+    TraceSpan span;
+    std::uint64_t hop_start_cycles;
+  };
+
   Trace trace_;
   std::uint64_t start_cycles_ = 0;
   util::Micros deadline_ = 0;  // absolute wall micros; 0 = none
   RequestContext* previous_ = nullptr;
   bool installed_ = false;
   bool spans_enabled_ = false;
+  bool inherited_ = false;
+  std::uint32_t next_span_id_ = 0;
+  std::uint32_t current_parent_ = 0;
+  std::vector<RemoteSpan> remote_spans_;
 };
 
 // RAII span against the thread's current RequestContext; no-op when there
@@ -185,6 +268,8 @@ class ScopedSpan {
   std::string_view name_;  // always a string literal from the taxonomy
   std::string note_;
   std::uint64_t start_cycles_ = 0;
+  std::uint32_t span_id_ = 0;
+  std::uint32_t parent_ = 0;
 };
 
 // Fresh process-unique trace id: 12 hex chars (48 mixed bits — short
@@ -194,5 +279,30 @@ std::string next_trace_id();
 
 // True when `id` is shaped like a trace id ([0-9a-zA-Z_-]{1,64}).
 bool valid_trace_id(std::string_view id);
+
+// ---- Cross-hop span wire format (DESIGN.md §16) ----------------------------
+// X-W5-Spans response header: spans joined by '|', fields by ';':
+//   id;parent;start_offset_micros;duration_micros;name;note;remote
+// start offsets are relative to the remote request start. Name, note, and
+// remote pass the telemetry charset filter ([0-9a-zA-Z._/=-], other bytes
+// become '_') in both directions, so the header can never carry user data
+// bytes (§3.5). Capped at 32 spans / ~4 KB to stay inside header limits.
+
+// Renders a finished trace's spans for the response header ("" when the
+// trace was not span-sampled).
+std::string encode_spans_for_wire(const Trace& trace);
+
+// Parses a peer's X-W5-Spans header into spans ready for
+// RequestContext::add_remote_spans: start = offset micros, remote = the
+// wire value when present else `peer`, everything sanitized. Malformed
+// entries are skipped, never trusted.
+std::vector<TraceSpan> decode_remote_spans(std::string_view wire,
+                                           std::string_view peer);
+
+// The telemetry charset filter used by the wire codec: copies `in`
+// replacing every byte outside [0-9a-zA-Z._/=-] with '_', truncated to
+// `max_len`. Exposed for tests and for other name-carrying surfaces.
+std::string sanitize_telemetry_token(std::string_view in,
+                                     std::size_t max_len = 80);
 
 }  // namespace w5::platform

@@ -1,5 +1,7 @@
 #include "fed/mirror.h"
 
+#include "core/trace.h"
+
 namespace w5::fed {
 
 void MirrorAuthorizer::authorize(const std::string& user,
@@ -23,7 +25,12 @@ bool MirrorAuthorizer::authorized(const std::string& user,
 
 util::Status MirrorAuthorizer::check(const std::string& user,
                                      const std::string& peer) const {
+  // Consent is the §3.3 gate every federation pull stands behind; its
+  // outcome is worth a span of its own in the stitched cross-hop tree.
+  // The note carries the peer name (infrastructure identity) only.
+  platform::ScopedSpan span("fed.consent", "peer=" + peer);
   if (authorized(user, peer)) return util::ok_status();
+  span.set_note("peer=" + peer + " err=fed.unauthorized");
   return util::make_error("fed.unauthorized",
                           "user '" + user +
                               "' has not authorized mirroring to '" + peer +

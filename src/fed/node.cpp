@@ -1,6 +1,10 @@
 #include "fed/node.h"
 
+#include <optional>
+
 #include "core/gateway.h"
+#include "net/tracing.h"
+#include "util/strings.h"
 
 namespace w5::fed {
 
@@ -94,6 +98,40 @@ bool Node::has_tombstone(const std::string& collection,
 }
 
 net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
+  // Federation serving perimeter: the same trace plumbing the gateway
+  // gives app requests. A validated inbound X-W5-Trace makes this pull a
+  // child of the dialer's trace; the response carries our span dump back
+  // (X-W5-Spans) for stitching.
+  const auto inherited = request.headers.get(net::kTraceHeader);
+  platform::RequestContext::Sampling sampling =
+      platform::RequestContext::Sampling::kInherit;
+  if (const auto sampled = request.headers.get(net::kSampledHeader)) {
+    if (*sampled == "0") sampling = platform::RequestContext::Sampling::kOff;
+    if (*sampled == "1") sampling = platform::RequestContext::Sampling::kOn;
+  }
+  platform::RequestContext context(
+      inherited ? std::string_view(*inherited) : std::string_view{},
+      sampling);
+  if (const auto parent = request.headers.get(net::kParentHeader)) {
+    if (util::parse_u64(*parent)) context.set_parent_span(*parent);
+  }
+  static const std::string kPullRoute = "fed.pull";
+  context.set_route(kPullRoute);
+  net::HttpResponse response = serve_pull(request);
+  context.set_status(response.status);
+  if (!context.id().empty())
+    response.headers.set(std::string(net::kTraceHeader), context.id());
+  platform::Trace trace = context.finish();
+  if (context.inherited() && trace.sampled) {
+    std::string wire = platform::encode_spans_for_wire(trace);
+    if (!wire.empty())
+      response.headers.set(std::string(net::kSpansHeader), std::move(wire));
+  }
+  if (!trace.id.empty()) provider_.traces().record(std::move(trace));
+  return response;
+}
+
+net::HttpResponse Node::serve_pull(const net::HttpRequest& request) {
   const auto fail = [](int status, const std::string& code) {
     util::Json body;
     body["error"] = code;
@@ -122,6 +160,7 @@ net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
   // the clock table is the authoritative index across collections.
   util::Json since = body.value().at("since");
   util::Json records = util::Json::array();
+  platform::ScopedSpan export_span("fed.export");
   for (const auto& [key, clock] : clocks_) {
     const auto& [collection, id] = key;
     const auto tombstone = tombstones_.find(key);
@@ -157,6 +196,8 @@ net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
                              "fed/mirror", collection + "/" + id,
                              "peer=" + peer + " user=" + user);
   }
+  export_span.set_note("records=" +
+                       std::to_string(records.as_array().size()));
   util::Json response;
   response["records"] = std::move(records);
   return net::HttpResponse::json(200, response.dump());
@@ -171,6 +212,15 @@ net::CircuitBreaker& Node::breaker_for(const std::string& peer_name) {
 }
 
 util::Result<SyncStats> Node::sync_from(const std::string& peer_name) {
+  // A sync kicked off outside any request (a cron-style replication
+  // sweep) becomes its own trace root so the cross-hop tree has a local
+  // anchor; a sync nested in a serving request joins that trace instead.
+  std::optional<platform::RequestContext> root;
+  if (platform::RequestContext::current() == nullptr) {
+    root.emplace();
+    static const std::string kSyncRoute = "fed.sync";
+    root->set_route(kSyncRoute);
+  }
   net::CircuitBreaker& breaker = breaker_for(peer_name);
   // Gauge name carries the peer *name* — an infrastructure identifier,
   // like a route pattern; never user data (telemetry invariant, §11).
@@ -178,6 +228,10 @@ util::Result<SyncStats> Node::sync_from(const std::string& peer_name) {
       "w5_fed_breaker_state{peer=\"" + peer_name + "\"}");
   const auto finish = [&](util::Result<SyncStats> result) {
     state_gauge.set(static_cast<std::int64_t>(breaker.state()));
+    if (root && !root->id().empty()) {
+      root->set_status(result.ok() ? 200 : 500);
+      provider_.traces().record(root->finish());
+    }
     return result;
   };
   if (!breaker.allow()) {
@@ -215,8 +269,19 @@ util::Result<SyncStats> Node::sync_from(const std::string& peer_name) {
 
 util::Result<SyncStats> Node::pull_user(const std::string& peer_name,
                                         const std::string& user) {
+  // The cross-hop client half: one "fed.pull" span brackets the whole
+  // hop; the TSC read just before dialing anchors the peer's returned
+  // span offsets on our clock. A failed hop keeps the span with an
+  // err= note — the cleanly-marked orphan in the stitched tree.
+  platform::RequestContext* context = platform::RequestContext::current();
+  platform::ScopedSpan hop_span("fed.pull", "peer=" + peer_name);
+  const std::uint64_t hop_start_cycles = util::cycle_count();
+  const auto hop_failed = [&](util::Error error) {
+    hop_span.set_note("peer=" + peer_name + " err=" + error.code);
+    return error;
+  };
   auto dialed = network_.dial("fed://" + peer_name);
-  if (!dialed.ok()) return dialed.error();
+  if (!dialed.ok()) return hop_failed(dialed.error());
   std::unique_ptr<net::Connection> connection = std::move(dialed).value();
   if (decorator_) connection = decorator_(std::move(connection));
 
@@ -241,30 +306,52 @@ util::Result<SyncStats> Node::pull_user(const std::string& peer_name,
   request.target = "/fed/pull";
   request.parsed = *net::parse_request_target("/fed/pull");
   request.headers.set("Connection", "close");
+  // Trace propagation: the active context rides the wire so the peer's
+  // serving spans stitch under our hop span. current_parent() is the
+  // hop span itself (opened above).
+  if (context != nullptr && !context->id().empty()) {
+    request.headers.set(std::string(net::kTraceHeader), context->id());
+    if (context->current_parent() != 0)
+      request.headers.set(std::string(net::kParentHeader),
+                          std::to_string(context->current_parent()));
+    request.headers.set(std::string(net::kSampledHeader),
+                        context->spans_enabled() ? "1" : "0");
+  }
   request.body = body.dump();
 
   if (auto written = connection->write(request.to_wire()); !written.ok())
-    return written.error();
+    return hop_failed(written.error());
   if (auto pumped = network_.pump("fed://" + peer_name); !pumped.ok())
-    return pumped.error();
+    return hop_failed(pumped.error());
   net::ResponseParser parser;
   while (!parser.complete() && !parser.failed()) {
     auto bytes = connection->read_available();
-    if (!bytes.ok()) return bytes.error();
+    if (!bytes.ok()) return hop_failed(bytes.error());
     if (bytes.value().empty())
-      return util::make_error("fed.protocol", "peer sent no response");
+      return hop_failed(
+          util::make_error("fed.protocol", "peer sent no response"));
     parser.feed(bytes.value());
   }
-  if (parser.failed()) return parser.error();
+  if (parser.failed()) return hop_failed(parser.error());
   auto response = util::Result<net::HttpResponse>(parser.take());
+  // Stitch the peer's span dump (if any) under the hop span whatever the
+  // status — a 403 consent denial's spans explain themselves.
+  if (context != nullptr && context->spans_enabled()) {
+    if (const auto spans_header =
+            response.value().headers.get(net::kSpansHeader)) {
+      auto remote = platform::decode_remote_spans(*spans_header, peer_name);
+      if (!remote.empty())
+        context->add_remote_spans(std::move(remote), hop_start_cycles);
+    }
+  }
   if (response.value().status != 200) {
-    return util::make_error("fed.pull_failed",
-                            "peer returned " +
-                                std::to_string(response.value().status) +
-                                ": " + response.value().body);
+    return hop_failed(util::make_error(
+        "fed.pull_failed", "peer returned " +
+                               std::to_string(response.value().status) +
+                               ": " + response.value().body));
   }
   auto parsed = util::Json::parse(response.value().body);
-  if (!parsed.ok()) return parsed.error();
+  if (!parsed.ok()) return hop_failed(parsed.error());
   return apply_records(peer_name, parsed.value().at("records"));
 }
 

@@ -104,6 +104,8 @@ class Node {
 
  private:
   net::HttpResponse handle_pull(const net::HttpRequest& request);
+  // handle_pull minus the tracing perimeter (context, echo, X-W5-Spans).
+  net::HttpResponse serve_pull(const net::HttpRequest& request);
 
   // Stores under the owner's standard labels without touching clocks
   // (shared by local writes and imports).

@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "net/tracing.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/thread_annotations.h"
 
@@ -48,6 +50,11 @@ struct EventLoopHttpServer::Mailbox {
     HttpResponse response;            // is_completion
     std::unique_ptr<Connection> io;   // !is_completion (a new connection)
     int fd = -1;
+    // Stage attribution (0 when off): the worker's handler stamps, and
+    // the post time for the event-loop lag histogram.
+    util::Micros handler_start = 0;
+    util::Micros handler_done = 0;
+    util::Micros posted_at = 0;
   };
 
   ~Mailbox() {
@@ -114,6 +121,13 @@ struct EventLoopHttpServer::Conn {
   std::string out_head;
   std::string out_body;
   std::size_t out_off = 0;
+  // Stage attribution stamps (DESIGN.md §16), set only when the server
+  // has an on_stage sink. All absolute wall micros; 0 = not reached.
+  util::Micros t_request_start = 0;  // first byte of the current request
+  util::Micros t_parse_done = 0;     // request fully parsed
+  util::Micros t_handler_start = 0;  // handler began (worker stamp)
+  util::Micros t_handler_done = 0;   // response back on the loop
+  std::string trace_id;              // response X-W5-Trace echo, may be ""
 };
 
 struct EventLoopHttpServer::Loop {
@@ -147,7 +161,15 @@ EventLoopHttpServer::EventLoopHttpServer(
       loop_options_(loop_options),
       stats_(stats),
       conn_stats_(conn_stats),
+      stage_enabled_(util::kTelemetryEnabled &&
+                     static_cast<bool>(loop_options_.telemetry.on_stage)),
       next_conn_id_(kFirstConnId) {}
+
+LoopStats* EventLoopHttpServer::loop_stats(const Loop& loop) const {
+  auto* all = loop_options_.telemetry.loop_stats;
+  if (all == nullptr || loop.index >= all->size()) return nullptr;
+  return &(*all)[loop.index];
+}
 
 EventLoopHttpServer::~EventLoopHttpServer() = default;
 
@@ -228,10 +250,19 @@ void EventLoopHttpServer::run_loop(Loop& loop) {
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   const bool owns_listener = loop.index == 0;
+  LoopStats* lstats = loop_stats(loop);
+  util::Histogram* drift = loop_options_.telemetry.timer_drift_micros;
+  util::Histogram* batch = loop_options_.telemetry.epoll_batch;
   while (!loop.stop.load(std::memory_order_acquire)) {
     util::Micros now = wall_now();
-    loop.wheel.expire(now, [this, &loop](std::uint64_t key,
-                                         util::Micros deadline) {
+    loop.wheel.expire(now, [this, &loop, lstats, drift,
+                            now](std::uint64_t key, util::Micros deadline) {
+      // Timer-wheel drift: how late past its deadline an entry fired
+      // (slot width + epoll latency; a stall here means a hogged loop).
+      if (drift != nullptr)
+        drift->observe(now > deadline ? now - deadline : 0);
+      if (lstats != nullptr)
+        lstats->timer_fires.fetch_add(1, std::memory_order_relaxed);
       on_timer(loop, key, deadline);
     });
     // listener.close() from another thread races the epoll registration;
@@ -255,6 +286,16 @@ void EventLoopHttpServer::run_loop(Loop& loop) {
       if (errno == EINTR) continue;
       util::log_error("event_loop: epoll_wait failed");
       break;
+    }
+    if (n > 0) {
+      // Wake/batch shape: many events per wakeup = the loop is saturated
+      // (healthy under load); 1-per-wakeup at high rates = syscall-bound.
+      if (lstats != nullptr) {
+        lstats->epoll_wakeups.fetch_add(1, std::memory_order_relaxed);
+        lstats->epoll_events.fetch_add(static_cast<std::uint64_t>(n),
+                                       std::memory_order_relaxed);
+      }
+      if (batch != nullptr) batch->observe(n);
     }
     for (int i = 0; i < n; ++i) {
       const std::uint64_t key = events[i].data.u64;
@@ -323,6 +364,8 @@ void EventLoopHttpServer::accept_ready(Loop& loop) {
       item.io = std::move(io);
       item.fd = fd;
       item.conn_id = id;
+      if (loop_options_.telemetry.loop_lag_micros != nullptr)
+        item.posted_at = wall_now();
       target.mailbox->post(std::move(item));
     }
   }
@@ -348,6 +391,8 @@ void EventLoopHttpServer::add_conn(Loop& loop, std::unique_ptr<Connection> io,
     return;
   }
   loop.conns.emplace(id, std::move(owned));
+  if (LoopStats* lstats = loop_stats(loop); lstats != nullptr)
+    lstats->connections.fetch_add(1, std::memory_order_relaxed);
   enter_idle(loop, conn);
   // Bytes may have arrived before registration; with ET that edge is
   // already behind us, so probe the socket once (read_ready starts true).
@@ -362,9 +407,22 @@ void EventLoopHttpServer::drain_mailbox(Loop& loop) {
     const util::MutexLock lock(loop.mailbox->mutex);
     items.swap(loop.mailbox->items);
   }
+  LoopStats* lstats = loop_stats(loop);
+  if (lstats != nullptr && !items.empty())
+    lstats->mailbox_items.fetch_add(items.size(), std::memory_order_relaxed);
+  // Event-loop lag: how long items sat in the mailbox before this drain
+  // ran — the queued-stage delay a cross-thread completion experiences.
+  if (util::Histogram* lag = loop_options_.telemetry.loop_lag_micros;
+      lag != nullptr && !items.empty()) {
+    const util::Micros now = wall_now();
+    for (const auto& item : items)
+      if (item.posted_at > 0)
+        lag->observe(now > item.posted_at ? now - item.posted_at : 0);
+  }
   for (auto& item : items) {
     if (item.is_completion) {
-      complete(loop, item.conn_id, std::move(item.response));
+      complete(loop, item.conn_id, std::move(item.response),
+               item.handler_start, item.handler_done);
     } else {
       add_conn(loop, std::move(item.io), item.fd, item.conn_id);
     }
@@ -372,13 +430,17 @@ void EventLoopHttpServer::drain_mailbox(Loop& loop) {
 }
 
 void EventLoopHttpServer::complete(Loop& loop, std::uint64_t id,
-                                   HttpResponse response) {
+                                   HttpResponse response,
+                                   util::Micros handler_start,
+                                   util::Micros handler_done) {
   auto it = loop.conns.find(id);
   // The connection may have died (reset, write timeout) while the
   // handler ran; its completion is dropped harmlessly.
   if (it == loop.conns.end()) return;
   Conn& conn = *it->second;
   if (conn.state != Conn::State::kDispatched) return;
+  conn.t_handler_start = handler_start;
+  conn.t_handler_done = handler_done;
   start_write(loop, conn, std::move(response),
               /*close_after=*/false, /*count_handled=*/true);
 }
@@ -461,6 +523,7 @@ void EventLoopHttpServer::pump_read(Loop& loop, Conn& conn) {
         // best-effort — the peer may only be half-closed.
         HttpResponse bad = HttpResponse::text(400, "truncated request\n");
         bad.headers.set("Connection", "close");
+        stamp_trace_echo(bad, conn.parser.parsed_headers());
         const std::string wire = bad.to_wire();
         (void)conn.io->write_some(wire);
       }
@@ -485,6 +548,7 @@ std::size_t EventLoopHttpServer::feed(Loop& loop, Conn& conn,
     leave_idle(conn);
     conn.state = Conn::State::kReading;
     conn.got_bytes = true;
+    if (stage_enabled_) conn.t_request_start = wall_now();
     // The header deadline keeps running from idle entry (request start) —
     // same clock the blocking path uses.
   }
@@ -502,6 +566,9 @@ std::size_t EventLoopHttpServer::feed(Loop& loop, Conn& conn,
     }
     HttpResponse rejection =
         HttpResponse::text(status, conn.parser.error().code + "\n");
+    // Early-exit parity with the pooled path: echo a validated inbound
+    // X-W5-Trace so the caller's trace shows where the hop failed.
+    stamp_trace_echo(rejection, conn.parser.parsed_headers());
     disarm_timer(conn);
     start_write(loop, conn, std::move(rejection), /*close_after=*/true,
                 /*count_handled=*/false);
@@ -526,6 +593,7 @@ void EventLoopHttpServer::dispatch(Loop& loop, Conn& conn) {
       !util::iequals(request.headers.get("Connection").value_or(""), "close");
   disarm_timer(conn);  // no deadline while application code runs
   conn.state = Conn::State::kDispatched;
+  if (stage_enabled_) conn.t_parse_done = wall_now();
 
   // The job captures the mailbox (not the loop): if the connection dies
   // or serve() returns before the handler finishes, the completion posts
@@ -542,15 +610,22 @@ void EventLoopHttpServer::dispatch(Loop& loop, Conn& conn) {
   auto shared_request = std::make_shared<HttpRequest>(std::move(request));
   const bool admitted =
       executor_([this, mailbox, owner, owner_tid, id, shared_request] {
+        const util::Micros handler_start = stage_enabled_ ? wall_now() : 0;
         HttpResponse response = handler_(*shared_request);
+        const util::Micros handler_done = stage_enabled_ ? wall_now() : 0;
         if (std::this_thread::get_id() == owner_tid) {
-          complete(*owner, id, std::move(response));
+          complete(*owner, id, std::move(response), handler_start,
+                   handler_done);
           return;
         }
         Mailbox::Item item;
         item.is_completion = true;
         item.conn_id = id;
         item.response = std::move(response);
+        item.handler_start = handler_start;
+        item.handler_done = handler_done;
+        if (loop_options_.telemetry.loop_lag_micros != nullptr)
+          item.posted_at = handler_done > 0 ? handler_done : wall_now();
         mailbox->post(std::move(item));
       });
   if (!admitted) {
@@ -561,6 +636,7 @@ void EventLoopHttpServer::dispatch(Loop& loop, Conn& conn) {
     HttpResponse shed = HttpResponse::text(503, "overloaded, retry later\n");
     shed.headers.set("Retry-After",
                      std::to_string(options_.retry_after_seconds));
+    stamp_trace_echo(shed, shared_request->headers);
     start_write(loop, conn, std::move(shed), /*close_after=*/true,
                 /*count_handled=*/false);
   }
@@ -571,6 +647,8 @@ void EventLoopHttpServer::start_write(Loop& loop, Conn& conn,
                                       bool count_handled) {
   if (!conn.keep_alive) close_after = true;
   if (close_after) response.headers.set("Connection", "close");
+  if (stage_enabled_ && count_handled)
+    conn.trace_id = response.headers.get(kTraceHeader).value_or("");
   conn.out_head = response.to_wire_head();
   conn.out_body = std::move(response.body);
   conn.out_off = 0;
@@ -606,8 +684,12 @@ void EventLoopHttpServer::pump_write(Loop& loop, Conn& conn) {
 
   // Response fully written.
   disarm_timer(conn);
-  if (conn.count_handled)
+  if (conn.count_handled) {
     count(stats_ != nullptr ? &stats_->handled_total : nullptr);
+    if (LoopStats* lstats = loop_stats(loop); lstats != nullptr)
+      lstats->requests.fetch_add(1, std::memory_order_relaxed);
+    if (stage_enabled_) report_stages(loop, conn);
+  }
   if (conn.close_after_write) {
     destroy(loop, conn);
     return;
@@ -687,12 +769,42 @@ void EventLoopHttpServer::reap(Loop& loop, Conn& conn, bool send_408) {
   if (send_408) {
     // Best-effort single write: a client slow enough to be reaped rarely
     // has a full receive window, and we will not wait on one that does.
+    // The partially parsed headers may already carry a valid X-W5-Trace;
+    // echo it (pooled-path parity).
     HttpResponse timeout = HttpResponse::text(408, "request timeout\n");
     timeout.headers.set("Connection", "close");
+    stamp_trace_echo(timeout, conn.parser.parsed_headers());
     const std::string wire = timeout.to_wire();
     (void)conn.io->write_some(wire);
   }
   destroy(loop, conn);
+}
+
+void EventLoopHttpServer::report_stages(Loop& loop, Conn& conn) {
+  if (conn.t_request_start == 0) {
+    conn.trace_id.clear();
+    return;
+  }
+  StageSample sample;
+  sample.trace_id = std::move(conn.trace_id);
+  sample.loop_index = loop.index;
+  sample.request_start = conn.t_request_start;
+  sample.parse_done = conn.t_parse_done;
+  sample.handler_start = conn.t_handler_start;
+  sample.handler_done = conn.t_handler_done;
+  sample.write_done = wall_now();
+  // Inline dispatch runs the handler synchronously on this loop; a
+  // missing worker stamp collapses the dispatch stage to zero instead of
+  // reporting garbage.
+  if (sample.handler_start == 0) sample.handler_start = sample.parse_done;
+  if (sample.handler_done < sample.handler_start)
+    sample.handler_done = sample.handler_start;
+  loop_options_.telemetry.on_stage(sample);
+  conn.trace_id.clear();
+  conn.t_request_start = 0;
+  conn.t_parse_done = 0;
+  conn.t_handler_start = 0;
+  conn.t_handler_done = 0;
 }
 
 void EventLoopHttpServer::destroy(Loop& loop, Conn& conn) {
@@ -700,6 +812,8 @@ void EventLoopHttpServer::destroy(Loop& loop, Conn& conn) {
   leave_idle(conn);
   conn.io->close();  // closing the fd also drops it from the epoll set
   gauge_add(conn_stats_ != nullptr ? &conn_stats_->open : nullptr, -1);
+  if (LoopStats* lstats = loop_stats(loop); lstats != nullptr)
+    lstats->connections.fetch_sub(1, std::memory_order_relaxed);
   loop.conns.erase(conn.id);  // frees `conn` — caller must not touch it
 }
 

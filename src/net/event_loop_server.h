@@ -37,6 +37,7 @@
 #include "net/tcp.h"
 #include "net/timer_wheel.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 #include "util/thread_annotations.h"
 
 namespace w5::net {
@@ -49,6 +50,48 @@ namespace w5::net {
 using ConnectionDecorator =
     std::function<std::unique_ptr<Connection>(std::unique_ptr<Connection>)>;
 
+// ---- Reactor stage attribution (DESIGN.md §16) -----------------------------
+
+// Absolute wall-clock stamps for one *handled* request's trip through the
+// per-connection state machine, reported after the response's last byte
+// is written. Early exits (408/413/431/503) report nothing — they never
+// ran a handler. trace_id is the response's X-W5-Trace echo: an id, never
+// request bytes (§3.5).
+struct StageSample {
+  std::string trace_id;
+  std::size_t loop_index = 0;
+  util::Micros request_start = 0;  // first byte of the request arrived
+  util::Micros parse_done = 0;     // request fully parsed (dispatch point)
+  util::Micros handler_start = 0;  // handler began executing
+  util::Micros handler_done = 0;   // response arrived back at the loop
+  util::Micros write_done = 0;     // last response byte accepted by the kernel
+};
+using StageCallback = std::function<void(const StageSample&)>;
+
+// Per-loop reactor counters, written by the owning loop thread with
+// relaxed atomics and read by /metrics and /debug/statusz. The caller
+// owns the array (entry i belongs to loop i) and must keep it alive for
+// the server's lifetime.
+struct LoopStats {
+  std::atomic<std::int64_t> connections{0};       // open conns on this loop
+  std::atomic<std::uint64_t> epoll_wakeups{0};    // epoll_wait returns > 0
+  std::atomic<std::uint64_t> epoll_events{0};     // events across wakeups
+  std::atomic<std::uint64_t> mailbox_items{0};    // cross-thread handoffs
+  std::atomic<std::uint64_t> timer_fires{0};      // wheel entries fired
+  std::atomic<std::uint64_t> requests{0};         // responses fully written
+};
+
+// Optional reactor telemetry sinks, all nullable — the reactor stamps
+// clocks only for the sinks that are actually installed, so a bare
+// server (or a W5_NO_TELEMETRY build) pays nothing.
+struct ReactorTelemetry {
+  util::Histogram* loop_lag_micros = nullptr;    // mailbox post → drain delay
+  util::Histogram* epoll_batch = nullptr;        // events per wakeup
+  util::Histogram* timer_drift_micros = nullptr; // fire time − deadline
+  std::vector<LoopStats>* loop_stats = nullptr;  // sized ≥ io_threads
+  StageCallback on_stage;                        // per-request stage stamps
+};
+
 struct EventLoopOptions {
   // Reactor loop threads. Loop 0 runs on the serve() caller's thread and
   // owns the listener; accepted connections are dealt round-robin.
@@ -59,6 +102,7 @@ struct EventLoopOptions {
   // Bytes per read(2) into the parser.
   std::size_t read_chunk_bytes = 16 * 1024;
   ConnectionDecorator decorate;  // optional (fault injection)
+  ReactorTelemetry telemetry;    // optional (DESIGN.md §16)
 };
 
 class EventLoopHttpServer {
@@ -91,8 +135,10 @@ class EventLoopHttpServer {
                 std::uint64_t id);
   void drain_mailbox(Loop& loop);
   // Applies a finished handler response to the connection (if it still
-  // exists and still awaits one). Loop-thread only.
-  void complete(Loop& loop, std::uint64_t id, HttpResponse response);
+  // exists and still awaits one). Loop-thread only. handler_start/done
+  // are the worker's wall-clock stamps (0 when stage attribution is off).
+  void complete(Loop& loop, std::uint64_t id, HttpResponse response,
+                util::Micros handler_start, util::Micros handler_done);
   void handle_event(Loop& loop, std::uint64_t id, std::uint32_t events);
   void pump_read(Loop& loop, Conn& conn);
   // Feeds data to the connection's parser, driving state transitions.
@@ -112,6 +158,11 @@ class EventLoopHttpServer {
   void destroy(Loop& loop, Conn& conn);
   void request_stop();
 
+  // Per-loop stats slot for `loop`, null when the caller installed none.
+  LoopStats* loop_stats(const Loop& loop) const;
+  // Builds and reports the stage sample for a fully-written response.
+  void report_stages(Loop& loop, Conn& conn);
+
   ServerHandler handler_;
   BoundedExecutor executor_;
   ParserLimits limits_;
@@ -119,6 +170,9 @@ class EventLoopHttpServer {
   EventLoopOptions loop_options_;
   ServerStats* stats_;
   ConnStats* conn_stats_;
+  // Stage attribution on: an on_stage sink is installed (and telemetry
+  // is compiled in) — gates every per-request wall_now() stamp.
+  bool stage_enabled_ = false;
 
   std::vector<std::unique_ptr<Loop>> loops_;
   TcpListener* listener_ = nullptr;

@@ -49,6 +49,10 @@ class HttpClient {
       RetryStats* stats = nullptr);
 
  private:
+  // Reads one full response off the connection (shared by the stamped
+  // and pass-through write paths in roundtrip()).
+  util::Result<HttpResponse> read_response(Connection& connection);
+
   ParserLimits limits_;
 };
 

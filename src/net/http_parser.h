@@ -53,6 +53,12 @@ class MessageParser {
   // message completed or failed mid-buffer).
   std::size_t feed(std::string_view data);
 
+  // Headers parsed so far — valid in every state, including kError and a
+  // partial header block. The serving paths use this to echo a validated
+  // X-W5-Trace id on early-exit responses (408/413/431) whose request
+  // never reaches the handler (DESIGN.md §16).
+  const Headers& parsed_headers() const noexcept { return headers_storage_; }
+
  protected:
   // Subclass parses its start line; returns false to enter kError (after
   // calling fail()).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/tracing.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -30,14 +31,18 @@ util::Status HttpServer::respond(Connection& connection,
   return connection.write(response.to_wire());
 }
 
-util::Error HttpServer::reap(Connection& connection, bool got_bytes) {
+util::Error HttpServer::reap(Connection& connection, bool got_bytes,
+                             const Headers& parsed_headers) {
   count(stats_ != nullptr ? &stats_->reaped_total : nullptr);
   count(conn_stats_ != nullptr ? &conn_stats_->timeout_closes_total : nullptr);
   if (got_bytes) {
     // A client mid-request gets told why; a fully idle keep-alive
     // connection is just closed (nothing was asked, nothing is owed).
+    // If the stalled request already delivered a valid X-W5-Trace, the
+    // 408 echoes it so the caller's trace shows where the hop died.
     HttpResponse timeout = HttpResponse::text(408, "request timeout\n");
     timeout.headers.set("Connection", "close");
+    stamp_trace_echo(timeout, parsed_headers);
     (void)respond(connection, timeout);
   }
   connection.close();
@@ -85,7 +90,7 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
       const util::Micros remaining = deadline - (wall_now() - phase_start);
       if (remaining <= 0) {
         count(stats_ != nullptr ? &stats_->timeouts_total : nullptr);
-        return reap(connection, got_bytes);
+        return reap(connection, got_bytes, parser.parsed_headers());
       }
       // One poll(2) until the phase deadline itself: the transport wakes
       // when bytes arrive or the remaining budget elapses, so an idle
@@ -103,13 +108,16 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
         // No deadline configured but the transport timed out anyway
         // (e.g. an injected drop): nothing further will arrive.
         count(stats_ != nullptr ? &stats_->timeouts_total : nullptr);
-        return reap(connection, got_bytes);
+        return reap(connection, got_bytes, parser.parsed_headers());
       }
       if (n.error().code == "net.would_block") {
         if (!got_bytes) return false;  // idle connection, nothing to do
         // Partial request with no more bytes available: with a
         // single-threaded in-memory transport this cannot resolve.
-        (void)respond(connection, HttpResponse::text(400, "incomplete request\n"));
+        HttpResponse incomplete =
+            HttpResponse::text(400, "incomplete request\n");
+        stamp_trace_echo(incomplete, parser.parsed_headers());
+        (void)respond(connection, incomplete);
         connection.close();
         return util::make_error("http.incomplete", "request truncated");
       }
@@ -117,7 +125,9 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
     }
     if (n.value() == 0) {
       if (!got_bytes) return false;  // clean EOF between requests
-      (void)respond(connection, HttpResponse::text(400, "truncated request\n"));
+      HttpResponse truncated = HttpResponse::text(400, "truncated request\n");
+      stamp_trace_echo(truncated, parser.parsed_headers());
+      (void)respond(connection, truncated);
       connection.close();
       return util::make_error("http.incomplete", "EOF mid-request");
     }
@@ -137,8 +147,10 @@ util::Result<bool> HttpServer::handle_one(Connection& connection) {
       status = 431;
       count(stats_ != nullptr ? &stats_->rejected_431_total : nullptr);
     }
-    (void)respond(connection,
-                  HttpResponse::text(status, parser.error().code + "\n"));
+    HttpResponse rejected =
+        HttpResponse::text(status, parser.error().code + "\n");
+    stamp_trace_echo(rejected, parser.parsed_headers());
+    (void)respond(connection, rejected);
     connection.close();
     return parser.error();
   }

@@ -97,8 +97,10 @@ class HttpServer {
 
  private:
   util::Status respond(Connection& connection, const HttpResponse& response);
-  // Reap helper: optional 408, close, count.
-  util::Error reap(Connection& connection, bool got_bytes);
+  // Reap helper: optional 408 (echoing a validated X-W5-Trace from the
+  // partially parsed headers), close, count.
+  util::Error reap(Connection& connection, bool got_bytes,
+                   const Headers& parsed_headers);
 
   ServerHandler handler_;
   ParserLimits limits_;

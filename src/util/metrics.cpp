@@ -1,6 +1,7 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 
 namespace w5::util {
 
@@ -13,10 +14,85 @@ std::string_view family_of(const std::string& name) {
       0, brace == std::string::npos ? name.size() : brace);
 }
 
+// True when `text` starting at `pos` looks like the start of another
+// label (`name=`): used to find a value's closing quote when the value
+// itself contains quotes.
+bool looks_like_label_start(std::string_view text, std::size_t pos) {
+  std::size_t i = pos;
+  while (i < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[i])) != 0 ||
+          text[i] == '_')) {
+    ++i;
+  }
+  return i > pos && i < text.size() && text[i] == '=';
+}
+
+void append_escaped_label_value(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 }  // namespace
 
+std::string prometheus_safe_name(const std::string& name) {
+  const std::size_t open = name.find('{');
+  if (open == std::string::npos || name.back() != '}') return name;
+  const std::string_view inside(name.data() + open + 1,
+                                name.size() - open - 2);
+  std::string out = name.substr(0, open + 1);
+  std::size_t i = 0;
+  while (i < inside.size()) {
+    // Label name up to '='.
+    const std::size_t eq = inside.find('=', i);
+    if (eq == std::string_view::npos || eq + 1 >= inside.size() ||
+        inside[eq + 1] != '"') {
+      // Not label="..." shaped — emit the tail escaped so a stray quote
+      // or newline can never break the line structure.
+      append_escaped_label_value(out, inside.substr(i));
+      break;
+    }
+    out += inside.substr(i, eq + 2 - i);  // name="
+    // The value's closing quote is the next '"' followed by either the
+    // end of the block or a ',' that starts another label — so values
+    // containing raw quotes still terminate at the right place.
+    std::size_t j = eq + 2;
+    std::size_t close = std::string_view::npos;
+    while (j < inside.size()) {
+      if (inside[j] == '"' &&
+          (j + 1 == inside.size() ||
+           (inside[j + 1] == ',' && looks_like_label_start(inside, j + 2)))) {
+        close = j;
+        break;
+      }
+      ++j;
+    }
+    if (close == std::string_view::npos) {
+      append_escaped_label_value(out, inside.substr(eq + 2));
+      out += '"';
+      break;
+    }
+    append_escaped_label_value(out, inside.substr(eq + 2, close - (eq + 2)));
+    out += '"';
+    i = close + 1;
+    if (i < inside.size() && inside[i] == ',') {
+      out += ',';
+      ++i;
+    }
+  }
+  out += '}';
+  return out;
+}
+
 Histogram::Histogram(std::vector<std::int64_t> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1) {}
 
 std::vector<std::int64_t> Histogram::default_latency_bounds() {
   return {25,    50,     100,    250,    500,     1000,    2500,   5000,
@@ -34,6 +110,31 @@ void Histogram::observe(std::int64_t value) noexcept {
 #else
   (void)value;
 #endif
+}
+
+void Histogram::observe_with_exemplar(std::int64_t value,
+                                      std::string_view trace_ref) noexcept {
+#ifndef W5_NO_TELEMETRY
+  observe(value);
+  if (trace_ref.empty()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index =
+      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+  // Best-effort: a scrape (or a racing observer) holding the lock means
+  // this request's exemplar is simply not remembered.
+  if (!exemplar_mutex_.try_lock()) return;
+  exemplars_[index].ref.assign(trace_ref.data(), trace_ref.size());
+  exemplars_[index].value = value;
+  exemplar_mutex_.unlock();
+#else
+  (void)value;
+  (void)trace_ref;
+#endif
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  const MutexLock lock(exemplar_mutex_);
+  return exemplars_;
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -115,7 +216,7 @@ std::string MetricsRegistry::to_prometheus() const {
   std::string_view last_family;
   for (const auto& [name, counter] : counters_) {
     emit_type(family_of(name), "counter", last_family);
-    out += name;
+    out += prometheus_safe_name(name);
     out += ' ';
     out += std::to_string(counter->value());
     out += '\n';
@@ -123,35 +224,58 @@ std::string MetricsRegistry::to_prometheus() const {
   last_family = {};
   for (const auto& [name, gauge] : gauges_) {
     emit_type(family_of(name), "gauge", last_family);
-    out += name;
+    out += prometheus_safe_name(name);
     out += ' ';
     out += std::to_string(gauge->value());
     out += '\n';
   }
+  last_family = {};
   for (const auto& [name, histogram] : histograms_) {
-    out += "# TYPE ";
-    out += name;
-    out += " histogram\n";
+    const std::string safe = prometheus_safe_name(name);
+    const std::string_view fam = family_of(safe);
+    emit_type(fam, "histogram", last_family);
+    // A labeled family ('w5_reactor_stage_micros{stage="parse"}') folds
+    // its labels into every series so le= joins the existing block:
+    //   w5_reactor_stage_micros_bucket{stage="parse",le="100"}.
+    const bool labeled = safe.size() > fam.size();
+    const std::string labels =  // '{stage="parse"' — reopened per line
+        labeled ? safe.substr(fam.size(), safe.size() - fam.size() - 1)
+                : std::string{};
     const auto counts = histogram->bucket_counts();
     const auto& bounds = histogram->bounds();
+    const auto exemplars = histogram->exemplars();
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
       cumulative += counts[i];
-      out += name;
-      out += "_bucket{le=\"";
+      out += fam;
+      out += "_bucket";
+      out += labeled ? labels + ",le=\"" : "{le=\"";
       out += i < bounds.size() ? std::to_string(bounds[i]) : "+Inf";
       out += "\"} ";
       out += std::to_string(cumulative);
+      // OpenMetrics-style exemplar: the bucket's most recent traced
+      // observation, resolvable at /trace/:id.
+      if (i < exemplars.size() && !exemplars[i].ref.empty()) {
+        out += " # {trace_id=\"";
+        append_escaped_label_value(out, exemplars[i].ref);
+        out += "\"} ";
+        out += std::to_string(exemplars[i].value);
+      }
       out += '\n';
     }
-    out += name;
-    out += "_sum ";
-    out += std::to_string(histogram->sum());
-    out += '\n';
-    out += name;
-    out += "_count ";
-    out += std::to_string(histogram->count());
-    out += '\n';
+    const auto emit_scalar = [&](std::string_view suffix, std::string v) {
+      out += fam;
+      out += suffix;
+      if (labeled) {
+        out += labels;
+        out += '}';
+      }
+      out += ' ';
+      out += v;
+      out += '\n';
+    };
+    emit_scalar("_sum", std::to_string(histogram->sum()));
+    emit_scalar("_count", std::to_string(histogram->count()));
   }
   return out;
 }
@@ -174,10 +298,17 @@ Json MetricsRegistry::to_json() const {
     Json buckets = Json::array();
     const auto counts = histogram->bucket_counts();
     const auto& bounds = histogram->bounds();
+    const auto exemplars = histogram->exemplars();
     for (std::size_t i = 0; i < counts.size(); ++i) {
       Json bucket;
       bucket["le"] = i < bounds.size() ? Json(bounds[i]) : Json("+Inf");
       bucket["count"] = counts[i];
+      if (i < exemplars.size() && !exemplars[i].ref.empty()) {
+        Json exemplar;
+        exemplar["trace_id"] = exemplars[i].ref;
+        exemplar["value"] = exemplars[i].value;
+        bucket["exemplar"] = std::move(exemplar);
+      }
       buckets.push_back(std::move(bucket));
     }
     entry["buckets"] = std::move(buckets);

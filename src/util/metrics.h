@@ -90,12 +90,30 @@ class Gauge {
 // storage.
 class Histogram {
  public:
+  // A bucket's most recent traced observation (DESIGN.md §16): `ref` is a
+  // trace id — names/ids only, never user data bytes — so a p99 bucket
+  // points at a concrete slow request resolvable at /trace/:id.
+  struct Exemplar {
+    std::string ref;
+    std::int64_t value = 0;
+  };
+
   explicit Histogram(std::vector<std::int64_t> bounds = default_latency_bounds());
 
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
   void observe(std::int64_t value) noexcept;
+
+  // observe() plus exemplar capture: remembers `trace_ref` against the
+  // bucket the value lands in. Best-effort — the exemplar store is a
+  // try_lock so a contended update drops the exemplar, never blocks the
+  // hot path; the observation itself always counts.
+  void observe_with_exemplar(std::int64_t value,
+                             std::string_view trace_ref) noexcept;
+
+  // Per-bucket exemplars, parallel to bucket_counts(); empty ref = none.
+  std::vector<Exemplar> exemplars() const;
 
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -122,7 +140,18 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::int64_t> sum_{0};
+  // Exemplar slots, one per bucket. A leaf try_lock off the hot path:
+  // observe() never touches it; observe_with_exemplar() skips the write
+  // when contended.
+  mutable Mutex exemplar_mutex_;
+  std::vector<Exemplar> exemplars_ W5_GUARDED_BY(exemplar_mutex_);
 };
+
+// Escapes a metric name's {label="value"} block for the Prometheus text
+// exposition: backslash, double quote, and newline inside label values
+// become \\, \", \n. Names without a label block pass through untouched.
+// Exposed for tests; to_prometheus() applies it to every emitted name.
+std::string prometheus_safe_name(const std::string& name);
 
 // Named metric registry, one per Provider. Names follow Prometheus
 // conventions and may embed labels ('w5_requests_total{route="/stats"}');

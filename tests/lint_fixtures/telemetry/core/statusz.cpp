@@ -1,0 +1,7 @@
+// Seeded violation: the /debug/statusz aggregator including
+// store/record.h would let user data bytes into the debug plane (§3.5).
+#include "store/record.h"
+
+namespace w5::core {
+void statusz_sees_records() {}
+}  // namespace w5::core

@@ -1,0 +1,7 @@
+// Seeded violation: the cross-hop trace plumbing including
+// store/record.h would let user data bytes onto the wire (§3.5).
+#include "store/record.h"
+
+namespace w5::net {
+void tracing_sees_records() {}
+}  // namespace w5::net

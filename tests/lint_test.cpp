@@ -84,6 +84,11 @@ TEST(LintTest, FlagsTelemetryRecordInclude) {
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(r.output.find("[telemetry]"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("store/record.h"), std::string::npos) << r.output;
+  // The §16 debug/trace surfaces are inside the rule too: a new debug
+  // route or trace file can never include record bytes.
+  EXPECT_NE(r.output.find("core/trace.cpp"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("core/statusz.cpp"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("net/tracing.cpp"), std::string::npos) << r.output;
 }
 
 TEST(LintTest, FlagsBannedFunctionsAndHeaderUsing) {

@@ -21,8 +21,10 @@
 #include "net/http_client.h"
 #include "net/tcp.h"
 #include "net/timer_wheel.h"
+#include "net/tracing.h"
 #include "os/thread_pool.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 
 namespace w5::net {
 namespace {
@@ -403,6 +405,129 @@ TEST(EventLoopServer, OversizeBodyGets413AndHeadersGet431) {
   }
   EXPECT_EQ(stats.rejected_413_total.load(), 1u);
   EXPECT_EQ(stats.rejected_431_total.load(), 1u);
+}
+
+// Early-exit parity (DESIGN.md §16): the reactor stamps a validated
+// inbound X-W5-Trace onto 413/431/408 rejections exactly like the pooled
+// path, so a caller's stitched trace shows where the hop died even when
+// no handler ever ran.
+TEST(EventLoopServer, EarlyExitsEchoInboundTrace) {
+  ReactorServer server({.limits = {.max_headers_bytes = 512,
+                                   .max_body_bytes = 64},
+                        .options = {.header_deadline_micros = 100'000}});
+  {  // 413: headers (with the trace id) parsed, body over budget.
+    auto client = tcp_connect(server.port());
+    ASSERT_TRUE(client.ok());
+    HttpRequest request;
+    request.method = Method::kPost;
+    request.target = "/big";
+    request.headers.set("X-W5-Trace", "trace-413");
+    request.body = std::string(65, 'x');
+    ASSERT_TRUE(client.value()->write(request.to_wire()).ok());
+    auto response = read_response(*client.value());
+    ASSERT_TRUE(response.ok()) << response.error().code;
+    EXPECT_EQ(response.value().status, 413);
+    EXPECT_EQ(response.value().headers.get("X-W5-Trace").value_or(""),
+              "trace-413");
+  }
+  {  // 431: the trace header arrives before the oversized one, so the
+    // incremental parser has already banked it when the limit trips.
+    auto client = tcp_connect(server.port());
+    ASSERT_TRUE(client.ok());
+    std::string wire = "GET /padded HTTP/1.1\r\nX-W5-Trace: trace-431\r\n";
+    wire += "X-Padding: " + std::string(600, 'p') + "\r\n\r\n";
+    ASSERT_TRUE(client.value()->write(wire).ok());
+    auto response = read_response(*client.value());
+    ASSERT_TRUE(response.ok()) << response.error().code;
+    EXPECT_EQ(response.value().status, 431);
+    EXPECT_EQ(response.value().headers.get("X-W5-Trace").value_or(""),
+              "trace-431");
+  }
+  {  // 408: a stalled request that already delivered its trace header.
+    auto client = tcp_connect(server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value()
+                    ->write("GET /slow HTTP/1.1\r\nX-W5-Trace: trace-408\r\n")
+                    .ok());
+    auto response = read_response(*client.value());
+    ASSERT_TRUE(response.ok()) << response.error().code;
+    EXPECT_EQ(response.value().status, 408);
+    EXPECT_EQ(response.value().headers.get("X-W5-Trace").value_or(""),
+              "trace-408");
+  }
+  {  // An *invalid* trace token must never round-trip into a response.
+    auto client = tcp_connect(server.port());
+    ASSERT_TRUE(client.ok());
+    HttpRequest request;
+    request.method = Method::kPost;
+    request.target = "/big";
+    request.headers.set("X-W5-Trace", "bad bytes{}!");
+    request.body = std::string(65, 'x');
+    ASSERT_TRUE(client.value()->write(request.to_wire()).ok());
+    auto response = read_response(*client.value());
+    ASSERT_TRUE(response.ok()) << response.error().code;
+    EXPECT_EQ(response.value().status, 413);
+    EXPECT_FALSE(response.value().headers.get("X-W5-Trace").has_value());
+  }
+}
+
+// Reactor stage attribution (DESIGN.md §16): per-request absolute stamps
+// reported after the last response byte, plus the per-loop counter plane.
+TEST(EventLoopServer, StageTelemetryReportsOrderedStamps) {
+  if (!util::kTelemetryEnabled) return;
+  util::Histogram loop_lag({100, 1'000, 10'000});
+  util::Histogram epoll_batch({1, 4, 16});
+  util::Histogram timer_drift({1'000, 10'000});
+  std::vector<LoopStats> loop_stats(1);
+  std::mutex samples_mutex;
+  std::vector<StageSample> samples;
+  EventLoopOptions loop_options;
+  loop_options.telemetry.loop_lag_micros = &loop_lag;
+  loop_options.telemetry.epoll_batch = &epoll_batch;
+  loop_options.telemetry.timer_drift_micros = &timer_drift;
+  loop_options.telemetry.loop_stats = &loop_stats;
+  loop_options.telemetry.on_stage = [&](const StageSample& sample) {
+    const std::lock_guard<std::mutex> lock(samples_mutex);
+    samples.push_back(sample);
+  };
+  ReactorServer server({.handler =
+                            [](const HttpRequest&) {
+                              HttpResponse response =
+                                  HttpResponse::text(200, "ok");
+                              response.headers.set("X-W5-Trace", "tr-stages");
+                              return response;
+                            },
+                        .loop_options = std::move(loop_options)});
+  for (int i = 0; i < 3; ++i) {
+    auto client = tcp_connect(server.port());
+    ASSERT_TRUE(client.ok());
+    HttpRequest request;
+    request.target = "/";
+    request.headers.set("Connection", "close");
+    HttpClient http;
+    auto response = http.roundtrip(*client.value(), request);
+    ASSERT_TRUE(response.ok()) << response.error().code;
+    EXPECT_EQ(response.value().status, 200);
+  }
+  server.stop();
+  const std::lock_guard<std::mutex> lock(samples_mutex);
+  ASSERT_EQ(samples.size(), 3u);
+  for (const StageSample& sample : samples) {
+    EXPECT_EQ(sample.trace_id, "tr-stages");
+    EXPECT_EQ(sample.loop_index, 0u);
+    EXPECT_GT(sample.request_start, 0);
+    EXPECT_LE(sample.request_start, sample.parse_done);
+    EXPECT_LE(sample.parse_done, sample.handler_start);
+    EXPECT_LE(sample.handler_start, sample.handler_done);
+    EXPECT_LE(sample.handler_done, sample.write_done);
+  }
+  EXPECT_EQ(loop_stats[0].requests.load(), 3u);
+  EXPECT_GT(loop_stats[0].epoll_wakeups.load(), 0u);
+  EXPECT_GE(loop_stats[0].epoll_events.load(),
+            loop_stats[0].epoll_wakeups.load());
+  EXPECT_GT(epoll_batch.count(), 0u);
+  EXPECT_EQ(loop_stats[0].connections.load(), 0)
+      << "per-loop connection gauge must unwind";
 }
 
 TEST(EventLoopServer, MalformedStartLineGets400) {

@@ -446,6 +446,25 @@ TEST_F(ObservabilityGatewayTest, NoTelemetryChannelCarriesDataBytes) {
     ASSERT_EQ(dump.status, 200);
     EXPECT_FALSE(contains_marker(dump.body));
   }
+  // 2b. The debug plane: statusz aggregation, the slow-request flight
+  // recorder, and the cross-hop span dump header (§16 surfaces).
+  EXPECT_FALSE(contains_marker(
+      provider_.http(Method::kGet, "/debug/statusz", "", alice_).body));
+  EXPECT_FALSE(contains_marker(
+      provider_.http(Method::kGet, "/debug/slowlog", "", alice_).body));
+  {
+    net::HttpRequest request;
+    request.method = Method::kGet;
+    request.target = "/data/secrets/s1";
+    request.parsed = *net::parse_request_target(request.target);
+    request.headers.set("Cookie",
+                        std::string(platform::kSessionCookie) + "=" + alice_);
+    request.headers.set("X-W5-Trace", "leak-probe-spans-1");
+    const auto traced = provider_.handle(request);
+    ASSERT_EQ(traced.status, 200);
+    EXPECT_FALSE(contains_marker(
+        traced.headers.get("X-W5-Spans").value_or("")));
+  }
   // 3. The audit log (HTTP surface and full copy).
   EXPECT_FALSE(contains_marker(
       provider_.http(Method::kGet, "/audit?n=1000", "", alice_).body));

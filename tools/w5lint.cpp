@@ -13,9 +13,11 @@
 //               must go through the gateway/declassifier surface. apps/
 //               must not include net/http_server.h (apps never construct
 //               externally-bound responses themselves).
-//   telemetry   util/metrics and core/trace never include store/record.h
-//               (§3.5: telemetry carries no user data bytes; previously
-//               guarded only by a runtime leak test).
+//   telemetry   telemetry/debug planes (util/metrics, core/trace,
+//               core/flight_recorder, core/statusz, net/tracing) never
+//               include store/record.h (§3.5: telemetry carries no user
+//               data bytes; previously guarded only by a runtime leak
+//               test).
 //   banned      strcpy/sprintf/gets/rand(3) and `using namespace` in
 //               headers.
 //
@@ -75,8 +77,12 @@ const std::vector<std::string> kRawEventCalls = {
     "accept4", "eventfd"};
 
 // Telemetry planes (§3.5) and the include that would let record bytes in.
-const std::vector<std::string> kTelemetryPrefixes = {"util/metrics",
-                                                     "core/trace"};
+// The §16 observability surfaces (flight recorder, statusz, cross-hop
+// trace plumbing) are telemetry files too: anything they render is one
+// include away from being exfiltrated through /debug or a trace header.
+const std::vector<std::string> kTelemetryPrefixes = {
+    "util/metrics", "core/trace", "core/flight_recorder", "core/statusz",
+    "net/tracing"};
 const std::string kRecordHeader = "store/record.h";
 
 // Functions that have no business in this tree (buffer overflows, or a
