@@ -1,0 +1,215 @@
+// E18 — label-aware secondary indexes vs predicate scans at scale
+// (DESIGN.md §17, EXPERIMENTS.md E18).
+//
+//   BM_PointQueryIndexed   — eq_field lookup served by the (profiles,
+//       city) field index over 2^20 records; p99_us counter.
+//   BM_PointQueryScan      — the same query with the planner forced to
+//       kScanOnly: a full label-group scan with the eq filter applied
+//       per record. The E18 gate requires indexed p99 to beat this by
+//       at least W5_QUERY_INDEX_FACTOR (default 10x).
+//   BM_OwnerQueryIndexed / BM_OwnerQueryScan — the owner posting-list
+//       path against the same forced scan.
+//   BM_DeepPageCursor / BM_DeepPageOffset — page 50 rows from half a
+//       million records deep: cursor resume vs offset re-scan.
+//   BM_QuantizedCountChannel — the §3.5 count channel: with quantum q,
+//       counts for populations n and n+1 must be identical
+//       (quantized_delta counter == 0 while raw_delta == 1).
+//
+// The fixture is built once and shared (1M labeled puts take seconds);
+// benchmarks only read it, except the count channel which restores the
+// store before returning.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "store/labeled_store.h"
+#include "store/query.h"
+
+namespace {
+
+using w5::difc::Label;
+using w5::difc::ObjectLabels;
+using w5::difc::plus;
+using w5::difc::Tag;
+using w5::os::kKernelPid;
+using w5::store::LabeledStore;
+using w5::store::PlannerMode;
+using w5::store::QueryGovernorConfig;
+using w5::store::QueryOptions;
+using w5::store::Record;
+
+constexpr std::size_t kRecords = std::size_t{1} << 20;  // 2^20 = 1,048,576
+constexpr std::size_t kOwners = 4096;                   // ~256 records each
+constexpr std::size_t kCities = 1024;                   // ~1024 records each
+constexpr std::size_t kLabels = 64;                     // label-group count
+
+std::string padded_id(std::size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "r%07zu", i);
+  return buf;
+}
+
+struct QueryFixture {
+  w5::os::Kernel kernel;
+  w5::util::SimClock clock;
+  LabeledStore store{kernel, clock};
+
+  QueryFixture() {
+    std::vector<Tag> tags;
+    for (std::size_t t = 0; t < kLabels; ++t) {
+      tags.push_back(kernel
+                         .create_tag(kKernelPid, "sec(g" + std::to_string(t) +
+                                                     ")",
+                                     w5::difc::TagPurpose::kSecrecy)
+                         .value());
+      kernel.add_global_capability(plus(tags.back()));
+    }
+    // Register before loading so every put maintains the index inline —
+    // the production shape (ProviderConfig::store_indexes).
+    (void)store.create_index("profiles", "city");
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      Record record;
+      record.collection = "profiles";
+      record.id = padded_id(i);
+      record.owner = "u" + std::to_string(i % kOwners);
+      record.labels = ObjectLabels{Label{tags[i % kLabels]}, {}};
+      record.data["city"] = "city" + std::to_string(i % kCities);
+      record.data["rating"] = static_cast<int>(i % 6);
+      (void)store.put(kKernelPid, std::move(record));
+    }
+  }
+
+  static QueryFixture& shared() {
+    static QueryFixture* fx = new QueryFixture();  // built once, leaked
+    return *fx;
+  }
+};
+
+// Times each query and reports tail latency alongside the mean the
+// framework already computes. One sample per iteration.
+void run_timed(benchmark::State& state, const QueryOptions& options) {
+  QueryFixture& fx = QueryFixture::shared();
+  std::vector<double> micros;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = fx.store.query(kKernelPid, "profiles", options);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(result.value().size());
+    micros.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  std::sort(micros.begin(), micros.end());
+  state.counters["p99_us"] =
+      micros.empty() ? 0.0 : micros[micros.size() * 99 / 100];
+  state.counters["rows"] = micros.empty()
+                               ? 0.0
+                               : static_cast<double>(
+                                     fx.store.query(kKernelPid, "profiles",
+                                                    options)
+                                         .value()
+                                         .size());
+}
+
+void BM_PointQueryIndexed(benchmark::State& state) {
+  QueryOptions options;
+  options.eq_field = "city";
+  options.eq_value = "city777";
+  run_timed(state, options);
+}
+BENCHMARK(BM_PointQueryIndexed)->Unit(benchmark::kMicrosecond);
+
+void BM_PointQueryScan(benchmark::State& state) {
+  QueryOptions options;
+  options.eq_field = "city";
+  options.eq_value = "city777";
+  options.planner = PlannerMode::kScanOnly;
+  run_timed(state, options);
+}
+BENCHMARK(BM_PointQueryScan)->Unit(benchmark::kMicrosecond);
+
+void BM_OwnerQueryIndexed(benchmark::State& state) {
+  QueryOptions options;
+  options.owner = "u77";
+  run_timed(state, options);
+}
+BENCHMARK(BM_OwnerQueryIndexed)->Unit(benchmark::kMicrosecond);
+
+void BM_OwnerQueryScan(benchmark::State& state) {
+  QueryOptions options;
+  options.owner = "u77";
+  options.planner = PlannerMode::kScanOnly;
+  run_timed(state, options);
+}
+BENCHMARK(BM_OwnerQueryScan)->Unit(benchmark::kMicrosecond);
+
+// Deep pagination: fetch the 50-row page that starts 500k records in.
+// The offset path must materialize offset+limit rows per shard before
+// slicing; the cursor path seeks straight to the resume key.
+void BM_DeepPageOffset(benchmark::State& state) {
+  QueryOptions options;
+  options.offset = 500'000;
+  options.limit = 50;
+  run_timed(state, options);
+}
+BENCHMARK(BM_DeepPageOffset)->Unit(benchmark::kMicrosecond);
+
+void BM_DeepPageCursor(benchmark::State& state) {
+  QueryFixture& fx = QueryFixture::shared();
+  QueryOptions options;
+  options.limit = 50;
+  options.cursor = "profiles/" + padded_id(499'999);
+  std::vector<double> micros;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto page = fx.store.query_page(kKernelPid, "profiles", options);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(page.value().records.size());
+    micros.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  std::sort(micros.begin(), micros.end());
+  state.counters["p99_us"] =
+      micros.empty() ? 0.0 : micros[micros.size() * 99 / 100];
+}
+BENCHMARK(BM_DeepPageCursor)->Unit(benchmark::kMicrosecond);
+
+// §3.5 count channel: with quantum q an observer probing count() before
+// and after a single insert learns nothing — both probes answer the
+// same multiple of q. raw_delta replays the probe with quantization off
+// to show the channel the quantum closes.
+void BM_QuantizedCountChannel(benchmark::State& state) {
+  QueryFixture& fx = QueryFixture::shared();
+  const std::size_t quantum = static_cast<std::size_t>(state.range(0));
+  Record probe;
+  probe.collection = "profiles";
+  probe.id = "zz-probe";
+  probe.owner = "u0";
+  probe.data["city"] = "city0";
+
+  double quantized_delta = 0.0;
+  double raw_delta = 0.0;
+  for (auto _ : state) {
+    fx.store.set_governor_config(QueryGovernorConfig{
+        .count_quantum = quantum});
+    const auto before = fx.store.count(kKernelPid, "profiles").value();
+    (void)fx.store.put(kKernelPid, probe);
+    const auto after = fx.store.count(kKernelPid, "profiles").value();
+    quantized_delta = static_cast<double>(after - before);
+    fx.store.set_governor_config(QueryGovernorConfig{.count_quantum = 1});
+    const auto raw_after = fx.store.count(kKernelPid, "profiles").value();
+    (void)fx.store.remove(kKernelPid, "profiles", "zz-probe");
+    const auto raw_before = fx.store.count(kKernelPid, "profiles").value();
+    raw_delta = static_cast<double>(raw_after - raw_before);
+  }
+  fx.store.set_governor_config(QueryGovernorConfig{});
+  state.counters["quantized_delta"] = quantized_delta;
+  state.counters["raw_delta"] = raw_delta;
+  state.counters["quantum"] = static_cast<double>(quantum);
+}
+BENCHMARK(BM_QuantizedCountChannel)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -293,6 +293,78 @@ EOF
   echo "wrote $out"
   ;;
 
+query)
+  # E18: label-aware secondary indexes at 2^20 records. Gates:
+  #   - indexed point-query p99 at least W5_QUERY_INDEX_FACTOR (default
+  #     10) times faster than the forced predicate scan;
+  #   - the §3.5 count channel closed: with quantization on, counts for
+  #     populations n and n+1 are identical (quantized_delta == 0) while
+  #     the unquantized probe still sees the insert (raw_delta == 1).
+  factor="${W5_QUERY_INDEX_FACTOR:-10}"
+  build_bench "$build_dir" bench_query
+  run_bench "$build_dir" bench_query "$out"
+  python3 - "$out" "$factor" <<'EOF'
+import json, sys
+path, factor = sys.argv[1], float(sys.argv[2])
+data = json.load(open(path))
+p99 = {}
+channel = {}
+for b in data.get("benchmarks", []):
+    name = b.get("name", "")
+    if "p99_us" in b:
+        p99[name] = b["p99_us"]
+        print(f'{name}: p99 {b["p99_us"]:,.1f}us'
+              + (f', {b["rows"]:.0f} rows' if "rows" in b else ""))
+    if name.startswith("BM_QuantizedCountChannel"):
+        channel = {k: b[k] for k in ("quantized_delta", "raw_delta",
+                                     "quantum") if k in b}
+
+failures = []
+pairs = [("BM_PointQueryIndexed", "BM_PointQueryScan"),
+         ("BM_OwnerQueryIndexed", "BM_OwnerQueryScan"),
+         ("BM_DeepPageCursor", "BM_DeepPageOffset")]
+speedups = {}
+for fast, slow in pairs:
+    if fast not in p99 or slow not in p99:
+        failures.append(f"missing {fast} or {slow}")
+        continue
+    ratio = p99[slow] / p99[fast] if p99[fast] > 0 else 0.0
+    speedups[f"{fast}_vs_{slow}"] = round(ratio, 1)
+    gated = fast == "BM_PointQueryIndexed"
+    print(f"{fast} vs {slow}: {ratio:,.1f}x"
+          + ("" if gated else " (informational)"))
+    if gated and ratio < factor:
+        failures.append(
+            f"indexed point query only {ratio:.1f}x faster than scan "
+            f"(need {factor}x)")
+
+if not channel:
+    failures.append("missing BM_QuantizedCountChannel counters")
+else:
+    print(f"count channel at quantum {channel.get('quantum', 0):.0f}: "
+          f"quantized_delta {channel.get('quantized_delta', -1):.0f}, "
+          f"raw_delta {channel.get('raw_delta', -1):.0f}")
+    if channel.get("quantized_delta") != 0:
+        failures.append("quantized count leaked a single-record insert")
+    if channel.get("raw_delta") != 1:
+        failures.append("raw count probe broken (expected delta 1)")
+
+data["e18_gates"] = {
+    "index_speedup_factor": factor,
+    "speedups_p99": speedups,
+    "count_channel": channel,
+    "failures": failures,
+}
+json.dump(data, open(path, "w"), indent=1)
+if failures:
+    print("FAIL: " + "; ".join(failures))
+    sys.exit(1)
+print("E18 query-engine gates passed")
+EOF
+  annotate_snapshot "$out"
+  echo "wrote $out"
+  ;;
+
 *)
   # Any other suite: run bench_<suite> as-is and annotate.
   build_bench "$build_dir" "bench_${suite}"

@@ -6,7 +6,7 @@
 #   scripts/ci.sh fast       # build + lint + ctest + durability (no bench/sanitizers)
 #   scripts/ci.sh durability # build + crash-matrix/recovery stage only
 #   scripts/ci.sh lint       # build w5lint + static checks only
-#   scripts/ci.sh bench      # build + concurrency bench smoke only
+#   scripts/ci.sh bench      # build + concurrency smoke + E18 query gates only
 #
 # clang-tidy is configured (.clang-tidy: bugprone-*, concurrency-*,
 # performance-unnecessary-value-param) but advisory — run it by hand via
@@ -75,6 +75,11 @@ bench_stage() {
   # BENCH_concurrency.json at the repo root (timings + the conn_* and
   # cpu_core_pct counters in metrics_snapshot) for cross-commit diffing.
   scripts/bench_json.sh concurrency
+
+  echo "== Bench gate: query engine -> BENCH_query.json =="
+  # E18: indexed point queries >= 10x faster than forced scans at 2^20
+  # records, and the quantized count channel verifiably closed.
+  scripts/bench_json.sh query
 }
 
 if [[ "$leg" == "durability" ]]; then

@@ -54,15 +54,29 @@ HttpResponse blog_handler(AppContext& ctx) {
   }
 
   if (action == "page" || action.empty()) {
-    auto posts = ctx.query("posts", store::QueryOptions{.owner = subject});
-    if (!posts.ok()) return HttpResponse::text(500, posts.error().code);
+    // Paged rendering over the owner index; ?cursor= resumes where the
+    // previous page stopped (no offset re-scan on deep blogs).
+    store::QueryOptions options;
+    options.owner = subject;
+    options.limit = 25;
+    options.cursor = ctx.query_param("cursor");
+    auto posts = ctx.query_page("posts", options);
+    if (!posts.ok()) {
+      return HttpResponse::text(
+          posts.error().code == "store.bad_cursor" ? 400 : 500,
+          posts.error().code);
+    }
     std::string html = "<html><body><h1>" + escape_html(subject) +
                        "'s blog</h1>\n";
-    for (const auto& record : posts.value()) {
+    for (const auto& record : posts.value().records) {
       html += "<article><h2>" +
               escape_html(record.data.at("title").as_string()) + "</h2><p>" +
               escape_html(record.data.at("text").as_string()) +
               "</p></article>\n";
+    }
+    if (!posts.value().next_cursor.empty()) {
+      html += "<a href=\"?cursor=" + escape_html(posts.value().next_cursor) +
+              "\">older posts</a>\n";
     }
     html += "</body></html>";
     return HttpResponse::html(200, html);

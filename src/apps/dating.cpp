@@ -55,6 +55,33 @@ HttpResponse dating_handler(AppContext& ctx) {
     return HttpResponse::text(200, "metric saved\n");
   }
 
+  if (action == "nearby") {
+    // Equality lookup the planner serves from the registered
+    // (profiles, city) index — a point query, not a collection scan.
+    std::string city = ctx.query_param("city");
+    if (city.empty()) {
+      auto mine = ctx.get_record("profiles", ctx.viewer());
+      if (!mine.ok())
+        return HttpResponse::text(404, "create a profile first\n");
+      city = mine.value().data.at("city").as_string();
+    }
+    store::QueryOptions options;
+    options.eq_field = "city";
+    options.eq_value = city;
+    auto neighbors = ctx.query("profiles", options);
+    if (!neighbors.ok())
+      return HttpResponse::text(500, neighbors.error().code);
+    util::Json out = util::Json::array();
+    for (const auto& profile : neighbors.value()) {
+      if (profile.owner == ctx.viewer()) continue;
+      out.push_back(util::Json(profile.owner));
+    }
+    util::Json body;
+    body["city"] = city;
+    body["nearby"] = std::move(out);
+    return HttpResponse::json(200, body.dump());
+  }
+
   if (action == "matches" || action.empty()) {
     auto mine = ctx.get_record("profiles", ctx.viewer());
     if (!mine.ok()) return HttpResponse::text(404, "create a profile first\n");

@@ -1,4 +1,6 @@
 // Photo sharing + the independently developed crop module.
+#include <algorithm>
+
 #include "apps/apps.h"
 #include "core/app_context.h"
 #include "util/strings.h"
@@ -21,11 +23,23 @@ HttpResponse photo_handler(AppContext& ctx) {
   const std::string subject = ctx.query_param("user", ctx.viewer());
 
   if (action == "list" || action.empty()) {
-    auto photos =
-        ctx.query("photos", store::QueryOptions{.owner = subject});
-    if (!photos.ok()) return HttpResponse::text(500, photos.error().code);
+    // Cursor pagination: page through the owner index without offset
+    // re-scans; clients pass next_cursor back as ?cursor=.
+    store::QueryOptions options;
+    options.owner = subject;
+    options.limit = static_cast<std::size_t>(
+        std::clamp(util::parse_i64(ctx.query_param("limit", "20"))
+                       .value_or(20),
+                   std::int64_t{1}, std::int64_t{100}));
+    options.cursor = ctx.query_param("cursor");
+    auto photos = ctx.query_page("photos", options);
+    if (!photos.ok()) {
+      return HttpResponse::text(
+          photos.error().code == "store.bad_cursor" ? 400 : 500,
+          photos.error().code);
+    }
     util::Json out = util::Json::array();
-    for (const auto& record : photos.value()) {
+    for (const auto& record : photos.value().records) {
       util::Json item;
       item["id"] = record.id;
       item["title"] = record.data.at("title");
@@ -35,6 +49,7 @@ HttpResponse photo_handler(AppContext& ctx) {
     util::Json body;
     body["user"] = subject;
     body["photos"] = std::move(out);
+    body["next_cursor"] = photos.value().next_cursor;
     return HttpResponse::json(200, body.dump());
   }
 

@@ -47,8 +47,21 @@ util::Result<std::vector<store::Record>> AppContext::query(
   if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
     return charged.error();
   ScopedSpan span("store.query");
-  return provider_.store().query(pid_, collection, options,
+  store::QueryOptions metered = options;
+  metered.principal = module_.id();
+  return provider_.store().query(pid_, collection, metered,
                                  store::Raise::kYes);
+}
+
+util::Result<store::QueryPage> AppContext::query_page(
+    const std::string& collection, const store::QueryOptions& options) {
+  if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
+    return charged.error();
+  ScopedSpan span("store.query");
+  store::QueryOptions metered = options;
+  metered.principal = module_.id();
+  return provider_.store().query_page(pid_, collection, metered,
+                                      store::Raise::kYes);
 }
 
 util::Result<std::size_t> AppContext::count(
@@ -56,7 +69,9 @@ util::Result<std::size_t> AppContext::count(
   if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
     return charged.error();
   ScopedSpan span("store.count");
-  return provider_.store().count(pid_, collection, options);
+  store::QueryOptions metered = options;
+  metered.principal = module_.id();
+  return provider_.store().count(pid_, collection, metered);
 }
 
 util::Status AppContext::put_record(store::Record record) {

@@ -53,7 +53,14 @@ class AppContext {
   // ---- Structured data (labeled store) --------------------------------------
   util::Result<store::Record> get_record(const std::string& collection,
                                          const std::string& id);
+  // Scans stamp options.principal with the module id before they reach
+  // the store, so the §3.5 per-principal query budget meters the *app*,
+  // not whatever identity the app claims.
   util::Result<std::vector<store::Record>> query(
+      const std::string& collection, const store::QueryOptions& options = {});
+  // Cursor pagination: feed page.next_cursor back via options.cursor to
+  // resume without offset re-scans (see store::QueryPage).
+  util::Result<store::QueryPage> query_page(
       const std::string& collection, const store::QueryOptions& options = {});
   util::Result<std::size_t> count(const std::string& collection,
                                   const store::QueryOptions& options = {});

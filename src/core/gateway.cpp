@@ -84,6 +84,7 @@ Gateway::Gateway(Provider& provider) : provider_(provider) {
       bind1(&Gateway::route_put_data));
   add(Method::kGet, "/data/:collection/:id",
       bind1(&Gateway::route_get_data));
+  add(Method::kGet, "/data/:collection", bind1(&Gateway::route_list_data));
   add(Method::kDelete, "/data/:collection/:id",
       bind1(&Gateway::route_delete_data));
   for (const auto method : {Method::kGet, Method::kPost, Method::kPut,
@@ -419,6 +420,29 @@ void Gateway::refresh_runtime_gauges() {
   }
   metrics.gauge("w5_store_records").set(as_i64(
       provider_.store().total_records()));
+
+  // Query engine + §3.5 governor (DESIGN.md §17); sourced from the
+  // record-free QueryEngineStats struct.
+  const auto query = provider_.store().query_stats();
+  metrics.gauge("w5_store_plans{path=\"field\"}").set(as_i64(query.plans_field));
+  metrics.gauge("w5_store_plans{path=\"owner\"}").set(as_i64(query.plans_owner));
+  metrics.gauge("w5_store_plans{path=\"scan\"}").set(as_i64(query.plans_scan));
+  metrics.gauge("w5_store_label_groups{verdict=\"checked\"}")
+      .set(as_i64(query.label_groups_checked));
+  metrics.gauge("w5_store_label_groups{verdict=\"skipped\"}")
+      .set(as_i64(query.label_groups_skipped));
+  metrics.gauge("w5_store_cursor_resumes").set(as_i64(query.cursor_resumes));
+  metrics.gauge("w5_store_indexes").set(as_i64(query.registered_indexes));
+  metrics.gauge("w5_store_postings{family=\"field\"}")
+      .set(as_i64(query.field_postings));
+  metrics.gauge("w5_store_postings{family=\"label\"}")
+      .set(as_i64(query.label_postings));
+  metrics.gauge("w5_store_postings{family=\"owner\"}")
+      .set(as_i64(query.owner_postings));
+  metrics.gauge("w5_store_queries{verdict=\"admitted\"}")
+      .set(as_i64(query.queries_admitted));
+  metrics.gauge("w5_store_queries{verdict=\"denied\"}")
+      .set(as_i64(query.queries_denied));
 
   // pool_if_started(): a scrape must never spawn the worker pool.
   if (os::ThreadPool* pool = provider_.pool_if_started()) {
@@ -773,6 +797,49 @@ net::HttpResponse Gateway::route_get_data(const net::HttpRequest& request,
       net::HttpResponse::json(200, record.value().data.dump());
   return export_response(std::move(response),
                          record.value().labels.secrecy, viewer,
+                         "platform/data-read");
+}
+
+net::HttpResponse Gateway::route_list_data(const net::HttpRequest& request,
+                                           const net::RouteParams& params) {
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  store::QueryOptions options;
+  options.owner = viewer;  // the front-end lists *your* rows
+  options.principal = "frontend:" + viewer;
+  options.cursor =
+      net::query_get(request.parsed.query, "cursor").value_or("");
+  options.limit = 50;
+  if (const auto raw = net::query_get(request.parsed.query, "limit")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(raw->c_str(), &end, 10);
+    if (end != raw->c_str() + raw->size() || parsed < 1 || parsed > 200)
+      return json_error(400, "limit must be in [1,200]");
+    options.limit = static_cast<std::size_t>(parsed);
+  }
+  // Trusted read (owner-scoped), then the page must still pass the
+  // perimeter to reach the viewer's browser — same rule as single reads.
+  auto page = provider_.store().query_page(os::kKernelPid,
+                                           params.at("collection"), options);
+  if (!page.ok()) {
+    return json_error(
+        page.error().code == "store.bad_cursor" ? 400 : 403,
+        page.error().code);
+  }
+  difc::Label combined;
+  util::Json items = util::Json::array();
+  for (const auto& record : page.value().records) {
+    combined = combined.union_with(record.labels.secrecy);
+    util::Json entry;
+    entry["id"] = record.id;
+    entry["data"] = record.data;
+    items.push_back(std::move(entry));
+  }
+  util::Json body;
+  body["items"] = std::move(items);
+  body["next_cursor"] = page.value().next_cursor;
+  auto response = net::HttpResponse::json(200, body.dump());
+  return export_response(std::move(response), combined, viewer,
                          "platform/data-read");
 }
 

@@ -53,6 +53,8 @@ class Gateway {
                                    const net::RouteParams& params);
   net::HttpResponse route_get_data(const net::HttpRequest& request,
                                    const net::RouteParams& params);
+  net::HttpResponse route_list_data(const net::HttpRequest& request,
+                                    const net::RouteParams& params);
   net::HttpResponse route_delete_data(const net::HttpRequest& request,
                                       const net::RouteParams& params);
   net::HttpResponse route_stats(const net::HttpRequest& request);

@@ -80,6 +80,12 @@ Provider::Provider(ProviderConfig config, const util::Clock& clock)
     return std::string("external-response:") + url;
   };
 
+  // Store query plane (DESIGN.md §17): indexes first (so durability
+  // recovery below replays into indexed shards), then the §3.5 knobs.
+  for (const auto& spec : config_.store_indexes)
+    (void)store_.create_index(spec.collection, spec.field);
+  store_.set_governor_config(config_.query_governor);
+
   gateway_ = std::make_unique<Gateway>(*this);
 
   // Filesystem skeleton — code-created bootstrap state, recreated on

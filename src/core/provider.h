@@ -120,6 +120,15 @@ struct ProviderConfig {
   // snapshot + WAL tail) and every later mutation is WAL-logged per the
   // configured mode before its request completes.
   store::DurabilityConfig durability;
+  // ---- Store query engine (DESIGN.md §17) ---------------------------------
+  // Secondary indexes registered at boot (and re-registered before
+  // durability recovery, so replayed records land indexed). The default
+  // covers the dating app's city lookups — the platform's one built-in
+  // equality query.
+  std::vector<store::IndexSpec> store_indexes{{"profiles", "city"}};
+  // §3.5 covert-channel knobs: count quantization + per-principal query
+  // budgets. Defaults (quantum 1, budget 0) are fully open.
+  store::QueryGovernorConfig query_governor;
 };
 
 class Provider {

@@ -120,6 +120,39 @@ util::Json breakers_section(Provider& provider) {
   return breakers;
 }
 
+// Query-engine health (DESIGN.md §17): planner path mix, label-group
+// skip ratio, index inventory, and the §3.5 governor posture — all from
+// the record-free QueryEngineStats struct, so this page stays one
+// include away from counters, never from record bytes.
+util::Json query_engine_section(Provider& provider) {
+  const store::QueryEngineStats stats = provider.store().query_stats();
+  util::Json plans = util::Json::object();
+  plans["field_index"] = from_u64(stats.plans_field);
+  plans["owner_index"] = from_u64(stats.plans_owner);
+  plans["label_scan"] = from_u64(stats.plans_scan);
+  util::Json groups = util::Json::object();
+  groups["checked"] = from_u64(stats.label_groups_checked);
+  groups["skipped"] = from_u64(stats.label_groups_skipped);
+  util::Json indexes = util::Json::object();
+  indexes["registered"] = static_cast<std::int64_t>(stats.registered_indexes);
+  indexes["field_postings"] = static_cast<std::int64_t>(stats.field_postings);
+  indexes["label_postings"] = static_cast<std::int64_t>(stats.label_postings);
+  indexes["owner_postings"] = static_cast<std::int64_t>(stats.owner_postings);
+  util::Json governor = util::Json::object();
+  governor["count_quantum"] = static_cast<std::int64_t>(stats.count_quantum);
+  governor["budget_queries"] = from_u64(stats.budget_queries);
+  governor["admitted"] = from_u64(stats.queries_admitted);
+  governor["denied"] = from_u64(stats.queries_denied);
+  governor["principals"] = static_cast<std::int64_t>(stats.budget_principals);
+  util::Json engine = util::Json::object();
+  engine["plans"] = std::move(plans);
+  engine["label_groups"] = std::move(groups);
+  engine["indexes"] = std::move(indexes);
+  engine["governor"] = std::move(governor);
+  engine["cursor_resumes"] = from_u64(stats.cursor_resumes);
+  return engine;
+}
+
 util::Json tracing_section(Provider& provider) {
   util::Json tracing = util::Json::object();
   tracing["traces_recorded"] = from_u64(provider.traces().recorded());
@@ -140,6 +173,7 @@ util::Json build_statusz(Provider& provider) {
   out["reactor_loops"] = reactor_section(provider);
   out["durability"] = durability_section(provider);
   out["fed_breakers"] = breakers_section(provider);
+  out["query_engine"] = query_engine_section(provider);
   out["tracing"] = tracing_section(provider);
   return out;
 }

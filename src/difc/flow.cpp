@@ -4,32 +4,10 @@
 
 namespace w5::difc {
 
-namespace {
-
-// Memoized "a ⊆ b" via the interned-label flow cache. Identity and
-// empty-label cases never touch the cache; everything else is one hash
-// probe on a hit. Sound because the verdict is pure set arithmetic over
-// the interned vectors; the cache handles epoch invalidation.
-bool subset_cached(const Label& a, const Label& b) {
-  if (a.empty()) return true;
-  if (a.size() > b.size()) return false;
-  auto& table = LabelTable::instance();
-  const LabelId src = table.intern(a);
-  const LabelId dst = table.intern(b);
-  if (src == dst) return true;  // identical labels: X ⊆ X
-  auto& cache = FlowCache::instance();
-  if (const auto hit = cache.lookup(src, dst)) return *hit;
-  const bool verdict = a.subset_of(b);
-  cache.insert(src, dst, verdict);
-  return verdict;
-}
-
-}  // namespace
-
 bool can_flow(const Label& src_secrecy, const Label& src_integrity,
               const Label& dst_secrecy, const Label& dst_integrity) {
-  return subset_cached(src_secrecy, dst_secrecy) &&
-         subset_cached(dst_integrity, src_integrity);
+  return cached_subset(src_secrecy, dst_secrecy) &&
+         cached_subset(dst_integrity, src_integrity);
 }
 
 util::Status check_flow(const LabelState& source, const LabelState& sink) {
@@ -91,7 +69,7 @@ util::Status check_export(const Label& data_secrecy,
   // the memo answers in O(1). The deny path re-materializes the residue
   // so the audit log names the blocking tags; denials are the rare case.
   const Label removable = authority.removable();
-  if (subset_cached(data_secrecy, removable)) return util::ok_status();
+  if (cached_subset(data_secrecy, removable)) return util::ok_status();
   const Label residue = data_secrecy.subtract(removable);
   return util::make_error(
       "perimeter.denied",

@@ -30,6 +30,20 @@ LabelId LabelTable::intern(const Label& label) {
   return it->second;
 }
 
+bool cached_subset(const Label& a, const Label& b) {
+  if (a.empty()) return true;
+  if (a.size() > b.size()) return false;
+  auto& table = LabelTable::instance();
+  const LabelId src = table.intern(a);
+  const LabelId dst = table.intern(b);
+  if (src == dst) return true;  // identical labels: X ⊆ X
+  auto& cache = FlowCache::instance();
+  if (const auto hit = cache.lookup(src, dst)) return *hit;
+  const bool verdict = a.subset_of(b);
+  cache.insert(src, dst, verdict);
+  return verdict;
+}
+
 void LabelTable::invalidate() {
   {
     const util::WriteLock lock(mutex_);

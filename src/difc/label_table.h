@@ -62,6 +62,14 @@ class LabelTable {
   std::uint64_t epoch_ W5_GUARDED_BY(mutex_) = 1;
 };
 
+// Memoized "a ⊆ b" through the interned-label flow cache — the one
+// subset primitive every hot path (perimeter export checks, store
+// clearance checks, posting-list visibility) shares. Identity and
+// empty-label cases never touch the cache; everything else is one hash
+// probe on a hit. Sound because the verdict is pure set arithmetic over
+// the interned vectors; the cache handles epoch invalidation.
+bool cached_subset(const Label& a, const Label& b);
+
 // Bounded LRU memo of (src_id, dst_id) → "src ⊆ dst" verdicts. Entries
 // are stamped with the LabelTable epoch at insertion; an epoch mismatch
 // is a miss. Lookups do not touch recency (the hot set is far smaller

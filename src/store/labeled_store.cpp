@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "difc/label_table.h"
+
 namespace w5::store {
 
 namespace {
@@ -43,7 +45,16 @@ util::Result<difc::LabelState> LabeledStore::caller(os::Pid pid) const {
 
 bool LabeledStore::visible(const Record& record,
                            const difc::Label& clearance) {
-  return record.labels.secrecy.subset_of(clearance);
+  return difc::cached_subset(record.labels.secrecy, clearance);
+}
+
+std::vector<IndexSpec> LabeledStore::specs_snapshot() const {
+  const util::ReadLock lock(specs_mutex_);
+  return specs_;
+}
+
+std::vector<IndexSpec> LabeledStore::index_specs() const {
+  return specs_snapshot();
 }
 
 util::Status LabeledStore::put(os::Pid pid, Record record) {
@@ -51,6 +62,8 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
     return util::make_error("store.invalid", "collection and id required");
   auto state = caller(pid);
   if (!state.ok()) return state.error();
+  // Lock order: spec lock strictly before any shard lock.
+  const std::vector<IndexSpec> specs = specs_snapshot();
 
   const Key key{record.collection, record.id};
   Shard& shard = shard_for(key);
@@ -82,8 +95,8 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
     }
     record.version = 1;
     record.updated_micros = clock_.now();
-    shard.by_owner[record.owner].push_back(key);
     const auto inserted = shard.records.emplace(key, std::move(record)).first;
+    shard.index.add(key, inserted->second, specs);
     // log() under the shard lock so commit order matches lock order; the
     // durability wait happens after release (never fsync under a lock).
     std::uint64_t seq = 0;
@@ -99,7 +112,8 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
   }
 
   // Overwrite: the record's existing labels govern; stored labels and
-  // owner are immutable through this path (relabel is a provider op).
+  // owner are immutable through this path (relabel is a provider op), so
+  // only the field postings can move.
   Record& existing = it->second;
   if (auto status = difc::check_write(
           widen_for(state.value(), existing.labels), existing.labels);
@@ -116,9 +130,11 @@ util::Status LabeledStore::put(os::Pid pid, Record record) {
       return charged;
     }
   }
+  shard.index.remove_fields(key, existing, specs);
   existing.data = std::move(record.data);
   existing.version += 1;
   existing.updated_micros = clock_.now();
+  shard.index.add_fields(key, existing, specs);
   std::uint64_t seq = 0;
   if (mutation_log_ != nullptr) {
     util::Json op;
@@ -177,6 +193,7 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
                                   const std::string& id) {
   auto state = caller(pid);
   if (!state.ok()) return state.error();
+  const std::vector<IndexSpec> specs = specs_snapshot();
   const Key key{collection, id};
   Shard& shard = shard_for(key);
   util::telemetry_count(removes_);
@@ -193,9 +210,7 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
       !status.ok()) {
     return status;
   }
-  auto& keys = shard.by_owner[it->second.owner];
-  std::erase(keys, key);
-  if (keys.empty()) shard.by_owner.erase(it->second.owner);
+  shard.index.remove(key, it->second, specs);
   shard.records.erase(it);
   std::uint64_t seq = 0;
   if (mutation_log_ != nullptr) {
@@ -210,16 +225,189 @@ util::Status LabeledStore::remove(os::Pid pid, const std::string& collection,
   return util::ok_status();
 }
 
-util::Result<std::vector<Record>> LabeledStore::query(
-    os::Pid pid, const std::string& collection, const QueryOptions& options,
-    Raise raise) {
+void LabeledStore::scan_shards(
+    const std::string& collection, const QueryOptions& options,
+    const QueryPlan& plan, const difc::Label& bound,
+    const std::string& start_after, std::size_t per_shard_cap,
+    const std::function<bool(const Record&)>& sink) const {
+  if (per_shard_cap == 0) return;
+  // The scan's lower bound: strictly after the cursor when it dominates
+  // min_id, else at min_id inclusive.
+  const bool strict = !start_after.empty() && start_after >= options.min_id;
+  const std::string& low = strict ? start_after : options.min_id;
+
+  const auto in_range = [&](const Key& key) {
+    return key.first == collection &&
+           (options.max_id.empty() || key.second <= options.max_id);
+  };
+  // Every non-visibility constraint, applied on whatever path runs — a
+  // plan can change cost, never results.
+  const auto matches = [&](const Record& r) {
+    if (!options.owner.empty() && r.owner != options.owner) return false;
+    if (!options.eq_field.empty()) {
+      const auto value = index_encode(r.data.at(options.eq_field));
+      if (!value || *value != options.eq_value) return false;
+    }
+    return !options.predicate || options.predicate(r);
+  };
+
+  for (const Shard& shard : shards_) {
+    util::telemetry_count(shard.ops);
+    const util::ReadLock lock(shard.mutex);
+    std::size_t emitted = 0;
+    bool stop_all = false;
+    // Takes a record already known visible; false stops this shard.
+    const auto emit = [&](const Record& r) -> bool {
+      if (!matches(r)) return true;
+      if (!sink(r)) {
+        stop_all = true;
+        return false;
+      }
+      return ++emitted < per_shard_cap;
+    };
+    // Ascending walk of one posting list's [low, max_id] slice.
+    const auto walk_postings = [&](const std::vector<Key>& keys) {
+      auto it = strict ? std::upper_bound(keys.begin(), keys.end(),
+                                          Key{collection, low})
+                       : std::lower_bound(keys.begin(), keys.end(),
+                                          Key{collection, low});
+      for (; it != keys.end() && in_range(*it); ++it) {
+        const Record& record = shard.records.at(*it);
+        if (!difc::cached_subset(record.labels.secrecy, bound)) continue;
+        if (!emit(record)) return;
+      }
+    };
+
+    // Per-shard refinement: with both posting lists available, walk the
+    // shorter one; an absent list proves zero matches in this shard.
+    PlanKind kind = plan.kind;
+    const std::vector<Key>* field_list = nullptr;
+    const std::vector<Key>* owner_list = nullptr;
+    if (kind == PlanKind::kFieldIndex) {
+      const auto fit = shard.index.by_field.find(
+          ShardIndex::FieldKey{collection, plan.field, plan.value});
+      field_list = fit == shard.index.by_field.end() ? nullptr : &fit->second;
+      if (plan.owner_alternative) {
+        const auto oit = shard.index.by_owner.find(options.owner);
+        owner_list =
+            oit == shard.index.by_owner.end() ? nullptr : &oit->second;
+        if (field_list == nullptr || owner_list == nullptr) {
+          util::telemetry_count(plans_field_);
+          continue;
+        }
+        if (owner_list->size() < field_list->size())
+          kind = PlanKind::kOwnerIndex;
+      } else if (field_list == nullptr) {
+        util::telemetry_count(plans_field_);
+        continue;
+      }
+    }
+
+    switch (kind) {
+      case PlanKind::kFieldIndex:
+        util::telemetry_count(plans_field_);
+        walk_postings(*field_list);
+        break;
+      case PlanKind::kOwnerIndex: {
+        util::telemetry_count(plans_owner_);
+        if (owner_list == nullptr) {
+          const auto oit = shard.index.by_owner.find(options.owner);
+          owner_list =
+              oit == shard.index.by_owner.end() ? nullptr : &oit->second;
+        }
+        if (owner_list != nullptr) walk_postings(*owner_list);
+        break;
+      }
+      case PlanKind::kLabelScan: {
+        util::telemetry_count(plans_scan_);
+        // One memoized clearance check per label *set*; a skipped group's
+        // records are never touched at all — simultaneously the perf win
+        // and the §3.5 story (unreadable records cost nothing observable).
+        bool any_skipped = false;
+        std::vector<const std::vector<Key>*> groups;
+        for (const auto& [label, keys] : shard.index.by_label) {
+          util::telemetry_count(label_groups_checked_);
+          if (difc::cached_subset(label, bound)) {
+            groups.push_back(&keys);
+          } else {
+            any_skipped = true;
+            util::telemetry_count(label_groups_skipped_);
+          }
+        }
+        if (!any_skipped) {
+          // Everything visible: the record map is already in key order,
+          // so scan it directly (no per-record label work at all).
+          auto it = strict
+                        ? shard.records.upper_bound(Key{collection, low})
+                        : shard.records.lower_bound(Key{collection, low});
+          for (; it != shard.records.end() && in_range(it->first); ++it)
+            if (!emit(it->second)) break;
+          break;
+        }
+        // Merge the visible groups' slices in ascending key order (the
+        // groups partition the records, so no key appears twice).
+        struct Range {
+          std::vector<Key>::const_iterator it, end;
+        };
+        std::vector<Range> ranges;
+        for (const auto* keys : groups) {
+          auto it = strict ? std::upper_bound(keys->begin(), keys->end(),
+                                              Key{collection, low})
+                           : std::lower_bound(keys->begin(), keys->end(),
+                                              Key{collection, low});
+          if (it != keys->end() && in_range(*it))
+            ranges.push_back(Range{it, keys->end()});
+        }
+        while (!ranges.empty()) {
+          std::size_t min_i = 0;
+          for (std::size_t i = 1; i < ranges.size(); ++i)
+            if (*ranges[i].it < *ranges[min_i].it) min_i = i;
+          if (!emit(shard.records.at(*ranges[min_i].it))) break;
+          ++ranges[min_i].it;
+          if (ranges[min_i].it == ranges[min_i].end ||
+              !in_range(*ranges[min_i].it))
+            ranges.erase(ranges.begin() +
+                         static_cast<std::ptrdiff_t>(min_i));
+        }
+        break;
+      }
+    }
+    if (stop_all) return;
+  }
+}
+
+util::Result<QueryPage> LabeledStore::run_query(os::Pid pid,
+                                                const std::string& collection,
+                                                const QueryOptions& options,
+                                                Raise raise) {
   auto state = caller(pid);
   if (!state.ok()) return state.error();
+  // Budget denial depends only on (principal, rate) — never on record
+  // data — so the denial itself carries no §3.5 signal.
+  if (auto admitted = governor_.admit(options.principal); !admitted.ok())
+    return admitted.error();
+
+  std::string start_after;
+  if (!options.cursor.empty()) {
+    const std::string prefix = collection + "/";
+    if (options.cursor.size() <= prefix.size() ||
+        options.cursor.compare(0, prefix.size(), prefix) != 0) {
+      return util::make_error(
+          "store.bad_cursor",
+          "cursor does not resume collection '" + collection + "'");
+    }
+    start_after = options.cursor.substr(prefix.size());
+    util::telemetry_count(cursor_resumes_);
+  }
+
   const difc::Label bound = raise == Raise::kYes
                                 ? state.value().secrecy_clearance()
                                 : state.value().secrecy();
+  const QueryPlan plan = plan_query(collection, options, specs_snapshot());
 
-  // Per shard a page never needs more than offset+limit visible matches.
+  // Per shard a page never needs more than offset+limit visible matches:
+  // every path emits ascending by key within a shard, so the globally
+  // smallest offset+limit keys are among each shard's first offset+limit.
   const std::size_t cap = options.offset > SIZE_MAX - options.limit
                               ? SIZE_MAX
                               : options.offset + options.limit;
@@ -229,44 +417,24 @@ util::Result<std::vector<Record>> LabeledStore::query(
   // deterministic regardless of sharding.
   util::telemetry_count(scans_);
   std::vector<Record> candidates;
-  for (const Shard& shard : shards_) {
-    util::telemetry_count(shard.ops);
-    const util::ReadLock lock(shard.mutex);
-    std::size_t from_this_shard = 0;
-    const auto consider = [&](const Record& record) -> bool {
-      if (from_this_shard >= cap) return false;
-      if (!visible(record, bound)) return true;  // invisible, keep scanning
-      if (options.predicate && !options.predicate(record)) return true;
-      candidates.push_back(record);
-      ++from_this_shard;
-      return true;
-    };
-    if (!options.owner.empty()) {
-      // Secondary index path.
-      const auto idx = shard.by_owner.find(options.owner);
-      if (idx != shard.by_owner.end()) {
-        for (const Key& key : idx->second) {
-          if (key.first != collection) continue;
-          if (!consider(shard.records.at(key))) break;
-        }
-      }
-    } else {
-      const auto begin = shard.records.lower_bound(Key{collection, ""});
-      for (auto it = begin;
-           it != shard.records.end() && it->first.first == collection; ++it) {
-        if (!consider(it->second)) break;
-      }
-    }
-  }
+  scan_shards(collection, options, plan, bound, start_after, cap,
+              [&](const Record& record) {
+                candidates.push_back(record);
+                return true;
+              });
   std::sort(candidates.begin(), candidates.end(), key_less);
 
   // Phase 2: pagination counts only rows the caller may see.
-  std::vector<Record> out;
+  QueryPage page;
   difc::Label result_label;
   for (std::size_t i = options.offset;
-       i < candidates.size() && out.size() < options.limit; ++i) {
+       i < candidates.size() && page.records.size() < options.limit; ++i) {
     result_label = result_label.union_with(candidates[i].labels.secrecy);
-    out.push_back(std::move(candidates[i]));
+    page.records.push_back(std::move(candidates[i]));
+  }
+  if (options.limit != SIZE_MAX && !page.records.empty() &&
+      page.records.size() == options.limit) {
+    page.next_cursor = collection + "/" + page.records.back().id;
   }
 
   // The caller is contaminated by the join of everything returned.
@@ -277,57 +445,117 @@ util::Result<std::vector<Record>> LabeledStore::query(
   }
   // Charge per *visible* result only — charging for skipped records would
   // leak their existence through the quota meter.
-  if (auto charged = kernel_.charge(pid, os::Resource::kMemory,
-                                    static_cast<std::int64_t>(out.size()));
+  if (auto charged =
+          kernel_.charge(pid, os::Resource::kMemory,
+                         static_cast<std::int64_t>(page.records.size()));
       !charged.ok()) {
     return charged.error();
   }
-  return out;
+  return page;
+}
+
+util::Result<std::vector<Record>> LabeledStore::query(
+    os::Pid pid, const std::string& collection, const QueryOptions& options,
+    Raise raise) {
+  auto page = run_query(pid, collection, options, raise);
+  if (!page.ok()) return page.error();
+  return std::move(page).value().records;
+}
+
+util::Result<QueryPage> LabeledStore::query_page(os::Pid pid,
+                                                 const std::string& collection,
+                                                 const QueryOptions& options,
+                                                 Raise raise) {
+  return run_query(pid, collection, options, raise);
 }
 
 util::Result<std::size_t> LabeledStore::count(os::Pid pid,
                                               const std::string& collection,
-                                              const QueryOptions& options) {
+                                              const QueryOptions& options,
+                                              Raise raise) {
   auto state = caller(pid);
   if (!state.ok()) return state.error();
-  const difc::Label clearance = state.value().secrecy_clearance();
+  if (auto admitted = governor_.admit(options.principal); !admitted.ok())
+    return admitted.error();
+  const difc::Label bound = raise == Raise::kYes
+                                ? state.value().secrecy_clearance()
+                                : state.value().secrecy();
+  const QueryPlan plan = plan_query(collection, options, specs_snapshot());
   util::telemetry_count(scans_);
   std::size_t n = 0;
-  for (const Shard& shard : shards_) {
-    util::telemetry_count(shard.ops);
-    const util::ReadLock lock(shard.mutex);
-    const auto begin = shard.records.lower_bound(Key{collection, ""});
-    for (auto it = begin;
-         it != shard.records.end() && it->first.first == collection; ++it) {
-      const Record& record = it->second;
-      if (!visible(record, clearance)) continue;
-      if (!options.owner.empty() && record.owner != options.owner) continue;
-      if (options.predicate && !options.predicate(record)) continue;
-      ++n;
-      if (n >= options.limit) return n;
-    }
+  difc::Label result_label;
+  scan_shards(collection, options, plan, bound, /*start_after=*/"",
+              options.limit, [&](const Record& record) {
+                result_label =
+                    result_label.union_with(record.labels.secrecy);
+                ++n;
+                return n < options.limit;
+              });
+  // Counting is observing: the caller pays the same contamination as if
+  // the counted records had been returned (query()'s raise contract).
+  if (raise == Raise::kYes &&
+      !result_label.subset_of(state.value().secrecy())) {
+    if (auto raised = kernel_.raise_secrecy(pid, result_label); !raised.ok())
+      return raised.error();
   }
-  return n;
+  return governor_.quantize(n);
 }
 
 util::Result<std::vector<std::string>> LabeledStore::list_ids(
-    os::Pid pid, const std::string& collection) {
+    os::Pid pid, const std::string& collection, Raise raise) {
   auto state = caller(pid);
   if (!state.ok()) return state.error();
-  const difc::Label clearance = state.value().secrecy_clearance();
+  const difc::Label bound = raise == Raise::kYes
+                                ? state.value().secrecy_clearance()
+                                : state.value().secrecy();
   util::telemetry_count(scans_);
+  const QueryOptions options;  // unfiltered full scan
   std::vector<std::string> out;
-  for (const Shard& shard : shards_) {
-    util::telemetry_count(shard.ops);
-    const util::ReadLock lock(shard.mutex);
-    const auto begin = shard.records.lower_bound(Key{collection, ""});
-    for (auto it = begin;
-         it != shard.records.end() && it->first.first == collection; ++it) {
-      if (visible(it->second, clearance)) out.push_back(it->first.second);
-    }
-  }
+  difc::Label result_label;
+  scan_shards(collection, options, QueryPlan{}, bound, /*start_after=*/"",
+              SIZE_MAX, [&](const Record& record) {
+                result_label =
+                    result_label.union_with(record.labels.secrecy);
+                out.push_back(record.id);
+                return true;
+              });
   std::sort(out.begin(), out.end());
+  // Same contamination contract as query()/count(): ids are data too.
+  if (raise == Raise::kYes &&
+      !result_label.subset_of(state.value().secrecy())) {
+    if (auto raised = kernel_.raise_secrecy(pid, result_label); !raised.ok())
+      return raised.error();
+  }
   return out;
+}
+
+util::Status LabeledStore::create_index(const std::string& collection,
+                                        const std::string& field) {
+  if (collection.empty() || field.empty()) {
+    return util::make_error("store.invalid",
+                            "index needs collection and field");
+  }
+  const IndexSpec spec{collection, field};
+  {
+    util::WriteLock lock(specs_mutex_);
+    if (std::find(specs_.begin(), specs_.end(), spec) != specs_.end())
+      return util::ok_status();  // idempotent
+    specs_.push_back(spec);
+    std::sort(specs_.begin(), specs_.end());
+  }
+  // Spec is published: every put from here on maintains the new index.
+  // Backfill shard by shard (one write lock at a time); rebuild drops and
+  // re-derives, and posting inserts are idempotent, so racing maintenance
+  // converges.
+  for (Shard& shard : shards_) {
+    util::WriteLock lock(shard.mutex);
+    shard.index.rebuild_field(spec, shard.records);
+  }
+  return util::ok_status();
+}
+
+void LabeledStore::set_governor_config(const QueryGovernorConfig& config) {
+  governor_.configure(config);
 }
 
 LabeledStore::OpCounts LabeledStore::op_counts() const {
@@ -345,6 +573,35 @@ LabeledStore::shard_op_counts() const {
   return out;
 }
 
+QueryEngineStats LabeledStore::query_stats() const {
+  QueryEngineStats out;
+  out.plans_field = plans_field_.load(std::memory_order_relaxed);
+  out.plans_owner = plans_owner_.load(std::memory_order_relaxed);
+  out.plans_scan = plans_scan_.load(std::memory_order_relaxed);
+  out.label_groups_checked =
+      label_groups_checked_.load(std::memory_order_relaxed);
+  out.label_groups_skipped =
+      label_groups_skipped_.load(std::memory_order_relaxed);
+  out.cursor_resumes = cursor_resumes_.load(std::memory_order_relaxed);
+  {
+    const util::ReadLock lock(specs_mutex_);
+    out.registered_indexes = specs_.size();
+  }
+  for (const Shard& shard : shards_) {
+    const util::ReadLock lock(shard.mutex);
+    out.field_postings += shard.index.by_field.size();
+    out.label_postings += shard.index.by_label.size();
+    out.owner_postings += shard.index.by_owner.size();
+  }
+  const QueryGovernor::Stats governor = governor_.stats();
+  out.queries_admitted = governor.admitted;
+  out.queries_denied = governor.denied;
+  out.budget_principals = governor.principals;
+  out.count_quantum = governor.count_quantum;
+  out.budget_queries = governor.budget_queries;
+  return out;
+}
+
 std::size_t LabeledStore::total_records() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
@@ -359,8 +616,8 @@ std::vector<Record> LabeledStore::export_owned_by(
   std::vector<Record> out;
   for (const Shard& shard : shards_) {
     const util::ReadLock lock(shard.mutex);
-    const auto it = shard.by_owner.find(owner);
-    if (it == shard.by_owner.end()) continue;
+    const auto it = shard.index.by_owner.find(owner);
+    if (it == shard.index.by_owner.end()) continue;
     for (const Key& key : it->second) out.push_back(shard.records.at(key));
   }
   std::sort(out.begin(), out.end(), key_less);
@@ -384,6 +641,7 @@ util::Json LabeledStore::to_json() const {
 
 util::Status LabeledStore::apply_wal(const util::Json& op) {
   const std::string& kind = op.at("op").as_string();
+  const std::vector<IndexSpec> specs = specs_snapshot();
   if (kind == "store.put") {
     auto parsed = Record::from_json(op.at("record"));
     if (!parsed.ok()) return parsed.error();
@@ -393,20 +651,18 @@ util::Status LabeledStore::apply_wal(const util::Json& op) {
     util::WriteLock lock(shard.mutex);
     const auto it = shard.records.find(key);
     if (it == shard.records.end()) {
-      shard.by_owner[record.owner].push_back(key);
-      shard.records.emplace(key, std::move(record));
+      const auto inserted =
+          shard.records.emplace(key, std::move(record)).first;
+      shard.index.add(key, inserted->second, specs);
     } else {
-      // Owner is immutable through put(), but snapshot/WAL overlap can
-      // replay a put over a snapshot record from an earlier life of the
-      // key (remove + recreate by another owner straddling the
-      // boundary) — re-home the index entry when the owner moved.
-      if (it->second.owner != record.owner) {
-        auto& old_keys = shard.by_owner[it->second.owner];
-        std::erase(old_keys, key);
-        if (old_keys.empty()) shard.by_owner.erase(it->second.owner);
-        shard.by_owner[record.owner].push_back(key);
-      }
+      // Owner and labels are immutable through put(), but snapshot/WAL
+      // overlap can replay a put over a snapshot record from an earlier
+      // life of the key (remove + recreate straddling the boundary), and
+      // the data fields can always differ — unindex the old state in
+      // full and index the new one.
+      shard.index.remove(key, it->second, specs);
       it->second = std::move(record);
+      shard.index.add(key, it->second, specs);
     }
     return util::ok_status();
   }
@@ -416,9 +672,7 @@ util::Status LabeledStore::apply_wal(const util::Json& op) {
     util::WriteLock lock(shard.mutex);
     const auto it = shard.records.find(key);
     if (it == shard.records.end()) return util::ok_status();  // idempotent
-    auto& keys = shard.by_owner[it->second.owner];
-    std::erase(keys, key);
-    if (keys.empty()) shard.by_owner.erase(it->second.owner);
+    shard.index.remove(key, it->second, specs);
     shard.records.erase(it);
     return util::ok_status();
   }
@@ -431,10 +685,11 @@ util::Status LabeledStore::load_json(const util::Json& snapshot)
     W5_NO_THREAD_SAFETY_ANALYSIS {
   if (!snapshot.at("records").is_array())
     return util::make_error("store.parse", "missing records array");
+  const std::vector<IndexSpec> specs = specs_snapshot();
   // Build aside, then swap under all shard locks (index order, the only
   // place more than one shard lock is ever held).
   std::array<std::map<Key, Record>, kShardCount> records;
-  std::array<std::map<std::string, std::vector<Key>>, kShardCount> by_owner;
+  std::array<ShardIndex, kShardCount> indexes;
   for (const auto& item : snapshot.at("records").as_array()) {
     auto record = Record::from_json(item);
     if (!record.ok()) return record.error();
@@ -442,7 +697,7 @@ util::Status LabeledStore::load_json(const util::Json& snapshot)
     const std::size_t shard = shard_index(key);
     if (records[shard].contains(key))
       return util::make_error("store.parse", "duplicate record key");
-    by_owner[shard][record.value().owner].push_back(key);
+    indexes[shard].add(key, record.value(), specs);
     records[shard].emplace(std::move(key), std::move(record).value());
   }
   std::array<std::unique_lock<std::shared_mutex>, kShardCount> locks;
@@ -450,7 +705,7 @@ util::Status LabeledStore::load_json(const util::Json& snapshot)
     locks[i] = std::unique_lock(shards_[i].mutex.native());
   for (std::size_t i = 0; i < kShardCount; ++i) {
     shards_[i].records = std::move(records[i]);
-    shards_[i].by_owner = std::move(by_owner[i]);
+    shards_[i].index = std::move(indexes[i]);
   }
   return util::ok_status();
 }

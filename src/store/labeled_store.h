@@ -7,6 +7,13 @@
 // *cleared* to see (S_r ⊆ clearance(p)); records above clearance do not
 // exist from the caller's perspective — they affect no result, no count,
 // no error, and no resource charge.
+//
+// Queries run through a small planner + index engine (DESIGN.md §17):
+// per-shard posting lists (owner, secrecy-label set, registered
+// field-value indexes, see index.h) kept in key order, a deterministic
+// planner (planner.h) that picks the access path, and a covert-channel
+// governor (query_governor.h) that quantizes counts and meters
+// per-principal query budgets. Plans never change results, only cost.
 #pragma once
 
 #include <array>
@@ -19,6 +26,10 @@
 #include <vector>
 
 #include "os/kernel.h"
+#include "store/index.h"
+#include "store/planner.h"
+#include "store/query_governor.h"
+#include "store/query_stats.h"
 #include "store/record.h"
 #include "util/clock.h"
 #include "util/metrics.h"
@@ -33,11 +44,49 @@ enum class Raise : std::uint8_t { kNo, kYes };
 // A predicate over record data; see query.h for composable builders.
 using RecordPredicate = std::function<bool(const Record&)>;
 
+// kAuto lets the planner choose; kScanOnly forces the label-grouped
+// ordered scan — the bench/test hook that prices every index against the
+// honest scan over identical data (results must be byte-identical).
+enum class PlannerMode : std::uint8_t { kAuto, kScanOnly };
+
 struct QueryOptions {
   std::size_t limit = SIZE_MAX;
   std::size_t offset = 0;     // skip the first N *visible+matching* rows
   std::string owner;          // filter by owner when non-empty
   RecordPredicate predicate;  // optional data filter
+
+  // Indexable equality: data[eq_field] == eq_value (string compare, the
+  // field_equals() semantics). Unlike `predicate` this constraint is
+  // visible to the planner, so a registered index can serve it; when no
+  // index matches it degrades to an ordinary filter.
+  std::string eq_field;
+  std::string eq_value;
+
+  // Id range, inclusive on both ends when non-empty. Ids sort
+  // lexicographically (zero-pad numeric ids, as the apps do).
+  std::string min_id;
+  std::string max_id;
+
+  // Opaque resume token from QueryPage::next_cursor ("collection/id"):
+  // resume strictly after that id. Unlike `offset`, resuming does not
+  // re-scan skipped rows, so deep pagination stays O(page). Malformed or
+  // mismatched cursors fail with store.bad_cursor.
+  std::string cursor;
+
+  // Principal charged against the per-principal query budget (§3.5).
+  // Empty = unmetered (trusted front-end / internal scans).
+  std::string principal;
+
+  PlannerMode planner = PlannerMode::kAuto;
+};
+
+// One page of results plus the token that resumes after it. next_cursor
+// is empty when the store can prove the page is the last one; a non-empty
+// cursor may still resume onto an empty final page (the standard
+// contract — emptiness of "the rest" is not probed in advance).
+struct QueryPage {
+  std::vector<Record> records;
+  std::string next_cursor;
 };
 
 // Thread-safe and lock-striped: records live in kShardCount shards keyed
@@ -45,8 +94,9 @@ struct QueryOptions {
 // operations on different records proceed in parallel. Scans (query,
 // count, list_ids, snapshots) visit shards one at a time — never holding
 // two shard locks — and merge-sort by key so results stay deterministic.
-// Lock order: store shard → kernel (charges and raises happen while a
-// shard lock is held; the kernel never calls into the store).
+// Lock order: index-spec lock → store shard → kernel (charges and raises
+// happen while a shard lock is held; the kernel never calls into the
+// store; the spec list is copied out before any shard lock is taken).
 class LabeledStore {
  public:
   // 16 stripes: comfortably above the worker-pool default (8) so two
@@ -81,13 +131,41 @@ class LabeledStore {
                                           const QueryOptions& options = {},
                                           Raise raise = Raise::kYes);
 
-  // Covert-channel-safe count: counts only records within clearance.
-  util::Result<std::size_t> count(os::Pid pid, const std::string& collection,
-                                  const QueryOptions& options = {});
+  // Cursor pagination: like query() but returns the resume token for the
+  // next page. Pass it back via options.cursor (options.offset then
+  // applies after the cursor — normally leave it 0).
+  util::Result<QueryPage> query_page(os::Pid pid,
+                                     const std::string& collection,
+                                     const QueryOptions& options = {},
+                                     Raise raise = Raise::kYes);
 
-  // Ids visible at the caller's clearance.
+  // Covert-channel-safe count: counts only records within the same bound
+  // query() uses, and the caller pays the same contamination — with
+  // Raise::kYes (default) the caller's secrecy is raised to the join of
+  // every counted record, exactly as if the records had been returned.
+  // Counting without contamination (Raise::kNo) only sees records below
+  // the caller's *current* label. The governor's count_quantum rounds
+  // the result up (§3.5).
+  util::Result<std::size_t> count(os::Pid pid, const std::string& collection,
+                                  const QueryOptions& options = {},
+                                  Raise raise = Raise::kYes);
+
+  // Ids visible at the query bound; same raise contract as query().
   util::Result<std::vector<std::string>> list_ids(
-      os::Pid pid, const std::string& collection);
+      os::Pid pid, const std::string& collection, Raise raise = Raise::kYes);
+
+  // ---- Index + governor management (TRUSTED provider plane) ---------------
+  // Registers an equality index over data[field] for one collection and
+  // backfills it shard by shard. Idempotent. New puts maintain the index
+  // from the moment the spec is published, so registration on a live
+  // store converges (posting inserts are idempotent).
+  util::Status create_index(const std::string& collection,
+                            const std::string& field);
+  std::vector<IndexSpec> index_specs() const;
+
+  // §3.5 knobs: count quantization and per-principal query budgets.
+  // Resets the metering windows.
+  void set_governor_config(const QueryGovernorConfig& config);
 
   std::size_t total_records() const;  // provider metric (trusted callers)
 
@@ -105,6 +183,11 @@ class LabeledStore {
   OpCounts op_counts() const;
   // Per-shard operation totals (point ops hit one shard; scans touch all).
   std::array<std::uint64_t, kShardCount> shard_op_counts() const;
+
+  // Planner/index/governor counters for statusz and /metrics (record-free
+  // struct — see query_stats.h). Gauges are sampled under shard read
+  // locks, one shard at a time.
+  QueryEngineStats query_stats() const;
 
   // TRUSTED front-end only: every record a user owns, across all
   // collections (used by GET /export and account deletion). Not exposed
@@ -130,14 +213,15 @@ class LabeledStore {
   util::Status apply_wal(const util::Json& op);
 
  private:
-  using Key = std::pair<std::string, std::string>;  // (collection, id)
+  using Key = RecordKey;  // (collection, id)
 
   struct Shard {
     mutable util::SharedMutex mutex;
     // map keeps iteration deterministic for snapshots and queries.
     std::map<Key, Record> records W5_GUARDED_BY(mutex);
-    // Secondary index: owner -> keys, maintained on put/remove.
-    std::map<std::string, std::vector<Key>> by_owner W5_GUARDED_BY(mutex);
+    // Secondary indexes (owner / label-set / field postings, index.h),
+    // maintained in lockstep with `records` on every mutation.
+    ShardIndex index W5_GUARDED_BY(mutex);
     // Telemetry: operations that touched this shard (relaxed; approximate
     // under races is fine for a load-balance signal).
     mutable std::atomic<std::uint64_t> ops{0};
@@ -152,15 +236,44 @@ class LabeledStore {
   util::Result<difc::LabelState> caller(os::Pid pid) const;
   static bool visible(const Record& record, const difc::Label& clearance);
 
+  // The scan engine: runs `plan` over every shard (one read lock at a
+  // time), emitting visible records that match every `options` constraint
+  // in ascending key order *per shard*, at most `per_shard_cap` per
+  // shard. `start_after` is the cursor bound (exclusive), empty = none.
+  // sink() returning false stops the whole scan (global early exit).
+  void scan_shards(const std::string& collection, const QueryOptions& options,
+                   const QueryPlan& plan, const difc::Label& bound,
+                   const std::string& start_after, std::size_t per_shard_cap,
+                   const std::function<bool(const Record&)>& sink) const;
+
+  // Shared by query()/query_page(): governor admission, cursor parsing,
+  // planning, scan, merge-sort, pagination, raise, charge.
+  util::Result<QueryPage> run_query(os::Pid pid, const std::string& collection,
+                                    const QueryOptions& options, Raise raise);
+
+  std::vector<IndexSpec> specs_snapshot() const;
+
   std::array<Shard, kShardCount> shards_;
+
+  mutable util::SharedMutex specs_mutex_;
+  std::vector<IndexSpec> specs_ W5_GUARDED_BY(specs_mutex_);
 
   mutable std::atomic<std::uint64_t> gets_{0};
   mutable std::atomic<std::uint64_t> puts_{0};
   mutable std::atomic<std::uint64_t> removes_{0};
   mutable std::atomic<std::uint64_t> scans_{0};
 
+  // Planner/engine counters (relaxed; see query_stats.h).
+  mutable std::atomic<std::uint64_t> plans_field_{0};
+  mutable std::atomic<std::uint64_t> plans_owner_{0};
+  mutable std::atomic<std::uint64_t> plans_scan_{0};
+  mutable std::atomic<std::uint64_t> label_groups_checked_{0};
+  mutable std::atomic<std::uint64_t> label_groups_skipped_{0};
+  mutable std::atomic<std::uint64_t> cursor_resumes_{0};
+
   os::Kernel& kernel_;
   const util::Clock& clock_;
+  QueryGovernor governor_{clock_};
   util::MutationLog* mutation_log_ = nullptr;
 };
 

@@ -1,0 +1,50 @@
+#include "store/planner.h"
+
+#include <algorithm>
+
+#include "store/labeled_store.h"
+
+namespace w5::store {
+
+const char* plan_kind_name(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kFieldIndex:
+      return "field_index";
+    case PlanKind::kOwnerIndex:
+      return "owner_index";
+    case PlanKind::kLabelScan:
+      return "label_scan";
+  }
+  return "unknown";
+}
+
+QueryPlan plan_query(const std::string& collection,
+                     const QueryOptions& options,
+                     const std::vector<IndexSpec>& specs) {
+  QueryPlan plan;
+  if (options.planner == PlannerMode::kScanOnly) return plan;
+
+  const bool has_owner = !options.owner.empty();
+  const bool eq_indexed =
+      !options.eq_field.empty() &&
+      std::find(specs.begin(), specs.end(),
+                IndexSpec{collection, options.eq_field}) != specs.end();
+
+  if (eq_indexed) {
+    // Equality postings are usually the most selective list available;
+    // when an owner constraint rides along the engine still compares the
+    // two lists per shard and walks the shorter one.
+    plan.kind = PlanKind::kFieldIndex;
+    plan.field = options.eq_field;
+    plan.value = options.eq_value;
+    plan.owner_alternative = has_owner;
+    return plan;
+  }
+  if (has_owner) {
+    plan.kind = PlanKind::kOwnerIndex;
+    return plan;
+  }
+  return plan;  // kLabelScan
+}
+
+}  // namespace w5::store

@@ -1,0 +1,53 @@
+// The query planner (DESIGN.md §17): picks an access path per query and
+// lets the engine refine it per shard.
+//
+// There are exactly three paths, in cost order for their sweet spots:
+//
+//   kFieldIndex   equality on a registered (collection, field) index —
+//                 point lookups; the posting list IS the candidate set.
+//   kOwnerIndex   non-empty options.owner — one posting list per shard.
+//   kLabelScan    everything else: the ordered scan, driven through the
+//                 per-label posting groups so clearance is checked once
+//                 per label set instead of once per record.
+//
+// The planner is deliberately tiny and deterministic: with no cardinality
+// statistics, the only runtime refinement is per shard — when both the
+// owner and field lists apply, the engine walks whichever posting list is
+// shorter in that shard and applies the other constraint as a filter.
+// Whatever path runs, the engine applies every constraint (visibility,
+// owner, equality, range, predicate), so a plan can never change results,
+// only cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/index.h"
+
+namespace w5::store {
+
+struct QueryOptions;  // labeled_store.h
+
+enum class PlanKind : std::uint8_t { kLabelScan, kOwnerIndex, kFieldIndex };
+
+const char* plan_kind_name(PlanKind kind);
+
+struct QueryPlan {
+  PlanKind kind = PlanKind::kLabelScan;
+  // kFieldIndex: the indexed equality constraint.
+  std::string field;
+  std::string value;
+  // True when both owner and field postings apply; the engine compares
+  // per-shard posting sizes and may demote kFieldIndex to kOwnerIndex.
+  bool owner_alternative = false;
+};
+
+// Pure function of the options and the registered index specs.
+// options.planner == PlannerMode::kScanOnly forces kLabelScan (the
+// bench/test hook that prices the index against the honest scan).
+QueryPlan plan_query(const std::string& collection,
+                     const QueryOptions& options,
+                     const std::vector<IndexSpec>& specs);
+
+}  // namespace w5::store

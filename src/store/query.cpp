@@ -10,6 +10,12 @@ RecordPredicate field_equals(std::string field, std::string value) {
   };
 }
 
+RecordPredicate field_exists(std::string field) {
+  return [field = std::move(field)](const Record& record) {
+    return !record.data.at(field).is_null();
+  };
+}
+
 RecordPredicate field_between(std::string field, double lo, double hi) {
   return [field = std::move(field), lo, hi](const Record& record) {
     const util::Json& v = record.data.at(field);

@@ -3,6 +3,18 @@
 // so a query can never observe anything outside the caller's clearance,
 // and there is no shared mutable state for one app's query to lock
 // against another's.
+//
+// Missing-field semantics (deliberate, and worth reading twice): there is
+// no SQL-style three-valued NULL logic here. A missing or null
+// data[field] simply makes every field_* builder return false, and
+// negate() is plain boolean complement. So
+//
+//   field_equals("city", "x")          — false for records with no "city"
+//   negate(field_equals("city", "x"))  — TRUE for records with no "city"
+//
+// A record lacking the field is "not equal to x", not "unknown". Use
+// and_also(field_exists(f), negate(field_equals(f, v))) for "has the
+// field, with a different value".
 #pragma once
 
 #include <string>
@@ -13,6 +25,10 @@ namespace w5::store {
 
 // data[field] == value (string compare).
 RecordPredicate field_equals(std::string field, std::string value);
+
+// data[field] is present and non-null (any type). Composes with negate()
+// for the two "missing field" readings described above.
+RecordPredicate field_exists(std::string field);
 
 // data[field] is a number within [lo, hi].
 RecordPredicate field_between(std::string field, double lo, double hi);
@@ -25,6 +41,8 @@ RecordPredicate field_contains(std::string field, std::string needle);
 
 RecordPredicate and_also(RecordPredicate a, RecordPredicate b);
 RecordPredicate or_else(RecordPredicate a, RecordPredicate b);
+// Boolean complement — see the missing-field note above: negating a
+// field predicate matches records that lack the field entirely.
 RecordPredicate negate(RecordPredicate p);
 
 }  // namespace w5::store

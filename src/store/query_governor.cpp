@@ -1,0 +1,68 @@
+#include "store/query_governor.h"
+
+namespace w5::store {
+
+void QueryGovernor::configure(const QueryGovernorConfig& config) {
+  quantum_.store(config.count_quantum == 0 ? 1 : config.count_quantum,
+                 std::memory_order_relaxed);
+  budget_.store(config.budget_queries, std::memory_order_relaxed);
+  const util::MutexLock lock(mutex_);
+  window_micros_ =
+      config.budget_window_micros <= 0 ? 1 : config.budget_window_micros;
+  windows_.clear();
+}
+
+util::Status QueryGovernor::admit(const std::string& principal) {
+  const std::uint64_t budget = budget_.load(std::memory_order_relaxed);
+  // Anonymous callers (trusted front-end, internal scans) and disabled
+  // budgets never touch the lock — metering costs nothing until a
+  // provider turns it on.
+  if (budget == 0 || principal.empty()) return util::ok_status();
+
+  const util::Micros now = clock_.now();
+  const util::MutexLock lock(mutex_);
+  auto [it, inserted] = windows_.try_emplace(principal);
+  Window& window = it->second;
+  if (inserted || now - window.start >= window_micros_) {
+    window.start = now;
+    window.used = 0;
+  }
+  if (window.used >= budget) {
+    ++denied_;
+    return util::make_error("store.query_budget",
+                            "query budget exhausted for '" + principal + "'");
+  }
+  ++window.used;
+  ++admitted_;
+  // Bound the table: a hostile app minting principals must not grow
+  // memory without bound. Dropping expired windows is safe (a dropped
+  // window resets to a fresh budget — slop, not a leak).
+  if (windows_.size() > kMaxPrincipals) {
+    for (auto w = windows_.begin(); w != windows_.end();) {
+      if (w != it && now - w->second.start >= window_micros_)
+        w = windows_.erase(w);
+      else
+        ++w;
+    }
+  }
+  return util::ok_status();
+}
+
+std::size_t QueryGovernor::quantize(std::size_t count) const {
+  const std::size_t quantum = quantum_.load(std::memory_order_relaxed);
+  if (quantum <= 1 || count == 0) return count;
+  return ((count + quantum - 1) / quantum) * quantum;
+}
+
+QueryGovernor::Stats QueryGovernor::stats() const {
+  Stats out;
+  out.count_quantum = quantum_.load(std::memory_order_relaxed);
+  out.budget_queries = budget_.load(std::memory_order_relaxed);
+  const util::MutexLock lock(mutex_);
+  out.admitted = admitted_;
+  out.denied = denied_;
+  out.principals = windows_.size();
+  return out;
+}
+
+}  // namespace w5::store

@@ -1,0 +1,91 @@
+// The §3.5 covert-channel governor (DESIGN.md §17).
+//
+// The paper's warning: even a clearance-bounded query surface leaks
+// through aggregates — a malicious app can probe count() deltas, or
+// drive many slightly-different queries and integrate the answers. Two
+// measurable, configurable knobs bound those channels:
+//
+//   count quantization   count() results round UP to a multiple of
+//                        `count_quantum`, so adjacent true counts n and
+//                        n+1 are indistinguishable with probability
+//                        (q-1)/q and one probe learns at most
+//                        log2(ceil(max/q)+1) bits instead of log2(max+1).
+//                        Quantum 1 (default) = exact counts.
+//
+//   per-principal budget at most `budget_queries` metered scans per
+//                        principal per fixed `budget_window_micros`
+//                        window; beyond that the store answers
+//                        store.query_budget. Bounds the *rate* at which
+//                        any quantized/filtered channel can be
+//                        integrated. 0 (default) = unmetered.
+//
+// Both knobs are observable (QueryEngineStats) so E18 can measure the
+// channel instead of hand-waving about it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace w5::store {
+
+struct QueryGovernorConfig {
+  std::size_t count_quantum = 1;      // 1 = exact counts
+  std::uint64_t budget_queries = 0;   // per principal per window; 0 = off
+  util::Micros budget_window_micros = 1'000'000;
+};
+
+class QueryGovernor {
+ public:
+  explicit QueryGovernor(const util::Clock& clock) : clock_(clock) {}
+
+  QueryGovernor(const QueryGovernor&) = delete;
+  QueryGovernor& operator=(const QueryGovernor&) = delete;
+
+  void configure(const QueryGovernorConfig& config);
+
+  // Meters one scan for `principal`. Anonymous scans (empty principal)
+  // and an unconfigured budget admit without touching the lock.
+  util::Status admit(const std::string& principal);
+
+  // Rounds a count up to the configured quantum (lock-free).
+  std::size_t quantize(std::size_t count) const;
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t denied = 0;
+    std::size_t principals = 0;
+    std::size_t count_quantum = 1;
+    std::uint64_t budget_queries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  // Fixed-window metering: simple, and the window boundary slop it
+  // admits (up to 2x budget across one boundary) does not matter for a
+  // rate bound. Expired windows are pruned opportunistically.
+  struct Window {
+    util::Micros start = 0;
+    std::uint64_t used = 0;
+  };
+  static constexpr std::size_t kMaxPrincipals = 4096;
+
+  const util::Clock& clock_;
+
+  // Fast-path mirrors of the config (read per query without the lock).
+  std::atomic<std::size_t> quantum_{1};
+  std::atomic<std::uint64_t> budget_{0};
+
+  mutable util::Mutex mutex_;
+  util::Micros window_micros_ W5_GUARDED_BY(mutex_) = 1'000'000;
+  std::map<std::string, Window> windows_ W5_GUARDED_BY(mutex_);
+  std::uint64_t admitted_ W5_GUARDED_BY(mutex_) = 0;
+  std::uint64_t denied_ W5_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace w5::store

@@ -217,6 +217,83 @@ TEST_F(StoreTest, QueryHonorsOwnerIndexLimitAndPredicate) {
   EXPECT_EQ(rated.value().size(), 2u);
 }
 
+TEST_F(StoreTest, OwnerPaginationReturnsSmallestKeysFirst) {
+  // Regression: by_owner used to be an insertion-ordered vector, and the
+  // per-shard offset+limit cap was applied while walking it — so a shard
+  // holding more than `cap` of one owner's records contributed its first
+  // *inserted* cap keys, not its smallest, and the post-hoc merge-sort
+  // silently dropped rows from the page. Inserting in descending id
+  // order makes insertion order the exact inverse of key order.
+  os::Kernel kernel;
+  util::SimClock clock;
+  LabeledStore store(kernel, clock);
+  util::Json d;
+  for (int i = 199; i >= 0; --i) {
+    char id[8];
+    std::snprintf(id, sizeof id, "r%03d", i);
+    ASSERT_TRUE(
+        store.put(kKernelPid, make_record("photos", id, "bob", {}, d)).ok());
+  }
+  auto page = store.query(kKernelPid, "photos",
+                          QueryOptions{.limit = 5, .owner = "bob"});
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page.value().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    char id[8];
+    std::snprintf(id, sizeof id, "r%03d", i);
+    EXPECT_EQ(page.value()[i].id, id) << "page dropped a smaller key";
+  }
+  // Deep pages stay complete too: walking offset pages must enumerate
+  // every record exactly once, in key order.
+  std::vector<std::string> seen;
+  for (std::size_t offset = 0;; offset += 7) {
+    auto p = store.query(kKernelPid, "photos",
+                         QueryOptions{.limit = 7, .offset = offset,
+                                      .owner = "bob"});
+    ASSERT_TRUE(p.ok());
+    if (p.value().empty()) break;
+    for (const auto& record : p.value()) seen.push_back(record.id);
+  }
+  ASSERT_EQ(seen.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST_F(StoreTest, CountRaisesCallerLikeQuery) {
+  // Regression: count()/list_ids() read at full secrecy_clearance() but
+  // never raised the caller's label — the returned number was
+  // contaminated by records above the caller's current secrecy (§3.5).
+  // They now mirror query()'s Raise::kYes contract.
+  os::Kernel kernel;
+  util::SimClock clock;
+  LabeledStore store(kernel, clock);
+  const Tag s1 =
+      kernel.create_tag(kKernelPid, "s1", TagPurpose::kSecrecy).value();
+  const Tag s2 =
+      kernel.create_tag(kKernelPid, "s2", TagPurpose::kSecrecy).value();
+  util::Json d;
+  ASSERT_TRUE(
+      store.put(kKernelPid, make_record("c", "1", "u1", {Label{s1}, {}}, d))
+          .ok());
+  ASSERT_TRUE(
+      store.put(kKernelPid, make_record("c", "2", "u2", {Label{s2}, {}}, d))
+          .ok());
+  ASSERT_TRUE(store.put(kKernelPid, make_record("c", "3", "u3", {}, d)).ok());
+
+  const Pid app = kernel.spawn_trusted(
+      "app", LabelState({}, {}, CapabilitySet{plus(s1)}));
+  EXPECT_EQ(store.count(app, "c").value(), 2u);
+  // The count included the s1-labeled record, so the caller now carries
+  // its join — exactly what query(Raise::kYes) would have done.
+  EXPECT_EQ(kernel.find(app)->labels.secrecy(), Label{s1});
+
+  const Pid lister = kernel.spawn_trusted(
+      "lister", LabelState({}, {}, CapabilitySet{plus(s1)}));
+  EXPECT_EQ(store.list_ids(lister, "c").value(),
+            (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(kernel.find(lister)->labels.secrecy(), Label{s1});
+}
+
 TEST_F(StoreTest, ApplyWalRehomesOwnerIndexOnOwnerChange) {
   // Snapshot/WAL overlap can replay a put whose key existed in the
   // snapshot under a different owner (remove + recreate straddling the
