@@ -365,6 +365,69 @@ EOF
   echo "wrote $out"
   ;;
 
+federation)
+  # E16: the metasearch fan-out. Gates:
+  #   - cutoff effectiveness: with one peer stalling 20 ms, the
+  #     deadline-budgeted partial page beats the full-wait p99 by at
+  #     least W5_FED_CUTOFF_FACTOR (default 2);
+  #   - every budgeted page degraded (partial_pages == iterations) and
+  #     no full-wait page did — the flag is load-bearing, not noise.
+  cutoff_factor="${W5_FED_CUTOFF_FACTOR:-2}"
+  build_bench "$build_dir" bench_federation
+  run_bench "$build_dir" bench_federation "$out"
+  python3 - "$out" "$cutoff_factor" <<'EOF'
+import json, sys
+path, factor = sys.argv[1], float(sys.argv[2])
+data = json.load(open(path))
+p99 = {}
+partial = {}
+iters = {}
+for b in data.get("benchmarks", []):
+    name = b.get("name", "")
+    if name.startswith("BM_FanoutLatency/"):
+        peers = int(name.rsplit("/", 1)[1])
+        print(f"fan-out at {peers} peer(s): p99 {b.get('p99_us', 0):,.0f}us")
+    if name.startswith(("BM_CutoffPartial", "BM_CutoffFullWait")):
+        key = name.split("/")[0]
+        p99[key] = b.get("p99_us", 0.0)
+        partial[key] = b.get("partial_pages", 0.0)
+        iters[key] = b.get("iterations", 0)
+
+failures = []
+budgeted = p99.get("BM_CutoffPartial")
+fullwait = p99.get("BM_CutoffFullWait")
+if budgeted is None or fullwait is None:
+    failures.append("missing BM_CutoffPartial or BM_CutoffFullWait")
+else:
+    ratio = fullwait / budgeted if budgeted > 0 else 0.0
+    print(f"cutoff effectiveness: partial p99 {budgeted:,.0f}us vs "
+          f"full-wait p99 {fullwait:,.0f}us ({ratio:.1f}x, need {factor}x)")
+    if ratio < factor:
+        failures.append(
+            f"partial p99 only {ratio:.1f}x better than full-wait "
+            f"(need {factor}x)")
+    if partial.get("BM_CutoffPartial", 0) < iters.get("BM_CutoffPartial", 1):
+        failures.append("budgeted run served non-partial pages "
+                        "(cutoff never fired)")
+    if partial.get("BM_CutoffFullWait", 0) != 0:
+        failures.append("full-wait run unexpectedly degraded to partial")
+
+data["e16_gates"] = {
+    "cutoff_factor_budget": factor,
+    "partial_p99_us": budgeted,
+    "fullwait_p99_us": fullwait,
+    "failures": failures,
+}
+json.dump(data, open(path, "w"), indent=1)
+if failures:
+    print("FAIL: " + "; ".join(failures))
+    sys.exit(1)
+print("E16 federation gates passed")
+EOF
+  annotate_snapshot "$out"
+  echo "wrote $out"
+  ;;
+
 *)
   # Any other suite: run bench_<suite> as-is and annotate.
   build_bench "$build_dir" "bench_${suite}"

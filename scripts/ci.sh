@@ -80,6 +80,11 @@ bench_stage() {
   # E18: indexed point queries >= 10x faster than forced scans at 2^20
   # records, and the quantized count channel verifiably closed.
   scripts/bench_json.sh query
+
+  echo "== Bench gate: federated metasearch -> BENCH_federation.json =="
+  # E16: fan-out latency vs peer count, and the slowest-peer cutoff —
+  # partial results under one slow peer beat the full-wait p99 by >= 2x.
+  scripts/bench_json.sh federation
 }
 
 if [[ "$leg" == "durability" ]]; then

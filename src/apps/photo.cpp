@@ -53,6 +53,35 @@ HttpResponse photo_handler(AppContext& ctx) {
     return HttpResponse::json(200, body.dump());
   }
 
+  if (action == "everywhere") {
+    // The federated view: this user's photos from every provider they
+    // consented to mirror with, one merged ranked stream. The app only
+    // sees the seam — the consent gate, cutoff, and merge live in the
+    // platform (DESIGN.md §18) — and the local leg contaminates this
+    // request like any other read.
+    if (ctx.viewer().empty()) return HttpResponse::text(401, "login\n");
+    platform::FederatedQuery query;
+    query.collection = "photos";
+    query.terms = ctx.query_param("q");
+    query.facets = util::split_nonempty(ctx.query_param("facets"), ',');
+    query.cursor = ctx.query_param("cursor");
+    query.limit = static_cast<std::size_t>(
+        std::clamp(util::parse_i64(ctx.query_param("limit", "20"))
+                       .value_or(20),
+                   std::int64_t{1}, std::int64_t{100}));
+    auto page = ctx.federated_search(std::move(query));
+    if (!page.ok()) {
+      if (page.error().code == "fed.not_configured")
+        return HttpResponse::text(503, page.error().code);
+      return HttpResponse::text(
+          page.error().code == "fed.bad_cursor" ? 400 : 403,
+          page.error().code);
+    }
+    util::Json body = page.value().body;
+    body["user"] = ctx.viewer();
+    return HttpResponse::json(200, body.dump());
+  }
+
   if (action == "view") {
     auto record = ctx.get_record("photos", ctx.query_param("id"));
     if (!record.ok()) return HttpResponse::text(404, "no such photo\n");

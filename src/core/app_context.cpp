@@ -133,6 +133,23 @@ difc::Label AppContext::current_secrecy() const {
   return process != nullptr ? process->labels.secrecy() : difc::Label{};
 }
 
+util::Result<FederatedPage> AppContext::federated_search(
+    FederatedQuery query) {
+  if (auto charged = charge(os::Resource::kCpu, 1); !charged.ok())
+    return charged.error();
+  const FederatedSearchFn& search = provider_.federated_search();
+  if (!search) {
+    return util::make_error("fed.not_configured",
+                            "this provider does not federate");
+  }
+  ScopedSpan span("fed.search");
+  // The §3.5 budget meters the module whatever principal the app claims,
+  // same stamp as every other scan; the viewer identity still decides
+  // the consent-gated fan-out set inside the seam.
+  query.principal = module_.id();
+  return search(pid_, viewer_, query);
+}
+
 util::Result<std::string> AppContext::fetch_external(const std::string& url) {
   // The app process holds no declassification authority, so any secrecy
   // contamination at all blocks the call (difc::check_export with an

@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "core/provider.h"
 #include "net/http.h"
 #include "net/router.h"
 #include "os/filesystem.h"
@@ -21,7 +22,6 @@
 
 namespace w5::platform {
 
-class Provider;
 struct Module;
 
 // Simulated external internet (Google Maps API, a developer's own
@@ -85,6 +85,17 @@ class AppContext {
   // ---- Label introspection ---------------------------------------------------
   // Labels are not secret; apps may inspect their own contamination.
   difc::Label current_secrecy() const;
+
+  // ---- Federated metasearch (DESIGN.md §18) ----------------------------------
+  // One scatter/gather query across every provider the viewer consented
+  // to mirror with, via the FederatedSearchFn seam (apps never touch
+  // fed/ directly — the layering DAG has no apps→fed edge). The local
+  // store leg runs under THIS pid, so the usual read rule contaminates
+  // the app with what it saw; remote legs are gated by each peer's
+  // mirror declassifier. The query principal is stamped with the module
+  // id so the §3.5 budget meters the app. Fails with fed.not_configured
+  // when the provider does not federate.
+  util::Result<FederatedPage> federated_search(FederatedQuery query);
 
   // ---- The outside world -----------------------------------------------------
   // Outbound call past the perimeter. Checked: a process whose secrecy

@@ -71,6 +71,7 @@ Gateway::Gateway(Provider& provider) : provider_(provider) {
   add(Method::kGet, "/debug/statusz", bind0(&Gateway::route_statusz));
   add(Method::kGet, "/debug/slowlog", bind0(&Gateway::route_slowlog));
   add(Method::kGet, "/search", bind0(&Gateway::route_search));
+  add(Method::kGet, "/fed/search", bind0(&Gateway::route_fed_search));
   add(Method::kGet, "/developers", bind0(&Gateway::route_developers));
   add(Method::kGet, "/dev-stats", bind0(&Gateway::route_dev_stats));
   add(Method::kGet, "/audit", bind0(&Gateway::route_audit));
@@ -325,6 +326,53 @@ net::HttpResponse Gateway::route_search(const net::HttpRequest& request) {
           .value_or(10));
   return net::HttpResponse::json(
       200, provider_.search_service().search(query, limit).dump());
+}
+
+net::HttpResponse Gateway::route_fed_search(const net::HttpRequest& request) {
+  // The "everywhere" view (DESIGN.md §18): one query fanned out to every
+  // provider this user consented to mirror with, merged and ranked. The
+  // gateway stays the perimeter — the local leg's label union passes the
+  // export check below, and remote rows already crossed each peer's
+  // mirror declassifier under this user's consent.
+  const std::string viewer = viewer_of(request);
+  if (viewer.empty()) return json_error(401, "login required");
+  const FederatedSearchFn& search = provider_.federated_search();
+  if (!search) return json_error(503, "fed.not_configured");
+
+  FederatedQuery query;
+  query.collection =
+      net::query_get(request.parsed.query, "collection").value_or("photos");
+  query.terms = net::query_get(request.parsed.query, "q").value_or("");
+  query.eq_field =
+      net::query_get(request.parsed.query, "eq_field").value_or("");
+  query.eq_value =
+      net::query_get(request.parsed.query, "eq_value").value_or("");
+  query.facets = util::split_nonempty(
+      net::query_get(request.parsed.query, "facets").value_or(""), ',');
+  query.cursor = net::query_get(request.parsed.query, "cursor").value_or("");
+  query.principal = "frontend:" + viewer;
+  query.limit = 20;
+  if (const auto raw = net::query_get(request.parsed.query, "limit")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(raw->c_str(), &end, 10);
+    if (end != raw->c_str() + raw->size() || parsed < 1 || parsed > 200)
+      return json_error(400, "limit must be in [1,200]");
+    query.limit = static_cast<std::size_t>(parsed);
+  }
+
+  auto page = search(os::kKernelPid, viewer, query);
+  if (!page.ok()) {
+    const std::string& code = page.error().code;
+    return json_error(
+        code == "fed.bad_cursor" || code == "fed.bad_query" ? 400 : 403,
+        code);
+  }
+  auto response = net::HttpResponse::json(200, page.value().body.dump());
+  // Degradation is explicit, never silent: a page missing any peer says
+  // so in a header the UI (and the chaos tests) can key off.
+  if (page.value().partial) response.headers.set("X-W5-Fed-Partial", "1");
+  return export_response(std::move(response), page.value().secrecy, viewer,
+                         "fed/metasearch");
 }
 
 net::HttpResponse Gateway::route_developers(const net::HttpRequest&) {

@@ -59,6 +59,10 @@ class Gateway {
                                       const net::RouteParams& params);
   net::HttpResponse route_stats(const net::HttpRequest& request);
   net::HttpResponse route_search(const net::HttpRequest& request);
+  // GET /fed/search: federated metasearch via the FederatedSearchFn seam
+  // (503 until fed::Metasearch::install() sets it). Marks degraded pages
+  // with X-W5-Fed-Partial: 1.
+  net::HttpResponse route_fed_search(const net::HttpRequest& request);
   net::HttpResponse route_developers(const net::HttpRequest& request);
   net::HttpResponse route_dev_stats(const net::HttpRequest& request);
   net::HttpResponse route_audit(const net::HttpRequest& request);

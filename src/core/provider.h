@@ -39,6 +39,44 @@ class Gateway;
 using ExternalFetcher =
     std::function<util::Result<std::string>(const std::string& url)>;
 
+// ---- Federated metasearch seam (DESIGN.md §18) ------------------------------
+// The layering DAG forbids core/ → fed/, so the gateway reaches the
+// scatter/gather plane through a hook the federation layer installs
+// (fed::Metasearch::install), the same seam shape as ExternalFetcher.
+// The types are core-owned; fed/ includes core/ and fills them in.
+
+struct FederatedQuery {
+  std::string collection;
+  std::string terms;  // free-text AND match, tokenized downstream
+  // Indexable equality constraint, forwarded into store::QueryOptions.
+  std::string eq_field;
+  std::string eq_value;
+  // Fields to facet-count over the merged window (§3.5-quantized).
+  std::vector<std::string> facets;
+  std::size_t limit = 20;
+  std::string cursor;  // merge cursor from a previous page
+  // Query-budget principal for the local store leg ("" = unmetered
+  // trusted front-end; AppContext stamps the module id).
+  std::string principal;
+};
+
+struct FederatedPage {
+  // Rendered result document: items/facets/peers/partial/next_cursor.
+  util::Json body = util::Json::object();
+  // Union of the local records' secrecy labels — what the gateway's
+  // export perimeter must clear before the page reaches a browser.
+  // Remote rows crossed the peer's mirror declassifier already and
+  // carry no local tags.
+  difc::Label secrecy;
+  bool partial = false;  // at least one peer missing from the merge
+};
+
+// `pid` is the querying labeled process: the local store leg runs (and
+// contaminates) under it. The gateway passes os::kKernelPid and applies
+// the export check on `secrecy` instead.
+using FederatedSearchFn = std::function<util::Result<FederatedPage>(
+    os::Pid pid, const std::string& viewer, const FederatedQuery& query)>;
+
 // How serve() multiplexes TCP clients (DESIGN.md §15). Same handler,
 // same robustness semantics; only the I/O model differs.
 enum class ServeMode : std::uint8_t {
@@ -169,6 +207,15 @@ class Provider {
     return external_fetcher_;
   }
 
+  // Scatter/gather query plane, installed by fed::Metasearch when this
+  // provider federates; unset (and /fed/search answers 503) otherwise.
+  void set_federated_search(FederatedSearchFn fn) {
+    federated_search_ = std::move(fn);
+  }
+  const FederatedSearchFn& federated_search() const noexcept {
+    return federated_search_;
+  }
+
   // ---- Conveniences used by tests, benches, and examples --------------------
   util::Status signup(const std::string& user, const std::string& password,
                       const std::string& display_name = {});
@@ -267,6 +314,7 @@ class Provider {
   // vector must never reallocate.
   std::vector<net::LoopStats> loop_stats_;
   ExternalFetcher external_fetcher_;
+  FederatedSearchFn federated_search_;
   std::unique_ptr<Gateway> gateway_;  // after metrics_: caches Counter*s
   // §14 static-enforcement note: the provider itself holds no mutex —
   // its one lazy-init race (the worker pool) goes through std::call_once

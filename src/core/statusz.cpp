@@ -153,6 +153,59 @@ util::Json query_engine_section(Provider& provider) {
   return engine;
 }
 
+// Federation health (DESIGN.md §18): sync rounds/records/retries and
+// the metasearch fan-out posture, scraped from the w5_fed_* metrics
+// fed::Node and fed::Metasearch maintain. Like breakers_section, the
+// registry scrape keeps statusz decoupled from fed/ — counts and states
+// only, never record bytes (§3.5).
+util::Json fed_section(Provider& provider) {
+  const util::Json metrics = provider.metrics().to_json();
+  const util::Json& counters = metrics.at("counters");
+  const auto counter = [&](const std::string& name) {
+    return from_u64(static_cast<std::uint64_t>(counters.at(name).as_int(0)));
+  };
+  util::Json sync = util::Json::object();
+  sync["rounds_ok"] = counter("w5_fed_sync_rounds_total{result=\"ok\"}");
+  sync["rounds_error"] = counter("w5_fed_sync_rounds_total{result=\"error\"}");
+  util::Json records = util::Json::object();
+  for (const char* kind : {"offered", "applied", "skipped", "conflicts"}) {
+    records[kind] = counter(std::string("w5_fed_sync_records_total{kind=\"") +
+                            kind + "\"}");
+  }
+  sync["records"] = std::move(records);
+  // Per-peer retry/backoff posture rides the peer-labelled metrics.
+  util::Json retries = util::Json::object();
+  static constexpr std::string_view kRetryPrefix =
+      "w5_fed_sync_retries_total{peer=\"";
+  for (const auto& [name, value] : counters.as_object()) {
+    if (!std::string_view(name).starts_with(kRetryPrefix)) continue;
+    std::string peer = name.substr(kRetryPrefix.size());
+    const std::size_t quote = peer.find('"');
+    if (quote != std::string::npos) peer.resize(quote);
+    retries[peer] = value;
+  }
+  sync["retries"] = std::move(retries);
+
+  util::Json metasearch = util::Json::object();
+  metasearch["fanouts"] = counter("w5_fed_query_fanouts_total");
+  metasearch["partial"] = counter("w5_fed_query_partial_total");
+  metasearch["served"] = counter("w5_fed_query_served_total");
+  metasearch["dedup_dropped"] = counter("w5_fed_query_dedup_dropped_total");
+  metasearch["records_merged"] = counter("w5_fed_query_records_merged_total");
+  util::Json peer_results = util::Json::object();
+  for (const char* result : {"ok", "timeout", "error", "breaker_open"}) {
+    peer_results[result] =
+        counter(std::string("w5_fed_query_peer_results_total{result=\"") +
+                result + "\"}");
+  }
+  metasearch["peer_results"] = std::move(peer_results);
+
+  util::Json fed = util::Json::object();
+  fed["sync"] = std::move(sync);
+  fed["metasearch"] = std::move(metasearch);
+  return fed;
+}
+
 util::Json tracing_section(Provider& provider) {
   util::Json tracing = util::Json::object();
   tracing["traces_recorded"] = from_u64(provider.traces().recorded());
@@ -173,6 +226,7 @@ util::Json build_statusz(Provider& provider) {
   out["reactor_loops"] = reactor_section(provider);
   out["durability"] = durability_section(provider);
   out["fed_breakers"] = breakers_section(provider);
+  out["fed"] = fed_section(provider);
   out["query_engine"] = query_engine_section(provider);
   out["tracing"] = tracing_section(provider);
   return out;

@@ -1,0 +1,226 @@
+#include "fed/merge.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+
+#include "rank/relevance.h"
+
+namespace w5::fed {
+
+namespace {
+
+void collect_strings(const util::Json& value, std::string& out) {
+  if (value.is_string()) {
+    if (!out.empty()) out += ' ';
+    out += value.as_string();
+  } else if (value.is_array()) {
+    for (const auto& item : value.as_array()) collect_strings(item, out);
+  } else if (value.is_object()) {
+    for (const auto& [key, item] : value.as_object())
+      collect_strings(item, out);
+  }
+}
+
+// Duplicate resolution, mirroring Node::apply_records: dominance by
+// vector clock; concurrent replicas resolved by newer wall-clock, ties
+// by smaller provider name — both sides of any pair pick the same
+// winner, and search picks the replica sync would converge to.
+bool wins_over(const MergedRecord& challenger, const MergedRecord& champion) {
+  switch (challenger.clock.compare(champion.clock)) {
+    case ClockOrder::kAfter:
+      return true;
+    case ClockOrder::kBefore:
+    case ClockOrder::kEqual:
+      return false;
+    case ClockOrder::kConcurrent:
+      if (challenger.updated != champion.updated)
+        return challenger.updated > champion.updated;
+      return challenger.provider < champion.provider;
+  }
+  return false;
+}
+
+std::string hex_u64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex_u64(std::string_view text, std::uint64_t* out) {
+  if (text.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string record_text(const std::string& id, const util::Json& data) {
+  std::string text = id;
+  collect_strings(data, text);
+  return text;
+}
+
+bool record_matches_terms(const std::string& id, const util::Json& data,
+                          const std::vector<std::string>& terms) {
+  if (terms.empty()) return true;
+  const std::vector<std::string> tokens =
+      rank::tokenize(record_text(id, data));
+  for (const std::string& term : terms) {
+    if (std::find(tokens.begin(), tokens.end(), term) == tokens.end())
+      return false;
+  }
+  return true;
+}
+
+std::vector<MergedRecord> dedupe_by_clock(std::vector<MergedRecord> records,
+                                          std::size_t* dropped) {
+  std::map<std::string, MergedRecord> winners;
+  std::size_t losers = 0;
+  for (MergedRecord& record : records) {
+    const std::string key = record.key();
+    auto [it, inserted] = winners.try_emplace(key, std::move(record));
+    if (inserted) continue;
+    ++losers;
+    // try_emplace with a taken key does not move from `record`.
+    if (wins_over(record, it->second)) it->second = std::move(record);
+  }
+  if (dropped != nullptr) *dropped = losers;
+  std::vector<MergedRecord> out;
+  out.reserve(winners.size());
+  for (auto& [key, record] : winners) out.push_back(std::move(record));
+  return out;
+}
+
+void score_and_sort(std::vector<MergedRecord>& records,
+                    const std::vector<std::string>& terms,
+                    const MergeWeights& weights) {
+  rank::RelevanceScorer scorer(terms);
+  std::int64_t oldest = 0;
+  std::int64_t newest = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    scorer.add_document(record_text(records[i].id, records[i].data));
+    if (i == 0) {
+      oldest = newest = records[i].updated;
+    } else {
+      oldest = std::min(oldest, records[i].updated);
+      newest = std::max(newest, records[i].updated);
+    }
+  }
+  const double best_text = scorer.max_score();
+  const double age_span = static_cast<double>(newest - oldest);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    // With no terms every record's text share is equal (1.0): ordering
+    // then falls to freshness and locality, never to scorer noise.
+    const double text =
+        terms.empty() ? 1.0
+        : best_text > 0.0 ? scorer.score(i) / best_text
+                          : 0.0;
+    const double freshness =
+        age_span > 0.0
+            ? static_cast<double>(records[i].updated - oldest) / age_span
+            : 1.0;
+    const double locality = records[i].local ? 1.0 : 0.0;
+    records[i].score = weights.text * text + weights.freshness * freshness +
+                       weights.locality * locality;
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const MergedRecord& a, const MergedRecord& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     const std::string ka = a.key();
+                     const std::string kb = b.key();
+                     if (ka != kb) return ka < kb;
+                     return a.provider < b.provider;
+                   });
+}
+
+util::Json facet_counts(const std::vector<MergedRecord>& records,
+                        const std::vector<std::string>& fields,
+                        const QuantizeFn& quantize) {
+  util::Json facets = util::Json::object();
+  for (const std::string& field : fields) {
+    std::map<std::string, std::size_t> counts;
+    for (const MergedRecord& record : records) {
+      if (!record.data.is_object()) continue;
+      const util::Json& value = record.data.at(field);
+      if (!value.is_string()) continue;
+      ++counts[value.as_string()];
+    }
+    util::Json by_value = util::Json::object();
+    for (const auto& [value, count] : counts) {
+      by_value[value] = static_cast<std::int64_t>(
+          quantize ? quantize(count) : count);
+    }
+    facets[field] = std::move(by_value);
+  }
+  return facets;
+}
+
+std::string encode_cursor(double score, const std::string& key) {
+  return "v1:" + hex_u64(std::bit_cast<std::uint64_t>(score)) + ":" + key;
+}
+
+bool decode_cursor(const std::string& cursor, double* score,
+                   std::string* key) {
+  constexpr std::string_view kPrefix = "v1:";
+  if (cursor.size() < kPrefix.size() + 17) return false;
+  if (std::string_view(cursor).substr(0, kPrefix.size()) != kPrefix)
+    return false;
+  std::uint64_t bits = 0;
+  if (!parse_hex_u64(
+          std::string_view(cursor).substr(kPrefix.size(), 16), &bits))
+    return false;
+  if (cursor[kPrefix.size() + 16] != ':') return false;
+  *score = std::bit_cast<double>(bits);
+  *key = cursor.substr(kPrefix.size() + 17);
+  return !key->empty();
+}
+
+util::Result<MergedPage> paginate(std::vector<MergedRecord> sorted,
+                                  const std::string& cursor,
+                                  std::size_t limit) {
+  std::size_t start = 0;
+  if (!cursor.empty()) {
+    double after_score = 0.0;
+    std::string after_key;
+    if (!decode_cursor(cursor, &after_score, &after_key))
+      return util::make_error("fed.bad_cursor", "malformed merge cursor");
+    // Resume strictly after the cursor position in (score desc, key asc)
+    // order. Exact bit-pattern score equality — the cursor was encoded
+    // from these very values.
+    while (start < sorted.size()) {
+      const MergedRecord& record = sorted[start];
+      if (record.score < after_score ||
+          (record.score == after_score && record.key() > after_key))
+        break;
+      ++start;
+    }
+  }
+  MergedPage page;
+  const std::size_t end = std::min(sorted.size(), start + limit);
+  for (std::size_t i = start; i < end; ++i)
+    page.records.push_back(std::move(sorted[i]));
+  if (end < sorted.size() && !page.records.empty()) {
+    const MergedRecord& last = page.records.back();
+    page.next_cursor = encode_cursor(last.score, last.key());
+  }
+  return page;
+}
+
+}  // namespace w5::fed

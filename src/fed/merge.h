@@ -1,0 +1,120 @@
+// Merge-rank for federated metasearch partials (DESIGN.md §18).
+//
+// Each peered provider answers a fan-out query with its own partial
+// result list; this layer folds the partials into one stream:
+//
+//   dedupe    same (collection, id) from several providers collapses to
+//             one winner, chosen by vector-clock dominance with the
+//             exact conflict rule Node::apply_records uses for writes
+//             (concurrent → newer updated wins → smaller provider name),
+//             so search sees the same replica the next sync would keep.
+//   rank      tf-idf text relevance (rank/relevance.h) + freshness +
+//             a small local-copy prior, weighted by MergeWeights.
+//   facets    per-field value counts over the merged window, every count
+//             pushed through the same §3.5 quantizer the local query
+//             engine uses — the n vs n+1 channel stays closed across
+//             the federation boundary.
+//   cursor    stateless pagination over the (score desc, key asc) order;
+//             each page re-executes the fan-out and resumes strictly
+//             after the cursor position.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fed/vector_clock.h"
+#include "rank/search.h"
+#include "util/json.h"
+
+namespace w5::fed {
+
+// One record as it travels through the merge: provenance + replication
+// metadata + the relevance score filled in by score_and_sort().
+struct MergedRecord {
+  std::string provider;  // source node name
+  std::string collection;
+  std::string id;
+  std::string owner;
+  util::Json data;
+  VectorClock clock;
+  std::int64_t updated = 0;  // updated_micros at the source
+  bool local = false;        // answered by the home provider's own store
+  double score = 0.0;
+
+  std::string key() const { return collection + "/" + id; }
+};
+
+// Signal weights for the merged ranking. The defaults reuse the rank/
+// search weights (§3.2): the structural-trust share backs text
+// relevance, the editor share backs freshness, and the popularity share
+// backs the local-copy prior — one knob set across both search planes.
+struct MergeWeights {
+  double text;
+  double freshness;
+  double locality;
+
+  static MergeWeights from_search(const rank::SearchWeights& weights) {
+    return MergeWeights{weights.pagerank, weights.editors,
+                        weights.popularity};
+  }
+  MergeWeights() : MergeWeights(from_search(rank::SearchWeights{})) {}
+  MergeWeights(double text_weight, double freshness_weight,
+               double locality_weight)
+      : text(text_weight),
+        freshness(freshness_weight),
+        locality(locality_weight) {}
+};
+
+// Every string value in `data` (recursively) joined with spaces — the
+// text a record is matched and scored on, plus its id.
+std::string record_text(const std::string& id, const util::Json& data);
+
+// AND-match: every term occurs somewhere in the record's text. An empty
+// term list matches everything. Serving nodes apply this as the store
+// predicate so non-matching records never cross the wire.
+bool record_matches_terms(const std::string& id, const util::Json& data,
+                          const std::vector<std::string>& terms);
+
+// Collapses duplicate (collection, id) entries. `dropped` (optional)
+// counts the losers. Deterministic: independent of input order.
+std::vector<MergedRecord> dedupe_by_clock(std::vector<MergedRecord> records,
+                                          std::size_t* dropped = nullptr);
+
+// Fills every record's score and sorts (score desc, key asc, provider
+// asc). Freshness is normalized over the window's updated range; text
+// over the window's best match.
+void score_and_sort(std::vector<MergedRecord>& records,
+                    const std::vector<std::string>& terms,
+                    const MergeWeights& weights);
+
+// The §3.5 quantizer (LabeledStore::quantize_count, bound by the
+// caller); identity when unset.
+using QuantizeFn = std::function<std::size_t(std::size_t)>;
+
+// {"field": {"value": count}} over the merged window, each count
+// quantized. Only string-valued fields facet; missing fields are skipped.
+util::Json facet_counts(const std::vector<MergedRecord>& records,
+                        const std::vector<std::string>& fields,
+                        const QuantizeFn& quantize);
+
+// Cursor codec: "v1:<score bits as hex>:<collection/id>". The score is
+// encoded exactly (IEEE bit pattern) so resume comparisons are not
+// subject to decimal round-tripping.
+std::string encode_cursor(double score, const std::string& key);
+bool decode_cursor(const std::string& cursor, double* score,
+                   std::string* key);
+
+// One page out of the scored, sorted window: records strictly after the
+// cursor position (empty cursor = from the top), at most `limit` of
+// them, plus the resume token ("" on the last page).
+struct MergedPage {
+  std::vector<MergedRecord> records;
+  std::string next_cursor;
+};
+util::Result<MergedPage> paginate(std::vector<MergedRecord> sorted,
+                                  const std::string& cursor,
+                                  std::size_t limit);
+
+}  // namespace w5::fed

@@ -37,6 +37,13 @@ util::Status MirrorAuthorizer::check(const std::string& user,
                               "'");
 }
 
+std::vector<std::string> MirrorAuthorizer::peers_for(
+    const std::string& user) const {
+  const auto it = peers_by_user_.find(user);
+  if (it == peers_by_user_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
 std::vector<std::string> MirrorAuthorizer::users_for(
     const std::string& peer) const {
   std::vector<std::string> out;

@@ -31,6 +31,11 @@ class MirrorAuthorizer {
   // All users who authorized the given peer.
   std::vector<std::string> users_for(const std::string& peer) const;
 
+  // All peers the given user authorized — the metasearch fan-out set:
+  // a query scatters exactly to the providers this user consented to
+  // mirror with, nowhere else.
+  std::vector<std::string> peers_for(const std::string& user) const;
+
  private:
   std::map<std::string, std::set<std::string>> peers_by_user_;
 };

@@ -1,9 +1,12 @@
 #include "fed/node.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "core/gateway.h"
+#include "fed/merge.h"
 #include "net/tracing.h"
+#include "rank/relevance.h"
 #include "util/strings.h"
 
 namespace w5::fed {
@@ -14,7 +17,7 @@ Node::Node(std::string name, platform::Provider& provider,
       provider_(provider),
       network_(network),
       server_([this](const net::HttpRequest& request) {
-        return handle_pull(request);
+        return handle_request(request);
       }) {
   // Accepted connections are parked until the dialer pumps us — the
   // single-threaded in-memory transport means request bytes arrive only
@@ -97,9 +100,9 @@ bool Node::has_tombstone(const std::string& collection,
   return tombstones_.contains({collection, id});
 }
 
-net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
+net::HttpResponse Node::handle_request(const net::HttpRequest& request) {
   // Federation serving perimeter: the same trace plumbing the gateway
-  // gives app requests. A validated inbound X-W5-Trace makes this pull a
+  // gives app requests. A validated inbound X-W5-Trace makes this hop a
   // child of the dialer's trace; the response carries our span dump back
   // (X-W5-Spans) for stitching.
   const auto inherited = request.headers.get(net::kTraceHeader);
@@ -116,8 +119,11 @@ net::HttpResponse Node::handle_pull(const net::HttpRequest& request) {
     if (util::parse_u64(*parent)) context.set_parent_span(*parent);
   }
   static const std::string kPullRoute = "fed.pull";
-  context.set_route(kPullRoute);
-  net::HttpResponse response = serve_pull(request);
+  static const std::string kQueryRoute = "fed.query";
+  const bool is_query = request.parsed.path == "/fed/query";
+  context.set_route(is_query ? kQueryRoute : kPullRoute);
+  net::HttpResponse response =
+      is_query ? serve_query(request) : serve_pull(request);
   context.set_status(response.status);
   if (!context.id().empty())
     response.headers.set(std::string(net::kTraceHeader), context.id());
@@ -203,6 +209,80 @@ net::HttpResponse Node::serve_pull(const net::HttpRequest& request) {
   return net::HttpResponse::json(200, response.dump());
 }
 
+net::HttpResponse Node::serve_query(const net::HttpRequest& request) {
+  const auto fail = [](int status, const std::string& code) {
+    util::Json body;
+    body["error"] = code;
+    return net::HttpResponse::json(status, body.dump());
+  };
+  if (request.method != net::Method::kPost)
+    return fail(404, "unknown federation endpoint");
+  auto body = util::Json::parse(request.body);
+  if (!body.ok()) return fail(400, "body must be JSON");
+  const std::string peer = body.value().at("peer").as_string();
+  const std::string user = body.value().at("user").as_string();
+  const std::string collection = body.value().at("collection").as_string();
+  if (peer.empty() || user.empty() || collection.empty())
+    return fail(400, "peer, user, and collection required");
+
+  // The same §3.3 consent gate as /fed/pull: absent this user's explicit
+  // authorization toward this peer, not even record *names* answer.
+  if (auto allowed = mirrors_.check(user, peer); !allowed.ok()) {
+    provider_.audit().record(platform::AuditKind::kExportBlocked,
+                             "fed/metasearch", user,
+                             allowed.error().code + " peer=" + peer);
+    return fail(403, allowed.error().code);
+  }
+
+  store::QueryOptions options;
+  options.owner = user;
+  options.eq_field = body.value().at("eq_field").as_string();
+  options.eq_value = body.value().at("eq_value").as_string();
+  options.limit = static_cast<std::size_t>(
+      std::clamp(body.value().at("limit").as_int(50), std::int64_t{1},
+                 std::int64_t{200}));
+  // The §3.5 budget meters the *peer*, whatever user it asks about —
+  // a chatty federation partner exhausts its own allowance, not ours.
+  options.principal = "fed:" + peer;
+  const std::vector<std::string> terms =
+      rank::tokenize(body.value().at("q").as_string());
+  if (!terms.empty()) {
+    options.predicate = [&terms](const store::Record& record) {
+      return record_matches_terms(record.id, record.data, terms);
+    };
+  }
+
+  platform::ScopedSpan answer_span("fed.answer");
+  auto records =
+      provider_.store().query(os::kKernelPid, collection, options);
+  if (!records.ok()) {
+    answer_span.set_note("err=" + records.error().code);
+    return fail(records.error().code == "store.query_budget" ? 429 : 403,
+                records.error().code);
+  }
+  util::Json items = util::Json::array();
+  for (const store::Record& record : records.value()) {
+    util::Json item;
+    item["collection"] = record.collection;
+    item["id"] = record.id;
+    item["owner"] = record.owner;
+    item["data"] = record.data;
+    item["clock"] = clock_of(record.collection, record.id).to_json();
+    item["updated"] = record.updated_micros;
+    items.push_back(std::move(item));
+  }
+  const std::size_t served = items.as_array().size();
+  answer_span.set_note("records=" + std::to_string(served));
+  provider_.metrics().counter("w5_fed_query_served_total").inc();
+  provider_.audit().record(
+      platform::AuditKind::kExportAllowed, "fed/metasearch", user,
+      "peer=" + peer + " records=" + std::to_string(served));
+  util::Json response;
+  response["provider"] = name_;
+  response["records"] = std::move(items);
+  return net::HttpResponse::json(200, response.dump());
+}
+
 net::CircuitBreaker& Node::breaker_for(const std::string& peer_name) {
   const util::MutexLock lock(breakers_mutex_);
   auto& slot = breakers_[peer_name];
@@ -222,12 +302,43 @@ util::Result<SyncStats> Node::sync_from(const std::string& peer_name) {
     root->set_route(kSyncRoute);
   }
   net::CircuitBreaker& breaker = breaker_for(peer_name);
-  // Gauge name carries the peer *name* — an infrastructure identifier,
+  // Metric names carry the peer *name* — an infrastructure identifier,
   // like a route pattern; never user data (telemetry invariant, §11).
-  util::Gauge& state_gauge = provider_.metrics().gauge(
-      "w5_fed_breaker_state{peer=\"" + peer_name + "\"}");
+  util::MetricsRegistry& metrics = provider_.metrics();
+  util::Gauge& state_gauge =
+      metrics.gauge("w5_fed_breaker_state{peer=\"" + peer_name + "\"}");
+  // Last backoff delay this peer cost us (0 = the round needed none):
+  // with the breaker state, the per-peer backoff posture on /metrics.
+  util::Gauge& backoff_gauge = metrics.gauge(
+      "w5_fed_backoff_last_delay_micros{peer=\"" + peer_name + "\"}");
+  std::uint64_t retries = 0;
+  util::Micros last_backoff = 0;
   const auto finish = [&](util::Result<SyncStats> result) {
     state_gauge.set(static_cast<std::int64_t>(breaker.state()));
+    backoff_gauge.set(last_backoff);
+    if (retries > 0) {
+      metrics
+          .counter("w5_fed_sync_retries_total{peer=\"" + peer_name + "\"}")
+          .inc(retries);
+    }
+    metrics
+        .counter(std::string("w5_fed_sync_rounds_total{result=\"") +
+                 (result.ok() ? "ok" : "error") + "\"}")
+        .inc();
+    if (result.ok()) {
+      const SyncStats& stats = result.value();
+      const auto count = [&](const char* kind, std::size_t n) {
+        if (n > 0)
+          metrics
+              .counter(std::string("w5_fed_sync_records_total{kind=\"") +
+                       kind + "\"}")
+              .inc(n);
+      };
+      count("offered", stats.offered);
+      count("applied", stats.applied);
+      count("skipped", stats.skipped);
+      count("conflicts", stats.conflicts);
+    }
     if (root && !root->id().empty()) {
       root->set_status(result.ok() ? 200 : 500);
       provider_.traces().record(root->finish());
@@ -252,6 +363,8 @@ util::Result<SyncStats> Node::sync_from(const std::string& peer_name) {
       const util::Micros delay = backoff.next_delay();
       if (backoff.exhausted()) break;
       retry_sleep_(delay);
+      ++retries;
+      last_backoff = delay;
       stats = pull_user(peer_name, user);
     }
     if (!stats.ok()) {

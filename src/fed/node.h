@@ -7,6 +7,16 @@
 //                     "since": {<collection/id>: <vector clock>}}
 //   → {"records": [{collection, id, owner, data, clock, updated}]}
 //
+//   POST /fed/query  {"peer": <requesting node>, "user": <id>,
+//                     "collection": <name>, "q": <terms>,
+//                     "eq_field"/"eq_value": <equality>, "limit": <n>}
+//   → {"provider": <name>, "records": [{collection, id, owner, data,
+//                                       clock, updated}]}
+//   The read half of §3.3 (DESIGN.md §18): answers from the local query
+//   engine, under the same mirror-consent gate as /fed/pull — the peer
+//   only sees records of users who authorized mirroring toward it, and
+//   the scan is metered against the "fed:<peer>" query-budget principal.
+//
 // The serving node releases a user's records only through the mirror
 // declassifier (user consent for that specific peer); the pulling node
 // re-classifies imports under its *own* tags for the user — labels never
@@ -52,6 +62,8 @@ class Node {
   const std::string& name() const noexcept { return name_; }
   MirrorAuthorizer& mirrors() noexcept { return mirrors_; }
   platform::Provider& provider() noexcept { return provider_; }
+  // The wire this node lives on; the metasearch fan-out dials through it.
+  net::InMemoryNetwork& network() noexcept { return network_; }
 
   // Local user write that participates in replication: stores the record
   // with the user's standard labels and ticks this node's clock axis.
@@ -102,10 +114,19 @@ class Node {
   VectorClock clock_of(const std::string& collection,
                        const std::string& id) const;
 
+  // Connection-close hop decorator shared with Metasearch (it wraps its
+  // fan-out dials through the same knob when per-peer wrapping is off).
+  const ConnectionDecorator& connection_decorator() const noexcept {
+    return decorator_;
+  }
+
  private:
-  net::HttpResponse handle_pull(const net::HttpRequest& request);
-  // handle_pull minus the tracing perimeter (context, echo, X-W5-Spans).
+  // The tracing perimeter around both federation endpoints (context,
+  // route, echo, X-W5-Spans), dispatching to the serve_* handlers.
+  net::HttpResponse handle_request(const net::HttpRequest& request);
   net::HttpResponse serve_pull(const net::HttpRequest& request);
+  // POST /fed/query: one peer's leg of a metasearch fan-out.
+  net::HttpResponse serve_query(const net::HttpRequest& request);
 
   // Stores under the owner's standard labels without touching clocks
   // (shared by local writes and imports).

@@ -1,0 +1,72 @@
+#include "rank/relevance.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace w5::rank {
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+RelevanceScorer::RelevanceScorer(std::vector<std::string> terms)
+    : terms_(std::move(terms)), df_(terms_.size(), 0) {}
+
+void RelevanceScorer::add_document(const std::string& text) {
+  const std::vector<std::string> tokens = tokenize(text);
+  std::vector<std::uint32_t> tf(terms_.size(), 0);
+  for (const std::string& token : tokens) {
+    for (std::size_t t = 0; t < terms_.size(); ++t) {
+      if (token == terms_[t]) ++tf[t];
+    }
+  }
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    if (tf[t] > 0) ++df_[t];
+  }
+  doc_lengths_.push_back(
+      static_cast<std::uint32_t>(std::max<std::size_t>(tokens.size(), 1)));
+  tf_.push_back(std::move(tf));
+}
+
+bool RelevanceScorer::matches(std::size_t doc) const {
+  if (doc >= tf_.size()) return false;
+  return std::all_of(tf_[doc].begin(), tf_[doc].end(),
+                     [](std::uint32_t count) { return count > 0; });
+}
+
+double RelevanceScorer::score(std::size_t doc) const {
+  if (doc >= tf_.size() || terms_.empty()) return 0.0;
+  const double n = static_cast<double>(documents());
+  double total = 0.0;
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    const std::uint32_t tf = tf_[doc][t];
+    if (tf == 0 || df_[t] == 0) continue;
+    const double idf = std::log(1.0 + n / static_cast<double>(df_[t]));
+    total += (static_cast<double>(tf) /
+              static_cast<double>(doc_lengths_[doc])) *
+             idf;
+  }
+  return total;
+}
+
+double RelevanceScorer::max_score() const {
+  double best = 0.0;
+  for (std::size_t doc = 0; doc < tf_.size(); ++doc)
+    best = std::max(best, score(doc));
+  return best;
+}
+
+}  // namespace w5::rank

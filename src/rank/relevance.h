@@ -1,0 +1,53 @@
+// Tf-idf-ish relevance scoring for merged result lists (DESIGN.md §18).
+//
+// The federated metasearch plane ranks records pulled from several
+// providers, so the scorer is corpus-relative: term frequency inside one
+// document, discounted by how many documents in the merged set mention
+// the term at all (the pazpar2 relevance.c recipe, without its stemming).
+// Scores are deterministic for a fixed (terms, documents) input — the
+// merge layer depends on that for stable cursor pagination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace w5::rank {
+
+// Lowercased alphanumeric tokens; every other byte separates. "Sunset,
+// Beach!" -> {"sunset", "beach"}.
+std::vector<std::string> tokenize(const std::string& text);
+
+class RelevanceScorer {
+ public:
+  // Terms are matched as whole tokens. An empty term list scores every
+  // document 0 (the merge layer then ranks by its other signals).
+  explicit RelevanceScorer(std::vector<std::string> terms);
+
+  // Adds one document; documents are indexed in insertion order.
+  void add_document(const std::string& text);
+
+  std::size_t documents() const noexcept { return doc_lengths_.size(); }
+
+  // True when every query term occurs in the document (AND semantics —
+  // metasearch filters at the source with the same rule).
+  bool matches(std::size_t doc) const;
+
+  // Sum over terms of (tf / doc_len) * idf, idf = ln(1 + N / df).
+  // 0 for documents missing from range or when there are no terms.
+  double score(std::size_t doc) const;
+
+  // Largest score over all documents (0 when none score) — callers
+  // normalize against this so text relevance combines with other
+  // bounded signals on equal footing.
+  double max_score() const;
+
+ private:
+  std::vector<std::string> terms_;
+  // tf_[doc][term] — documents are few (a merge window), terms fewer.
+  std::vector<std::vector<std::uint32_t>> tf_;
+  std::vector<std::uint32_t> doc_lengths_;
+  std::vector<std::uint32_t> df_;  // per term, over added documents
+};
+
+}  // namespace w5::rank

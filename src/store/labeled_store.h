@@ -167,6 +167,14 @@ class LabeledStore {
   // Resets the metering windows.
   void set_governor_config(const QueryGovernorConfig& config);
 
+  // The governor's count rounding, exposed so every aggregate a caller
+  // derives from this store (federated facet counts, merged totals) goes
+  // through the SAME §3.5 quantization path as count() — one quantum,
+  // one channel bound, no second code path to drift.
+  std::size_t quantize_count(std::size_t count) const {
+    return governor_.quantize(count);
+  }
+
   std::size_t total_records() const;  // provider metric (trusted callers)
 
   // ---- Observability (DESIGN.md §11) ---------------------------------------

@@ -1,0 +1,11 @@
+// Seeded violation: apps/ must not reach the federated metasearch plane
+// directly — the frozen DAG has no apps/ → fed/ edge. Apps query the
+// federation only through the core-owned FederatedSearchFn seam
+// (AppContext::federated_search / GET /fed/search at the gateway), so
+// the consent gate and export perimeter always sit in the path.
+#include "fed/metasearch.h"
+#include "core/app_context.h"
+
+namespace w5::apps {
+void reaches_metasearch_from_apps() {}
+}  // namespace w5::apps

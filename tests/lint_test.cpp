@@ -53,6 +53,21 @@ TEST(LintTest, FlagsLayeringBackEdge) {
   EXPECT_NE(r.output.find("1 violation(s)"), std::string::npos) << r.output;
 }
 
+TEST(LintTest, FlagsAppsReachingMetasearchDirectly) {
+  // PR 9 pinned the metasearch layering rule: fed/ gained store/ and
+  // rank/ edges, but apps/ still has no fed/ edge — apps reach the
+  // scatter/gather plane only via the core-owned FederatedSearchFn seam.
+  const LintResult r = run_lint(fixture("metasearch_layering"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[layering]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("apps/bad_fed_reach.cpp"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("fed/metasearch.h"), std::string::npos) << r.output;
+  // The core/app_context.h include in the same file is the legal route —
+  // exactly one violation expected.
+  EXPECT_NE(r.output.find("1 violation(s)"), std::string::npos) << r.output;
+}
+
 TEST(LintTest, FlagsRawSendOutsidePerimeter) {
   const LintResult r = run_lint(fixture("perimeter_send"));
   EXPECT_EQ(r.exit_code, 1) << r.output;

@@ -58,7 +58,14 @@ const std::map<std::string, std::set<std::string>> kAllowedIncludes = {
     {"os", {"difc", "util"}},
     {"store", {"difc", "net", "os", "util"}},
     {"core", {"difc", "net", "os", "rank", "store", "util"}},
-    {"fed", {"core", "net", "util"}},
+    // PR 9 (federated metasearch, DESIGN.md §18): fed/ gained rank/ (the
+    // tf-idf merge-rank reuses the search tokenizer and weights) and
+    // store/ (QueryOptions + the §3.5 quantizer for federated facet
+    // counts). apps/ deliberately did NOT gain fed/ — apps reach the
+    // scatter/gather plane only through the core-owned FederatedSearchFn
+    // seam (AppContext/gateway), pinned by the metasearch_layering lint
+    // fixture.
+    {"fed", {"core", "net", "rank", "store", "util"}},
     {"apps", {"core", "util"}},
 };
 
