@@ -13,9 +13,14 @@
 # LeakSanitizer ON (suppressions: scripts/lsan.supp).
 #
 # Static legs live in scripts/ci.sh lint: w5lint (layering / perimeter /
-# telemetry / banned functions) and, when clang++ is on PATH, a
-# -Werror=thread-safety build over the annotated tree
-# (src/util/thread_annotations.h).
+# telemetry / banned functions), w5flow (taint + lock order) and, when
+# clang++ is on PATH, a -Werror=thread-safety build over the annotated
+# tree (src/util/thread_annotations.h).
+#
+# Both legs pin -DW5_LOCK_WITNESS=ON explicitly (it is already the
+# default off-Release, but a stale cache from a Release configure must
+# not silently drop the lock-order witness from the sanitizer runs —
+# TSan threads are exactly where an inversion would bite).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +29,8 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_tsan() {
   echo "== ThreadSanitizer =="
-  cmake -B build-tsan -S . -DW5_SANITIZE=thread >/dev/null
+  cmake -B build-tsan -S . -DW5_SANITIZE=thread -DW5_LOCK_WITNESS=ON \
+    >/dev/null
   cmake --build build-tsan -j "$jobs" --target w5_tests
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/w5_tests \
@@ -33,7 +39,8 @@ run_tsan() {
 
 run_asan() {
   echo "== AddressSanitizer + UndefinedBehaviorSanitizer =="
-  cmake -B build-asan -S . -DW5_SANITIZE=address,undefined >/dev/null
+  cmake -B build-asan -S . -DW5_SANITIZE=address,undefined \
+    -DW5_LOCK_WITNESS=ON >/dev/null
   cmake --build build-asan -j "$jobs" --target w5_tests
   ASAN_OPTIONS="detect_leaks=1" \
     LSAN_OPTIONS="suppressions=scripts/lsan.supp:print_suppressions=0" \

@@ -13,6 +13,7 @@
 
 #include "util/clock.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -78,7 +79,7 @@ class AuditLog {
   const util::Clock& clock_;
   std::size_t max_events_;
   std::size_t dropped_ W5_GUARDED_BY(mutex_) = 0;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kAuditLog, "AuditLog::mutex_"};
   std::vector<AuditEvent> events_ W5_GUARDED_BY(mutex_);
   std::size_t counts_by_kind_[kKindCount] W5_GUARDED_BY(mutex_) = {};
 };

@@ -12,6 +12,7 @@
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -47,7 +48,8 @@ class SessionManager {
 
   const util::Clock& clock_;
   util::Micros ttl_micros_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kSessionManager,
+                              "SessionManager::mutex_"};
   util::Rng rng_ W5_GUARDED_BY(mutex_);
   std::map<std::string, Session> sessions_ W5_GUARDED_BY(mutex_);
 };

@@ -1,4 +1,5 @@
 #include "core/declassifier.h"
+#include "util/lock_ranks.h"
 
 #include <deque>
 #include <mutex>
@@ -111,7 +112,8 @@ class RateLimited final : public Declassifier {
   const util::Clock& clock_;
   std::size_t max_exports_;
   util::Micros window_;
-  util::Mutex mutex_;
+  util::Mutex mutex_{util::lockrank::kDeclassifierRateWindow,
+                     "RateLimited::mutex_"};
   std::map<std::string, std::deque<util::Micros>> history_
       W5_GUARDED_BY(mutex_);
 };

@@ -26,6 +26,7 @@
 #include "util/clock.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -100,7 +101,8 @@ class DeclassifierRegistry {
   std::vector<std::string> ids() const;
 
  private:
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kDeclassifierRegistry,
+                                    "DeclassifierRegistry::mutex_"};
   std::map<std::string, std::unique_ptr<Declassifier>> declassifiers_
       W5_GUARDED_BY(mutex_);
 };

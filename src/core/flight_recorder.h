@@ -17,6 +17,7 @@
 #include "core/trace.h"
 #include "util/json.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -38,7 +39,8 @@ class FlightRecorder {
 
  private:
   const std::size_t capacity_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kFlightRecorder,
+                              "FlightRecorder::mutex_"};
   std::vector<Trace> ring_ W5_GUARDED_BY(mutex_);
   std::size_t next_ W5_GUARDED_BY(mutex_) = 0;
   std::uint64_t recorded_total_ W5_GUARDED_BY(mutex_) = 0;

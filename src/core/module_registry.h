@@ -20,6 +20,7 @@
 #include "os/resources.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -100,7 +101,8 @@ class ModuleRegistry {
   const Module* resolve_id_locked(const std::string& module_id) const
       W5_REQUIRES_SHARED(mutex_);
 
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kModuleRegistry,
+                                    "ModuleRegistry::mutex_"};
   // Keyed by developer/name, then ordered list of versions. deque: stable
   // element addresses across push_back (resolve() hands out Module*).
   std::map<std::string, std::deque<Module>> modules_ W5_GUARDED_BY(mutex_);

@@ -18,6 +18,7 @@
 #include "util/mutation_log.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -75,7 +76,8 @@ class PolicyStore {
   util::Status apply_wal(const util::Json& op);  // TRUSTED replay apply
 
  private:
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kPolicyStore,
+                                    "PolicyStore::mutex_"};
   UserPolicy default_policy_ W5_GUARDED_BY(mutex_);
   std::map<std::string, UserPolicy> policies_ W5_GUARDED_BY(mutex_);
   util::MutationLog* mutation_log_ = nullptr;  // set once at wiring time

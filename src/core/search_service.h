@@ -11,6 +11,7 @@
 #include "rank/search.h"
 #include "util/json.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -40,7 +41,8 @@ class SearchService {
   util::Json developer_reputations() const;
 
  private:
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kSearchService,
+                              "SearchService::mutex_"};
   rank::DependencyGraph graph_ W5_GUARDED_BY(mutex_);
   rank::EditorBoard editors_ W5_GUARDED_BY(mutex_);
   rank::PopularityTracker popularity_ W5_GUARDED_BY(mutex_);

@@ -123,7 +123,12 @@ util::Json Trace::to_json() const {
 TraceBuffer::TraceBuffer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
       slot_mutexes_(capacity_),
-      ring_(capacity_) {}
+      ring_(capacity_) {
+  // vector-of-Mutex is sized, not emplaced, so ranks arrive post-hoc —
+  // before the buffer is shared, which is all set_rank() requires.
+  for (auto& mu : slot_mutexes_)
+    mu.set_rank(util::lockrank::kTraceSlot, "TraceBuffer::slot_mutexes_");
+}
 
 void TraceBuffer::record(Trace trace) {
   if (trace.id.empty()) return;

@@ -26,6 +26,7 @@
 #include "util/clock.h"
 #include "util/thread_annotations.h"
 #include "util/json.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -119,7 +120,8 @@ class TraceBuffer {
   // the slot lock through util::MutexLock so clang sees the acquisition.
   mutable std::vector<util::Mutex> slot_mutexes_;  // one per ring slot
   std::vector<Trace> ring_;                       // pre-sized; empty id = unused
-  mutable util::Mutex evicted_mutex_;
+  mutable util::Mutex evicted_mutex_{util::lockrank::kTraceEvicted,
+                                      "TraceBuffer::evicted_mutex_"};
   std::vector<std::string> evicted_ids_ W5_GUARDED_BY(evicted_mutex_);
   std::size_t evicted_next_ W5_GUARDED_BY(evicted_mutex_) = 0;
 };

@@ -23,6 +23,7 @@
 #include "util/mutation_log.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::platform {
 
@@ -85,7 +86,8 @@ class UserDirectory {
 
  private:
   os::Kernel& kernel_;
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kUserDirectory,
+                                    "UserDirectory::mutex_"};
   // Ordered for determinism.
   std::map<std::string, UserAccount> users_ W5_GUARDED_BY(mutex_);
   std::map<difc::Tag, std::string> tag_owner_ W5_GUARDED_BY(mutex_);

@@ -26,6 +26,7 @@
 
 #include "difc/label.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::difc {
 
@@ -56,7 +57,8 @@ class LabelTable {
  private:
   LabelTable() = default;
 
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kLabelTable,
+                                    "LabelTable::mutex_"};
   std::map<Label, LabelId> ids_ W5_GUARDED_BY(mutex_);
   LabelId next_id_ W5_GUARDED_BY(mutex_) = 1;
   std::uint64_t epoch_ W5_GUARDED_BY(mutex_) = 1;
@@ -103,7 +105,7 @@ class FlowCache {
     std::uint64_t order = 0;  // insertion stamp for FIFO eviction
   };
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kFlowCache, "FlowCache::mutex_"};
   std::unordered_map<std::uint64_t, Entry> entries_ W5_GUARDED_BY(mutex_);
   std::uint64_t next_order_ W5_GUARDED_BY(mutex_) = 0;
   mutable std::uint64_t hits_ W5_GUARDED_BY(mutex_) = 0;

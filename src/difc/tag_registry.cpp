@@ -34,6 +34,8 @@ std::optional<TagPurpose> tag_purpose_from_string(std::string_view s) {
 // construction) — aliases the analysis cannot track, hence the opt-outs.
 TagRegistry::TagRegistry(TagRegistry&& other) noexcept
     W5_NO_THREAD_SAFETY_ANALYSIS {
+  // w5flow-allow(native): move-construct locks the *source* registry; the
+  // destination is not yet visible to any thread, so no cycle is possible.
   std::unique_lock other_lock(other.mutex_.native());
   next_id_ = other.next_id_;
   info_ = std::move(other.info_);
@@ -42,6 +44,8 @@ TagRegistry::TagRegistry(TagRegistry&& other) noexcept
 TagRegistry& TagRegistry::operator=(TagRegistry&& other) noexcept
     W5_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
+    // w5flow-allow(native): scoped_lock's deadlock-avoiding two-lock
+    // acquire over sibling registries; the witness cannot rank aliases.
     std::scoped_lock locks(mutex_.native(), other.mutex_.native());
     next_id_ = other.next_id_;
     info_ = std::move(other.info_);

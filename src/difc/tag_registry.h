@@ -18,6 +18,7 @@
 #include "util/mutation_log.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::difc {
 
@@ -79,7 +80,8 @@ class TagRegistry {
   util::Status apply_wal(const util::Json& op);
 
  private:
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kTagRegistry,
+                                    "TagRegistry::mutex_"};
   std::uint64_t next_id_ W5_GUARDED_BY(mutex_) = 1;  // 0 reserved as invalid
   std::unordered_map<Tag, TagInfo> info_ W5_GUARDED_BY(mutex_);
   util::MutationLog* mutation_log_ = nullptr;  // set once at wiring time

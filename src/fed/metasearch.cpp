@@ -11,6 +11,7 @@
 #include "net/tracing.h"
 #include "rank/relevance.h"
 #include "util/clock.h"
+#include "util/lock_ranks.h"
 
 namespace w5::fed {
 
@@ -48,7 +49,7 @@ struct Metasearch::Gather {
     std::uint64_t duration_cycles = 0;
   };
 
-  std::mutex mutex;
+  util::Mutex mutex{util::lockrank::kFedGather, "Gather::mutex"};
   std::condition_variable cv;
   std::vector<Hop> hops;
   std::size_t completed = 0;
@@ -67,7 +68,7 @@ void Metasearch::run_hop(net::InMemoryNetwork& network,
   const auto finish = [&](bool ok, std::string code, util::Json records,
                           std::string provider, std::string spans) {
     const std::uint64_t duration = util::cycle_count() - slot.start_cycles;
-    const std::lock_guard<std::mutex> lock(gather->mutex);
+    const util::MutexLock lock(gather->mutex);
     slot.done = true;
     slot.ok = ok;
     slot.error_code = std::move(code);
@@ -303,8 +304,8 @@ util::Result<MetaPage> Metasearch::search(
   // budget. Whatever is still in flight afterwards is reported, not
   // awaited — partial results beat a page held hostage by one peer.
   {
-    std::unique_lock<std::mutex> lock(gather->mutex);
-    gather->cv.wait_for(lock, std::chrono::microseconds(budget), [&] {
+    util::UniqueLock lock(gather->mutex);
+    gather->cv.wait_for(lock.native(), std::chrono::microseconds(budget), [&] {
       return gather->completed == launched;
     });
   }
@@ -321,7 +322,7 @@ util::Result<MetaPage> Metasearch::search(
     util::Json records = util::Json::array();
     std::uint64_t duration_cycles = 0;
     {
-      const std::lock_guard<std::mutex> lock(gather->mutex);
+      const util::MutexLock lock(gather->mutex);
       Gather::Hop& hop = gather->hops[i];
       done = hop.done;
       if (done) {
@@ -493,7 +494,7 @@ void Metasearch::reap_stragglers(bool join_all) {
       for (auto it = stragglers_.begin(); it != stragglers_.end();) {
         bool done = false;
         {
-          const std::lock_guard<std::mutex> hop_lock(it->gather->mutex);
+          const util::MutexLock hop_lock(it->gather->mutex);
           done = it->gather->hops[it->hop].done;
         }
         if (done) {

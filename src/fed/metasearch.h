@@ -38,6 +38,7 @@
 #include "fed/node.h"
 #include "util/metrics.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::fed {
 
@@ -136,7 +137,8 @@ class Metasearch {
     std::shared_ptr<Gather> gather;
     std::size_t hop = 0;
   };
-  util::Mutex stragglers_mutex_;
+  util::Mutex stragglers_mutex_{util::lockrank::kFedStragglers,
+                                "Metasearch::stragglers_mutex_"};
   std::vector<Straggler> stragglers_ W5_GUARDED_BY(stragglers_mutex_);
   void reap_stragglers(bool join_all);
 };

@@ -38,6 +38,7 @@
 #include "net/http_server.h"
 #include "net/transport.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::fed {
 
@@ -163,7 +164,8 @@ class Node {
   // drivers (clocks_/tombstones_ are externally serialized per node), so
   // it gets its own leaf mutex; the returned breaker synchronizes
   // internally.
-  mutable util::Mutex breakers_mutex_;
+  mutable util::Mutex breakers_mutex_{util::lockrank::kFedBreakers,
+                                       "Node::breakers_mutex_"};
   std::map<std::string, std::unique_ptr<net::CircuitBreaker>> breakers_
       W5_GUARDED_BY(breakers_mutex_);
 };

@@ -13,6 +13,7 @@
 
 #include "util/clock.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::net {
 
@@ -55,7 +56,8 @@ class CircuitBreaker {
 
   const util::Clock& clock_;
   Config config_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kCircuitBreaker,
+                              "CircuitBreaker::mutex_"};
   State state_ W5_GUARDED_BY(mutex_) = State::kClosed;
   // Consecutive failures while closed.
   int failures_ W5_GUARDED_BY(mutex_) = 0;

@@ -12,6 +12,7 @@
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::net {
 
@@ -80,7 +81,7 @@ struct EventLoopHttpServer::Mailbox {
   }
 
   int event_fd = -1;
-  util::Mutex mutex;
+  util::Mutex mutex{util::lockrank::kEventLoopMailbox, "Mailbox::mutex"};
   bool open W5_GUARDED_BY(mutex) = true;
   std::vector<Item> items W5_GUARDED_BY(mutex);
 };

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::net {
 
@@ -168,7 +169,7 @@ util::Result<std::size_t> FaultyConnection::write_some(std::string_view data) {
 // ---- File I/O faults -------------------------------------------------------
 
 struct FileFaultPlan::State {
-  util::Mutex mutex;
+  util::Mutex mutex{util::lockrank::kFileFault, "State::mutex"};
   bool seeded W5_GUARDED_BY(mutex) = false;
   FileFaultProfile profile W5_GUARDED_BY(mutex) {};
   util::Rng rng W5_GUARDED_BY(mutex) {0};

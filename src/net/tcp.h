@@ -13,6 +13,7 @@
 #include "net/transport.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::net {
 
@@ -107,7 +108,9 @@ class TcpListener {
   util::Status with_fd(const std::function<util::Status(int)>& op);
 
  private:
-  util::Mutex close_mutex_;  // serializes close() against with_fd()
+  // Serializes close() against with_fd().
+  util::Mutex close_mutex_{util::lockrank::kTcpClose,
+                           "TcpListener::close_mutex_"};
   std::atomic<int> fd_{-1};  // atomic: close() races with accept()
   std::uint16_t port_ = 0;
 };

@@ -1,9 +1,10 @@
 #include "net/tracing.h"
 
-#include <mutex>
 #include <utility>
 
 #include "net/http.h"
+#include "util/lock_ranks.h"
+#include "util/thread_annotations.h"
 
 namespace w5::net {
 
@@ -14,7 +15,8 @@ namespace {
 // design is fine because installation happens-before serving in every
 // composition we ship, and the mutex cost is off the serving fast path
 // (one outbound hop per federation pull, not per request).
-std::mutex g_provider_mutex;
+util::Mutex g_provider_mutex{util::lockrank::kNetTraceProvider,
+                             "tracing::g_provider_mutex"};
 TraceProvider g_provider;
 
 }  // namespace
@@ -30,14 +32,14 @@ bool valid_trace_token(std::string_view token) {
 }
 
 void set_outbound_trace_provider(TraceProvider provider) {
-  const std::lock_guard<std::mutex> lock(g_provider_mutex);
+  const util::MutexLock lock(g_provider_mutex);
   g_provider = std::move(provider);
 }
 
 bool outbound_trace_headers(TraceHeaders* out) {
   TraceProvider provider;
   {
-    const std::lock_guard<std::mutex> lock(g_provider_mutex);
+    const util::MutexLock lock(g_provider_mutex);
     provider = g_provider;
   }
   if (!provider) return false;

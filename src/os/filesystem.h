@@ -21,6 +21,7 @@
 #include "util/mutation_log.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::os {
 
@@ -129,7 +130,8 @@ class FileSystem {
       W5_REQUIRES(mutex_);
 
   Kernel& kernel_;
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kFileSystem,
+                                    "FileSystem::mutex_"};
   std::unique_ptr<Node> root_ W5_GUARDED_BY(mutex_);
   util::MutationLog* mutation_log_ = nullptr;  // set once at wiring time
 };

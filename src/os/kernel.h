@@ -21,6 +21,7 @@
 #include "os/process.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::os {
 
@@ -106,7 +107,7 @@ class Kernel {
   util::Result<const Process*> live_process(Pid pid) const
       W5_REQUIRES_SHARED(mutex_);
 
-  mutable util::SharedMutex mutex_;
+  mutable util::SharedMutex mutex_{util::lockrank::kKernel, "Kernel::mutex_"};
   difc::TagRegistry tags_;  // internally synchronized
   difc::CapabilitySet global_caps_ W5_GUARDED_BY(mutex_);
   std::unordered_map<Pid, Process> processes_ W5_GUARDED_BY(mutex_);

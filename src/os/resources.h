@@ -14,6 +14,7 @@
 
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::os {
 
@@ -78,7 +79,9 @@ class ResourceContainer {
   ResourceVector limits_;
   ResourceVector usage_;             // guarded by tree_mutex(), dynamically
   ResourceContainer* parent_;  // not owned; parent outlives children
-  mutable util::Mutex mutex_;  // used only on the root container
+  // Used only on the root container.
+  mutable util::Mutex mutex_{util::lockrank::kResourceTree,
+                             "ResourceContainer::mutex_"};
 };
 
 }  // namespace w5::os

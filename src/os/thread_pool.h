@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::os {
 
@@ -67,9 +68,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kThreadPool,
+                              "ThreadPool::mutex_"};
   // Serializes shutdown() joins only; never held with mutex_.
-  util::Mutex join_mutex_;
+  util::Mutex join_mutex_{util::lockrank::kThreadPoolJoin,
+                          "ThreadPool::join_mutex_"};
   std::condition_variable work_ready_;
   std::condition_variable all_idle_;
   std::deque<Job> queue_ W5_GUARDED_BY(mutex_);

@@ -28,6 +28,7 @@
 #include "util/json.h"
 #include "util/mutation_log.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::store {
 
@@ -103,10 +104,13 @@ class DurableStore final : public util::MutationLog {
   std::unique_ptr<WriteAheadLog> wal_;
   std::function<std::string()> checkpoint_source_;
 
-  util::Mutex checkpoint_mutex_;  // serializes checkpoint() bodies
+  // Serializes checkpoint() bodies.
+  util::Mutex checkpoint_mutex_{util::lockrank::kDurableCheckpoint,
+                                "DurableStore::checkpoint_mutex_"};
   std::atomic<std::uint64_t> last_checkpoint_boundary_{1};
 
-  util::Mutex compactor_mutex_;
+  util::Mutex compactor_mutex_{util::lockrank::kDurableCompactor,
+                               "DurableStore::compactor_mutex_"};
   std::condition_variable compactor_cv_;
   bool closing_ W5_GUARDED_BY(compactor_mutex_) = false;
   std::thread compactor_;

@@ -702,6 +702,8 @@ util::Status LabeledStore::load_json(const util::Json& snapshot)
   }
   std::array<std::unique_lock<std::shared_mutex>, kShardCount> locks;
   for (std::size_t i = 0; i < kShardCount; ++i)
+    // w5flow-allow(native): the all-shards swap takes every sibling
+    // shard lock in index order — the documented equal-rank protocol.
     locks[i] = std::unique_lock(shards_[i].mutex.native());
   for (std::size_t i = 0; i < kShardCount; ++i) {
     shards_[i].records = std::move(records[i]);

@@ -36,6 +36,7 @@
 #include "util/mutation_log.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::store {
 
@@ -224,7 +225,8 @@ class LabeledStore {
   using Key = RecordKey;  // (collection, id)
 
   struct Shard {
-    mutable util::SharedMutex mutex;
+    mutable util::SharedMutex mutex{util::lockrank::kStoreShard,
+                                    "Shard::mutex"};
     // map keeps iteration deterministic for snapshots and queries.
     std::map<Key, Record> records W5_GUARDED_BY(mutex);
     // Secondary indexes (owner / label-set / field postings, index.h),
@@ -263,7 +265,8 @@ class LabeledStore {
 
   std::array<Shard, kShardCount> shards_;
 
-  mutable util::SharedMutex specs_mutex_;
+  mutable util::SharedMutex specs_mutex_{util::lockrank::kStoreIndexSpecs,
+                                         "LabeledStore::specs_mutex_"};
   std::vector<IndexSpec> specs_ W5_GUARDED_BY(specs_mutex_);
 
   mutable std::atomic<std::uint64_t> gets_{0};

@@ -31,6 +31,7 @@
 #include "util/clock.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::store {
 
@@ -81,7 +82,8 @@ class QueryGovernor {
   std::atomic<std::size_t> quantum_{1};
   std::atomic<std::uint64_t> budget_{0};
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::lockrank::kQueryGovernor,
+                              "QueryGovernor::mutex_"};
   util::Micros window_micros_ W5_GUARDED_BY(mutex_) = 1'000'000;
   std::map<std::string, Window> windows_ W5_GUARDED_BY(mutex_);
   std::uint64_t admitted_ W5_GUARDED_BY(mutex_) = 0;

@@ -35,6 +35,7 @@
 #include "util/metrics.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::store {
 
@@ -162,7 +163,8 @@ class WriteAheadLog {
   const std::string dir_;
   const WalOptions options_;
 
-  mutable util::Mutex mutex_;  // leaf: guards everything below
+  // Near-leaf: guards everything below (only telemetry leaves inside).
+  mutable util::Mutex mutex_{util::lockrank::kWal, "WriteAheadLog::mutex_"};
   std::condition_variable pending_cv_;   // flusher wakeup
   std::condition_variable durable_cv_;   // wait_durable / flush wakeup
   std::vector<Pending> pending_ W5_GUARDED_BY(mutex_);

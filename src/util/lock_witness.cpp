@@ -1,0 +1,71 @@
+#include "util/lock_witness.h"
+
+#if defined(W5_LOCK_WITNESS)
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace w5::util::witness {
+
+namespace {
+
+// Deep enough for the worst legitimate nesting in the tree: the
+// load_json shard sweep holds all 16 shard locks plus the WAL and a
+// telemetry leaf. Overflow means a new pattern the registry (and this
+// bound) must be taught about, so it aborts rather than dropping holds.
+constexpr std::size_t kMaxHeld = 32;
+
+struct Held {
+  const void* mu;
+  int rank;
+  const char* name;
+};
+
+thread_local Held t_held[kMaxHeld];
+thread_local std::size_t t_count = 0;
+
+[[noreturn]] void die(const char* what, int rank, const char* name) {
+  std::fprintf(stderr,
+               "w5 lock witness: %s acquiring \"%s\" (rank %d); held stack:\n",
+               what, name, rank);
+  for (std::size_t i = 0; i < t_count; ++i) {
+    std::fprintf(stderr, "  [%zu] \"%s\" (rank %d)\n", i, t_held[i].name,
+                 t_held[i].rank);
+  }
+  std::fprintf(stderr,
+               "w5 lock witness: declared order is tools/w5flow_lock_order.txt"
+               " (DESIGN.md \xC2\xA7" "19)\n");
+  std::abort();
+}
+
+}  // namespace
+
+void acquire(const void* mu, int rank, const char* name) {
+  if (rank == 0) return;  // unranked: invisible to the witness
+  int held_max = 0;
+  for (std::size_t i = 0; i < t_count; ++i) {
+    if (t_held[i].rank > held_max) held_max = t_held[i].rank;
+  }
+  if (rank < held_max) die("rank inversion", rank, name);
+  if (t_count >= kMaxHeld) die("held-stack overflow", rank, name);
+  t_held[t_count++] = Held{mu, rank, name};
+}
+
+void release(const void* mu) {
+  // Scan from the top: the matching hold is almost always the newest,
+  // but early-unlock guards may release out of order.
+  for (std::size_t i = t_count; i-- > 0;) {
+    if (t_held[i].mu == mu) {
+      for (std::size_t j = i + 1; j < t_count; ++j) t_held[j - 1] = t_held[j];
+      --t_count;
+      return;
+    }
+  }
+  // Never recorded (rank 0, or a try_lock hold): nothing to forget.
+}
+
+std::size_t held_depth() { return t_count; }
+
+}  // namespace w5::util::witness
+
+#endif  // W5_LOCK_WITNESS

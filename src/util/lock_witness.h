@@ -1,0 +1,67 @@
+// Runtime lock-order witness (DESIGN.md §19).
+//
+// The static half of the deadlock story is tools/w5flow.cpp pass 2: it
+// extracts the lock-acquisition graph from the scoped-guard sites and
+// checks it against the declared ranks in tools/w5flow_lock_order.txt.
+// A textual analyzer is necessarily heuristic (virtual calls, function
+// pointers, and locks passed by reference are invisible to it), so this
+// is the half that backs the claim at runtime: every blocking acquire of
+// a ranked util::Mutex / util::SharedMutex checks the acquiring thread's
+// held-lock stack and aborts the process on a rank inversion — turning
+// a would-be deadlock into a deterministic failure with both lock names
+// in the message, on whichever of the 654 tests first drives the
+// inverted pair.
+//
+// Cost model: enabled only when W5_LOCK_WITNESS is defined (the default
+// CMake configuration defines it for every build type except Release).
+// When disabled the macros below expand to nothing and Mutex carries no
+// extra state. When enabled, acquire/release are a scan of a thread-
+// local array whose depth is the thread's current lock-nesting level
+// (almost always 0-2).
+//
+// Semantics:
+//   - rank 0 (the default) means "unranked": the lock is invisible to
+//     the witness. Everything in src/ is ranked (w5flow enforces it);
+//     ad-hoc mutexes in tests stay unranked unless a test opts in.
+//   - equal ranks may nest (sibling instances of one class — the store
+//     shards, the trace slots — whose order the owning code fixes).
+//   - try_lock never blocks, so successful try-acquisitions are neither
+//     checked nor tracked; a lock only taken via try_lock (the exemplar
+//     store) cannot close a wait cycle as long as nothing blocks on it.
+//   - condition-variable waits release/reacquire the underlying std
+//     mutex invisibly; the witness, like the Clang TSA model, treats
+//     the capability as held across the wait. The thread is blocked for
+//     the duration, so it cannot acquire anything else meanwhile.
+#pragma once
+
+#include <cstddef>
+
+#if defined(W5_LOCK_WITNESS)
+
+namespace w5::util::witness {
+
+// Checks the rank against the calling thread's held stack (aborting the
+// process with a diagnostic on inversion or overflow), then records the
+// hold. Call immediately before the blocking acquire. No-op for rank 0.
+void acquire(const void* mu, int rank, const char* name);
+
+// Forgets the hold. Call on unlock; unlock order need not be LIFO (the
+// early-unlock guards drop locks out of order). Unknown pointers are
+// ignored (rank-0 locks are never recorded).
+void release(const void* mu);
+
+// Current thread's tracked-hold depth — test hook.
+std::size_t held_depth();
+
+}  // namespace w5::util::witness
+
+#define W5_WITNESS_ACQUIRE(mu, rank, name) \
+  ::w5::util::witness::acquire((mu), (rank), (name))
+#define W5_WITNESS_RELEASE(mu) ::w5::util::witness::release((mu))
+
+#else  // !W5_LOCK_WITNESS — release builds: the witness compiles away.
+
+#define W5_WITNESS_ACQUIRE(mu, rank, name) ((void)0)
+#define W5_WITNESS_RELEASE(mu) ((void)0)
+
+#endif  // W5_LOCK_WITNESS

@@ -5,12 +5,13 @@
 
 #include "util/thread_annotations.h"
 #include "util/json.h"
+#include "util/lock_ranks.h"
 
 namespace w5::util {
 
 namespace {
 
-Mutex g_mutex;
+Mutex g_mutex{lockrank::kLog, "log::g_mutex"};
 LogLevel g_threshold W5_GUARDED_BY(g_mutex) = LogLevel::kWarn;
 
 void default_sink(LogLevel level, std::string_view message) {

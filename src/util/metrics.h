@@ -27,6 +27,7 @@
 
 #include "util/json.h"
 #include "util/thread_annotations.h"
+#include "util/lock_ranks.h"
 
 namespace w5::util {
 
@@ -143,7 +144,8 @@ class Histogram {
   // Exemplar slots, one per bucket. A leaf try_lock off the hot path:
   // observe() never touches it; observe_with_exemplar() skips the write
   // when contended.
-  mutable Mutex exemplar_mutex_;
+  mutable Mutex exemplar_mutex_{lockrank::kMetricsExemplar,
+                                "Histogram::exemplar_mutex_"};
   std::vector<Exemplar> exemplars_ W5_GUARDED_BY(exemplar_mutex_);
 };
 
@@ -182,7 +184,7 @@ class MetricsRegistry {
   Json to_json() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockrank::kMetricsRegistry, "MetricsRegistry::mutex_"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ W5_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ W5_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_

@@ -25,10 +25,19 @@
 //   - functions that take many locks dynamically (e.g. all 16 store
 //     shards) are opted out with W5_NO_THREAD_SAFETY_ANALYSIS and must
 //     say why in a comment.
+//
+// Debug builds additionally thread every blocking acquisition through
+// the lock-order witness (util/lock_witness.h): each Mutex/SharedMutex
+// carries the rank it was constructed with (util/lock_ranks.h), and an
+// acquisition that would invert the documented order aborts with both
+// lock names. Release builds compile the witness (and the rank fields)
+// out entirely.
 #pragma once
 
 #include <mutex>
 #include <shared_mutex>
+
+#include "util/lock_witness.h"
 
 #if defined(__clang__)
 #define W5_THREAD_ANNOTATION(x) __attribute__((x))
@@ -76,17 +85,60 @@ namespace w5::util {
 class W5_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  // Rank from util/lock_ranks.h; `name` appears in witness diagnostics
+  // and should be the registry id ("AuditLog::mutex_").
+  explicit Mutex([[maybe_unused]] int rank,
+                 [[maybe_unused]] const char* name = "") noexcept {
+    set_rank(rank, name);
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() W5_ACQUIRE() { m_.lock(); }
-  void unlock() W5_RELEASE() { m_.unlock(); }
+  // For instances that cannot take constructor arguments (elements of a
+  // sized std::vector<Mutex>); call before the mutex is first shared.
+  void set_rank([[maybe_unused]] int rank,
+                [[maybe_unused]] const char* name = "") noexcept {
+#if defined(W5_LOCK_WITNESS)
+    rank_ = rank;
+    name_ = name;
+#endif
+  }
+
+  void lock() W5_ACQUIRE() {
+    W5_WITNESS_ACQUIRE(this, rank(), rank_name());
+    m_.lock();
+  }
+  void unlock() W5_RELEASE() {
+    W5_WITNESS_RELEASE(this);
+    m_.unlock();
+  }
+  // try_lock never blocks, so it cannot close a wait cycle: successful
+  // try-acquisitions are invisible to the witness (lock_witness.h).
   bool try_lock() W5_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  int rank() const noexcept {
+#if defined(W5_LOCK_WITNESS)
+    return rank_;
+#else
+    return 0;
+#endif
+  }
+  const char* rank_name() const noexcept {
+#if defined(W5_LOCK_WITNESS)
+    return name_;
+#else
+    return "";
+#endif
+  }
 
   std::mutex& native() { return m_; }
 
  private:
   std::mutex m_;
+#if defined(W5_LOCK_WITNESS)
+  int rank_ = 0;
+  const char* name_ = "";
+#endif
 };
 
 // std::shared_mutex with the `capability` attribute: exclusive for
@@ -96,22 +148,67 @@ class W5_CAPABILITY("mutex") Mutex {
 class W5_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex([[maybe_unused]] int rank,
+                       [[maybe_unused]] const char* name = "") noexcept {
+    set_rank(rank, name);
+  }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() W5_ACQUIRE() { m_.lock(); }
-  void unlock() W5_RELEASE() { m_.unlock(); }
+  void set_rank([[maybe_unused]] int rank,
+                [[maybe_unused]] const char* name = "") noexcept {
+#if defined(W5_LOCK_WITNESS)
+    rank_ = rank;
+    name_ = name;
+#endif
+  }
+
+  void lock() W5_ACQUIRE() {
+    W5_WITNESS_ACQUIRE(this, rank(), rank_name());
+    m_.lock();
+  }
+  void unlock() W5_RELEASE() {
+    W5_WITNESS_RELEASE(this);
+    m_.unlock();
+  }
   bool try_lock() W5_TRY_ACQUIRE(true) { return m_.try_lock(); }
-  void lock_shared() W5_ACQUIRE_SHARED() { m_.lock_shared(); }
-  void unlock_shared() W5_RELEASE_SHARED() { m_.unlock_shared(); }
+  // Shared and exclusive modes block identically for ordering purposes:
+  // both are checked against (and recorded on) the held stack.
+  void lock_shared() W5_ACQUIRE_SHARED() {
+    W5_WITNESS_ACQUIRE(this, rank(), rank_name());
+    m_.lock_shared();
+  }
+  void unlock_shared() W5_RELEASE_SHARED() {
+    W5_WITNESS_RELEASE(this);
+    m_.unlock_shared();
+  }
   bool try_lock_shared() W5_TRY_ACQUIRE_SHARED(true) {
     return m_.try_lock_shared();
+  }
+
+  int rank() const noexcept {
+#if defined(W5_LOCK_WITNESS)
+    return rank_;
+#else
+    return 0;
+#endif
+  }
+  const char* rank_name() const noexcept {
+#if defined(W5_LOCK_WITNESS)
+    return name_;
+#else
+    return "";
+#endif
   }
 
   std::shared_mutex& native() { return m_; }
 
  private:
   std::shared_mutex m_;
+#if defined(W5_LOCK_WITNESS)
+  int rank_ = 0;
+  const char* name_ = "";
+#endif
 };
 
 // std::lock_guard<Mutex> equivalent.
@@ -130,21 +227,47 @@ class W5_SCOPED_CAPABILITY MutexLock {
 // std::unique_lock<Mutex> equivalent for condition-variable waits:
 // cv.wait(lk.native(), pred). The analysis treats the capability as held
 // across the wait (it is, at every point the caller can observe).
+// The guards below reach the std lock through native(), bypassing the
+// wrapper's instrumented lock()/unlock() — so each notifies the witness
+// itself around its own acquire/release points.
 class W5_SCOPED_CAPABILITY UniqueLock {
  public:
-  explicit UniqueLock(Mutex& mu) W5_ACQUIRE(mu) : lk_(mu.native()) {}
-  ~UniqueLock() W5_RELEASE() {}
+  explicit UniqueLock(Mutex& mu) W5_ACQUIRE(mu)
+      : lk_((W5_WITNESS_ACQUIRE(&mu, mu.rank(), mu.rank_name()),
+             mu.native())) {
+#if defined(W5_LOCK_WITNESS)
+    mu_ = &mu;
+#endif
+  }
+  ~UniqueLock() W5_RELEASE() {
+#if defined(W5_LOCK_WITNESS)
+    if (lk_.owns_lock()) W5_WITNESS_RELEASE(mu_);
+#endif
+  }
 
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  void lock() W5_ACQUIRE() { lk_.lock(); }
-  void unlock() W5_RELEASE() { lk_.unlock(); }
+  void lock() W5_ACQUIRE() {
+#if defined(W5_LOCK_WITNESS)
+    W5_WITNESS_ACQUIRE(mu_, mu_->rank(), mu_->rank_name());
+#endif
+    lk_.lock();
+  }
+  void unlock() W5_RELEASE() {
+#if defined(W5_LOCK_WITNESS)
+    W5_WITNESS_RELEASE(mu_);
+#endif
+    lk_.unlock();
+  }
 
   std::unique_lock<std::mutex>& native() { return lk_; }
 
  private:
   std::unique_lock<std::mutex> lk_;
+#if defined(W5_LOCK_WITNESS)
+  const Mutex* mu_ = nullptr;
+#endif
 };
 
 // Exclusive (writer) scope on a SharedMutex. Early unlock() is allowed
@@ -152,33 +275,79 @@ class W5_SCOPED_CAPABILITY UniqueLock {
 // the std::unique_lock inside keeps the destructor idempotent.
 class W5_SCOPED_CAPABILITY WriteLock {
  public:
-  explicit WriteLock(SharedMutex& mu) W5_ACQUIRE(mu) : lk_(mu.native()) {}
-  ~WriteLock() W5_RELEASE() {}
+  explicit WriteLock(SharedMutex& mu) W5_ACQUIRE(mu)
+      : lk_((W5_WITNESS_ACQUIRE(&mu, mu.rank(), mu.rank_name()),
+             mu.native())) {
+#if defined(W5_LOCK_WITNESS)
+    mu_ = &mu;
+#endif
+  }
+  ~WriteLock() W5_RELEASE() {
+#if defined(W5_LOCK_WITNESS)
+    if (lk_.owns_lock()) W5_WITNESS_RELEASE(mu_);
+#endif
+  }
 
   WriteLock(const WriteLock&) = delete;
   WriteLock& operator=(const WriteLock&) = delete;
 
-  void lock() W5_ACQUIRE() { lk_.lock(); }
-  void unlock() W5_RELEASE() { lk_.unlock(); }
+  void lock() W5_ACQUIRE() {
+#if defined(W5_LOCK_WITNESS)
+    W5_WITNESS_ACQUIRE(mu_, mu_->rank(), mu_->rank_name());
+#endif
+    lk_.lock();
+  }
+  void unlock() W5_RELEASE() {
+#if defined(W5_LOCK_WITNESS)
+    W5_WITNESS_RELEASE(mu_);
+#endif
+    lk_.unlock();
+  }
 
  private:
   std::unique_lock<std::shared_mutex> lk_;
+#if defined(W5_LOCK_WITNESS)
+  const SharedMutex* mu_ = nullptr;
+#endif
 };
 
 // Shared (reader) scope on a SharedMutex; early unlock() allowed.
 class W5_SCOPED_CAPABILITY ReadLock {
  public:
-  explicit ReadLock(SharedMutex& mu) W5_ACQUIRE_SHARED(mu) : lk_(mu.native()) {}
-  ~ReadLock() W5_RELEASE() {}
+  explicit ReadLock(SharedMutex& mu) W5_ACQUIRE_SHARED(mu)
+      : lk_((W5_WITNESS_ACQUIRE(&mu, mu.rank(), mu.rank_name()),
+             mu.native())) {
+#if defined(W5_LOCK_WITNESS)
+    mu_ = &mu;
+#endif
+  }
+  ~ReadLock() W5_RELEASE() {
+#if defined(W5_LOCK_WITNESS)
+    if (lk_.owns_lock()) W5_WITNESS_RELEASE(mu_);
+#endif
+  }
 
   ReadLock(const ReadLock&) = delete;
   ReadLock& operator=(const ReadLock&) = delete;
 
-  void lock() W5_ACQUIRE_SHARED() { lk_.lock(); }
-  void unlock() W5_RELEASE_SHARED() { lk_.unlock(); }
+  void lock() W5_ACQUIRE_SHARED() {
+#if defined(W5_LOCK_WITNESS)
+    W5_WITNESS_ACQUIRE(mu_, mu_->rank(), mu_->rank_name());
+#endif
+    lk_.lock();
+  }
+  void unlock() W5_RELEASE_SHARED() {
+#if defined(W5_LOCK_WITNESS)
+    W5_WITNESS_RELEASE(mu_);
+#endif
+    lk_.unlock();
+  }
 
  private:
   std::shared_lock<std::shared_mutex> lk_;
+#if defined(W5_LOCK_WITNESS)
+  const SharedMutex* mu_ = nullptr;
+#endif
 };
 
 }  // namespace w5::util

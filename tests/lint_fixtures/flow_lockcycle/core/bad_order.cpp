@@ -1,0 +1,26 @@
+// Seeded lock-order cycle: two functions acquire the same pair of
+// mutexes in opposite orders — the textbook ABBA deadlock. w5flow's
+// pass 2 must report the cycle with both acquisition sites.
+namespace w5::core {
+
+class PairedCounters {
+ public:
+  void bump_left_then_right() {
+    util::MutexLock hold_left(left_mutex_);
+    util::MutexLock hold_right(right_mutex_);
+    ++ticks_;
+  }
+
+  void bump_right_then_left() {
+    util::MutexLock hold_right(right_mutex_);
+    util::MutexLock hold_left(left_mutex_);
+    ++ticks_;
+  }
+
+ private:
+  util::Mutex left_mutex_;
+  util::Mutex right_mutex_;
+  int ticks_ = 0;
+};
+
+}  // namespace w5::core

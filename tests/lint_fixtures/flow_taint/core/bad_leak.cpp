@@ -1,0 +1,26 @@
+// Seeded taint violation: record bytes reach a log sink with no
+// cleanser anywhere on the path. w5flow must report the full chain
+// (handle_put -> emit_debug -> log_info), not just the sink line — the
+// leak is only visible interprocedurally.
+#include <string>
+
+namespace w5::core {
+
+// Source: the value is derived from a store::Record.
+std::string describe(const store::Record& record) {
+  std::string value = record.value();
+  return value;
+}
+
+// The leaky hop: its parameter flows to a telemetry sink uncleansed.
+void emit_debug(const std::string& text) {
+  util::log_info("put", text);
+}
+
+// The caller that closes the source->sink path.
+void handle_put(const store::Record& record) {
+  std::string summary = describe(record);
+  emit_debug(summary);
+}
+
+}  // namespace w5::core

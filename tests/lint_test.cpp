@@ -128,6 +128,20 @@ TEST(LintTest, AllowlistSuppressesByCheckAndPrefix) {
       << suppressed.output;
 }
 
+TEST(LintTest, StaleAllowlistEntryIsItselfAnError) {
+  // The allowlisted/ fixture's entry suppresses a ::send breach that the
+  // banned/ tree does not contain — an entry that suppresses nothing is
+  // reported against the allowlist file, so excused violations cannot
+  // quietly outlive their excuse.
+  const LintResult r =
+      run_lint(fixture("banned"), fixture("allowlisted") + "/allow.txt");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[stale-allow]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("suppressed nothing"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("allow.txt"), std::string::npos) << r.output;
+}
+
 TEST(LintTest, BadUsageExitsTwo) {
   const LintResult r = run_lint(std::string(W5_SRC_DIR) + "/no/such/dir");
   EXPECT_EQ(r.exit_code, 2) << r.output;

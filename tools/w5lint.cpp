@@ -113,6 +113,8 @@ struct Violation {
 struct AllowEntry {
   std::string check;
   std::string prefix;
+  std::size_t line = 0;  // line in the allowlist file, for diagnostics
+  bool used = false;     // an entry that suppresses nothing is itself an error
 };
 
 bool ident_char(char c) {
@@ -239,12 +241,16 @@ class Linter {
   bool load_allowlist(const fs::path& file) {
     std::ifstream in(file);
     if (!in) return false;
+    allowlist_file_ = file.generic_string();
     std::string line;
+    std::size_t lineno = 0;
     while (std::getline(in, line)) {
+      ++lineno;
       const auto hash = line.find('#');
       if (hash != std::string::npos) line.resize(hash);
       std::stringstream ss(line);
       AllowEntry entry;
+      entry.line = lineno;
       if (ss >> entry.check >> entry.prefix) allow_.push_back(entry);
     }
     return true;
@@ -374,6 +380,18 @@ class Linter {
     std::sort(files.begin(), files.end());
     for (const auto& file : files) scan_file(file);
 
+    // An allowlist entry that suppressed nothing is dead weight: either
+    // the violation it excused is gone (delete the entry) or the prefix
+    // is wrong and the suppression never worked (fix it). Both deserve a
+    // failing run, not silence.
+    for (const AllowEntry& entry : allow_) {
+      if (entry.used) continue;
+      violations_.push_back(Violation{
+          "stale-allow", allowlist_file_, entry.line,
+          "allowlist entry '" + entry.check + " " + entry.prefix +
+              "' suppressed nothing — delete it or fix the prefix"});
+    }
+
     for (const Violation& v : violations_) {
       std::cerr << "w5lint: " << v.path << ":" << v.line << ": [" << v.check
                 << "] " << v.message << "\n";
@@ -387,8 +405,9 @@ class Linter {
  private:
   void report(std::string check, const std::string& rel, std::size_t line,
               std::string message) {
-    for (const AllowEntry& entry : allow_) {
+    for (AllowEntry& entry : allow_) {
       if (entry.check == check && rel.rfind(entry.prefix, 0) == 0) {
+        entry.used = true;
         ++suppressed_;
         return;
       }
@@ -398,6 +417,7 @@ class Linter {
   }
 
   fs::path root_;
+  std::string allowlist_file_;
   std::vector<AllowEntry> allow_;
   std::vector<Violation> violations_;
   std::size_t suppressed_ = 0;
